@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the paper's
+ * tables and figures.
+ */
+
+#ifndef OMNISIM_BENCH_BENCH_UTIL_HH
+#define OMNISIM_BENCH_BENCH_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "core/omnisim.hh"
+#include "cosim/cosim.hh"
+#include "csim/csim.hh"
+#include "design/frontend.hh"
+#include "designs/common.hh"
+#include "lightningsim/lightningsim.hh"
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace omnisim::bench
+{
+
+/** Format seconds with sensible units. */
+inline std::string
+fmtSeconds(double s)
+{
+    if (s < 1e-3)
+        return strf("%.2f us", s * 1e6);
+    if (s < 1.0)
+        return strf("%.2f ms", s * 1e3);
+    return strf("%.2f s", s);
+}
+
+/** Format a speedup factor. */
+inline std::string
+fmtSpeedup(double x)
+{
+    return strf("%.2fx", x);
+}
+
+/** Compact functional summary of a run (the Table 3 cell contents). */
+inline std::string
+describeRun(const SimResult &r)
+{
+    switch (r.status) {
+      case SimStatus::Crash:
+        return "@E Simulation failed: SIGSEGV.";
+      case SimStatus::Deadlock:
+        return "DEADLOCK DETECTED";
+      case SimStatus::Timeout:
+        return "(hangs; op watchdog)";
+      case SimStatus::Unsupported:
+        return "(unsupported)";
+      case SimStatus::Ok:
+        break;
+    }
+    std::string out;
+    for (const auto &[name, vals] : r.memories) {
+        if (vals.size() != 1)
+            continue; // scalars only; arrays are checked by tests
+        if (!out.empty())
+            out += "; ";
+        out += strf("%s = %lld", name.c_str(),
+                    static_cast<long long>(vals[0]));
+    }
+    for (const auto &w : r.warnings) {
+        if (w.find("read while empty") != std::string::npos) {
+            out = "WARNING(read-empty); " + out;
+            break;
+        }
+    }
+    for (const auto &w : r.warnings) {
+        if (w.find("leftover") != std::string::npos) {
+            out += "; WARNING(leftover)";
+            break;
+        }
+    }
+    return out;
+}
+
+/**
+ * Timed front-end compilation: design construction (including any static
+ * scheduling the builder performs) plus validation/classification. The
+ * design is heap-allocated so CompiledDesign's pointer stays stable.
+ */
+struct FrontEndRun
+{
+    std::unique_ptr<Design> design;
+    CompiledDesign cd;
+    double seconds = 0;
+};
+
+inline FrontEndRun
+runFrontEnd(const designs::DesignEntry &e)
+{
+    Stopwatch sw;
+    FrontEndRun fe;
+    fe.design = std::make_unique<Design>(e.build());
+    fe.cd = compile(*fe.design);
+    fe.seconds = sw.seconds();
+    return fe;
+}
+
+} // namespace omnisim::bench
+
+#endif // OMNISIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Fig. 8 of the paper on the Type B/C suite:
+ *  (a) cycle accuracy of OmniSim against co-simulation,
+ *  (b) wall-clock runtime of OmniSim vs co-simulation (speedup), and
+ *  (c) the OmniSim runtime breakdown into front-end compilation and
+ *      multi-threaded core execution.
+ *
+ * Co-simulation runs with the synthetic RTL cost model enabled (that is
+ * what makes real co-simulation slow); OmniSim numbers are end-to-end,
+ * including front-end compilation, as in the paper.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace omnisim;
+using namespace omnisim::bench;
+
+int
+main()
+{
+    setLogQuiet(true);
+    std::cout << "Fig. 8: OmniSim vs C/RTL co-simulation on the Type B/C "
+                 "suite\n\n";
+
+    TablePrinter t({"Design", "Co-sim cycles", "OmniSim cycles", "Delta",
+                    "Co-sim time", "OmniSim time", "Speedup", "FE", "MT"});
+    std::vector<double> speedups;
+    for (const auto &e : designs::typeBCDesigns()) {
+        // --- co-simulation with RTL cost model (the slow baseline) ---
+        Stopwatch co_sw;
+        FrontEndRun co_fe = runFrontEnd(e);
+        const SimResult co = simulateCosim(co_fe.cd);
+        const double co_time = co_sw.seconds();
+
+        // --- OmniSim end-to-end: front end + multi-thread execution ---
+        Stopwatch om_sw;
+        FrontEndRun om_fe = runFrontEnd(e);
+        Stopwatch mt_sw;
+        const SimResult om = simulateOmniSim(om_fe.cd);
+        const double mt_time = mt_sw.seconds();
+        const double om_time = om_sw.seconds();
+
+        std::string acc;
+        if (co.status == SimStatus::Deadlock &&
+            om.status == SimStatus::Deadlock) {
+            acc = "deadlock detected";
+        } else if (co.status == SimStatus::Ok && om.status == SimStatus::Ok) {
+            const double delta =
+                co.totalCycles == 0
+                    ? 0.0
+                    : 100.0 *
+                          (static_cast<double>(om.totalCycles) -
+                           static_cast<double>(co.totalCycles)) /
+                          static_cast<double>(co.totalCycles);
+            acc = strf("%+.2f%%", delta);
+        } else {
+            acc = "status mismatch";
+        }
+
+        const double speedup = co_time / om_time;
+        speedups.push_back(speedup);
+        t.addRow({e.name,
+                  co.status == SimStatus::Ok
+                      ? strf("%llu", static_cast<unsigned long long>(
+                                         co.totalCycles))
+                      : simStatusName(co.status),
+                  om.status == SimStatus::Ok
+                      ? strf("%llu", static_cast<unsigned long long>(
+                                         om.totalCycles))
+                      : simStatusName(om.status),
+                  acc, fmtSeconds(co_time), fmtSeconds(om_time),
+                  fmtSpeedup(speedup), fmtSeconds(om_fe.seconds),
+                  fmtSeconds(mt_time)});
+    }
+    t.print(std::cout);
+    std::cout << "\nGeomean speedup over co-simulation: "
+              << fmtSpeedup(geomean(speedups))
+              << "  (paper: 30.7x geomean, up to 35.9x; see "
+                 "EXPERIMENTS.md for the substitution notes)\n"
+              << "Fig. 8(a) deltas are 0.00% by construction in eager "
+                 "mode — the paper reports <=0.2%.\n"
+              << "Fig. 8(c): front-end compilation (FE) vs core "
+                 "multi-thread execution (MT) columns above.\n";
+    return 0;
+}

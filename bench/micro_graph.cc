@@ -1,0 +1,152 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the §7.3.1 graph-representation
+ * discussion: adjacency-list SimGraph (grow + traverse while building)
+ * vs CSR (bulk build, fast traversal) — plus FIFO-table and TimingModel
+ * hot-path costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/csr.hh"
+#include "graph/longest_path.hh"
+#include "graph/simgraph.hh"
+#include "runtime/fifo_table.hh"
+#include "runtime/timing.hh"
+#include "support/prng.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+std::vector<CsrGraph::EdgeSpec>
+randomDag(std::size_t n, Prng &prng)
+{
+    std::vector<CsrGraph::EdgeSpec> edges;
+    edges.reserve(n * 2);
+    for (std::size_t i = 1; i < n; ++i) {
+        const int fanin = 1 + static_cast<int>(prng.below(2));
+        for (int k = 0; k < fanin; ++k)
+            edges.push_back({prng.below(i), i, prng.below(4)});
+    }
+    return edges;
+}
+
+void
+BM_SimGraphBuildAndPath(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Prng prng(7);
+    const auto edges = randomDag(n, prng);
+    std::vector<Cycles> seed(n, 0);
+    seed[0] = 1;
+    for (auto _ : state) {
+        SimGraph g;
+        g.reserve(n, edges.size());
+        for (std::size_t i = 0; i < n; ++i)
+            g.addNode(NodeInfo{});
+        for (const auto &e : edges)
+            g.addEdge(e.src, e.dst, e.weight);
+        auto pr = longestPath(g, seed);
+        benchmark::DoNotOptimize(pr.time.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_SimGraphBuildAndPath)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_CsrBuildAndPath(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Prng prng(7);
+    const auto edges = randomDag(n, prng);
+    std::vector<Cycles> seed(n, 0);
+    seed[0] = 1;
+    for (auto _ : state) {
+        CsrGraph g(n, edges);
+        auto pr = longestPath(g, seed);
+        benchmark::DoNotOptimize(pr.time.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_CsrBuildAndPath)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_SimGraphPartialTraversal(benchmark::State &state)
+{
+    // The access pattern OmniSim needs: traverse repeatedly while the
+    // graph keeps growing (zero-copy partial traversal).
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Prng prng(9);
+    const auto edges = randomDag(n, prng);
+    for (auto _ : state) {
+        SimGraph g;
+        g.reserve(n, edges.size());
+        std::size_t added_nodes = 0;
+        std::size_t added_edges = 0;
+        std::uint64_t sum = 0;
+        const std::size_t chunk = n / 8;
+        while (added_nodes < n) {
+            const std::size_t upto =
+                std::min(n, added_nodes + chunk);
+            for (; added_nodes < upto; ++added_nodes)
+                g.addNode(NodeInfo{});
+            while (added_edges < edges.size() &&
+                   edges[added_edges].dst < added_nodes) {
+                g.addEdge(edges[added_edges].src,
+                          edges[added_edges].dst,
+                          edges[added_edges].weight);
+                ++added_edges;
+            }
+            // Query pass over the partial graph.
+            for (std::size_t v = 0; v < added_nodes; v += 17)
+                g.forEachOut(v, [&](std::uint64_t d, Cycles w) {
+                    sum += d + w;
+                });
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_SimGraphPartialTraversal)->Arg(1 << 14);
+
+void
+BM_FifoTableCommit(benchmark::State &state)
+{
+    for (auto _ : state) {
+        FifoTable t;
+        for (std::uint32_t i = 0; i < 4096; ++i) {
+            t.commitWrite(i, i + 1, i);
+            t.commitRead(i + 2, i);
+        }
+        benchmark::DoNotOptimize(t.reads());
+    }
+    state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_FifoTableCommit);
+
+void
+BM_TimingModelPipeline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TimingModel tm(0, 1);
+        tm.pipelineBegin(2);
+        for (int i = 0; i < 4096; ++i) {
+            tm.iterBegin();
+            tm.commitOp(tm.earliest(), 1, static_cast<std::uint64_t>(i));
+            tm.commitOp(tm.earliest(), 1,
+                        static_cast<std::uint64_t>(i) | (1ull << 32));
+        }
+        tm.pipelineEnd();
+        benchmark::DoNotOptimize(tm.now());
+    }
+    state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_TimingModelPipeline);
+
+} // namespace
+} // namespace omnisim
+
+BENCHMARK_MAIN();

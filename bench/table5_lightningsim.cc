@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Table 5 of the paper: OmniSim vs LightningSimV2 on the
+ * Type A benchmark suite. Columns mirror the paper: LightningSim total,
+ * OmniSim total split into front-end (FE) and multi-threaded execution
+ * (MT), and the speedup. The shape to reproduce: parity on the small
+ * kernels, clear OmniSim wins on the large dataflow designs (FlowGNN /
+ * INR-Arch / SkyNet analogues) where the multi-threaded architecture
+ * pays off.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace omnisim;
+using namespace omnisim::bench;
+
+namespace
+{
+
+/** Best-of-three wall-clock measurement of a callable. */
+template <typename F>
+double
+bestOfThree(F &&f)
+{
+    double best = 1e100;
+    for (int i = 0; i < 3; ++i) {
+        Stopwatch sw;
+        f();
+        best = std::min(best, sw.seconds());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    std::cout << "Table 5: OmniSim vs LightningSimV2 on the Type A "
+                 "suite\n\n";
+
+    TablePrinter t({"Benchmark", "LSv2 Total", "OmniSim Total", "FE",
+                    "MT", "Speedup", "Cycles equal"});
+    std::vector<double> speedups;
+    for (const auto &e : designs::typeADesigns()) {
+        // LightningSim end-to-end (front end + both phases).
+        Cycles ls_cycles = 0;
+        const double ls_time = bestOfThree([&] {
+            FrontEndRun fe = runFrontEnd(e);
+            const SimResult r = simulateLightningSim(fe.cd);
+            ls_cycles = r.totalCycles;
+        });
+
+        // OmniSim end-to-end, with the FE/MT split of the paper.
+        Cycles om_cycles = 0;
+        double fe_time = 0;
+        double mt_time = 0;
+        const double om_time = bestOfThree([&] {
+            Stopwatch total;
+            FrontEndRun fe = runFrontEnd(e);
+            fe_time = fe.seconds;
+            Stopwatch mt;
+            const SimResult r = simulateOmniSim(fe.cd);
+            mt_time = mt.seconds();
+            om_cycles = r.totalCycles;
+            (void)total;
+        });
+
+        const double speedup = ls_time / om_time;
+        speedups.push_back(speedup);
+        t.addRow({e.name, fmtSeconds(ls_time), fmtSeconds(om_time),
+                  fmtSeconds(fe_time), fmtSeconds(mt_time),
+                  fmtSpeedup(speedup),
+                  ls_cycles == om_cycles ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::cout << "\nGeomean speedup over LightningSimV2: "
+              << fmtSpeedup(geomean(speedups))
+              << "  (paper: 1.26x geomean; up to 6.61x on SkyNet)\n"
+              << "Note: the paper's FE is dominated by clang-compiling "
+                 "LLVM IR (~2 s); this reproduction's DSL front end is "
+                 "microseconds, so totals are smaller across the board "
+                 "while the relative MT behaviour is preserved.\n";
+    return 0;
+}

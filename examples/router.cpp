@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Congestion-aware network router — the Type C use case from the
+ * paper's introduction: "a network router that dynamically changes
+ * output ports depending on congestion" is impossible to validate with
+ * C simulation and classically requires RTL simulation.
+ *
+ * A classifier module routes packets to three output queues with
+ * non-blocking writes, falling back to the next port (and ultimately
+ * dropping) under backpressure. Port servers drain their queues at
+ * different speeds. The routing decision — and therefore the packet
+ * distribution — depends on exact hardware timing.
+ *
+ * Build & run:  ./build/examples/router
+ */
+
+#include <cstdio>
+
+#include "core/omnisim.hh"
+#include "cosim/cosim.hh"
+#include "csim/csim.hh"
+#include "design/context.hh"
+#include "design/frontend.hh"
+#include "support/prng.hh"
+
+using namespace omnisim;
+
+namespace
+{
+
+Design
+buildRouter(std::size_t packets)
+{
+    Design d("router");
+    const MemId traffic = d.addMemory("traffic", packets);
+    const MemId delivered = d.addMemory("delivered", 3);
+    const MemId dropped_out = d.addMemory("dropped", 1);
+    {
+        Prng prng(2026);
+        std::vector<Value> pkts(packets);
+        for (auto &p : pkts)
+            p = prng.range(1, 1'000'000);
+        d.setInput(traffic, pkts);
+    }
+
+    const FifoId port[3] = {
+        d.declareFifo("port0", 4, AccessKind::Mixed),
+        d.declareFifo("port1", 4, AccessKind::Mixed),
+        d.declareFifo("port2", 4, AccessKind::Mixed),
+    };
+
+    const ModuleId classifier = d.addModule(
+        "classifier",
+        [=](Context &ctx) {
+            Value dropped = 0;
+            for (std::size_t i = 0; i < packets; ++i) {
+                const Value pkt = ctx.load(traffic, i);
+                // Preferred port from the header; spill to the next
+                // port under congestion; drop when everything is full.
+                const int pref = static_cast<int>(pkt % 3);
+                bool sent = false;
+                for (int k = 0; k < 3 && !sent; ++k)
+                    sent = ctx.writeNb(port[(pref + k) % 3], pkt);
+                if (!sent)
+                    ++dropped;
+            }
+            for (const FifoId p : port)
+                ctx.write(p, -1); // end-of-stream
+            ctx.store(dropped_out, 0, dropped);
+        },
+        {.hasInfiniteLoop = false, .behaviorVariesOnNb = true});
+
+    ModuleId servers[3];
+    const Cycles service_time[3] = {1, 3, 6}; // fast / medium / slow
+    for (int p = 0; p < 3; ++p) {
+        const FifoId in_f = port[p];
+        const Cycles lat = service_time[p];
+        servers[p] = d.addModule(strf("server%d", p), [=](Context &ctx) {
+            Value count = 0;
+            for (;;) {
+                const Value pkt = ctx.read(in_f);
+                if (pkt < 0)
+                    break;
+                ctx.advance(lat);
+                ++count;
+            }
+            ctx.store(delivered, static_cast<std::uint64_t>(p), count);
+        });
+    }
+    for (int p = 0; p < 3; ++p)
+        d.connectFifo(port[p], classifier, servers[p]);
+    return d;
+}
+
+void
+report(const char *engine, const SimResult &r)
+{
+    if (!r.ok()) {
+        std::printf("%-8s: %s\n", engine, simStatusName(r.status));
+        return;
+    }
+    const auto &del = r.memories.at("delivered");
+    std::printf("%-8s: port0=%lld port1=%lld port2=%lld dropped=%lld"
+                "%s%s\n",
+                engine, static_cast<long long>(del[0]),
+                static_cast<long long>(del[1]),
+                static_cast<long long>(del[2]),
+                static_cast<long long>(r.scalar("dropped")),
+                r.totalCycles ? strf("  (total %llu cycles)",
+                                     static_cast<unsigned long long>(
+                                         r.totalCycles))
+                                    .c_str()
+                              : "",
+                "");
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t packets = 5000;
+    Design d = buildRouter(packets);
+    const CompiledDesign cd = compile(d);
+
+    std::printf("Routing %zu packets across 3 ports with NB fallback\n\n",
+                packets);
+    report("C-sim", simulateCSim(cd)); // everything lands on the
+                                       // preferred port: no congestion
+                                       // exists at C level
+    CosimOptions co;
+    co.modelRtlCost = false;
+    report("Co-sim", simulateCosim(cd, co));
+    report("OmniSim", simulateOmniSim(cd));
+
+    std::printf("\nUnder real hardware timing the slow ports congest and "
+                "traffic spills over —\nexactly the behaviour C "
+                "simulation cannot express (Sec. 1 of the paper).\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Real-time video pipeline with frame dropping — the paper's §2.2.1
+ * non-blocking motivation: "a real-time video processor must handle
+ * frames as they arrive; a non-blocking pipeline allows frames to be
+ * dropped under heavy load, avoiding backpressure".
+ *
+ * A camera produces a frame every `framePeriod` cycles; the encoder
+ * takes a data-dependent number of cycles per frame. Frames that
+ * arrive while the ingest FIFO is full are dropped. The question a
+ * designer actually asks — "how many frames do I drop at this FIFO
+ * depth?" — is answered here by OmniSim in milliseconds.
+ *
+ * Build & run:  ./build/examples/video_pipeline
+ */
+
+#include <cstdio>
+
+#include "core/omnisim.hh"
+#include "design/context.hh"
+#include "design/frontend.hh"
+#include "support/prng.hh"
+
+using namespace omnisim;
+
+namespace
+{
+
+Design
+buildPipeline(std::size_t frames, std::uint32_t fifo_depth)
+{
+    Design d("video_pipeline");
+    const MemId complexity = d.addMemory("complexity", frames);
+    const MemId stats = d.addMemory("stats", 3); // encoded, dropped, bits
+    {
+        Prng prng(42);
+        std::vector<Value> cx(frames);
+        for (std::size_t i = 0; i < frames; ++i) {
+            // Scene cuts every ~50 frames triple the encode cost.
+            cx[i] = (i % 50 < 3) ? prng.range(18, 26) : prng.range(5, 9);
+        }
+        d.setInput(complexity, cx);
+    }
+
+    const FifoId ingest = d.declareFifo("ingest", fifo_depth,
+                                        AccessKind::NonBlocking,
+                                        AccessKind::Blocking);
+
+    constexpr Cycles frame_period = 10;
+
+    const ModuleId camera = d.addModule(
+        "camera",
+        [=](Context &ctx) {
+            Value dropped = 0;
+            for (std::size_t f = 0; f < frames; ++f) {
+                if (!ctx.writeNb(ingest, ctx.load(complexity, f)))
+                    ++dropped; // frame lost: encoder too far behind
+                ctx.advance(frame_period - 1);
+            }
+            ctx.write(ingest, -1); // end of stream
+            ctx.store(stats, 1, dropped);
+        },
+        {.hasInfiniteLoop = false, .behaviorVariesOnNb = true});
+
+    const ModuleId encoder = d.addModule("encoder", [=](Context &ctx) {
+        Value encoded = 0;
+        Value bits = 0;
+        for (;;) {
+            const Value cx = ctx.read(ingest);
+            if (cx < 0)
+                break;
+            ctx.advance(static_cast<Cycles>(cx)); // encode latency
+            ++encoded;
+            bits += cx * 100;
+        }
+        ctx.store(stats, 0, encoded);
+        ctx.store(stats, 2, bits);
+    });
+
+    d.connectFifo(ingest, camera, encoder);
+    return d;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t frames = 3000;
+    std::printf("Camera at 1 frame / 10 cycles; encoder cost 5-26 "
+                "cycles/frame (scene cuts are expensive).\n");
+    std::printf("%-11s %-9s %-9s %-11s %s\n", "FIFO depth", "encoded",
+                "dropped", "drop rate", "pipeline cycles");
+
+    for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        Design d = buildPipeline(frames, depth);
+        const CompiledDesign cd = compile(d);
+        const SimResult r = simulateOmniSim(cd);
+        if (!r.ok()) {
+            std::printf("%-11u %s\n", depth, simStatusName(r.status));
+            continue;
+        }
+        const auto &s = r.memories.at("stats");
+        std::printf("%-11u %-9lld %-9lld %-10.2f%% %llu\n", depth,
+                    static_cast<long long>(s[0]),
+                    static_cast<long long>(s[1]),
+                    100.0 * static_cast<double>(s[1]) / frames,
+                    static_cast<unsigned long long>(r.totalCycles));
+    }
+
+    std::printf("\nA deeper ingest FIFO rides out scene-cut bursts: the "
+                "designer reads off the\nsmallest depth with an "
+                "acceptable drop rate. C simulation would report zero\n"
+                "drops at every depth (infinite streams).\n");
+    return 0;
+}

@@ -1,0 +1,1199 @@
+#include "core/omnisim.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "design/context.hh"
+#include "graph/csr.hh"
+#include "graph/longest_path.hh"
+#include "graph/war.hh"
+#include "runtime/axi.hh"
+#include "runtime/memory.hh"
+#include "runtime/timing.hh"
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+namespace
+{
+
+/** Raised inside context calls to unwind a Func Sim thread. */
+struct AbortSim
+{};
+
+/** Shared per-FIFO state: commit table + the blocking fast path. */
+struct FifoShared
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    FifoTable table;
+    std::uint32_t depth = 2;
+    bool readerWaiting = false;
+    bool writerWaiting = false;
+
+    /** Commit counters mirrored outside the lock so that a peer can
+     *  spin briefly (lock-free) before paying for a tracked pause. */
+    std::atomic<std::uint32_t> writesSeen{0};
+    std::atomic<std::uint32_t> readsSeen{0};
+};
+
+/** Bounded lock-free spin: wait for cond() a few microseconds before
+ *  falling back to a tracked pause. SPSC streams ping-pong at buffer
+ *  boundaries; spinning absorbs the common case where the peer commits
+ *  within nanoseconds, which is what lets Type A designs run at full
+ *  multi-threaded speed (Table 5). */
+template <typename Cond>
+bool
+spinFor(Cond &&cond)
+{
+    for (int spin = 0; spin < 1024; ++spin) {
+        if (cond())
+            return true;
+        if ((spin & 63) == 63)
+            std::this_thread::yield();
+    }
+    return false;
+}
+
+/** One outstanding cycle-dependent query (pool entry, Fig. 7 (E)). */
+struct PendingQuery
+{
+    ModuleId mod = invalidId;
+    FifoId fifo = invalidId;
+    EventKind kind = EventKind::FifoNbWrite;
+    std::uint32_t index = 0; ///< The w/r of Table 2.
+    Cycles at = 0;           ///< Hardware cycle of the attempt.
+    std::uint64_t node = 0;  ///< Graph node of the attempt.
+    Value writeValue = 0;    ///< Payload committed if an NB write succeeds.
+
+    // Resolution results, written by the Perf Sim thread.
+    bool resolved = false;
+    bool answer = false; ///< Target event happened strictly before `at`.
+    Value readValue = 0;
+    std::uint64_t depNode = 0;
+    bool hasDep = false;
+};
+
+/** Global orchestration state (task tracker + query pool). */
+struct GlobalShared
+{
+    std::mutex mu;
+    std::condition_variable perfCv; ///< Wakes the Perf Sim thread.
+    std::condition_variable funcCv; ///< Wakes query-paused Func threads.
+
+    std::int64_t running = 0; ///< Task tracker (F): runnable Func threads.
+    std::size_t live = 0;     ///< Func threads that have not returned.
+
+    /** Query pool (E). shared_ptr: an aborting Func thread may unwind
+     *  while the Perf thread still inspects its query. */
+    std::vector<std::shared_ptr<PendingQuery>> pool;
+    bool poolDirty = false;
+
+    /** Counts query insertions (guarded by mu). Together with the sum
+     *  of the per-FIFO commit mirrors this versions the engine state:
+     *  the Perf thread may apply the earliest-query-false rule only
+     *  when neither has changed since its resolution pass — a query or
+     *  commit that raced in behind the snapshot could make a pool entry
+     *  resolvable, and forcing it false would be unsound. */
+    std::uint64_t poolInsertions = 0;
+
+    std::atomic<bool> abort{false};
+    bool crashed = false;
+    bool timedOut = false;
+    bool deadlock = false;
+    Cycles deadlockCycle = 0;
+    std::string crashMessage;
+
+    std::atomic<std::uint64_t> nextNode{0};
+
+    // Statistics.
+    std::uint64_t queries = 0;
+    std::uint64_t forcedFalse = 0;
+    std::uint64_t pauses = 0;
+};
+
+/** Node created by a Func thread, merged into the graph at finalization. */
+struct NodeRec
+{
+    std::uint64_t id = 0;
+    NodeInfo info;
+};
+
+/** Per-thread collection buffers (merged after join — no contention). */
+struct ThreadData
+{
+    std::vector<NodeRec> nodes;
+    /** Node-id block allocation (amortizes the shared counter). */
+    std::uint64_t nodeNext = 0;
+    std::uint64_t nodeEnd = 0;
+    std::vector<CsrGraph::EdgeSpec> edges;
+    std::vector<QueryRecord> constraints;
+    std::uint64_t entryNode = 0;
+    std::uint64_t tailNode = 0;
+    Cycles tailSlack = 0;
+    Cycles finalNow = 0;
+    std::uint64_t events = 0;
+    std::uint64_t skipped = 0;
+};
+
+} // namespace
+
+/** Everything run() produces that resimulate() later needs. */
+struct OmniSim::RunData
+{
+    std::vector<NodeInfo> nodes;
+    std::vector<Cycles> seed;
+    std::vector<CsrGraph::EdgeSpec> edges;
+    std::vector<FifoTable> tables;
+    std::vector<std::uint32_t> depthsUsed;
+    std::vector<QueryRecord> constraints;
+    std::vector<std::uint64_t> tailNode;
+    std::vector<Cycles> tailSlack;
+    SimResult result;
+    bool valid = false;
+};
+
+namespace
+{
+
+/**
+ * The OmniSim Func Sim context: free-running trace execution with
+ * per-FIFO fast paths and query-pool pauses.
+ */
+class OmniContext : public Context
+{
+  public:
+    OmniContext(const Design &design, MemoryPool &pool, GlobalShared &gs,
+                std::vector<FifoShared> &fifos, ModuleId mod,
+                ThreadData &td, const OmniSimOptions &opts, bool lazy)
+        : design_(design), pool_(pool), gs_(gs), fifos_(fifos), mod_(mod),
+          td_(td), opts_(opts), lazyWrites_(lazy),
+          timing_(makeEntry(), 1)
+    {}
+
+    TimingModel &timing() { return timing_; }
+
+    // ---- Blocking FIFO fast path ------------------------------------
+
+    Value
+    read(FifoId f) override
+    {
+        bump();
+        FifoShared &fs = fifos_[f];
+        std::unique_lock<std::mutex> flk(fs.mu);
+        const std::uint32_t r = fs.table.reads() + 1;
+        if (fs.table.writes() < r) {
+            flk.unlock();
+            spinFor([&] {
+                return fs.writesSeen.load(std::memory_order_acquire) >= r;
+            });
+            flk.lock();
+            if (fs.table.writes() < r) {
+                pauseOnFifo(flk, fs, true,
+                            [&] { return fs.table.writes() >= r; });
+            }
+        }
+        const Cycles at =
+            std::max(timing_.earliest(), fs.table.writeCycleOf(r) + 1);
+        const std::uint64_t node = newNode(EventKind::FifoRead, f, r, 1);
+        td_.edges.push_back({fs.table.writeNodeOf(r), node, 1});
+        const Value v = fs.table.commitRead(at, node);
+        fs.readsSeen.store(fs.table.reads(), std::memory_order_release);
+        wakeWriter(fs);
+        flk.unlock();
+        recordStructural(timing_.commitOp(at, 1, node), node);
+        return v;
+    }
+
+    void
+    write(FifoId f, Value v) override
+    {
+        bump();
+        FifoShared &fs = fifos_[f];
+        std::unique_lock<std::mutex> flk(fs.mu);
+        const std::uint32_t w = fs.table.writes() + 1;
+        Cycles at;
+        if (w <= fs.depth || lazyWrites_) {
+            // Space available — or the paper's "threads with only
+            // blocking writes never pause" optimization (§6.2), which
+            // assumes infinite depth and lets finalization repair timing.
+            at = timing_.earliest();
+        } else {
+            if (fs.table.reads() < w - fs.depth) {
+                flk.unlock();
+                spinFor([&] {
+                    return fs.readsSeen.load(std::memory_order_acquire) >=
+                           w - fs.depth;
+                });
+                flk.lock();
+                if (fs.table.reads() < w - fs.depth) {
+                    pauseOnFifo(flk, fs, false, [&] {
+                        return fs.table.reads() >= w - fs.depth;
+                    });
+                }
+            }
+            at = std::max(timing_.earliest(),
+                          fs.table.readCycleOf(w - fs.depth) + 1);
+        }
+        const std::uint64_t node = newNode(EventKind::FifoWrite, f, w, 1);
+        fs.table.commitWrite(v, at, node);
+        fs.writesSeen.store(fs.table.writes(), std::memory_order_release);
+        wakeReader(fs);
+        flk.unlock();
+        recordStructural(timing_.commitOp(at, 1, node), node);
+    }
+
+    // ---- Non-blocking accesses (cycle-dependent queries) ------------
+
+    bool
+    readNb(FifoId f, Value &out) override
+    {
+        bump();
+        FifoShared &fs = fifos_[f];
+        std::unique_lock<std::mutex> flk(fs.mu);
+        const std::uint32_t r = fs.table.reads() + 1;
+        const Cycles at = timing_.earliest();
+        const std::uint64_t node = newNode(EventKind::FifoNbRead, f, r, 1);
+
+        bool answer = false;
+        Value v = 0;
+        if (fs.table.writes() >= r) {
+            // Target already committed: decidable in place.
+            answer = fs.table.writeCycleOf(r) < at;
+            if (answer) {
+                td_.edges.push_back({fs.table.writeNodeOf(r), node, 1});
+                v = fs.table.commitRead(at, node);
+                fs.readsSeen.store(fs.table.reads(),
+                                   std::memory_order_release);
+                wakeWriter(fs);
+            }
+            flk.unlock();
+        } else {
+            flk.unlock();
+            auto q = std::make_shared<PendingQuery>();
+            q->mod = mod_;
+            q->fifo = f;
+            q->kind = EventKind::FifoNbRead;
+            q->index = r;
+            q->at = at;
+            q->node = node;
+            answer = waitQuery(q);
+            if (q->hasDep)
+                td_.edges.push_back({q->depNode, node, 1});
+            v = q->readValue;
+        }
+
+        td_.constraints.push_back(
+            {f, EventKind::FifoNbRead, r, node, answer});
+        recordStructural(timing_.commitOp(at, 1, node), node);
+        if (answer)
+            out = v;
+        return answer;
+    }
+
+    bool
+    writeNb(FifoId f, Value v) override
+    {
+        bump();
+        FifoShared &fs = fifos_[f];
+        std::unique_lock<std::mutex> flk(fs.mu);
+        const std::uint32_t w = fs.table.writes() + 1;
+        const Cycles at = timing_.earliest();
+        const std::uint64_t node = newNode(EventKind::FifoNbWrite, f, w, 1);
+
+        bool answer = false;
+        if (w <= fs.depth) {
+            answer = true; // Table 2 row 1: w <= S always succeeds.
+            fs.table.commitWrite(v, at, node);
+            fs.writesSeen.store(fs.table.writes(),
+                                std::memory_order_release);
+            wakeReader(fs);
+            flk.unlock();
+        } else if (fs.table.reads() >= w - fs.depth) {
+            answer = fs.table.readCycleOf(w - fs.depth) < at;
+            if (answer) {
+                fs.table.commitWrite(v, at, node);
+                fs.writesSeen.store(fs.table.writes(),
+                                    std::memory_order_release);
+                wakeReader(fs);
+            }
+            flk.unlock();
+        } else {
+            flk.unlock();
+            auto q = std::make_shared<PendingQuery>();
+            q->mod = mod_;
+            q->fifo = f;
+            q->kind = EventKind::FifoNbWrite;
+            q->index = w;
+            q->at = at;
+            q->node = node;
+            q->writeValue = v;
+            answer = waitQuery(q);
+        }
+
+        td_.constraints.push_back(
+            {f, EventKind::FifoNbWrite, w, node, answer});
+        recordStructural(timing_.commitOp(at, 1, node), node);
+        return answer;
+    }
+
+    bool
+    empty(FifoId f) override
+    {
+        bump();
+        FifoShared &fs = fifos_[f];
+        std::unique_lock<std::mutex> flk(fs.mu);
+        const std::uint32_t next = fs.table.reads() + 1;
+        const Cycles at = timing_.earliest();
+        const std::uint64_t node =
+            newNode(EventKind::FifoCanRead, f, next, 0);
+
+        bool answer; // "the next-th write happened strictly before at"
+        if (fs.table.writes() >= next) {
+            answer = fs.table.writeCycleOf(next) < at;
+            flk.unlock();
+        } else {
+            flk.unlock();
+            auto q = std::make_shared<PendingQuery>();
+            q->mod = mod_;
+            q->fifo = f;
+            q->kind = EventKind::FifoCanRead;
+            q->index = next;
+            q->at = at;
+            q->node = node;
+            answer = waitQuery(q);
+        }
+
+        td_.constraints.push_back(
+            {f, EventKind::FifoCanRead, next, node, answer});
+        recordStructural(timing_.commitOp(at, 0, node), node);
+        return !answer;
+    }
+
+    bool
+    full(FifoId f) override
+    {
+        bump();
+        FifoShared &fs = fifos_[f];
+        std::unique_lock<std::mutex> flk(fs.mu);
+        const std::uint32_t next = fs.table.writes() + 1;
+        const Cycles at = timing_.earliest();
+        const std::uint64_t node =
+            newNode(EventKind::FifoCanWrite, f, next, 0);
+
+        bool answer;
+        if (next <= fs.depth) {
+            answer = true;
+            flk.unlock();
+        } else if (fs.table.reads() >= next - fs.depth) {
+            answer = fs.table.readCycleOf(next - fs.depth) < at;
+            flk.unlock();
+        } else {
+            flk.unlock();
+            auto q = std::make_shared<PendingQuery>();
+            q->mod = mod_;
+            q->fifo = f;
+            q->kind = EventKind::FifoCanWrite;
+            q->index = next;
+            q->at = at;
+            q->node = node;
+            answer = waitQuery(q);
+        }
+
+        td_.constraints.push_back(
+            {f, EventKind::FifoCanWrite, next, node, answer});
+        recordStructural(timing_.commitOp(at, 0, node), node);
+        return !answer;
+    }
+
+    void
+    emptyUnused(FifoId f) override
+    {
+        if (opts_.elideUnusedChecks) {
+            ++td_.skipped; // §7.3.2: replaced by a skippable marker.
+            return;
+        }
+        (void)empty(f);
+    }
+
+    void
+    fullUnused(FifoId f) override
+    {
+        if (opts_.elideUnusedChecks) {
+            ++td_.skipped;
+            return;
+        }
+        (void)full(f);
+    }
+
+    // ---- Memory and AXI ---------------------------------------------
+
+    Value
+    load(MemId m, std::uint64_t idx) override
+    {
+        bump();
+        return pool_.load(m, idx);
+    }
+
+    void
+    store(MemId m, std::uint64_t idx, Value v) override
+    {
+        bump();
+        pool_.store(m, idx, v);
+    }
+
+    void
+    axiReadReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        bump();
+        const std::uint64_t node = newNode(EventKind::AxiReadReq, a, 0, 1);
+        const Cycles at = timing_.earliest();
+        recordStructural(timing_.commitOp(at, 1, node), node);
+        axiState(a).pushReadReq(addr, len, at, node);
+    }
+
+    Value
+    axiRead(AxiId a) override
+    {
+        bump();
+        std::uint64_t addr = 0;
+        const AxiPortState::Dep dep = axiState(a).popReadBeat(addr);
+        const std::uint64_t node = newNode(EventKind::AxiRead, a, 0, 1);
+        td_.edges.push_back({dep.tag, node, dep.weight});
+        const Cycles at =
+            std::max(timing_.earliest(), dep.time + dep.weight);
+        recordStructural(timing_.commitOp(at, 1, node), node);
+        return pool_.load(design_.axiPorts()[a].backing, addr);
+    }
+
+    void
+    axiWriteReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        bump();
+        const std::uint64_t node =
+            newNode(EventKind::AxiWriteReq, a, 0, 1);
+        const Cycles at = timing_.earliest();
+        recordStructural(timing_.commitOp(at, 1, node), node);
+        axiState(a).pushWriteReq(addr, len, at, node);
+    }
+
+    void
+    axiWrite(AxiId a, Value v) override
+    {
+        bump();
+        std::uint64_t addr = 0;
+        const AxiPortState::Dep dep = axiState(a).popWriteBeat(addr);
+        const std::uint64_t node = newNode(EventKind::AxiWrite, a, 0, 1);
+        td_.edges.push_back({dep.tag, node, dep.weight});
+        const Cycles at =
+            std::max(timing_.earliest(), dep.time + dep.weight);
+        recordStructural(timing_.commitOp(at, 1, node), node);
+        pool_.store(design_.axiPorts()[a].backing, addr, v);
+        lastWriteBeatTime_ = at;
+        lastWriteBeatNode_ = node;
+    }
+
+    void
+    axiWriteResp(AxiId a) override
+    {
+        bump();
+        const AxiPortState::Dep dep =
+            axiState(a).popWriteResp(lastWriteBeatTime_,
+                                     lastWriteBeatNode_);
+        const std::uint64_t node =
+            newNode(EventKind::AxiWriteResp, a, 0, 1);
+        td_.edges.push_back({dep.tag, node, dep.weight});
+        const Cycles at =
+            std::max(timing_.earliest(), dep.time + dep.weight);
+        recordStructural(timing_.commitOp(at, 1, node), node);
+    }
+
+    // ---- Timing -------------------------------------------------------
+
+    void advance(Cycles n) override { timing_.advance(n); }
+    Cycles now() const override { return timing_.now(); }
+    void pipelineBegin(std::uint32_t ii) override
+    {
+        timing_.pipelineBegin(ii);
+    }
+    void iterBegin() override { timing_.iterBegin(); }
+    void pipelineEnd() override { timing_.pipelineEnd(); }
+
+  private:
+    std::uint64_t
+    allocNodeId()
+    {
+        if (td_.nodeNext == td_.nodeEnd) {
+            constexpr std::uint64_t blockSize = 4096;
+            td_.nodeNext = gs_.nextNode.fetch_add(blockSize);
+            td_.nodeEnd = td_.nodeNext + blockSize;
+        }
+        return td_.nodeNext++;
+    }
+
+    std::uint64_t
+    makeEntry()
+    {
+        const std::uint64_t id = allocNodeId();
+        td_.nodes.push_back(
+            {id, NodeInfo{EventKind::StartTask, mod_, invalidId, 0, 0}});
+        td_.entryNode = id;
+        return id;
+    }
+
+    std::uint64_t
+    newNode(EventKind kind, std::int32_t channel, std::uint32_t index,
+            Cycles dur)
+    {
+        const std::uint64_t id = allocNodeId();
+        td_.nodes.push_back({id, NodeInfo{kind, mod_, channel, index, dur}});
+        return id;
+    }
+
+    void
+    recordStructural(const std::vector<TimingModel::Constraint> &cs,
+                     std::uint64_t node)
+    {
+        for (const auto &c : cs)
+            td_.edges.push_back({c.tag, node, c.weight});
+    }
+
+    void
+    bump()
+    {
+        if (gs_.abort.load(std::memory_order_relaxed))
+            throw AbortSim{};
+        if (++td_.events > opts_.opLimit) {
+            std::lock_guard<std::mutex> g(gs_.mu);
+            if (!gs_.timedOut && !gs_.crashed) {
+                gs_.timedOut = true;
+                gs_.crashMessage = strf(
+                    "module '%s' exceeded the op watchdog limit",
+                    design_.modules()[mod_].name.c_str());
+            }
+            gs_.abort.store(true);
+            gs_.perfCv.notify_all();
+            gs_.funcCv.notify_all();
+            throw AbortSim{};
+        }
+    }
+
+    /**
+     * Pause this thread on a FIFO condition. The caller holds fs.mu and
+     * has already seen the predicate false. The waker clears the waiting
+     * flag and re-increments the task tracker before notifying, so the
+     * tracker can never transiently read zero while a wake is in flight.
+     */
+    template <typename Pred>
+    void
+    pauseOnFifo(std::unique_lock<std::mutex> &flk, FifoShared &fs,
+                bool reader, Pred pred)
+    {
+        if (reader)
+            fs.readerWaiting = true;
+        else
+            fs.writerWaiting = true;
+        {
+            std::lock_guard<std::mutex> g(gs_.mu);
+            --gs_.running;
+            ++gs_.pauses;
+            if (gs_.running == 0)
+                gs_.perfCv.notify_all();
+        }
+        fs.cv.wait(flk, [&] {
+            return gs_.abort.load(std::memory_order_relaxed) || pred();
+        });
+        if (gs_.abort.load(std::memory_order_relaxed))
+            throw AbortSim{};
+    }
+
+    /** Enqueue a query, pause, and return its resolved answer. */
+    bool
+    waitQuery(const std::shared_ptr<PendingQuery> &q)
+    {
+        std::unique_lock<std::mutex> g(gs_.mu);
+        gs_.pool.push_back(q);
+        gs_.poolDirty = true;
+        ++gs_.poolInsertions;
+        ++gs_.queries;
+        --gs_.running;
+        ++gs_.pauses;
+        gs_.perfCv.notify_all();
+        gs_.funcCv.wait(g, [&] {
+            return gs_.abort.load(std::memory_order_relaxed) ||
+                   q->resolved;
+        });
+        if (!q->resolved)
+            throw AbortSim{};
+        return q->answer;
+    }
+
+    void
+    wakeReader(FifoShared &fs)
+    {
+        if (fs.readerWaiting) {
+            fs.readerWaiting = false;
+            {
+                std::lock_guard<std::mutex> g(gs_.mu);
+                ++gs_.running;
+            }
+            fs.cv.notify_all();
+        }
+    }
+
+    void
+    wakeWriter(FifoShared &fs)
+    {
+        if (fs.writerWaiting) {
+            fs.writerWaiting = false;
+            {
+                std::lock_guard<std::mutex> g(gs_.mu);
+                ++gs_.running;
+            }
+            fs.cv.notify_all();
+        }
+    }
+
+    AxiPortState &
+    axiState(AxiId a)
+    {
+        auto it = axi_.find(a);
+        if (it == axi_.end()) {
+            it = axi_.emplace(a,
+                AxiPortState(design_.axiPorts()[a].config)).first;
+        }
+        return it->second;
+    }
+
+    const Design &design_;
+    MemoryPool &pool_;
+    GlobalShared &gs_;
+    std::vector<FifoShared> &fifos_;
+    ModuleId mod_;
+    ThreadData &td_;
+    const OmniSimOptions &opts_;
+    bool lazyWrites_;
+    TimingModel timing_;
+    std::map<AxiId, AxiPortState> axi_;
+    Cycles lastWriteBeatTime_ = 0;
+    std::uint64_t lastWriteBeatNode_ = 0;
+};
+
+/**
+ * The Perf Sim thread: resolves queries against the FIFO tables per
+ * Table 2, applies the earliest-query-false rule, detects deadlocks.
+ */
+class PerfSim
+{
+  public:
+    PerfSim(GlobalShared &gs, std::vector<FifoShared> &fifos)
+        : gs_(gs), fifos_(fifos)
+    {}
+
+    void
+    operator()()
+    {
+        std::unique_lock<std::mutex> g(gs_.mu);
+        for (;;) {
+            gs_.perfCv.wait(g, [&] {
+                return gs_.abort.load() || gs_.live == 0 ||
+                       gs_.poolDirty || (gs_.running == 0 && gs_.live > 0);
+            });
+            if (gs_.abort.load() || gs_.live == 0)
+                return;
+            gs_.poolDirty = false;
+
+            // Resolution pass over a pool snapshot. Table state is read
+            // under per-FIFO locks, so the global lock is dropped.
+            std::vector<std::shared_ptr<PendingQuery>> snapshot = gs_.pool;
+            const std::uint64_t insertions0 = gs_.poolInsertions;
+            g.unlock();
+            const std::uint64_t commits0 = commitSum();
+            std::vector<std::shared_ptr<PendingQuery>> done;
+            for (const auto &q : snapshot) {
+                if (tryResolve(*q))
+                    done.push_back(q);
+            }
+            g.lock();
+
+            if (!done.empty()) {
+                for (const auto &q : done) {
+                    std::erase(gs_.pool, q);
+                    q->resolved = true;
+                    ++gs_.running;
+                }
+                gs_.funcCv.notify_all();
+                continue;
+            }
+
+            if (gs_.running == 0 && gs_.live > 0) {
+                if (gs_.poolInsertions != insertions0 ||
+                    commitSum() != commits0) {
+                    // A query or commit raced in behind the resolution
+                    // snapshot; some pool entry may now be resolvable.
+                    // Re-run the pass before forcing anything false.
+                    gs_.poolDirty = true;
+                    continue;
+                }
+                if (!gs_.pool.empty()) {
+                    // §7.1: every thread has progressed to at least the
+                    // earliest query's cycle, so its target must lie in
+                    // the future — resolve it false.
+                    auto q = *std::min_element(
+                        gs_.pool.begin(), gs_.pool.end(),
+                        [](const std::shared_ptr<PendingQuery> &a,
+                           const std::shared_ptr<PendingQuery> &b) {
+                            if (a->at != b->at)
+                                return a->at < b->at;
+                            return a->mod < b->mod;
+                        });
+                    std::erase(gs_.pool, q);
+                    q->answer = false;
+                    q->resolved = true;
+                    ++gs_.running;
+                    ++gs_.forcedFalse;
+                    gs_.funcCv.notify_all();
+                } else {
+                    // All threads blocked, nothing pending: deadlock.
+                    gs_.deadlock = true;
+                    gs_.deadlockCycle = maxCommittedCycle();
+                    gs_.abort.store(true);
+                    gs_.funcCv.notify_all();
+                    wakeAllFifos();
+                    return;
+                }
+            }
+        }
+    }
+
+  private:
+    bool
+    tryResolve(PendingQuery &q)
+    {
+        FifoShared &fs = fifos_[q.fifo];
+        std::lock_guard<std::mutex> flk(fs.mu);
+        switch (q.kind) {
+          case EventKind::FifoNbRead:
+          case EventKind::FifoCanRead:
+            if (fs.table.writes() < q.index)
+                return false;
+            q.answer = fs.table.writeCycleOf(q.index) < q.at;
+            if (q.answer && q.kind == EventKind::FifoNbRead) {
+                q.depNode = fs.table.writeNodeOf(q.index);
+                q.hasDep = true;
+                q.readValue = fs.table.commitRead(q.at, q.node);
+                fs.readsSeen.store(fs.table.reads(),
+                                   std::memory_order_release);
+                wakeWaiter(fs, fs.writerWaiting);
+            }
+            return true;
+
+          case EventKind::FifoNbWrite:
+          case EventKind::FifoCanWrite:
+            if (q.index <= fs.depth) {
+                q.answer = true;
+            } else if (fs.table.reads() >= q.index - fs.depth) {
+                q.answer = fs.table.readCycleOf(q.index - fs.depth) < q.at;
+            } else {
+                return false;
+            }
+            if (q.answer && q.kind == EventKind::FifoNbWrite) {
+                fs.table.commitWrite(q.writeValue, q.at, q.node);
+                fs.writesSeen.store(fs.table.writes(),
+                                    std::memory_order_release);
+                wakeWaiter(fs, fs.readerWaiting);
+            }
+            return true;
+
+          default:
+            omnisim_panic("non-query kind %s in query pool",
+                          eventKindName(q.kind));
+        }
+    }
+
+    /** Wake a blocking-paused peer after a query-driven commit. */
+    void
+    wakeWaiter(FifoShared &fs, bool &flag)
+    {
+        if (flag) {
+            flag = false;
+            {
+                std::lock_guard<std::mutex> g(gs_.mu);
+                ++gs_.running;
+            }
+            fs.cv.notify_all();
+        }
+    }
+
+    /** Sum of all per-FIFO commit mirrors: the commit half of the
+     *  engine state version. */
+    std::uint64_t
+    commitSum() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &fs : fifos_) {
+            sum += fs.writesSeen.load(std::memory_order_acquire);
+            sum += fs.readsSeen.load(std::memory_order_acquire);
+        }
+        return sum;
+    }
+
+    Cycles
+    maxCommittedCycle()
+    {
+        Cycles mx = 0;
+        for (auto &fs : fifos_) {
+            std::lock_guard<std::mutex> flk(fs.mu);
+            const FifoTable &t = fs.table;
+            if (t.writes() > 0)
+                mx = std::max(mx, t.writeCycleOf(t.writes()));
+            if (t.reads() > 0)
+                mx = std::max(mx, t.readCycleOf(t.reads()));
+        }
+        return mx;
+    }
+
+    void
+    wakeAllFifos()
+    {
+        for (auto &fs : fifos_) {
+            std::lock_guard<std::mutex> flk(fs.mu);
+            fs.cv.notify_all();
+        }
+    }
+
+    GlobalShared &gs_;
+    std::vector<FifoShared> &fifos_;
+};
+
+} // namespace
+
+OmniSim::OmniSim(const CompiledDesign &cd, OmniSimOptions opts)
+    : cd_(cd), opts_(opts)
+{}
+
+OmniSim::~OmniSim() = default;
+
+SimResult
+OmniSim::run()
+{
+    const Design &design = cd_.d();
+    const std::size_t nmods = design.modules().size();
+    const std::size_t nfifos = design.fifos().size();
+
+    GlobalShared gs;
+    gs.running = static_cast<std::int64_t>(nmods);
+    gs.live = nmods;
+
+    std::vector<FifoShared> fifos(nfifos);
+    std::vector<std::uint32_t> depths(nfifos);
+    for (std::size_t f = 0; f < nfifos; ++f) {
+        fifos[f].depth = design.fifos()[f].depth;
+        depths[f] = design.fifos()[f].depth;
+    }
+
+    // Write-stall policy. Type A designs have no cycle-dependent
+    // queries, so every writer may free-run under the infinite-depth
+    // assumption (finalization recomputes exact times through the
+    // synthesized WAR edges) — this is what lets the multi-threaded
+    // engine beat the single-threaded baseline (Table 5). For designs
+    // with queries, stalls stay eager so query resolution sees exact
+    // cycles; the lazy option additionally frees the paper's T4 threads
+    // (no FIFO reads, only blocking writes) as an ablation.
+    const bool pure_type_a = cd_.classification.type == DesignType::A;
+    std::vector<bool> lazy(nmods, pure_type_a);
+    if (!opts_.eagerWriteStall && !pure_type_a) {
+        std::vector<bool> reads_any(nmods, false);
+        std::vector<bool> writes_nb(nmods, false);
+        for (const auto &f : design.fifos()) {
+            reads_any[f.reader] = true;
+            if (f.writeKind != AccessKind::Blocking)
+                writes_nb[f.writer] = true;
+        }
+        for (std::size_t m = 0; m < nmods; ++m)
+            lazy[m] = !reads_any[m] && !writes_nb[m];
+    }
+    const bool any_lazy =
+        std::any_of(lazy.begin(), lazy.end(), [](bool b) { return b; });
+
+    MemoryPool pool = design.makeMemoryPool();
+    std::vector<ThreadData> tdata(nmods);
+
+    auto funcMain = [&](ModuleId m) {
+        OmniContext ctx(design, pool, gs, fifos, m, tdata[m], opts_,
+                        lazy[m]);
+        bool crashed_here = false;
+        std::string crash_msg;
+        try {
+            design.modules()[m].body(ctx);
+        } catch (const AbortSim &) {
+            // Unwound by abort; tracker slot already released at pause.
+        } catch (const SimCrash &c) {
+            crashed_here = true;
+            crash_msg =
+                strf("@E Simulation failed: SIGSEGV (%s in task '%s')",
+                     c.what(), design.modules()[m].name.c_str());
+        }
+        tdata[m].finalNow = ctx.timing().now();
+        tdata[m].tailNode = ctx.timing().lastOpTag();
+        tdata[m].tailSlack = ctx.timing().now() - ctx.timing().lastOpTime();
+        {
+            std::lock_guard<std::mutex> g(gs.mu);
+            if (crashed_here && !gs.crashed) {
+                gs.crashed = true;
+                gs.crashMessage = crash_msg;
+                gs.abort.store(true);
+                gs.funcCv.notify_all();
+            }
+            --gs.live;
+            --gs.running;
+            gs.perfCv.notify_all();
+        }
+        if (crashed_here) {
+            for (auto &fs : fifos) {
+                std::lock_guard<std::mutex> flk(fs.mu);
+                fs.cv.notify_all();
+            }
+        }
+    };
+
+    // §6.2 step 1: invoke all threads — Func Sim and Perf Sim.
+    std::vector<std::thread> workers;
+    workers.reserve(nmods);
+    for (ModuleId m : cd_.threadPlan)
+        workers.emplace_back(funcMain, m);
+    std::thread perf{PerfSim(gs, fifos)};
+
+    for (auto &w : workers)
+        w.join();
+    {
+        // Ensure the Perf thread observes live == 0 and exits.
+        std::lock_guard<std::mutex> g(gs.mu);
+        gs.perfCv.notify_all();
+    }
+    perf.join();
+
+    // ---- Finalization (§6.2): merge thread logs, rebuild timing -----
+    data_ = std::make_unique<RunData>();
+    RunData &rd = *data_;
+    rd.depthsUsed = depths;
+
+    const std::size_t nnodes = gs.nextNode.load();
+    rd.nodes.resize(nnodes);
+    rd.seed.assign(nnodes, 0);
+    rd.tailNode.resize(nmods);
+    rd.tailSlack.resize(nmods);
+    std::uint64_t events = 0;
+    std::uint64_t skipped = 0;
+    for (std::size_t m = 0; m < nmods; ++m) {
+        const ThreadData &td = tdata[m];
+        for (const NodeRec &nr : td.nodes)
+            rd.nodes[nr.id] = nr.info;
+        rd.seed[td.entryNode] = 1;
+        rd.edges.insert(rd.edges.end(), td.edges.begin(), td.edges.end());
+        rd.constraints.insert(rd.constraints.end(), td.constraints.begin(),
+                              td.constraints.end());
+        rd.tailNode[m] = td.tailNode;
+        rd.tailSlack[m] = td.tailSlack;
+        events += td.events;
+        skipped += td.skipped;
+    }
+    rd.tables.reserve(nfifos);
+    for (auto &fs : fifos)
+        rd.tables.push_back(std::move(fs.table));
+
+    SimResult &r = rd.result;
+    r.stats.events = events;
+    r.stats.queries = gs.queries;
+    r.stats.queriesSkipped = skipped;
+    r.stats.forcedFalse = gs.forcedFalse;
+    r.stats.threadPauses = gs.pauses;
+
+    for (std::size_t i = 0; i < design.memories().size(); ++i) {
+        r.memories[design.memories()[i].name] =
+            pool.contents(static_cast<MemId>(i));
+    }
+    for (std::size_t f = 0; f < rd.tables.size(); ++f) {
+        const auto &pending = rd.tables[f].pendingData();
+        if (!pending.empty()) {
+            r.warnings.push_back(strf(
+                "WARNING: Hls::stream '%s' contains leftover data "
+                "(%zu elements)",
+                design.fifos()[f].name.c_str(), pending.size()));
+        }
+    }
+
+    if (gs.crashed) {
+        r.status = SimStatus::Crash;
+        r.message = gs.crashMessage;
+        return r;
+    }
+    if (gs.timedOut) {
+        r.status = SimStatus::Timeout;
+        r.message = gs.crashMessage;
+        return r;
+    }
+    if (gs.deadlock) {
+        r.status = SimStatus::Deadlock;
+        r.deadlockCycle = gs.deadlockCycle;
+        r.message = strf("unresolvable deadlock detected at cycle %llu",
+                         static_cast<unsigned long long>(gs.deadlockCycle));
+        return r;
+    }
+
+    // Longest-path recompute over the adjacency-list simulation graph.
+    SimGraph graph;
+    graph.reserve(nnodes, rd.edges.size());
+    for (const NodeInfo &info : rd.nodes)
+        graph.addNode(info);
+    for (const auto &e : rd.edges)
+        graph.addEdge(e.src, e.dst, e.weight);
+    synthesizeWarEdges(rd.tables, depths,
+                       [&](std::uint64_t s, std::uint64_t d, Cycles w) {
+                           graph.addEdge(s, d, w);
+                       });
+    r.stats.graphNodes = graph.numNodes();
+    r.stats.graphEdges = graph.numEdges();
+
+    const PathResult pr = longestPath(graph, rd.seed);
+    if (!pr.acyclic) {
+        // Only reachable in lazy mode, which can sail past a stall
+        // pattern that real hardware (and eager mode) would deadlock on.
+        r.status = SimStatus::Deadlock;
+        r.message = "finalization found an infeasible timing cycle";
+        return r;
+    }
+
+    Cycles total = 0;
+    for (std::size_t n = 0; n < nnodes; ++n)
+        total = std::max(total, pr.time[n] + graph.info(n).duration);
+    for (std::size_t m = 0; m < nmods; ++m)
+        total = std::max(total, pr.time[rd.tailNode[m]] + rd.tailSlack[m]);
+    r.totalCycles = total;
+
+    if (opts_.verifyFinalization && opts_.eagerWriteStall && !any_lazy) {
+        for (std::size_t f = 0; f < rd.tables.size(); ++f) {
+            const FifoTable &t = rd.tables[f];
+            for (std::uint32_t i = 1; i <= t.writes(); ++i) {
+                omnisim_assert(pr.time[t.writeNodeOf(i)] ==
+                               t.writeCycleOf(i),
+                               "write %u of fifo %zu: recomputed %llu != "
+                               "live %llu", i, f,
+                               static_cast<unsigned long long>(
+                                   pr.time[t.writeNodeOf(i)]),
+                               static_cast<unsigned long long>(
+                                   t.writeCycleOf(i)));
+            }
+            for (std::uint32_t i = 1; i <= t.reads(); ++i) {
+                omnisim_assert(pr.time[t.readNodeOf(i)] ==
+                               t.readCycleOf(i),
+                               "read %u of fifo %zu: recomputed time "
+                               "mismatch", i, f);
+            }
+        }
+    }
+
+    rd.valid = true;
+    return r;
+}
+
+IncrementalOutcome
+OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
+{
+    IncrementalOutcome out;
+    if (!data_ || !data_->valid) {
+        out.reason = "no prior successful run";
+        return out;
+    }
+    const RunData &rd = *data_;
+    omnisim_assert(depths.size() == rd.tables.size(),
+                   "depth vector size mismatch");
+
+    SimGraph graph;
+    graph.reserve(rd.nodes.size(), rd.edges.size());
+    for (const NodeInfo &info : rd.nodes)
+        graph.addNode(info);
+    for (const auto &e : rd.edges)
+        graph.addEdge(e.src, e.dst, e.weight);
+    synthesizeWarEdges(rd.tables, depths,
+                       [&](std::uint64_t s, std::uint64_t d, Cycles w) {
+                           graph.addEdge(s, d, w);
+                       });
+
+    const PathResult pr = longestPath(graph, rd.seed);
+    if (!pr.acyclic) {
+        out.reason = "new depths make the recorded timing infeasible "
+                     "(potential deadlock) — full re-simulation required";
+        return out;
+    }
+
+    // Re-evaluate every recorded query outcome under the new depths
+    // (§7.2): any divergence means control flow would differ.
+    for (const QueryRecord &qr : rd.constraints) {
+        const FifoTable &t = rd.tables[qr.fifo];
+        const std::uint32_t s = depths[qr.fifo];
+        const Cycles at = pr.time[qr.node];
+        bool now_answer = false;
+        switch (qr.kind) {
+          case EventKind::FifoNbRead:
+          case EventKind::FifoCanRead:
+            now_answer = t.writes() >= qr.index &&
+                         pr.time[t.writeNodeOf(qr.index)] < at;
+            break;
+          case EventKind::FifoNbWrite:
+          case EventKind::FifoCanWrite:
+            if (qr.index <= s) {
+                now_answer = true;
+            } else {
+                now_answer = t.reads() >= qr.index - s &&
+                             pr.time[t.readNodeOf(qr.index - s)] < at;
+            }
+            break;
+          default:
+            omnisim_panic("bad constraint kind");
+        }
+        if (now_answer != qr.outcome) {
+            out.reason = strf(
+                "constraint violated: %s #%u on fifo '%s' would now "
+                "resolve %s", eventKindName(qr.kind), qr.index,
+                cd_.d().fifos()[qr.fifo].name.c_str(),
+                now_answer ? "true" : "false");
+            return out;
+        }
+    }
+
+    out.reused = true;
+    out.result = rd.result;
+    Cycles total = 0;
+    for (std::size_t n = 0; n < rd.nodes.size(); ++n)
+        total = std::max(total, pr.time[n] + rd.nodes[n].duration);
+    for (std::size_t m = 0; m < rd.tailNode.size(); ++m) {
+        total = std::max(total,
+                         pr.time[rd.tailNode[m]] + rd.tailSlack[m]);
+    }
+    out.result.totalCycles = total;
+    return out;
+}
+
+const std::vector<QueryRecord> &
+OmniSim::constraints() const
+{
+    omnisim_assert(data_ != nullptr, "no run yet");
+    return data_->constraints;
+}
+
+SimResult
+simulateOmniSim(const CompiledDesign &cd, const OmniSimOptions &opts)
+{
+    OmniSim engine(cd, opts);
+    return engine.run();
+}
+
+} // namespace omnisim

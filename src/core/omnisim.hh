@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The OmniSim engine (§5.2, §6, §7 of the paper): flexibly coupled
+ * functionality and performance simulation.
+ *
+ * One Func Sim thread per dataflow module free-runs through the design,
+ * committing blocking FIFO accesses directly into per-FIFO timing tables
+ * (data structure D of Fig. 7) under fine-grained per-FIFO locks — the
+ * fast path that lets Type A designs run fully parallel. Non-blocking
+ * accesses and status checks are cycle-dependent queries: when their
+ * outcome is already decidable from committed table state they resolve
+ * in-place; otherwise the thread pauses in the query pool (E) and the
+ * dedicated Perf Sim thread resolves them per Table 2. The task tracker
+ * (F) counts runnable threads; when it reaches zero the Perf thread
+ * either resolves pending queries, applies the earliest-query-false rule
+ * (§7.1, footnote 7: when every target event is unknown, all threads have
+ * progressed past the earliest query's cycle, so its target must lie in
+ * the future and the query safely resolves false), or — when no queries
+ * remain — reports a true design deadlock.
+ *
+ * Every resolved query is recorded as a constraint; finalization rebuilds
+ * node times by longest path over the adjacency-list simulation graph
+ * plus depth-synthesized write-after-read edges, enabling the §7.2
+ * incremental re-simulation: under new FIFO depths the constraints are
+ * re-checked against recomputed times, and only a divergent outcome
+ * forces a full re-run.
+ */
+
+#ifndef OMNISIM_CORE_OMNISIM_HH
+#define OMNISIM_CORE_OMNISIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "design/frontend.hh"
+#include "graph/simgraph.hh"
+#include "runtime/fifo_table.hh"
+#include "runtime/result.hh"
+
+namespace omnisim
+{
+
+/** Engine configuration. */
+struct OmniSimOptions
+{
+    /**
+     * Eager write stalls (default): a blocking write to a full FIFO
+     * pauses until space is committed, keeping every live cycle exact.
+     * When false, threads performing blocking writes never pause (the
+     * paper's T4 optimization, §6.2); finalization repairs their timing,
+     * reproducing the paper's small (<0.2%) accuracy deltas on designs
+     * whose queries observe the optimistic times. Exposed as an ablation.
+     */
+    bool eagerWriteStall = true;
+
+    /** Elide empty()/full() checks whose results are unused (§7.3.2). */
+    bool elideUnusedChecks = true;
+
+    /** Per-thread op watchdog (guards against runaway designs). */
+    std::uint64_t opLimit = 200'000'000;
+
+    /**
+     * Debug cross-check: verify that finalization's longest-path times
+     * reproduce the live commit cycles exactly (eager mode only).
+     */
+    bool verifyFinalization = false;
+};
+
+/** A recorded query outcome — the §7.2 constraint. */
+struct QueryRecord
+{
+    FifoId fifo = invalidId;
+    EventKind kind = EventKind::FifoNbWrite;
+    /** Access index being attempted (the w or r of Table 2). */
+    std::uint32_t index = 0;
+    /** Graph node of the attempt/check. */
+    std::uint64_t node = 0;
+    /** True iff the target event had occurred strictly before the op. */
+    bool outcome = false;
+};
+
+/** Outcome of an incremental re-simulation attempt (§7.2 / Table 6). */
+struct IncrementalOutcome
+{
+    /** True when all constraints held and the graph was reused. */
+    bool reused = false;
+
+    /** Valid when reused: the re-finalized result (same functional
+     *  outputs, new cycle count). */
+    SimResult result;
+
+    /** Why reuse failed (constraint diverged / timing cycle). */
+    std::string reason;
+};
+
+/**
+ * The OmniSim simulator. Construct once per design configuration, call
+ * run(), then optionally probe alternative FIFO depths with
+ * resimulate().
+ */
+class OmniSim
+{
+  public:
+    explicit OmniSim(const CompiledDesign &cd, OmniSimOptions opts = {});
+    ~OmniSim();
+
+    /** Execute the full multi-threaded simulation. */
+    SimResult run();
+
+    /**
+     * Attempt incremental re-simulation under new FIFO depths without
+     * re-running the design (requires a prior successful run()).
+     */
+    IncrementalOutcome resimulate(const std::vector<std::uint32_t> &depths);
+
+    /** @return the constraints recorded by the last run. */
+    const std::vector<QueryRecord> &constraints() const;
+
+  private:
+    struct RunData;
+
+    const CompiledDesign &cd_;
+    OmniSimOptions opts_;
+    std::unique_ptr<RunData> data_;
+};
+
+/** One-shot convenience wrapper around OmniSim::run(). */
+SimResult simulateOmniSim(const CompiledDesign &cd,
+                          const OmniSimOptions &opts = {});
+
+} // namespace omnisim
+
+#endif // OMNISIM_CORE_OMNISIM_HH

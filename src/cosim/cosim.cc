@@ -1,0 +1,617 @@
+#include "cosim/cosim.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "design/context.hh"
+#include "runtime/axi.hh"
+#include "runtime/fifo_table.hh"
+#include "runtime/memory.hh"
+#include "runtime/timing.hh"
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+namespace
+{
+
+/** Raised inside context calls to unwind a module thread. */
+struct SimAbort
+{};
+
+/** Scheduling state of one module thread. */
+enum class TState : std::uint8_t
+{
+    Running,  ///< Executing HLS code.
+    TimeWait, ///< Waiting for the clock to reach a target cycle.
+    CondWait, ///< Waiting for another thread's FIFO commit.
+    Done,     ///< Body returned (or unwound).
+};
+
+/**
+ * Synthetic gate-level netlist standing in for the generated RTL. Real
+ * co-simulation evaluates every clocked process each cycle; the sweep
+ * below reproduces that cost profile (and its result feeds a checksum so
+ * the work cannot be optimized away).
+ */
+class SyntheticNetlist
+{
+  public:
+    SyntheticNetlist(std::size_t modules, std::size_t gates_per_module)
+    {
+        gates_.resize(modules * gates_per_module);
+        std::uint64_t x = 0x243f6a8885a308d3ULL;
+        for (auto &g : gates_) {
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+            g = x;
+        }
+    }
+
+    /** Evaluate one clock edge over the whole netlist. */
+    void
+    evalCycle()
+    {
+        std::uint64_t acc = state_;
+        for (std::uint64_t g : gates_)
+            acc = (acc ^ g) + (acc >> 7);
+        state_ = acc;
+    }
+
+    std::uint64_t checksum() const { return state_; }
+
+  private:
+    std::vector<std::uint64_t> gates_;
+    std::uint64_t state_ = 0;
+};
+
+/** All shared co-simulation state, guarded by one mutex. */
+class CosimShared
+{
+  public:
+    CosimShared(const CompiledDesign &cd, const CosimOptions &opts)
+        : design(cd.d()), opts(opts), pool(cd.d().makeMemoryPool()),
+          tables(cd.d().fifos().size())
+    {
+        const std::size_t n = design.modules().size();
+        threads.resize(n);
+        finalNow.assign(n, 0);
+        live = n;
+        if (opts.modelRtlCost) {
+            netlist = std::make_unique<SyntheticNetlist>(
+                n, opts.gatesPerModule);
+        }
+    }
+
+    std::unique_ptr<SyntheticNetlist> netlist;
+
+    const Design &design;
+    const CosimOptions &opts;
+
+    std::mutex mu;
+    std::condition_variable cv;
+
+    MemoryPool pool;
+    std::vector<FifoTable> tables;
+
+    Cycles clock = 1;
+    std::uint64_t commitEpoch = 0;
+
+    struct ThreadInfo
+    {
+        TState st = TState::Running;
+        Cycles target = 0;
+        std::uint64_t seenEpoch = 0;
+    };
+    std::vector<ThreadInfo> threads;
+    std::size_t live = 0;
+
+    bool deadlock = false;
+    bool crashed = false;
+    bool timeout = false;
+    Cycles deadlockCycle = 0;
+    std::string crashMessage;
+
+    std::vector<Cycles> finalNow;
+    std::uint64_t cyclesStepped = 0;
+    std::uint64_t events = 0;
+    std::uint64_t pauses = 0;
+
+    bool
+    abortFlag() const
+    {
+        return deadlock || crashed || timeout;
+    }
+
+    /**
+     * Clock-advance rule: when every live thread is waiting and every
+     * CondWait thread has evaluated the latest commit state, either jump
+     * the clock to the earliest TimeWait target or — if only CondWait
+     * threads remain — declare a design deadlock.
+     */
+    void
+    maybeAdvanceLocked()
+    {
+        if (live == 0 || abortFlag())
+            return;
+        Cycles min_target = 0;
+        bool have_target = false;
+        for (const auto &ti : threads) {
+            switch (ti.st) {
+              case TState::Running:
+                return; // somebody is still executing
+              case TState::TimeWait:
+                // A thread whose target the clock has reached has been
+                // notified but not yet resumed: it counts as running.
+                if (ti.target <= clock)
+                    return;
+                if (!have_target || ti.target < min_target) {
+                    min_target = ti.target;
+                    have_target = true;
+                }
+                break;
+              case TState::CondWait:
+                if (ti.seenEpoch != commitEpoch)
+                    return; // it has not reacted to the last commit yet
+                break;
+              case TState::Done:
+                break;
+            }
+        }
+        if (!have_target) {
+            // All live threads starve on FIFO conditions: true deadlock.
+            deadlock = true;
+            deadlockCycle = clock;
+            cv.notify_all();
+            return;
+        }
+        omnisim_assert(min_target > clock,
+                       "clock advance to non-future cycle");
+        // Every intervening clock edge evaluates the synthesized netlist,
+        // exactly as an RTL simulator re-evaluates clocked processes.
+        if (netlist) {
+            for (Cycles c = clock; c < min_target; ++c)
+                netlist->evalCycle();
+        }
+        cyclesStepped += min_target - clock;
+        clock = min_target;
+        if (clock > opts.maxCycles)
+            timeout = true;
+        cv.notify_all();
+    }
+};
+
+/** The cycle-lockstep context for one module thread. */
+class CosimContext : public Context
+{
+  public:
+    CosimContext(CosimShared &sh, ModuleId mod)
+        : sh_(sh), mod_(mod), timing_(0)
+    {}
+
+    TimingModel &timing() { return timing_; }
+
+    // ---- FIFO operations -------------------------------------------
+
+    Value
+    read(FifoId f) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        FifoTable &t = sh_.tables[f];
+        const std::uint32_t r = t.reads() + 1;
+        for (;;) {
+            guardLocked();
+            if (t.writes() >= r) {
+                Cycles at = std::max(timing_.earliest(),
+                                     t.writeCycleOf(r) + 1);
+                waitCycleLocked(lk, at);
+                const Value v = t.commitRead(at, 0);
+                commitLocked();
+                timing_.commitOp(at, 1, 0);
+                return v;
+            }
+            condWaitLocked(lk);
+        }
+    }
+
+    void
+    write(FifoId f, Value v) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        FifoTable &t = sh_.tables[f];
+        const std::uint32_t w = t.writes() + 1;
+        const std::uint32_t depth = sh_.design.fifos()[f].depth;
+        for (;;) {
+            guardLocked();
+            if (w <= depth) {
+                const Cycles at = timing_.earliest();
+                waitCycleLocked(lk, at);
+                t.commitWrite(v, at, 0);
+                commitLocked();
+                timing_.commitOp(at, 1, 0);
+                return;
+            }
+            if (t.reads() >= w - depth) {
+                Cycles at = std::max(timing_.earliest(),
+                                     t.readCycleOf(w - depth) + 1);
+                waitCycleLocked(lk, at);
+                t.commitWrite(v, at, 0);
+                commitLocked();
+                timing_.commitOp(at, 1, 0);
+                return;
+            }
+            condWaitLocked(lk);
+        }
+    }
+
+    bool
+    readNb(FifoId f, Value &out) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        FifoTable &t = sh_.tables[f];
+        const std::uint32_t r = t.reads() + 1;
+        const Cycles at = timing_.earliest();
+        waitCycleLocked(lk, at);
+        const bool ok = t.writes() >= r && t.writeCycleOf(r) < at;
+        if (ok) {
+            out = t.commitRead(at, 0);
+            commitLocked();
+        }
+        timing_.commitOp(at, 1, 0);
+        return ok;
+    }
+
+    bool
+    writeNb(FifoId f, Value v) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        FifoTable &t = sh_.tables[f];
+        const std::uint32_t w = t.writes() + 1;
+        const std::uint32_t depth = sh_.design.fifos()[f].depth;
+        const Cycles at = timing_.earliest();
+        waitCycleLocked(lk, at);
+        const bool ok =
+            w <= depth ||
+            (t.reads() >= w - depth && t.readCycleOf(w - depth) < at);
+        if (ok) {
+            t.commitWrite(v, at, 0);
+            commitLocked();
+        }
+        timing_.commitOp(at, 1, 0);
+        return ok;
+    }
+
+    bool
+    empty(FifoId f) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        FifoTable &t = sh_.tables[f];
+        const std::uint32_t next = t.reads() + 1;
+        const Cycles at = timing_.earliest();
+        waitCycleLocked(lk, at);
+        combGuard(at);
+        return !(t.writes() >= next && t.writeCycleOf(next) < at);
+    }
+
+    bool
+    full(FifoId f) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        FifoTable &t = sh_.tables[f];
+        const std::uint32_t next = t.writes() + 1;
+        const std::uint32_t depth = sh_.design.fifos()[f].depth;
+        const Cycles at = timing_.earliest();
+        waitCycleLocked(lk, at);
+        combGuard(at);
+        if (next <= depth)
+            return false;
+        return !(t.reads() >= next - depth &&
+                 t.readCycleOf(next - depth) < at);
+    }
+
+    // Co-simulation is the unoptimized reference: unused checks are
+    // evaluated exactly like used ones.
+    void emptyUnused(FifoId f) override { (void)empty(f); }
+    void fullUnused(FifoId f) override { (void)full(f); }
+
+    // ---- Memory and AXI --------------------------------------------
+
+    Value
+    load(MemId m, std::uint64_t idx) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        return sh_.pool.load(m, idx);
+    }
+
+    void
+    store(MemId m, std::uint64_t idx, Value v) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        sh_.pool.store(m, idx, v);
+    }
+
+    void
+    axiReadReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        const Cycles at = timing_.earliest();
+        waitCycleLocked(lk, at);
+        axiState(a).pushReadReq(addr, len, at, 0);
+        timing_.commitOp(at, 1, 0);
+    }
+
+    Value
+    axiRead(AxiId a) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        std::uint64_t addr = 0;
+        const AxiPortState::Dep dep = axiState(a).popReadBeat(addr);
+        const Cycles at =
+            std::max(timing_.earliest(), dep.time + dep.weight);
+        waitCycleLocked(lk, at);
+        const Value v =
+            sh_.pool.load(sh_.design.axiPorts()[a].backing, addr);
+        timing_.commitOp(at, 1, 0);
+        return v;
+    }
+
+    void
+    axiWriteReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        const Cycles at = timing_.earliest();
+        waitCycleLocked(lk, at);
+        axiState(a).pushWriteReq(addr, len, at, 0);
+        timing_.commitOp(at, 1, 0);
+    }
+
+    void
+    axiWrite(AxiId a, Value v) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        std::uint64_t addr = 0;
+        const AxiPortState::Dep dep = axiState(a).popWriteBeat(addr);
+        const Cycles at =
+            std::max(timing_.earliest(), dep.time + dep.weight);
+        waitCycleLocked(lk, at);
+        sh_.pool.store(sh_.design.axiPorts()[a].backing, addr, v);
+        timing_.commitOp(at, 1, 0);
+        lastWriteBeat_ = at;
+    }
+
+    void
+    axiWriteResp(AxiId a) override
+    {
+        std::unique_lock<std::mutex> lk(sh_.mu);
+        bump();
+        const AxiPortState::Dep dep =
+            axiState(a).popWriteResp(lastWriteBeat_, 0);
+        const Cycles at =
+            std::max(timing_.earliest(), dep.time + dep.weight);
+        waitCycleLocked(lk, at);
+        timing_.commitOp(at, 1, 0);
+    }
+
+    // ---- Timing ----------------------------------------------------
+
+    void
+    advance(Cycles n) override
+    {
+        timing_.advance(n);
+        if (n > 0)
+            zeroOps_ = 0;
+    }
+
+    Cycles now() const override { return timing_.now(); }
+    void pipelineBegin(std::uint32_t ii) override
+    {
+        timing_.pipelineBegin(ii);
+    }
+    void iterBegin() override { timing_.iterBegin(); }
+    void pipelineEnd() override { timing_.pipelineEnd(); }
+
+  private:
+    AxiPortState &
+    axiState(AxiId a)
+    {
+        auto it = axi_.find(a);
+        if (it == axi_.end()) {
+            it = axi_.emplace(a,
+                AxiPortState(sh_.design.axiPorts()[a].config)).first;
+        }
+        return it->second;
+    }
+
+    void
+    bump()
+    {
+        ++sh_.events;
+    }
+
+    void
+    guardLocked() const
+    {
+        if (sh_.abortFlag())
+            throw SimAbort{};
+    }
+
+    /** Detect status-check spins that never advance the local clock. */
+    void
+    combGuard(Cycles at)
+    {
+        if (at == lastZeroCycle_) {
+            if (++zeroOps_ > sh_.opts.combLimit) {
+                sh_.crashed = true;
+                sh_.crashMessage = strf(
+                    "combinational loop in module '%s': %llu status "
+                    "checks at cycle %llu without time advance",
+                    sh_.design.modules()[mod_].name.c_str(),
+                    static_cast<unsigned long long>(zeroOps_),
+                    static_cast<unsigned long long>(at));
+                sh_.cv.notify_all();
+                throw SimAbort{};
+            }
+        } else {
+            lastZeroCycle_ = at;
+            zeroOps_ = 1;
+        }
+    }
+
+    /** Block until the global clock reaches cycle t. */
+    void
+    waitCycleLocked(std::unique_lock<std::mutex> &lk, Cycles t)
+    {
+        CosimShared::ThreadInfo &ti = sh_.threads[mod_];
+        if (sh_.clock >= t) {
+            guardLocked();
+            return;
+        }
+        ++sh_.pauses;
+        ti.st = TState::TimeWait;
+        ti.target = t;
+        sh_.maybeAdvanceLocked();
+        sh_.cv.wait(lk, [&] { return sh_.abortFlag() || sh_.clock >= t; });
+        ti.st = TState::Running;
+        guardLocked();
+    }
+
+    /** Block until another thread commits a FIFO access. */
+    void
+    condWaitLocked(std::unique_lock<std::mutex> &lk)
+    {
+        CosimShared::ThreadInfo &ti = sh_.threads[mod_];
+        ++sh_.pauses;
+        ti.st = TState::CondWait;
+        ti.seenEpoch = sh_.commitEpoch;
+        sh_.maybeAdvanceLocked();
+        sh_.cv.wait(lk, [&] {
+            return sh_.abortFlag() || sh_.commitEpoch != ti.seenEpoch;
+        });
+        ti.st = TState::Running;
+        guardLocked();
+    }
+
+    /** Publish a FIFO commit to waiting threads. */
+    void
+    commitLocked()
+    {
+        ++sh_.commitEpoch;
+        zeroOps_ = 0;
+        sh_.cv.notify_all();
+    }
+
+    CosimShared &sh_;
+    ModuleId mod_;
+    TimingModel timing_;
+    std::map<AxiId, AxiPortState> axi_;
+    Cycles lastWriteBeat_ = 0;
+    Cycles lastZeroCycle_ = 0;
+    std::uint64_t zeroOps_ = 0;
+};
+
+/** Body wrapper for one module thread. */
+void
+moduleThread(CosimShared &sh, ModuleId mod)
+{
+    CosimContext ctx(sh, mod);
+    bool crashed_here = false;
+    std::string crash_msg;
+    try {
+        sh.design.modules()[mod].body(ctx);
+    } catch (const SimAbort &) {
+        // Another thread aborted the run; unwind quietly.
+    } catch (const SimCrash &c) {
+        crashed_here = true;
+        crash_msg = strf("@E Simulation failed: SIGSEGV (%s in task '%s')",
+                         c.what(), sh.design.modules()[mod].name.c_str());
+    }
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (crashed_here && !sh.crashed) {
+        sh.crashed = true;
+        sh.crashMessage = crash_msg;
+    }
+    sh.threads[mod].st = TState::Done;
+    sh.finalNow[mod] = ctx.timing().now();
+    --sh.live;
+    sh.maybeAdvanceLocked();
+    sh.cv.notify_all();
+}
+
+} // namespace
+
+SimResult
+simulateCosim(const CompiledDesign &cd, const CosimOptions &opts)
+{
+    const Design &design = cd.d();
+    CosimShared sh(cd, opts);
+
+    std::vector<std::thread> workers;
+    workers.reserve(design.modules().size());
+    for (ModuleId m : cd.threadPlan)
+        workers.emplace_back(moduleThread, std::ref(sh), m);
+    for (auto &w : workers)
+        w.join();
+
+    SimResult r;
+    if (sh.crashed) {
+        r.status = SimStatus::Crash;
+        r.message = sh.crashMessage;
+    } else if (sh.deadlock) {
+        r.status = SimStatus::Deadlock;
+        r.deadlockCycle = sh.deadlockCycle;
+        r.message = strf(
+            "ERROR!!! DEADLOCK DETECTED at %llu ns (cycle %llu)! "
+            "SIMULATION WILL BE STOPPED!",
+            static_cast<unsigned long long>(sh.deadlockCycle * 10),
+            static_cast<unsigned long long>(sh.deadlockCycle));
+    } else if (sh.timeout) {
+        r.status = SimStatus::Timeout;
+        r.message = "co-simulation watchdog cycle limit exceeded";
+    } else {
+        r.status = SimStatus::Ok;
+        r.totalCycles = *std::max_element(sh.finalNow.begin(),
+                                          sh.finalNow.end());
+    }
+
+    for (std::size_t f = 0; f < sh.tables.size(); ++f) {
+        const auto &pending = sh.tables[f].pendingData();
+        if (!pending.empty()) {
+            r.warnings.push_back(strf(
+                "WARNING: Hls::stream '%s' contains leftover data "
+                "(%zu elements)",
+                design.fifos()[f].name.c_str(), pending.size()));
+        }
+    }
+
+    r.stats.events = sh.events;
+    r.stats.cyclesStepped = sh.cyclesStepped;
+    r.stats.threadPauses = sh.pauses;
+    // Fold the netlist checksum into the stats so the per-cycle RTL
+    // evaluation cannot be optimized away.
+    if (sh.netlist)
+        r.stats.events += sh.netlist->checksum() & 1;
+    for (std::size_t i = 0; i < design.memories().size(); ++i) {
+        r.memories[design.memories()[i].name] =
+            sh.pool.contents(static_cast<MemId>(i));
+    }
+    return r;
+}
+
+} // namespace omnisim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * C/RTL co-simulation substrate — the ground-truth engine and the slow
+ * baseline of Fig. 8.
+ *
+ * One clocked thread per dataflow module executes behind a global clock
+ * barrier: an op that occupies hardware cycle t may only evaluate its
+ * FIFO condition once the global clock has reached t, at which point all
+ * commits at cycles < t are final. Values written at cycle c are readable
+ * strictly after c; slots freed at cycle c are writable strictly after c;
+ * with FIFO depth S the w-th write needs the (w-S)-th read. These are
+ * precisely the RTL FIFO semantics the paper's Table 2 encodes.
+ *
+ * The barrier uses commit-epoch gating so the clock can never advance
+ * past a thread that still has to react to a commit, which makes the
+ * simulation deterministic under arbitrary OS scheduling — the defining
+ * property of a ground-truth reference.
+ *
+ * Deadlock detection: when every live thread is waiting on a FIFO
+ * condition that only another thread's commit could satisfy, the design
+ * has deadlocked (reported RTL-style with the stall cycle). Livelocks are
+ * not detected (neither does real co-simulation, §3.2.4); the cycle
+ * watchdog turns them into Timeout.
+ */
+
+#ifndef OMNISIM_COSIM_COSIM_HH
+#define OMNISIM_COSIM_COSIM_HH
+
+#include <cstdint>
+
+#include "design/frontend.hh"
+#include "runtime/result.hh"
+
+namespace omnisim
+{
+
+/** Options controlling co-simulation. */
+struct CosimOptions
+{
+    /** Watchdog: abort with Timeout beyond this many cycles. */
+    Cycles maxCycles = 100'000'000;
+
+    /** Abort after this many combinational (0-cycle) ops at one cycle. */
+    std::uint64_t combLimit = 1'000'000;
+
+    /**
+     * Model the cost structure of real RTL co-simulation: an elaboration
+     * phase builds a synthetic gate-level netlist per module, and every
+     * simulated clock cycle sweeps the netlist (clocked processes are
+     * evaluated on each edge). This is what makes co-simulation "hours
+     * to days" in practice; correctness tests disable it.
+     */
+    bool modelRtlCost = true;
+
+    /** Synthetic netlist size per module when modelRtlCost is set. */
+    std::size_t gatesPerModule = 50'000;
+};
+
+/** Run cycle-accurate co-simulation of a compiled design. */
+SimResult simulateCosim(const CompiledDesign &cd,
+                        const CosimOptions &opts = {});
+
+} // namespace omnisim
+
+#endif // OMNISIM_COSIM_COSIM_HH

@@ -1,0 +1,267 @@
+#include "csim/csim.hh"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "design/context.hh"
+#include "runtime/memory.hh"
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+namespace
+{
+
+/** Raised internally to stop a runaway module. */
+struct OpLimitExceeded
+{
+    ModuleId module;
+};
+
+/**
+ * The naive context: infinite streams, no timing, sequential execution.
+ */
+class CSimContext : public Context
+{
+  public:
+    CSimContext(const Design &design, MemoryPool &pool,
+                const CSimOptions &opts)
+        : design_(design), pool_(pool), opts_(opts),
+          queues_(design.fifos().size())
+    {}
+
+    void
+    beginModule(ModuleId m)
+    {
+        module_ = m;
+        opCount_ = 0;
+    }
+
+    Value
+    read(FifoId f) override
+    {
+        bump();
+        auto &q = queues_[f];
+        if (q.empty()) {
+            ++readWhileEmpty_[f];
+            return 0;
+        }
+        Value v = q.front();
+        q.pop_front();
+        return v;
+    }
+
+    void
+    write(FifoId f, Value v) override
+    {
+        bump();
+        queues_[f].push_back(v); // infinite depth: never stalls
+    }
+
+    bool
+    readNb(FifoId f, Value &out) override
+    {
+        bump();
+        auto &q = queues_[f];
+        if (q.empty())
+            return false;
+        out = q.front();
+        q.pop_front();
+        return true;
+    }
+
+    bool
+    writeNb(FifoId f, Value v) override
+    {
+        bump();
+        queues_[f].push_back(v); // infinite depth: always succeeds
+        return true;
+    }
+
+    bool
+    empty(FifoId f) override
+    {
+        bump();
+        return queues_[f].empty();
+    }
+
+    bool
+    full(FifoId) override
+    {
+        bump();
+        return false; // infinite depth: never full
+    }
+
+    void emptyUnused(FifoId) override { bump(); }
+    void fullUnused(FifoId) override { bump(); }
+
+    Value
+    load(MemId m, std::uint64_t idx) override
+    {
+        bump();
+        return pool_.load(m, idx);
+    }
+
+    void
+    store(MemId m, std::uint64_t idx, Value v) override
+    {
+        bump();
+        pool_.store(m, idx, v);
+    }
+
+    void
+    axiReadReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        bump();
+        axi_[a].push_back({addr, len, 0});
+    }
+
+    Value
+    axiRead(AxiId a) override
+    {
+        bump();
+        auto &bursts = axi_[a];
+        if (bursts.empty())
+            throw SimCrash("AXI read with no outstanding burst");
+        auto &b = bursts.front();
+        const Value v =
+            pool_.load(design_.axiPorts()[a].backing, b.addr + b.beat);
+        if (++b.beat == b.len)
+            bursts.pop_front();
+        return v;
+    }
+
+    void
+    axiWriteReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        bump();
+        axi_[a].push_back({addr, len, 0});
+    }
+
+    void
+    axiWrite(AxiId a, Value v) override
+    {
+        bump();
+        auto &bursts = axi_[a];
+        if (bursts.empty())
+            throw SimCrash("AXI write with no outstanding burst");
+        auto &b = bursts.front();
+        pool_.store(design_.axiPorts()[a].backing, b.addr + b.beat, v);
+        ++b.beat;
+    }
+
+    void
+    axiWriteResp(AxiId a) override
+    {
+        bump();
+        auto &bursts = axi_[a];
+        if (!bursts.empty())
+            bursts.pop_front();
+    }
+
+    // C simulation is untimed.
+    void advance(Cycles) override { bump(); }
+    Cycles now() const override { return 0; }
+    void pipelineBegin(std::uint32_t) override {}
+    void iterBegin() override {}
+    void pipelineEnd() override {}
+
+    /** Collect end-of-run warnings (read-while-empty, leftover data). */
+    void
+    finish(SimResult &r) const
+    {
+        for (const auto &[f, count] : readWhileEmpty_) {
+            r.warnings.push_back(strf(
+                "WARNING: Hls::stream '%s' is read while empty, "
+                "returned default value (x%llu)",
+                design_.fifos()[f].name.c_str(),
+                static_cast<unsigned long long>(count)));
+        }
+        for (std::size_t f = 0; f < queues_.size(); ++f) {
+            if (!queues_[f].empty()) {
+                r.warnings.push_back(strf(
+                    "WARNING: Hls::stream '%s' contains leftover data "
+                    "(%zu elements)",
+                    design_.fifos()[f].name.c_str(), queues_[f].size()));
+            }
+        }
+    }
+
+    std::uint64_t totalOps() const { return totalOps_; }
+
+  private:
+    void
+    bump()
+    {
+        ++totalOps_;
+        if (++opCount_ > opts_.opLimit)
+            throw OpLimitExceeded{module_};
+    }
+
+    struct Burst
+    {
+        std::uint64_t addr;
+        std::uint32_t len;
+        std::uint32_t beat;
+    };
+
+    const Design &design_;
+    MemoryPool &pool_;
+    const CSimOptions &opts_;
+    std::vector<std::deque<Value>> queues_;
+    std::map<FifoId, std::uint64_t> readWhileEmpty_;
+    std::map<AxiId, std::deque<Burst>> axi_;
+    ModuleId module_ = invalidId;
+    std::uint64_t opCount_ = 0;
+    std::uint64_t totalOps_ = 0;
+};
+
+} // namespace
+
+SimResult
+simulateCSim(const CompiledDesign &cd, const CSimOptions &opts)
+{
+    const Design &design = cd.d();
+    MemoryPool pool = design.makeMemoryPool();
+    CSimContext ctx(design, pool, opts);
+    SimResult r;
+
+    // Sequential execution order: topological when acyclic (so Type A
+    // designs work), declaration order otherwise (what a C compiler does
+    // with sequential function calls).
+    std::vector<ModuleId> order = cd.classification.topoOrder;
+    if (order.empty())
+        for (std::size_t i = 0; i < design.modules().size(); ++i)
+            order.push_back(static_cast<ModuleId>(i));
+
+    for (ModuleId m : order) {
+        ctx.beginModule(m);
+        try {
+            design.modules()[m].body(ctx);
+        } catch (const SimCrash &crash) {
+            r.status = SimStatus::Crash;
+            r.message = strf("@E Simulation failed: SIGSEGV (%s in task "
+                             "'%s')", crash.what(),
+                             design.modules()[m].name.c_str());
+            break;
+        } catch (const OpLimitExceeded &e) {
+            r.status = SimStatus::Timeout;
+            r.message = strf("task '%s' exceeded the C-sim op limit "
+                             "(infinite loop never terminated)",
+                             design.modules()[e.module].name.c_str());
+            break;
+        }
+    }
+
+    ctx.finish(r);
+    r.stats.events = ctx.totalOps();
+    for (std::size_t i = 0; i < design.memories().size(); ++i) {
+        r.memories[design.memories()[i].name] =
+            pool.contents(static_cast<MemId>(i));
+    }
+    return r;
+}
+
+} // namespace omnisim

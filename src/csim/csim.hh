@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Naive C simulation — the "C-sim" column of Table 3.
+ *
+ * Mimics how commercial HLS tools execute a dataflow testbench at the C
+ * level: modules run sequentially to completion (topological order when
+ * acyclic, declaration order otherwise), streams have infinite depth, a
+ * blocking read of an empty stream warns ("is read while empty") and
+ * returns a default value, non-blocking writes always succeed, and
+ * leftover stream data is reported when the run ends. Out-of-bounds
+ * memory accesses — e.g. an infinite producer loop that never receives
+ * its done signal because the consumer has not run yet — surface as a
+ * simulated SIGSEGV, exactly the crashes the paper observes for
+ * fig4_ex2 / fig4_ex4a_d / fig4_ex4b_d.
+ *
+ * C-sim provides no performance model: totalCycles is always 0.
+ */
+
+#ifndef OMNISIM_CSIM_CSIM_HH
+#define OMNISIM_CSIM_CSIM_HH
+
+#include <cstdint>
+
+#include "design/frontend.hh"
+#include "runtime/result.hh"
+
+namespace omnisim
+{
+
+/** Options controlling the naive C simulation. */
+struct CSimOptions
+{
+    /**
+     * Abort a module after this many context operations. Infinite loops
+     * that neither crash nor terminate (no done signal can ever arrive
+     * under sequential execution) are reported as Timeout.
+     */
+    std::uint64_t opLimit = 50'000'000;
+};
+
+/** Run naive C simulation of a compiled design. */
+SimResult simulateCSim(const CompiledDesign &cd, const CSimOptions &opts = {});
+
+} // namespace omnisim
+
+#endif // OMNISIM_CSIM_CSIM_HH

@@ -1,0 +1,253 @@
+#include "design/classify.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+const char *
+designTypeName(DesignType t)
+{
+    switch (t) {
+      case DesignType::A: return "A";
+      case DesignType::B: return "B";
+      case DesignType::C: return "C";
+    }
+    return "?";
+}
+
+const char *
+simLevelName(SimLevel l)
+{
+    switch (l) {
+      case SimLevel::L1: return "L1";
+      case SimLevel::L2: return "L2";
+      case SimLevel::L3: return "L3";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Iterative Tarjan SCC over the module graph (writer -> reader edges). */
+class TarjanScc
+{
+  public:
+    explicit TarjanScc(const Design &d)
+        : design_(d), n_(d.modules().size())
+    {
+        adj_.resize(n_);
+        for (const auto &f : d.fifos())
+            adj_[f.writer].push_back(f.reader);
+        index_.assign(n_, -1);
+        low_.assign(n_, 0);
+        onStack_.assign(n_, false);
+    }
+
+    std::vector<std::vector<ModuleId>>
+    run()
+    {
+        for (std::size_t v = 0; v < n_; ++v)
+            if (index_[v] < 0)
+                strongConnect(v);
+        return std::move(sccs_);
+    }
+
+  private:
+    void
+    strongConnect(std::size_t root)
+    {
+        // Explicit stack of (node, next-child-index) to avoid recursion.
+        std::vector<std::pair<std::size_t, std::size_t>> work;
+        work.emplace_back(root, 0);
+        pushNode(root);
+        while (!work.empty()) {
+            auto &[v, ci] = work.back();
+            if (ci < adj_[v].size()) {
+                const std::size_t w = adj_[v][ci++];
+                if (index_[w] < 0) {
+                    pushNode(w);
+                    work.emplace_back(w, 0);
+                } else if (onStack_[w]) {
+                    low_[v] = std::min(low_[v],
+                                       static_cast<std::int64_t>(index_[w]));
+                }
+            } else {
+                if (low_[v] == index_[v])
+                    popScc(v);
+                const std::size_t child = v;
+                work.pop_back();
+                if (!work.empty()) {
+                    auto &parent = work.back().first;
+                    low_[parent] = std::min(low_[parent], low_[child]);
+                }
+            }
+        }
+    }
+
+    void
+    pushNode(std::size_t v)
+    {
+        index_[v] = counter_;
+        low_[v] = counter_;
+        ++counter_;
+        stack_.push_back(v);
+        onStack_[v] = true;
+    }
+
+    void
+    popScc(std::size_t v)
+    {
+        std::vector<ModuleId> scc;
+        for (;;) {
+            const std::size_t w = stack_.back();
+            stack_.pop_back();
+            onStack_[w] = false;
+            scc.push_back(static_cast<ModuleId>(w));
+            if (w == v)
+                break;
+        }
+        // Keep only cyclic groups: size > 1 or an explicit self-loop.
+        bool self_loop = false;
+        if (scc.size() == 1) {
+            for (std::size_t t : adj_[scc[0]])
+                if (t == static_cast<std::size_t>(scc[0]))
+                    self_loop = true;
+        }
+        if (scc.size() > 1 || self_loop)
+            sccs_.push_back(std::move(scc));
+    }
+
+    const Design &design_;
+    std::size_t n_;
+    std::vector<std::vector<std::size_t>> adj_;
+    std::vector<std::int64_t> index_;
+    std::vector<std::int64_t> low_;
+    std::vector<bool> onStack_;
+    std::vector<std::size_t> stack_;
+    std::vector<std::vector<ModuleId>> sccs_;
+    std::int64_t counter_ = 0;
+};
+
+/** Kahn topological order over modules; empty when cyclic. */
+std::vector<ModuleId>
+topoOrder(const Design &d)
+{
+    const std::size_t n = d.modules().size();
+    std::vector<std::uint32_t> indeg(n, 0);
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (const auto &f : d.fifos()) {
+        adj[f.writer].push_back(f.reader);
+        ++indeg[f.reader];
+    }
+    std::vector<ModuleId> order;
+    order.reserve(n);
+    // Stable: prefer low module ids first so that declaration order wins
+    // among independent modules (matches Vitis C-sim semantics).
+    std::vector<std::size_t> ready;
+    for (std::size_t v = n; v-- > 0;)
+        if (indeg[v] == 0)
+            ready.push_back(v);
+    std::sort(ready.rbegin(), ready.rend());
+    while (!ready.empty()) {
+        const std::size_t v = ready.back();
+        ready.pop_back();
+        order.push_back(static_cast<ModuleId>(v));
+        for (std::size_t w : adj[v]) {
+            if (--indeg[w] == 0) {
+                ready.push_back(w);
+                std::sort(ready.rbegin(), ready.rend());
+            }
+        }
+    }
+    if (order.size() != n)
+        order.clear();
+    return order;
+}
+
+} // namespace
+
+Classification
+classify(const Design &design)
+{
+    Classification c;
+
+    for (const auto &f : design.fifos()) {
+        if (f.writeKind != AccessKind::Blocking ||
+            f.readKind != AccessKind::Blocking) {
+            c.anyNonBlocking = true;
+        }
+    }
+    for (const auto &m : design.modules()) {
+        if (m.opts.hasInfiniteLoop)
+            c.anyInfiniteLoop = true;
+        if (m.opts.behaviorVariesOnNb)
+            c.behaviorVaries = true;
+    }
+    if (c.behaviorVaries && !c.anyNonBlocking) {
+        omnisim_fatal(
+            "design '%s' declares behaviorVariesOnNb but has no "
+            "non-blocking FIFO access", design.name().c_str());
+    }
+
+    c.cycles = TarjanScc(design).run();
+    c.cyclic = !c.cycles.empty();
+    c.topoOrder = topoOrder(design);
+    omnisim_assert(c.cyclic == c.topoOrder.empty() ||
+                   design.modules().empty(),
+                   "SCC and topological analyses disagree");
+
+    if (c.behaviorVaries) {
+        c.type = DesignType::C;
+    } else if (c.anyNonBlocking || c.cyclic || c.anyInfiniteLoop) {
+        c.type = DesignType::B;
+    } else {
+        c.type = DesignType::A;
+    }
+
+    // Fig. 4: Type A -> (L1, L1); Type B -> (L2, L3); Type C -> (L3, L3).
+    switch (c.type) {
+      case DesignType::A:
+        c.funcSimLevel = SimLevel::L1;
+        c.perfSimLevel = SimLevel::L1;
+        break;
+      case DesignType::B:
+        c.funcSimLevel = SimLevel::L2;
+        c.perfSimLevel = SimLevel::L3;
+        break;
+      case DesignType::C:
+        c.funcSimLevel = SimLevel::L3;
+        c.perfSimLevel = SimLevel::L3;
+        break;
+    }
+    return c;
+}
+
+DesignSummary
+summarize(const Design &design)
+{
+    const Classification c = classify(design);
+    bool any_b = false;
+    bool any_nb = false;
+    for (const auto &f : design.fifos()) {
+        for (AccessKind k : {f.writeKind, f.readKind}) {
+            if (k == AccessKind::Blocking)
+                any_b = true;
+            else if (k == AccessKind::NonBlocking)
+                any_nb = true;
+            else
+                any_b = any_nb = true;
+        }
+    }
+    std::string style = any_nb ? (any_b ? "NB" : "NB") : "B";
+    // The paper's Table 4 lists "NB" whenever non-blocking access is
+    // present, even if blocking access coexists.
+    return DesignSummary{design.name(), c.type, design.modules().size(),
+                         design.fifos().size(), style, c.cyclic};
+}
+
+} // namespace omnisim

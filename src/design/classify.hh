@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Taxonomy classifier (§3.1 of the paper): assigns each dataflow design to
+ * Type A, B or C from three defining features — module dependency shape
+ * (acyclic/cyclic, via strongly connected components of the module graph),
+ * FIFO access kinds (blocking / non-blocking), and whether program
+ * behavior varies with non-blocking outcomes. The classification decides
+ * which engines may legally simulate a design (LightningSim: Type A only;
+ * OmniSim: all) and the simulation requirement levels L1-L3 of Fig. 4.
+ */
+
+#ifndef OMNISIM_DESIGN_CLASSIFY_HH
+#define OMNISIM_DESIGN_CLASSIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "design/design.hh"
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Dataflow design types per the paper's taxonomy. */
+enum class DesignType : std::uint8_t { A, B, C };
+
+/** @return "A"/"B"/"C". */
+const char *designTypeName(DesignType t);
+
+/** Simulation requirement levels of Fig. 4. */
+enum class SimLevel : std::uint8_t
+{
+    L1, ///< Concurrency-independent, cycle-independent.
+    L2, ///< Concurrency-dependent, cycle-independent.
+    L3, ///< Concurrency-dependent, cycle-dependent.
+};
+
+/** @return "L1"/"L2"/"L3". */
+const char *simLevelName(SimLevel l);
+
+/** Result of classifying a design. */
+struct Classification
+{
+    DesignType type = DesignType::A;
+    bool cyclic = false;           ///< Module graph has a cycle.
+    bool anyNonBlocking = false;   ///< Any FIFO end uses NB access.
+    bool anyInfiniteLoop = false;  ///< Any module declares an infinite loop.
+    bool behaviorVaries = false;   ///< Any module is outcome-dependent.
+
+    /** Functionality-simulation requirement level (Fig. 4 top row). */
+    SimLevel funcSimLevel = SimLevel::L1;
+    /** Performance-simulation requirement level. */
+    SimLevel perfSimLevel = SimLevel::L1;
+
+    /**
+     * Modules in a valid sequential execution order; empty when cyclic.
+     * LightningSim's single-threaded Phase 1 runs modules in this order.
+     */
+    std::vector<ModuleId> topoOrder;
+
+    /** Strongly connected components of size > 1 (cyclic groups). */
+    std::vector<std::vector<ModuleId>> cycles;
+};
+
+/**
+ * Classify a design. @throws FatalError when declarations are
+ * inconsistent (behaviorVariesOnNb without any NB access).
+ */
+Classification classify(const Design &design);
+
+/** One row of Table 4: a compact design summary. */
+struct DesignSummary
+{
+    std::string name;
+    DesignType type;
+    std::size_t numModules;
+    std::size_t numFifos;
+    std::string accessStyle; ///< "B", "NB", or "B+NB".
+    bool cyclic;
+};
+
+/** Summarize a design for reporting (bench/table4_taxonomy). */
+DesignSummary summarize(const Design &design);
+
+} // namespace omnisim
+
+#endif // OMNISIM_DESIGN_CLASSIFY_HH

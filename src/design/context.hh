@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The hardware-intrinsic interface that dataflow module bodies program
+ * against. This is the embedded-DSL equivalent of OmniSim's runtime shared
+ * library (§6.1): every FIFO/AXI/memory access a design makes goes through
+ * a Context, and each simulation engine supplies its own implementation
+ * (naive C-sim, cycle-lockstep co-sim, LightningSim trace generation,
+ * OmniSim orchestration).
+ *
+ * Module bodies must be re-entrant: capture only identifiers and
+ * configuration by value, keep all mutable state in locals, so the same
+ * Design can be run by any engine any number of times.
+ */
+
+#ifndef OMNISIM_DESIGN_CONTEXT_HH
+#define OMNISIM_DESIGN_CONTEXT_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Abstract hardware-intrinsic interface for dataflow module bodies. */
+class Context
+{
+  public:
+    virtual ~Context() = default;
+
+    /** Blocking FIFO read: stalls until data is available. */
+    virtual Value read(FifoId f) = 0;
+
+    /** Blocking FIFO write: stalls until space is available. */
+    virtual void write(FifoId f, Value v) = 0;
+
+    /**
+     * Non-blocking FIFO read (hls::stream::read_nb).
+     * @return true and fills out when data was available this cycle.
+     */
+    virtual bool readNb(FifoId f, Value &out) = 0;
+
+    /**
+     * Non-blocking FIFO write (hls::stream::write_nb).
+     * @return true when the value was accepted this cycle.
+     */
+    virtual bool writeNb(FifoId f, Value v) = 0;
+
+    /** @return true when the FIFO has no readable data this cycle. */
+    virtual bool empty(FifoId f) = 0;
+
+    /** @return true when the FIFO has no writable space this cycle. */
+    virtual bool full(FifoId f) = 0;
+
+    /**
+     * An empty() whose result the design does not use. The §7.3.2 LLVM
+     * pass replaces such calls with skippable markers; engines may elide
+     * the query entirely.
+     */
+    virtual void emptyUnused(FifoId f) = 0;
+
+    /** A full() whose result the design does not use (§7.3.2). */
+    virtual void fullUnused(FifoId f) = 0;
+
+    /** Bounds-checked load from a design memory. */
+    virtual Value load(MemId m, std::uint64_t idx) = 0;
+
+    /** Bounds-checked store to a design memory. */
+    virtual void store(MemId m, std::uint64_t idx, Value v) = 0;
+
+    /** Issue an AXI read-burst request for len beats starting at addr. */
+    virtual void axiReadReq(AxiId a, std::uint64_t addr,
+                            std::uint32_t len) = 0;
+
+    /** Receive the next beat of the oldest outstanding read burst. */
+    virtual Value axiRead(AxiId a) = 0;
+
+    /** Issue an AXI write-burst request for len beats starting at addr. */
+    virtual void axiWriteReq(AxiId a, std::uint64_t addr,
+                             std::uint32_t len) = 0;
+
+    /** Send the next data beat of the current write burst. */
+    virtual void axiWrite(AxiId a, Value v) = 0;
+
+    /** Wait for the write response of the current write burst. */
+    virtual void axiWriteResp(AxiId a) = 0;
+
+    /** Model n cycles of scheduled compute latency. */
+    virtual void advance(Cycles n) = 0;
+
+    /** @return the module-local current hardware cycle. */
+    virtual Cycles now() const = 0;
+
+    /** Enter a pipelined loop region with initiation interval ii. */
+    virtual void pipelineBegin(std::uint32_t ii) = 0;
+
+    /** Begin the next iteration of the innermost pipelined loop. */
+    virtual void iterBegin() = 0;
+
+    /** Leave the innermost pipelined loop region. */
+    virtual void pipelineEnd() = 0;
+};
+
+/**
+ * RAII helper for pipelined loops:
+ * @code
+ *   PipelineScope pipe(ctx, 1);
+ *   for (int i = 0; i < n; ++i) {
+ *       pipe.iter();
+ *       ctx.write(out, ctx.load(mem, i));
+ *   }
+ * @endcode
+ */
+class PipelineScope
+{
+  public:
+    PipelineScope(Context &ctx, std::uint32_t ii)
+        : ctx_(ctx)
+    {
+        ctx_.pipelineBegin(ii);
+    }
+
+    /** Start the next iteration. */
+    void iter() { ctx_.iterBegin(); }
+
+    ~PipelineScope() { ctx_.pipelineEnd(); }
+
+    PipelineScope(const PipelineScope &) = delete;
+    PipelineScope &operator=(const PipelineScope &) = delete;
+
+  private:
+    Context &ctx_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_DESIGN_CONTEXT_HH

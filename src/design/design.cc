@@ -1,0 +1,153 @@
+#include "design/design.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+const char *
+accessKindName(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::Blocking:    return "B";
+      case AccessKind::NonBlocking: return "NB";
+      case AccessKind::Mixed:       return "B+NB";
+    }
+    return "?";
+}
+
+ModuleId
+Design::addModule(std::string name, ModuleBody body, ModuleOptions opts)
+{
+    omnisim_assert(body != nullptr, "module '%s' has no body", name.c_str());
+    modules_.push_back(ModuleDecl{std::move(name), std::move(body), opts});
+    return static_cast<ModuleId>(modules_.size() - 1);
+}
+
+FifoId
+Design::addFifo(std::string name, std::uint32_t depth, ModuleId writer,
+                ModuleId reader, AccessKind write_kind,
+                AccessKind read_kind)
+{
+    if (depth < 1)
+        omnisim_fatal("FIFO '%s' must have depth >= 1", name.c_str());
+    const auto nmods = static_cast<ModuleId>(modules_.size());
+    if (writer < 0 || writer >= nmods || reader < 0 || reader >= nmods) {
+        omnisim_fatal("FIFO '%s' endpoints (%d -> %d) out of range",
+                      name.c_str(), writer, reader);
+    }
+    fifos_.push_back(FifoDecl{std::move(name), depth, writer, reader,
+                              write_kind, read_kind});
+    return static_cast<FifoId>(fifos_.size() - 1);
+}
+
+FifoId
+Design::declareFifo(std::string name, std::uint32_t depth,
+                    AccessKind write_kind, AccessKind read_kind)
+{
+    if (depth < 1)
+        omnisim_fatal("FIFO '%s' must have depth >= 1", name.c_str());
+    fifos_.push_back(FifoDecl{std::move(name), depth, invalidId, invalidId,
+                              write_kind, read_kind});
+    return static_cast<FifoId>(fifos_.size() - 1);
+}
+
+void
+Design::connectFifo(FifoId f, ModuleId writer, ModuleId reader)
+{
+    const auto nfifos = static_cast<FifoId>(fifos_.size());
+    const auto nmods = static_cast<ModuleId>(modules_.size());
+    if (f < 0 || f >= nfifos)
+        omnisim_fatal("connectFifo: FIFO %d out of range", f);
+    if (writer < 0 || writer >= nmods || reader < 0 || reader >= nmods) {
+        omnisim_fatal("connectFifo('%s'): endpoints (%d -> %d) out of "
+                      "range", fifos_[f].name.c_str(), writer, reader);
+    }
+    fifos_[f].writer = writer;
+    fifos_[f].reader = reader;
+}
+
+AxiId
+Design::declareAxiPort(std::string name, MemId backing, AxiConfig config)
+{
+    const auto nmems = static_cast<MemId>(memories_.size());
+    if (backing < 0 || backing >= nmems)
+        omnisim_fatal("AXI port '%s' backing memory %d out of range",
+                      name.c_str(), backing);
+    axiPorts_.push_back(AxiDecl{std::move(name), invalidId, backing,
+                                config});
+    return static_cast<AxiId>(axiPorts_.size() - 1);
+}
+
+void
+Design::connectAxi(AxiId a, ModuleId owner)
+{
+    const auto naxi = static_cast<AxiId>(axiPorts_.size());
+    const auto nmods = static_cast<ModuleId>(modules_.size());
+    if (a < 0 || a >= naxi)
+        omnisim_fatal("connectAxi: port %d out of range", a);
+    if (owner < 0 || owner >= nmods)
+        omnisim_fatal("connectAxi: owner %d out of range", owner);
+    axiPorts_[a].owner = owner;
+}
+
+MemId
+Design::addMemory(std::string name, std::size_t size)
+{
+    if (size == 0)
+        omnisim_fatal("memory '%s' must have nonzero size", name.c_str());
+    memories_.push_back(MemoryDecl{std::move(name), size});
+    return static_cast<MemId>(memories_.size() - 1);
+}
+
+AxiId
+Design::addAxiPort(std::string name, ModuleId owner, MemId backing,
+                   AxiConfig config)
+{
+    const auto nmods = static_cast<ModuleId>(modules_.size());
+    const auto nmems = static_cast<MemId>(memories_.size());
+    if (owner < 0 || owner >= nmods)
+        omnisim_fatal("AXI port '%s' owner %d out of range",
+                      name.c_str(), owner);
+    if (backing < 0 || backing >= nmems)
+        omnisim_fatal("AXI port '%s' backing memory %d out of range",
+                      name.c_str(), backing);
+    axiPorts_.push_back(AxiDecl{std::move(name), owner, backing, config});
+    return static_cast<AxiId>(axiPorts_.size() - 1);
+}
+
+void
+Design::setInput(MemId mem, std::vector<Value> data)
+{
+    const auto nmems = static_cast<MemId>(memories_.size());
+    if (mem < 0 || mem >= nmems)
+        omnisim_fatal("setInput: memory %d out of range", mem);
+    if (data.size() > memories_[mem].size) {
+        omnisim_fatal("setInput: %zu values exceed memory '%s' size %zu",
+                      data.size(), memories_[mem].name.c_str(),
+                      memories_[mem].size);
+    }
+    inputs_[mem] = std::move(data);
+}
+
+void
+Design::setFifoDepth(FifoId f, std::uint32_t depth)
+{
+    const auto nfifos = static_cast<FifoId>(fifos_.size());
+    if (f < 0 || f >= nfifos)
+        omnisim_fatal("setFifoDepth: FIFO %d out of range", f);
+    if (depth < 1)
+        omnisim_fatal("setFifoDepth: depth must be >= 1");
+    fifos_[f].depth = depth;
+}
+
+MemoryPool
+Design::makeMemoryPool() const
+{
+    MemoryPool pool(memories_);
+    for (const auto &[mem, data] : inputs_)
+        pool.fill(mem, data);
+    return pool;
+}
+
+} // namespace omnisim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Dataflow design description: modules (tasks), FIFO channels, memories
+ * and AXI ports, plus per-channel declared access kinds used by the
+ * taxonomy classifier. A Design is a pure description — engines never
+ * mutate it — so one Design can be simulated by all four engines and
+ * compared (Table 3 of the paper).
+ */
+
+#ifndef OMNISIM_DESIGN_DESIGN_HH
+#define OMNISIM_DESIGN_DESIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/axi.hh"
+#include "runtime/memory.hh"
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+class Context;
+
+/** How a module accesses one end of a FIFO. */
+enum class AccessKind : std::uint8_t
+{
+    Blocking,    ///< Only read()/write().
+    NonBlocking, ///< Only readNb()/writeNb() (and status checks).
+    Mixed,       ///< Both styles.
+};
+
+/** @return a stable human-readable name for an access kind. */
+const char *accessKindName(AccessKind k);
+
+/** Per-module declaration options feeding the §3.1 classifier. */
+struct ModuleOptions
+{
+    /** The body contains an infinite loop terminated only by a signal
+     *  received over a FIFO (Type B/C structural feature). */
+    bool hasInfiniteLoop = false;
+
+    /** The outcome of a non-blocking access changes subsequent program
+     *  behavior (the defining feature of Type C). The paper infers this
+     *  from LLVM IR; the DSL declares it (see DESIGN.md §1). */
+    bool behaviorVariesOnNb = false;
+};
+
+/** The executable body of a dataflow task. */
+using ModuleBody = std::function<void(Context &)>;
+
+/** One dataflow task. */
+struct ModuleDecl
+{
+    std::string name;
+    ModuleBody body;
+    ModuleOptions opts;
+};
+
+/** One FIFO channel. Exactly one writer module and one reader module. */
+struct FifoDecl
+{
+    std::string name;
+    std::uint32_t depth = 2;
+    ModuleId writer = invalidId;
+    ModuleId reader = invalidId;
+    AccessKind writeKind = AccessKind::Blocking;
+    AccessKind readKind = AccessKind::Blocking;
+};
+
+/** One AXI port: owned by a single module, backed by a design memory. */
+struct AxiDecl
+{
+    std::string name;
+    ModuleId owner = invalidId;
+    MemId backing = invalidId;
+    AxiConfig config;
+};
+
+/**
+ * A complete dataflow design plus its testbench inputs.
+ */
+class Design
+{
+  public:
+    explicit Design(std::string name) : name_(std::move(name)) {}
+
+    /** Register a dataflow task. */
+    ModuleId addModule(std::string name, ModuleBody body,
+                       ModuleOptions opts = {});
+
+    /** Register a FIFO connecting writer -> reader. */
+    FifoId addFifo(std::string name, std::uint32_t depth, ModuleId writer,
+                   ModuleId reader,
+                   AccessKind write_kind = AccessKind::Blocking,
+                   AccessKind read_kind = AccessKind::Blocking);
+
+    /**
+     * Declare a FIFO before its endpoint modules exist (module bodies
+     * capture FIFO ids by value, so ids must be available first). The
+     * endpoints are bound later with connectFifo(); compile() rejects
+     * designs with unconnected FIFOs.
+     */
+    FifoId declareFifo(std::string name, std::uint32_t depth,
+                       AccessKind write_kind = AccessKind::Blocking,
+                       AccessKind read_kind = AccessKind::Blocking);
+
+    /** Bind the writer and reader modules of a declared FIFO. */
+    void connectFifo(FifoId f, ModuleId writer, ModuleId reader);
+
+    /** Declare an AXI port before its owner module exists. */
+    AxiId declareAxiPort(std::string name, MemId backing,
+                         AxiConfig config = {});
+
+    /** Bind the owner module of a declared AXI port. */
+    void connectAxi(AxiId a, ModuleId owner);
+
+    /** Register a named memory of the given element count. */
+    MemId addMemory(std::string name, std::size_t size);
+
+    /** Register an AXI port owned by a module, backed by a memory. */
+    AxiId addAxiPort(std::string name, ModuleId owner, MemId backing,
+                     AxiConfig config = {});
+
+    /** Provide testbench input data for a memory. */
+    void setInput(MemId mem, std::vector<Value> data);
+
+    /**
+     * Change a FIFO depth (design-space exploration knob; drives the
+     * incremental re-simulation of §7.2 / Table 6).
+     */
+    void setFifoDepth(FifoId f, std::uint32_t depth);
+
+    const std::string &name() const { return name_; }
+    const std::vector<ModuleDecl> &modules() const { return modules_; }
+    const std::vector<FifoDecl> &fifos() const { return fifos_; }
+    const std::vector<MemoryDecl> &memories() const { return memories_; }
+    const std::vector<AxiDecl> &axiPorts() const { return axiPorts_; }
+    const std::map<MemId, std::vector<Value>> &inputs() const
+    {
+        return inputs_;
+    }
+
+    /** @return a MemoryPool initialized with this design's inputs. */
+    MemoryPool makeMemoryPool() const;
+
+  private:
+    std::string name_;
+    std::vector<ModuleDecl> modules_;
+    std::vector<FifoDecl> fifos_;
+    std::vector<MemoryDecl> memories_;
+    std::vector<AxiDecl> axiPorts_;
+    std::map<MemId, std::vector<Value>> inputs_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_DESIGN_DESIGN_HH

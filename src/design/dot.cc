@@ -1,0 +1,47 @@
+#include "design/dot.hh"
+
+#include <set>
+#include <sstream>
+
+#include "design/classify.hh"
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+std::string
+toDot(const Design &design)
+{
+    const Classification cls = classify(design);
+    std::set<ModuleId> cyclic_members;
+    for (const auto &scc : cls.cycles)
+        cyclic_members.insert(scc.begin(), scc.end());
+
+    std::ostringstream os;
+    os << "digraph \"" << design.name() << "\" {\n";
+    os << "  rankdir=LR;\n";
+    os << "  label=\"" << design.name() << " (Type "
+       << designTypeName(cls.type) << ")\";\n";
+    for (std::size_t m = 0; m < design.modules().size(); ++m) {
+        const auto &mod = design.modules()[m];
+        os << "  m" << m << " [shape=box, label=\"" << mod.name << "\"";
+        if (cyclic_members.count(static_cast<ModuleId>(m)))
+            os << ", style=filled, fillcolor=\"#ffd0d0\"";
+        os << "];\n";
+    }
+    for (const auto &f : design.fifos()) {
+        os << "  m" << f.writer << " -> m" << f.reader << " [label=\""
+           << f.name << " [" << f.depth << "] "
+           << accessKindName(f.writeKind) << "/"
+           << accessKindName(f.readKind) << "\"";
+        if (f.writeKind != AccessKind::Blocking ||
+            f.readKind != AccessKind::Blocking) {
+            os << ", color=\"#c00000\"";
+        }
+        os << "];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace omnisim

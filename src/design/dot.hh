@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Graphviz export of dataflow designs: modules as nodes, FIFO channels
+ * as edges annotated with depth and access kinds. Useful for inspecting
+ * the module graph the taxonomy classifier reasons about.
+ */
+
+#ifndef OMNISIM_DESIGN_DOT_HH
+#define OMNISIM_DESIGN_DOT_HH
+
+#include <string>
+
+#include "design/design.hh"
+
+namespace omnisim
+{
+
+/**
+ * Render the module/FIFO graph of a design in Graphviz DOT syntax.
+ * Cyclic-group members (SCCs) are highlighted, matching §3.1's cyclic
+ * dependency analysis.
+ */
+std::string toDot(const Design &design);
+
+} // namespace omnisim
+
+#endif // OMNISIM_DESIGN_DOT_HH

@@ -1,0 +1,68 @@
+#include "design/frontend.hh"
+
+#include <set>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+namespace
+{
+
+void
+checkUniqueNames(const Design &d)
+{
+    std::set<std::string> seen;
+    for (const auto &m : d.modules()) {
+        if (!seen.insert("m:" + m.name).second)
+            omnisim_fatal("duplicate module name '%s'", m.name.c_str());
+    }
+    for (const auto &f : d.fifos()) {
+        if (!seen.insert("f:" + f.name).second)
+            omnisim_fatal("duplicate FIFO name '%s'", f.name.c_str());
+    }
+    for (const auto &m : d.memories()) {
+        if (!seen.insert("mem:" + m.name).second)
+            omnisim_fatal("duplicate memory name '%s'", m.name.c_str());
+    }
+    for (const auto &a : d.axiPorts()) {
+        if (!seen.insert("axi:" + a.name).second)
+            omnisim_fatal("duplicate AXI port name '%s'", a.name.c_str());
+    }
+}
+
+} // namespace
+
+CompiledDesign
+compile(const Design &design)
+{
+    if (design.modules().empty())
+        omnisim_fatal("design '%s' has no modules", design.name().c_str());
+    checkUniqueNames(design);
+    for (const auto &f : design.fifos()) {
+        if (f.writer == invalidId || f.reader == invalidId) {
+            omnisim_fatal("FIFO '%s' of design '%s' is not connected",
+                          f.name.c_str(), design.name().c_str());
+        }
+    }
+    for (const auto &a : design.axiPorts()) {
+        if (a.owner == invalidId) {
+            omnisim_fatal("AXI port '%s' of design '%s' has no owner",
+                          a.name.c_str(), design.name().c_str());
+        }
+    }
+
+    CompiledDesign out;
+    out.design = &design;
+    out.classification = classify(design);
+
+    out.threadPlan.reserve(design.modules().size());
+    for (std::size_t i = 0; i < design.modules().size(); ++i)
+        out.threadPlan.push_back(static_cast<ModuleId>(i));
+
+    return out;
+}
+
+} // namespace omnisim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Front-end compilation (§6.1 of the paper). In the original system this
+ * stage extracts LLVM IR from the HLS project, applies custom passes
+ * (trace instrumentation, dataflow-to-thread rewriting, redundant FIFO
+ * check elimination) and links against the runtime library. In this
+ * reproduction the DSL already executes natively, so the front end
+ * consists of: design validation, taxonomy classification, the
+ * thread-per-task plan (every dataflow module gets a dedicated Func Sim
+ * thread, including blocking-only modules, to support cyclic dependencies
+ * and infinite loops), and the dead FIFO-check elimination marking.
+ */
+
+#ifndef OMNISIM_DESIGN_FRONTEND_HH
+#define OMNISIM_DESIGN_FRONTEND_HH
+
+#include <vector>
+
+#include "design/classify.hh"
+#include "design/design.hh"
+
+namespace omnisim
+{
+
+/** Output of front-end compilation; input to every engine. */
+struct CompiledDesign
+{
+    const Design *design = nullptr;
+    Classification classification;
+
+    /**
+     * Modules in thread-launch order — one Func Sim thread each (§6.2
+     * step 1). Identical to declaration order; kept explicit so engines
+     * need no knowledge of Design internals.
+     */
+    std::vector<ModuleId> threadPlan;
+
+    /** @return the underlying design (never null after compile()). */
+    const Design &d() const { return *design; }
+};
+
+/**
+ * Validate and compile a design for simulation.
+ *
+ * Checks performed:
+ *  - at least one module; unique module/FIFO/memory names;
+ *  - every FIFO has exactly one writer and one reader module (SPSC,
+ *    matching Vitis dataflow semantics);
+ *  - declaration consistency for the classifier.
+ *
+ * @throws FatalError on any violation.
+ */
+CompiledDesign compile(const Design &design);
+
+} // namespace omnisim
+
+#endif // OMNISIM_DESIGN_FRONTEND_HH

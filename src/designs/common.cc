@@ -1,0 +1,29 @@
+#include "designs/common.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim::designs
+{
+
+std::vector<Value>
+iotaData(std::size_t n)
+{
+    std::vector<Value> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<Value>(i + 1);
+    return v;
+}
+
+const DesignEntry &
+findDesign(const std::string &name)
+{
+    for (const auto &e : typeBCDesigns())
+        if (e.name == name)
+            return e;
+    for (const auto &e : typeADesigns())
+        if (e.name == name)
+            return e;
+    omnisim_fatal("unknown design '%s'", name.c_str());
+}
+
+} // namespace omnisim::designs

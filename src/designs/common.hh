@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark design suites: the named-design
+ * registry consumed by tests and benchmark harnesses, and the standard
+ * testbench workload (N = 2025, data[i] = i + 1, matching the sums the
+ * paper reports in Table 3: 2,051,325 = sum of 1..2025).
+ */
+
+#ifndef OMNISIM_DESIGNS_COMMON_HH
+#define OMNISIM_DESIGNS_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "design/design.hh"
+
+namespace omnisim::designs
+{
+
+/** Items in the standard Table 3 workload. */
+constexpr std::size_t tableN = 2025;
+
+/** Slack elements appended to bounded input arrays so that genuine
+ *  hardware behaviour (a producer briefly running past the done signal)
+ *  does not fault, while the unbounded overrun of naive C simulation
+ *  does — reproducing the paper's C-sim SIGSEGVs. */
+constexpr std::size_t overrunSlack = 64;
+
+/** @return the standard workload: {1, 2, ..., n}. */
+std::vector<Value> iotaData(std::size_t n);
+
+/** One registered benchmark design. */
+struct DesignEntry
+{
+    std::string name;
+    std::string description;
+    std::function<Design()> build;
+};
+
+/** The eleven Type B / Type C designs of Table 4. */
+const std::vector<DesignEntry> &typeBCDesigns();
+
+/** The Type A suite used for the Table 5 comparison. */
+const std::vector<DesignEntry> &typeADesigns();
+
+/** Look up a design by name across both suites. */
+const DesignEntry &findDesign(const std::string &name);
+
+} // namespace omnisim::designs
+
+#endif // OMNISIM_DESIGNS_COMMON_HH

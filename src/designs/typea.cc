@@ -1,0 +1,1066 @@
+#include "designs/typea.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "design/context.hh"
+#include "designs/common.hh"
+#include "sched/schedule.hh"
+#include "support/logging.hh"
+
+namespace omnisim::designs
+{
+
+namespace
+{
+
+constexpr std::size_t smallN = 4096; ///< Stream length for small kernels.
+
+/** Producer: stream mem[0..n) into a FIFO at II = 1. */
+void
+addProducer(Design &d, const char *name, MemId mem, FifoId out,
+            std::size_t n, ModuleId &id)
+{
+    id = d.addModule(name, [=](Context &ctx) {
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            ctx.write(out, ctx.load(mem, i));
+        }
+    });
+}
+
+/** Consumer: fold n FIFO elements into a sum stored at mem[0]. */
+void
+addSumConsumer(Design &d, const char *name, FifoId in, MemId mem,
+               std::size_t n, ModuleId &id)
+{
+    id = d.addModule(name, [=](Context &ctx) {
+        Value sum = 0;
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            sum += ctx.read(in);
+        }
+        ctx.store(mem, 0, sum);
+    });
+}
+
+/**
+ * Build the standard three-stage stream kernel:
+ * producer -> worker(transform at the scheduled II) -> sum consumer.
+ * The worker's initiation interval and drain depth come from the static
+ * scheduler: this is the front-end work Table 5's FE column measures.
+ */
+Design
+makeStreamKernel(const char *name, std::size_t n,
+                 const OpGraph &body_graph,
+                 std::function<Value(Value)> transform)
+{
+    Design d(name);
+    const MemId data = d.addMemory("data", n);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(n));
+
+    const LoopSchedule ls = scheduleLoop(body_graph, Resources{});
+
+    const FifoId in_f = d.declareFifo("in", 2);
+    const FifoId out_f = d.declareFifo("out", 2);
+
+    ModuleId producer;
+    addProducer(d, "producer", data, in_f, n, producer);
+
+    const ModuleId worker = d.addModule("worker", [=](Context &ctx) {
+        {
+            PipelineScope pipe(ctx, static_cast<std::uint32_t>(ls.ii));
+            for (std::size_t i = 0; i < n; ++i) {
+                pipe.iter();
+                const Value v = ctx.read(in_f);
+                ctx.write(out_f, transform(v));
+            }
+        }
+        ctx.advance(ls.depth); // pipeline drain
+    });
+
+    ModuleId consumer;
+    addSumConsumer(d, "consumer", out_f, sum_out, n, consumer);
+
+    d.connectFifo(in_f, producer, worker);
+    d.connectFifo(out_f, worker, consumer);
+    return d;
+}
+
+/** Op graph: chain of `muls` multiplies and `adds` adds after a read. */
+OpGraph
+macGraph(std::size_t muls, std::size_t adds, std::size_t divs = 0)
+{
+    OpGraph g;
+    const std::uint32_t rd = g.addOp(OpKind::FifoRead);
+    std::uint32_t prev = rd;
+    for (std::size_t i = 0; i < muls; ++i) {
+        const std::uint32_t m = g.addOp(OpKind::Mul);
+        g.addDep(prev, m);
+        prev = m;
+    }
+    for (std::size_t i = 0; i < adds; ++i) {
+        const std::uint32_t a = g.addOp(OpKind::Add);
+        g.addDep(prev, a);
+        prev = a;
+    }
+    for (std::size_t i = 0; i < divs; ++i) {
+        const std::uint32_t v = g.addOp(OpKind::Div);
+        g.addDep(prev, v);
+        prev = v;
+    }
+    const std::uint32_t wr = g.addOp(OpKind::FifoWrite);
+    g.addDep(prev, wr);
+    return g;
+}
+
+} // namespace
+
+Design
+buildSqrtFixed()
+{
+    // Three Newton iterations: divide-dominated loop body.
+    return makeStreamKernel("sqrt_fixed", smallN, macGraph(0, 2, 1),
+                            [](Value v) {
+                                Value x = v > 0 ? v : 1;
+                                for (int it = 0; it < 3; ++it)
+                                    x = (x + v / x) / 2;
+                                return x;
+                            });
+}
+
+Design
+buildFirFilter()
+{
+    // 8 taps through a single multiplier: scheduler yields II = 8.
+    OpGraph g = macGraph(8, 7);
+    return makeStreamKernel("fir_filter", smallN, g, [](Value v) {
+        static constexpr Value taps[8] = {1, -2, 3, -4, 4, -3, 2, -1};
+        Value acc = 0;
+        for (int t = 0; t < 8; ++t)
+            acc += taps[t] * (v + t);
+        return acc;
+    });
+}
+
+Design
+buildWindowConv()
+{
+    return makeStreamKernel("window_conv_fixed", smallN, macGraph(3, 3),
+                            [](Value v) {
+                                return 3 * v * v + 2 * v + 1;
+                            });
+}
+
+Design
+buildFloatConv()
+{
+    // "Floating point" via scaled fixed-point arithmetic.
+    return makeStreamKernel("float_conv", smallN, macGraph(2, 2),
+                            [](Value v) {
+                                const Value scaled = v * 1000;
+                                return (scaled * 31 + 500) / 1000;
+                            });
+}
+
+Design
+buildApAlu()
+{
+    return makeStreamKernel("ap_alu", smallN, macGraph(1, 2),
+                            [](Value v) {
+                                switch (v % 4) {
+                                  case 0: return v + 17;
+                                  case 1: return v * 3;
+                                  case 2: return v >> 2;
+                                  default: return v ^ 0x5a5a;
+                                }
+                            });
+}
+
+Design
+buildParallelLoops()
+{
+    Design d("parallel_loops");
+    const std::size_t n = smallN;
+    const MemId data = d.addMemory("data", n);
+    const MemId sum_out = d.addMemory("sum_out", 2);
+    d.setInput(data, iotaData(n));
+
+    d.addModule("loops", [=](Context &ctx) {
+        Value a = 0;
+        {
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t i = 0; i < n / 2; ++i) {
+                pipe.iter();
+                a += ctx.load(data, i);
+                ctx.advance(1);
+            }
+        }
+        Value b = 0;
+        {
+            PipelineScope pipe(ctx, 2);
+            for (std::size_t i = n / 2; i < n; ++i) {
+                pipe.iter();
+                b += ctx.load(data, i) * 2;
+                ctx.advance(1);
+            }
+        }
+        ctx.store(sum_out, 0, a);
+        ctx.store(sum_out, 1, b);
+    });
+    return d;
+}
+
+Design
+buildImperfectLoops()
+{
+    Design d("imperfect_loops");
+    const std::size_t rows = 64;
+    const MemId data = d.addMemory("data", rows * 8);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(rows * 8));
+
+    d.addModule("nest", [=](Context &ctx) {
+        Value sum = 0;
+        for (std::size_t i = 0; i < rows; ++i) {
+            ctx.advance(1); // outer-loop setup state
+            const std::size_t bound = 1 + i % 8;
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t j = 0; j < bound; ++j) {
+                pipe.iter();
+                sum += ctx.load(data, i * 8 + j);
+                ctx.advance(1);
+            }
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildLoopMaxBound()
+{
+    Design d("loop_max_bound");
+    const std::size_t n = 512;
+    const MemId data = d.addMemory("data", n);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(n));
+
+    d.addModule("capped", [=](Context &ctx) {
+        Value sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Data-dependent trip count, capped at 16 (the max bound the
+            // HLS pragma would declare).
+            const auto trip = static_cast<std::size_t>(
+                std::min<Value>(ctx.load(data, i) % 19, 16));
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t j = 0; j < trip; ++j) {
+                pipe.iter();
+                sum += static_cast<Value>(j);
+                ctx.advance(1);
+            }
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildPerfectNested()
+{
+    Design d("perfect_nested");
+    const std::size_t dim = 64;
+    const MemId data = d.addMemory("data", dim * dim);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(dim * dim));
+
+    d.addModule("nest", [=](Context &ctx) {
+        Value sum = 0;
+        PipelineScope pipe(ctx, 1); // flattened perfect nest: one pipeline
+        for (std::size_t i = 0; i < dim; ++i) {
+            for (std::size_t j = 0; j < dim; ++j) {
+                pipe.iter();
+                sum += ctx.load(data, i * dim + j);
+                ctx.advance(1);
+            }
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildPipelinedNested()
+{
+    Design d("pipelined_nested");
+    const std::size_t dim = 48;
+    const MemId data = d.addMemory("data", dim * dim);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(dim * dim));
+
+    d.addModule("nest", [=](Context &ctx) {
+        Value sum = 0;
+        PipelineScope outer(ctx, 4); // outer pipelined, inner unrolled
+        for (std::size_t i = 0; i < dim; ++i) {
+            outer.iter();
+            Value row = 0;
+            for (std::size_t j = 0; j < dim; ++j)
+                row += ctx.load(data, i * dim + j);
+            ctx.advance(2); // unrolled reduction tree latency
+            sum += row;
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildSequentialAccum()
+{
+    Design d("sequential_accum");
+    const std::size_t n = smallN;
+    const MemId data = d.addMemory("data", n);
+    const MemId sum_out = d.addMemory("sum_out", 2);
+    d.setInput(data, iotaData(n));
+
+    d.addModule("accum", [=](Context &ctx) {
+        Value a = 0;
+        {
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t i = 0; i < n; ++i) {
+                pipe.iter();
+                a += ctx.load(data, i);
+                ctx.advance(1);
+            }
+        }
+        Value b = 0;
+        {
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t i = 0; i < n; ++i) {
+                pipe.iter();
+                b += a % (ctx.load(data, i) + 1);
+                ctx.advance(1);
+            }
+        }
+        ctx.store(sum_out, 0, a);
+        ctx.store(sum_out, 1, b);
+    });
+    return d;
+}
+
+Design
+buildAccumAsserts()
+{
+    Design d("accum_asserts");
+    const std::size_t n = smallN;
+    const MemId data = d.addMemory("data", n);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(n));
+
+    d.addModule("accum", [=](Context &ctx) {
+        Value sum = 0;
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            const Value v = ctx.load(data, i);
+            // The "assert" guards of the Vitis example become branches.
+            if (v >= 0 && v <= static_cast<Value>(n))
+                sum += v;
+            ctx.advance(1);
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildAccumDataflow()
+{
+    Design d("accum_dataflow");
+    const std::size_t n = smallN;
+    const MemId data = d.addMemory("data", n);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(n));
+
+    const FifoId f1 = d.declareFifo("s1", 4);
+    const FifoId f2 = d.declareFifo("s2", 4);
+
+    ModuleId producer;
+    addProducer(d, "producer", data, f1, n, producer);
+
+    const ModuleId stage = d.addModule("partial", [=](Context &ctx) {
+        PipelineScope pipe(ctx, 1);
+        Value acc = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            acc += ctx.read(f1);
+            ctx.write(f2, acc);
+        }
+    });
+
+    const ModuleId sink = d.addModule("sink", [=](Context &ctx) {
+        Value last = 0;
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            last = ctx.read(f2);
+        }
+        ctx.store(sum_out, 0, last);
+    });
+
+    d.connectFifo(f1, producer, stage);
+    d.connectFifo(f2, stage, sink);
+    return d;
+}
+
+Design
+buildStaticMemory()
+{
+    Design d("static_memory");
+    const std::size_t n = smallN;
+    const MemId data = d.addMemory("data", n);
+    const MemId table = d.addMemory("table", 256);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(n));
+
+    d.addModule("lut", [=](Context &ctx) {
+        // Initialize the static table (HLS would burn this into ROM).
+        for (std::size_t i = 0; i < 256; ++i)
+            ctx.store(table, i, static_cast<Value>((i * 37) % 251));
+        ctx.advance(4);
+        Value sum = 0;
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            const Value v = ctx.load(data, i);
+            sum += ctx.load(table, static_cast<std::uint64_t>(v) % 256);
+            ctx.advance(1);
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildPointerCast()
+{
+    return makeStreamKernel("pointer_cast", smallN, macGraph(0, 4),
+                            [](Value v) {
+                                // Reinterpret as 4 x 16-bit lanes and sum.
+                                Value acc = 0;
+                                for (int lane = 0; lane < 4; ++lane)
+                                    acc += (v >> (16 * lane)) & 0xffff;
+                                return acc;
+                            });
+}
+
+Design
+buildDoublePointer()
+{
+    Design d("double_pointer");
+    const std::size_t n = smallN;
+    const MemId data = d.addMemory("data", n);
+    const MemId idx = d.addMemory("idx", n);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(n));
+    {
+        std::vector<Value> indices(n);
+        for (std::size_t i = 0; i < n; ++i)
+            indices[i] = static_cast<Value>((i * 131) % n);
+        d.setInput(idx, indices);
+    }
+
+    d.addModule("gather", [=](Context &ctx) {
+        Value sum = 0;
+        PipelineScope pipe(ctx, 2); // two dependent loads per iteration
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            const auto j = static_cast<std::uint64_t>(ctx.load(idx, i));
+            sum += ctx.load(data, j);
+            ctx.advance(2);
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildAxi4Master()
+{
+    Design d("axi4_master");
+    const std::size_t n = 2048;
+    const std::size_t burst = 64;
+    const MemId ddr_in = d.addMemory("ddr_in", n);
+    const MemId ddr_out = d.addMemory("ddr_out", n);
+    d.setInput(ddr_in, iotaData(n));
+
+    const AxiId rd_port = d.declareAxiPort("gmem_rd", ddr_in);
+    const AxiId wr_port = d.declareAxiPort("gmem_wr", ddr_out);
+
+    const ModuleId master = d.addModule("master", [=](Context &ctx) {
+        for (std::size_t b = 0; b < n / burst; ++b) {
+            ctx.axiReadReq(rd_port, b * burst, burst);
+            Value local[burst];
+            for (std::size_t k = 0; k < burst; ++k)
+                local[k] = ctx.axiRead(rd_port) * 2 + 1;
+            ctx.axiWriteReq(wr_port, b * burst, burst);
+            for (std::size_t k = 0; k < burst; ++k)
+                ctx.axiWrite(wr_port, local[k]);
+            ctx.axiWriteResp(wr_port);
+        }
+    });
+    d.connectAxi(rd_port, master);
+    d.connectAxi(wr_port, master);
+    return d;
+}
+
+Design
+buildAxisStream()
+{
+    Design d("axis_stream");
+    const std::size_t n = smallN;
+    const MemId a = d.addMemory("a", n);
+    const MemId b = d.addMemory("b", n);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(a, iotaData(n));
+    {
+        std::vector<Value> bv(n);
+        for (std::size_t i = 0; i < n; ++i)
+            bv[i] = static_cast<Value>(3 * i + 7);
+        d.setInput(b, bv);
+    }
+
+    const FifoId fa = d.declareFifo("sa", 4);
+    const FifoId fb = d.declareFifo("sb", 4);
+    const FifoId fo = d.declareFifo("so", 4);
+
+    ModuleId pa;
+    ModuleId pb;
+    addProducer(d, "prod_a", a, fa, n, pa);
+    addProducer(d, "prod_b", b, fb, n, pb);
+
+    const ModuleId adder = d.addModule("adder", [=](Context &ctx) {
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            const Value va = ctx.read(fa);
+            const Value vb = ctx.read(fb);
+            ctx.write(fo, va + vb);
+        }
+    });
+
+    ModuleId sink;
+    addSumConsumer(d, "sink", fo, sum_out, n, sink);
+
+    d.connectFifo(fa, pa, adder);
+    d.connectFifo(fb, pb, adder);
+    d.connectFifo(fo, adder, sink);
+    return d;
+}
+
+Design
+buildArrayAccess()
+{
+    Design d("multiple_array_access");
+    const std::size_t n = smallN / 2;
+    const MemId m0 = d.addMemory("m0", n);
+    const MemId m1 = d.addMemory("m1", n);
+    const MemId m2 = d.addMemory("m2", n);
+    const MemId sum_out = d.addMemory("sum_out", 1);
+    d.setInput(m0, iotaData(n));
+    d.setInput(m1, iotaData(n));
+    d.setInput(m2, iotaData(n));
+
+    // Three loads per iteration through two ports: the scheduler finds
+    // II = 2, which the pipeline below replays.
+    OpGraph g;
+    const auto l0 = g.addOp(OpKind::Load);
+    const auto l1 = g.addOp(OpKind::Load);
+    const auto l2 = g.addOp(OpKind::Load);
+    const auto s0 = g.addOp(OpKind::Add);
+    const auto s1 = g.addOp(OpKind::Add);
+    g.addDep(l0, s0);
+    g.addDep(l1, s0);
+    g.addDep(l2, s1);
+    g.addDep(s0, s1);
+    const LoopSchedule ls = scheduleLoop(g, Resources{});
+
+    d.addModule("reader", [=](Context &ctx) {
+        Value sum = 0;
+        PipelineScope pipe(ctx, static_cast<std::uint32_t>(ls.ii));
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            sum += ctx.load(m0, i) + ctx.load(m1, i) + ctx.load(m2, i);
+            ctx.advance(1);
+        }
+        ctx.store(sum_out, 0, sum);
+    });
+    return d;
+}
+
+Design
+buildUramEcc()
+{
+    return makeStreamKernel("uram_ecc", smallN, macGraph(0, 6),
+                            [](Value v) {
+                                // 8-bit parity of each byte, packed.
+                                Value ecc = 0;
+                                for (int byte = 0; byte < 8; ++byte) {
+                                    Value x = (v >> (8 * byte)) & 0xff;
+                                    x ^= x >> 4;
+                                    x ^= x >> 2;
+                                    x ^= x >> 1;
+                                    ecc |= (x & 1) << byte;
+                                }
+                                return v ^ (ecc << 56);
+                            });
+}
+
+Design
+buildHammingFixed()
+{
+    return makeStreamKernel("hamming_fixed", smallN, macGraph(0, 5),
+                            [](Value v) {
+                                std::uint64_t x =
+                                    static_cast<std::uint64_t>(v) ^
+                                    0x5555555555555555ULL;
+                                Value count = 0;
+                                while (x) {
+                                    x &= x - 1;
+                                    ++count;
+                                }
+                                return count;
+                            });
+}
+
+Design
+buildHuffmanEncode()
+{
+    Design d("huffman_encoding");
+    const std::size_t n = smallN;
+    const MemId data = d.addMemory("data", n);
+    const MemId hist = d.addMemory("hist", 64);
+    const MemId len_out = d.addMemory("total_bits", 1);
+    d.setInput(data, iotaData(n));
+
+    d.addModule("encode", [=](Context &ctx) {
+        // Phase 1: symbol histogram.
+        {
+            PipelineScope pipe(ctx, 2); // read-modify-write recurrence
+            for (std::size_t i = 0; i < n; ++i) {
+                pipe.iter();
+                const auto sym =
+                    static_cast<std::uint64_t>(ctx.load(data, i)) % 64;
+                ctx.store(hist, sym, ctx.load(hist, sym) + 1);
+                ctx.advance(1);
+            }
+        }
+        // Phase 2: approximate code lengths (log2 of inverse freq).
+        Value total_bits = 0;
+        {
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t s = 0; s < 64; ++s) {
+                pipe.iter();
+                const Value f = ctx.load(hist, s);
+                Value bits = 1;
+                Value cap = 2;
+                while (cap < static_cast<Value>(n) / (f + 1)) {
+                    cap *= 2;
+                    ++bits;
+                }
+                total_bits += f * bits;
+                ctx.advance(1);
+            }
+        }
+        ctx.store(len_out, 0, total_bits);
+    });
+    return d;
+}
+
+Design
+buildMatmul()
+{
+    Design d("matrix_multiplication");
+    const std::size_t dim = 16;
+    const MemId a = d.addMemory("A", dim * dim);
+    const MemId b = d.addMemory("B", dim * dim);
+    const MemId c = d.addMemory("C", dim * dim);
+    d.setInput(a, iotaData(dim * dim));
+    {
+        std::vector<Value> bv(dim * dim);
+        for (std::size_t i = 0; i < dim * dim; ++i)
+            bv[i] = static_cast<Value>((i % 7) + 1);
+        d.setInput(b, bv);
+    }
+
+    d.addModule("matmul", [=](Context &ctx) {
+        for (std::size_t i = 0; i < dim; ++i) {
+            for (std::size_t j = 0; j < dim; ++j) {
+                Value acc = 0;
+                PipelineScope pipe(ctx, 1);
+                for (std::size_t k = 0; k < dim; ++k) {
+                    pipe.iter();
+                    acc += ctx.load(a, i * dim + k) *
+                           ctx.load(b, k * dim + j);
+                    ctx.advance(1);
+                }
+                ctx.store(c, i * dim + j, acc);
+            }
+        }
+    });
+    return d;
+}
+
+Design
+buildMergeSort()
+{
+    Design d("parallelized_merge_sort");
+    const std::size_t n = 1024; // two 512-element halves
+    const MemId data = d.addMemory("data", n);
+    const MemId sorted = d.addMemory("sorted", n);
+    {
+        std::vector<Value> v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = static_cast<Value>((i * 977 + 131) % 4093);
+        d.setInput(data, v);
+    }
+
+    const FifoId lo_f = d.declareFifo("lo", 8);
+    const FifoId hi_f = d.declareFifo("hi", 8);
+
+    auto sorter = [=](std::size_t base, FifoId out) {
+        return [=](Context &ctx) {
+            const std::size_t half = n / 2;
+            std::vector<Value> buf(half);
+            {
+                PipelineScope pipe(ctx, 1);
+                for (std::size_t i = 0; i < half; ++i) {
+                    pipe.iter();
+                    buf[i] = ctx.load(data, base + i);
+                    ctx.advance(1);
+                }
+            }
+            std::sort(buf.begin(), buf.end());
+            ctx.advance(half); // sort-network latency model
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t i = 0; i < half; ++i) {
+                pipe.iter();
+                ctx.write(out, buf[i]);
+            }
+        };
+    };
+
+    const ModuleId s0 = d.addModule("sorter_lo", sorter(0, lo_f));
+    const ModuleId s1 = d.addModule("sorter_hi", sorter(n / 2, hi_f));
+
+    const ModuleId merger = d.addModule("merger", [=](Context &ctx) {
+        Value a = ctx.read(lo_f);
+        Value b = ctx.read(hi_f);
+        std::size_t taken_lo = 1;
+        std::size_t taken_hi = 1;
+        const std::size_t half = n / 2;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (taken_hi > half || (taken_lo <= half && a <= b)) {
+                ctx.store(sorted, i, a);
+                a = taken_lo < half ? ctx.read(lo_f)
+                                    : std::numeric_limits<Value>::max();
+                ++taken_lo;
+            } else {
+                ctx.store(sorted, i, b);
+                b = taken_hi < half ? ctx.read(hi_f)
+                                    : std::numeric_limits<Value>::max();
+                ++taken_hi;
+            }
+            ctx.advance(1);
+        }
+    });
+
+    d.connectFifo(lo_f, s0, merger);
+    d.connectFifo(hi_f, s1, merger);
+    return d;
+}
+
+Design
+buildVecaddStream()
+{
+    Design d("vector_add_stream");
+    const std::size_t n = 2048;
+    const std::size_t burst = 128;
+    const MemId in_a = d.addMemory("in_a", n);
+    const MemId in_b = d.addMemory("in_b", n);
+    const MemId out = d.addMemory("out", n);
+    d.setInput(in_a, iotaData(n));
+    d.setInput(in_b, iotaData(n));
+
+    const AxiId pa = d.declareAxiPort("gmem_a", in_a);
+    const AxiId pb = d.declareAxiPort("gmem_b", in_b);
+    const AxiId po = d.declareAxiPort("gmem_o", out);
+
+    const FifoId fa = d.declareFifo("sa", 8);
+    const FifoId fb = d.declareFifo("sb", 8);
+    const FifoId fo = d.declareFifo("so", 8);
+
+    const ModuleId ld_a = d.addModule("load_a", [=](Context &ctx) {
+        for (std::size_t b = 0; b < n / burst; ++b) {
+            ctx.axiReadReq(pa, b * burst, burst);
+            for (std::size_t k = 0; k < burst; ++k)
+                ctx.write(fa, ctx.axiRead(pa));
+        }
+    });
+    const ModuleId ld_b = d.addModule("load_b", [=](Context &ctx) {
+        for (std::size_t b = 0; b < n / burst; ++b) {
+            ctx.axiReadReq(pb, b * burst, burst);
+            for (std::size_t k = 0; k < burst; ++k)
+                ctx.write(fb, ctx.axiRead(pb));
+        }
+    });
+    const ModuleId adder = d.addModule("add", [=](Context &ctx) {
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            ctx.write(fo, ctx.read(fa) + ctx.read(fb));
+        }
+    });
+    const ModuleId st = d.addModule("store", [=](Context &ctx) {
+        for (std::size_t b = 0; b < n / burst; ++b) {
+            ctx.axiWriteReq(po, b * burst, burst);
+            for (std::size_t k = 0; k < burst; ++k)
+                ctx.axiWrite(po, ctx.read(fo));
+            ctx.axiWriteResp(po);
+        }
+    });
+
+    d.connectAxi(pa, ld_a);
+    d.connectAxi(pb, ld_b);
+    d.connectAxi(po, st);
+    d.connectFifo(fa, ld_a, adder);
+    d.connectFifo(fb, ld_b, adder);
+    d.connectFifo(fo, adder, st);
+    return d;
+}
+
+Design
+buildFlowGnnLite()
+{
+    // Message-passing GNN skeleton: loader scatters node features to
+    // four PE lanes; each lane aggregates neighbor messages and applies
+    // an MLP-like transform; a merger reduces lane results.
+    Design d("flowgnn_lite");
+    constexpr std::size_t nodes = 8192;
+    constexpr std::size_t lanes = 4;
+    const MemId feat = d.addMemory("features", nodes);
+    const MemId out = d.addMemory("embedding_sum", 1);
+    d.setInput(feat, iotaData(nodes));
+
+    std::vector<FifoId> lane_f(lanes);
+    std::vector<FifoId> res_f(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        lane_f[l] = d.declareFifo(strf("lane%zu", l), 8);
+        res_f[l] = d.declareFifo(strf("res%zu", l), 8);
+    }
+
+    const ModuleId loader = d.addModule("loader", [=](Context &ctx) {
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t v = 0; v < nodes; ++v) {
+            pipe.iter();
+            ctx.write(lane_f[v % lanes], ctx.load(feat, v));
+        }
+    });
+
+    std::vector<ModuleId> pes(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const FifoId in_f = lane_f[l];
+        const FifoId out_f = res_f[l];
+        pes[l] = d.addModule(strf("pe%zu", l), [=](Context &ctx) {
+            const std::size_t count = nodes / lanes;
+            Value state = 0;
+            PipelineScope pipe(ctx, 2); // gather + MLP stage
+            for (std::size_t i = 0; i < count; ++i) {
+                pipe.iter();
+                const Value v = ctx.read(in_f);
+                state = state / 2 + v * 3 + 1; // degree-4 aggregation mix
+                ctx.advance(2);
+                ctx.write(out_f, state);
+            }
+        });
+    }
+
+    const ModuleId merger = d.addModule("merger", [=](Context &ctx) {
+        Value sum = 0;
+        const std::size_t count = nodes / lanes;
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < count; ++i) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+                pipe.iter();
+                sum += ctx.read(res_f[l]);
+            }
+        }
+        ctx.store(out, 0, sum);
+    });
+
+    d.connectFifo(lane_f[0], loader, pes[0]);
+    d.connectFifo(lane_f[1], loader, pes[1]);
+    d.connectFifo(lane_f[2], loader, pes[2]);
+    d.connectFifo(lane_f[3], loader, pes[3]);
+    for (std::size_t l = 0; l < lanes; ++l)
+        d.connectFifo(res_f[l], pes[l], merger);
+    return d;
+}
+
+Design
+buildInrArchLite()
+{
+    // Deep dataflow chain: 12 transform stages over a long stream —
+    // the structure that gives OmniSim its multi-threading win.
+    Design d("inr_arch_lite");
+    constexpr std::size_t items = 16384;
+    constexpr std::size_t stages = 12;
+    const MemId data = d.addMemory("data", items);
+    const MemId out = d.addMemory("out_sum", 1);
+    d.setInput(data, iotaData(items));
+
+    std::vector<FifoId> links(stages + 1);
+    for (std::size_t s = 0; s <= stages; ++s)
+        links[s] = d.declareFifo(strf("link%zu", s), 4);
+
+    ModuleId producer;
+    addProducer(d, "source", data, links[0], items, producer);
+
+    std::vector<ModuleId> mods(stages);
+    for (std::size_t s = 0; s < stages; ++s) {
+        const FifoId in_f = links[s];
+        const FifoId out_f = links[s + 1];
+        const Value coeff = static_cast<Value>(s + 2);
+        mods[s] = d.addModule(strf("grad%zu", s), [=](Context &ctx) {
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t i = 0; i < items; ++i) {
+                pipe.iter();
+                const Value v = ctx.read(in_f);
+                ctx.write(out_f, v * coeff + (v >> 3));
+            }
+        });
+    }
+
+    ModuleId sink;
+    addSumConsumer(d, "sink", links[stages], out, items, sink);
+
+    d.connectFifo(links[0], producer, mods[0]);
+    for (std::size_t s = 1; s < stages; ++s)
+        d.connectFifo(links[s], mods[s - 1], mods[s]);
+    d.connectFifo(links[stages], mods[stages - 1], sink);
+    return d;
+}
+
+Design
+buildSkynetLite()
+{
+    // CNN layer pipeline with shrinking feature maps — the largest
+    // design, mirroring SkyNet's role in Table 5.
+    Design d("skynet_lite");
+    constexpr std::size_t input_hw = 160;
+    const std::size_t in_px = input_hw * input_hw; // 25,600 pixels
+    const MemId img = d.addMemory("image", in_px);
+    const MemId out = d.addMemory("detections", 4);
+    d.setInput(img, iotaData(in_px));
+
+    struct Layer
+    {
+        const char *name;
+        std::size_t out_count; ///< Elements produced.
+        std::size_t reduce;    ///< Inputs consumed per output.
+        Cycles mac_latency;    ///< Compute cycles per output.
+    };
+    // conv1 -> pool1 -> conv2 -> pool2 -> dwconv -> pwconv -> head
+    const Layer layers[] = {
+        {"conv1", in_px, 1, 2},          {"pool1", in_px / 4, 4, 1},
+        {"conv2", in_px / 4, 1, 3},      {"pool2", in_px / 16, 4, 1},
+        {"dwconv", in_px / 16, 1, 2},    {"pwconv", in_px / 64, 4, 2},
+        {"head", 4, in_px / 256, 4},
+    };
+    const std::size_t nlayers = std::size(layers);
+
+    std::vector<FifoId> links(nlayers + 1);
+    for (std::size_t s = 0; s <= nlayers; ++s)
+        links[s] = d.declareFifo(strf("fmap%zu", s), 8);
+
+    ModuleId producer;
+    addProducer(d, "pixels", img, links[0], in_px, producer);
+
+    std::vector<ModuleId> mods(nlayers);
+    for (std::size_t s = 0; s < nlayers; ++s) {
+        const Layer &ly = layers[s];
+        const FifoId in_f = links[s];
+        const FifoId out_f = links[s + 1];
+        mods[s] = d.addModule(ly.name, [=](Context &ctx) {
+            PipelineScope pipe(ctx, 1);
+            for (std::size_t o = 0; o < ly.out_count; ++o) {
+                pipe.iter();
+                Value acc = 0;
+                for (std::size_t k = 0; k < ly.reduce; ++k)
+                    acc += ctx.read(in_f);
+                ctx.advance(ly.mac_latency);
+                ctx.write(out_f, acc * 2 + 1);
+            }
+        });
+    }
+
+    const ModuleId head_sink = d.addModule("sink", [=](Context &ctx) {
+        for (std::size_t i = 0; i < 4; ++i)
+            ctx.store(out, i, ctx.read(links[nlayers]));
+    });
+
+    d.connectFifo(links[0], producer, mods[0]);
+    for (std::size_t s = 1; s < nlayers; ++s)
+        d.connectFifo(links[s], mods[s - 1], mods[s]);
+    d.connectFifo(links[nlayers], mods[nlayers - 1], head_sink);
+    return d;
+}
+
+const std::vector<DesignEntry> &
+typeADesigns()
+{
+    static const std::vector<DesignEntry> entries = {
+        {"sqrt_fixed", "Fixed-point square root", buildSqrtFixed},
+        {"fir_filter", "FIR filter", buildFirFilter},
+        {"window_conv_fixed", "Fixed-point window conv", buildWindowConv},
+        {"float_conv", "Floating point conv", buildFloatConv},
+        {"ap_alu", "Arbitrary precision ALU", buildApAlu},
+        {"parallel_loops", "Parallel loops", buildParallelLoops},
+        {"imperfect_loops", "Imperfect loops", buildImperfectLoops},
+        {"loop_max_bound", "Loop with max bound", buildLoopMaxBound},
+        {"perfect_nested", "Perfect nested loops", buildPerfectNested},
+        {"pipelined_nested", "Pipelined nested loops",
+         buildPipelinedNested},
+        {"sequential_accum", "Sequential accumulators",
+         buildSequentialAccum},
+        {"accum_asserts", "Accumulators + asserts", buildAccumAsserts},
+        {"accum_dataflow", "Accumulators + dataflow", buildAccumDataflow},
+        {"static_memory", "Static memory example", buildStaticMemory},
+        {"pointer_cast", "Pointer casting example", buildPointerCast},
+        {"double_pointer", "Double pointer example", buildDoublePointer},
+        {"axi4_master", "AXI4 master", buildAxi4Master},
+        {"axis_stream", "AXIS w/o side channel", buildAxisStream},
+        {"multiple_array_access", "Multiple array access",
+         buildArrayAccess},
+        {"uram_ecc", "URAM with ECC", buildUramEcc},
+        {"hamming_fixed", "Fixed-point Hamming", buildHammingFixed},
+        {"huffman_encoding", "Huffman encoding", buildHuffmanEncode},
+        {"matrix_multiplication", "Matrix multiplication", buildMatmul},
+        {"parallelized_merge_sort", "Parallelized merge sort",
+         buildMergeSort},
+        {"vector_add_stream", "Vector add with stream",
+         buildVecaddStream},
+        {"flowgnn_lite", "FlowGNN-style message passing (large)",
+         buildFlowGnnLite},
+        {"inr_arch_lite", "INR-Arch-style gradient chain (large)",
+         buildInrArchLite},
+        {"skynet_lite", "SkyNet-style CNN pipeline (large)",
+         buildSkynetLite},
+    };
+    return entries;
+}
+
+} // namespace omnisim::designs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The Type A design suite used for the LightningSimV2 comparison
+ * (Table 5 of the paper). The original table draws on the Vitis HLS
+ * basic examples, the Kastner FPGA book kernels, and four large designs
+ * (FlowGNN variants, INR-Arch, SkyNet); here each is re-implemented as a
+ * behaviourally comparable dataflow kernel. All designs are blocking-only
+ * and acyclic — exactly the class LightningSim supports — and several
+ * derive their pipeline II / depth from the static scheduler (src/sched),
+ * which is what the "front-end compilation" time of Table 5 measures.
+ */
+
+#ifndef OMNISIM_DESIGNS_TYPEA_HH
+#define OMNISIM_DESIGNS_TYPEA_HH
+
+#include "design/design.hh"
+
+namespace omnisim::designs
+{
+
+// Individual builders are exposed for targeted tests; the full suite is
+// available through typeADesigns() in common.hh.
+
+Design buildSqrtFixed();      ///< Fixed-point Newton square root.
+Design buildFirFilter();      ///< 8-tap FIR (multiplier-limited II).
+Design buildWindowConv();     ///< Fixed-point sliding-window convolution.
+Design buildFloatConv();      ///< Scaled-arithmetic convolution.
+Design buildApAlu();          ///< Arbitrary-precision ALU (opcode mix).
+Design buildParallelLoops();  ///< Two independent pipelined loops.
+Design buildImperfectLoops(); ///< Imperfect loop nest.
+Design buildLoopMaxBound();   ///< Data-dependent trip count with a cap.
+Design buildPerfectNested();  ///< Perfect 2D nest, pipelined inner loop.
+Design buildPipelinedNested();///< Outer-pipelined nest.
+Design buildSequentialAccum();///< Two accumulators in sequence.
+Design buildAccumAsserts();   ///< Accumulators with guard branches.
+Design buildAccumDataflow(); ///< Three-stage dataflow accumulator.
+Design buildStaticMemory();   ///< Lookup-table transform.
+Design buildPointerCast();    ///< Byte-packing/unpacking arithmetic.
+Design buildDoublePointer();  ///< Double indirection gather.
+Design buildAxi4Master();     ///< AXI burst read -> compute -> write.
+Design buildAxisStream();     ///< Stream vector add (AXIS-style).
+Design buildArrayAccess();    ///< Multi-array access (port-limited II).
+Design buildUramEcc();        ///< Parity/ECC word processing.
+Design buildHammingFixed();   ///< Fixed-point Hamming distance.
+Design buildHuffmanEncode();  ///< Frequency count + code-length encode.
+Design buildMatmul();         ///< Blocked 16x16 matrix multiply.
+Design buildMergeSort();      ///< Parallel two-way merge sort.
+Design buildVecaddStream();   ///< AXI vector add (Vitis vadd analog).
+Design buildFlowGnnLite();    ///< Multi-lane GNN message passing (large).
+Design buildInrArchLite();    ///< 12-stage deep dataflow chain (large).
+Design buildSkynetLite();     ///< CNN layer pipeline (largest).
+
+} // namespace omnisim::designs
+
+#endif // OMNISIM_DESIGNS_TYPEA_HH

@@ -1,0 +1,30 @@
+#include "graph/csr.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+CsrGraph::CsrGraph(std::size_t num_nodes,
+                   const std::vector<EdgeSpec> &edges)
+    : offsets_(num_nodes + 1, 0),
+      targets_(edges.size()),
+      weights_(edges.size())
+{
+    for (const auto &e : edges) {
+        omnisim_assert(e.src < num_nodes && e.dst < num_nodes,
+                       "CSR edge out of range");
+        ++offsets_[e.src + 1];
+    }
+    for (std::size_t i = 1; i <= num_nodes; ++i)
+        offsets_[i] += offsets_[i - 1];
+
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto &e : edges) {
+        const std::size_t slot = cursor[e.src]++;
+        targets_[slot] = e.dst;
+        weights_[slot] = e.weight;
+    }
+}
+
+} // namespace omnisim

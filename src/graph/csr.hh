@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Compressed-sparse-row graph, the representation LightningSimV2 uses for
+ * its (fully constructed) simulation graph. Built once from an edge list;
+ * very fast to traverse, but cannot grow — the contrast with SimGraph is
+ * the subject of the §7.3.1 discussion and of bench/micro_graph.
+ */
+
+#ifndef OMNISIM_GRAPH_CSR_HH
+#define OMNISIM_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Immutable CSR weighted digraph. */
+class CsrGraph
+{
+  public:
+    using NodeId = std::uint64_t;
+
+    /** One edge of the construction list. */
+    struct EdgeSpec
+    {
+        NodeId src = 0;
+        NodeId dst = 0;
+        Cycles weight = 0;
+    };
+
+    /** Build from an edge list over num_nodes nodes (counting sort). */
+    CsrGraph(std::size_t num_nodes, const std::vector<EdgeSpec> &edges);
+
+    /** @return number of nodes. */
+    std::size_t numNodes() const { return offsets_.size() - 1; }
+
+    /** @return number of edges. */
+    std::size_t numEdges() const { return targets_.size(); }
+
+    /** Visit every out-edge of node n as f(dst, weight). */
+    template <typename F>
+    void
+    forEachOut(NodeId n, F &&f) const
+    {
+        for (std::size_t e = offsets_[n]; e < offsets_[n + 1]; ++e)
+            f(targets_[e], weights_[e]);
+    }
+
+  private:
+    std::vector<std::size_t> offsets_;
+    std::vector<NodeId> targets_;
+    std::vector<Cycles> weights_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_GRAPH_CSR_HH

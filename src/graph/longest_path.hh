@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Longest-path (critical-path) analysis over a weighted constraint DAG.
+ * This is the Finalization step of both LightningSim's Phase 2 and the
+ * OmniSim engine: node time = max over in-edges of (src time + weight),
+ * seeded with fixed entry times; total latency = max(node time + node
+ * duration). Works over any graph type exposing numNodes()/forEachOut()
+ * (SimGraph and CsrGraph both do), so the same analysis powers both
+ * simulators and the §7.3.1 representation ablation.
+ */
+
+#ifndef OMNISIM_GRAPH_LONGEST_PATH_HH
+#define OMNISIM_GRAPH_LONGEST_PATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Outcome of a longest-path evaluation. */
+struct PathResult
+{
+    /** False when the constraint graph has a cycle (timing infeasible —
+     *  a FIFO-resizing deadlock during incremental re-simulation). */
+    bool acyclic = true;
+
+    /** Per-node start times; valid when acyclic. */
+    std::vector<Cycles> time;
+};
+
+/**
+ * Kahn-style longest path.
+ *
+ * @param g           graph exposing numNodes()/forEachOut(n, f(dst, w)).
+ * @param seed        per-node minimum start times (entry nodes carry their
+ *                    fixed start cycle; others usually 0).
+ * @return            per-node resolved times, or acyclic == false.
+ */
+template <typename Graph>
+PathResult
+longestPath(const Graph &g, const std::vector<Cycles> &seed)
+{
+    const std::size_t n = g.numNodes();
+    PathResult r;
+    r.time.assign(seed.begin(), seed.end());
+    r.time.resize(n, 0);
+
+    std::vector<std::uint32_t> indeg(n, 0);
+    for (std::size_t u = 0; u < n; ++u)
+        g.forEachOut(u, [&](std::uint64_t v, Cycles) { ++indeg[v]; });
+
+    std::vector<std::uint64_t> ready;
+    ready.reserve(n);
+    for (std::size_t u = 0; u < n; ++u)
+        if (indeg[u] == 0)
+            ready.push_back(u);
+
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const std::uint64_t u = ready.back();
+        ready.pop_back();
+        ++processed;
+        g.forEachOut(u, [&](std::uint64_t v, Cycles w) {
+            if (r.time[u] + w > r.time[v])
+                r.time[v] = r.time[u] + w;
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        });
+    }
+
+    r.acyclic = (processed == n);
+    return r;
+}
+
+} // namespace omnisim
+
+#endif // OMNISIM_GRAPH_LONGEST_PATH_HH

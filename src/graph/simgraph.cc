@@ -1,0 +1,41 @@
+#include "graph/simgraph.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+SimGraph::NodeId
+SimGraph::addNode(const NodeInfo &info)
+{
+    nodes_.push_back(Node{info, -1, 0, -1});
+    return nodes_.size() - 1;
+}
+
+void
+SimGraph::addEdge(NodeId src, NodeId dst, Cycles weight)
+{
+    omnisim_assert(src < nodes_.size() && dst < nodes_.size(),
+                   "edge (%llu -> %llu) out of range (%zu nodes)",
+                   static_cast<unsigned long long>(src),
+                   static_cast<unsigned long long>(dst), nodes_.size());
+    Node &n = nodes_[src];
+    if (n.firstDst < 0) {
+        n.firstDst = static_cast<std::int64_t>(dst);
+        n.firstWeight = weight;
+    } else {
+        pool_.push_back(
+            Edge{static_cast<std::int64_t>(dst), weight, n.overflowHead});
+        n.overflowHead = static_cast<std::int64_t>(pool_.size() - 1);
+    }
+    ++numEdges_;
+}
+
+void
+SimGraph::reserve(std::size_t nodes, std::size_t overflow_edges)
+{
+    nodes_.reserve(nodes);
+    pool_.reserve(overflow_edges);
+}
+
+} // namespace omnisim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The OmniSim simulation graph (§7.3.1 of the paper).
+ *
+ * Nodes are timed events (FIFO accesses, NB attempts, status checks, AXI
+ * beats, module entries); weighted edges are timing constraints
+ * (dst.time >= src.time + weight). OmniSim must traverse the *partial*
+ * graph continuously while it is still being built, so instead of
+ * LightningSim's CSR format the graph stores one edge inline with each
+ * node (most nodes have exactly one structural predecessor edge — program
+ * order) and spills additional edges into a shared pool. This gives
+ * zero-copy traversal of the incomplete graph with minimal pointer
+ * chasing, exactly as the paper describes.
+ */
+
+#ifndef OMNISIM_GRAPH_SIMGRAPH_HH
+#define OMNISIM_GRAPH_SIMGRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/event.hh"
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Payload describing what a simulation-graph node represents. */
+struct NodeInfo
+{
+    EventKind kind = EventKind::TraceBlock;
+    ModuleId module = invalidId;
+    std::int32_t channel = invalidId; ///< FIFO/AXI id when applicable.
+    std::uint32_t index = 0;          ///< 1-based access index (Table 2).
+    Cycles duration = 0;              ///< Cycles the event occupies.
+};
+
+/**
+ * Growable weighted DAG with inline-first-edge adjacency storage.
+ *
+ * Edges point from a constraint source to the constrained node
+ * (dst.time >= src.time + weight). Edge insertion is O(1); out-edge
+ * iteration touches the inline slot first and only then the overflow pool.
+ */
+class SimGraph
+{
+  public:
+    using NodeId = std::uint64_t;
+
+    /** Add a node; returns its id. Times are tracked by the caller. */
+    NodeId addNode(const NodeInfo &info);
+
+    /** Add a constraint edge src -> dst with the given weight. */
+    void addEdge(NodeId src, NodeId dst, Cycles weight);
+
+    /** @return number of nodes. */
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /** @return number of edges. */
+    std::size_t numEdges() const { return numEdges_; }
+
+    /** @return payload of a node. */
+    const NodeInfo &info(NodeId n) const { return nodes_[n].info; }
+
+    /**
+     * Visit every out-edge of node n as f(dst, weight).
+     * Safe to call while the graph is still growing (zero-copy traversal
+     * of the partial graph).
+     */
+    template <typename F>
+    void
+    forEachOut(NodeId n, F &&f) const
+    {
+        const Node &node = nodes_[n];
+        if (node.firstDst >= 0)
+            f(static_cast<NodeId>(node.firstDst), node.firstWeight);
+        for (std::int64_t e = node.overflowHead; e >= 0;
+             e = pool_[static_cast<std::size_t>(e)].next) {
+            const Edge &edge = pool_[static_cast<std::size_t>(e)];
+            f(static_cast<NodeId>(edge.dst), edge.weight);
+        }
+    }
+
+    /** Reserve node storage up front (graph construction optimization). */
+    void reserve(std::size_t nodes, std::size_t overflow_edges);
+
+  private:
+    struct Node
+    {
+        NodeInfo info;
+        std::int64_t firstDst = -1;
+        Cycles firstWeight = 0;
+        std::int64_t overflowHead = -1;
+    };
+
+    struct Edge
+    {
+        std::int64_t dst = -1;
+        Cycles weight = 0;
+        std::int64_t next = -1;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<Edge> pool_;
+    std::size_t numEdges_ = 0;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_GRAPH_SIMGRAPH_HH

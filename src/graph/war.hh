@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Write-after-read edge synthesis. With FIFO depth S, the w-th write of a
+ * FIFO may not occur until strictly after the (w-S)-th read (Table 2 of
+ * the paper). These edges depend on the FIFO configuration, so neither
+ * LightningSim's Phase 1 nor OmniSim's live engine stores them in the
+ * structural graph: they are synthesized from the FIFO tables at analysis
+ * time, which is what makes depth-only incremental re-simulation cheap.
+ */
+
+#ifndef OMNISIM_GRAPH_WAR_HH
+#define OMNISIM_GRAPH_WAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/fifo_table.hh"
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/**
+ * Emit one WAR edge per depth-constrained write.
+ *
+ * @param tables per-FIFO commit tables holding node ids.
+ * @param depths per-FIFO capacities to analyze under.
+ * @param add    callable add(srcNode, dstNode, weight).
+ */
+template <typename AddEdge>
+void
+synthesizeWarEdges(const std::vector<FifoTable> &tables,
+                   const std::vector<std::uint32_t> &depths, AddEdge &&add)
+{
+    for (std::size_t f = 0; f < tables.size(); ++f) {
+        const FifoTable &t = tables[f];
+        const std::uint32_t s = depths[f];
+        for (std::uint32_t w = s + 1; w <= t.writes(); ++w) {
+            // Reads beyond the recorded count cannot constrain anything.
+            if (w - s <= t.reads())
+                add(t.readNodeOf(w - s), t.writeNodeOf(w), Cycles{1});
+        }
+    }
+}
+
+} // namespace omnisim
+
+#endif // OMNISIM_GRAPH_WAR_HH

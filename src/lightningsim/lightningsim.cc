@@ -1,0 +1,358 @@
+#include "lightningsim/lightningsim.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "design/context.hh"
+#include "graph/longest_path.hh"
+#include "graph/war.hh"
+#include "runtime/axi.hh"
+#include "runtime/memory.hh"
+#include "runtime/timing.hh"
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+namespace
+{
+
+/**
+ * Phase 1 context: untimed sequential execution with infinite FIFO
+ * depth, recording structural dependence edges. Node times produced by
+ * the TimingModel here are the unstalled dynamic-stage offsets; Phase 2
+ * discards them and recomputes via longest path.
+ */
+class LsTraceContext : public Context
+{
+  public:
+    LsTraceContext(const Design &design, MemoryPool &pool, LsTrace &out)
+        : design_(design), pool_(pool), out_(out)
+    {}
+
+    /** Begin tracing a module; creates its entry node. */
+    void
+    beginModule(ModuleId m)
+    {
+        mod_ = m;
+        const std::uint64_t entry =
+            addNode(EventKind::StartTask, invalidId, 0, 0);
+        out_.seed[entry] = 1;
+        timing_ = std::make_unique<TimingModel>(entry, 1);
+    }
+
+    /** Finish tracing a module; records its timing tail anchor. */
+    void
+    endModule()
+    {
+        out_.tails.push_back(
+            {timing_->lastOpTag(), timing_->now() - timing_->lastOpTime()});
+    }
+
+    Value
+    read(FifoId f) override
+    {
+        FifoTable &t = out_.tables[f];
+        const std::uint32_t r = t.reads() + 1;
+        if (t.writes() < r) {
+            // A Type A design in topological order can never read ahead
+            // of its producer; this indicates a mis-classified design.
+            omnisim_fatal(
+                "LightningSim: read of '%s' before its %u-th write — "
+                "design is not Type A",
+                design_.fifos()[f].name.c_str(), r);
+        }
+        const std::uint64_t node =
+            addNode(EventKind::FifoRead, f, r, 1);
+        // Read-after-write: this read follows the r-th write by 1 cycle.
+        out_.edges.push_back({t.writeNodeOf(r), node, 1});
+        const Cycles at = timing_->earliest();
+        recordStructural(timing_->commitOp(at, 1, node), node);
+        return t.commitRead(0, node);
+    }
+
+    void
+    write(FifoId f, Value v) override
+    {
+        FifoTable &t = out_.tables[f];
+        const std::uint32_t w = t.writes() + 1;
+        const std::uint64_t node =
+            addNode(EventKind::FifoWrite, f, w, 1);
+        const Cycles at = timing_->earliest();
+        recordStructural(timing_->commitOp(at, 1, node), node);
+        t.commitWrite(v, 0, node);
+    }
+
+    // LightningSim cannot simulate NB accesses or status checks
+    // (Fig. 3 support matrix); the classifier gate makes these
+    // unreachable for Type A designs.
+    bool
+    readNb(FifoId, Value &) override
+    {
+        omnisim_fatal("LightningSim does not support non-blocking reads");
+    }
+
+    bool
+    writeNb(FifoId, Value) override
+    {
+        omnisim_fatal("LightningSim does not support non-blocking writes");
+    }
+
+    bool
+    empty(FifoId) override
+    {
+        omnisim_fatal("LightningSim does not support empty() checks");
+    }
+
+    bool
+    full(FifoId) override
+    {
+        omnisim_fatal("LightningSim does not support full() checks");
+    }
+
+    void emptyUnused(FifoId f) override { (void)empty(f); }
+    void fullUnused(FifoId f) override { (void)full(f); }
+
+    Value
+    load(MemId m, std::uint64_t idx) override
+    {
+        return pool_.load(m, idx);
+    }
+
+    void
+    store(MemId m, std::uint64_t idx, Value v) override
+    {
+        pool_.store(m, idx, v);
+    }
+
+    void
+    axiReadReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        const std::uint64_t node =
+            addNode(EventKind::AxiReadReq, a, 0, 1);
+        const Cycles at = timing_->earliest();
+        recordStructural(timing_->commitOp(at, 1, node), node);
+        axiState(a).pushReadReq(addr, len, at, node);
+    }
+
+    Value
+    axiRead(AxiId a) override
+    {
+        std::uint64_t addr = 0;
+        const AxiPortState::Dep dep = axiState(a).popReadBeat(addr);
+        const std::uint64_t node = addNode(EventKind::AxiRead, a, 0, 1);
+        out_.edges.push_back({dep.tag, node, dep.weight});
+        const Cycles at =
+            std::max(timing_->earliest(), dep.time + dep.weight);
+        recordStructural(timing_->commitOp(at, 1, node), node);
+        return pool_.load(design_.axiPorts()[a].backing, addr);
+    }
+
+    void
+    axiWriteReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
+    {
+        const std::uint64_t node =
+            addNode(EventKind::AxiWriteReq, a, 0, 1);
+        const Cycles at = timing_->earliest();
+        recordStructural(timing_->commitOp(at, 1, node), node);
+        axiState(a).pushWriteReq(addr, len, at, node);
+    }
+
+    void
+    axiWrite(AxiId a, Value v) override
+    {
+        std::uint64_t addr = 0;
+        const AxiPortState::Dep dep = axiState(a).popWriteBeat(addr);
+        const std::uint64_t node = addNode(EventKind::AxiWrite, a, 0, 1);
+        out_.edges.push_back({dep.tag, node, dep.weight});
+        const Cycles at =
+            std::max(timing_->earliest(), dep.time + dep.weight);
+        recordStructural(timing_->commitOp(at, 1, node), node);
+        pool_.store(design_.axiPorts()[a].backing, addr, v);
+        lastWriteBeatTime_ = at;
+        lastWriteBeatNode_ = node;
+    }
+
+    void
+    axiWriteResp(AxiId a) override
+    {
+        const AxiPortState::Dep dep =
+            axiState(a).popWriteResp(lastWriteBeatTime_,
+                                     lastWriteBeatNode_);
+        const std::uint64_t node =
+            addNode(EventKind::AxiWriteResp, a, 0, 1);
+        out_.edges.push_back({dep.tag, node, dep.weight});
+        const Cycles at =
+            std::max(timing_->earliest(), dep.time + dep.weight);
+        recordStructural(timing_->commitOp(at, 1, node), node);
+    }
+
+    void advance(Cycles n) override { timing_->advance(n); }
+    Cycles now() const override { return timing_->now(); }
+
+    void
+    pipelineBegin(std::uint32_t ii) override
+    {
+        timing_->pipelineBegin(ii);
+    }
+
+    void iterBegin() override { timing_->iterBegin(); }
+    void pipelineEnd() override { timing_->pipelineEnd(); }
+
+  private:
+    std::uint64_t
+    addNode(EventKind kind, std::int32_t channel, std::uint32_t index,
+            Cycles dur)
+    {
+        out_.nodes.push_back(NodeInfo{kind, mod_, channel, index, dur});
+        out_.seed.push_back(0);
+        return out_.nodes.size() - 1;
+    }
+
+    void
+    recordStructural(const std::vector<TimingModel::Constraint> &cs,
+                     std::uint64_t node)
+    {
+        for (const auto &c : cs)
+            out_.edges.push_back({c.tag, node, c.weight});
+    }
+
+    AxiPortState &
+    axiState(AxiId a)
+    {
+        auto it = axi_.find(a);
+        if (it == axi_.end()) {
+            it = axi_.emplace(a,
+                AxiPortState(design_.axiPorts()[a].config)).first;
+        }
+        return it->second;
+    }
+
+    const Design &design_;
+    MemoryPool &pool_;
+    LsTrace &out_;
+    ModuleId mod_ = invalidId;
+    std::unique_ptr<TimingModel> timing_;
+    std::map<AxiId, AxiPortState> axi_;
+    Cycles lastWriteBeatTime_ = 0;
+    std::uint64_t lastWriteBeatNode_ = 0;
+};
+
+} // namespace
+
+LightningSim::LightningSim(const CompiledDesign &cd)
+    : cd_(cd)
+{}
+
+LightningSim::~LightningSim() = default;
+
+SimResult
+LightningSim::run()
+{
+    if (cd_.classification.type != DesignType::A) {
+        SimResult r;
+        r.status = SimStatus::Unsupported;
+        r.message = strf(
+            "LightningSim supports only Type A designs; '%s' is Type %s",
+            cd_.d().name().c_str(),
+            designTypeName(cd_.classification.type));
+        return r;
+    }
+
+    // ---- Phase 1: trace + structural graph (untimed) ---------------
+    const Design &design = cd_.d();
+    trace_ = std::make_unique<LsTrace>();
+    trace_->tables.resize(design.fifos().size());
+    MemoryPool pool = design.makeMemoryPool();
+    LsTraceContext ctx(design, pool, *trace_);
+
+    SimResult &func = trace_->functional;
+    for (ModuleId m : cd_.classification.topoOrder) {
+        ctx.beginModule(m);
+        try {
+            design.modules()[m].body(ctx);
+        } catch (const SimCrash &c) {
+            func.status = SimStatus::Crash;
+            func.message = strf(
+                "@E Simulation failed: SIGSEGV (%s in task '%s')",
+                c.what(), design.modules()[m].name.c_str());
+            break;
+        }
+        ctx.endModule();
+    }
+    for (std::size_t i = 0; i < design.memories().size(); ++i) {
+        func.memories[design.memories()[i].name] =
+            pool.contents(static_cast<MemId>(i));
+    }
+
+    if (func.status != SimStatus::Ok)
+        return func;
+
+    // ---- Phase 2: timed analysis with the design's depths ----------
+    std::vector<std::uint32_t> depths;
+    depths.reserve(design.fifos().size());
+    for (const auto &f : design.fifos())
+        depths.push_back(f.depth);
+    const LsTiming timing = reanalyze(depths);
+
+    SimResult r = func;
+    if (!timing.feasible) {
+        r.status = SimStatus::Deadlock;
+        r.message = "FIFO depth configuration deadlocks the design";
+    } else {
+        r.totalCycles = timing.totalCycles;
+    }
+    r.stats.events = trace_->nodes.size();
+    r.stats.graphNodes = trace_->nodes.size();
+    r.stats.graphEdges = trace_->edges.size();
+    return r;
+}
+
+LsTiming
+LightningSim::reanalyze(const std::vector<std::uint32_t> &depths)
+{
+    omnisim_assert(trace_ != nullptr,
+                   "reanalyze() requires a prior successful run()");
+    omnisim_assert(depths.size() == trace_->tables.size(),
+                   "depth vector size mismatch");
+
+    // Freeze structural + WAR edges into CSR (LightningSimV2 style).
+    std::vector<CsrGraph::EdgeSpec> edges = trace_->edges;
+    synthesizeWarEdges(trace_->tables, depths,
+                       [&](std::uint64_t s, std::uint64_t d, Cycles w) {
+                           edges.push_back({s, d, w});
+                       });
+    const CsrGraph g(trace_->nodes.size(), edges);
+
+    LsTiming out;
+    const PathResult pr = longestPath(g, trace_->seed);
+    if (!pr.acyclic) {
+        out.feasible = false;
+        return out;
+    }
+    for (std::size_t n = 0; n < trace_->nodes.size(); ++n) {
+        const Cycles end = pr.time[n] + trace_->nodes[n].duration;
+        out.totalCycles = std::max(out.totalCycles, end);
+    }
+    for (const auto &tail : trace_->tails) {
+        out.totalCycles =
+            std::max(out.totalCycles, pr.time[tail.node] + tail.slack);
+    }
+    return out;
+}
+
+const LsTrace &
+LightningSim::trace() const
+{
+    omnisim_assert(trace_ != nullptr, "no trace yet");
+    return *trace_;
+}
+
+SimResult
+simulateLightningSim(const CompiledDesign &cd)
+{
+    LightningSim ls(cd);
+    return ls.run();
+}
+
+} // namespace omnisim

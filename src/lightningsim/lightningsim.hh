@@ -1,0 +1,112 @@
+/**
+ * @file
+ * LightningSim(V2) baseline: fully decoupled two-phase simulation (§5.1
+ * and Fig. 6 of the paper).
+ *
+ * Phase 1 — trace and simulation-graph generation (untimed): a single
+ * thread executes the dataflow modules sequentially in topological order
+ * under the infinite-FIFO-depth assumption, recording per-module event
+ * lists and the structural dependence edges (program order, pipeline
+ * initiation intervals, FIFO read-after-write, AXI latencies).
+ *
+ * Phase 2 — trace analysis (timed): given the concrete FIFO depths,
+ * write-after-read edges are synthesized, the graph is frozen into CSR
+ * form, and a longest-path pass yields cycle-accurate latency.
+ *
+ * Because the phases are decoupled, changing only FIFO depths re-runs
+ * Phase 2 alone (microseconds) — LightningSim's incremental strength —
+ * but designs whose functionality depends on hardware timing (Type B/C)
+ * are fundamentally out of reach and are rejected per the classifier,
+ * exactly as the paper's Fig. 3 support matrix states.
+ */
+
+#ifndef OMNISIM_LIGHTNINGSIM_LIGHTNINGSIM_HH
+#define OMNISIM_LIGHTNINGSIM_LIGHTNINGSIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "design/frontend.hh"
+#include "graph/csr.hh"
+#include "graph/simgraph.hh"
+#include "runtime/fifo_table.hh"
+#include "runtime/result.hh"
+
+namespace omnisim
+{
+
+/** Phase 1 output: functional results plus the structural graph. */
+struct LsTrace
+{
+    /** Node payloads; node id == vector index. */
+    std::vector<NodeInfo> nodes;
+
+    /** Per-node seed times (module entry nodes start at cycle 1). */
+    std::vector<Cycles> seed;
+
+    /** Structural constraint edges (no WAR edges — those are per-depth). */
+    std::vector<CsrGraph::EdgeSpec> edges;
+
+    /** Per-FIFO commit tables (indices and node ids; untimed). */
+    std::vector<FifoTable> tables;
+
+    /** End-of-module timing anchor: the module finishes tailSlack cycles
+     *  after its last op node starts (captures trailing advance()). */
+    struct ModuleTail
+    {
+        std::uint64_t node = 0;
+        Cycles slack = 0;
+    };
+    std::vector<ModuleTail> tails;
+
+    /** Functional outcome (memories, warnings, crash status). */
+    SimResult functional;
+};
+
+/** Phase 2 output. */
+struct LsTiming
+{
+    /** False when the depth configuration deadlocks the design. */
+    bool feasible = true;
+
+    Cycles totalCycles = 0;
+};
+
+/**
+ * Two-phase LightningSim simulator with incremental re-analysis.
+ */
+class LightningSim
+{
+  public:
+    /** @param cd must classify as Type A (checked at run()). */
+    explicit LightningSim(const CompiledDesign &cd);
+    ~LightningSim();
+
+    /**
+     * Run Phase 1 (once) and Phase 2 with the design's FIFO depths.
+     * @return Unsupported for Type B/C designs.
+     */
+    SimResult run();
+
+    /**
+     * Phase-2-only re-analysis under new FIFO depths; requires a prior
+     * successful run(). This is the operation Table 6 measures in
+     * milliseconds.
+     */
+    LsTiming reanalyze(const std::vector<std::uint32_t> &depths);
+
+    /** @return the Phase 1 trace (valid after a successful run()). */
+    const LsTrace &trace() const;
+
+  private:
+    const CompiledDesign &cd_;
+    std::unique_ptr<LsTrace> trace_;
+};
+
+/** One-shot convenience wrapper around LightningSim::run(). */
+SimResult simulateLightningSim(const CompiledDesign &cd);
+
+} // namespace omnisim
+
+#endif // OMNISIM_LIGHTNINGSIM_LIGHTNINGSIM_HH

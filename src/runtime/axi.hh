@@ -1,0 +1,142 @@
+/**
+ * @file
+ * AXI burst interface timing model. The OmniSim runtime library provides
+ * AXI interfaces alongside FIFOs (§6.1); here an AXI port is a module-
+ * private burst engine backed by a design memory. Because exactly one
+ * module owns a port there is no cross-module contention, so AXI timing is
+ * purely structural: a read beat k of a burst requested at cycle t becomes
+ * available at t + readLatency + k; write beats stream from t + 1; the
+ * write response arrives writeAckLatency after the last beat.
+ */
+
+#ifndef OMNISIM_RUNTIME_AXI_HH
+#define OMNISIM_RUNTIME_AXI_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "support/logging.hh"
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Latency configuration for one AXI port. */
+struct AxiConfig
+{
+    /** Request-to-first-beat latency of a read burst. */
+    Cycles readLatency = 8;
+    /** Last-beat-to-response latency of a write burst. */
+    Cycles writeAckLatency = 4;
+};
+
+/**
+ * Runtime burst tracking for one AXI port within one engine run.
+ * Engines translate the returned (time, weight, tag) dependency into their
+ * own constraint representation.
+ */
+class AxiPortState
+{
+  public:
+    /** A timing dependency: the op may not start before time + weight. */
+    struct Dep
+    {
+        Cycles time = 0;
+        Cycles weight = 0;
+        std::uint64_t tag = 0;
+    };
+
+    explicit AxiPortState(AxiConfig cfg) : cfg_(cfg) {}
+
+    /** Record a read-burst request op that occupied cycle t. */
+    void
+    pushReadReq(std::uint64_t addr, std::uint32_t len, Cycles t,
+                std::uint64_t tag)
+    {
+        reads_.push_back({addr, len, 0, t, tag});
+    }
+
+    /**
+     * Consume the next read beat.
+     * @param addr_out receives the element address of this beat.
+     * @return the dependency bounding the beat's start cycle.
+     */
+    Dep
+    popReadBeat(std::uint64_t &addr_out)
+    {
+        if (reads_.empty())
+            omnisim_fatal("AXI read beat with no outstanding read burst");
+        Burst &b = reads_.front();
+        addr_out = b.addr + b.beat;
+        Dep d{b.reqTime, cfg_.readLatency + b.beat, b.reqTag};
+        if (++b.beat == b.len)
+            reads_.pop_front();
+        return d;
+    }
+
+    /** Record a write-burst request op that occupied cycle t. */
+    void
+    pushWriteReq(std::uint64_t addr, std::uint32_t len, Cycles t,
+                 std::uint64_t tag)
+    {
+        writes_.push_back({addr, len, 0, t, tag});
+    }
+
+    /**
+     * Consume the next write beat.
+     * @param addr_out receives the element address of this beat.
+     * @return the dependency bounding the beat's start cycle.
+     */
+    Dep
+    popWriteBeat(std::uint64_t &addr_out)
+    {
+        if (writes_.empty())
+            omnisim_fatal("AXI write beat with no outstanding write burst");
+        Burst &b = writes_.front();
+        addr_out = b.addr + b.beat;
+        Dep d{b.reqTime, 1 + b.beat, b.reqTag};
+        ++b.beat;
+        return d;
+    }
+
+    /**
+     * Complete the current write burst.
+     * @param last_beat_time cycle of the final data beat.
+     * @param last_beat_tag graph tag of the final data beat.
+     * @return the dependency bounding the response's cycle.
+     */
+    Dep
+    popWriteResp(Cycles last_beat_time, std::uint64_t last_beat_tag)
+    {
+        if (writes_.empty())
+            omnisim_fatal("AXI write response with no outstanding burst");
+        const Burst &b = writes_.front();
+        if (b.beat != b.len) {
+            omnisim_fatal("AXI write response before all %u beats sent "
+                          "(%u so far)", b.len, b.beat);
+        }
+        writes_.pop_front();
+        return {last_beat_time, cfg_.writeAckLatency, last_beat_tag};
+    }
+
+    const AxiConfig &config() const { return cfg_; }
+
+  private:
+    struct Burst
+    {
+        std::uint64_t addr = 0;
+        std::uint32_t len = 0;
+        std::uint32_t beat = 0;
+        Cycles reqTime = 0;
+        std::uint64_t reqTag = 0;
+    };
+
+    AxiConfig cfg_;
+    std::deque<Burst> reads_;
+    std::deque<Burst> writes_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_RUNTIME_AXI_HH

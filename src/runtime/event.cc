@@ -1,0 +1,29 @@
+#include "runtime/event.hh"
+
+namespace omnisim
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::TraceBlock:   return "TraceBlock";
+      case EventKind::StartTask:    return "StartTask";
+      case EventKind::FifoRead:     return "FifoRead";
+      case EventKind::FifoWrite:    return "FifoWrite";
+      case EventKind::FifoNbRead:   return "FifoNbRead";
+      case EventKind::FifoNbWrite:  return "FifoNbWrite";
+      case EventKind::FifoCanRead:  return "FifoCanRead";
+      case EventKind::FifoCanWrite: return "FifoCanWrite";
+      case EventKind::AxiReadReq:   return "AxiReadReq";
+      case EventKind::AxiWriteReq:  return "AxiWriteReq";
+      case EventKind::AxiRead:      return "AxiRead";
+      case EventKind::AxiWrite:     return "AxiWrite";
+      case EventKind::AxiWriteResp: return "AxiWriteResp";
+      case EventKind::Advance:      return "Advance";
+      case EventKind::TaskEnd:      return "TaskEnd";
+    }
+    return "Unknown";
+}
+
+} // namespace omnisim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace event and request kinds. This is the C++ rendering of Table 1 of
+ * the paper: the requests Func Sim threads make to the Perf Sim thread.
+ * Informative kinds update simulation state; query kinds (the last rows of
+ * Table 1) require resolution against hardware timing before the issuing
+ * thread may continue.
+ */
+
+#ifndef OMNISIM_RUNTIME_EVENT_HH
+#define OMNISIM_RUNTIME_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Request/event kinds per Table 1 of the paper. */
+enum class EventKind : std::uint8_t
+{
+    TraceBlock,    ///< A basic block (DSL region) was executed.
+    StartTask,     ///< A dataflow task started in a new thread.
+    FifoRead,      ///< Blocking FIFO read committed.
+    FifoWrite,     ///< Blocking FIFO write committed.
+    FifoNbRead,    ///< Non-blocking FIFO read attempt (query).
+    FifoNbWrite,   ///< Non-blocking FIFO write attempt (query).
+    FifoCanRead,   ///< empty() status check (query).
+    FifoCanWrite,  ///< full() status check (query).
+    AxiReadReq,    ///< Read burst request issued on AXI.
+    AxiWriteReq,   ///< Write burst request issued on AXI.
+    AxiRead,       ///< One data beat read from AXI.
+    AxiWrite,      ///< One data beat written to AXI.
+    AxiWriteResp,  ///< AXI write response received.
+    Advance,       ///< Scheduled compute latency (no observable action).
+    TaskEnd,       ///< A dataflow task ran to completion.
+};
+
+/** @return true for the kinds that the Perf Sim thread must answer. */
+constexpr bool
+isQueryKind(EventKind k)
+{
+    return k == EventKind::FifoNbRead || k == EventKind::FifoNbWrite ||
+           k == EventKind::FifoCanRead || k == EventKind::FifoCanWrite;
+}
+
+/** @return a stable human-readable name for an event kind. */
+const char *eventKindName(EventKind k);
+
+/**
+ * One recorded trace event. Events are produced by Func Sim contexts and
+ * consumed by graph construction, statistics, and the incremental
+ * re-simulation constraint checker.
+ */
+struct Event
+{
+    EventKind kind = EventKind::TraceBlock;
+    ModuleId module = invalidId;
+    /** FIFO or AXI id, depending on kind; invalidId when not applicable. */
+    std::int32_t channel = invalidId;
+    /** 1-based access index within the channel (the w/r of Table 2). */
+    std::uint32_t index = 0;
+    /** Hardware cycle the event occupies. */
+    Cycles cycle = 0;
+    /** Cycles the event occupies (1 for FIFO ops, 0 for status checks). */
+    Cycles duration = 0;
+    /** Outcome for query kinds: did the NB access succeed / is it ready. */
+    bool outcome = false;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_RUNTIME_EVENT_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * FIFO read/write timing tables — data structure (D) of Fig. 7 in the
+ * paper. One table per FIFO records every committed access together with
+ * the exact hardware cycle it occupies and the simulation-graph node that
+ * represents it. The Perf Sim thread resolves Table 2 queries against these
+ * tables; the co-simulator uses them as its per-cycle channel state; the
+ * incremental finalizer synthesizes write-after-read edges from them.
+ *
+ * Tables are deliberately unsynchronized: each engine supplies its own
+ * locking discipline (per-FIFO mutex in the OmniSim core, the clock barrier
+ * in co-sim, nothing in single-threaded engines).
+ */
+
+#ifndef OMNISIM_RUNTIME_FIFO_TABLE_HH
+#define OMNISIM_RUNTIME_FIFO_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Committed access history and in-flight data for one FIFO channel. */
+class FifoTable
+{
+  public:
+    /** Record the w-th write at the given cycle carrying a value. */
+    void
+    commitWrite(Value v, Cycles cycle, std::uint64_t node)
+    {
+        writeCycle_.push_back(cycle);
+        writeNode_.push_back(node);
+        data_.push_back(v);
+    }
+
+    /**
+     * Record the r-th read at the given cycle.
+     * @return the value that was written r-th.
+     */
+    Value
+    commitRead(Cycles cycle, std::uint64_t node)
+    {
+        readCycle_.push_back(cycle);
+        readNode_.push_back(node);
+        Value v = data_.front();
+        data_.pop_front();
+        return v;
+    }
+
+    /** @return number of committed writes. */
+    std::uint32_t
+    writes() const
+    {
+        return static_cast<std::uint32_t>(writeCycle_.size());
+    }
+
+    /** @return number of committed reads. */
+    std::uint32_t
+    reads() const
+    {
+        return static_cast<std::uint32_t>(readCycle_.size());
+    }
+
+    /** @return cycle of the i-th (1-based) committed write. */
+    Cycles writeCycleOf(std::uint32_t i) const { return writeCycle_[i - 1]; }
+
+    /** @return cycle of the i-th (1-based) committed read. */
+    Cycles readCycleOf(std::uint32_t i) const { return readCycle_[i - 1]; }
+
+    /** @return graph node of the i-th (1-based) committed write. */
+    std::uint64_t writeNodeOf(std::uint32_t i) const
+    {
+        return writeNode_[i - 1];
+    }
+
+    /** @return graph node of the i-th (1-based) committed read. */
+    std::uint64_t readNodeOf(std::uint32_t i) const
+    {
+        return readNode_[i - 1];
+    }
+
+    /** @return values written but not yet read, oldest first. */
+    const std::deque<Value> &pendingData() const { return data_; }
+
+  private:
+    std::vector<Cycles> writeCycle_;
+    std::vector<Cycles> readCycle_;
+    std::vector<std::uint64_t> writeNode_;
+    std::vector<std::uint64_t> readNode_;
+    std::deque<Value> data_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_RUNTIME_FIFO_TABLE_HH

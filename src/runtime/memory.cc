@@ -1,0 +1,70 @@
+#include "runtime/memory.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+MemoryPool::MemoryPool(const std::vector<MemoryDecl> &decls)
+    : decls_(decls)
+{
+    mems_.reserve(decls_.size());
+    for (const auto &d : decls_)
+        mems_.emplace_back(d.size, 0);
+}
+
+void
+MemoryPool::fill(MemId id, const std::vector<Value> &data)
+{
+    omnisim_assert(id >= 0 && static_cast<std::size_t>(id) < mems_.size(),
+                   "bad memory id %d", id);
+    omnisim_assert(data.size() <= mems_[id].size(),
+                   "fill of %zu values into memory '%s' of size %zu",
+                   data.size(), decls_[id].name.c_str(), mems_[id].size());
+    std::copy(data.begin(), data.end(), mems_[id].begin());
+}
+
+void
+MemoryPool::check(MemId id, std::uint64_t idx, const char *what) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= mems_.size())
+        throw SimCrash(strf("%s of invalid memory id %d", what, id));
+    if (idx >= mems_[id].size()) {
+        throw SimCrash(strf(
+            "%s out of bounds: %s[%llu], size %zu", what,
+            decls_[id].name.c_str(),
+            static_cast<unsigned long long>(idx), mems_[id].size()));
+    }
+}
+
+Value
+MemoryPool::load(MemId id, std::uint64_t idx) const
+{
+    check(id, idx, "load");
+    return mems_[id][idx];
+}
+
+void
+MemoryPool::store(MemId id, std::uint64_t idx, Value v)
+{
+    check(id, idx, "store");
+    mems_[id][idx] = v;
+}
+
+const std::vector<Value> &
+MemoryPool::contents(MemId id) const
+{
+    omnisim_assert(id >= 0 && static_cast<std::size_t>(id) < mems_.size(),
+                   "bad memory id %d", id);
+    return mems_[id];
+}
+
+const MemoryDecl &
+MemoryPool::decl(MemId id) const
+{
+    omnisim_assert(id >= 0 && static_cast<std::size_t>(id) < decls_.size(),
+                   "bad memory id %d", id);
+    return decls_[id];
+}
+
+} // namespace omnisim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bounds-checked design memories. Testbench inputs and outputs live here.
+ * Out-of-bounds access raises SimCrash, which the C-sim engine reports as
+ * the simulated SIGSEGV of Table 3 (producer loops running off the end of
+ * their input arrays) and other engines report as a design bug.
+ */
+
+#ifndef OMNISIM_RUNTIME_MEMORY_HH
+#define OMNISIM_RUNTIME_MEMORY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Thrown on a bounds violation: the moral equivalent of SIGSEGV. */
+class SimCrash : public std::runtime_error
+{
+  public:
+    explicit SimCrash(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** One named, fixed-size memory. */
+struct MemoryDecl
+{
+    std::string name;
+    std::size_t size = 0;
+};
+
+/**
+ * Runtime storage for every memory in a design. Each engine run owns a
+ * fresh pool so runs are isolated.
+ */
+class MemoryPool
+{
+  public:
+    /** Create storage for the given declarations, zero-initialized. */
+    explicit MemoryPool(const std::vector<MemoryDecl> &decls);
+
+    /** Overwrite the contents of a memory (testbench input loading). */
+    void fill(MemId id, const std::vector<Value> &data);
+
+    /** Bounds-checked load. @throws SimCrash on violation. */
+    Value load(MemId id, std::uint64_t idx) const;
+
+    /** Bounds-checked store. @throws SimCrash on violation. */
+    void store(MemId id, std::uint64_t idx, Value v);
+
+    /** @return the full contents of a memory. */
+    const std::vector<Value> &contents(MemId id) const;
+
+    /** @return number of memories in the pool. */
+    std::size_t count() const { return mems_.size(); }
+
+    /** @return the declaration for a memory. */
+    const MemoryDecl &decl(MemId id) const;
+
+  private:
+    void check(MemId id, std::uint64_t idx, const char *what) const;
+
+    std::vector<MemoryDecl> decls_;
+    std::vector<std::vector<Value>> mems_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_RUNTIME_MEMORY_HH

@@ -1,0 +1,30 @@
+#include "runtime/result.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+const char *
+simStatusName(SimStatus s)
+{
+    switch (s) {
+      case SimStatus::Ok:          return "Ok";
+      case SimStatus::Deadlock:    return "Deadlock";
+      case SimStatus::Crash:       return "Crash";
+      case SimStatus::Unsupported: return "Unsupported";
+      case SimStatus::Timeout:     return "Timeout";
+    }
+    return "Unknown";
+}
+
+Value
+SimResult::scalar(const std::string &mem) const
+{
+    auto it = memories.find(mem);
+    if (it == memories.end() || it->second.empty())
+        omnisim_fatal("no such output memory: %s", mem.c_str());
+    return it->second.front();
+}
+
+} // namespace omnisim

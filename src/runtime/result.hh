@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Engine-independent simulation result. All four engines (C-sim, Co-sim,
+ * LightningSim, OmniSim) return this structure so that benchmarks and tests
+ * can compare functionality and performance outputs uniformly (Table 3,
+ * Fig. 8 of the paper).
+ */
+
+#ifndef OMNISIM_RUNTIME_RESULT_HH
+#define OMNISIM_RUNTIME_RESULT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Terminal status of a simulation run. */
+enum class SimStatus : std::uint8_t
+{
+    Ok,          ///< Ran to completion.
+    Deadlock,    ///< Design-level deadlock detected (§7.1).
+    Crash,       ///< Simulated SIGSEGV (bounds violation) or similar.
+    Unsupported, ///< Engine cannot simulate this design type.
+    Timeout,     ///< Watchdog cycle/op limit exceeded.
+};
+
+/** @return a stable human-readable name for a status. */
+const char *simStatusName(SimStatus s);
+
+/** Counters describing how much work an engine performed. */
+struct EngineStats
+{
+    std::uint64_t events = 0;        ///< Total trace events recorded.
+    std::uint64_t queries = 0;       ///< Queries created (Table 1 queries).
+    std::uint64_t queriesSkipped = 0;///< Removed by dead-check elimination.
+    std::uint64_t forcedFalse = 0;   ///< Earliest-query-false resolutions.
+    std::uint64_t graphNodes = 0;    ///< Simulation graph nodes.
+    std::uint64_t graphEdges = 0;    ///< Simulation graph edges.
+    std::uint64_t cyclesStepped = 0; ///< Clock steps (co-sim only).
+    std::uint64_t threadPauses = 0;  ///< Func Sim thread pauses.
+};
+
+/** Result of one simulation run. */
+struct SimResult
+{
+    SimStatus status = SimStatus::Ok;
+
+    /** Total latency in cycles; valid when status == Ok. */
+    Cycles totalCycles = 0;
+
+    /** Cycle at which a deadlock was diagnosed; valid for Deadlock. */
+    Cycles deadlockCycle = 0;
+
+    /** Human-readable crash/unsupported explanation. */
+    std::string message;
+
+    /** Vitis-style warnings emitted during the run (C-sim mostly). */
+    std::vector<std::string> warnings;
+
+    /** Post-run contents of every design memory, keyed by name. */
+    std::map<std::string, std::vector<Value>> memories;
+
+    EngineStats stats;
+
+    /** @return the first element of the named output memory. */
+    Value scalar(const std::string &mem) const;
+
+    /** @return true when the run completed and produced outputs. */
+    bool ok() const { return status == SimStatus::Ok; }
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_RUNTIME_RESULT_HH

@@ -1,0 +1,112 @@
+#include "runtime/timing.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+TimingModel::TimingModel(std::uint64_t entry_tag, Cycles start)
+    : now_(start), prevT_(start), prevTag_(entry_tag)
+{}
+
+Cycles
+TimingModel::earliest() const
+{
+    Cycles e = now_;
+    if (!pipes_.empty()) {
+        const Pipe &p = pipes_.back();
+        if (p.opIdx < p.prevIter.size()) {
+            const Cycles cross = p.prevIter[p.opIdx].t + p.ii;
+            if (cross > e)
+                e = cross;
+        }
+    }
+    return e;
+}
+
+std::vector<TimingModel::Constraint>
+TimingModel::commitOp(Cycles t, Cycles dur, std::uint64_t tag)
+{
+    omnisim_assert(t >= earliest(),
+                   "op committed at %llu before earliest %llu",
+                   static_cast<unsigned long long>(t),
+                   static_cast<unsigned long long>(earliest()));
+
+    std::vector<Constraint> cs;
+    cs.push_back({prevT_, now_ - prevT_, prevTag_});
+
+    if (!pipes_.empty()) {
+        Pipe &p = pipes_.back();
+        if (p.opIdx < p.prevIter.size()) {
+            const Slot &s = p.prevIter[p.opIdx];
+            cs.push_back({s.t, p.ii, s.tag});
+        }
+        p.curIter.push_back({t, tag});
+        ++p.opIdx;
+        if (t + dur > p.maxEnd) {
+            p.maxEnd = t + dur;
+            p.maxEndStart = t;
+            p.maxEndTag = tag;
+        }
+    }
+
+    prevT_ = t;
+    prevTag_ = tag;
+    now_ = t + dur;
+    return cs;
+}
+
+void
+TimingModel::pipelineBegin(std::uint32_t ii)
+{
+    omnisim_assert(ii >= 1, "pipeline II must be >= 1, got %u", ii);
+    Pipe p;
+    p.ii = ii;
+    p.entryNow = now_;
+    p.entryPrevT = prevT_;
+    p.entryPrevTag = prevTag_;
+    p.maxEnd = now_;
+    p.maxEndStart = prevT_;
+    p.maxEndTag = prevTag_;
+    pipes_.push_back(std::move(p));
+}
+
+void
+TimingModel::iterBegin()
+{
+    omnisim_assert(!pipes_.empty(), "iterBegin outside pipeline scope");
+    Pipe &p = pipes_.back();
+    if (p.iterCount > 0)
+        p.prevIter = std::move(p.curIter);
+    ++p.iterCount;
+    p.curIter.clear();
+    p.opIdx = 0;
+    now_ = p.entryNow;
+    prevT_ = p.entryPrevT;
+    prevTag_ = p.entryPrevTag;
+}
+
+void
+TimingModel::pipelineEnd()
+{
+    omnisim_assert(!pipes_.empty(), "pipelineEnd outside pipeline scope");
+    Pipe p = std::move(pipes_.back());
+    pipes_.pop_back();
+    // The chain anchor becomes the op whose completion drains last. Its
+    // recorded time is the op START (what the simulation graph resolves),
+    // so subsequent program-order weights include the op's duration.
+    now_ = p.maxEnd;
+    prevT_ = p.maxEndStart;
+    prevTag_ = p.maxEndTag;
+    // Propagate drain time into an enclosing pipeline, if any.
+    if (!pipes_.empty()) {
+        Pipe &outer = pipes_.back();
+        if (now_ > outer.maxEnd) {
+            outer.maxEnd = now_;
+            outer.maxEndStart = p.maxEndStart;
+            outer.maxEndTag = p.maxEndTag;
+        }
+    }
+}
+
+} // namespace omnisim

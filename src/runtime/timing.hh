@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The golden timing model shared by every engine.
+ *
+ * A module's local timeline starts at cycle 1 and advances through ops
+ * (FIFO accesses occupy one cycle, status checks are combinational,
+ * advance(n) models scheduled compute latency) and through pipelined loop
+ * scopes. Pipelines are elastic: the k-th op of iteration i may not start
+ * before the k-th op of iteration i-1 plus the initiation interval, and
+ * FIFO stalls propagate through these constraints rather than freezing the
+ * whole pipeline. This is exactly the dynamic-stage timing LightningSim
+ * derives from the HLS static schedule, expressed operationally.
+ *
+ * The model is pure bookkeeping — it never blocks. Trace-driven engines
+ * (LightningSim, OmniSim) place each op at max(earliest(), dependency
+ * constraints) directly; the cycle-lockstep co-simulator instead waits on
+ * its clock barrier from earliest() until the hardware condition holds.
+ * Because both sides use this class, their cycle results agree exactly.
+ */
+
+#ifndef OMNISIM_RUNTIME_TIMING_HH
+#define OMNISIM_RUNTIME_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/**
+ * Per-module timing bookkeeping with pipelined-loop scopes.
+ *
+ * Tags are engine-defined identifiers (simulation graph node ids) carried
+ * through so that engines can record the structural constraint edges that
+ * were active when an op was placed — the raw material for incremental
+ * re-simulation (§7.2 of the paper).
+ */
+class TimingModel
+{
+  public:
+    /** A structural timing constraint: op start >= time + weight. */
+    struct Constraint
+    {
+        Cycles time = 0;
+        Cycles weight = 0;
+        std::uint64_t tag = 0;
+    };
+
+    /**
+     * @param entry_tag engine tag representing the module entry node.
+     * @param start first cycle of execution (1 by convention).
+     */
+    explicit TimingModel(std::uint64_t entry_tag, Cycles start = 1);
+
+    /** @return the module-local current cycle. */
+    Cycles now() const { return now_; }
+
+    /** Model scheduled compute latency: shift the local timeline. */
+    void advance(Cycles n) { now_ += n; }
+
+    /**
+     * @return the earliest cycle the next op may start, considering program
+     * order and (inside a pipeline) the cross-iteration II constraint.
+     */
+    Cycles earliest() const;
+
+    /**
+     * Record an op at cycle t (must be >= earliest()) with the given
+     * duration. Advances the local timeline to t + dur.
+     *
+     * @return the structural constraints that bounded this op (program
+     * order, and cross-iteration II when pipelined). Dependency constraints
+     * the engine computed itself (FIFO, AXI) are not included — the engine
+     * already knows them.
+     */
+    std::vector<Constraint> commitOp(Cycles t, Cycles dur,
+                                     std::uint64_t tag);
+
+    /** Enter a pipelined loop with the given initiation interval. */
+    void pipelineBegin(std::uint32_t ii);
+
+    /** Start the next loop iteration inside the innermost pipeline. */
+    void iterBegin();
+
+    /** Leave the innermost pipelined loop; timeline jumps to drain time. */
+    void pipelineEnd();
+
+    /** @return true when inside at least one pipeline scope. */
+    bool inPipeline() const { return !pipes_.empty(); }
+
+    /** @return the start cycle of the last committed op (chain anchor). */
+    Cycles lastOpTime() const { return prevT_; }
+
+    /** @return the tag of the last committed op (chain anchor). */
+    std::uint64_t lastOpTag() const { return prevTag_; }
+
+  private:
+    struct Slot
+    {
+        Cycles t = 0;
+        std::uint64_t tag = 0;
+    };
+
+    struct Pipe
+    {
+        std::uint32_t ii = 1;
+        Cycles entryNow = 0;
+        Cycles entryPrevT = 0;
+        std::uint64_t entryPrevTag = 0;
+        std::vector<Slot> prevIter;
+        std::vector<Slot> curIter;
+        std::size_t opIdx = 0;
+        std::size_t iterCount = 0;
+        Cycles maxEnd = 0;
+        Cycles maxEndStart = 0;
+        std::uint64_t maxEndTag = 0;
+    };
+
+    Cycles now_;
+    Cycles prevT_;
+    std::uint64_t prevTag_;
+    std::vector<Pipe> pipes_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_RUNTIME_TIMING_HH

@@ -1,0 +1,92 @@
+#include "sched/opgraph.hh"
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+Cycles
+opLatency(OpKind k)
+{
+    switch (k) {
+      case OpKind::Const:     return 0;
+      case OpKind::Add:       return 1;
+      case OpKind::Mul:       return 3;
+      case OpKind::Div:       return 16;
+      case OpKind::Shift:     return 1;
+      case OpKind::Select:    return 1;
+      case OpKind::Load:      return 2;
+      case OpKind::Store:     return 1;
+      case OpKind::FifoRead:  return 1;
+      case OpKind::FifoWrite: return 1;
+    }
+    return 1;
+}
+
+ResClass
+opResource(OpKind k)
+{
+    switch (k) {
+      case OpKind::Const:     return ResClass::None;
+      case OpKind::Add:       return ResClass::Alu;
+      case OpKind::Mul:       return ResClass::Mul;
+      case OpKind::Div:       return ResClass::Div;
+      case OpKind::Shift:     return ResClass::Alu;
+      case OpKind::Select:    return ResClass::Alu;
+      case OpKind::Load:      return ResClass::MemPort;
+      case OpKind::Store:     return ResClass::MemPort;
+      case OpKind::FifoRead:  return ResClass::None;
+      case OpKind::FifoWrite: return ResClass::None;
+    }
+    return ResClass::None;
+}
+
+std::uint32_t
+Resources::countOf(ResClass c) const
+{
+    switch (c) {
+      case ResClass::None:    return 0; // interpreted as unbounded
+      case ResClass::Alu:     return alu;
+      case ResClass::Mul:     return mul;
+      case ResClass::Div:     return div;
+      case ResClass::MemPort: return memPorts;
+    }
+    return 0;
+}
+
+std::uint32_t
+OpGraph::addOp(OpKind kind)
+{
+    ops_.push_back(kind);
+    return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+void
+OpGraph::addDep(std::uint32_t from, std::uint32_t to)
+{
+    omnisim_assert(from < ops_.size() && to < ops_.size(),
+                   "dep (%u -> %u) out of range", from, to);
+    omnisim_assert(from != to, "self dependence must be loop-carried");
+    deps_.push_back(Dep{from, to, 0});
+}
+
+void
+OpGraph::addLoopDep(std::uint32_t from, std::uint32_t to,
+                    std::uint32_t distance)
+{
+    omnisim_assert(from < ops_.size() && to < ops_.size(),
+                   "loop dep (%u -> %u) out of range", from, to);
+    omnisim_assert(distance >= 1, "loop-carried distance must be >= 1");
+    deps_.push_back(Dep{from, to, distance});
+}
+
+Cycles
+OpGraph::totalLatency() const
+{
+    Cycles sum = 0;
+    for (OpKind k : ops_)
+        sum += opLatency(k);
+    return sum;
+}
+
+} // namespace omnisim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Operation dependence graphs — the input to static scheduling. This is
+ * the reproduction's stand-in for the C-synthesis stage of the HLS flow
+ * (Fig. 1 of the paper): where Vitis HLS would schedule LLVM IR
+ * operations into FSM states and report initiation intervals, Type A
+ * benchmark kernels here describe their loop bodies as small operation
+ * DAGs and ask the scheduler for the II/depth constants their pipelines
+ * replay through the TimingModel.
+ */
+
+#ifndef OMNISIM_SCHED_OPGRAPH_HH
+#define OMNISIM_SCHED_OPGRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** Operation classes with hardware latencies and resource classes. */
+enum class OpKind : std::uint8_t
+{
+    Const,     ///< Literal; zero latency, no resource.
+    Add,       ///< Integer add/sub/compare; 1 cycle on an ALU.
+    Mul,       ///< Integer multiply; 3 cycles on a multiplier.
+    Div,       ///< Integer divide/modulo; 16 cycles on a divider.
+    Shift,     ///< Shift/bitwise; 1 cycle on an ALU.
+    Select,    ///< Mux; 1 cycle on an ALU.
+    Load,      ///< BRAM load; 2 cycles on a memory port.
+    Store,     ///< BRAM store; 1 cycle on a memory port.
+    FifoRead,  ///< Stream pop; 1 cycle.
+    FifoWrite, ///< Stream push; 1 cycle.
+};
+
+/** @return the latency in cycles of an operation kind. */
+Cycles opLatency(OpKind k);
+
+/** Hardware resource classes for resource-constrained scheduling. */
+enum class ResClass : std::uint8_t { None, Alu, Mul, Div, MemPort };
+
+/** @return the resource class an operation kind occupies. */
+ResClass opResource(OpKind k);
+
+/** Available functional units per resource class. */
+struct Resources
+{
+    std::uint32_t alu = 2;
+    std::uint32_t mul = 1;
+    std::uint32_t div = 1;
+    std::uint32_t memPorts = 2;
+
+    /** @return the unit count for a class (unbounded for None). */
+    std::uint32_t countOf(ResClass c) const;
+};
+
+/**
+ * An operation dependence graph for one loop body (or straight-line
+ * region). Dependences carry an iteration distance: 0 for intra-iteration
+ * edges, >= 1 for loop-carried edges (recurrences).
+ */
+class OpGraph
+{
+  public:
+    /** One dependence edge: to may not start before from finishes. */
+    struct Dep
+    {
+        std::uint32_t from = 0;
+        std::uint32_t to = 0;
+        std::uint32_t distance = 0; ///< Iteration distance.
+    };
+
+    /** Add an operation; @return its id. */
+    std::uint32_t addOp(OpKind kind);
+
+    /** Add an intra-iteration dependence from -> to. */
+    void addDep(std::uint32_t from, std::uint32_t to);
+
+    /** Add a loop-carried dependence with the given distance (>= 1). */
+    void addLoopDep(std::uint32_t from, std::uint32_t to,
+                    std::uint32_t distance);
+
+    std::size_t numOps() const { return ops_.size(); }
+    OpKind kind(std::uint32_t op) const { return ops_[op]; }
+    const std::vector<Dep> &deps() const { return deps_; }
+
+    /** @return sum of all op latencies (an upper bound on any II). */
+    Cycles totalLatency() const;
+
+  private:
+    std::vector<OpKind> ops_;
+    std::vector<Dep> deps_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_SCHED_OPGRAPH_HH

@@ -1,0 +1,254 @@
+#include "sched/schedule.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+namespace
+{
+
+/** Intra-iteration adjacency + in-degrees (distance-0 deps only). */
+struct IntraGraph
+{
+    std::vector<std::vector<std::uint32_t>> succ;
+    std::vector<std::vector<std::uint32_t>> pred;
+    std::vector<std::uint32_t> indeg;
+
+    explicit IntraGraph(const OpGraph &g)
+        : succ(g.numOps()), pred(g.numOps()), indeg(g.numOps(), 0)
+    {
+        for (const auto &d : g.deps()) {
+            if (d.distance == 0) {
+                succ[d.from].push_back(d.to);
+                pred[d.to].push_back(d.from);
+                ++indeg[d.to];
+            }
+        }
+    }
+};
+
+} // namespace
+
+StaticSchedule
+asapSchedule(const OpGraph &g)
+{
+    const std::size_t n = g.numOps();
+    IntraGraph ig(g);
+
+    StaticSchedule s;
+    s.start.assign(n, 0);
+
+    std::vector<std::uint32_t> indeg = ig.indeg;
+    std::queue<std::uint32_t> ready;
+    for (std::uint32_t v = 0; v < n; ++v)
+        if (indeg[v] == 0)
+            ready.push(v);
+
+    std::size_t done = 0;
+    while (!ready.empty()) {
+        const std::uint32_t v = ready.front();
+        ready.pop();
+        ++done;
+        const Cycles fin = s.start[v] + opLatency(g.kind(v));
+        if (fin > s.latency)
+            s.latency = fin;
+        for (std::uint32_t w : ig.succ[v]) {
+            s.start[w] = std::max(s.start[w], fin);
+            if (--indeg[w] == 0)
+                ready.push(w);
+        }
+    }
+    if (done != n)
+        omnisim_fatal("op graph has an intra-iteration dependence cycle");
+    return s;
+}
+
+StaticSchedule
+alapSchedule(const OpGraph &g, Cycles deadline)
+{
+    const std::size_t n = g.numOps();
+    const StaticSchedule asap = asapSchedule(g);
+    if (deadline < asap.latency) {
+        omnisim_fatal("ALAP deadline %llu below ASAP latency %llu",
+                      static_cast<unsigned long long>(deadline),
+                      static_cast<unsigned long long>(asap.latency));
+    }
+
+    IntraGraph ig(g);
+    StaticSchedule s;
+    s.start.assign(n, 0);
+    s.latency = deadline;
+
+    // Reverse topological order via out-degrees.
+    std::vector<std::uint32_t> outdeg(n, 0);
+    for (std::uint32_t v = 0; v < n; ++v)
+        outdeg[v] = static_cast<std::uint32_t>(ig.succ[v].size());
+
+    std::vector<Cycles> finish(n, deadline);
+    std::queue<std::uint32_t> ready;
+    for (std::uint32_t v = 0; v < n; ++v)
+        if (outdeg[v] == 0)
+            ready.push(v);
+
+    while (!ready.empty()) {
+        const std::uint32_t v = ready.front();
+        ready.pop();
+        s.start[v] = finish[v] - opLatency(g.kind(v));
+        for (std::uint32_t p : ig.pred[v]) {
+            finish[p] = std::min(finish[p], s.start[v]);
+            if (--outdeg[p] == 0)
+                ready.push(p);
+        }
+    }
+    return s;
+}
+
+StaticSchedule
+listSchedule(const OpGraph &g, const Resources &res)
+{
+    const std::size_t n = g.numOps();
+    IntraGraph ig(g);
+    const StaticSchedule asap = asapSchedule(g);
+    const StaticSchedule alap = alapSchedule(g, asap.latency);
+
+    StaticSchedule s;
+    s.start.assign(n, 0);
+
+    std::vector<std::uint32_t> remaining = ig.indeg;
+    std::vector<bool> scheduled(n, false);
+    std::vector<Cycles> readyAt(n, 0); // earliest start per deps
+    std::size_t done = 0;
+    Cycles cycle = 0;
+
+    while (done < n) {
+        // Collect ops whose deps are satisfied and start time has come,
+        // sorted by ALAP slack (least slack first).
+        std::vector<std::uint32_t> candidates;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (!scheduled[v] && remaining[v] == 0 && readyAt[v] <= cycle)
+                candidates.push_back(v);
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      if (alap.start[a] != alap.start[b])
+                          return alap.start[a] < alap.start[b];
+                      return a < b;
+                  });
+
+        std::map<ResClass, std::uint32_t> used;
+        for (std::uint32_t v : candidates) {
+            const ResClass rc = opResource(g.kind(v));
+            if (rc != ResClass::None) {
+                if (used[rc] >= res.countOf(rc))
+                    continue; // no unit free this cycle
+                ++used[rc];
+            }
+            scheduled[v] = true;
+            s.start[v] = cycle;
+            ++done;
+            const Cycles fin = cycle + opLatency(g.kind(v));
+            if (fin > s.latency)
+                s.latency = fin;
+            for (std::uint32_t w : ig.succ[v]) {
+                readyAt[w] = std::max(readyAt[w], fin);
+                --remaining[w];
+            }
+        }
+        ++cycle;
+        omnisim_assert(cycle < 1'000'000,
+                       "list scheduler failed to converge");
+    }
+    return s;
+}
+
+Cycles
+resMii(const OpGraph &g, const Resources &res)
+{
+    std::map<ResClass, std::uint64_t> uses;
+    for (std::uint32_t v = 0; v < g.numOps(); ++v)
+        ++uses[opResource(g.kind(v))];
+
+    Cycles mii = 1;
+    for (const auto &[rc, cnt] : uses) {
+        if (rc == ResClass::None)
+            continue;
+        const std::uint32_t units = res.countOf(rc);
+        omnisim_assert(units > 0, "resource class has zero units");
+        const Cycles need = (cnt + units - 1) / units;
+        mii = std::max(mii, need);
+    }
+    return mii;
+}
+
+namespace
+{
+
+/**
+ * Feasibility of initiation interval ii: with edge weight
+ * latency(from) - ii * distance, the dependence graph must contain no
+ * positive-weight cycle. Bellman-Ford style relaxation over all edges.
+ */
+bool
+iiFeasible(const OpGraph &g, Cycles ii)
+{
+    const std::size_t n = g.numOps();
+    std::vector<double> dist(n, 0.0);
+    for (std::size_t round = 0; round <= n; ++round) {
+        bool changed = false;
+        for (const auto &d : g.deps()) {
+            const double w =
+                static_cast<double>(opLatency(g.kind(d.from))) -
+                static_cast<double>(ii) * d.distance;
+            if (dist[d.from] + w > dist[d.to]) {
+                dist[d.to] = dist[d.from] + w;
+                changed = true;
+            }
+        }
+        if (!changed)
+            return true;
+    }
+    return false; // still relaxing after n rounds -> positive cycle
+}
+
+} // namespace
+
+Cycles
+recMii(const OpGraph &g)
+{
+    bool any_carried = false;
+    for (const auto &d : g.deps())
+        if (d.distance > 0)
+            any_carried = true;
+    if (!any_carried)
+        return 1;
+
+    Cycles lo = 1;
+    Cycles hi = std::max<Cycles>(1, g.totalLatency());
+    omnisim_assert(iiFeasible(g, hi), "no feasible II up to total latency");
+    while (lo < hi) {
+        const Cycles mid = lo + (hi - lo) / 2;
+        if (iiFeasible(g, mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+LoopSchedule
+scheduleLoop(const OpGraph &g, const Resources &res)
+{
+    LoopSchedule ls;
+    ls.ii = std::max(resMii(g, res), recMii(g));
+    const StaticSchedule body = listSchedule(g, res);
+    ls.depth = std::max<Cycles>(1, body.latency);
+    return ls;
+}
+
+} // namespace omnisim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Static scheduling algorithms over operation dependence graphs: ASAP and
+ * ALAP schedules, resource-constrained list scheduling, and initiation-
+ * interval computation (ResMII / RecMII) for pipelined loops. The result
+ * is the "HW static schedule" of Fig. 1 that trace-based simulation
+ * consumes.
+ */
+
+#ifndef OMNISIM_SCHED_SCHEDULE_HH
+#define OMNISIM_SCHED_SCHEDULE_HH
+
+#include <vector>
+
+#include "sched/opgraph.hh"
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+/** A computed static schedule for one region. */
+struct StaticSchedule
+{
+    /** Start cycle of each op, relative to region start (cycle 0). */
+    std::vector<Cycles> start;
+
+    /** Total region latency: max(start + latency) over all ops. */
+    Cycles latency = 0;
+};
+
+/**
+ * Unconstrained as-soon-as-possible schedule (intra-iteration deps only).
+ * @throws FatalError when intra-iteration dependences form a cycle.
+ */
+StaticSchedule asapSchedule(const OpGraph &g);
+
+/**
+ * As-late-as-possible schedule against the given deadline (must be >=
+ * the ASAP latency).
+ */
+StaticSchedule alapSchedule(const OpGraph &g, Cycles deadline);
+
+/**
+ * Resource-constrained list scheduling with ALAP-slack priority.
+ * Ops compete for the functional units in res; ties break toward ops
+ * with the least slack.
+ */
+StaticSchedule listSchedule(const OpGraph &g, const Resources &res);
+
+/**
+ * Resource-constrained minimum initiation interval:
+ * max over resource classes of ceil(uses / units).
+ */
+Cycles resMii(const OpGraph &g, const Resources &res);
+
+/**
+ * Recurrence-constrained minimum initiation interval: the smallest II
+ * such that no dependence cycle requires more latency than II times its
+ * iteration distance. Computed by binary search over II with a
+ * positive-cycle (Bellman-Ford style) feasibility test.
+ *
+ * @return 1 when the graph has no loop-carried recurrences.
+ */
+Cycles recMii(const OpGraph &g);
+
+/** Pipelined-loop schedule summary consumed by design builders. */
+struct LoopSchedule
+{
+    Cycles ii = 1;    ///< Initiation interval.
+    Cycles depth = 1; ///< Pipeline depth (iteration latency).
+};
+
+/**
+ * Schedule a pipelined loop body: II = max(ResMII, RecMII), depth = the
+ * resource-constrained iteration latency. (Full modulo scheduling is
+ * approximated by the list-schedule depth; see DESIGN.md.)
+ */
+LoopSchedule scheduleLoop(const OpGraph &g, const Resources &res);
+
+} // namespace omnisim
+
+#endif // OMNISIM_SCHED_SCHEDULE_HH

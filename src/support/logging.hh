@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the gem5 idiom.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in this
+ *            library). Aborts.
+ * fatal()  — the user supplied an invalid design or configuration. Throws
+ *            FatalError so that library embedders and tests can recover.
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef OMNISIM_SUPPORT_LOGGING_HH
+#define OMNISIM_SUPPORT_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace omnisim
+{
+
+/** Exception thrown by fatal(): a user-level configuration/design error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * printf-style string formatting into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return The formatted text.
+ */
+std::string strf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort the process. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report a user-level error by throwing FatalError. */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Emit a warning to stderr. */
+void warn(const std::string &msg);
+
+/** Emit a status message to stderr. */
+void inform(const std::string &msg);
+
+/** Global switch used by tests/benches to silence warn()/inform(). */
+void setLogQuiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool logQuiet();
+
+} // namespace omnisim
+
+#define omnisim_panic(...) \
+    ::omnisim::panicImpl(__FILE__, __LINE__, ::omnisim::strf(__VA_ARGS__))
+
+#define omnisim_fatal(...) \
+    ::omnisim::fatalImpl(::omnisim::strf(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define omnisim_assert(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::omnisim::panicImpl(__FILE__, __LINE__,                       \
+                std::string("assertion failed: " #cond " — ") +            \
+                ::omnisim::strf(__VA_ARGS__));                             \
+        }                                                                  \
+    } while (0)
+
+#endif // OMNISIM_SUPPORT_LOGGING_HH

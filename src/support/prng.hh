@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) used by
+ * workload generators and property tests. Never std::rand: reproducibility
+ * across platforms matters for regression tests.
+ */
+
+#ifndef OMNISIM_SUPPORT_PRNG_HH
+#define OMNISIM_SUPPORT_PRNG_HH
+
+#include <cstdint>
+
+namespace omnisim
+{
+
+/**
+ * xoshiro256** PRNG seeded through SplitMix64. Deterministic for a given
+ * seed on every platform.
+ */
+class Prng
+{
+  public:
+    /** Construct with the given seed (any value, including 0, is valid). */
+    explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniform value in [0, bound) — bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform value in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_SUPPORT_PRNG_HH

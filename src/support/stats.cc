@@ -1,0 +1,52 @@
+#include "support/stats.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+void
+RunningStat::push(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        omnisim_assert(x > 0.0, "geomean sample must be positive: %f", x);
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+} // namespace omnisim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small statistics helpers for benchmark reporting: running summary
+ * statistics and geometric means (the paper reports geomean speedups).
+ */
+
+#ifndef OMNISIM_SUPPORT_STATS_HH
+#define OMNISIM_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace omnisim
+{
+
+/** Incremental summary statistics (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the summary. */
+    void push(double x);
+
+    /** @return number of samples pushed. */
+    std::size_t count() const { return n_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return minimum sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** @return maximum sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** @return unbiased sample standard deviation (0 for n < 2). */
+    double stddev() const;
+
+    /** @return sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Geometric mean of a sample vector. All samples must be positive.
+ *
+ * @return 0 when the vector is empty.
+ */
+double geomean(const std::vector<double> &xs);
+
+} // namespace omnisim
+
+#endif // OMNISIM_SUPPORT_STATS_HH

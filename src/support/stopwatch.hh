@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the benchmark harnesses.
+ */
+
+#ifndef OMNISIM_SUPPORT_STOPWATCH_HH
+#define OMNISIM_SUPPORT_STOPWATCH_HH
+
+#include <chrono>
+
+namespace omnisim
+{
+
+/** Monotonic wall-clock stopwatch. Starts running on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { restart(); }
+
+    /** Reset the start point to now. */
+    void restart() { start_ = Clock::now(); }
+
+    /** @return elapsed seconds since construction/restart. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** @return elapsed microseconds since construction/restart. */
+    double micros() const { return seconds() * 1e6; }
+
+    /** @return elapsed milliseconds since construction/restart. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_SUPPORT_STOPWATCH_HH

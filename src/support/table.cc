@@ -1,0 +1,79 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    omnisim_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    omnisim_assert(cells.size() == headers_.size(),
+                   "row has %zu cells, table has %zu columns",
+                   cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.emplace_back(); // sentinel
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto rule = [&]() {
+        os << '+';
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &s = c < cells.size() ? cells[c] : "";
+            os << ' ' << s << std::string(width[c] - s.size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    emit(headers_);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            emit(row);
+    }
+    rule();
+}
+
+std::string
+TablePrinter::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace omnisim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table printer. Every benchmark harness in bench/ reproduces a table
+ * or figure from the paper; this class renders them uniformly.
+ */
+
+#ifndef OMNISIM_SUPPORT_TABLE_HH
+#define OMNISIM_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omnisim
+{
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   TablePrinter t({"Design", "Cycles", "Speedup"});
+ *   t.addRow({"fir", "1234", "1.26x"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_SUPPORT_TABLE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar and identifier types shared across all OmniSim
+ * subsystems.
+ */
+
+#ifndef OMNISIM_SUPPORT_TYPES_HH
+#define OMNISIM_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace omnisim
+{
+
+/**
+ * Hardware clock cycle count. Cycle 1 is the first cycle of execution; a
+ * value of 0 denotes "before the design started" and is used as the
+ * identity for max-style timing merges.
+ */
+using Cycles = std::uint64_t;
+
+/** Simulated data value. All design-visible data is 64-bit integral. */
+using Value = std::int64_t;
+
+/** Index of a FIFO channel within a Design. */
+using FifoId = std::int32_t;
+
+/** Index of a dataflow module within a Design. */
+using ModuleId = std::int32_t;
+
+/** Index of a testbench-visible memory within a Design. */
+using MemId = std::int32_t;
+
+/** Index of an AXI port within a Design. */
+using AxiId = std::int32_t;
+
+/** Sentinel for all identifier types above. */
+constexpr std::int32_t invalidId = -1;
+
+} // namespace omnisim
+
+#endif // OMNISIM_SUPPORT_TYPES_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the test suite: compile-and-run wrappers that keep
+ * the engine option conventions (RTL cost modeling off, finalization
+ * verification on) in one place.
+ */
+
+#ifndef OMNISIM_TESTS_HELPERS_HH
+#define OMNISIM_TESTS_HELPERS_HH
+
+#include "core/omnisim.hh"
+#include "cosim/cosim.hh"
+#include "csim/csim.hh"
+#include "design/frontend.hh"
+#include "designs/common.hh"
+#include "lightningsim/lightningsim.hh"
+#include "support/logging.hh"
+
+namespace omnisim::test
+{
+
+/** Co-sim options for correctness tests: no synthetic RTL cost. */
+inline CosimOptions
+fastCosim()
+{
+    CosimOptions o;
+    o.modelRtlCost = false;
+    return o;
+}
+
+/** OmniSim options for correctness tests: verify finalization. */
+inline OmniSimOptions
+checkedOmniSim()
+{
+    OmniSimOptions o;
+    o.verifyFinalization = true;
+    return o;
+}
+
+/** Build + compile a registered design by name. */
+struct Compiled
+{
+    Design design;
+    CompiledDesign cd;
+
+    explicit Compiled(const std::string &name)
+        : design(designs::findDesign(name).build()), cd(compile(design))
+    {}
+};
+
+} // namespace omnisim::test
+
+#endif // OMNISIM_TESTS_HELPERS_HH

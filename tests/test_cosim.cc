@@ -1,0 +1,262 @@
+/** @file Co-simulation engine tests: hand-computed cycle semantics
+ *  (the paper's Fig. 6 walk-through), deadlock detection, determinism. */
+
+#include <gtest/gtest.h>
+
+#include "design/context.hh"
+#include "helpers.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+using test::Compiled;
+using test::fastCosim;
+
+/** The paper's running example: producer writes 2, consumer reads 2,
+ *  FIFO depth 1. P1@1, C1@2, P2 (write) stalls to 3, C2@4, total 5. */
+TEST(Cosim, PaperFigure6BlockingTiming)
+{
+    Design d("fig6");
+    const MemId out = d.addMemory("out", 2);
+    const FifoId f = d.declareFifo("f", 1);
+    const ModuleId p = d.addModule("producer", [=](Context &ctx) {
+        ctx.write(f, 11);
+        ctx.write(f, 22);
+    });
+    const ModuleId c = d.addModule("consumer", [=](Context &ctx) {
+        ctx.store(out, 0, ctx.read(f));
+        ctx.store(out, 1, ctx.read(f));
+    });
+    d.connectFifo(f, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateCosim(cd, fastCosim());
+    ASSERT_EQ(r.status, SimStatus::Ok);
+    EXPECT_EQ(r.totalCycles, 5u);
+    EXPECT_EQ(r.memories.at("out")[0], 11);
+    EXPECT_EQ(r.memories.at("out")[1], 22);
+}
+
+TEST(Cosim, DeeperFifoRemovesTheStall)
+{
+    Design d("fig6_deep");
+    const MemId out = d.addMemory("out", 2);
+    const FifoId f = d.declareFifo("f", 2);
+    const ModuleId p = d.addModule("producer", [=](Context &ctx) {
+        ctx.write(f, 1);
+        ctx.write(f, 2);
+    });
+    const ModuleId c = d.addModule("consumer", [=](Context &ctx) {
+        ctx.store(out, 0, ctx.read(f));
+        ctx.store(out, 1, ctx.read(f));
+    });
+    d.connectFifo(f, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateCosim(cd, fastCosim());
+    // Writes at 1,2; reads at 2,3; total 4.
+    EXPECT_EQ(r.totalCycles, 4u);
+}
+
+TEST(Cosim, NbWriteFailsAtSameCycleAsRead)
+{
+    // The Fig. 6 bottom walk-through: an NB write at the same cycle as
+    // the freeing read must fail ("strictly after" rule).
+    Design d("fig6_nb");
+    const MemId out = d.addMemory("out", 3);
+    const FifoId f = d.declareFifo("f", 1, AccessKind::Mixed,
+                                   AccessKind::Blocking);
+    const ModuleId p = d.addModule(
+        "producer",
+        [=](Context &ctx) {
+            ctx.write(f, 1);                           // P1 @ 1
+            ctx.store(out, 0, ctx.writeNb(f, 2) ? 1 : 0); // P2 @ 2: fail
+            ctx.store(out, 1, ctx.writeNb(f, 3) ? 1 : 0); // P3 @ 3: ok
+        },
+        {.hasInfiniteLoop = false, .behaviorVariesOnNb = true});
+    const ModuleId c = d.addModule("consumer", [=](Context &ctx) {
+        (void)ctx.read(f); // C1 @ 2
+        ctx.store(out, 2, ctx.read(f)); // C2 @ 4
+    });
+    d.connectFifo(f, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateCosim(cd, fastCosim());
+    ASSERT_EQ(r.status, SimStatus::Ok);
+    EXPECT_EQ(r.memories.at("out")[0], 0); // P2 discarded
+    EXPECT_EQ(r.memories.at("out")[1], 1); // P3 committed
+    EXPECT_EQ(r.memories.at("out")[2], 3); // C2 sees P3's value
+    EXPECT_EQ(r.totalCycles, 5u);          // C2 @ 4, ends at 5
+}
+
+TEST(Cosim, EmptyPollingCountsExactCycles)
+{
+    // Miniature fig2_timer: compute takes 3 cycles to produce; the
+    // timer polls empty() once per cycle.
+    Design d("mini_timer");
+    const MemId out = d.addMemory("cycles", 1);
+    const FifoId f = d.declareFifo("f", 2, AccessKind::Blocking,
+                                   AccessKind::NonBlocking);
+    const ModuleId comp = d.addModule("compute", [=](Context &ctx) {
+        ctx.advance(2);
+        ctx.write(f, 7); // write occupies cycle 3
+    });
+    const ModuleId timer = d.addModule(
+        "timer",
+        [=](Context &ctx) {
+            Value n = 0;
+            while (ctx.empty(f)) {
+                ++n;
+                ctx.advance(1);
+            }
+            (void)ctx.read(f);
+            ctx.store(out, 0, n);
+        },
+        {.hasInfiniteLoop = false, .behaviorVariesOnNb = true});
+    d.connectFifo(f, comp, timer);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateCosim(cd, fastCosim());
+    ASSERT_EQ(r.status, SimStatus::Ok);
+    // empty at cycles 1,2,3 (write@3 visible at 4): exactly 3 polls,
+    // matching the paper's Fig. 2 ground truth of 3.
+    EXPECT_EQ(r.memories.at("cycles")[0], 3);
+}
+
+TEST(Cosim, DetectsTrueDeadlockPromptly)
+{
+    Compiled c("deadlock");
+    const SimResult r = simulateCosim(c.cd, fastCosim());
+    EXPECT_EQ(r.status, SimStatus::Deadlock);
+    EXPECT_NE(r.message.find("DEADLOCK DETECTED"), std::string::npos);
+}
+
+TEST(Cosim, DepthInducedDeadlockDetected)
+{
+    // Reconvergent dataflow with mismatched depths deadlocks: the
+    // producer fills f2 while the consumer insists on f1 first.
+    Design d("depthlock");
+    const MemId out = d.addMemory("out", 1);
+    const FifoId f1 = d.declareFifo("f1", 1);
+    const FifoId f2 = d.declareFifo("f2", 1);
+    const std::size_t n = 8;
+    const ModuleId p = d.addModule("p", [=](Context &ctx) {
+        // Writes all of f2 first, then f1.
+        for (std::size_t i = 0; i < n; ++i)
+            ctx.write(f2, static_cast<Value>(i));
+        for (std::size_t i = 0; i < n; ++i)
+            ctx.write(f1, static_cast<Value>(i));
+    });
+    const ModuleId c = d.addModule("c", [=](Context &ctx) {
+        Value sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += ctx.read(f1); // needs f1 first
+            sum += ctx.read(f2);
+        }
+        ctx.store(out, 0, sum);
+    });
+    d.connectFifo(f1, p, c);
+    d.connectFifo(f2, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateCosim(cd, fastCosim());
+    EXPECT_EQ(r.status, SimStatus::Deadlock);
+}
+
+TEST(Cosim, CombinationalLoopGuardFires)
+{
+    Design d("combloop");
+    const MemId out = d.addMemory("out", 1);
+    const FifoId f = d.declareFifo("f", 2, AccessKind::Blocking,
+                                   AccessKind::NonBlocking);
+    const ModuleId w = d.addModule("writer", [=](Context &ctx) {
+        ctx.advance(1'000'000); // never writes in time
+        ctx.write(f, 1);
+    });
+    const ModuleId r = d.addModule(
+        "spinner",
+        [=](Context &ctx) {
+            // Status-check loop with no advance: a combinational loop.
+            while (ctx.empty(f)) {
+            }
+            ctx.store(out, 0, ctx.read(f));
+        },
+        {.hasInfiniteLoop = false, .behaviorVariesOnNb = true});
+    d.connectFifo(f, w, r);
+    const CompiledDesign cd = compile(d);
+    CosimOptions opts = fastCosim();
+    opts.combLimit = 1000;
+    const SimResult res = simulateCosim(cd, opts);
+    EXPECT_EQ(res.status, SimStatus::Crash);
+    EXPECT_NE(res.message.find("combinational"), std::string::npos);
+}
+
+TEST(Cosim, CrashPropagatesAcrossThreads)
+{
+    Design d("crash");
+    const MemId mem = d.addMemory("m", 4);
+    const FifoId f = d.declareFifo("f", 2);
+    const ModuleId bad = d.addModule("bad", [=](Context &ctx) {
+        ctx.write(f, ctx.load(mem, 99)); // out of bounds
+    });
+    const ModuleId good = d.addModule("good", [=](Context &ctx) {
+        (void)ctx.read(f);
+    });
+    d.connectFifo(f, bad, good);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateCosim(cd, fastCosim());
+    EXPECT_EQ(r.status, SimStatus::Crash);
+    EXPECT_NE(r.message.find("SIGSEGV"), std::string::npos);
+}
+
+TEST(Cosim, WatchdogTurnsLivelockIntoTimeout)
+{
+    // A poller whose producer never produces: livelock, not deadlock
+    // (§3.2.4: co-sim does not detect livelocks).
+    Design d("livelock");
+    const MemId out = d.addMemory("out", 1);
+    const FifoId f = d.declareFifo("f", 2, AccessKind::Blocking,
+                                   AccessKind::NonBlocking);
+    const ModuleId w = d.addModule("never", [=](Context &ctx) {
+        ctx.advance(2'000'000);
+        ctx.write(f, 1);
+    });
+    const ModuleId r = d.addModule(
+        "poller",
+        [=](Context &ctx) {
+            while (ctx.empty(f))
+                ctx.advance(1);
+            ctx.store(out, 0, ctx.read(f));
+        },
+        {.hasInfiniteLoop = false, .behaviorVariesOnNb = true});
+    d.connectFifo(f, w, r);
+    const CompiledDesign cd = compile(d);
+    CosimOptions opts = fastCosim();
+    opts.maxCycles = 50'000;
+    const SimResult res = simulateCosim(cd, opts);
+    EXPECT_EQ(res.status, SimStatus::Timeout);
+}
+
+TEST(Cosim, DeterministicAcrossRuns)
+{
+    Compiled c("fig4_ex4b");
+    const SimResult first = simulateCosim(c.cd, fastCosim());
+    for (int i = 0; i < 5; ++i) {
+        const SimResult r = simulateCosim(c.cd, fastCosim());
+        EXPECT_EQ(r.status, first.status);
+        EXPECT_EQ(r.totalCycles, first.totalCycles);
+        EXPECT_EQ(r.memories, first.memories);
+    }
+}
+
+TEST(Cosim, RtlCostModelChangesOnlySpeed)
+{
+    Compiled c("fig4_ex3");
+    CosimOptions slow = fastCosim();
+    slow.modelRtlCost = true;
+    slow.gatesPerModule = 100; // keep the test quick
+    const SimResult a = simulateCosim(c.cd, fastCosim());
+    const SimResult b = simulateCosim(c.cd, slow);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.memories, b.memories);
+}
+
+} // namespace
+} // namespace omnisim

@@ -1,0 +1,271 @@
+/** @file Additional coverage: DOT export, scheduler properties over
+ *  random op graphs, AXI timing through the engines, and assorted edge
+ *  cases discovered while hardening the engines. */
+
+#include <gtest/gtest.h>
+
+#include "design/context.hh"
+#include "design/dot.hh"
+#include "helpers.hh"
+#include "sched/schedule.hh"
+#include "support/prng.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+using test::checkedOmniSim;
+using test::Compiled;
+using test::fastCosim;
+
+// ---- DOT export ------------------------------------------------------
+
+TEST(Dot, ContainsModulesAndChannels)
+{
+    Design d = designs::findDesign("fig4_ex5").build();
+    const std::string dot = toDot(d);
+    EXPECT_NE(dot.find("digraph \"fig4_ex5\""), std::string::npos);
+    EXPECT_NE(dot.find("controller"), std::string::npos);
+    EXPECT_NE(dot.find("FIFO1 [2]"), std::string::npos);
+    EXPECT_NE(dot.find("Type C"), std::string::npos);
+    // NB channels are highlighted.
+    EXPECT_NE(dot.find("#c00000"), std::string::npos);
+}
+
+TEST(Dot, HighlightsCyclicGroups)
+{
+    Design d = designs::findDesign("deadlock").build();
+    const std::string dot = toDot(d);
+    EXPECT_NE(dot.find("#ffd0d0"), std::string::npos);
+}
+
+// ---- Scheduler properties over random op graphs ----------------------
+
+class RandomOpGraph : public ::testing::TestWithParam<int>
+{};
+
+OpGraph
+randomGraph(std::uint64_t seed, std::size_t n)
+{
+    Prng prng(seed);
+    OpGraph g;
+    const OpKind kinds[] = {OpKind::Add, OpKind::Mul, OpKind::Load,
+                            OpKind::Store, OpKind::Shift, OpKind::Div,
+                            OpKind::Select};
+    for (std::size_t i = 0; i < n; ++i)
+        g.addOp(kinds[prng.below(std::size(kinds))]);
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t fanin = prng.below(3);
+        for (std::size_t k = 0; k < fanin; ++k) {
+            const auto src = static_cast<std::uint32_t>(prng.below(i));
+            g.addDep(src, static_cast<std::uint32_t>(i));
+        }
+    }
+    return g;
+}
+
+TEST_P(RandomOpGraph, ListScheduleRespectsDepsAndResources)
+{
+    const OpGraph g = randomGraph(GetParam() * 31 + 1, 40);
+    Resources res;
+    res.alu = 2;
+    res.mul = 1;
+    res.div = 1;
+    res.memPorts = 2;
+    const StaticSchedule s = listSchedule(g, res);
+
+    // Dependences: consumer starts after producer finishes.
+    for (const auto &d : g.deps()) {
+        if (d.distance == 0) {
+            EXPECT_GE(s.start[d.to],
+                      s.start[d.from] + opLatency(g.kind(d.from)));
+        }
+    }
+    // Resources: per-cycle issue counts within limits.
+    std::map<std::pair<Cycles, ResClass>, std::uint32_t> issued;
+    for (std::uint32_t op = 0; op < g.numOps(); ++op) {
+        const ResClass rc = opResource(g.kind(op));
+        if (rc != ResClass::None)
+            ++issued[{s.start[op], rc}];
+    }
+    for (const auto &[key, count] : issued)
+        EXPECT_LE(count, res.countOf(key.second));
+    // Never better than the unconstrained schedule.
+    EXPECT_GE(s.latency, asapSchedule(g).latency);
+}
+
+TEST_P(RandomOpGraph, AlapNeverBeforeAsap)
+{
+    const OpGraph g = randomGraph(GetParam() * 57 + 3, 30);
+    const StaticSchedule asap = asapSchedule(g);
+    const StaticSchedule alap = alapSchedule(g, asap.latency + 5);
+    for (std::uint32_t op = 0; op < g.numOps(); ++op)
+        EXPECT_GE(alap.start[op], asap.start[op]) << op;
+}
+
+TEST_P(RandomOpGraph, ScheduleLoopIiBounds)
+{
+    const OpGraph g = randomGraph(GetParam() * 97 + 11, 24);
+    Resources res;
+    const LoopSchedule ls = scheduleLoop(g, res);
+    EXPECT_GE(ls.ii, resMii(g, res));
+    EXPECT_GE(ls.ii, recMii(g));
+    EXPECT_GE(ls.depth, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpGraph, ::testing::Range(1, 11));
+
+// ---- AXI timing through the engines ----------------------------------
+
+TEST(AxiTiming, BurstLatencyVisibleInCycles)
+{
+    // One 4-beat read burst: req at 1, beats at 1+8..1+11, so the last
+    // beat occupies cycle 12 and the module ends at 13.
+    Design d("axib");
+    const MemId mem = d.addMemory("mem", 16);
+    const MemId out = d.addMemory("out", 1);
+    d.setInput(mem, designs::iotaData(16));
+    const AxiId port = d.declareAxiPort("gmem", mem);
+    const ModuleId m = d.addModule("reader", [=](Context &ctx) {
+        ctx.axiReadReq(port, 0, 4);
+        Value sum = 0;
+        for (int k = 0; k < 4; ++k)
+            sum += ctx.axiRead(port);
+        ctx.store(out, 0, sum);
+    });
+    d.connectAxi(port, m);
+    const CompiledDesign cd = compile(d);
+    const SimResult co = simulateCosim(cd, fastCosim());
+    const SimResult om = simulateOmniSim(cd, checkedOmniSim());
+    const SimResult ls = simulateLightningSim(cd);
+    ASSERT_EQ(co.status, SimStatus::Ok);
+    EXPECT_EQ(co.totalCycles, 13u);
+    EXPECT_EQ(om.totalCycles, 13u);
+    EXPECT_EQ(ls.totalCycles, 13u);
+    EXPECT_EQ(co.scalar("out"), 1 + 2 + 3 + 4);
+}
+
+TEST(AxiTiming, WriteResponseWaitsForAck)
+{
+    Design d("axiw");
+    const MemId mem = d.addMemory("mem", 8);
+    const MemId out = d.addMemory("out", 1);
+    const AxiId port = d.declareAxiPort(
+        "gmem", mem, AxiConfig{.readLatency = 8, .writeAckLatency = 6});
+    const ModuleId m = d.addModule("writer", [=](Context &ctx) {
+        ctx.axiWriteReq(port, 0, 2);
+        ctx.axiWrite(port, 7);  // beat at req+1
+        ctx.axiWrite(port, 9);  // beat at req+2
+        ctx.axiWriteResp(port); // ack 6 cycles after the last beat
+        ctx.store(out, 0, 1);
+    });
+    d.connectAxi(port, m);
+    const CompiledDesign cd = compile(d);
+    const SimResult co = simulateCosim(cd, fastCosim());
+    const SimResult om = simulateOmniSim(cd, checkedOmniSim());
+    ASSERT_EQ(co.status, SimStatus::Ok);
+    // req@1, beats @2,@3, resp @3+6=9, end 10.
+    EXPECT_EQ(co.totalCycles, 10u);
+    EXPECT_EQ(om.totalCycles, co.totalCycles);
+    EXPECT_EQ(om.memories.at("mem")[0], 7);
+    EXPECT_EQ(om.memories.at("mem")[1], 9);
+}
+
+// ---- Engine edge cases ------------------------------------------------
+
+TEST(EdgeCases, SingleModuleNoFifosRuns)
+{
+    Design d("solo");
+    const MemId out = d.addMemory("out", 1);
+    d.addModule("only", [=](Context &ctx) {
+        ctx.advance(41);
+        ctx.store(out, 0, 7);
+    });
+    const CompiledDesign cd = compile(d);
+    for (const SimResult &r :
+         {simulateCosim(cd, fastCosim()),
+          simulateOmniSim(cd, checkedOmniSim()),
+          simulateLightningSim(cd)}) {
+        ASSERT_EQ(r.status, SimStatus::Ok);
+        EXPECT_EQ(r.totalCycles, 42u); // starts at 1 + 41 advance
+        EXPECT_EQ(r.scalar("out"), 7);
+    }
+}
+
+TEST(EdgeCases, EmptyFifoNeverTouchedIsFine)
+{
+    Design d("untouched");
+    const MemId out = d.addMemory("out", 1);
+    const FifoId f = d.declareFifo("unused", 2);
+    const ModuleId a = d.addModule("a", [=](Context &ctx) {
+        ctx.store(out, 0, 1);
+    });
+    const ModuleId b = d.addModule("b", [](Context &) {});
+    d.connectFifo(f, a, b);
+    const CompiledDesign cd = compile(d);
+    EXPECT_EQ(simulateOmniSim(cd, checkedOmniSim()).status,
+              SimStatus::Ok);
+    EXPECT_EQ(simulateCosim(cd, fastCosim()).status, SimStatus::Ok);
+}
+
+TEST(EdgeCases, DepthOneBackToBackIsFullySerialized)
+{
+    // With depth 1 every element strictly alternates write/read.
+    Design d("serial");
+    const MemId out = d.addMemory("out", 1);
+    const std::size_t n = 50;
+    const FifoId f = d.declareFifo("f", 1);
+    const ModuleId p = d.addModule("p", [=](Context &ctx) {
+        for (std::size_t i = 0; i < n; ++i)
+            ctx.write(f, static_cast<Value>(i));
+    });
+    const ModuleId c = d.addModule("c", [=](Context &ctx) {
+        Value sum = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            sum += ctx.read(f);
+        ctx.store(out, 0, sum);
+    });
+    d.connectFifo(f, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult co = simulateCosim(cd, fastCosim());
+    const SimResult om = simulateOmniSim(cd, checkedOmniSim());
+    ASSERT_EQ(co.status, SimStatus::Ok);
+    // write@1, read@2, write@3, ... : 2n-1 is the last write, read at
+    // 2n, ends 2n+1.
+    EXPECT_EQ(co.totalCycles, 2 * n + 1);
+    EXPECT_EQ(om.totalCycles, co.totalCycles);
+}
+
+TEST(EdgeCases, IncrementalAfterDeadlockIsRefused)
+{
+    Compiled c("deadlock");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Deadlock);
+    const IncrementalOutcome inc = engine.resimulate({2, 2});
+    EXPECT_FALSE(inc.reused);
+}
+
+TEST(EdgeCases, LargeValuesSurviveTheFifoPath)
+{
+    Design d("wide");
+    const MemId out = d.addMemory("out", 2);
+    const FifoId f = d.declareFifo("f", 2);
+    const Value big = 0x7ffffffffffffff0LL;
+    const ModuleId p = d.addModule("p", [=](Context &ctx) {
+        ctx.write(f, big);
+        ctx.write(f, -big);
+    });
+    const ModuleId c = d.addModule("c", [=](Context &ctx) {
+        ctx.store(out, 0, ctx.read(f));
+        ctx.store(out, 1, ctx.read(f));
+    });
+    d.connectFifo(f, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateOmniSim(cd, checkedOmniSim());
+    EXPECT_EQ(r.memories.at("out")[0], big);
+    EXPECT_EQ(r.memories.at("out")[1], -big);
+}
+
+} // namespace
+} // namespace omnisim

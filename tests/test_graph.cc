@@ -1,0 +1,175 @@
+/** @file Unit tests for the graph library: adjacency-list simulation
+ *  graph, CSR graph, longest-path analysis, WAR edge synthesis. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/csr.hh"
+#include "graph/longest_path.hh"
+#include "graph/simgraph.hh"
+#include "graph/war.hh"
+#include "support/prng.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+NodeInfo
+node(Cycles dur = 1)
+{
+    NodeInfo n;
+    n.duration = dur;
+    return n;
+}
+
+TEST(SimGraph, InlineFirstEdgeAndOverflow)
+{
+    SimGraph g;
+    const auto a = g.addNode(node());
+    const auto b = g.addNode(node());
+    const auto c = g.addNode(node());
+    const auto d = g.addNode(node());
+    g.addEdge(a, b, 1); // inline slot
+    g.addEdge(a, c, 2); // overflow pool
+    g.addEdge(a, d, 3); // overflow pool
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u);
+
+    std::map<std::uint64_t, Cycles> seen;
+    g.forEachOut(a, [&](std::uint64_t dst, Cycles w) { seen[dst] = w; });
+    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[b], 1u);
+    EXPECT_EQ(seen[c], 2u);
+    EXPECT_EQ(seen[d], 3u);
+
+    // Nodes without edges iterate nothing.
+    int count = 0;
+    g.forEachOut(b, [&](std::uint64_t, Cycles) { ++count; });
+    EXPECT_EQ(count, 0);
+}
+
+TEST(Csr, MatchesEdgeList)
+{
+    std::vector<CsrGraph::EdgeSpec> edges = {
+        {0, 1, 5}, {0, 2, 6}, {1, 2, 7}, {3, 0, 1}};
+    CsrGraph g(4, edges);
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    std::map<std::uint64_t, Cycles> seen;
+    g.forEachOut(0, [&](std::uint64_t dst, Cycles w) { seen[dst] = w; });
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[1], 5u);
+    EXPECT_EQ(seen[2], 6u);
+}
+
+TEST(LongestPath, LinearChain)
+{
+    SimGraph g;
+    for (int i = 0; i < 4; ++i)
+        g.addNode(node());
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 2);
+    g.addEdge(2, 3, 3);
+    const auto pr = longestPath(g, {1, 0, 0, 0});
+    ASSERT_TRUE(pr.acyclic);
+    EXPECT_EQ(pr.time[0], 1u);
+    EXPECT_EQ(pr.time[1], 2u);
+    EXPECT_EQ(pr.time[2], 4u);
+    EXPECT_EQ(pr.time[3], 7u);
+}
+
+TEST(LongestPath, TakesMaxOverParallelPaths)
+{
+    SimGraph g;
+    for (int i = 0; i < 4; ++i)
+        g.addNode(node());
+    g.addEdge(0, 1, 10);
+    g.addEdge(0, 2, 1);
+    g.addEdge(1, 3, 1);
+    g.addEdge(2, 3, 5);
+    const auto pr = longestPath(g, {1, 0, 0, 0});
+    ASSERT_TRUE(pr.acyclic);
+    EXPECT_EQ(pr.time[3], 12u); // via node 1
+}
+
+TEST(LongestPath, DetectsCycle)
+{
+    SimGraph g;
+    for (int i = 0; i < 3; ++i)
+        g.addNode(node());
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 1);
+    g.addEdge(2, 1, 1); // back edge
+    const auto pr = longestPath(g, {1, 0, 0});
+    EXPECT_FALSE(pr.acyclic);
+}
+
+TEST(LongestPath, CsrAndAdjacencyAgree)
+{
+    Prng prng(42);
+    const std::size_t n = 500;
+    SimGraph adj;
+    std::vector<CsrGraph::EdgeSpec> edges;
+    for (std::size_t i = 0; i < n; ++i)
+        adj.addNode(node());
+    for (std::size_t i = 1; i < n; ++i) {
+        // 1-3 random backward-sourced edges keep the graph acyclic.
+        const int fanin = 1 + static_cast<int>(prng.below(3));
+        for (int k = 0; k < fanin; ++k) {
+            const auto src = prng.below(i);
+            const auto w = static_cast<Cycles>(prng.below(5));
+            adj.addEdge(src, i, w);
+            edges.push_back({src, i, w});
+        }
+    }
+    CsrGraph csr(n, edges);
+    std::vector<Cycles> seed(n, 0);
+    seed[0] = 1;
+    const auto pa = longestPath(adj, seed);
+    const auto pc = longestPath(csr, seed);
+    ASSERT_TRUE(pa.acyclic);
+    ASSERT_TRUE(pc.acyclic);
+    EXPECT_EQ(pa.time, pc.time);
+}
+
+TEST(WarSynthesis, EmitsDepthConstrainedEdges)
+{
+    FifoTable t;
+    // Writes 1..4 at nodes 10..13; reads 1..3 at nodes 20..22.
+    for (std::uint64_t w = 0; w < 4; ++w)
+        t.commitWrite(0, 0, 10 + w);
+    for (std::uint64_t r = 0; r < 3; ++r)
+        t.commitRead(0, 20 + r);
+
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, Cycles>> got;
+    std::vector<FifoTable> tables;
+    tables.push_back(std::move(t));
+    synthesizeWarEdges(tables, {2},
+                       [&](std::uint64_t s, std::uint64_t d, Cycles w) {
+                           got.emplace_back(s, d, w);
+                       });
+    // Depth 2: write 3 after read 1, write 4 after read 2.
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], std::make_tuple(20ull, 12ull, Cycles{1}));
+    EXPECT_EQ(got[1], std::make_tuple(21ull, 13ull, Cycles{1}));
+}
+
+TEST(WarSynthesis, DeepFifoEmitsNothing)
+{
+    FifoTable t;
+    for (std::uint64_t w = 0; w < 4; ++w)
+        t.commitWrite(0, 0, 10 + w);
+    std::vector<FifoTable> tables;
+    tables.push_back(std::move(t));
+    int count = 0;
+    synthesizeWarEdges(tables, {8},
+                       [&](std::uint64_t, std::uint64_t, Cycles) {
+                           ++count;
+                       });
+    EXPECT_EQ(count, 0);
+}
+
+} // namespace
+} // namespace omnisim

@@ -1,0 +1,162 @@
+/** @file Incremental re-simulation tests (§7.2 / Table 6): constraint
+ *  recording, graph reuse under satisfying depth changes, and fallback
+ *  to full re-simulation when a query outcome would flip. */
+
+#include <gtest/gtest.h>
+
+#include "design/context.hh"
+#include "helpers.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+using test::checkedOmniSim;
+using test::Compiled;
+
+/** Full re-simulation under the given depths, as ground truth. */
+SimResult
+fullRun(const char *name, const std::vector<std::uint32_t> &depths)
+{
+    Design d = designs::findDesign(name).build();
+    for (std::size_t f = 0; f < depths.size(); ++f)
+        d.setFifoDepth(static_cast<FifoId>(f), depths[f]);
+    const CompiledDesign cd = compile(d);
+    return simulateOmniSim(cd, checkedOmniSim());
+}
+
+TEST(Incremental, Table6DeepeningOverflowFifoReuses)
+{
+    // Table 6 row 2: depths (2,2) -> (2,100). The overflow FIFO gets
+    // deeper; no recorded NB outcome flips; the graph is reused.
+    Compiled c("fig4_ex5");
+    OmniSim engine(c.cd, checkedOmniSim());
+    const SimResult initial = engine.run();
+    ASSERT_EQ(initial.status, SimStatus::Ok);
+
+    const IncrementalOutcome inc = engine.resimulate({2, 100});
+    ASSERT_TRUE(inc.reused) << inc.reason;
+    EXPECT_EQ(inc.result.status, SimStatus::Ok);
+
+    const SimResult full = fullRun("fig4_ex5", {2, 100});
+    ASSERT_EQ(full.status, SimStatus::Ok);
+    EXPECT_EQ(inc.result.totalCycles, full.totalCycles);
+    EXPECT_EQ(inc.result.memories, full.memories);
+}
+
+TEST(Incremental, Table6DeepeningFirstChoiceFifoViolates)
+{
+    // Table 6 row 3: depths (2,2) -> (100,2). First-choice writes that
+    // failed would now succeed: control flow diverges, reuse refused.
+    Compiled c("fig4_ex5");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+
+    const IncrementalOutcome inc = engine.resimulate({100, 2});
+    EXPECT_FALSE(inc.reused);
+    EXPECT_NE(inc.reason.find("constraint violated"), std::string::npos);
+
+    // The full re-run (the Table 6 fallback) is itself fine, and the
+    // deeper first-choice FIFO shifts traffic toward P1 — the behaviour
+    // change that made graph reuse illegal.
+    const SimResult orig = fullRun("fig4_ex5", {2, 2});
+    const SimResult full = fullRun("fig4_ex5", {100, 2});
+    ASSERT_EQ(full.status, SimStatus::Ok);
+    EXPECT_GT(full.scalar("processed_by_P1"), orig.scalar("processed_by_P1"));
+    EXPECT_LT(full.scalar("processed_by_P2"), orig.scalar("processed_by_P2"));
+}
+
+TEST(Incremental, IdenticalDepthsAlwaysReuseWithSameTotal)
+{
+    for (const char *name :
+         {"fig4_ex4a", "fig4_ex4b", "fig2_timer", "branch"}) {
+        Compiled c(name);
+        OmniSim engine(c.cd, checkedOmniSim());
+        const SimResult initial = engine.run();
+        ASSERT_EQ(initial.status, SimStatus::Ok) << name;
+        std::vector<std::uint32_t> depths;
+        for (const auto &f : c.design.fifos())
+            depths.push_back(f.depth);
+        const IncrementalOutcome inc = engine.resimulate(depths);
+        ASSERT_TRUE(inc.reused) << name << ": " << inc.reason;
+        EXPECT_EQ(inc.result.totalCycles, initial.totalCycles) << name;
+    }
+}
+
+TEST(Incremental, TypeADepthSweepMatchesFullRuns)
+{
+    // For Type A designs no queries exist, so every depth change that
+    // keeps the graph acyclic reuses — and must match a full run.
+    Compiled c("accum_dataflow");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+    for (std::uint32_t depth : {1u, 2u, 6u, 32u}) {
+        const IncrementalOutcome inc = engine.resimulate({depth, depth});
+        ASSERT_TRUE(inc.reused) << depth;
+        const SimResult full = fullRun("accum_dataflow", {depth, depth});
+        EXPECT_EQ(inc.result.totalCycles, full.totalCycles) << depth;
+    }
+}
+
+TEST(Incremental, RequiresPriorSuccessfulRun)
+{
+    Compiled c("fig4_ex5");
+    OmniSim engine(c.cd, checkedOmniSim());
+    const IncrementalOutcome inc = engine.resimulate({2, 2});
+    EXPECT_FALSE(inc.reused);
+    EXPECT_NE(inc.reason.find("no prior"), std::string::npos);
+}
+
+TEST(Incremental, ConstraintsAreRecorded)
+{
+    Compiled c("fig4_ex5");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+    const auto &cons = engine.constraints();
+    EXPECT_FALSE(cons.empty());
+    bool saw_write = false;
+    for (const auto &q : cons) {
+        EXPECT_TRUE(isQueryKind(q.kind));
+        saw_write |= q.kind == EventKind::FifoNbWrite;
+    }
+    EXPECT_TRUE(saw_write);
+}
+
+TEST(Incremental, ShrinkingDepthTowardDeadlockIsRefused)
+{
+    // A design whose recorded schedule becomes infeasible (timing cycle)
+    // when a FIFO shrinks must refuse reuse rather than mis-predict.
+    Design d("reconverge");
+    const MemId out = d.addMemory("out", 1);
+    const std::size_t n = 6;
+    const FifoId f1 = d.declareFifo("f1", 8);
+    const FifoId f2 = d.declareFifo("f2", 8);
+    const ModuleId p = d.addModule("p", [=](Context &ctx) {
+        for (std::size_t i = 0; i < n; ++i)
+            ctx.write(f2, static_cast<Value>(i));
+        for (std::size_t i = 0; i < n; ++i)
+            ctx.write(f1, static_cast<Value>(i));
+    });
+    const ModuleId c = d.addModule("c", [=](Context &ctx) {
+        Value sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += ctx.read(f1);
+            sum += ctx.read(f2);
+        }
+        ctx.store(out, 0, sum);
+    });
+    d.connectFifo(f1, p, c);
+    d.connectFifo(f2, p, c);
+    const CompiledDesign cd = compile(d);
+    OmniSim engine(cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+
+    EXPECT_TRUE(engine.resimulate({8, 8}).reused);
+    const IncrementalOutcome bad = engine.resimulate({8, 1});
+    EXPECT_FALSE(bad.reused);
+    EXPECT_NE(bad.reason.find("infeasible"), std::string::npos);
+}
+
+} // namespace
+} // namespace omnisim

@@ -1,0 +1,149 @@
+/** @file LightningSim baseline tests: two-phase decoupled simulation,
+ *  the Type A support gate, and Phase-2-only incremental re-analysis. */
+
+#include <gtest/gtest.h>
+
+#include "design/context.hh"
+#include "helpers.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+using test::Compiled;
+using test::fastCosim;
+
+TEST(LightningSim, MatchesCosimOnPaperExample)
+{
+    Design d("fig6");
+    const MemId out = d.addMemory("out", 2);
+    const FifoId f = d.declareFifo("f", 1);
+    const ModuleId p = d.addModule("producer", [=](Context &ctx) {
+        ctx.write(f, 11);
+        ctx.write(f, 22);
+    });
+    const ModuleId c = d.addModule("consumer", [=](Context &ctx) {
+        ctx.store(out, 0, ctx.read(f));
+        ctx.store(out, 1, ctx.read(f));
+    });
+    d.connectFifo(f, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult ls = simulateLightningSim(cd);
+    ASSERT_EQ(ls.status, SimStatus::Ok);
+    EXPECT_EQ(ls.totalCycles, 5u);
+    EXPECT_EQ(simulateCosim(cd, fastCosim()).totalCycles, 5u);
+}
+
+TEST(LightningSim, RejectsTypeBandC)
+{
+    for (const auto &e : designs::typeBCDesigns()) {
+        Design d = e.build();
+        const CompiledDesign cd = compile(d);
+        const SimResult r = simulateLightningSim(cd);
+        EXPECT_EQ(r.status, SimStatus::Unsupported) << e.name;
+        EXPECT_NE(r.message.find("Type"), std::string::npos) << e.name;
+    }
+}
+
+TEST(LightningSim, EntireTypeASuiteMatchesOmniSim)
+{
+    for (const auto &e : designs::typeADesigns()) {
+        Design d = e.build();
+        const CompiledDesign cd = compile(d);
+        const SimResult ls = simulateLightningSim(cd);
+        const SimResult om = simulateOmniSim(cd, test::checkedOmniSim());
+        ASSERT_EQ(ls.status, SimStatus::Ok) << e.name;
+        ASSERT_EQ(om.status, SimStatus::Ok) << e.name;
+        EXPECT_EQ(ls.totalCycles, om.totalCycles) << e.name;
+        EXPECT_EQ(ls.memories, om.memories) << e.name;
+    }
+}
+
+TEST(LightningSim, IncrementalReanalysisMatchesFullRun)
+{
+    // Depth sweep via Phase 2 only must equal full re-simulation.
+    Design d = designs::findDesign("accum_dataflow").build();
+    CompiledDesign cd = compile(d);
+    LightningSim ls(cd);
+    ASSERT_EQ(ls.run().status, SimStatus::Ok);
+
+    for (std::uint32_t depth : {1u, 2u, 3u, 8u, 64u}) {
+        const LsTiming t = ls.reanalyze({depth, depth});
+        ASSERT_TRUE(t.feasible) << depth;
+
+        Design d2 = designs::findDesign("accum_dataflow").build();
+        for (std::size_t f = 0; f < d2.fifos().size(); ++f)
+            d2.setFifoDepth(static_cast<FifoId>(f), depth);
+        const CompiledDesign cd2 = compile(d2);
+        const SimResult full = simulateLightningSim(cd2);
+        EXPECT_EQ(t.totalCycles, full.totalCycles) << depth;
+    }
+}
+
+TEST(LightningSim, ReanalysisDetectsDepthDeadlock)
+{
+    // Reconvergent pattern: consumer needs f1 before f2, producer fills
+    // f2 first. With enough depth it works; depth 1 deadlocks.
+    Design d("reconverge");
+    const MemId out = d.addMemory("out", 1);
+    const std::size_t n = 4;
+    const FifoId f1 = d.declareFifo("f1", 8);
+    const FifoId f2 = d.declareFifo("f2", 8);
+    const ModuleId p = d.addModule("p", [=](Context &ctx) {
+        for (std::size_t i = 0; i < n; ++i)
+            ctx.write(f2, static_cast<Value>(i));
+        for (std::size_t i = 0; i < n; ++i)
+            ctx.write(f1, static_cast<Value>(10 + i));
+    });
+    const ModuleId c = d.addModule("c", [=](Context &ctx) {
+        Value sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += ctx.read(f1);
+            sum += ctx.read(f2);
+        }
+        ctx.store(out, 0, sum);
+    });
+    d.connectFifo(f1, p, c);
+    d.connectFifo(f2, p, c);
+    CompiledDesign cd = compile(d);
+    LightningSim ls(cd);
+    ASSERT_EQ(ls.run().status, SimStatus::Ok);
+
+    EXPECT_TRUE(ls.reanalyze({8, 8}).feasible);
+    EXPECT_TRUE(ls.reanalyze({8, 4}).feasible);
+    EXPECT_FALSE(ls.reanalyze({8, 1}).feasible); // f2 backlog deadlocks
+}
+
+TEST(LightningSim, CrashSurfacesFromPhase1)
+{
+    Design d("crash");
+    const MemId mem = d.addMemory("m", 2);
+    const FifoId f = d.declareFifo("f", 2);
+    const ModuleId p = d.addModule("p", [=](Context &ctx) {
+        ctx.write(f, ctx.load(mem, 5));
+    });
+    const ModuleId c = d.addModule("c", [=](Context &ctx) {
+        (void)ctx.read(f);
+    });
+    d.connectFifo(f, p, c);
+    const CompiledDesign cd = compile(d);
+    const SimResult r = simulateLightningSim(cd);
+    EXPECT_EQ(r.status, SimStatus::Crash);
+}
+
+TEST(LightningSim, TraceExposesGraphScale)
+{
+    Design d = designs::findDesign("axis_stream").build();
+    CompiledDesign cd = compile(d);
+    LightningSim ls(cd);
+    const SimResult r = ls.run();
+    ASSERT_EQ(r.status, SimStatus::Ok);
+    // 4 modules x entry + 4 FIFO ops per element x 4096 elements.
+    EXPECT_GT(r.stats.graphNodes, 4u * 4096u);
+    EXPECT_GT(r.stats.graphEdges, r.stats.graphNodes);
+    EXPECT_EQ(ls.trace().tails.size(), 4u);
+}
+
+} // namespace
+} // namespace omnisim

@@ -1,0 +1,264 @@
+/** @file Unit tests for the runtime substrate: memory, FIFO tables,
+ *  AXI burst state, events and the TimingModel golden semantics. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/axi.hh"
+#include "runtime/event.hh"
+#include "runtime/fifo_table.hh"
+#include "runtime/memory.hh"
+#include "runtime/result.hh"
+#include "runtime/timing.hh"
+#include "support/logging.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+TEST(Memory, FillLoadStore)
+{
+    MemoryPool pool({{"a", 4}, {"b", 2}});
+    pool.fill(0, {10, 20, 30});
+    EXPECT_EQ(pool.load(0, 0), 10);
+    EXPECT_EQ(pool.load(0, 2), 30);
+    EXPECT_EQ(pool.load(0, 3), 0); // zero-initialized remainder
+    pool.store(1, 1, -5);
+    EXPECT_EQ(pool.load(1, 1), -5);
+    EXPECT_EQ(pool.count(), 2u);
+    EXPECT_EQ(pool.decl(1).name, "b");
+}
+
+TEST(Memory, OutOfBoundsIsSimCrash)
+{
+    MemoryPool pool({{"a", 4}});
+    EXPECT_THROW(pool.load(0, 4), SimCrash);
+    EXPECT_THROW(pool.store(0, 100, 1), SimCrash);
+    EXPECT_THROW(pool.load(1, 0), SimCrash); // bad id
+    try {
+        pool.load(0, 9);
+    } catch (const SimCrash &c) {
+        EXPECT_NE(std::string(c.what()).find("a[9]"), std::string::npos);
+    }
+}
+
+TEST(FifoTable, CommitOrderAndData)
+{
+    FifoTable t;
+    t.commitWrite(100, 5, 50);
+    t.commitWrite(200, 8, 51);
+    EXPECT_EQ(t.writes(), 2u);
+    EXPECT_EQ(t.reads(), 0u);
+    EXPECT_EQ(t.writeCycleOf(1), 5u);
+    EXPECT_EQ(t.writeCycleOf(2), 8u);
+    EXPECT_EQ(t.writeNodeOf(2), 51u);
+    EXPECT_EQ(t.pendingData().size(), 2u);
+
+    EXPECT_EQ(t.commitRead(9, 60), 100);
+    EXPECT_EQ(t.commitRead(10, 61), 200);
+    EXPECT_EQ(t.reads(), 2u);
+    EXPECT_EQ(t.readCycleOf(1), 9u);
+    EXPECT_EQ(t.readNodeOf(2), 61u);
+    EXPECT_TRUE(t.pendingData().empty());
+}
+
+TEST(Axi, ReadBurstBeatsAndLatency)
+{
+    AxiPortState port(AxiConfig{.readLatency = 8, .writeAckLatency = 4});
+    port.pushReadReq(100, 3, 10, 7);
+    std::uint64_t addr = 0;
+    auto d0 = port.popReadBeat(addr);
+    EXPECT_EQ(addr, 100u);
+    EXPECT_EQ(d0.time, 10u);
+    EXPECT_EQ(d0.weight, 8u);
+    EXPECT_EQ(d0.tag, 7u);
+    auto d1 = port.popReadBeat(addr);
+    EXPECT_EQ(addr, 101u);
+    EXPECT_EQ(d1.weight, 9u);
+    auto d2 = port.popReadBeat(addr);
+    EXPECT_EQ(addr, 102u);
+    EXPECT_EQ(d2.weight, 10u);
+    EXPECT_THROW(port.popReadBeat(addr), FatalError);
+}
+
+TEST(Axi, WriteBurstAndResponse)
+{
+    AxiPortState port(AxiConfig{.readLatency = 8, .writeAckLatency = 4});
+    port.pushWriteReq(50, 2, 20, 3);
+    std::uint64_t addr = 0;
+    auto b0 = port.popWriteBeat(addr);
+    EXPECT_EQ(addr, 50u);
+    EXPECT_EQ(b0.weight, 1u);
+    // Response before all beats is a user error.
+    EXPECT_THROW(port.popWriteResp(21, 4), FatalError);
+    auto b1 = port.popWriteBeat(addr);
+    EXPECT_EQ(addr, 51u);
+    EXPECT_EQ(b1.weight, 2u);
+    auto resp = port.popWriteResp(22, 5);
+    EXPECT_EQ(resp.time, 22u);
+    EXPECT_EQ(resp.weight, 4u);
+    EXPECT_EQ(resp.tag, 5u);
+}
+
+TEST(Events, NamesAndQueryKinds)
+{
+    EXPECT_STREQ(eventKindName(EventKind::FifoNbWrite), "FifoNbWrite");
+    EXPECT_STREQ(eventKindName(EventKind::StartTask), "StartTask");
+    EXPECT_TRUE(isQueryKind(EventKind::FifoNbRead));
+    EXPECT_TRUE(isQueryKind(EventKind::FifoCanWrite));
+    EXPECT_FALSE(isQueryKind(EventKind::FifoRead));
+    EXPECT_FALSE(isQueryKind(EventKind::AxiRead));
+}
+
+TEST(Result, ScalarAccess)
+{
+    SimResult r;
+    r.memories["x"] = {42};
+    EXPECT_EQ(r.scalar("x"), 42);
+    EXPECT_THROW(r.scalar("missing"), FatalError);
+    EXPECT_STREQ(simStatusName(SimStatus::Deadlock), "Deadlock");
+}
+
+// ---- TimingModel: the golden semantics -----------------------------
+
+TEST(Timing, SequentialOpsChainByDuration)
+{
+    TimingModel tm(0, 1);
+    EXPECT_EQ(tm.now(), 1u);
+    EXPECT_EQ(tm.earliest(), 1u);
+    tm.commitOp(1, 1, 1); // op occupies cycle 1
+    EXPECT_EQ(tm.now(), 2u);
+    tm.advance(3);
+    EXPECT_EQ(tm.earliest(), 5u);
+    auto cs = tm.commitOp(5, 1, 2);
+    ASSERT_EQ(cs.size(), 1u);
+    EXPECT_EQ(cs[0].time, 1u);   // program-order source: op 1
+    EXPECT_EQ(cs[0].weight, 4u); // 1 (dur) + 3 (advance)
+    EXPECT_EQ(cs[0].tag, 1u);
+}
+
+TEST(Timing, StalledOpKeepsScheduledWeight)
+{
+    TimingModel tm(0, 1);
+    tm.commitOp(1, 1, 1);
+    // Dependency forces start at 10, but the structural weight stays 1.
+    auto cs = tm.commitOp(10, 1, 2);
+    ASSERT_EQ(cs.size(), 1u);
+    EXPECT_EQ(cs[0].weight, 1u);
+    EXPECT_EQ(tm.now(), 11u);
+}
+
+TEST(Timing, PaperFigure6Walkthrough)
+{
+    // Producer: write at 1 (P1), NB writes at 2 (fails) and 3 (P3).
+    TimingModel prod(0, 1);
+    prod.commitOp(1, 1, 1); // P1 occupies cycle 1
+    EXPECT_EQ(prod.earliest(), 2u);
+    prod.commitOp(2, 1, 2); // P2 attempt occupies cycle 2
+    EXPECT_EQ(prod.earliest(), 3u);
+    prod.commitOp(3, 1, 3); // P3 commits at cycle 3
+
+    // Consumer: read C1 after P1 -> cycle 2; C2 after P3 -> cycle 4.
+    TimingModel cons(10, 1);
+    const Cycles c1 = std::max<Cycles>(cons.earliest(), 1 + 1);
+    EXPECT_EQ(c1, 2u);
+    cons.commitOp(c1, 1, 11);
+    const Cycles c2 = std::max<Cycles>(cons.earliest(), 3 + 1);
+    EXPECT_EQ(c2, 4u);
+    cons.commitOp(c2, 1, 12);
+    // Total latency = last op end = 5, as in the paper's Fig. 6.
+    EXPECT_EQ(cons.now(), 5u);
+}
+
+TEST(Timing, PipelineInitiationInterval)
+{
+    TimingModel tm(0, 1);
+    tm.pipelineBegin(2);
+    for (int i = 0; i < 4; ++i) {
+        tm.iterBegin();
+        const Cycles t = tm.earliest();
+        tm.commitOp(t, 1, 100 + i);
+    }
+    tm.pipelineEnd();
+    // Iterations issue at 1, 3, 5, 7; last ends at 8.
+    EXPECT_EQ(tm.now(), 8u);
+}
+
+TEST(Timing, PipelineCrossIterationConstraintReported)
+{
+    TimingModel tm(0, 1);
+    tm.pipelineBegin(3);
+    tm.iterBegin();
+    tm.commitOp(tm.earliest(), 1, 1);
+    tm.iterBegin();
+    EXPECT_EQ(tm.earliest(), 4u); // 1 + II
+    auto cs = tm.commitOp(4, 1, 2);
+    ASSERT_EQ(cs.size(), 2u);
+    EXPECT_EQ(cs[1].time, 1u);
+    EXPECT_EQ(cs[1].weight, 3u);
+    EXPECT_EQ(cs[1].tag, 1u);
+    tm.pipelineEnd();
+}
+
+TEST(Timing, ElasticStallShiftsLaterIterations)
+{
+    TimingModel tm(0, 1);
+    tm.pipelineBegin(1);
+    tm.iterBegin();
+    tm.commitOp(1, 1, 1);
+    tm.iterBegin();
+    // Dependency stalls iteration 2 to cycle 9.
+    tm.commitOp(9, 1, 2);
+    tm.iterBegin();
+    // Iteration 3 may not start before 9 + II.
+    EXPECT_EQ(tm.earliest(), 10u);
+    tm.commitOp(10, 1, 3);
+    tm.pipelineEnd();
+    EXPECT_EQ(tm.now(), 11u);
+}
+
+TEST(Timing, DrainAnchorsAtMaxEndOp)
+{
+    TimingModel tm(0, 1);
+    tm.pipelineBegin(2);
+    for (int i = 0; i < 3; ++i) {
+        tm.iterBegin();
+        tm.commitOp(tm.earliest(), 1, 10 + i);
+    }
+    tm.pipelineEnd();
+    EXPECT_EQ(tm.now(), 6u); // issues 1,3,5; last ends 6
+    EXPECT_EQ(tm.lastOpTag(), 12u);
+    EXPECT_EQ(tm.lastOpTime(), 5u); // anchor is the op START
+    tm.advance(4);
+    EXPECT_EQ(tm.now(), 10u);
+    // Next op's program-order weight covers duration + drain.
+    auto cs = tm.commitOp(10, 1, 99);
+    ASSERT_EQ(cs.size(), 1u);
+    EXPECT_EQ(cs[0].weight, 5u); // 1 (dur) + 4 (advance)
+}
+
+TEST(Timing, NestedPipelinesPropagateDrain)
+{
+    TimingModel tm(0, 1);
+    tm.pipelineBegin(10); // outer
+    tm.iterBegin();
+    tm.pipelineBegin(1); // inner
+    for (int i = 0; i < 5; ++i) {
+        tm.iterBegin();
+        tm.commitOp(tm.earliest(), 1, i + 1);
+    }
+    tm.pipelineEnd();
+    EXPECT_EQ(tm.now(), 6u);
+    tm.pipelineEnd();
+    EXPECT_EQ(tm.now(), 6u);
+    EXPECT_FALSE(tm.inPipeline());
+}
+
+TEST(Timing, CommitBeforeEarliestPanics)
+{
+    TimingModel tm(0, 5);
+    EXPECT_DEATH(tm.commitOp(3, 1, 1), "before earliest");
+}
+
+} // namespace
+} // namespace omnisim

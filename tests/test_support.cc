@@ -1,0 +1,144 @@
+/** @file Unit tests for the support library. */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/prng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+TEST(Strf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strf("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+    EXPECT_EQ(strf("%05.1f", 2.25), "002.2");
+    EXPECT_EQ(strf("plain"), "plain");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(omnisim_fatal("bad config %d", 7), FatalError);
+    try {
+        omnisim_fatal("value=%d", 3);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=3");
+    }
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+    setLogQuiet(true);
+}
+
+TEST(Prng, DeterministicForSeed)
+{
+    Prng a(123);
+    Prng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    Prng a(1);
+    Prng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Prng, BelowRespectsBound)
+{
+    Prng p(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(p.below(17), 17u);
+}
+
+TEST(Prng, RangeInclusive)
+{
+    Prng p(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = p.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformInUnitInterval)
+{
+    Prng p(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = p.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"A", "Name"});
+    t.addRow({"1", "x"});
+    t.addRow({"22", "longer"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| A  | Name   |"), std::string::npos);
+    EXPECT_NE(s.find("| 22 | longer |"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorAndMismatchedRow)
+{
+    TablePrinter t({"A"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_NE(t.str().find("+"), std::string::npos);
+    EXPECT_DEATH(t.addRow({"1", "2"}), "row has");
+}
+
+} // namespace
+} // namespace omnisim

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Command-line driver: run any registered benchmark design under any
+ * engine, inspect its taxonomy, or sweep FIFO depths.
+ *
+ * Usage:
+ *   omnisim_cli list
+ *   omnisim_cli info    <design>
+ *   omnisim_cli run     <design> [--engine csim|cosim|lightning|omnisim]
+ *                                [--depth FIFO=N]... [--lazy] [--rtl-cost]
+ *   omnisim_cli sweep   <design> --fifo NAME --from A --to B
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/omnisim.hh"
+#include "cosim/cosim.hh"
+#include "csim/csim.hh"
+#include "design/classify.hh"
+#include "design/dot.hh"
+#include "design/frontend.hh"
+#include "designs/common.hh"
+#include "lightningsim/lightningsim.hh"
+#include "support/stopwatch.hh"
+#include "support/table.hh"
+
+using namespace omnisim;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  omnisim_cli list\n"
+                 "  omnisim_cli info <design>\n"
+                 "  omnisim_cli run <design> [--engine csim|cosim|"
+                 "lightning|omnisim] [--depth FIFO=N]... [--lazy] "
+                 "[--rtl-cost]\n"
+                 "  omnisim_cli sweep <design> --fifo NAME --from A "
+                 "--to B\n"
+                 "  omnisim_cli dot <design>\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    TablePrinter t({"Design", "Type", "Description"});
+    for (const auto &suite :
+         {&designs::typeBCDesigns(), &designs::typeADesigns()}) {
+        for (const auto &e : *suite) {
+            Design d = e.build();
+            t.addRow({e.name, designTypeName(classify(d).type),
+                      e.description});
+        }
+        t.addSeparator();
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdInfo(const std::string &name)
+{
+    Design d = designs::findDesign(name).build();
+    const Classification c = classify(d);
+    std::printf("design   : %s\n", d.name().c_str());
+    std::printf("type     : %s (FuncSim %s, PerfSim %s)\n",
+                designTypeName(c.type), simLevelName(c.funcSimLevel),
+                simLevelName(c.perfSimLevel));
+    std::printf("cyclic   : %s\n", c.cyclic ? "yes" : "no");
+    std::printf("modules  : %zu\n", d.modules().size());
+    for (const auto &m : d.modules())
+        std::printf("  - %s%s\n", m.name.c_str(),
+                    m.opts.hasInfiniteLoop ? "  [infinite loop]" : "");
+    std::printf("fifos    : %zu\n", d.fifos().size());
+    for (const auto &f : d.fifos()) {
+        std::printf("  - %-12s depth %-4u %s -> %s  (W:%s R:%s)\n",
+                    f.name.c_str(), f.depth,
+                    d.modules()[f.writer].name.c_str(),
+                    d.modules()[f.reader].name.c_str(),
+                    accessKindName(f.writeKind),
+                    accessKindName(f.readKind));
+    }
+    std::printf("memories : %zu\n", d.memories().size());
+    return 0;
+}
+
+FifoId
+fifoByName(const Design &d, const std::string &name)
+{
+    for (std::size_t f = 0; f < d.fifos().size(); ++f)
+        if (d.fifos()[f].name == name)
+            return static_cast<FifoId>(f);
+    omnisim_fatal("no FIFO named '%s'", name.c_str());
+}
+
+void
+printResult(const SimResult &r, double seconds)
+{
+    std::printf("status   : %s\n", simStatusName(r.status));
+    if (!r.message.empty())
+        std::printf("message  : %s\n", r.message.c_str());
+    if (r.status == SimStatus::Ok && r.totalCycles)
+        std::printf("cycles   : %llu\n",
+                    static_cast<unsigned long long>(r.totalCycles));
+    for (const auto &[name, vals] : r.memories) {
+        if (vals.size() == 1)
+            std::printf("%-9s: %lld\n", name.c_str(),
+                        static_cast<long long>(vals[0]));
+    }
+    for (const auto &w : r.warnings)
+        std::printf("warning  : %s\n", w.c_str());
+    std::printf("events=%llu queries=%llu forcedFalse=%llu "
+                "pauses=%llu nodes=%llu edges=%llu\n",
+                static_cast<unsigned long long>(r.stats.events),
+                static_cast<unsigned long long>(r.stats.queries),
+                static_cast<unsigned long long>(r.stats.forcedFalse),
+                static_cast<unsigned long long>(r.stats.threadPauses),
+                static_cast<unsigned long long>(r.stats.graphNodes),
+                static_cast<unsigned long long>(r.stats.graphEdges));
+    std::printf("time     : %.3f ms\n", seconds * 1e3);
+}
+
+int
+cmdRun(const std::string &name, const std::vector<std::string> &args)
+{
+    std::string engine = "omnisim";
+    bool lazy = false;
+    bool rtl_cost = false;
+    std::vector<std::pair<std::string, std::uint32_t>> depths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--engine" && i + 1 < args.size()) {
+            engine = args[++i];
+        } else if (args[i] == "--lazy") {
+            lazy = true;
+        } else if (args[i] == "--rtl-cost") {
+            rtl_cost = true;
+        } else if (args[i] == "--depth" && i + 1 < args.size()) {
+            const std::string spec = args[++i];
+            const auto eq = spec.find('=');
+            if (eq == std::string::npos)
+                return usage();
+            depths.emplace_back(
+                spec.substr(0, eq),
+                static_cast<std::uint32_t>(
+                    std::stoul(spec.substr(eq + 1))));
+        } else {
+            return usage();
+        }
+    }
+
+    Design d = designs::findDesign(name).build();
+    for (const auto &[fifo, depth] : depths)
+        d.setFifoDepth(fifoByName(d, fifo), depth);
+    const CompiledDesign cd = compile(d);
+
+    Stopwatch sw;
+    SimResult r;
+    if (engine == "csim") {
+        r = simulateCSim(cd);
+    } else if (engine == "cosim") {
+        CosimOptions opts;
+        opts.modelRtlCost = rtl_cost;
+        r = simulateCosim(cd, opts);
+    } else if (engine == "lightning") {
+        r = simulateLightningSim(cd);
+    } else if (engine == "omnisim") {
+        OmniSimOptions opts;
+        opts.eagerWriteStall = !lazy;
+        r = simulateOmniSim(cd, opts);
+    } else {
+        return usage();
+    }
+    std::printf("engine   : %s\n", engine.c_str());
+    printResult(r, sw.seconds());
+    return r.status == SimStatus::Ok ? 0 : 1;
+}
+
+int
+cmdSweep(const std::string &name, const std::vector<std::string> &args)
+{
+    std::string fifo;
+    std::uint32_t from = 1;
+    std::uint32_t to = 16;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--fifo" && i + 1 < args.size())
+            fifo = args[++i];
+        else if (args[i] == "--from" && i + 1 < args.size())
+            from = static_cast<std::uint32_t>(std::stoul(args[++i]));
+        else if (args[i] == "--to" && i + 1 < args.size())
+            to = static_cast<std::uint32_t>(std::stoul(args[++i]));
+        else
+            return usage();
+    }
+    if (fifo.empty() || from < 1 || to < from)
+        return usage();
+
+    // One full run records the graph; each depth tries incremental
+    // re-simulation first (§7.2), falling back to a full run.
+    Design base = designs::findDesign(name).build();
+    const FifoId target = fifoByName(base, fifo);
+    const CompiledDesign cd = compile(base);
+    OmniSim eng(cd);
+    const SimResult first = eng.run();
+    if (first.status != SimStatus::Ok) {
+        std::printf("baseline run: %s\n", simStatusName(first.status));
+        return 1;
+    }
+
+    TablePrinter t({"Depth", "Cycles", "Method"});
+    for (std::uint32_t depth = from; depth <= to; ++depth) {
+        std::vector<std::uint32_t> ds;
+        for (const auto &f : base.fifos())
+            ds.push_back(f.depth);
+        ds[static_cast<std::size_t>(target)] = depth;
+        const IncrementalOutcome inc = eng.resimulate(ds);
+        if (inc.reused) {
+            t.addRow({strf("%u", depth),
+                      strf("%llu", static_cast<unsigned long long>(
+                                       inc.result.totalCycles)),
+                      "incremental"});
+            continue;
+        }
+        Design d2 = designs::findDesign(name).build();
+        d2.setFifoDepth(target, depth);
+        const CompiledDesign cd2 = compile(d2);
+        const SimResult r = simulateOmniSim(cd2);
+        t.addRow({strf("%u", depth),
+                  r.status == SimStatus::Ok
+                      ? strf("%llu", static_cast<unsigned long long>(
+                                         r.totalCycles))
+                      : simStatusName(r.status),
+                  "full re-run"});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> rest(argv + 2, argv + argc);
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "info" && !rest.empty())
+            return cmdInfo(rest[0]);
+        if (cmd == "dot" && !rest.empty()) {
+            Design d = designs::findDesign(rest[0]).build();
+            std::fputs(toDot(d).c_str(), stdout);
+            return 0;
+        }
+        if (cmd == "run" && !rest.empty()) {
+            return cmdRun(rest[0],
+                          {rest.begin() + 1, rest.end()});
+        }
+        if (cmd == "sweep" && !rest.empty()) {
+            return cmdSweep(rest[0],
+                            {rest.begin() + 1, rest.end()});
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
