@@ -1,0 +1,225 @@
+#include "batch/batch.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "core/omnisim.hh"
+#include "cosim/cosim.hh"
+#include "csim/csim.hh"
+#include "design/frontend.hh"
+#include "designs/common.hh"
+#include "lightningsim/lightningsim.hh"
+#include "support/logging.hh"
+#include "support/prng.hh"
+#include "support/stopwatch.hh"
+
+namespace omnisim::batch
+{
+
+const char *
+engineKindName(EngineKind e)
+{
+    switch (e) {
+      case EngineKind::CSim:
+        return "csim";
+      case EngineKind::Cosim:
+        return "cosim";
+      case EngineKind::LightningSim:
+        return "lightning";
+      case EngineKind::OmniSim:
+        return "omnisim";
+    }
+    return "unknown";
+}
+
+bool
+parseEngineKind(const std::string &name, EngineKind &out)
+{
+    for (EngineKind e : {EngineKind::CSim, EngineKind::Cosim,
+                         EngineKind::LightningSim, EngineKind::OmniSim}) {
+        if (name == engineKindName(e)) {
+            out = e;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Scenario::label() const
+{
+    std::string s = design;
+    s += '/';
+    s += engineKindName(engine);
+    s += strf("/s%llu", static_cast<unsigned long long>(seed));
+    for (const auto &ov : depths)
+        s += strf("/%s=%u", ov.fifo.c_str(), ov.depth);
+    return s;
+}
+
+std::size_t
+BatchReport::okCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const ScenarioOutcome &o) { return o.ok(); }));
+}
+
+std::size_t
+BatchReport::failedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const ScenarioOutcome &o) { return o.failed; }));
+}
+
+double
+BatchReport::throughput() const
+{
+    if (outcomes.empty() || wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(outcomes.size()) / wallSeconds;
+}
+
+namespace
+{
+
+/** Apply the seed perturbation and explicit overrides to a fresh design. */
+void
+configureDepths(Design &d, const Scenario &s)
+{
+    if (s.seed != 0) {
+        Prng prng(s.seed);
+        for (std::size_t f = 0; f < d.fifos().size(); ++f) {
+            const std::uint32_t base = d.fifos()[f].depth;
+            const std::uint32_t lo = std::max<std::uint32_t>(1, base / 2);
+            const std::uint32_t hi = base * 2;
+            d.setFifoDepth(static_cast<FifoId>(f),
+                           lo + static_cast<std::uint32_t>(
+                                    prng.below(hi - lo + 1)));
+        }
+    }
+    for (const auto &ov : s.depths)
+        d.setFifoDepth(d.fifoByName(ov.fifo), ov.depth);
+}
+
+SimResult
+dispatch(EngineKind engine, const CompiledDesign &cd)
+{
+    switch (engine) {
+      case EngineKind::CSim:
+        return simulateCSim(cd);
+      case EngineKind::Cosim: {
+        // Batch exploration compares functionality and cycle counts;
+        // the synthetic gate-sweep cost model would only burn CPU.
+        CosimOptions opts;
+        opts.modelRtlCost = false;
+        return simulateCosim(cd, opts);
+      }
+      case EngineKind::LightningSim:
+        return simulateLightningSim(cd);
+      case EngineKind::OmniSim:
+        return simulateOmniSim(cd);
+    }
+    omnisim_fatal("unknown engine kind %d", static_cast<int>(engine));
+}
+
+} // namespace
+
+ScenarioOutcome
+runScenario(const Scenario &s)
+{
+    ScenarioOutcome out;
+    out.scenario = s;
+    Stopwatch sw;
+    try {
+        Design d = designs::findDesign(s.design).build();
+        configureDepths(d, s);
+        const CompiledDesign cd = compile(d);
+        out.result = dispatch(s.engine, cd);
+    } catch (const std::exception &e) {
+        out.failed = true;
+        out.error = e.what();
+    }
+    out.seconds = sw.seconds();
+    return out;
+}
+
+BatchRunner::BatchRunner(BatchOptions opts)
+{
+    jobs_ = opts.jobs != 0 ? opts.jobs
+                           : std::max(1u, std::thread::hardware_concurrency());
+}
+
+BatchReport
+BatchRunner::run(const std::vector<Scenario> &scenarios) const
+{
+    BatchReport rep;
+    rep.jobs = jobs_;
+    rep.outcomes.resize(scenarios.size());
+    if (scenarios.empty())
+        return rep;
+
+    Stopwatch sw;
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= scenarios.size())
+                return;
+            rep.outcomes[i] = runScenario(scenarios[i]);
+        }
+    };
+
+    // The calling thread is worker 0; extra threads only when the batch
+    // is big enough to feed them.
+    const unsigned extra = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, scenarios.size()) - 1);
+    std::vector<std::thread> pool;
+    pool.reserve(extra);
+    for (unsigned t = 0; t < extra; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+
+    rep.wallSeconds = sw.seconds();
+    return rep;
+}
+
+std::vector<Scenario>
+registryScenarios(const std::vector<EngineKind> &engines,
+                  unsigned seedsPerDesign,
+                  const std::vector<std::string> &onlyDesigns)
+{
+    std::vector<std::string> names;
+    if (onlyDesigns.empty()) {
+        for (const auto *suite :
+             {&designs::typeBCDesigns(), &designs::typeADesigns()})
+            for (const auto &entry : *suite)
+                names.push_back(entry.name);
+    } else {
+        for (const std::string &n : onlyDesigns) {
+            designs::findDesign(n); // typos abort before any work runs
+            names.push_back(n);
+        }
+    }
+
+    std::vector<Scenario> out;
+    for (const std::string &name : names) {
+        for (EngineKind e : engines) {
+            for (unsigned s = 0; s < seedsPerDesign; ++s) {
+                Scenario sc;
+                sc.design = name;
+                sc.engine = e;
+                sc.seed = s;
+                out.push_back(std::move(sc));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace omnisim::batch

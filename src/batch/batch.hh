@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Parallel batch simulation. A Scenario names one simulation to perform —
+ * a registered design, the engine to run it under, a workload seed, and
+ * optional FIFO-depth overrides — and a BatchRunner fans a set of
+ * scenarios out across a pool of worker threads, collecting per-scenario
+ * SimResults plus wall-clock statistics and reporting aggregate
+ * throughput in simulations per second.
+ *
+ * This is the workload shape large-scale design-space exploration
+ * produces (sweep many FIFO configurations, compare engines, fuzz depth
+ * assignments): thousands of independent simulations whose end-to-end
+ * rate matters more than any single run's latency. Every scenario is
+ * self-contained — each worker builds its own Design instance and the
+ * engines are deterministic — so results are bit-identical regardless of
+ * pool size or scheduling order, which tests assert.
+ */
+
+#ifndef OMNISIM_BATCH_BATCH_HH
+#define OMNISIM_BATCH_BATCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/result.hh"
+
+namespace omnisim::batch
+{
+
+/** The four simulation engines a scenario can select. */
+enum class EngineKind : std::uint8_t
+{
+    CSim,         ///< Naive C simulation (functionality only).
+    Cosim,        ///< Clocked co-simulation, RTL cost modeling off.
+    LightningSim, ///< Two-phase decoupled baseline (Type A only).
+    OmniSim,      ///< The paper's engine.
+};
+
+/** @return a stable CLI-facing name ("csim", "cosim", ...). */
+const char *engineKindName(EngineKind e);
+
+/**
+ * Parse a CLI engine name.
+ * @return false when the name matches no engine (out untouched).
+ */
+bool parseEngineKind(const std::string &name, EngineKind &out);
+
+/** Override one named FIFO's depth before compilation. */
+struct DepthOverride
+{
+    std::string fifo;
+    std::uint32_t depth = 2;
+};
+
+/** One simulation to perform. */
+struct Scenario
+{
+    /** Registry name of the design (designs::findDesign). */
+    std::string design;
+
+    EngineKind engine = EngineKind::OmniSim;
+
+    /**
+     * Workload seed. Seed 0 runs the design exactly as registered; a
+     * nonzero seed deterministically perturbs every FIFO depth into
+     * [max(1, depth/2), 2*depth] via the shared Prng, modeling the
+     * randomized configurations a design-space explorer visits. Explicit
+     * DepthOverride entries are applied after the perturbation and win.
+     */
+    std::uint64_t seed = 0;
+
+    std::vector<DepthOverride> depths;
+
+    /** @return "design/engine/seed[/fifo=N...]" for logs and tables. */
+    std::string label() const;
+};
+
+/** The outcome of one scenario. */
+struct ScenarioOutcome
+{
+    Scenario scenario;
+
+    /** Engine result; default-constructed when failed is set. */
+    SimResult result;
+
+    /** Wall-clock seconds spent on this scenario (build + compile + run). */
+    double seconds = 0.0;
+
+    /**
+     * True when the scenario never produced an engine result: unknown
+     * design name, invalid FIFO override, or an engine exception. A
+     * failed scenario is reported here and never aborts the batch.
+     */
+    bool failed = false;
+
+    /** Explanation when failed is set. */
+    std::string error;
+
+    /** @return true when the engine ran and reported SimStatus::Ok. */
+    bool ok() const { return !failed && result.status == SimStatus::Ok; }
+};
+
+/** Aggregate outcome of a batch. */
+struct BatchReport
+{
+    /** Outcomes in the same order as the submitted scenarios. */
+    std::vector<ScenarioOutcome> outcomes;
+
+    /** Worker threads actually used. */
+    unsigned jobs = 1;
+
+    /** End-to-end wall-clock seconds for the whole batch. */
+    double wallSeconds = 0.0;
+
+    /** @return scenarios whose engine reported Ok. */
+    std::size_t okCount() const;
+
+    /** @return scenarios that failed before producing a result. */
+    std::size_t failedCount() const;
+
+    /** @return aggregate simulations per second (0 when empty). */
+    double throughput() const;
+};
+
+/** BatchRunner configuration. */
+struct BatchOptions
+{
+    /** Worker threads; 0 selects std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+};
+
+/**
+ * Run one scenario in the calling thread: build the design, apply the
+ * seed perturbation and overrides, compile, and dispatch to the selected
+ * engine. Never throws — configuration and engine errors are captured in
+ * the outcome.
+ */
+ScenarioOutcome runScenario(const Scenario &s);
+
+/**
+ * Fixed-size worker pool executing scenarios in parallel. Stateless
+ * between run() calls; one instance can serve any number of batches.
+ */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(BatchOptions opts = {});
+
+    /** @return the resolved worker count (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /** Execute all scenarios and gather the report. */
+    BatchReport run(const std::vector<Scenario> &scenarios) const;
+
+  private:
+    unsigned jobs_;
+};
+
+/**
+ * Build the standard exploration batch: every design in the Table 4
+ * (Type B/C) and Type A registries — or only the named ones, when
+ * onlyDesigns is nonempty — crossed with the given engines and seeds
+ * 0..seedsPerDesign-1.
+ *
+ * @throws FatalError when onlyDesigns names an unregistered design.
+ */
+std::vector<Scenario>
+registryScenarios(const std::vector<EngineKind> &engines,
+                  unsigned seedsPerDesign = 1,
+                  const std::vector<std::string> &onlyDesigns = {});
+
+} // namespace omnisim::batch
+
+#endif // OMNISIM_BATCH_BATCH_HH

@@ -141,6 +141,16 @@ Design::setFifoDepth(FifoId f, std::uint32_t depth)
     fifos_[f].depth = depth;
 }
 
+FifoId
+Design::fifoByName(const std::string &name) const
+{
+    for (std::size_t f = 0; f < fifos_.size(); ++f)
+        if (fifos_[f].name == name)
+            return static_cast<FifoId>(f);
+    omnisim_fatal("design '%s' has no FIFO named '%s'", name_.c_str(),
+                  name.c_str());
+}
+
 MemoryPool
 Design::makeMemoryPool() const
 {

@@ -134,6 +134,12 @@ class Design
      */
     void setFifoDepth(FifoId f, std::uint32_t depth);
 
+    /**
+     * Look up a FIFO by name.
+     * @throws FatalError when no FIFO has that name.
+     */
+    FifoId fifoByName(const std::string &name) const;
+
     const std::string &name() const { return name_; }
     const std::vector<ModuleDecl> &modules() const { return modules_; }
     const std::vector<FifoDecl> &fifos() const { return fifos_; }

@@ -1019,6 +1019,40 @@ buildSkynetLite()
     return d;
 }
 
+Design
+buildFifoChain()
+{
+    // Minimal three-stage blocking relay chain. Small enough to finish in
+    // milliseconds under every engine, which makes it the standard target
+    // for CLI smoke tests and batch-subsystem examples.
+    Design d("fifo_chain");
+    constexpr std::size_t n = 1024;
+    const MemId data = d.addMemory("data", n);
+    const MemId out = d.addMemory("sum_out", 1);
+    d.setInput(data, iotaData(n));
+
+    const FifoId a = d.declareFifo("a", 2);
+    const FifoId b = d.declareFifo("b", 2);
+
+    ModuleId producer;
+    addProducer(d, "producer", data, a, n, producer);
+
+    const ModuleId relay = d.addModule("relay", [=](Context &ctx) {
+        PipelineScope pipe(ctx, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pipe.iter();
+            ctx.write(b, ctx.read(a));
+        }
+    });
+
+    ModuleId sink;
+    addSumConsumer(d, "sink", b, out, n, sink);
+
+    d.connectFifo(a, producer, relay);
+    d.connectFifo(b, relay, sink);
+    return d;
+}
+
 const std::vector<DesignEntry> &
 typeADesigns()
 {
@@ -1059,6 +1093,8 @@ typeADesigns()
          buildInrArchLite},
         {"skynet_lite", "SkyNet-style CNN pipeline (large)",
          buildSkynetLite},
+        {"fifo_chain", "Blocking FIFO relay chain (smoke test)",
+         buildFifoChain},
     };
     return entries;
 }

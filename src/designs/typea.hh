@@ -49,6 +49,7 @@ Design buildVecaddStream();   ///< AXI vector add (Vitis vadd analog).
 Design buildFlowGnnLite();    ///< Multi-lane GNN message passing (large).
 Design buildInrArchLite();    ///< 12-stage deep dataflow chain (large).
 Design buildSkynetLite();     ///< CNN layer pipeline (largest).
+Design buildFifoChain();      ///< Minimal relay chain (smoke tests).
 
 } // namespace omnisim::designs
 

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Batch-simulation subsystem tests: parallel fan-out must be
+ * bit-identical to serial execution, failing scenarios must be isolated
+ * instead of aborting the batch, and the scenario generators must cover
+ * the registry deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "batch/batch.hh"
+#include "helpers.hh"
+
+using namespace omnisim;
+using namespace omnisim::batch;
+
+namespace
+{
+
+/** A small but representative scenario mix: Type A, Type B/C, a design
+ *  that deadlocks, and seed-perturbed variants of each. */
+std::vector<Scenario>
+mixedScenarios()
+{
+    std::vector<Scenario> out;
+    for (const char *design :
+         {"fifo_chain", "fir_filter", "fig4_ex2", "fig4_ex5",
+          "deadlock"}) {
+        for (std::uint64_t seed : {0, 1}) {
+            Scenario s;
+            s.design = design;
+            s.seed = seed;
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+void
+expectSameOutcome(const ScenarioOutcome &a, const ScenarioOutcome &b)
+{
+    const std::string label = a.scenario.label();
+    EXPECT_EQ(a.scenario.design, b.scenario.design) << label;
+    EXPECT_EQ(a.failed, b.failed) << label;
+    EXPECT_EQ(a.error, b.error) << label;
+    EXPECT_EQ(a.result.status, b.result.status) << label;
+    EXPECT_EQ(a.result.totalCycles, b.result.totalCycles) << label;
+    EXPECT_EQ(a.result.memories, b.result.memories) << label;
+    EXPECT_EQ(a.result.warnings, b.result.warnings) << label;
+}
+
+} // namespace
+
+TEST(Batch, EngineKindNamesRoundTrip)
+{
+    for (EngineKind e : {EngineKind::CSim, EngineKind::Cosim,
+                         EngineKind::LightningSim, EngineKind::OmniSim}) {
+        EngineKind parsed;
+        ASSERT_TRUE(parseEngineKind(engineKindName(e), parsed));
+        EXPECT_EQ(parsed, e);
+    }
+    EngineKind parsed;
+    EXPECT_FALSE(parseEngineKind("verilator", parsed));
+}
+
+TEST(Batch, ScenarioLabelIsDescriptive)
+{
+    Scenario s;
+    s.design = "fifo_chain";
+    s.engine = EngineKind::Cosim;
+    s.seed = 7;
+    s.depths.push_back({"a", 12});
+    EXPECT_EQ(s.label(), "fifo_chain/cosim/s7/a=12");
+}
+
+TEST(Batch, RunnerResolvesJobCount)
+{
+    EXPECT_GE(BatchRunner({0}).jobs(), 1u);
+    EXPECT_EQ(BatchRunner({3}).jobs(), 3u);
+}
+
+TEST(Batch, ParallelMatchesSerialBitExactly)
+{
+    const std::vector<Scenario> scenarios = mixedScenarios();
+    const BatchReport serial = BatchRunner({1}).run(scenarios);
+    const BatchReport parallel = BatchRunner({4}).run(scenarios);
+
+    ASSERT_EQ(serial.outcomes.size(), scenarios.size());
+    ASSERT_EQ(parallel.outcomes.size(), scenarios.size());
+    EXPECT_EQ(serial.jobs, 1u);
+    EXPECT_EQ(parallel.jobs, 4u);
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        expectSameOutcome(serial.outcomes[i], parallel.outcomes[i]);
+}
+
+TEST(Batch, RepeatedRunsAreDeterministic)
+{
+    Scenario s;
+    s.design = "fig4_ex5"; // Type C: timing-dependent functionality
+    s.seed = 3;
+    const ScenarioOutcome a = runScenario(s);
+    const ScenarioOutcome b = runScenario(s);
+    expectSameOutcome(a, b);
+}
+
+TEST(Batch, FailingScenarioDoesNotAbortBatch)
+{
+    std::vector<Scenario> scenarios(3);
+    scenarios[0].design = "fifo_chain";
+    scenarios[1].design = "no_such_design";
+    scenarios[2].design = "deadlock"; // engine-detected deadlock
+    const BatchReport rep = BatchRunner({2}).run(scenarios);
+
+    ASSERT_EQ(rep.outcomes.size(), 3u);
+    EXPECT_TRUE(rep.outcomes[0].ok());
+    EXPECT_TRUE(rep.outcomes[1].failed);
+    EXPECT_NE(rep.outcomes[1].error.find("no_such_design"),
+              std::string::npos);
+    EXPECT_FALSE(rep.outcomes[2].failed);
+    EXPECT_EQ(rep.outcomes[2].result.status, SimStatus::Deadlock);
+    EXPECT_EQ(rep.okCount(), 1u);
+    EXPECT_EQ(rep.failedCount(), 1u);
+}
+
+TEST(Batch, BadDepthOverrideIsIsolated)
+{
+    std::vector<Scenario> scenarios(2);
+    scenarios[0].design = "fifo_chain";
+    scenarios[0].depths.push_back({"nope", 4});
+    scenarios[1].design = "fifo_chain";
+    const BatchReport rep = BatchRunner({2}).run(scenarios);
+    EXPECT_TRUE(rep.outcomes[0].failed);
+    EXPECT_NE(rep.outcomes[0].error.find("nope"), std::string::npos);
+    EXPECT_TRUE(rep.outcomes[1].ok());
+}
+
+TEST(Batch, DepthOverrideChangesTiming)
+{
+    Scenario shallow;
+    shallow.design = "fifo_chain";
+    shallow.depths.push_back({"a", 1});
+    shallow.depths.push_back({"b", 1});
+    Scenario deep = shallow;
+    deep.depths = {{"a", 64}, {"b", 64}};
+
+    const ScenarioOutcome s = runScenario(shallow);
+    const ScenarioOutcome d = runScenario(deep);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(s.result.memories, d.result.memories);
+    EXPECT_LE(d.result.totalCycles, s.result.totalCycles);
+}
+
+TEST(Batch, SeedPerturbationPreservesFunctionality)
+{
+    // fifo_chain is Type A: any depth assignment yields the same sums.
+    const Scenario base{"fifo_chain", EngineKind::OmniSim, 0, {}};
+    const ScenarioOutcome ref = runScenario(base);
+    ASSERT_TRUE(ref.ok());
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Scenario s = base;
+        s.seed = seed;
+        const ScenarioOutcome o = runScenario(s);
+        ASSERT_TRUE(o.ok()) << s.label();
+        EXPECT_EQ(o.result.memories, ref.result.memories) << s.label();
+    }
+}
+
+TEST(Batch, RegistryScenariosCoverBothSuitesTimesEnginesTimesSeeds)
+{
+    const std::size_t designs = designs::typeBCDesigns().size() +
+                                designs::typeADesigns().size();
+    const auto scenarios = registryScenarios(
+        {EngineKind::OmniSim, EngineKind::Cosim}, 3);
+    EXPECT_EQ(scenarios.size(), designs * 2 * 3);
+}
+
+TEST(Batch, ReportAggregatesAreConsistent)
+{
+    const BatchReport rep = BatchRunner({2}).run(mixedScenarios());
+    EXPECT_GT(rep.wallSeconds, 0.0);
+    EXPECT_GT(rep.throughput(), 0.0);
+    EXPECT_LE(rep.okCount() + rep.failedCount(), rep.outcomes.size());
+    for (const auto &o : rep.outcomes)
+        EXPECT_GE(o.seconds, 0.0) << o.scenario.label();
+}
+
+TEST(Batch, EmptyBatchIsANoOp)
+{
+    const BatchReport rep = BatchRunner({4}).run({});
+    EXPECT_TRUE(rep.outcomes.empty());
+    EXPECT_EQ(rep.okCount(), 0u);
+    EXPECT_EQ(rep.throughput(), 0.0);
+}
+
+TEST(Batch, FifoChainSumsWorkloadUnderEveryEngine)
+{
+    // 1 + 2 + ... + 1024.
+    constexpr Value expected = 1024 * 1025 / 2;
+    for (EngineKind e : {EngineKind::CSim, EngineKind::Cosim,
+                         EngineKind::LightningSim, EngineKind::OmniSim}) {
+        Scenario s;
+        s.design = "fifo_chain";
+        s.engine = e;
+        const ScenarioOutcome o = runScenario(s);
+        ASSERT_TRUE(o.ok()) << engineKindName(e);
+        EXPECT_EQ(o.result.scalar("sum_out"), expected)
+            << engineKindName(e);
+    }
+}

@@ -28,8 +28,9 @@ TEST_P(Table3Test, OmniSimMatchesCosimExactly)
     const SimResult om = simulateOmniSim(c.cd, checkedOmniSim());
     ASSERT_EQ(om.status, co.status);
     EXPECT_EQ(om.memories, co.memories);
-    if (co.status == SimStatus::Ok)
+    if (co.status == SimStatus::Ok) {
         EXPECT_EQ(om.totalCycles, co.totalCycles);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

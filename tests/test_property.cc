@@ -36,8 +36,9 @@ TEST_P(DepthSweep, OmniSimEqualsCosim)
     const SimResult om = simulateOmniSim(cd, checkedOmniSim());
     ASSERT_EQ(om.status, co.status);
     EXPECT_EQ(om.memories, co.memories);
-    if (co.status == SimStatus::Ok)
+    if (co.status == SimStatus::Ok) {
         EXPECT_EQ(om.totalCycles, co.totalCycles);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,15 +8,20 @@
  *   omnisim_cli info    <design>
  *   omnisim_cli run     <design> [--engine csim|cosim|lightning|omnisim]
  *                                [--depth FIFO=N]... [--lazy] [--rtl-cost]
- *   omnisim_cli sweep   <design> --fifo NAME --from A --to B
+ *   omnisim_cli sweep   <design> --fifo NAME --from A --to B [--jobs N]
+ *   omnisim_cli batch   [--jobs N] [--engines csim,cosim,lightning,omnisim]
+ *                       [--seeds K] [--designs a,b,...]
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "batch/batch.hh"
 #include "core/omnisim.hh"
 #include "cosim/cosim.hh"
 #include "csim/csim.hh"
@@ -44,7 +49,10 @@ usage()
                  "lightning|omnisim] [--depth FIFO=N]... [--lazy] "
                  "[--rtl-cost]\n"
                  "  omnisim_cli sweep <design> --fifo NAME --from A "
-                 "--to B\n"
+                 "--to B [--jobs N]\n"
+                 "  omnisim_cli batch [--jobs N] [--engines "
+                 "csim,cosim,lightning,omnisim] [--seeds K] "
+                 "[--designs a,b,...]\n"
                  "  omnisim_cli dot <design>\n");
     return 2;
 }
@@ -91,15 +99,6 @@ cmdInfo(const std::string &name)
     }
     std::printf("memories : %zu\n", d.memories().size());
     return 0;
-}
-
-FifoId
-fifoByName(const Design &d, const std::string &name)
-{
-    for (std::size_t f = 0; f < d.fifos().size(); ++f)
-        if (d.fifos()[f].name == name)
-            return static_cast<FifoId>(f);
-    omnisim_fatal("no FIFO named '%s'", name.c_str());
 }
 
 void
@@ -159,7 +158,7 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
 
     Design d = designs::findDesign(name).build();
     for (const auto &[fifo, depth] : depths)
-        d.setFifoDepth(fifoByName(d, fifo), depth);
+        d.setFifoDepth(d.fifoByName(fifo), depth);
     const CompiledDesign cd = compile(d);
 
     Stopwatch sw;
@@ -190,6 +189,7 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
     std::string fifo;
     std::uint32_t from = 1;
     std::uint32_t to = 16;
+    unsigned jobs = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--fifo" && i + 1 < args.size())
             fifo = args[++i];
@@ -197,6 +197,8 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
             from = static_cast<std::uint32_t>(std::stoul(args[++i]));
         else if (args[i] == "--to" && i + 1 < args.size())
             to = static_cast<std::uint32_t>(std::stoul(args[++i]));
+        else if (args[i] == "--jobs" && i + 1 < args.size())
+            jobs = static_cast<unsigned>(std::stoul(args[++i]));
         else
             return usage();
     }
@@ -204,9 +206,11 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
         return usage();
 
     // One full run records the graph; each depth tries incremental
-    // re-simulation first (§7.2), falling back to a full run.
+    // re-simulation first (§7.2). Depths whose constraints diverge need a
+    // full re-run — those are independent simulations, so they are fanned
+    // out across the batch worker pool instead of run one by one.
     Design base = designs::findDesign(name).build();
-    const FifoId target = fifoByName(base, fifo);
+    const FifoId target = base.fifoByName(fifo);
     const CompiledDesign cd = compile(base);
     OmniSim eng(cd);
     const SimResult first = eng.run();
@@ -215,7 +219,8 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
         return 1;
     }
 
-    TablePrinter t({"Depth", "Cycles", "Method"});
+    std::map<std::uint32_t, Cycles> incremental;
+    std::vector<batch::Scenario> fallback;
     for (std::uint32_t depth = from; depth <= to; ++depth) {
         std::vector<std::uint32_t> ds;
         for (const auto &f : base.fifos())
@@ -223,25 +228,127 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
         ds[static_cast<std::size_t>(target)] = depth;
         const IncrementalOutcome inc = eng.resimulate(ds);
         if (inc.reused) {
+            incremental.emplace(depth, inc.result.totalCycles);
+            continue;
+        }
+        batch::Scenario s;
+        s.design = name;
+        s.depths.push_back({fifo, depth});
+        fallback.push_back(std::move(s));
+    }
+    const batch::BatchReport rep =
+        batch::BatchRunner({jobs}).run(fallback);
+
+    TablePrinter t({"Depth", "Cycles", "Method"});
+    std::size_t fb = 0;
+    for (std::uint32_t depth = from; depth <= to; ++depth) {
+        if (const auto it = incremental.find(depth);
+            it != incremental.end()) {
             t.addRow({strf("%u", depth),
                       strf("%llu", static_cast<unsigned long long>(
-                                       inc.result.totalCycles)),
+                                       it->second)),
                       "incremental"});
             continue;
         }
-        Design d2 = designs::findDesign(name).build();
-        d2.setFifoDepth(target, depth);
-        const CompiledDesign cd2 = compile(d2);
-        const SimResult r = simulateOmniSim(cd2);
+        const batch::ScenarioOutcome &o = rep.outcomes[fb++];
         t.addRow({strf("%u", depth),
-                  r.status == SimStatus::Ok
-                      ? strf("%llu", static_cast<unsigned long long>(
-                                         r.totalCycles))
-                      : simStatusName(r.status),
+                  o.ok() ? strf("%llu", static_cast<unsigned long long>(
+                                    o.result.totalCycles))
+                         : (o.failed ? o.error.c_str()
+                                     : simStatusName(o.result.status)),
                   "full re-run"});
     }
     t.print(std::cout);
-    return 0;
+    if (!fallback.empty())
+        std::printf("full re-runs: %zu across %u jobs in %.3f s "
+                    "(%.1f sims/s)\n",
+                    fallback.size(), rep.jobs, rep.wallSeconds,
+                    rep.throughput());
+    // A fallback run that never produced an engine result (unknown
+    // FIFO, engine exception) is an error; non-Ok engine statuses at
+    // some depths are normal sweep outcomes.
+    return rep.failedCount() == 0 ? 0 : 1;
+}
+
+/** Split "a,b,c" into its comma-separated parts. */
+std::vector<std::string>
+splitList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        if (end > pos)
+            out.push_back(spec.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+int
+cmdBatch(const std::vector<std::string> &args)
+{
+    unsigned jobs = 0;
+    unsigned seeds = 1;
+    std::vector<batch::EngineKind> engines;
+    std::vector<std::string> only;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--jobs" && i + 1 < args.size()) {
+            jobs = static_cast<unsigned>(std::stoul(args[++i]));
+        } else if (args[i] == "--seeds" && i + 1 < args.size()) {
+            seeds = static_cast<unsigned>(std::stoul(args[++i]));
+        } else if (args[i] == "--engines" && i + 1 < args.size()) {
+            for (const std::string &n : splitList(args[++i])) {
+                batch::EngineKind e;
+                if (!batch::parseEngineKind(n, e)) {
+                    std::fprintf(stderr, "unknown engine '%s'\n",
+                                 n.c_str());
+                    return usage();
+                }
+                engines.push_back(e);
+            }
+        } else if (args[i] == "--designs" && i + 1 < args.size()) {
+            only = splitList(args[++i]);
+        } else {
+            return usage();
+        }
+    }
+    if (engines.empty())
+        engines.push_back(batch::EngineKind::OmniSim);
+    if (seeds < 1)
+        seeds = 1;
+
+    const std::vector<batch::Scenario> scenarios =
+        batch::registryScenarios(engines, seeds, only);
+
+    const batch::BatchReport rep =
+        batch::BatchRunner({jobs}).run(scenarios);
+
+    TablePrinter t({"Design", "Engine", "Seed", "Status", "Cycles",
+                    "Time"});
+    for (const auto &o : rep.outcomes) {
+        t.addRow({o.scenario.design,
+                  batch::engineKindName(o.scenario.engine),
+                  strf("%llu", static_cast<unsigned long long>(
+                                   o.scenario.seed)),
+                  o.failed ? "error" : simStatusName(o.result.status),
+                  o.ok() ? strf("%llu", static_cast<unsigned long long>(
+                                    o.result.totalCycles))
+                         : "-",
+                  strf("%.2f ms", o.seconds * 1e3)});
+    }
+    t.print(std::cout);
+    std::printf("scenarios=%zu ok=%zu failed=%zu jobs=%u wall=%.3f s "
+                "throughput=%.1f sims/s\n",
+                rep.outcomes.size(), rep.okCount(), rep.failedCount(),
+                rep.jobs, rep.wallSeconds, rep.throughput());
+    // Non-Ok engine statuses (deadlock, crash) are legitimate
+    // exploration outcomes; only configuration failures are errors.
+    return rep.failedCount() == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -272,7 +379,20 @@ main(int argc, char **argv)
             return cmdSweep(rest[0],
                             {rest.begin() + 1, rest.end()});
         }
+        if (cmd == "batch")
+            return cmdBatch(rest);
     } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const std::invalid_argument &) {
+        std::fprintf(stderr, "error: expected a number in an argument "
+                             "value\n");
+        return 2;
+    } catch (const std::out_of_range &) {
+        std::fprintf(stderr, "error: numeric argument value out of "
+                             "range\n");
+        return 2;
+    } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
