@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "core/omnisim.hh"
@@ -153,6 +154,51 @@ BatchRunner::BatchRunner(BatchOptions opts)
                            : std::max(1u, std::thread::hardware_concurrency());
 }
 
+void
+BatchRunner::forEachIndex(std::size_t n,
+                          const std::function<void(std::size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    // An exception escaping fn on a spawned thread would terminate()
+    // the process; capture the first one and rethrow it on the calling
+    // thread once every worker has drained.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMu;
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    // The calling thread is worker 0; extra threads only when the work
+    // list is big enough to feed them.
+    const unsigned extra =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n) - 1);
+    std::vector<std::thread> pool;
+    pool.reserve(extra);
+    for (unsigned t = 0; t < extra; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
 BatchReport
 BatchRunner::run(const std::vector<Scenario> &scenarios) const
 {
@@ -163,27 +209,9 @@ BatchRunner::run(const std::vector<Scenario> &scenarios) const
         return rep;
 
     Stopwatch sw;
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= scenarios.size())
-                return;
-            rep.outcomes[i] = runScenario(scenarios[i]);
-        }
-    };
-
-    // The calling thread is worker 0; extra threads only when the batch
-    // is big enough to feed them.
-    const unsigned extra = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, scenarios.size()) - 1);
-    std::vector<std::thread> pool;
-    pool.reserve(extra);
-    for (unsigned t = 0; t < extra; ++t)
-        pool.emplace_back(worker);
-    worker();
-    for (auto &t : pool)
-        t.join();
+    forEachIndex(scenarios.size(), [&](std::size_t i) {
+        rep.outcomes[i] = runScenario(scenarios[i]);
+    });
 
     rep.wallSeconds = sw.seconds();
     return rep;

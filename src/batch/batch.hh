@@ -20,6 +20,7 @@
 #define OMNISIM_BATCH_BATCH_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -152,6 +153,20 @@ class BatchRunner
 
     /** Execute all scenarios and gather the report. */
     BatchReport run(const std::vector<Scenario> &scenarios) const;
+
+    /**
+     * Generic fan-out: invoke fn(i) for every i in [0, n) across the
+     * worker pool and block until all calls return. The calling thread
+     * is worker 0; extra threads spin up only while the pool is busy.
+     * fn must be safe to call concurrently; indices are claimed
+     * dynamically, so callers needing determinism must make fn(i)
+     * independent of execution order (the DSE subsystem's evaluation
+     * waves are built this way). If fn throws, remaining indices are
+     * abandoned and the first exception is rethrown on the calling
+     * thread after all workers drain.
+     */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &fn) const;
 
   private:
     unsigned jobs_;

@@ -36,13 +36,16 @@ addSumConsumer(Design &d, const char *name, FifoId in, MemId mem,
                std::size_t n, ModuleId &id)
 {
     id = d.addModule(name, [=](Context &ctx) {
-        Value sum = 0;
+        // A hardware adder wraps; accumulate unsigned so designs with
+        // large words (uram_ecc) get defined two's-complement
+        // wraparound instead of signed-overflow UB under UBSan.
+        std::uint64_t sum = 0;
         PipelineScope pipe(ctx, 1);
         for (std::size_t i = 0; i < n; ++i) {
             pipe.iter();
-            sum += ctx.read(in);
+            sum += static_cast<std::uint64_t>(ctx.read(in));
         }
-        ctx.store(mem, 0, sum);
+        ctx.store(mem, 0, static_cast<Value>(sum));
     });
 }
 
@@ -1053,6 +1056,64 @@ buildFifoChain()
     return d;
 }
 
+Design
+buildReconvergent()
+{
+    // Splitter feeds two bursty branches whose expensive iterations are
+    // phase-shifted (a 15-cycle stall every 8th element vs a 33-cycle
+    // stall every 16th); a joiner recombines them. Both branches
+    // average ~3 cycles per element, so with shallow FIFOs the branches
+    // advance in lockstep and their stalls add, while FIFOs about as
+    // deep as a burst period let the bursts slide past each other —
+    // latency genuinely trades against buffer cost across the whole
+    // 1..16 ladder, which is what makes joint FIFO sizing non-obvious.
+    // The standard target for the src/dse/ exploration subsystem.
+    Design d("reconvergent");
+    constexpr std::size_t n = 512;
+    const MemId data = d.addMemory("data", n);
+    const MemId out = d.addMemory("out", 1);
+    d.setInput(data, iotaData(n));
+
+    const FifoId fast_f = d.declareFifo("fast", 4);
+    const FifoId slow_f = d.declareFifo("slow", 4);
+    const FifoId fast_o = d.declareFifo("fast_o", 4);
+    const FifoId slow_o = d.declareFifo("slow_o", 4);
+
+    const ModuleId split = d.addModule("split", [=](Context &ctx) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Value v = ctx.load(data, i);
+            ctx.write(fast_f, v);
+            ctx.write(slow_f, v);
+        }
+    });
+    const ModuleId fast = d.addModule("fast_path", [=](Context &ctx) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Value v = ctx.read(fast_f);
+            ctx.advance(i % 8 == 0 ? 15 : 1);
+            ctx.write(fast_o, v * 2);
+        }
+    });
+    const ModuleId slow = d.addModule("slow_path", [=](Context &ctx) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Value v = ctx.read(slow_f);
+            ctx.advance(i % 16 == 0 ? 33 : 1);
+            ctx.write(slow_o, v * v);
+        }
+    });
+    const ModuleId join = d.addModule("join", [=](Context &ctx) {
+        Value acc = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += ctx.read(fast_o) ^ ctx.read(slow_o);
+        ctx.store(out, 0, acc);
+    });
+
+    d.connectFifo(fast_f, split, fast);
+    d.connectFifo(slow_f, split, slow);
+    d.connectFifo(fast_o, fast, join);
+    d.connectFifo(slow_o, slow, join);
+    return d;
+}
+
 const std::vector<DesignEntry> &
 typeADesigns()
 {
@@ -1095,6 +1156,8 @@ typeADesigns()
          buildSkynetLite},
         {"fifo_chain", "Blocking FIFO relay chain (smoke test)",
          buildFifoChain},
+        {"reconvergent", "Reconvergent split/join, phase-shifted bursts",
+         buildReconvergent},
     };
     return entries;
 }

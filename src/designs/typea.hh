@@ -50,6 +50,7 @@ Design buildFlowGnnLite();    ///< Multi-lane GNN message passing (large).
 Design buildInrArchLite();    ///< 12-stage deep dataflow chain (large).
 Design buildSkynetLite();     ///< CNN layer pipeline (largest).
 Design buildFifoChain();      ///< Minimal relay chain (smoke tests).
+Design buildReconvergent();   ///< Reconvergent split/join (DSE target).
 
 } // namespace omnisim::designs
 

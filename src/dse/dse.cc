@@ -1,0 +1,437 @@
+#include "dse/dse.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "batch/batch.hh"
+#include "design/design.hh"
+#include "designs/common.hh"
+#include "dse/strategies.hh"
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace omnisim::dse
+{
+
+const char *
+evalMethodName(EvalMethod m)
+{
+    switch (m) {
+      case EvalMethod::FullRun:
+        return "full";
+      case EvalMethod::Incremental:
+        return "incremental";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Space resolution.
+// ---------------------------------------------------------------------------
+
+DepthVector
+ResolvedSpace::maxConfig() const
+{
+    DepthVector v = base;
+    for (std::size_t a = 0; a < axes.size(); ++a)
+        v[axes[a]] = candidates[a].back();
+    return v;
+}
+
+DepthVector
+ResolvedSpace::configOf(const std::vector<std::size_t> &idx) const
+{
+    omnisim_assert(idx.size() == axes.size(), "axis index arity mismatch");
+    DepthVector v = base;
+    for (std::size_t a = 0; a < axes.size(); ++a)
+        v[axes[a]] = candidates[a][idx[a]];
+    return v;
+}
+
+std::size_t
+ResolvedSpace::gridSize() const
+{
+    std::size_t n = 1;
+    for (const auto &c : candidates) {
+        if (n > std::numeric_limits<std::size_t>::max() / c.size())
+            return std::numeric_limits<std::size_t>::max();
+        n *= c.size();
+    }
+    return n;
+}
+
+namespace
+{
+
+std::vector<std::uint32_t>
+candidatesOf(const FifoRange &r)
+{
+    std::vector<std::uint32_t> out;
+    if (r.geometric) {
+        for (std::uint32_t d = r.lo; d < r.hi; d *= 2)
+            out.push_back(d);
+        out.push_back(r.hi);
+    } else {
+        for (std::uint32_t d = r.lo; d <= r.hi; ++d)
+            out.push_back(d);
+    }
+    return out;
+}
+
+} // namespace
+
+ResolvedSpace
+resolveSpace(const Design &d, const DseSpace &space)
+{
+    ResolvedSpace rs;
+    for (const auto &f : d.fifos())
+        rs.base.push_back(f.depth);
+
+    std::vector<FifoRange> ranges = space.fifos;
+    if (ranges.empty()) {
+        for (const auto &f : d.fifos())
+            ranges.push_back({f.name, 1, 16, true});
+    }
+
+    for (const auto &r : ranges) {
+        if (r.lo < 1 || r.hi < r.lo)
+            omnisim_fatal("dse range for fifo '%s' is empty: lo=%u hi=%u "
+                          "(need 1 <= lo <= hi)", r.fifo.c_str(), r.lo,
+                          r.hi);
+        const FifoId id = d.fifoByName(r.fifo); // throws on unknown name
+        const auto axis = static_cast<std::size_t>(id);
+        if (std::find(rs.axes.begin(), rs.axes.end(), axis) !=
+            rs.axes.end())
+            omnisim_fatal("fifo '%s' listed twice in the dse space",
+                          r.fifo.c_str());
+        rs.axes.push_back(axis);
+        rs.names.push_back(r.fifo);
+        rs.candidates.push_back(candidatesOf(r));
+    }
+    return rs;
+}
+
+// ---------------------------------------------------------------------------
+// EvalCache.
+// ---------------------------------------------------------------------------
+
+/**
+ * One pooled full run. The Design and CompiledDesign are heap-held so
+ * their addresses stay stable for the engine's lifetime (OmniSim keeps
+ * a reference, CompiledDesign a pointer).
+ */
+struct EvalCache::PoolEntry
+{
+    std::unique_ptr<Design> design;
+    std::unique_ptr<CompiledDesign> cd;
+    std::unique_ptr<OmniSim> engine;
+};
+
+EvalCache::EvalCache(std::function<Design()> builder, OmniSimOptions opts,
+                     std::size_t maxPool)
+    : builder_(std::move(builder)), opts_(opts),
+      maxPool_(std::max<std::size_t>(1, maxPool))
+{
+    fifoCount_ = builder_().fifos().size();
+}
+
+EvalCache::~EvalCache() = default;
+
+Evaluation
+EvalCache::evaluate(const DepthVector &depths)
+{
+    if (depths.size() != fifoCount_)
+        omnisim_fatal("depth vector has %zu entries; design has %zu FIFOs",
+                      depths.size(), fifoCount_);
+    for (std::size_t f = 0; f < depths.size(); ++f) {
+        if (depths[f] < 1)
+            omnisim_fatal("fifo %zu: depth must be >= 1", f);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (const auto it = done_.find(depths); it != done_.end()) {
+            ++cacheHits_;
+            return it->second;
+        }
+    }
+
+    const Evaluation fresh = computeFresh(depths);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // Two workers may race on the same unseen configuration; results
+    // are deterministic, so whichever insertion wins is authoritative
+    // and the stats count the configuration exactly once.
+    const auto [it, inserted] = done_.emplace(depths, fresh);
+    if (inserted) {
+        if (fresh.method == EvalMethod::Incremental)
+            ++incrementalHits_;
+        else
+            ++fullRuns_;
+    }
+    return it->second;
+}
+
+Evaluation
+EvalCache::computeFresh(const DepthVector &depths)
+{
+    Evaluation e;
+    e.depths = depths;
+    for (const std::uint32_t d : depths)
+        e.cost += d;
+
+    // Try the recorded constraints of every pooled run first (§7.2).
+    // resimulate() only reads run state, so a snapshot of raw engine
+    // pointers can be probed without holding the cache lock: entries
+    // are never removed and unique_ptr targets never move.
+    std::vector<OmniSim *> engines;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        engines.reserve(pool_.size());
+        for (const auto &p : pool_)
+            engines.push_back(p->engine.get());
+    }
+    for (OmniSim *eng : engines) {
+        const IncrementalOutcome inc = eng->resimulate(depths);
+        if (inc.reused) {
+            e.status = inc.result.status;
+            e.latency = inc.result.totalCycles;
+            e.method = EvalMethod::Incremental;
+            return e;
+        }
+    }
+
+    // Divergence (or an empty pool): full re-simulation, which then
+    // seeds the pool so neighbouring configurations can reuse it. A
+    // throwing build/compile/run (user-level design errors surface as
+    // FatalError) is isolated into a Crash evaluation rather than
+    // unwinding through the worker pool and killing the whole search.
+    e.method = EvalMethod::FullRun;
+    try {
+        auto entry = std::make_unique<PoolEntry>();
+        entry->design = std::make_unique<Design>(builder_());
+        for (std::size_t f = 0; f < depths.size(); ++f)
+            entry->design->setFifoDepth(static_cast<FifoId>(f),
+                                        depths[f]);
+        entry->cd =
+            std::make_unique<CompiledDesign>(compile(*entry->design));
+        entry->engine = std::make_unique<OmniSim>(*entry->cd, opts_);
+
+        const SimResult r = entry->engine->run();
+        e.status = r.status;
+        e.latency = r.ok() ? r.totalCycles : 0;
+
+        if (r.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (pool_.size() < maxPool_)
+                pool_.push_back(std::move(entry));
+        }
+    } catch (const std::exception &ex) {
+        e.status = SimStatus::Crash;
+        e.latency = 0;
+        e.message = ex.what();
+    }
+    return e;
+}
+
+bool
+EvalCache::contains(const DepthVector &depths) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_.count(depths) != 0;
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_.size();
+}
+
+std::size_t
+EvalCache::incrementalHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return incrementalHits_;
+}
+
+std::size_t
+EvalCache::fullRuns() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fullRuns_;
+}
+
+std::size_t
+EvalCache::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cacheHits_;
+}
+
+std::vector<Evaluation>
+EvalCache::evaluations() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Evaluation> out;
+    out.reserve(done_.size());
+    for (const auto &[depths, e] : done_)
+        out.push_back(e);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Report distillation.
+// ---------------------------------------------------------------------------
+
+double
+DseReport::hitRate() const
+{
+    const std::size_t total = incrementalHits + fullRuns;
+    return total == 0 ? 0.0
+                      : static_cast<double>(incrementalHits) /
+                            static_cast<double>(total);
+}
+
+double
+DseReport::configsPerSecond() const
+{
+    if (evaluations.empty() || wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(evaluations.size()) / wallSeconds;
+}
+
+namespace
+{
+
+/** Deterministic total order: cost, then latency, then depths. */
+bool
+evalLess(const Evaluation &a, const Evaluation &b)
+{
+    if (a.cost != b.cost)
+        return a.cost < b.cost;
+    if (a.latency != b.latency)
+        return a.latency < b.latency;
+    return a.depths < b.depths;
+}
+
+std::vector<Evaluation>
+paretoFrontier(const std::vector<Evaluation> &sorted)
+{
+    // Input sorted by (cost asc, latency asc): sweep keeping points
+    // whose latency strictly improves on everything cheaper. Equal-cost
+    // groups contribute at most their min-latency member.
+    std::vector<Evaluation> front;
+    Cycles bestLatency = std::numeric_limits<Cycles>::max();
+    for (const Evaluation &e : sorted) {
+        if (!e.ok())
+            continue;
+        if (!front.empty() && front.back().cost == e.cost)
+            continue; // same cost, latency >= the kept member
+        if (e.latency < bestLatency) {
+            front.push_back(e);
+            bestLatency = e.latency;
+        }
+    }
+    return front;
+}
+
+Evaluation
+kneePoint(const std::vector<Evaluation> &front)
+{
+    omnisim_assert(!front.empty(), "knee of an empty frontier");
+    const double c0 = static_cast<double>(front.front().cost);
+    const double c1 = static_cast<double>(front.back().cost);
+    const double l0 = static_cast<double>(front.back().latency);
+    const double l1 = static_cast<double>(front.front().latency);
+    const double cSpan = std::max(1.0, c1 - c0);
+    const double lSpan = std::max(1.0, l1 - l0);
+
+    std::size_t best = 0;
+    double bestDist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        const double nc = (static_cast<double>(front[i].cost) - c0) / cSpan;
+        const double nl =
+            (static_cast<double>(front[i].latency) - l0) / lSpan;
+        const double dist = std::sqrt(nc * nc + nl * nl);
+        if (dist < bestDist) { // ties keep the cheaper (earlier) point
+            bestDist = dist;
+            best = i;
+        }
+    }
+    return front[best];
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// explore().
+// ---------------------------------------------------------------------------
+
+DseReport
+explore(const std::string &designLabel,
+        const std::function<Design()> &builder, const DseOptions &opts)
+{
+    std::unique_ptr<DseStrategy> strategy = makeStrategy(opts.strategy);
+    if (!strategy) {
+        std::string known;
+        for (const std::string &n : strategyNames())
+            known += known.empty() ? n : ", " + n;
+        omnisim_fatal("unknown dse strategy '%s' (have: %s)",
+                      opts.strategy.c_str(), known.c_str());
+    }
+    if (opts.budget < 1)
+        omnisim_fatal("dse budget must be >= 1");
+
+    const Design probe = builder();
+    const ResolvedSpace space = resolveSpace(probe, opts.space);
+
+    DseReport rep;
+    rep.design = designLabel;
+    rep.strategy = strategy->name();
+    for (const auto &f : probe.fifos())
+        rep.fifoNames.push_back(f.name);
+    rep.axes = space.axes;
+
+    EvalCache cache(builder, opts.engine);
+    const batch::BatchRunner pool({opts.jobs});
+    rep.jobs = pool.jobs();
+
+    Stopwatch sw;
+    SearchContext ctx(space, cache, pool, opts.budget, opts.seed);
+
+    // Warm start: one full run of the deepest configuration gives every
+    // strategy a reference latency and seeds the reuse pool, so that
+    // even the first parallel wave of candidates can resolve
+    // incrementally instead of racing into full runs.
+    ctx.evaluate(space.maxConfig());
+
+    strategy->search(ctx);
+    rep.wallSeconds = sw.seconds();
+
+    rep.evaluations = cache.evaluations();
+    std::sort(rep.evaluations.begin(), rep.evaluations.end(), evalLess);
+    rep.frontier = paretoFrontier(rep.evaluations);
+    rep.anyOk = !rep.frontier.empty();
+    if (rep.anyOk) {
+        // Latency decreases strictly along the frontier, and latency
+        // ties collapse to their cheapest member during the sweep, so
+        // the last point is the cheapest min-latency configuration.
+        rep.minLatency = rep.frontier.back();
+        rep.knee = kneePoint(rep.frontier);
+    }
+    rep.fullRuns = cache.fullRuns();
+    rep.incrementalHits = cache.incrementalHits();
+    rep.cacheHits = cache.cacheHits();
+    return rep;
+}
+
+DseReport
+exploreRegistered(const std::string &designName, const DseOptions &opts)
+{
+    const designs::DesignEntry &entry = designs::findDesign(designName);
+    return explore(entry.name, entry.build, opts);
+}
+
+} // namespace omnisim::dse

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Design-space exploration over joint FIFO depth assignments (§7.2 of
+ * the paper, the LightningSimV2/FLASH FIFO-sizing workflow). The
+ * mechanism — constraint-checked incremental re-simulation — lives in
+ * OmniSim::resimulate(); this subsystem supplies the policy layer:
+ *
+ *  - a DseSpace describing which FIFOs to vary and over which depth
+ *    candidates (geometric ladders for broad searches, dense linear
+ *    ranges for sweeps);
+ *  - an EvalCache that memoizes every visited depth vector and serves
+ *    each new one by re-checking the recorded constraints of a pool of
+ *    previously completed full runs, falling back to a full OmniSim run
+ *    only on divergence (Table 6's fallback row) — the property that
+ *    makes a thousand-configuration search cost milliseconds;
+ *  - search strategies (src/dse/strategies.hh) that drive the cache,
+ *    fanning independent candidate evaluations across the src/batch/
+ *    worker pool while remaining bit-identical to a serial search;
+ *  - a DseReport carrying the Pareto frontier of (total buffer cost,
+ *    latency), the min-latency and knee-point configurations, and the
+ *    incremental-hit statistics the §7.2 evaluation reports.
+ */
+
+#ifndef OMNISIM_DSE_DSE_HH
+#define OMNISIM_DSE_DSE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/omnisim.hh"
+#include "design/frontend.hh"
+#include "runtime/result.hh"
+
+namespace omnisim::dse
+{
+
+/** One depth per FIFO of the design, indexed by FifoId. */
+using DepthVector = std::vector<std::uint32_t>;
+
+/** How an evaluation was obtained. */
+enum class EvalMethod : std::uint8_t
+{
+    FullRun,     ///< Fresh OmniSim run (constraints diverged or empty pool).
+    Incremental, ///< Served by resimulate() against a pooled prior run.
+};
+
+/** @return "full" or "incremental". */
+const char *evalMethodName(EvalMethod m);
+
+/** The outcome of simulating one depth configuration. */
+struct Evaluation
+{
+    DepthVector depths;
+
+    SimStatus status = SimStatus::Ok;
+
+    /** Total latency in cycles; valid when status == Ok. */
+    Cycles latency = 0;
+
+    /** Total buffer cost: the sum of every FIFO depth in the design,
+     *  a BRAM-words proxy (each slot stores one value). */
+    std::uint64_t cost = 0;
+
+    EvalMethod method = EvalMethod::FullRun;
+
+    /** Failure explanation when the engine threw (status == Crash). */
+    std::string message;
+
+    bool ok() const { return status == SimStatus::Ok; }
+};
+
+/** One explored axis: a named FIFO and its candidate depth range. */
+struct FifoRange
+{
+    std::string fifo;
+    std::uint32_t lo = 1;
+    std::uint32_t hi = 16;
+
+    /**
+     * Candidate spacing. Geometric (default) visits lo, 2·lo, 4·lo, ...
+     * plus hi — the right shape for order-of-magnitude sizing searches.
+     * Linear visits every integer in [lo, hi] — the right shape for
+     * exhaustive sweeps.
+     */
+    bool geometric = true;
+};
+
+/** Which FIFOs to explore. Empty == every FIFO with default FifoRange. */
+struct DseSpace
+{
+    std::vector<FifoRange> fifos;
+};
+
+/**
+ * A DseSpace resolved against a concrete design: explored axes mapped
+ * to FifoIds with concrete ascending candidate lists, plus the design's
+ * registered depth for every unexplored FIFO.
+ */
+struct ResolvedSpace
+{
+    /** FifoId of each explored axis, in the order the ranges were
+     *  given (reports and sweep tables preserve this order). */
+    std::vector<std::size_t> axes;
+
+    /** FIFO name of each axis (for reports). */
+    std::vector<std::string> names;
+
+    /** Ascending candidate depths per axis; never empty. */
+    std::vector<std::vector<std::uint32_t>> candidates;
+
+    /** Registered depth of every FIFO (the value unexplored FIFOs keep). */
+    DepthVector base;
+
+    /** @return base with every axis at its deepest candidate. */
+    DepthVector maxConfig() const;
+
+    /** @return base with the given candidate index per axis. */
+    DepthVector configOf(const std::vector<std::size_t> &idx) const;
+
+    /** @return the cross-product size, saturating at SIZE_MAX. */
+    std::size_t gridSize() const;
+};
+
+/**
+ * Resolve a space against a design.
+ * @throws FatalError on unknown FIFO names, empty ranges, or lo < 1.
+ */
+ResolvedSpace resolveSpace(const Design &d, const DseSpace &space);
+
+/**
+ * Memoizing evaluator for depth configurations. Thread-safe: strategy
+ * code may call evaluate() from any number of batch workers
+ * concurrently. Every configuration is first attempted incrementally
+ * against a bounded pool of engines holding completed full runs
+ * (resimulate() only reads recorded run state, so pool members serve
+ * many workers at once); a configuration all pool members refuse gets a
+ * fresh full run, which then joins the pool and seeds future reuse.
+ *
+ * Results are deterministic per depth vector — an incremental answer
+ * equals the full-run answer whenever reuse is legal, which is exactly
+ * the §7.2 constraint guarantee — so searches are bit-identical
+ * regardless of worker count or pool contents.
+ */
+class EvalCache
+{
+  public:
+    /**
+     * @param builder rebuilds the design from scratch (depth overrides
+     *        are applied on top for fallback full runs).
+     * @param opts    engine options for fallback full runs.
+     * @param maxPool cap on pooled full-run engines (each holds a
+     *        complete simulation graph; bounded to bound memory).
+     */
+    explicit EvalCache(std::function<Design()> builder,
+                       OmniSimOptions opts = {}, std::size_t maxPool = 4);
+    ~EvalCache();
+
+    EvalCache(const EvalCache &) = delete;
+    EvalCache &operator=(const EvalCache &) = delete;
+
+    /**
+     * Evaluate one configuration, memoized.
+     * @param depths one depth (>= 1) per design FIFO.
+     * @throws FatalError on a malformed depth vector.
+     */
+    Evaluation evaluate(const DepthVector &depths);
+
+    /** @return true when the configuration has already been evaluated. */
+    bool contains(const DepthVector &depths) const;
+
+    /** @return unique configurations evaluated so far. */
+    std::size_t size() const;
+
+    /** @return evaluations served by resimulate() reuse. */
+    std::size_t incrementalHits() const;
+
+    /** @return evaluations that needed a fresh full run. */
+    std::size_t fullRuns() const;
+
+    /** @return repeat evaluate() calls answered from the memo table. */
+    std::size_t cacheHits() const;
+
+    /** @return a snapshot of every unique evaluation (unspecified order). */
+    std::vector<Evaluation> evaluations() const;
+
+  private:
+    struct PoolEntry;
+
+    Evaluation computeFresh(const DepthVector &depths);
+
+    std::function<Design()> builder_;
+    OmniSimOptions opts_;
+    std::size_t maxPool_;
+    std::size_t fifoCount_;
+
+    mutable std::mutex mu_;
+    std::map<DepthVector, Evaluation> done_;
+    std::vector<std::unique_ptr<PoolEntry>> pool_;
+    std::size_t incrementalHits_ = 0;
+    std::size_t fullRuns_ = 0;
+    std::size_t cacheHits_ = 0;
+};
+
+/** Exploration configuration. */
+struct DseOptions
+{
+    /** Strategy name: grid, binary, greedy, or anneal. */
+    std::string strategy = "grid";
+
+    /** Maximum unique configurations to evaluate (full + incremental). */
+    std::size_t budget = 512;
+
+    /** Worker threads; 0 selects hardware_concurrency. */
+    unsigned jobs = 0;
+
+    /** PRNG seed for randomized strategies (simulated annealing). */
+    std::uint64_t seed = 1;
+
+    /** Explored FIFOs; empty == all FIFOs, default ranges. */
+    DseSpace space;
+
+    /** Engine options for fallback full runs. */
+    OmniSimOptions engine;
+};
+
+/** Everything a search produced. */
+struct DseReport
+{
+    std::string design;
+    std::string strategy;
+
+    /** Name of every design FIFO, indexed by FifoId. */
+    std::vector<std::string> fifoNames;
+
+    /** FifoId of each explored axis. */
+    std::vector<std::size_t> axes;
+
+    /** Every unique evaluation, sorted by (cost, latency, depths). */
+    std::vector<Evaluation> evaluations;
+
+    /**
+     * Pareto frontier over successful evaluations: ascending cost,
+     * strictly descending latency — no point is dominated.
+     */
+    std::vector<Evaluation> frontier;
+
+    /** True when at least one configuration simulated to completion. */
+    bool anyOk = false;
+
+    /** Min-latency configuration (lowest cost among ties); valid when
+     *  anyOk. */
+    Evaluation minLatency;
+
+    /** Knee of the frontier: the point nearest (after normalizing both
+     *  axes to [0,1]) the utopia point (min cost, min latency); valid
+     *  when anyOk. */
+    Evaluation knee;
+
+    std::size_t fullRuns = 0;
+    std::size_t incrementalHits = 0;
+    std::size_t cacheHits = 0;
+    unsigned jobs = 1;
+    double wallSeconds = 0.0;
+
+    /** @return fraction of unique evaluations served incrementally. */
+    double hitRate() const;
+
+    /** @return unique configurations per wall-clock second. */
+    double configsPerSecond() const;
+};
+
+/**
+ * Run one exploration: resolve the space, warm the cache with a full
+ * run of the deepest configuration, execute the strategy, and distill
+ * the report.
+ *
+ * @param designLabel report label for the design.
+ * @param builder     rebuilds the design from scratch.
+ * @throws FatalError on unknown strategy names or malformed spaces.
+ */
+DseReport explore(const std::string &designLabel,
+                  const std::function<Design()> &builder,
+                  const DseOptions &opts);
+
+/** explore() over a registered design (designs::findDesign). */
+DseReport exploreRegistered(const std::string &designName,
+                            const DseOptions &opts);
+
+} // namespace omnisim::dse
+
+#endif // OMNISIM_DSE_DSE_HH

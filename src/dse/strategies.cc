@@ -1,0 +1,391 @@
+#include "dse/strategies.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/logging.hh"
+#include "support/prng.hh"
+
+namespace omnisim::dse
+{
+
+// ---------------------------------------------------------------------------
+// SearchContext.
+// ---------------------------------------------------------------------------
+
+SearchContext::SearchContext(const ResolvedSpace &space, EvalCache &cache,
+                             const batch::BatchRunner &pool,
+                             std::size_t budget, std::uint64_t seed)
+    : space_(space), cache_(cache), pool_(pool), budget_(budget),
+      seed_(seed)
+{}
+
+std::size_t
+SearchContext::remaining() const
+{
+    const std::size_t used = cache_.size();
+    return used >= budget_ ? 0 : budget_ - used;
+}
+
+std::optional<Evaluation>
+SearchContext::evaluate(const DepthVector &depths)
+{
+    if (!cache_.contains(depths) && exhausted())
+        return std::nullopt;
+    return cache_.evaluate(depths);
+}
+
+std::vector<std::optional<Evaluation>>
+SearchContext::evaluateMany(const std::vector<DepthVector> &proposals)
+{
+    std::vector<std::optional<Evaluation>> out(proposals.size());
+
+    // Serial admission pass: decide — deterministically, before any
+    // parallel work — which proposals run. Cached configurations are
+    // free; unseen ones are admitted first-come until the budget is
+    // spent; duplicates of an admitted proposal are filled afterwards.
+    std::vector<std::size_t> run;
+    std::map<DepthVector, std::size_t> admitted;
+    std::size_t newAllowed = remaining();
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+        if (cache_.contains(proposals[i])) {
+            run.push_back(i);
+        } else if (const auto it = admitted.find(proposals[i]);
+                   it != admitted.end()) {
+            // duplicate of an admitted proposal: filled below
+        } else if (newAllowed > 0) {
+            --newAllowed;
+            admitted.emplace(proposals[i], i);
+            run.push_back(i);
+        }
+    }
+
+    pool_.forEachIndex(run.size(), [&](std::size_t k) {
+        out[run[k]] = cache_.evaluate(proposals[run[k]]);
+    });
+
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+        if (!out[i].has_value()) {
+            if (const auto it = admitted.find(proposals[i]);
+                it != admitted.end())
+                out[i] = out[it->second];
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// grid: exhaustive cross product in odometer order.
+// ---------------------------------------------------------------------------
+
+class GridStrategy final : public DseStrategy
+{
+  public:
+    const char *name() const override { return "grid"; }
+
+    void
+    search(SearchContext &ctx) override
+    {
+        const ResolvedSpace &sp = ctx.space();
+        if (sp.axes.empty())
+            return;
+
+        // Collect configurations in odometer order (last axis fastest)
+        // until the cross product or the budget is exhausted, then fan
+        // the whole wave across the pool: every candidate is
+        // independent, so the grid is embarrassingly parallel.
+        std::vector<std::size_t> idx(sp.axes.size(), 0);
+        std::vector<DepthVector> wave;
+        std::size_t allowed = ctx.remaining();
+        bool wrapped = false;
+        while (!wrapped && allowed > 0) {
+            wave.push_back(sp.configOf(idx));
+            --allowed;
+
+            std::size_t a = sp.axes.size();
+            while (a > 0) {
+                --a;
+                if (++idx[a] < sp.candidates[a].size())
+                    break;
+                idx[a] = 0;
+                wrapped = a == 0;
+            }
+        }
+        ctx.evaluateMany(wave);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// binary: per-FIFO binary search, all axes advanced in lockstep.
+// ---------------------------------------------------------------------------
+
+class BinarySearchStrategy final : public DseStrategy
+{
+  public:
+    const char *name() const override { return "binary"; }
+
+    void
+    search(SearchContext &ctx) override
+    {
+        const ResolvedSpace &sp = ctx.space();
+        if (sp.axes.empty())
+            return;
+        const std::optional<Evaluation> ref = ctx.evaluate(sp.maxConfig());
+        if (!ref || !ref->ok())
+            return; // no reference latency to preserve
+
+        // Per-axis bisection for the smallest candidate that keeps the
+        // reference latency while every other FIFO stays deepest. The
+        // axes advance in lockstep rounds — one probe per unfinished
+        // axis per round, evaluated as a parallel wave — so the probe
+        // sequence is deterministic for any worker count.
+        const std::size_t n = sp.axes.size();
+        std::vector<std::size_t> lo(n, 0), hi(n), minimal(n);
+        std::vector<bool> active(n, true);
+        for (std::size_t a = 0; a < n; ++a) {
+            hi[a] = sp.candidates[a].size() - 1;
+            minimal[a] = hi[a];
+        }
+
+        for (;;) {
+            std::vector<std::size_t> axesInRound;
+            std::vector<DepthVector> wave;
+            for (std::size_t a = 0; a < n; ++a) {
+                if (!active[a] || lo[a] > hi[a]) {
+                    active[a] = false;
+                    continue;
+                }
+                DepthVector cfg = sp.maxConfig();
+                cfg[sp.axes[a]] =
+                    sp.candidates[a][lo[a] + (hi[a] - lo[a]) / 2];
+                axesInRound.push_back(a);
+                wave.push_back(std::move(cfg));
+            }
+            if (wave.empty())
+                break;
+
+            const auto results = ctx.evaluateMany(wave);
+            for (std::size_t k = 0; k < axesInRound.size(); ++k) {
+                const std::size_t a = axesInRound[k];
+                const std::size_t mid = lo[a] + (hi[a] - lo[a]) / 2;
+                if (!results[k].has_value()) {
+                    active[a] = false; // budget exhausted: keep best
+                    continue;
+                }
+                if (results[k]->ok() &&
+                    results[k]->latency <= ref->latency) {
+                    minimal[a] = mid;
+                    if (mid == 0)
+                        active[a] = false;
+                    else
+                        hi[a] = mid - 1;
+                } else {
+                    lo[a] = mid + 1;
+                }
+            }
+        }
+
+        // The jointly minimal configuration — per-axis minima can
+        // interact, so it is evaluated rather than assumed optimal; it
+        // lands in the report either way.
+        ctx.evaluate(sp.configOf(minimal));
+    }
+};
+
+// ---------------------------------------------------------------------------
+// greedy: coordinate descent from the deepest configuration.
+// ---------------------------------------------------------------------------
+
+class GreedyStrategy final : public DseStrategy
+{
+  public:
+    const char *name() const override { return "greedy"; }
+
+    void
+    search(SearchContext &ctx) override
+    {
+        const ResolvedSpace &sp = ctx.space();
+        if (sp.axes.empty())
+            return;
+        std::optional<Evaluation> curEval = ctx.evaluate(sp.maxConfig());
+        if (!curEval || !curEval->ok())
+            return;
+
+        const std::size_t n = sp.axes.size();
+        std::vector<std::size_t> cur(n);
+        for (std::size_t a = 0; a < n; ++a)
+            cur[a] = sp.candidates[a].size() - 1;
+
+        while (!ctx.exhausted()) {
+            // Every single-axis one-step move (shrink listed before
+            // grow, axes ascending — the deterministic tie-break
+            // order), evaluated as one parallel wave.
+            std::vector<std::vector<std::size_t>> moves;
+            std::vector<DepthVector> wave;
+            for (std::size_t a = 0; a < n; ++a) {
+                for (const int dir : {-1, +1}) {
+                    if (dir < 0 && cur[a] == 0)
+                        continue;
+                    if (dir > 0 && cur[a] + 1 >= sp.candidates[a].size())
+                        continue;
+                    std::vector<std::size_t> idx = cur;
+                    idx[a] = cur[a] + dir;
+                    wave.push_back(sp.configOf(idx));
+                    moves.push_back(std::move(idx));
+                }
+            }
+            if (wave.empty())
+                break;
+
+            const auto results = ctx.evaluateMany(wave);
+            std::size_t best = moves.size();
+            for (std::size_t k = 0; k < moves.size(); ++k) {
+                if (!results[k].has_value() || !results[k]->ok())
+                    continue;
+                if (!lexBetter(*results[k], *curEval))
+                    continue;
+                if (best == moves.size() ||
+                    lexBetter(*results[k], *results[best]))
+                    best = k;
+            }
+            if (best == moves.size())
+                break; // local optimum
+            cur = moves[best];
+            curEval = results[best];
+        }
+    }
+
+  private:
+    /** a strictly better than b on (latency, cost), lexicographically. */
+    static bool
+    lexBetter(const Evaluation &a, const Evaluation &b)
+    {
+        if (a.latency != b.latency)
+            return a.latency < b.latency;
+        return a.cost < b.cost;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// anneal: seeded simulated annealing with speculative proposal batches.
+// ---------------------------------------------------------------------------
+
+class AnnealStrategy final : public DseStrategy
+{
+  public:
+    const char *name() const override { return "anneal"; }
+
+    void
+    search(SearchContext &ctx) override
+    {
+        const ResolvedSpace &sp = ctx.space();
+        if (sp.axes.empty())
+            return;
+        const std::optional<Evaluation> start =
+            ctx.evaluate(sp.maxConfig());
+        if (!start || !start->ok())
+            return;
+
+        const std::size_t n = sp.axes.size();
+        std::vector<std::size_t> cur(n);
+        std::uint64_t maxCost = 0;
+        for (std::size_t a = 0; a < n; ++a) {
+            cur[a] = sp.candidates[a].size() - 1;
+            maxCost += sp.candidates[a].back();
+        }
+        for (const std::uint32_t d : sp.base)
+            maxCost += d;
+
+        // Scalarized energy: latency lexicographically dominates cost,
+        // so the chain is drawn toward min-latency configurations and
+        // uses cost only to order latency ties.
+        const double latW = static_cast<double>(maxCost) + 1.0;
+        const auto energy = [&](const Evaluation &e) {
+            if (!e.ok()) // deadlocks etc.: worse than any Ok energy,
+                return 1e200; // finite so bad->bad moves still random-walk
+            return static_cast<double>(e.latency) * latW +
+                   static_cast<double>(e.cost);
+        };
+
+        Prng prng(ctx.seed());
+        double curE = energy(*start);
+        double temp = std::max(1.0, 0.05 * curE);
+        constexpr double kCooling = 0.90;
+        constexpr std::size_t kChainWidth = 8;
+
+        while (!ctx.exhausted()) {
+            // Speculative batch: kChainWidth proposals perturbed from
+            // the round-start state, with their acceptance draws taken
+            // up front. All PRNG consumption is serial and
+            // independent of evaluation timing, so a fixed seed yields
+            // one trajectory for any worker count.
+            std::vector<std::vector<std::size_t>> props;
+            std::vector<DepthVector> wave;
+            std::vector<double> draws;
+            for (std::size_t p = 0; p < kChainWidth; ++p) {
+                std::vector<std::size_t> idx = cur;
+                const std::size_t kicks = 1 + prng.below(2);
+                for (std::size_t k = 0; k < kicks; ++k) {
+                    const std::size_t a = prng.below(n);
+                    const std::int64_t step =
+                        prng.range(1, 2) * (prng.chance(0.5) ? 1 : -1);
+                    const std::int64_t moved =
+                        static_cast<std::int64_t>(idx[a]) + step;
+                    const auto last = static_cast<std::int64_t>(
+                        sp.candidates[a].size() - 1);
+                    idx[a] = static_cast<std::size_t>(
+                        std::clamp<std::int64_t>(moved, 0, last));
+                }
+                wave.push_back(sp.configOf(idx));
+                props.push_back(std::move(idx));
+                draws.push_back(prng.uniform());
+            }
+
+            const auto results = ctx.evaluateMany(wave);
+            bool any = false;
+            for (std::size_t p = 0; p < props.size(); ++p) {
+                if (!results[p].has_value())
+                    continue;
+                any = true;
+                const double dE = energy(*results[p]) - curE;
+                if (dE <= 0.0 || draws[p] < std::exp(-dE / temp)) {
+                    cur = props[p];
+                    curE = energy(*results[p]);
+                }
+            }
+            if (!any)
+                break; // budget exhausted mid-wave
+            temp = std::max(1.0, temp * kCooling);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<DseStrategy>
+makeStrategy(const std::string &name)
+{
+    if (name == "grid")
+        return std::make_unique<GridStrategy>();
+    if (name == "binary")
+        return std::make_unique<BinarySearchStrategy>();
+    if (name == "greedy")
+        return std::make_unique<GreedyStrategy>();
+    if (name == "anneal")
+        return std::make_unique<AnnealStrategy>();
+    return nullptr;
+}
+
+const std::vector<std::string> &
+strategyNames()
+{
+    static const std::vector<std::string> names = {"grid", "binary",
+                                                   "greedy", "anneal"};
+    return names;
+}
+
+} // namespace omnisim::dse

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Search strategies for the DSE engine. Each strategy walks the joint
+ * depth lattice described by a ResolvedSpace, requesting evaluations
+ * through a SearchContext that memoizes configurations (EvalCache),
+ * enforces the evaluation budget, and fans independent candidates
+ * across the src/batch/ worker pool.
+ *
+ * Determinism contract: a strategy must produce the same set of
+ * evaluated configurations for a fixed (space, budget, seed) regardless
+ * of the worker count. The pattern every strategy follows is
+ * generate-serially / evaluate-in-parallel / decide-serially: proposal
+ * lists and PRNG draws happen on the driving thread, only the (pure,
+ * memoized) evaluations run concurrently.
+ */
+
+#ifndef OMNISIM_DSE_STRATEGIES_HH
+#define OMNISIM_DSE_STRATEGIES_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hh"
+#include "dse/dse.hh"
+
+namespace omnisim::dse
+{
+
+/**
+ * The facility a strategy drives. Budget accounting: a configuration
+ * counts against the budget the first time it is evaluated; re-visits
+ * are free. Once the budget is exhausted, requests for unseen
+ * configurations return nullopt and the strategy should wind down.
+ */
+class SearchContext
+{
+  public:
+    SearchContext(const ResolvedSpace &space, EvalCache &cache,
+                  const batch::BatchRunner &pool, std::size_t budget,
+                  std::uint64_t seed);
+
+    const ResolvedSpace &space() const { return space_; }
+
+    /** Seed for randomized strategies. */
+    std::uint64_t seed() const { return seed_; }
+
+    /** @return unseen configurations the budget still allows. */
+    std::size_t remaining() const;
+
+    bool exhausted() const { return remaining() == 0; }
+
+    /**
+     * Evaluate one configuration in the calling thread.
+     * @return nullopt when the configuration is unseen and the budget
+     *         is exhausted.
+     */
+    std::optional<Evaluation> evaluate(const DepthVector &depths);
+
+    /**
+     * Evaluate a proposal batch across the worker pool. The result
+     * vector parallels the proposals; entries refused by the budget are
+     * nullopt. Duplicate proposals cost budget once. The set of
+     * configurations evaluated depends only on the proposal list and
+     * prior cache state — never on the worker count.
+     */
+    std::vector<std::optional<Evaluation>>
+    evaluateMany(const std::vector<DepthVector> &proposals);
+
+  private:
+    const ResolvedSpace &space_;
+    EvalCache &cache_;
+    const batch::BatchRunner &pool_;
+    std::size_t budget_;
+    std::uint64_t seed_;
+};
+
+/** Interface every search strategy implements. */
+class DseStrategy
+{
+  public:
+    virtual ~DseStrategy() = default;
+
+    /** Stable CLI-facing name ("grid", "binary", ...). */
+    virtual const char *name() const = 0;
+
+    /** Drive the search until done or the budget runs out. */
+    virtual void search(SearchContext &ctx) = 0;
+};
+
+/**
+ * @return the named strategy, or nullptr when the name is unknown.
+ *
+ * grid    exhaustive cross product of the candidate lists, in odometer
+ *         order, truncated by the budget.
+ * binary  per-FIFO binary search (LightningSimV2-style sizing): find
+ *         the smallest candidate per axis that preserves the deepest
+ *         configuration's latency, all axes searched in parallel
+ *         lockstep, then evaluate the combined minimal configuration.
+ * greedy  coordinate descent from the deepest configuration: each round
+ *         evaluates every single-axis one-step move in parallel and
+ *         takes the best (latency, cost)-lexicographic improvement.
+ * anneal  seeded simulated annealing over the candidate lattice with
+ *         speculative proposal batches (support/prng.hh; no wall-clock
+ *         randomness, deterministic for a fixed seed).
+ */
+std::unique_ptr<DseStrategy> makeStrategy(const std::string &name);
+
+/** @return every strategy name makeStrategy accepts. */
+const std::vector<std::string> &strategyNames();
+
+} // namespace omnisim::dse
+
+#endif // OMNISIM_DSE_STRATEGIES_HH

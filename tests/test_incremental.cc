@@ -123,6 +123,59 @@ TEST(Incremental, ConstraintsAreRecorded)
     EXPECT_TRUE(saw_write);
 }
 
+TEST(Incremental, SimultaneousMultiFifoChangesMatchFullRuns)
+{
+    // Changing every FIFO depth at once (the shape a joint DSE search
+    // produces) must be exactly as accurate as single-FIFO changes:
+    // wherever reuse is granted the re-finalized cycles equal a fresh
+    // full run, and the functional outputs are untouched.
+    Compiled c("reconvergent");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+
+    std::size_t reused = 0;
+    for (const std::vector<std::uint32_t> &cfg :
+         {std::vector<std::uint32_t>{1, 1, 1, 1},
+          std::vector<std::uint32_t>{16, 1, 8, 2},
+          std::vector<std::uint32_t>{2, 16, 1, 16},
+          std::vector<std::uint32_t>{5, 3, 7, 2}}) {
+        const IncrementalOutcome inc = engine.resimulate(cfg);
+        const SimResult full = fullRun("reconvergent", cfg);
+        ASSERT_EQ(full.status, SimStatus::Ok);
+        if (!inc.reused)
+            continue;
+        ++reused;
+        EXPECT_EQ(inc.result.totalCycles, full.totalCycles);
+        EXPECT_EQ(inc.result.memories, full.memories);
+    }
+    // A blocking-only design records no queries, so every feasible
+    // depth vector must reuse.
+    EXPECT_EQ(reused, 4u);
+}
+
+TEST(Incremental, MultiFifoDivergenceFallbackMatchesFreshRun)
+{
+    // Type C: a joint depth change that flips a recorded NB outcome is
+    // refused, and the Table 6 fallback — a fresh full run — is the
+    // ground truth the DSE EvalCache substitutes. Two independent full
+    // runs of the same configuration must agree bit-for-bit, so the
+    // fallback is deterministic.
+    Compiled c("fig4_ex5");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+
+    const std::vector<std::uint32_t> cfg{100, 50};
+    const IncrementalOutcome inc = engine.resimulate(cfg);
+    EXPECT_FALSE(inc.reused);
+    EXPECT_NE(inc.reason.find("constraint violated"), std::string::npos);
+
+    const SimResult a = fullRun("fig4_ex5", cfg);
+    const SimResult b = fullRun("fig4_ex5", cfg);
+    ASSERT_EQ(a.status, SimStatus::Ok);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.memories, b.memories);
+}
+
 TEST(Incremental, ShrinkingDepthTowardDeadlockIsRefused)
 {
     // A design whose recorded schedule becomes infeasible (timing cycle)

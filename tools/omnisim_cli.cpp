@@ -1,21 +1,29 @@
 /**
  * @file
  * Command-line driver: run any registered benchmark design under any
- * engine, inspect its taxonomy, or sweep FIFO depths.
+ * engine, inspect its taxonomy, sweep FIFO depths, or explore the joint
+ * FIFO depth space with the DSE engine.
  *
  * Usage:
  *   omnisim_cli list
  *   omnisim_cli info    <design>
  *   omnisim_cli run     <design> [--engine csim|cosim|lightning|omnisim]
  *                                [--depth FIFO=N]... [--lazy] [--rtl-cost]
- *   omnisim_cli sweep   <design> --fifo NAME --from A --to B [--jobs N]
+ *   omnisim_cli sweep   <design> (--fifo NAME [--from A] [--to B])...
+ *                                [--jobs N]
+ *   omnisim_cli dse     <design> [--strategy grid|binary|greedy|anneal]
+ *                                [--budget N] [--jobs N] [--seed N]
+ *                                (--fifo NAME [--from A] [--to B])...
+ *                                [--linear] [--csv]
  *   omnisim_cli batch   [--jobs N] [--engines csim,cosim,lightning,omnisim]
  *                       [--seeds K] [--designs a,b,...]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -29,6 +37,8 @@
 #include "design/dot.hh"
 #include "design/frontend.hh"
 #include "designs/common.hh"
+#include "dse/dse.hh"
+#include "dse/strategies.hh"
 #include "lightningsim/lightningsim.hh"
 #include "support/stopwatch.hh"
 #include "support/table.hh"
@@ -48,13 +58,55 @@ usage()
                  "  omnisim_cli run <design> [--engine csim|cosim|"
                  "lightning|omnisim] [--depth FIFO=N]... [--lazy] "
                  "[--rtl-cost]\n"
-                 "  omnisim_cli sweep <design> --fifo NAME --from A "
-                 "--to B [--jobs N]\n"
+                 "  omnisim_cli sweep <design> (--fifo NAME [--from A] "
+                 "[--to B])... [--jobs N]\n"
+                 "  omnisim_cli dse <design> [--strategy grid|binary|"
+                 "greedy|anneal] [--budget N]\n"
+                 "                  [--jobs N] [--seed N] (--fifo NAME "
+                 "[--from A] [--to B])...\n"
+                 "                  [--linear] [--csv]\n"
                  "  omnisim_cli batch [--jobs N] [--engines "
                  "csim,cosim,lightning,omnisim] [--seeds K] "
                  "[--designs a,b,...]\n"
                  "  omnisim_cli dot <design>\n");
     return 2;
+}
+
+/** Malformed command line (exit 2), as opposed to a FatalError from a
+ *  bad design/FIFO name (exit 1). */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Parse an unsigned integer CLI argument value, uniformly. Every
+ * numeric flag goes through here so range violations and junk input
+ * produce one error shape instead of a raw std::stoul throw.
+ *
+ * @throws UsageError when text is not an integer in [min, max].
+ */
+std::uint64_t
+parseUnsigned(const char *flag, const std::string &text, std::uint64_t min,
+              std::uint64_t max)
+{
+    std::uint64_t v = 0;
+    bool bad = text.empty() || text[0] == '-';
+    if (!bad) {
+        try {
+            std::size_t pos = 0;
+            v = std::stoull(text, &pos);
+            bad = pos != text.size();
+        } catch (const std::exception &) {
+            bad = true;
+        }
+    }
+    if (bad || v < min || v > max)
+        throw UsageError(
+            strf("%s expects an integer in [%llu, %llu], got '%s'", flag,
+                 static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max), text.c_str()));
+    return v;
 }
 
 int
@@ -149,8 +201,8 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
                 return usage();
             depths.emplace_back(
                 spec.substr(0, eq),
-                static_cast<std::uint32_t>(
-                    std::stoul(spec.substr(eq + 1))));
+                static_cast<std::uint32_t>(parseUnsigned(
+                    "--depth", spec.substr(eq + 1), 1, 1u << 20)));
         } else {
             return usage();
         }
@@ -183,91 +235,231 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
     return r.status == SimStatus::Ok ? 0 : 1;
 }
 
+/**
+ * Parse a "--fifo NAME [--from A] [--to B]" flag group into a FifoRange
+ * appended to out. i points at "--fifo"; advanced past the group.
+ * @return false on malformed input (flag without a value, or --from /
+ *         --to before any --fifo is meaningless and caught by caller).
+ */
+bool
+parseFifoGroup(const std::vector<std::string> &args, std::size_t &i,
+               std::vector<dse::FifoRange> &out)
+{
+    if (i + 1 >= args.size())
+        return false;
+    dse::FifoRange r;
+    r.fifo = args[++i];
+    while (i + 1 < args.size()) {
+        if (args[i + 1] == "--from" && i + 2 < args.size()) {
+            r.lo = static_cast<std::uint32_t>(
+                parseUnsigned("--from", args[i + 2], 1, 1u << 20));
+            i += 2;
+        } else if (args[i + 1] == "--to" && i + 2 < args.size()) {
+            r.hi = static_cast<std::uint32_t>(
+                parseUnsigned("--to", args[i + 2], 1, 1u << 20));
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    if (r.hi < r.lo)
+        throw UsageError(strf("--fifo %s: --from %u exceeds --to %u",
+                              r.fifo.c_str(), r.lo, r.hi));
+    out.push_back(std::move(r));
+    return true;
+}
+
+/** "fast=4 slow=2 ..." for the explored axes of one evaluation. */
+std::string
+axisDepths(const dse::DseReport &rep, const dse::Evaluation &e)
+{
+    std::string s;
+    for (std::size_t a = 0; a < rep.axes.size(); ++a) {
+        if (!s.empty())
+            s += ' ';
+        s += strf("%s=%u", rep.fifoNames[rep.axes[a]].c_str(),
+                  e.depths[rep.axes[a]]);
+    }
+    return s;
+}
+
 int
 cmdSweep(const std::string &name, const std::vector<std::string> &args)
 {
-    std::string fifo;
-    std::uint32_t from = 1;
-    std::uint32_t to = 16;
+    // Each "--fifo NAME [--from A] [--to B]" group adds one swept axis;
+    // the cross product of all groups runs through the DSE grid
+    // strategy, whose EvalCache serves every configuration by §7.2
+    // incremental re-simulation first and fans the divergent full
+    // re-runs across the batch worker pool.
+    std::vector<dse::FifoRange> groups;
     unsigned jobs = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == "--fifo" && i + 1 < args.size())
-            fifo = args[++i];
-        else if (args[i] == "--from" && i + 1 < args.size())
-            from = static_cast<std::uint32_t>(std::stoul(args[++i]));
-        else if (args[i] == "--to" && i + 1 < args.size())
-            to = static_cast<std::uint32_t>(std::stoul(args[++i]));
-        else if (args[i] == "--jobs" && i + 1 < args.size())
-            jobs = static_cast<unsigned>(std::stoul(args[++i]));
-        else
+        if (args[i] == "--fifo") {
+            if (!parseFifoGroup(args, i, groups))
+                return usage();
+        } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+            jobs = static_cast<unsigned>(
+                parseUnsigned("--jobs", args[++i], 0, 4096));
+        } else {
             return usage();
+        }
     }
-    if (fifo.empty() || from < 1 || to < from)
+    if (groups.empty())
         return usage();
 
-    // One full run records the graph; each depth tries incremental
-    // re-simulation first (§7.2). Depths whose constraints diverge need a
-    // full re-run — those are independent simulations, so they are fanned
-    // out across the batch worker pool instead of run one by one.
-    Design base = designs::findDesign(name).build();
-    const FifoId target = base.fifoByName(fifo);
-    const CompiledDesign cd = compile(base);
-    OmniSim eng(cd);
-    const SimResult first = eng.run();
-    if (first.status != SimStatus::Ok) {
-        std::printf("baseline run: %s\n", simStatusName(first.status));
+    dse::DseOptions opts;
+    opts.strategy = "grid";
+    opts.jobs = jobs;
+    opts.budget = 1;
+    for (auto &g : groups) {
+        g.geometric = false; // sweeps are exhaustive: every depth
+        opts.budget *= g.hi - g.lo + 1;
+    }
+    opts.space.fifos = groups;
+
+    const dse::DseReport rep = dse::exploreRegistered(name, opts);
+
+    std::vector<std::string> headers;
+    for (const std::size_t a : rep.axes)
+        headers.push_back(rep.fifoNames[a]);
+    headers.push_back("Cycles");
+    headers.push_back("Method");
+
+    // Rows in odometer order of the swept depths (first --fifo slowest).
+    std::vector<dse::Evaluation> rows = rep.evaluations;
+    std::sort(rows.begin(), rows.end(),
+              [&](const dse::Evaluation &x, const dse::Evaluation &y) {
+                  for (const std::size_t a : rep.axes) {
+                      if (x.depths[a] != y.depths[a])
+                          return x.depths[a] < y.depths[a];
+                  }
+                  return false;
+              });
+
+    bool anyCrash = false;
+    TablePrinter t(headers);
+    for (const auto &e : rows) {
+        std::vector<std::string> cells;
+        for (const std::size_t a : rep.axes)
+            cells.push_back(strf("%u", e.depths[a]));
+        if (e.ok()) {
+            cells.push_back(
+                strf("%llu", static_cast<unsigned long long>(e.latency)));
+        } else if (e.status == SimStatus::Crash && !e.message.empty()) {
+            anyCrash = true;
+            cells.push_back(e.message);
+        } else {
+            anyCrash |= e.status == SimStatus::Crash;
+            cells.push_back(simStatusName(e.status));
+        }
+        cells.push_back(e.method == dse::EvalMethod::Incremental
+                            ? "incremental"
+                            : "full re-run");
+        t.addRow(std::move(cells));
+    }
+    t.print(std::cout);
+    std::printf("%zu configurations: %zu incremental, %zu full re-runs "
+                "across %u jobs in %.3f s (%.1f configs/s)\n",
+                rep.evaluations.size(), rep.incrementalHits, rep.fullRuns,
+                rep.jobs, rep.wallSeconds, rep.configsPerSecond());
+    // Non-Ok engine statuses at some depths (deadlocks) are normal
+    // sweep outcomes, but a sweep where nothing completes — or where a
+    // configuration crashed the build/compile/engine — is a failure.
+    return anyCrash || !rep.anyOk ? 1 : 0;
+}
+
+int
+cmdDse(const std::string &name, const std::vector<std::string> &args)
+{
+    dse::DseOptions opts;
+    bool linear = false;
+    bool csv = false;
+    std::vector<dse::FifoRange> groups;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--strategy" && i + 1 < args.size()) {
+            opts.strategy = args[++i];
+        } else if (args[i] == "--budget" && i + 1 < args.size()) {
+            opts.budget = static_cast<std::size_t>(
+                parseUnsigned("--budget", args[++i], 1, 1u << 24));
+        } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+            opts.jobs = static_cast<unsigned>(
+                parseUnsigned("--jobs", args[++i], 0, 4096));
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            opts.seed = parseUnsigned("--seed", args[++i], 0,
+                                      std::numeric_limits<
+                                          std::uint64_t>::max());
+        } else if (args[i] == "--fifo") {
+            if (!parseFifoGroup(args, i, groups))
+                return usage();
+        } else if (args[i] == "--linear") {
+            linear = true;
+        } else if (args[i] == "--csv") {
+            csv = true;
+        } else {
+            return usage();
+        }
+    }
+    for (auto &g : groups)
+        g.geometric = !linear;
+    opts.space.fifos = groups; // empty == every FIFO, geometric 1..16
+
+    const dse::DseReport rep = dse::exploreRegistered(name, opts);
+
+    if (csv) {
+        std::string header;
+        for (const std::size_t a : rep.axes)
+            header += rep.fifoNames[a] + ",";
+        std::printf("%scost,cycles,status,method,pareto\n",
+                    header.c_str());
+        for (const auto &e : rep.evaluations) {
+            const bool onFront =
+                std::find_if(rep.frontier.begin(), rep.frontier.end(),
+                             [&](const dse::Evaluation &f) {
+                                 return f.depths == e.depths;
+                             }) != rep.frontier.end();
+            std::string row;
+            for (const std::size_t a : rep.axes)
+                row += strf("%u,", e.depths[a]);
+            std::printf("%s%llu,%llu,%s,%s,%d\n", row.c_str(),
+                        static_cast<unsigned long long>(e.cost),
+                        static_cast<unsigned long long>(e.latency),
+                        simStatusName(e.status),
+                        evalMethodName(e.method), onFront ? 1 : 0);
+        }
+        return rep.anyOk ? 0 : 1;
+    }
+
+    std::printf("design    : %s\n", rep.design.c_str());
+    std::printf("strategy  : %s (seed %llu)\n", rep.strategy.c_str(),
+                static_cast<unsigned long long>(opts.seed));
+    std::printf("evaluated : %zu configs — %zu full runs, %zu "
+                "incremental (%.1f%% incremental), %zu memo re-hits\n",
+                rep.evaluations.size(), rep.fullRuns,
+                rep.incrementalHits, rep.hitRate() * 100.0,
+                rep.cacheHits);
+    std::printf("wall      : %.3f s (%.1f configs/s, %u jobs)\n\n",
+                rep.wallSeconds, rep.configsPerSecond(), rep.jobs);
+
+    if (!rep.anyOk) {
+        std::printf("no configuration simulated to completion\n");
         return 1;
     }
 
-    std::map<std::uint32_t, Cycles> incremental;
-    std::vector<batch::Scenario> fallback;
-    for (std::uint32_t depth = from; depth <= to; ++depth) {
-        std::vector<std::uint32_t> ds;
-        for (const auto &f : base.fifos())
-            ds.push_back(f.depth);
-        ds[static_cast<std::size_t>(target)] = depth;
-        const IncrementalOutcome inc = eng.resimulate(ds);
-        if (inc.reused) {
-            incremental.emplace(depth, inc.result.totalCycles);
-            continue;
-        }
-        batch::Scenario s;
-        s.design = name;
-        s.depths.push_back({fifo, depth});
-        fallback.push_back(std::move(s));
-    }
-    const batch::BatchReport rep =
-        batch::BatchRunner({jobs}).run(fallback);
-
-    TablePrinter t({"Depth", "Cycles", "Method"});
-    std::size_t fb = 0;
-    for (std::uint32_t depth = from; depth <= to; ++depth) {
-        if (const auto it = incremental.find(depth);
-            it != incremental.end()) {
-            t.addRow({strf("%u", depth),
-                      strf("%llu", static_cast<unsigned long long>(
-                                       it->second)),
-                      "incremental"});
-            continue;
-        }
-        const batch::ScenarioOutcome &o = rep.outcomes[fb++];
-        t.addRow({strf("%u", depth),
-                  o.ok() ? strf("%llu", static_cast<unsigned long long>(
-                                    o.result.totalCycles))
-                         : (o.failed ? o.error.c_str()
-                                     : simStatusName(o.result.status)),
-                  "full re-run"});
-    }
+    TablePrinter t({"Cost", "Cycles", "Depths", "Method"});
+    for (const auto &e : rep.frontier)
+        t.addRow({strf("%llu", static_cast<unsigned long long>(e.cost)),
+                  strf("%llu", static_cast<unsigned long long>(e.latency)),
+                  axisDepths(rep, e), evalMethodName(e.method)});
     t.print(std::cout);
-    if (!fallback.empty())
-        std::printf("full re-runs: %zu across %u jobs in %.3f s "
-                    "(%.1f sims/s)\n",
-                    fallback.size(), rep.jobs, rep.wallSeconds,
-                    rep.throughput());
-    // A fallback run that never produced an engine result (unknown
-    // FIFO, engine exception) is an error; non-Ok engine statuses at
-    // some depths are normal sweep outcomes.
-    return rep.failedCount() == 0 ? 0 : 1;
+    std::printf("\nmin-latency : cost=%llu cycles=%llu  %s\n",
+                static_cast<unsigned long long>(rep.minLatency.cost),
+                static_cast<unsigned long long>(rep.minLatency.latency),
+                axisDepths(rep, rep.minLatency).c_str());
+    std::printf("knee        : cost=%llu cycles=%llu  %s\n",
+                static_cast<unsigned long long>(rep.knee.cost),
+                static_cast<unsigned long long>(rep.knee.latency),
+                axisDepths(rep, rep.knee).c_str());
+    return 0;
 }
 
 /** Split "a,b,c" into its comma-separated parts. */
@@ -298,9 +490,11 @@ cmdBatch(const std::vector<std::string> &args)
     std::vector<std::string> only;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--jobs" && i + 1 < args.size()) {
-            jobs = static_cast<unsigned>(std::stoul(args[++i]));
+            jobs = static_cast<unsigned>(
+                parseUnsigned("--jobs", args[++i], 0, 4096));
         } else if (args[i] == "--seeds" && i + 1 < args.size()) {
-            seeds = static_cast<unsigned>(std::stoul(args[++i]));
+            seeds = static_cast<unsigned>(
+                parseUnsigned("--seeds", args[++i], 1, 1u << 20));
         } else if (args[i] == "--engines" && i + 1 < args.size()) {
             for (const std::string &n : splitList(args[++i])) {
                 batch::EngineKind e;
@@ -379,19 +573,18 @@ main(int argc, char **argv)
             return cmdSweep(rest[0],
                             {rest.begin() + 1, rest.end()});
         }
+        if (cmd == "dse" && !rest.empty()) {
+            return cmdDse(rest[0],
+                          {rest.begin() + 1, rest.end()});
+        }
         if (cmd == "batch")
             return cmdBatch(rest);
+    } catch (const UsageError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
-    } catch (const std::invalid_argument &) {
-        std::fprintf(stderr, "error: expected a number in an argument "
-                             "value\n");
-        return 2;
-    } catch (const std::out_of_range &) {
-        std::fprintf(stderr, "error: numeric argument value out of "
-                             "range\n");
-        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
