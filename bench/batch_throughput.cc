@@ -31,8 +31,7 @@ main(int argc, char **argv)
     std::vector<unsigned> jobsList;
     if (argc > 1) {
         for (int i = 1; i < argc; ++i)
-            jobsList.push_back(
-                static_cast<unsigned>(std::strtoul(argv[i], nullptr, 10)));
+            jobsList.push_back(parseArgU32("jobs", argv[i], 4096));
     } else {
         const unsigned hw =
             std::max(1u, std::thread::hardware_concurrency());

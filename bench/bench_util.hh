@@ -7,8 +7,12 @@
 #ifndef OMNISIM_BENCH_BENCH_UTIL_HH
 #define OMNISIM_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "core/omnisim.hh"
 #include "cosim/cosim.hh"
@@ -21,6 +25,25 @@
 
 namespace omnisim::bench
 {
+
+/**
+ * Checked unsigned argv value for bench harnesses: exit 2 on junk or
+ * out-of-range input rather than a silent strtoul truncation into the
+ * 32-bit destination (the CLI's parseUnsigned/parseU32 equivalent for
+ * binaries without a UsageError path).
+ */
+inline std::uint32_t
+parseArgU32(const char *flag, const char *text, unsigned long long max)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || v > max) {
+        std::fprintf(stderr, "%s expects an integer in [0, %llu], got "
+                     "'%s'\n", flag, max, text);
+        std::exit(2);
+    }
+    return static_cast<std::uint32_t>(v);
+}
 
 /** Format seconds with sensible units. */
 inline std::string
@@ -79,6 +102,131 @@ describeRun(const SimResult &r)
     }
     return out;
 }
+
+/**
+ * Minimal JSON document builder for the machine-readable BENCH_*.json
+ * files every harness emits alongside its human-readable table, so CI
+ * can track the performance trajectory. Values are appended in call
+ * order; the builder inserts commas and closes scopes. No dependency,
+ * no escaping beyond the characters bench output actually uses.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() { out_ += '{'; }
+
+    JsonWriter &
+    key(const std::string &k)
+    {
+        comma();
+        out_ += quote(k) + ":";
+        fresh_ = true;
+        return *this;
+    }
+
+    JsonWriter &str(const std::string &v) { return raw(quote(v)); }
+
+    /** Non-finite doubles (a zero-wall-clock division) become 0 —
+     *  bare `inf`/`nan` tokens are not valid JSON. */
+    JsonWriter &
+    num(double v)
+    {
+        return raw(std::isfinite(v) ? strf("%.6g", v) : "0");
+    }
+
+    /** Any integral count (size_t, uint64_t, unsigned, ...). */
+    template <typename Int,
+              typename = std::enable_if_t<std::is_integral_v<Int>>>
+    JsonWriter &
+    num(Int v)
+    {
+        return raw(strf("%llu", static_cast<unsigned long long>(v)));
+    }
+
+    JsonWriter &boolean(bool v) { return raw(v ? "true" : "false"); }
+
+    JsonWriter &beginObject() { return open('{'); }
+    JsonWriter &endObject() { return close('}'); }
+    JsonWriter &beginArray() { return open('['); }
+    JsonWriter &endArray() { return close(']'); }
+
+    /** Close the top-level object and return the document. */
+    std::string
+    finish()
+    {
+        out_ += '}';
+        return out_;
+    }
+
+    /** finish() into a file; reports success on stdout for CI logs. */
+    bool
+    writeFile(const std::string &path)
+    {
+        const std::string doc = finish();
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fputs(doc.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string q = "\"";
+        for (const char c : s) {
+            if (c == '"' || c == '\\')
+                q += '\\';
+            q += c;
+        }
+        return q + "\"";
+    }
+
+    void
+    comma()
+    {
+        if (!fresh_)
+            out_ += ',';
+        fresh_ = false;
+    }
+
+    JsonWriter &
+    raw(const std::string &v)
+    {
+        if (!fresh_)
+            out_ += ',';
+        out_ += v;
+        fresh_ = false;
+        return *this;
+    }
+
+    JsonWriter &
+    open(char c)
+    {
+        if (!fresh_)
+            out_ += ',';
+        out_ += c;
+        fresh_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    close(char c)
+    {
+        out_ += c;
+        fresh_ = false;
+        return *this;
+    }
+
+    std::string out_;
+    bool fresh_ = true;
+};
 
 /**
  * Timed front-end compilation: design construction (including any static

@@ -8,7 +8,17 @@
  * thousand-point searches cost milliseconds (Table 6's workflow at
  * scale).
  *
- * Usage: dse_throughput [--budget N] [--jobs N] [design ...]
+ * A second measurement isolates the compiled-run engine itself: for
+ * each design, the same randomized depth probes are replayed through
+ * resimulate() (CompiledRun delta relaxation) and through
+ * resimulateReference() (the pre-compiled per-call full graph rebuild),
+ * and the ratio is reported as the incremental-serving speedup.
+ *
+ * Results are written to BENCH_dse.json (configs/s, incremental-hit
+ * rate, per-design and geomean resimulate speedup) so CI can track the
+ * performance trajectory.
+ *
+ * Usage: dse_throughput [--budget N] [--jobs N] [--json PATH] [design ...]
  *   With no designs named, covers the full Type B/C + Type A registry.
  */
 
@@ -19,10 +29,92 @@
 
 #include "bench_util.hh"
 #include "dse/dse.hh"
+#include "support/prng.hh"
+#include "support/stats.hh"
 #include "support/table.hh"
 
 using namespace omnisim;
 using namespace omnisim::bench;
+
+namespace
+{
+
+/** Timing of one engine's resimulate path over a fixed probe set. */
+struct ResimTiming
+{
+    double compiledSeconds = 0;
+    double referenceSeconds = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t reused = 0;
+
+    double
+    speedup() const
+    {
+        return compiledSeconds > 0 ? referenceSeconds / compiledSeconds
+                                   : 0.0;
+    }
+};
+
+/**
+ * Replay randomized depth probes through both resimulate paths of one
+ * completed run. Probes mirror the grid's geometric 1..8 ladder with
+ * occasional multi-FIFO changes — the shape a DSE search produces.
+ */
+ResimTiming
+measureResim(const designs::DesignEntry &entry)
+{
+    ResimTiming rt;
+    FrontEndRun fe = runFrontEnd(entry);
+    OmniSim engine(fe.cd);
+    if (engine.run().status != SimStatus::Ok)
+        return rt;
+
+    const std::size_t nfifos = fe.design->fifos().size();
+    if (nfifos == 0)
+        return rt; // nothing to resize — no incremental surface
+    std::vector<std::uint32_t> base;
+    for (const auto &f : fe.design->fifos())
+        base.push_back(f.depth);
+
+    Prng prng(0xd5eu + nfifos);
+    std::vector<std::vector<std::uint32_t>> probes;
+    for (int i = 0; i < 24; ++i) {
+        std::vector<std::uint32_t> d = base;
+        const std::size_t touches = 1 + prng.below(nfifos);
+        for (std::size_t k = 0; k < touches; ++k)
+            d[prng.below(nfifos)] = 1u << prng.below(4); // 1,2,4,8
+        probes.push_back(std::move(d));
+    }
+
+    // The acceptance metric is throughput on *incrementally-served*
+    // evaluations (the ones the EvalCache takes from the pool), so
+    // probes that diverge — and fall back to a fresh engine run either
+    // way — are classified first and excluded from the timing loops.
+    std::vector<std::vector<std::uint32_t>> served;
+    for (const auto &d : probes)
+        if (engine.resimulate(d).reused)
+            served.push_back(d);
+    rt.probes = probes.size();
+    rt.reused = served.size();
+    if (served.empty())
+        return rt;
+
+    // Repeat until both paths accumulate measurable wall time.
+    const int reps = 50;
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r)
+        for (const auto &d : served)
+            (void)engine.resimulate(d);
+    rt.compiledSeconds = sw.seconds();
+    Stopwatch swRef;
+    for (int r = 0; r < reps; ++r)
+        for (const auto &d : served)
+            (void)engine.resimulateReference(d);
+    rt.referenceSeconds = swRef.seconds();
+    return rt;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -31,14 +123,16 @@ main(int argc, char **argv)
 
     std::size_t budget = 32;
     unsigned jobs = 0;
+    std::string jsonPath = "BENCH_dse.json";
     std::vector<std::string> only;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--budget" && i + 1 < argc)
-            budget = std::strtoul(argv[++i], nullptr, 10);
+            budget = parseArgU32("--budget", argv[++i], 1u << 24);
         else if (arg == "--jobs" && i + 1 < argc)
-            jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
+            jobs = parseArgU32("--jobs", argv[++i], 4096);
+        else if (arg == "--json" && i + 1 < argc)
+            jsonPath = argv[++i];
         else
             only.push_back(arg);
     }
@@ -58,10 +152,16 @@ main(int argc, char **argv)
                  "(geometric 1..8 per FIFO,\nbudget "
               << budget << " configs per design)\n\n";
 
+    JsonWriter json;
+    json.key("bench").str("dse_throughput");
+    json.key("budget").num(budget);
+    json.key("designs").beginArray();
+
     TablePrinter t({"Design", "Fifos", "Evals", "Incr", "Full", "Hit%",
-                    "Wall", "Cfg/s"});
+                    "Wall", "Cfg/s", "Resim-speedup"});
     std::size_t totalEvals = 0, totalIncr = 0, totalFull = 0;
     double totalWall = 0.0;
+    std::vector<double> speedups;
     for (const auto *e : entries) {
         dse::DseOptions opts;
         opts.strategy = "grid";
@@ -72,6 +172,9 @@ main(int argc, char **argv)
             opts.space.fifos.push_back({f.name, 1, 8, true});
 
         const dse::DseReport rep = dse::explore(e->name, e->build, opts);
+        const ResimTiming rt = measureResim(*e);
+        if (rt.speedup() > 0)
+            speedups.push_back(rt.speedup());
         totalEvals += rep.evaluations.size();
         totalIncr += rep.incrementalHits;
         totalFull += rep.fullRuns;
@@ -82,23 +185,54 @@ main(int argc, char **argv)
                   strf("%zu", rep.fullRuns),
                   strf("%.1f", rep.hitRate() * 100.0),
                   fmtSeconds(rep.wallSeconds),
-                  strf("%.1f", rep.configsPerSecond())});
+                  strf("%.1f", rep.configsPerSecond()),
+                  rt.speedup() > 0 ? strf("%.1fx", rt.speedup()) : "-"});
+
+        json.beginObject();
+        json.key("name").str(e->name);
+        json.key("fifos").num(opts.space.fifos.size());
+        json.key("evaluations").num(rep.evaluations.size());
+        json.key("incremental_hits").num(rep.incrementalHits);
+        json.key("full_runs").num(rep.fullRuns);
+        json.key("incremental_hit_rate").num(rep.hitRate());
+        json.key("wall_seconds").num(rep.wallSeconds);
+        json.key("configs_per_second").num(rep.configsPerSecond());
+        json.key("resim_probes").num(rt.probes);
+        json.key("resim_reused").num(rt.reused);
+        json.key("resim_compiled_seconds").num(rt.compiledSeconds);
+        json.key("resim_reference_seconds").num(rt.referenceSeconds);
+        json.key("resim_speedup_vs_full_rebuild").num(rt.speedup());
+        json.endObject();
     }
+    json.endArray();
     t.print(std::cout);
 
     const std::size_t served = totalIncr + totalFull;
+    const double hitRate =
+        served ? static_cast<double>(totalIncr) /
+                     static_cast<double>(served)
+               : 0.0;
+    const double cfgPerS =
+        totalWall > 0.0 ? static_cast<double>(totalEvals) / totalWall : 0.0;
+    const double speedupGeomean = geomean(speedups);
     std::cout << "\n"
               << totalEvals << " configurations across " << entries.size()
               << " designs in " << fmtSeconds(totalWall) << " ("
-              << strf("%.1f", totalWall > 0.0
-                                  ? static_cast<double>(totalEvals) /
-                                        totalWall
-                                  : 0.0)
+              << strf("%.1f", cfgPerS)
               << " configs/s); incremental-hit rate "
-              << strf("%.1f%%",
-                      served ? 100.0 * static_cast<double>(totalIncr) /
-                                   static_cast<double>(served)
-                             : 0.0)
-              << "\n";
-    return 0;
+              << strf("%.1f%%", hitRate * 100.0)
+              << "\ncompiled resimulate() vs per-call full rebuild: "
+              << strf("%.1fx", speedupGeomean) << " geomean speedup\n";
+
+    json.key("totals").beginObject();
+    json.key("designs").num(entries.size());
+    json.key("evaluations").num(totalEvals);
+    json.key("incremental_hits").num(totalIncr);
+    json.key("full_runs").num(totalFull);
+    json.key("incremental_hit_rate").num(hitRate);
+    json.key("wall_seconds").num(totalWall);
+    json.key("configs_per_second").num(cfgPerS);
+    json.key("resim_speedup_geomean").num(speedupGeomean);
+    json.endObject();
+    return json.writeFile(jsonPath) ? 0 : 1;
 }

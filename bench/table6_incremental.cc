@@ -11,6 +11,9 @@
  *    NB writes, so the graph cannot be reused and a full multi-threaded
  *    re-run is needed — still faster than a from-scratch run because
  *    the compiled design is reused (paper: 6.77x).
+ *
+ * Emits BENCH_incremental.json (times and speedups for each row) so CI
+ * can track the incremental-path trajectory.
  */
 
 #include <iostream>
@@ -43,6 +46,13 @@ main()
         return 1;
     }
 
+    JsonWriter json;
+    json.key("bench").str("table6_incremental");
+    json.key("design").str(entry.name);
+    json.key("initial_seconds").num(init_time);
+    json.key("frontend_seconds").num(fe.seconds);
+    json.key("multithread_seconds").num(mt_time);
+
     TablePrinter t({"Description", "Depths", "Incr. time", "OK?",
                     "FE", "MT", "Total", "Speedup"});
     t.addRow({"Initial run", "(2, 2)", "-", "-",
@@ -66,6 +76,13 @@ main()
             std::cout << "  (2,100) UNEXPECTEDLY not reused: "
                       << inc.reason << "\n";
         }
+        json.key("incremental").beginObject();
+        json.key("reused").boolean(inc.reused);
+        json.key("via_delta").boolean(inc.viaDelta);
+        json.key("seconds").num(inc_time);
+        json.key("speedup_vs_initial")
+            .num(inc_time > 0.0 ? init_time / inc_time : 0.0);
+        json.endObject();
     }
 
     // --- Row 3: constraint-violating change -> full MT re-run --------
@@ -94,11 +111,20 @@ main()
                   << " cycles, P1/P2 = "
                   << rerun.scalar("processed_by_P1") << "/"
                   << rerun.scalar("processed_by_P2") << "\n";
+        json.key("non_incremental").beginObject();
+        json.key("reused").boolean(inc.reused);
+        json.key("check_seconds").num(check_time);
+        json.key("rerun_seconds").num(rerun_time);
+        json.key("speedup_vs_initial")
+            .num(check_time + rerun_time > 0.0
+                     ? init_time / (check_time + rerun_time)
+                     : 0.0);
+        json.endObject();
     }
 
     std::cout << "\n";
     t.print(std::cout);
     std::cout << "\nPaper reference: initial 2.10 s; incremental "
                  "77.86 us (2.7e4x); non-incremental 0.31 s (6.77x).\n";
-    return 0;
+    return json.writeFile("BENCH_incremental.json") ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "design/context.hh"
+#include "graph/compiled_run.hh"
 #include "graph/csr.hh"
 #include "graph/longest_path.hh"
 #include "graph/war.hh"
@@ -77,8 +78,6 @@ struct PendingQuery
     bool resolved = false;
     bool answer = false; ///< Target event happened strictly before `at`.
     Value readValue = 0;
-    std::uint64_t depNode = 0;
-    bool hasDep = false;
 };
 
 /** Global orchestration state (task tracker + query pool). */
@@ -158,6 +157,11 @@ struct OmniSim::RunData
     std::vector<Cycles> tailSlack;
     SimResult result;
     bool valid = false;
+
+    /** Frozen form of the finished run: CSR structure, cached topo
+     *  order, baseline times. Declared last so it is destroyed first —
+     *  it references tables and constraints above. */
+    std::unique_ptr<CompiledRun> compiled;
 };
 
 namespace
@@ -262,13 +266,18 @@ class OmniContext : public Context
         const Cycles at = timing_.earliest();
         const std::uint64_t node = newNode(EventKind::FifoNbRead, f, r, 1);
 
+        // Note: no read-after-write edge is recorded for a successful
+        // NB read. The op never waits — success already implies the
+        // write committed strictly before `at` — so the edge is
+        // non-binding here, and materializing it would let incremental
+        // re-simulation silently *delay* the attempt under new depths
+        // instead of observing that its outcome flips (§7.2 soundness).
         bool answer = false;
         Value v = 0;
         if (fs.table.writes() >= r) {
             // Target already committed: decidable in place.
             answer = fs.table.writeCycleOf(r) < at;
             if (answer) {
-                td_.edges.push_back({fs.table.writeNodeOf(r), node, 1});
                 v = fs.table.commitRead(at, node);
                 fs.readsSeen.store(fs.table.reads(),
                                    std::memory_order_release);
@@ -285,8 +294,6 @@ class OmniContext : public Context
             q->at = at;
             q->node = node;
             answer = waitQuery(q);
-            if (q->hasDep)
-                td_.edges.push_back({q->depNode, node, 1});
             v = q->readValue;
         }
 
@@ -786,8 +793,6 @@ class PerfSim
                 return false;
             q.answer = fs.table.writeCycleOf(q.index) < q.at;
             if (q.answer && q.kind == EventKind::FifoNbRead) {
-                q.depNode = fs.table.writeNodeOf(q.index);
-                q.hasDep = true;
                 q.readValue = fs.table.commitRead(q.at, q.node);
                 fs.readsSeen.store(fs.table.reads(),
                                    std::memory_order_release);
@@ -897,6 +902,7 @@ OmniSim::run()
     for (std::size_t f = 0; f < nfifos; ++f) {
         fifos[f].depth = design.fifos()[f].depth;
         depths[f] = design.fifos()[f].depth;
+        fifos[f].table.setLabel(design.fifos()[f].name);
     }
 
     // Write-stall policy. Type A designs have no cycle-dependent
@@ -1048,51 +1054,40 @@ OmniSim::run()
         return r;
     }
 
-    // Longest-path recompute over the adjacency-list simulation graph.
-    SimGraph graph;
-    graph.reserve(nnodes, rd.edges.size());
-    for (const NodeInfo &info : rd.nodes)
-        graph.addNode(info);
-    for (const auto &e : rd.edges)
-        graph.addEdge(e.src, e.dst, e.weight);
-    synthesizeWarEdges(rd.tables, depths,
-                       [&](std::uint64_t s, std::uint64_t d, Cycles w) {
-                           graph.addEdge(s, d, w);
-                       });
-    r.stats.graphNodes = graph.numNodes();
-    r.stats.graphEdges = graph.numEdges();
+    // Freeze the finished run: CSR structure + cached topological order
+    // + baseline longest-path times, computed once. resimulate() serves
+    // every later depth vector from this compiled form.
+    rd.compiled = std::make_unique<CompiledRun>(
+        rd.nodes, rd.edges, rd.seed, rd.tables, depths, rd.constraints,
+        rd.tailNode, rd.tailSlack);
+    r.stats.graphNodes = nnodes;
+    r.stats.graphEdges = rd.compiled->numEdges();
 
-    const PathResult pr = longestPath(graph, rd.seed);
-    if (!pr.acyclic) {
+    if (!rd.compiled->baselineAcyclic()) {
         // Only reachable in lazy mode, which can sail past a stall
         // pattern that real hardware (and eager mode) would deadlock on.
         r.status = SimStatus::Deadlock;
         r.message = "finalization found an infeasible timing cycle";
         return r;
     }
-
-    Cycles total = 0;
-    for (std::size_t n = 0; n < nnodes; ++n)
-        total = std::max(total, pr.time[n] + graph.info(n).duration);
-    for (std::size_t m = 0; m < nmods; ++m)
-        total = std::max(total, pr.time[rd.tailNode[m]] + rd.tailSlack[m]);
-    r.totalCycles = total;
+    r.totalCycles = rd.compiled->baselineTotalCycles();
 
     if (opts_.verifyFinalization && opts_.eagerWriteStall && !any_lazy) {
+        const std::vector<Cycles> &time = rd.compiled->baselineTimes();
         for (std::size_t f = 0; f < rd.tables.size(); ++f) {
             const FifoTable &t = rd.tables[f];
             for (std::uint32_t i = 1; i <= t.writes(); ++i) {
-                omnisim_assert(pr.time[t.writeNodeOf(i)] ==
+                omnisim_assert(time[t.writeNodeOf(i)] ==
                                t.writeCycleOf(i),
                                "write %u of fifo %zu: recomputed %llu != "
                                "live %llu", i, f,
                                static_cast<unsigned long long>(
-                                   pr.time[t.writeNodeOf(i)]),
+                                   time[t.writeNodeOf(i)]),
                                static_cast<unsigned long long>(
                                    t.writeCycleOf(i)));
             }
             for (std::uint32_t i = 1; i <= t.reads(); ++i) {
-                omnisim_assert(pr.time[t.readNodeOf(i)] ==
+                omnisim_assert(time[t.readNodeOf(i)] ==
                                t.readCycleOf(i),
                                "read %u of fifo %zu: recomputed time "
                                "mismatch", i, f);
@@ -1115,6 +1110,45 @@ OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
     const RunData &rd = *data_;
     omnisim_assert(depths.size() == rd.tables.size(),
                    "depth vector size mismatch");
+    omnisim_assert(rd.compiled != nullptr, "valid run has no compiled form");
+
+    const CompiledRun::Attempt a = rd.compiled->resimulate(depths);
+    out.viaCompiled = true;
+    out.viaDelta = a.viaDelta;
+    switch (a.status) {
+      case CompiledRun::Attempt::Status::Infeasible:
+        out.reason = "new depths make the recorded timing infeasible "
+                     "(potential deadlock) — full re-simulation required";
+        return out;
+      case CompiledRun::Attempt::Status::Diverged: {
+        const QueryRecord &qr = rd.constraints[a.constraintIndex];
+        out.reason = strf(
+            "constraint violated: %s #%u on fifo '%s' would now "
+            "resolve %s", eventKindName(qr.kind), qr.index,
+            cd_.d().fifos()[qr.fifo].name.c_str(),
+            a.nowAnswer ? "true" : "false");
+        return out;
+      }
+      case CompiledRun::Attempt::Status::Reused:
+        out.reused = true;
+        out.result = rd.result;
+        out.result.totalCycles = a.totalCycles;
+        return out;
+    }
+    omnisim_panic("bad compiled attempt status");
+}
+
+IncrementalOutcome
+OmniSim::resimulateReference(const std::vector<std::uint32_t> &depths)
+{
+    IncrementalOutcome out;
+    if (!data_ || !data_->valid) {
+        out.reason = "no prior successful run";
+        return out;
+    }
+    const RunData &rd = *data_;
+    omnisim_assert(depths.size() == rd.tables.size(),
+                   "depth vector size mismatch");
 
     SimGraph graph;
     graph.reserve(rd.nodes.size(), rd.edges.size());
@@ -1125,6 +1159,13 @@ OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
     synthesizeWarEdges(rd.tables, depths,
                        [&](std::uint64_t s, std::uint64_t d, Cycles w) {
                            graph.addEdge(s, d, w);
+                       },
+                       [&](std::size_t f, std::uint32_t w) {
+                           // Only a blocking write waits for space; a
+                           // committed NB write keeps its attempt time
+                           // and its recorded constraint decides (§7.2).
+                           return rd.nodes[rd.tables[f].writeNodeOf(w)]
+                                      .kind == EventKind::FifoWrite;
                        });
 
     const PathResult pr = longestPath(graph, rd.seed);

@@ -18,12 +18,14 @@
  * the future and the query safely resolves false), or — when no queries
  * remain — reports a true design deadlock.
  *
- * Every resolved query is recorded as a constraint; finalization rebuilds
- * node times by longest path over the adjacency-list simulation graph
- * plus depth-synthesized write-after-read edges, enabling the §7.2
- * incremental re-simulation: under new FIFO depths the constraints are
- * re-checked against recomputed times, and only a divergent outcome
- * forces a full re-run.
+ * Every resolved query is recorded as a constraint; finalization freezes
+ * the merged thread logs into a CompiledRun (graph/compiled_run.hh):
+ * structural CSR, cached topological order, and baseline longest-path
+ * node times over the structure plus depth-synthesized write-after-read
+ * edges. That compiled form powers the §7.2 incremental re-simulation:
+ * under new FIFO depths only the WAR delta of the changed FIFOs is
+ * relaxed over the affected cone, the recorded constraints touching it
+ * are re-checked, and only a divergent outcome forces a full re-run.
  */
 
 #ifndef OMNISIM_CORE_OMNISIM_HH
@@ -92,6 +94,14 @@ struct IncrementalOutcome
 
     /** Why reuse failed (constraint diverged / timing cycle). */
     std::string reason;
+
+    /** True when the attempt was served by the frozen CompiledRun
+     *  (either path) instead of a per-call graph rebuild. */
+    bool viaCompiled = false;
+
+    /** True when the delta worklist alone decided the attempt — the
+     *  affected-cone fast path, no full relaxation pass at all. */
+    bool viaDelta = false;
 };
 
 /**
@@ -111,8 +121,25 @@ class OmniSim
     /**
      * Attempt incremental re-simulation under new FIFO depths without
      * re-running the design (requires a prior successful run()).
+     *
+     * Served by the CompiledRun frozen at the end of run(): the WAR
+     * edge delta is diffed for the changed depths only and node times
+     * are relaxed over just the affected cone in cached topological
+     * order, falling back to one full relaxation pass over the compiled
+     * CSR when the delta is too large or may create a timing cycle.
+     * Outcomes are bit-identical to resimulateReference().
      */
     IncrementalOutcome resimulate(const std::vector<std::uint32_t> &depths);
+
+    /**
+     * Reference implementation of resimulate(): rebuilds the full
+     * adjacency-list graph and re-runs Kahn longest path from scratch
+     * on every call. Kept as the ground truth the compiled path is
+     * tested against (tests/test_compiled_run.cc) and as the baseline
+     * bench/dse_throughput.cc measures its speedup over.
+     */
+    IncrementalOutcome
+    resimulateReference(const std::vector<std::uint32_t> &depths);
 
     /** @return the constraints recorded by the last run. */
     const std::vector<QueryRecord> &constraints() const;

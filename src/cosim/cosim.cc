@@ -79,6 +79,8 @@ class CosimShared
           tables(cd.d().fifos().size())
     {
         const std::size_t n = design.modules().size();
+        for (std::size_t f = 0; f < tables.size(); ++f)
+            tables[f].setLabel(design.fifos()[f].name);
         threads.resize(n);
         finalNow.assign(n, 0);
         live = n;

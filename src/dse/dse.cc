@@ -165,10 +165,13 @@ EvalCache::evaluate(const DepthVector &depths)
     // and the stats count the configuration exactly once.
     const auto [it, inserted] = done_.emplace(depths, fresh);
     if (inserted) {
-        if (fresh.method == EvalMethod::Incremental)
+        if (fresh.method == EvalMethod::Incremental) {
             ++incrementalHits_;
-        else
+            if (fresh.viaDelta)
+                ++deltaHits_;
+        } else {
             ++fullRuns_;
+        }
     }
     return it->second;
 }
@@ -198,6 +201,7 @@ EvalCache::computeFresh(const DepthVector &depths)
             e.status = inc.result.status;
             e.latency = inc.result.totalCycles;
             e.method = EvalMethod::Incremental;
+            e.viaDelta = inc.viaDelta;
             return e;
         }
     }
@@ -254,6 +258,13 @@ EvalCache::incrementalHits() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return incrementalHits_;
+}
+
+std::size_t
+EvalCache::deltaHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return deltaHits_;
 }
 
 std::size_t
@@ -423,6 +434,7 @@ explore(const std::string &designLabel,
     }
     rep.fullRuns = cache.fullRuns();
     rep.incrementalHits = cache.incrementalHits();
+    rep.deltaHits = cache.deltaHits();
     rep.cacheHits = cache.cacheHits();
     return rep;
 }

@@ -10,9 +10,11 @@
  *    ranges for sweeps);
  *  - an EvalCache that memoizes every visited depth vector and serves
  *    each new one by re-checking the recorded constraints of a pool of
- *    previously completed full runs, falling back to a full OmniSim run
- *    only on divergence (Table 6's fallback row) — the property that
- *    makes a thousand-configuration search cost milliseconds;
+ *    previously completed full runs — each frozen into a CompiledRun,
+ *    so a probe is a delta relaxation over the affected cone rather
+ *    than a graph rebuild — falling back to a full OmniSim run only on
+ *    divergence (Table 6's fallback row), the property that makes a
+ *    thousand-configuration search cost milliseconds;
  *  - search strategies (src/dse/strategies.hh) that drive the cache,
  *    fanning independent candidate evaluations across the src/batch/
  *    worker pool while remaining bit-identical to a serial search;
@@ -67,6 +69,10 @@ struct Evaluation
     std::uint64_t cost = 0;
 
     EvalMethod method = EvalMethod::FullRun;
+
+    /** For Incremental evaluations: true when the CompiledRun delta
+     *  worklist alone decided the attempt (no full relaxation pass). */
+    bool viaDelta = false;
 
     /** Failure explanation when the engine threw (status == Crash). */
     std::string message;
@@ -179,6 +185,11 @@ class EvalCache
     /** @return evaluations served by resimulate() reuse. */
     std::size_t incrementalHits() const;
 
+    /** @return incremental hits decided entirely by the CompiledRun
+     *  delta worklist (no full relaxation pass) — the affected-cone
+     *  fast path that makes pooled runs cheap to probe. */
+    std::size_t deltaHits() const;
+
     /** @return evaluations that needed a fresh full run. */
     std::size_t fullRuns() const;
 
@@ -202,6 +213,7 @@ class EvalCache
     std::map<DepthVector, Evaluation> done_;
     std::vector<std::unique_ptr<PoolEntry>> pool_;
     std::size_t incrementalHits_ = 0;
+    std::size_t deltaHits_ = 0;
     std::size_t fullRuns_ = 0;
     std::size_t cacheHits_ = 0;
 };
@@ -263,6 +275,7 @@ struct DseReport
 
     std::size_t fullRuns = 0;
     std::size_t incrementalHits = 0;
+    std::size_t deltaHits = 0;
     std::size_t cacheHits = 0;
     unsigned jobs = 1;
     double wallSeconds = 0.0;

@@ -1,0 +1,560 @@
+#include "graph/compiled_run.hh"
+
+#include <algorithm>
+
+#include "core/omnisim.hh"
+#include "graph/longest_path.hh"
+#include "support/logging.hh"
+
+namespace omnisim
+{
+
+namespace
+{
+
+/** Reversed copy of an edge list (for the in-edge CSR). */
+std::vector<CsrGraph::EdgeSpec>
+reverseEdges(const std::vector<CsrGraph::EdgeSpec> &edges)
+{
+    std::vector<CsrGraph::EdgeSpec> out;
+    out.reserve(edges.size());
+    for (const auto &e : edges)
+        out.push_back({e.dst, e.src, e.weight});
+    return out;
+}
+
+/** Adapter exposing the structural CSR with WAR(depths) overlaid, in
+ *  the shape longestPath() expects. */
+struct OverlayView
+{
+    const CsrGraph &fwd;
+    const std::vector<FifoTable> &tables;
+    const std::vector<std::uint32_t> &depths;
+    const std::vector<std::int32_t> &accFifo;
+    const std::vector<std::uint32_t> &accIdx;
+    const std::vector<std::uint8_t> &accWrite;
+    const std::vector<std::uint8_t> &accBlockingWrite;
+
+    std::size_t numNodes() const { return fwd.numNodes(); }
+
+    template <typename F>
+    void
+    forEachOut(std::uint64_t u, F &&f) const
+    {
+        fwd.forEachOut(u, f);
+        const std::int32_t ff = accFifo[u];
+        if (ff >= 0 && !accWrite[u]) {
+            // u is the r-th read of FIFO ff: under depth s it releases
+            // the (r + s)-th write (Table 2 row 2 / war.hh) — if that
+            // write may wait at all (blocking only).
+            const FifoTable &t = tables[static_cast<std::size_t>(ff)];
+            const std::uint64_t w =
+                static_cast<std::uint64_t>(accIdx[u]) +
+                depths[static_cast<std::size_t>(ff)];
+            if (w <= t.writes()) {
+                const std::uint64_t dst =
+                    t.writeNodeOf(static_cast<std::uint32_t>(w));
+                if (accBlockingWrite[dst])
+                    f(dst, Cycles{1});
+            }
+        }
+    }
+};
+
+} // namespace
+
+template <typename F>
+void
+CompiledRun::forEachOutOverlay(std::uint64_t u,
+                               const std::vector<std::uint32_t> &depths,
+                               F &&f) const
+{
+    OverlayView{fwd_, *tables_, depths, accFifo_, accIdx_, accWrite_,
+                accBlockingWrite_}
+        .forEachOut(u, f);
+}
+
+CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
+                         const std::vector<CsrGraph::EdgeSpec> &structural,
+                         const std::vector<Cycles> &seed,
+                         const std::vector<FifoTable> &tables,
+                         std::vector<std::uint32_t> baseDepths,
+                         const std::vector<QueryRecord> &constraints,
+                         std::vector<std::uint64_t> tailNode,
+                         std::vector<Cycles> tailSlack)
+    : fwd_(nodes.size(), structural),
+      rev_(nodes.size(), reverseEdges(structural)),
+      seed_(seed),
+      baseDepths_(std::move(baseDepths)),
+      tailNode_(std::move(tailNode)),
+      tailSlack_(std::move(tailSlack)),
+      tables_(&tables),
+      constraints_(&constraints),
+      structuralEdges_(structural.size())
+{
+    const std::size_t n = nodes.size();
+    omnisim_assert(seed_.size() == n, "compiled run: seed/node mismatch");
+    omnisim_assert(baseDepths_.size() == tables.size(),
+                   "compiled run: depth/table mismatch");
+
+    dur_.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+        dur_[v] = nodes[v].duration;
+
+    // Per-node accessor map: which FIFO access a node commits, from the
+    // tables themselves (NodeInfo kinds cannot distinguish an NB read
+    // that committed from one that failed).
+    accFifo_.assign(n, -1);
+    accIdx_.assign(n, 0);
+    accWrite_.assign(n, 0);
+    accBlockingWrite_.assign(n, 0);
+    blockingWrites_.assign(tables.size(), 0);
+    for (std::size_t f = 0; f < tables.size(); ++f) {
+        const FifoTable &t = tables[f];
+        for (std::uint32_t i = 1; i <= t.writes(); ++i) {
+            const std::uint64_t v = t.writeNodeOf(i);
+            accFifo_[v] = static_cast<std::int32_t>(f);
+            accIdx_[v] = i;
+            accWrite_[v] = 1;
+            if (nodes[v].kind == EventKind::FifoWrite) {
+                accBlockingWrite_[v] = 1;
+                ++blockingWrites_[f];
+            }
+        }
+        for (std::uint32_t i = 1; i <= t.reads(); ++i) {
+            const std::uint64_t v = t.readNodeOf(i);
+            accFifo_[v] = static_cast<std::int32_t>(f);
+            accIdx_[v] = i;
+            accWrite_[v] = 0;
+        }
+    }
+
+    indegStructural_.assign(n, 0);
+    fwdIndegrees(indegStructural_);
+
+    // Baseline solve, keeping the topological order.
+    std::vector<std::uint32_t> order;
+    baselineAcyclic_ = relaxFull(baseDepths_, baseTime_, &order);
+    for (std::size_t f = 0; f < tables.size(); ++f) {
+        const FifoTable &t = tables[f];
+        const std::uint32_t s = baseDepths_[f];
+        for (std::uint32_t w = s + 1; w <= t.writes(); ++w)
+            if (w - s <= t.reads() && accBlockingWrite_[t.writeNodeOf(w)])
+                ++baseWarEdges_;
+    }
+    if (!baselineAcyclic_)
+        return; // engine reports a deadlock; nothing else is needed
+
+    // Worklist priority: prefer the topological order of the *maximally
+    // constrained* overlay (every depth 1). Any WAR(s) edge
+    // read(w-s) -> write(w) is transitively implied there (earlier
+    // reads chain forward to read(w-1), whose WAR(1) edge reaches the
+    // write), so this order stays valid for every probe-able depth
+    // vector and the delta pass converges in one sweep even when a
+    // FIFO shrinks. When depth-1 is globally infeasible (cyclic) the
+    // baseline order is used instead — then shallowing probes may
+    // re-queue across the order, which still converges on a DAG and is
+    // bounded by the pop budget. Either way correctness is unaffected:
+    // rank is a scheduling heuristic, never a dependence statement.
+    {
+        const std::vector<std::uint32_t> ones(tables.size(), 1);
+        std::vector<Cycles> scratch;
+        std::vector<std::uint32_t> tight;
+        if (relaxFull(ones, scratch, &tight))
+            order = std::move(tight);
+    }
+    rank_.assign(n, 0);
+    order_.assign(n, 0);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        rank_[order[i]] = static_cast<std::uint32_t>(i);
+        order_[i] = order[i];
+    }
+
+    for (std::size_t v = 0; v < n; ++v)
+        baseTotal_ = std::max(baseTotal_, baseTime_[v] + dur_[v]);
+    for (std::size_t m = 0; m < tailNode_.size(); ++m)
+        baseTotal_ = std::max(baseTotal_,
+                              baseTime_[tailNode_[m]] + tailSlack_[m]);
+
+    byContrib_.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+        byContrib_[v] = v;
+    std::sort(byContrib_.begin(), byContrib_.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                  const Cycles ca = baseTime_[a] + dur_[a];
+                  const Cycles cb = baseTime_[b] + dur_[b];
+                  if (ca != cb)
+                      return ca > cb;
+                  return a < b;
+              });
+
+    // Constraint index: per-node reference lists (query node + baseline
+    // target node), per-FIFO write-kind lists, and the baseline-divergent
+    // set (constraints whose recomputed outcome already differs from the
+    // live one — possible under lazy write stalls).
+    const std::size_t nc = constraints.size();
+    writeConsByFifo_.assign(tables.size(), {});
+    std::vector<std::uint32_t> counts(n + 1, 0);
+    auto forEachRefNode = [&](std::size_t i, auto &&visit) {
+        const QueryRecord &qr = constraints[i];
+        visit(qr.node);
+        const FifoTable &t = tables[qr.fifo];
+        switch (qr.kind) {
+          case EventKind::FifoNbRead:
+          case EventKind::FifoCanRead:
+            if (t.writes() >= qr.index)
+                visit(t.writeNodeOf(qr.index));
+            break;
+          case EventKind::FifoNbWrite:
+          case EventKind::FifoCanWrite: {
+            const std::uint32_t s = baseDepths_[qr.fifo];
+            if (qr.index > s && qr.index - s <= t.reads())
+                visit(t.readNodeOf(qr.index - s));
+            break;
+          }
+          default:
+            omnisim_panic("bad constraint kind");
+        }
+    };
+    for (std::size_t i = 0; i < nc; ++i) {
+        const QueryRecord &qr = constraints[i];
+        if (qr.kind == EventKind::FifoNbWrite ||
+            qr.kind == EventKind::FifoCanWrite)
+            writeConsByFifo_[qr.fifo].push_back(
+                static_cast<std::uint32_t>(i));
+        forEachRefNode(i, [&](std::uint64_t v) { ++counts[v + 1]; });
+        if (evalConstraint(i, baseTime_, baseDepths_) != qr.outcome)
+            baselineDivergent_.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t v = 1; v <= n; ++v)
+        counts[v] += counts[v - 1];
+    consOffsets_ = counts;
+    consIds_.resize(counts[n]);
+    std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
+    for (std::size_t i = 0; i < nc; ++i)
+        forEachRefNode(i, [&](std::uint64_t v) {
+            consIds_[cursor[v]++] = static_cast<std::uint32_t>(i);
+        });
+}
+
+bool
+CompiledRun::relaxFull(const std::vector<std::uint32_t> &depths,
+                       std::vector<Cycles> &time,
+                       std::vector<std::uint32_t> *order) const
+{
+    const std::size_t n = seed_.size();
+    const OverlayView view{fwd_, *tables_, depths,
+                           accFifo_, accIdx_, accWrite_,
+                           accBlockingWrite_};
+
+    // Kahn over the overlay. The structural indegrees are precomputed;
+    // only the depth-dependent WAR contributions are added per call, so
+    // the full pass never re-walks the edge list just to count.
+    time = seed_;
+    std::vector<std::uint32_t> indeg = indegStructural_;
+    for (std::size_t f = 0; f < tables_->size(); ++f) {
+        const FifoTable &t = (*tables_)[f];
+        const std::uint32_t s = depths[f];
+        for (std::uint32_t w = s + 1; w <= t.writes(); ++w) {
+            if (w - s > t.reads())
+                continue;
+            const std::uint64_t v = t.writeNodeOf(w);
+            if (accBlockingWrite_[v])
+                ++indeg[v];
+        }
+    }
+    if (order) {
+        order->clear();
+        order->reserve(n);
+    }
+    std::vector<std::uint64_t> ready;
+    ready.reserve(64);
+    for (std::size_t u = 0; u < n; ++u)
+        if (indeg[u] == 0)
+            ready.push_back(u);
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const std::uint64_t u = ready.back();
+        ready.pop_back();
+        ++processed;
+        if (order)
+            order->push_back(static_cast<std::uint32_t>(u));
+        view.forEachOut(u, [&](std::uint64_t v, Cycles w) {
+            if (time[u] + w > time[v])
+                time[v] = time[u] + w;
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        });
+    }
+    return processed == n;
+}
+
+void
+CompiledRun::fwdIndegrees(std::vector<std::uint32_t> &indeg) const
+{
+    for (std::size_t u = 0; u < seed_.size(); ++u)
+        fwd_.forEachOut(u, [&](std::uint64_t v, Cycles) { ++indeg[v]; });
+}
+
+Cycles
+CompiledRun::recompute(std::uint64_t v, const std::vector<Cycles> &cur,
+                       const std::vector<std::uint32_t> &depths) const
+{
+    Cycles t = seed_[v];
+    rev_.forEachOut(v, [&](std::uint64_t src, Cycles w) {
+        t = std::max(t, cur[src] + w);
+    });
+    if (accFifo_[v] >= 0 && accBlockingWrite_[v]) {
+        // v is the w-th *blocking* write of its FIFO: under depth s it
+        // waits for the (w - s)-th read.
+        const auto f = static_cast<std::size_t>(accFifo_[v]);
+        const FifoTable &tab = (*tables_)[f];
+        const std::uint32_t w = accIdx_[v];
+        const std::uint32_t s = depths[f];
+        if (w > s && w - s <= tab.reads())
+            t = std::max(t, cur[tab.readNodeOf(w - s)] + 1);
+    }
+    return t;
+}
+
+bool
+CompiledRun::relaxDelta(const std::vector<std::uint32_t> &depths,
+                        const std::vector<std::size_t> &changedFifos,
+                        std::vector<Cycles> &cur,
+                        std::vector<std::uint8_t> &changedFlag,
+                        std::vector<std::uint64_t> &changedNodes) const
+{
+    const std::size_t n = seed_.size();
+
+    // A FIFO shrinking well below its recorded depth newly constrains
+    // nearly every write it carried; the resulting cone is routinely a
+    // third of the graph, and per-node recomputation (random-access
+    // in-edge scans) then loses to one streaming Kahn pass. Predict
+    // that case from the binding-write count and skip straight to the
+    // full pass.
+    std::size_t shrinkBound = 0;
+    for (const std::size_t f : changedFifos) {
+        const FifoTable &t = (*tables_)[f];
+        if (depths[f] < baseDepths_[f] && t.writes() > depths[f])
+            shrinkBound +=
+                std::min<std::size_t>(blockingWrites_[f],
+                                      t.writes() - depths[f]);
+    }
+    if (shrinkBound > n / 16)
+        return false;
+
+    // Seed: every write whose WAR in-edge is added, removed, or
+    // re-sourced by a changed depth. Beyond half the graph the full
+    // pass is no slower — bail before paying for the scratch.
+    std::vector<std::uint64_t> seeds;
+    for (const std::size_t f : changedFifos) {
+        const FifoTable &t = (*tables_)[f];
+        const std::uint32_t lo = std::min(baseDepths_[f], depths[f]);
+        for (std::uint32_t w = lo + 1; w <= t.writes(); ++w) {
+            const std::uint64_t v = t.writeNodeOf(w);
+            if (!accBlockingWrite_[v])
+                continue; // NB writes never gain or lose a WAR in-edge
+            seeds.push_back(v);
+            if (seeds.size() > n / 2)
+                return false;
+        }
+    }
+
+    cur = baseTime_;
+    changedFlag.assign(n, 0);
+    // Pending markers are indexed by *rank* so the sweep below scans
+    // them sequentially — the cache-friendliness is what lets a probe
+    // whose cone is a third of the graph still beat a full pass.
+    std::vector<std::uint8_t> pendingAt(n, 0);
+    std::size_t minPos = n;
+    for (const std::uint64_t v : seeds) {
+        const std::size_t p = rank_[v];
+        if (!pendingAt[p]) {
+            pendingAt[p] = 1;
+            minPos = std::min(minPos, p);
+        }
+    }
+
+    // Sweep the cached topological order from the first pending node,
+    // recomputing pending nodes exactly and marking out-neighbours
+    // pending on change. Because the cached rank is valid for every
+    // probe-able depth vector (see the constructor), one sweep reaches
+    // the unique longest-path fixed point; only a broken read chain or
+    // a genuine timing cycle leaves a pending node *behind* the sweep
+    // position, handled by bounded re-sweeps — chaotic re-evaluation
+    // still converges on any DAG — before handing the verdict to the
+    // full Kahn pass (which is what proves a cycle).
+    for (int sweep = 0; sweep < 4; ++sweep) {
+        std::size_t nextMin = n;
+        for (std::size_t i = minPos; i < n; ++i) {
+            if (!pendingAt[i])
+                continue;
+            pendingAt[i] = 0;
+            const std::uint64_t v = order_[i];
+            const Cycles t = recompute(v, cur, depths);
+            if (t == cur[v])
+                continue;
+            cur[v] = t;
+            if (!changedFlag[v]) {
+                changedFlag[v] = 1;
+                changedNodes.push_back(v);
+                // A cone this wide means the prediction above missed
+                // (e.g. a deepened FIFO whose WAR edges all bound);
+                // cut the loss and let the streaming pass finish.
+                if (changedNodes.size() > n / 8)
+                    return false;
+            }
+            forEachOutOverlay(v, depths, [&](std::uint64_t dst, Cycles) {
+                const std::size_t p = rank_[dst];
+                if (!pendingAt[p]) {
+                    pendingAt[p] = 1;
+                    if (p <= i)
+                        nextMin = std::min(nextMin, p);
+                }
+            });
+        }
+        if (nextMin == n)
+            return true;
+        minPos = nextMin;
+    }
+    return false;
+}
+
+bool
+CompiledRun::evalConstraint(std::size_t i, const std::vector<Cycles> &time,
+                            const std::vector<std::uint32_t> &depths) const
+{
+    const QueryRecord &qr = (*constraints_)[i];
+    const FifoTable &t = (*tables_)[qr.fifo];
+    const Cycles at = time[qr.node];
+    switch (qr.kind) {
+      case EventKind::FifoNbRead:
+      case EventKind::FifoCanRead:
+        return t.writes() >= qr.index &&
+               time[t.writeNodeOf(qr.index)] < at;
+      case EventKind::FifoNbWrite:
+      case EventKind::FifoCanWrite: {
+        const std::uint32_t s = depths[qr.fifo];
+        if (qr.index <= s)
+            return true;
+        return t.reads() >= qr.index - s &&
+               time[t.readNodeOf(qr.index - s)] < at;
+      }
+      default:
+        omnisim_panic("bad constraint kind");
+    }
+}
+
+CompiledRun::Attempt
+CompiledRun::finishWithTimes(const std::vector<Cycles> &time,
+                             const std::vector<std::uint32_t> &depths) const
+{
+    Attempt a;
+    for (std::size_t i = 0; i < constraints_->size(); ++i) {
+        const bool now = evalConstraint(i, time, depths);
+        if (now != (*constraints_)[i].outcome) {
+            a.status = Attempt::Status::Diverged;
+            a.constraintIndex = i;
+            a.nowAnswer = now;
+            return a;
+        }
+    }
+    a.status = Attempt::Status::Reused;
+    Cycles total = 0;
+    for (std::size_t v = 0; v < time.size(); ++v)
+        total = std::max(total, time[v] + dur_[v]);
+    for (std::size_t m = 0; m < tailNode_.size(); ++m)
+        total = std::max(total, time[tailNode_[m]] + tailSlack_[m]);
+    a.totalCycles = total;
+    return a;
+}
+
+CompiledRun::Attempt
+CompiledRun::resimulate(const std::vector<std::uint32_t> &depths) const
+{
+    omnisim_assert(baselineAcyclic_,
+                   "resimulate against an infeasible baseline");
+    omnisim_assert(depths.size() == baseDepths_.size(),
+                   "depth vector size mismatch");
+
+    std::vector<std::size_t> changedFifos;
+    for (std::size_t f = 0; f < depths.size(); ++f)
+        if (depths[f] != baseDepths_[f])
+            changedFifos.push_back(f);
+
+    Attempt a;
+    if (changedFifos.empty()) {
+        // Times are the baseline times; only a lazy-mode repair can
+        // diverge, and those constraints are precomputed.
+        a.viaDelta = true;
+        if (!baselineDivergent_.empty()) {
+            const std::size_t i = baselineDivergent_.front();
+            a.status = Attempt::Status::Diverged;
+            a.constraintIndex = i;
+            a.nowAnswer = !(*constraints_)[i].outcome;
+            return a;
+        }
+        a.status = Attempt::Status::Reused;
+        a.totalCycles = baseTotal_;
+        return a;
+    }
+
+    std::vector<Cycles> cur;
+    std::vector<std::uint8_t> changedFlag;
+    std::vector<std::uint64_t> changedNodes;
+    if (!relaxDelta(depths, changedFifos, cur, changedFlag, changedNodes)) {
+        // Delta too large or the worklist hit its budget (the only way
+        // a timing cycle manifests): one exact full pass decides.
+        std::vector<Cycles> time;
+        if (!relaxFull(depths, time, nullptr)) {
+            a.status = Attempt::Status::Infeasible;
+            return a;
+        }
+        return finishWithTimes(time, depths);
+    }
+
+    // Affected constraints only: those referencing a node whose time
+    // moved, every write-kind constraint of a changed FIFO (its target
+    // read index moved with the depth), and the baseline-divergent set.
+    // Checked in recorded order so the first reported divergence is
+    // bit-identical to the full pass.
+    a.viaDelta = true;
+    std::vector<std::uint32_t> inds(baselineDivergent_);
+    for (const std::size_t f : changedFifos)
+        inds.insert(inds.end(), writeConsByFifo_[f].begin(),
+                    writeConsByFifo_[f].end());
+    for (const std::uint64_t v : changedNodes)
+        inds.insert(inds.end(), consIds_.begin() + consOffsets_[v],
+                    consIds_.begin() + consOffsets_[v + 1]);
+    std::sort(inds.begin(), inds.end());
+    inds.erase(std::unique(inds.begin(), inds.end()), inds.end());
+    for (const std::uint32_t i : inds) {
+        const bool now = evalConstraint(i, cur, depths);
+        if (now != (*constraints_)[i].outcome) {
+            a.status = Attempt::Status::Diverged;
+            a.constraintIndex = i;
+            a.nowAnswer = now;
+            return a;
+        }
+    }
+
+    a.status = Attempt::Status::Reused;
+    // Total latency: the best unchanged baseline contribution (first
+    // byContrib_ entry outside the changed set), improved by the changed
+    // nodes' new contributions and the module tails.
+    Cycles total = 0;
+    for (const std::uint64_t v : byContrib_) {
+        if (!changedFlag[v]) {
+            total = baseTime_[v] + dur_[v];
+            break;
+        }
+    }
+    for (const std::uint64_t v : changedNodes)
+        total = std::max(total, cur[v] + dur_[v]);
+    for (std::size_t m = 0; m < tailNode_.size(); ++m)
+        total = std::max(total, cur[tailNode_[m]] + tailSlack_[m]);
+    a.totalCycles = total;
+    return a;
+}
+
+} // namespace omnisim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Compiled form of a finished simulation run (§7.2 of the paper, taken
+ * to the LightningSimV2/GSIM conclusion: pay for structure once, then
+ * only touch what changed).
+ *
+ * After a successful OmniSim run the structural simulation graph is
+ * frozen into an immutable CSR pair (forward for propagation, reverse
+ * for in-place recomputation), together with a cached topological order,
+ * the baseline longest-path node times, and per-node accessor maps that
+ * make every depth-dependent write-after-read edge computable in O(1)
+ * from the FIFO tables — WAR edges are never materialized at all.
+ *
+ * resimulate() then serves a new depth vector by *delta relaxation*:
+ * diff the synthesized WAR edge set against the baseline for the changed
+ * FIFOs only, seed a worklist with the destination writes of
+ * added/removed/re-sourced edges, and relax node times in cached
+ * topological order over just the affected cone. Node times can both
+ * rise and fall, so each pop fully recomputes its node from the reverse
+ * CSR plus its WAR in-edge; chaotic re-evaluation converges to the
+ * unique longest-path fixed point on any DAG, and a bounded pop budget
+ * catches the cyclic (timing-infeasible) case. When the delta is too
+ * large, the budget trips, or a depth vector shrinks a FIFO into a
+ * potential cycle, the attempt falls back to a full Kahn pass — still
+ * over the compiled CSR, with WAR edges overlaid functionally, so even
+ * the fallback never rebuilds a graph.
+ *
+ * Every path is bit-identical to the pre-compiled reference
+ * implementation (OmniSim::resimulateReference): identical reuse
+ * decisions, identical first-divergent constraint, identical re-finalized
+ * cycle counts. tests/test_compiled_run.cc enforces this across the
+ * design registry.
+ */
+
+#ifndef OMNISIM_GRAPH_COMPILED_RUN_HH
+#define OMNISIM_GRAPH_COMPILED_RUN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "graph/simgraph.hh"
+#include "runtime/fifo_table.hh"
+#include "support/types.hh"
+
+namespace omnisim
+{
+
+struct QueryRecord; // core/omnisim.hh
+
+/**
+ * Immutable compiled snapshot of one finished run. All mutable state of
+ * resimulate() is per-call scratch, so a single CompiledRun may serve
+ * any number of concurrent callers (the DSE EvalCache probes pooled
+ * runs from every batch worker at once).
+ *
+ * The referenced FIFO tables and constraint list must outlive the
+ * CompiledRun (both live in OmniSim::RunData alongside it).
+ */
+class CompiledRun
+{
+  public:
+    /** Outcome of one compiled re-simulation attempt. */
+    struct Attempt
+    {
+        enum class Status : std::uint8_t
+        {
+            Reused,     ///< All constraints held; totalCycles is valid.
+            Diverged,   ///< constraintIndex names the first flipped query.
+            Infeasible, ///< New depths create a timing cycle.
+        };
+
+        Status status = Status::Reused;
+
+        /** First divergent constraint (index into the recorded list);
+         *  valid when status == Diverged. */
+        std::size_t constraintIndex = 0;
+
+        /** How that constraint would now resolve; valid for Diverged. */
+        bool nowAnswer = false;
+
+        /** Re-finalized total latency; valid when status == Reused. */
+        Cycles totalCycles = 0;
+
+        /** True when the delta worklist served the attempt without a
+         *  full relaxation pass (the compiled fast path). */
+        bool viaDelta = false;
+    };
+
+    /**
+     * Freeze a finished run.
+     *
+     * @param nodes       per-node payloads (durations are copied out).
+     * @param structural  depth-independent constraint edges.
+     * @param seed        per-node minimum start times (size == nodes).
+     * @param tables      per-FIFO commit tables; must outlive this.
+     * @param baseDepths  FIFO depths the run executed under.
+     * @param constraints recorded query outcomes; must outlive this.
+     * @param tailNode    per-module last-op node (module tail anchor).
+     * @param tailSlack   per-module cycles between last op and return.
+     */
+    CompiledRun(const std::vector<NodeInfo> &nodes,
+                const std::vector<CsrGraph::EdgeSpec> &structural,
+                const std::vector<Cycles> &seed,
+                const std::vector<FifoTable> &tables,
+                std::vector<std::uint32_t> baseDepths,
+                const std::vector<QueryRecord> &constraints,
+                std::vector<std::uint64_t> tailNode,
+                std::vector<Cycles> tailSlack);
+
+    /** @return false when even the baseline WAR overlay has a timing
+     *  cycle (only reachable in lazy write-stall mode). */
+    bool baselineAcyclic() const { return baselineAcyclic_; }
+
+    /** @return baseline per-node longest-path times. */
+    const std::vector<Cycles> &baselineTimes() const { return baseTime_; }
+
+    /** @return baseline total latency (max node time + duration, max
+     *  module tail). */
+    Cycles baselineTotalCycles() const { return baseTotal_; }
+
+    /** @return node count (structural graph). */
+    std::size_t numNodes() const { return seed_.size(); }
+
+    /** @return structural plus baseline-synthesized WAR edge count (the
+     *  figure the engine reports as graphEdges). */
+    std::size_t numEdges() const { return structuralEdges_ + baseWarEdges_; }
+
+    /**
+     * Attempt an incremental re-finalization under new depths.
+     * Thread-safe and allocation-bounded; never touches shared state.
+     *
+     * @param depths one depth per FIFO (size == tables.size()).
+     */
+    Attempt resimulate(const std::vector<std::uint32_t> &depths) const;
+
+  private:
+    struct ConstraintMeta;
+
+    /** Full Kahn relaxation over the CSR with WAR(depths) overlaid
+     *  functionally; the topological order output is optional. */
+    bool relaxFull(const std::vector<std::uint32_t> &depths,
+                   std::vector<Cycles> &time,
+                   std::vector<std::uint32_t> *order) const;
+
+    /** Accumulate structural (depth-independent) indegrees. */
+    void fwdIndegrees(std::vector<std::uint32_t> &indeg) const;
+
+    /** Delta worklist relaxation. @return false to request the full
+     *  fallback (budget exceeded / possible cycle). */
+    bool relaxDelta(const std::vector<std::uint32_t> &depths,
+                    const std::vector<std::size_t> &changedFifos,
+                    std::vector<Cycles> &cur,
+                    std::vector<std::uint8_t> &changedFlag,
+                    std::vector<std::uint64_t> &changedNodes) const;
+
+    /** Recompute one node's time from its in-edges under a time view. */
+    Cycles recompute(std::uint64_t v, const std::vector<Cycles> &cur,
+                     const std::vector<std::uint32_t> &depths) const;
+
+    /** Evaluate recorded constraint i against a time view + depths. */
+    bool evalConstraint(std::size_t i, const std::vector<Cycles> &time,
+                        const std::vector<std::uint32_t> &depths) const;
+
+    /** Visit structural + WAR(depths) out-edges of node u. */
+    template <typename F>
+    void forEachOutOverlay(std::uint64_t u,
+                           const std::vector<std::uint32_t> &depths,
+                           F &&f) const;
+
+    Attempt finishWithTimes(const std::vector<Cycles> &time,
+                            const std::vector<std::uint32_t> &depths) const;
+
+    // ---- Frozen structure -------------------------------------------
+    CsrGraph fwd_;                      ///< Structural out-edges.
+    CsrGraph rev_;                      ///< Structural in-edges.
+    std::vector<Cycles> seed_;          ///< Entry-time seeds.
+    std::vector<Cycles> dur_;           ///< Node durations.
+    std::vector<std::uint32_t> baseDepths_;
+    std::vector<std::uint64_t> tailNode_;
+    std::vector<Cycles> tailSlack_;
+    const std::vector<FifoTable> *tables_;
+    const std::vector<QueryRecord> *constraints_;
+    std::size_t structuralEdges_ = 0;
+    std::size_t baseWarEdges_ = 0;
+    std::vector<std::uint32_t> indegStructural_;
+
+    // ---- Per-node FIFO accessor map (WAR edges in O(1)) -------------
+    std::vector<std::int32_t> accFifo_;  ///< FIFO id, -1 for non-access.
+    std::vector<std::uint32_t> accIdx_;  ///< 1-based access index.
+    std::vector<std::uint8_t> accWrite_; ///< 1 == write, 0 == read.
+    /** 1 when a write-access node was committed by a *blocking* write —
+     *  the only kind that may wait for space and thus carry a WAR
+     *  in-edge. Committed NB writes keep their attempt time; their
+     *  recorded constraints decide their fate under new depths. */
+    std::vector<std::uint8_t> accBlockingWrite_;
+    /** Blocking-write count per FIFO (delta-size prediction). */
+    std::vector<std::uint32_t> blockingWrites_;
+
+    // ---- Baseline solution ------------------------------------------
+    bool baselineAcyclic_ = false;
+    std::vector<Cycles> baseTime_;
+    Cycles baseTotal_ = 0;
+    std::vector<std::uint32_t> rank_;      ///< Cached topo position.
+    std::vector<std::uint64_t> order_;     ///< Inverse of rank_.
+    std::vector<std::uint64_t> byContrib_; ///< Nodes by desc time+dur.
+
+    // ---- Constraint index -------------------------------------------
+    /** CSR map node -> recorded constraints referencing it (as the query
+     *  node or as its baseline target event). */
+    std::vector<std::uint32_t> consOffsets_;
+    std::vector<std::uint32_t> consIds_;
+    /** Write-kind constraints per FIFO (their target read index moves
+     *  with the depth, so a depth change affects all of them). */
+    std::vector<std::vector<std::uint32_t>> writeConsByFifo_;
+    /** Constraints whose baseline re-evaluation already differs from
+     *  the recorded outcome (lazy-mode repairs), ascending. */
+    std::vector<std::uint32_t> baselineDivergent_;
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_GRAPH_COMPILED_RUN_HH

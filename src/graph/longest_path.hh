@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/logging.hh"
 #include "support/types.hh"
 
 namespace omnisim
@@ -36,7 +37,11 @@ struct PathResult
  *
  * @param g           graph exposing numNodes()/forEachOut(n, f(dst, w)).
  * @param seed        per-node minimum start times (entry nodes carry their
- *                    fixed start cycle; others usually 0).
+ *                    fixed start cycle; others usually 0). Must have
+ *                    exactly numNodes() entries: an oversized seed would
+ *                    leave stale entries past n in the result, and an
+ *                    undersized one would silently zero-fill — both are
+ *                    caller bugs, diagnosed in every build type.
  * @return            per-node resolved times, or acyclic == false.
  */
 template <typename Graph>
@@ -44,6 +49,9 @@ PathResult
 longestPath(const Graph &g, const std::vector<Cycles> &seed)
 {
     const std::size_t n = g.numNodes();
+    omnisim_assert(seed.size() == n,
+                   "longestPath seed has %zu entries for %zu nodes",
+                   seed.size(), n);
     PathResult r;
     r.time.assign(seed.begin(), seed.end());
     r.time.resize(n, 0);

@@ -12,6 +12,7 @@
 #define OMNISIM_GRAPH_WAR_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "runtime/fifo_table.hh"
@@ -23,24 +24,43 @@ namespace omnisim
 /**
  * Emit one WAR edge per depth-constrained write.
  *
- * @param tables per-FIFO commit tables holding node ids.
- * @param depths per-FIFO capacities to analyze under.
- * @param add    callable add(srcNode, dstNode, weight).
+ * @param tables   per-FIFO commit tables holding node ids.
+ * @param depths   per-FIFO capacities to analyze under.
+ * @param add      callable add(srcNode, dstNode, weight).
+ * @param eligible callable eligible(fifoIdx, writeIdx): true when the
+ *        w-th committed write of the FIFO may legally *wait* for space.
+ *        Only blocking writes do; a committed non-blocking write never
+ *        stalls — its success is instead governed by the recorded §7.2
+ *        constraint — and giving it a WAR edge would let incremental
+ *        re-simulation delay the attempt under new depths and miss the
+ *        outcome flip (the control-flow divergence) entirely.
  */
-template <typename AddEdge>
+template <typename AddEdge, typename Eligible>
 void
 synthesizeWarEdges(const std::vector<FifoTable> &tables,
-                   const std::vector<std::uint32_t> &depths, AddEdge &&add)
+                   const std::vector<std::uint32_t> &depths, AddEdge &&add,
+                   Eligible &&eligible)
 {
     for (std::size_t f = 0; f < tables.size(); ++f) {
         const FifoTable &t = tables[f];
         const std::uint32_t s = depths[f];
         for (std::uint32_t w = s + 1; w <= t.writes(); ++w) {
             // Reads beyond the recorded count cannot constrain anything.
-            if (w - s <= t.reads())
+            if (w - s <= t.reads() && eligible(f, w))
                 add(t.readNodeOf(w - s), t.writeNodeOf(w), Cycles{1});
         }
     }
+}
+
+/** synthesizeWarEdges with every write eligible (engines whose writes
+ *  are all blocking — LightningSim's Type A traces — and graph tests). */
+template <typename AddEdge>
+void
+synthesizeWarEdges(const std::vector<FifoTable> &tables,
+                   const std::vector<std::uint32_t> &depths, AddEdge &&add)
+{
+    synthesizeWarEdges(tables, depths, std::forward<AddEdge>(add),
+                       [](std::size_t, std::uint32_t) { return true; });
 }
 
 } // namespace omnisim

@@ -263,6 +263,8 @@ LightningSim::run()
     const Design &design = cd_.d();
     trace_ = std::make_unique<LsTrace>();
     trace_->tables.resize(design.fifos().size());
+    for (std::size_t f = 0; f < trace_->tables.size(); ++f)
+        trace_->tables[f].setLabel(design.fifos()[f].name);
     MemoryPool pool = design.makeMemoryPool();
     LsTraceContext ctx(design, pool, *trace_);
 

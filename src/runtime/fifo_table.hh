@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "support/logging.hh"
 #include "support/types.hh"
 
 namespace omnisim
@@ -39,11 +41,21 @@ class FifoTable
 
     /**
      * Record the r-th read at the given cycle.
+     *
+     * Every engine must establish writes() >= reads() + 1 before
+     * committing a read; a violation (a buggy design driver or a co-sim
+     * ordering mismatch) would otherwise pop an empty deque — undefined
+     * behaviour — so it is diagnosed here in every build type.
+     *
      * @return the value that was written r-th.
      */
     Value
     commitRead(Cycles cycle, std::uint64_t node)
     {
+        omnisim_assert(!data_.empty(),
+                       "FIFO '%s' read underrun: read #%u committed with "
+                       "no unread write (%u writes, %u reads)",
+                       label(), reads() + 1, writes(), reads());
         readCycle_.push_back(cycle);
         readNode_.push_back(node);
         Value v = data_.front();
@@ -86,12 +98,19 @@ class FifoTable
     /** @return values written but not yet read, oldest first. */
     const std::deque<Value> &pendingData() const { return data_; }
 
+    /** Name the channel for diagnostics (underrun panics). */
+    void setLabel(std::string label) { label_ = std::move(label); }
+
+    /** @return the diagnostic label ("?" until setLabel is called). */
+    const char *label() const { return label_.empty() ? "?" : label_.c_str(); }
+
   private:
     std::vector<Cycles> writeCycle_;
     std::vector<Cycles> readCycle_;
     std::vector<std::uint64_t> writeNode_;
     std::vector<std::uint64_t> readNode_;
     std::deque<Value> data_;
+    std::string label_;
 };
 
 } // namespace omnisim

@@ -43,7 +43,15 @@ geomean(const std::vector<double> &xs)
         return 0.0;
     double logsum = 0.0;
     for (double x : xs) {
-        omnisim_assert(x > 0.0, "geomean sample must be positive: %f", x);
+        // The geometric mean is undefined for non-positive samples. An
+        // assert would vanish in builds that compile assertions out and
+        // leave std::log feeding -inf/NaN into every later sample, so
+        // the degenerate input is answered deterministically instead:
+        // any zero, negative, or NaN sample collapses the mean to 0.
+        if (!(x > 0.0)) {
+            warn(strf("geomean: non-positive sample %f — returning 0", x));
+            return 0.0;
+        }
         logsum += std::log(x);
     }
     return std::exp(logsum / static_cast<double>(xs.size()));

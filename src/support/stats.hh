@@ -48,9 +48,10 @@ class RunningStat
 };
 
 /**
- * Geometric mean of a sample vector. All samples must be positive.
+ * Geometric mean of a sample vector. Defined only for positive samples.
  *
- * @return 0 when the vector is empty.
+ * @return 0 when the vector is empty or any sample is zero, negative,
+ *         or NaN (with a warn()) — deterministic in every build type.
  */
 double geomean(const std::vector<double> &xs);
 

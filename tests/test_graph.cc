@@ -94,6 +94,21 @@ TEST(LongestPath, TakesMaxOverParallelPaths)
     EXPECT_EQ(pr.time[3], 12u); // via node 1
 }
 
+TEST(LongestPath, SeedSizeMismatchIsDiagnosed)
+{
+    // Oversized seeds used to leave stale entries past n in the result
+    // and undersized seeds zero-filled silently; both are caller bugs.
+    SimGraph g;
+    for (int i = 0; i < 3; ++i)
+        g.addNode(node());
+    g.addEdge(0, 1, 1);
+    EXPECT_DEATH(longestPath(g, {1, 0}), "seed has 2 entries for 3");
+    EXPECT_DEATH(longestPath(g, {1, 0, 0, 0}), "seed has 4 entries for 3");
+    const auto pr = longestPath(g, {1, 0, 0});
+    ASSERT_TRUE(pr.acyclic);
+    EXPECT_EQ(pr.time.size(), 3u);
+}
+
 TEST(LongestPath, DetectsCycle)
 {
     SimGraph g;

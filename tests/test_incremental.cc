@@ -176,6 +176,32 @@ TEST(Incremental, MultiFifoDivergenceFallbackMatchesFreshRun)
     EXPECT_EQ(a.memories, b.memories);
 }
 
+TEST(Incremental, NbWriteStallNeverMasksAnOutcomeFlip)
+{
+    // Regression: WAR edges used to be synthesized for *committed
+    // non-blocking* writes too. Shrinking fig4_ex4a's FIFO to depth 1
+    // then let the recomputed schedule *delay* a committed NB write
+    // until its success condition held again — but real hardware never
+    // delays an NB write; the attempt simply fails, control flow
+    // diverges, and the run drops a different element. Reuse must be
+    // refused so the EvalCache falls back to a fresh (correct) run.
+    Compiled c("fig4_ex4a");
+    OmniSim engine(c.cd, checkedOmniSim());
+    const SimResult initial = engine.run();
+    ASSERT_EQ(initial.status, SimStatus::Ok);
+
+    const IncrementalOutcome inc = engine.resimulate({1});
+    EXPECT_FALSE(inc.reused);
+    EXPECT_NE(inc.reason.find("constraint violated"), std::string::npos);
+
+    // The fallback full run is the ground truth — and it genuinely
+    // differs functionally from the recorded depth-2 trace, which is
+    // exactly why reuse had to be refused.
+    const SimResult full = fullRun("fig4_ex4a", {1});
+    ASSERT_EQ(full.status, SimStatus::Ok);
+    EXPECT_NE(full.scalar("sum_out"), initial.scalar("sum_out"));
+}
+
 TEST(Incremental, ShrinkingDepthTowardDeadlockIsRefused)
 {
     // A design whose recorded schedule becomes infeasible (timing cycle)

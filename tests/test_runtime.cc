@@ -62,6 +62,23 @@ TEST(FifoTable, CommitOrderAndData)
     EXPECT_TRUE(t.pendingData().empty());
 }
 
+TEST(FifoTable, ReadUnderrunIsDiagnosedNotUndefined)
+{
+    // A read committed with no unread write used to pop an empty deque
+    // (undefined behaviour); it must instead panic with a message that
+    // names the offending channel.
+    FifoTable t;
+    t.setLabel("resultStream");
+    EXPECT_DEATH(t.commitRead(1, 10), "resultStream.*read underrun");
+
+    // Draining exactly what was written stays fine ... and one read
+    // past the last write is the underrun again.
+    FifoTable u;
+    u.commitWrite(7, 1, 1);
+    EXPECT_EQ(u.commitRead(2, 2), 7);
+    EXPECT_DEATH(u.commitRead(3, 3), "'\\?'.*read underrun");
+}
+
 TEST(Axi, ReadBurstBeatsAndLatency)
 {
     AxiPortState port(AxiConfig{.readLatency = 8, .writeAckLatency = 4});

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "support/logging.hh"
 #include "support/prng.hh"
 #include "support/stats.hh"
@@ -118,6 +120,20 @@ TEST(Geomean, MatchesHandComputation)
     EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
     EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
     EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, NonPositiveSamplesCollapseDeterministically)
+{
+    // The geometric mean is undefined at or below zero; instead of
+    // exp(-inf)/NaN pollution the result must be exactly 0 in every
+    // build type, whatever else is in the vector.
+    setLogQuiet(true);
+    EXPECT_EQ(geomean({0.0}), 0.0);
+    EXPECT_EQ(geomean({2.0, 0.0, 8.0}), 0.0);
+    EXPECT_EQ(geomean({-3.0}), 0.0);
+    EXPECT_EQ(geomean({5.0, -1.0}), 0.0);
+    EXPECT_EQ(geomean({std::numeric_limits<double>::quiet_NaN()}), 0.0);
+    setLogQuiet(false);
 }
 
 TEST(TablePrinter, AlignsColumns)

@@ -109,6 +109,23 @@ parseUnsigned(const char *flag, const std::string &text, std::uint64_t min,
     return v;
 }
 
+/**
+ * parseUnsigned for values narrowed into 32-bit fields (FIFO depths,
+ * worker counts, sweep bounds). The cap is clamped to UINT32_MAX before
+ * the range check so that a value above the destination width is a
+ * usage error (exit 2) instead of a silent truncation — a raw
+ * static_cast of the 64-bit parse would quietly wrap depths like 2^32+4
+ * to 4.
+ */
+std::uint32_t
+parseU32(const char *flag, const std::string &text, std::uint64_t min,
+         std::uint64_t max)
+{
+    const std::uint64_t cap = std::min<std::uint64_t>(
+        max, std::numeric_limits<std::uint32_t>::max());
+    return static_cast<std::uint32_t>(parseUnsigned(flag, text, min, cap));
+}
+
 int
 cmdList()
 {
@@ -201,8 +218,7 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
                 return usage();
             depths.emplace_back(
                 spec.substr(0, eq),
-                static_cast<std::uint32_t>(parseUnsigned(
-                    "--depth", spec.substr(eq + 1), 1, 1u << 20)));
+                parseU32("--depth", spec.substr(eq + 1), 1, 1u << 20));
         } else {
             return usage();
         }
@@ -251,12 +267,10 @@ parseFifoGroup(const std::vector<std::string> &args, std::size_t &i,
     r.fifo = args[++i];
     while (i + 1 < args.size()) {
         if (args[i + 1] == "--from" && i + 2 < args.size()) {
-            r.lo = static_cast<std::uint32_t>(
-                parseUnsigned("--from", args[i + 2], 1, 1u << 20));
+            r.lo = parseU32("--from", args[i + 2], 1, 1u << 20);
             i += 2;
         } else if (args[i + 1] == "--to" && i + 2 < args.size()) {
-            r.hi = static_cast<std::uint32_t>(
-                parseUnsigned("--to", args[i + 2], 1, 1u << 20));
+            r.hi = parseU32("--to", args[i + 2], 1, 1u << 20);
             i += 2;
         } else {
             break;
@@ -298,8 +312,7 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
             if (!parseFifoGroup(args, i, groups))
                 return usage();
         } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-            jobs = static_cast<unsigned>(
-                parseUnsigned("--jobs", args[++i], 0, 4096));
+            jobs = parseU32("--jobs", args[++i], 0, 4096);
         } else {
             return usage();
         }
@@ -382,8 +395,7 @@ cmdDse(const std::string &name, const std::vector<std::string> &args)
             opts.budget = static_cast<std::size_t>(
                 parseUnsigned("--budget", args[++i], 1, 1u << 24));
         } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-            opts.jobs = static_cast<unsigned>(
-                parseUnsigned("--jobs", args[++i], 0, 4096));
+            opts.jobs = parseU32("--jobs", args[++i], 0, 4096);
         } else if (args[i] == "--seed" && i + 1 < args.size()) {
             opts.seed = parseUnsigned("--seed", args[++i], 0,
                                       std::numeric_limits<
@@ -433,10 +445,11 @@ cmdDse(const std::string &name, const std::vector<std::string> &args)
     std::printf("strategy  : %s (seed %llu)\n", rep.strategy.c_str(),
                 static_cast<unsigned long long>(opts.seed));
     std::printf("evaluated : %zu configs — %zu full runs, %zu "
-                "incremental (%.1f%% incremental), %zu memo re-hits\n",
+                "incremental (%.1f%% incremental, %zu by delta "
+                "relaxation), %zu memo re-hits\n",
                 rep.evaluations.size(), rep.fullRuns,
                 rep.incrementalHits, rep.hitRate() * 100.0,
-                rep.cacheHits);
+                rep.deltaHits, rep.cacheHits);
     std::printf("wall      : %.3f s (%.1f configs/s, %u jobs)\n\n",
                 rep.wallSeconds, rep.configsPerSecond(), rep.jobs);
 
@@ -490,11 +503,9 @@ cmdBatch(const std::vector<std::string> &args)
     std::vector<std::string> only;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--jobs" && i + 1 < args.size()) {
-            jobs = static_cast<unsigned>(
-                parseUnsigned("--jobs", args[++i], 0, 4096));
+            jobs = parseU32("--jobs", args[++i], 0, 4096);
         } else if (args[i] == "--seeds" && i + 1 < args.size()) {
-            seeds = static_cast<unsigned>(
-                parseUnsigned("--seeds", args[++i], 1, 1u << 20));
+            seeds = parseU32("--seeds", args[++i], 1, 1u << 20);
         } else if (args[i] == "--engines" && i + 1 < args.size()) {
             for (const std::string &n : splitList(args[++i])) {
                 batch::EngineKind e;
