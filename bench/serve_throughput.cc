@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Serve-layer throughput and warm-vs-cold latency, measured through the
+ * actual JSON-lines protocol (src/serve/) rather than the C++ API, so
+ * the numbers include parsing, dispatch, and response marshalling.
+ *
+ * For every registry design (or the named subset):
+ *
+ *   cold  — a fresh service instance with an empty RunStore answers
+ *           `simulate`: full trace + compile + multi-threaded engine
+ *           run, published to the store.
+ *   warm  — a second, fresh service instance over the now-populated
+ *           store answers `resimulate`: rehydrate the stored run and
+ *           serve the §7.2 incremental cost. The first warm request
+ *           (which pays the one-time decode + CompiledRun freeze) and
+ *           the steady state are reported separately; the headline
+ *           speedup is the steady-state warm-cache latency vs cold —
+ *           the per-request number a serving process actually
+ *           amortizes to — with the first-request geomean alongside
+ *           it. Every steady-state probe is a previously-unseen depth
+ *           vector, so each one is a genuine constraint-checked delta
+ *           relaxation, never a memo-table re-hit; probes the pool
+ *           refuses (divergent — a full engine run either way) are
+ *           excluded from the warm latency, and their count is
+ *           reported.
+ *
+ * A final phase streams a mixed resimulate workload through the
+ * TaskPool dispatch path and reports requests/second.
+ *
+ * Results land in BENCH_serve.json (per-design cold/warm seconds and
+ * speedup, geomean speedup, requests/s) for the CI trajectory; the
+ * acceptance bar is warm >= 5x cold on the registry geomean.
+ *
+ * Usage: serve_throughput [--repeats N] [--requests N] [--jobs N]
+ *                         [--json PATH] [--store DIR] [design ...]
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "serve/json.hh"
+#include "serve/service.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace omnisim;
+using namespace omnisim::bench;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct DesignTiming
+{
+    std::string name;
+    std::vector<std::string> fifoNames;
+    std::vector<std::uint32_t> baseDepths;
+    bool ok = false;           ///< Cold run completed with status Ok.
+    bool warmIncremental = false;
+    unsigned steadyServed = 0;   ///< Unseen probes served incrementally.
+    unsigned steadyDiverged = 0; ///< Probes that fell back to full runs.
+    double coldSeconds = 0;
+    double warmFirstSeconds = 0;
+    double warmSteadySeconds = 0;
+
+    double
+    speedupFirst() const
+    {
+        return warmFirstSeconds > 0 ? coldSeconds / warmFirstSeconds : 0;
+    }
+
+    double
+    speedupSteady() const
+    {
+        return warmSteadySeconds > 0 ? coldSeconds / warmSteadySeconds
+                                     : 0;
+    }
+};
+
+/** Handle one request line and parse the response. */
+serve::JsonValue
+ask(serve::SimService &svc, const std::string &line)
+{
+    return serve::JsonValue::parse(svc.handle(line));
+}
+
+std::string
+simulateLine(const std::string &design)
+{
+    return strf("{\"id\":1,\"op\":\"simulate\",\"design\":%s}",
+                serve::jsonQuote(design).c_str());
+}
+
+std::string
+resimulateLine(const std::string &design, int id)
+{
+    return strf("{\"id\":%d,\"op\":\"resimulate\",\"design\":%s}", id,
+                serve::jsonQuote(design).c_str());
+}
+
+/**
+ * A previously-unseen probe: deepen one FIFO (rotating) by a
+ * probe-unique amount so that no two probes — and no probe and the
+ * stored base — share a depth vector. Deepening keeps most probes on
+ * the §7.2 reuse path while still exercising real delta relaxation.
+ */
+std::string
+probeLine(const DesignTiming &dt, unsigned probe, int id)
+{
+    const std::size_t f = probe % dt.fifoNames.size();
+    const std::uint32_t depth =
+        dt.baseDepths[f] + 1 + probe;
+    return strf("{\"id\":%d,\"op\":\"resimulate\",\"design\":%s,"
+                "\"depths\":{%s:%u}}",
+                id, serve::jsonQuote(dt.name).c_str(),
+                serve::jsonQuote(dt.fifoNames[f]).c_str(), depth);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+
+    unsigned repeats = 16;
+    unsigned requests = 64;
+    unsigned jobs = 0;
+    std::string jsonPath = "BENCH_serve.json";
+    std::string storeDir = "serve_bench_store";
+    std::vector<std::string> only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--repeats" && i + 1 < argc)
+            repeats = parseArgU32("--repeats", argv[++i], 1u << 16);
+        else if (arg == "--requests" && i + 1 < argc)
+            requests = parseArgU32("--requests", argv[++i], 1u << 20);
+        else if (arg == "--jobs" && i + 1 < argc)
+            jobs = parseArgU32("--jobs", argv[++i], 4096);
+        else if (arg == "--json" && i + 1 < argc)
+            jsonPath = argv[++i];
+        else if (arg == "--store" && i + 1 < argc)
+            storeDir = argv[++i];
+        else
+            only.push_back(arg);
+    }
+    repeats = std::max(1u, repeats);
+
+    std::vector<const designs::DesignEntry *> entries;
+    if (only.empty()) {
+        for (const auto *suite :
+             {&designs::typeBCDesigns(), &designs::typeADesigns()})
+            for (const auto &e : *suite)
+                entries.push_back(&e);
+    } else {
+        for (const std::string &name : only)
+            entries.push_back(&designs::findDesign(name));
+    }
+
+    fs::remove_all(storeDir); // cold means cold
+
+    std::cout << "Warm-vs-cold serving through the JSON-lines protocol "
+                 "(store: " << storeDir << ")\n\n";
+
+    TablePrinter t({"Design", "Cold", "Warm(1st)", "Warm(steady)",
+                    "Speedup", "Served"});
+    std::vector<DesignTiming> timings;
+    for (const auto *e : entries) {
+        DesignTiming dt;
+        dt.name = e->name;
+        {
+            const Design d = e->build();
+            for (const auto &f : d.fifos()) {
+                dt.fifoNames.push_back(f.name);
+                dt.baseDepths.push_back(f.depth);
+            }
+        }
+
+        // Cold: fresh service, empty store.
+        {
+            serve::SimService cold({1, storeDir, 4, {}});
+            Stopwatch sw;
+            const serve::JsonValue r = ask(cold, simulateLine(e->name));
+            dt.coldSeconds = sw.seconds();
+            const serve::JsonValue *okv = r.find("ok");
+            const serve::JsonValue *status = r.find("status");
+            dt.ok = okv && okv->boolean() && status &&
+                    status->str() == "Ok";
+        }
+
+        if (dt.ok && !dt.fifoNames.empty()) {
+            // Warm: a different service instance — the cross-process
+            // story — served purely from the store.
+            serve::SimService warm({1, storeDir, 4, {}});
+            Stopwatch first;
+            const serve::JsonValue r =
+                ask(warm, resimulateLine(e->name, 1));
+            dt.warmFirstSeconds = first.seconds();
+            const serve::JsonValue *method = r.find("method");
+            dt.warmIncremental =
+                method && method->str() == "incremental";
+
+            // Steady state over unseen vectors: each probe is a real
+            // §7.2 delta relaxation through the whole protocol stack.
+            // Divergent probes (full engine runs either way) are timed
+            // out of the warm latency but counted.
+            double steadyTotal = 0;
+            for (unsigned i = 0; i < repeats; ++i) {
+                const std::string line = probeLine(dt, i, 2 + i);
+                Stopwatch one;
+                const serve::JsonValue pr = ask(warm, line);
+                const double seconds = one.seconds();
+                const serve::JsonValue *m = pr.find("method");
+                const serve::JsonValue *cached = pr.find("cached");
+                if (m && m->str() == "incremental" &&
+                    !(cached && cached->boolean())) {
+                    steadyTotal += seconds;
+                    ++dt.steadyServed;
+                } else {
+                    ++dt.steadyDiverged;
+                }
+            }
+            if (dt.steadyServed > 0)
+                dt.warmSteadySeconds = steadyTotal / dt.steadyServed;
+        }
+
+        t.addRow({dt.name, dt.ok ? fmtSeconds(dt.coldSeconds) : "-",
+                  dt.ok ? fmtSeconds(dt.warmFirstSeconds) : "-",
+                  dt.steadyServed > 0 ? fmtSeconds(dt.warmSteadySeconds)
+                                      : "-",
+                  dt.speedupSteady() > 0
+                      ? strf("%.0fx", dt.speedupSteady())
+                      : "-",
+                  dt.ok ? strf("%u incr / %u full", dt.steadyServed,
+                               dt.steadyDiverged)
+                        : "skipped"});
+        timings.push_back(dt);
+    }
+    t.print(std::cout);
+
+    // Mixed-workload dispatch throughput on one warm service.
+    double requestSeconds = 0;
+    std::size_t requestCount = 0;
+    {
+        serve::SimService svc({jobs, storeDir, 4, {}});
+        std::vector<std::string> lines;
+        std::size_t okDesigns = 0;
+        for (const auto &dt : timings)
+            okDesigns += dt.ok ? 1 : 0;
+        if (okDesigns > 0) {
+            // Unique probes again: dispatch throughput measures the
+            // §7.2 serving path under concurrency, not memo lookups.
+            int id = 0;
+            unsigned probe = 1000; // disjoint from the steady range
+            while (lines.size() < requests) {
+                for (const auto &dt : timings)
+                    if (dt.ok && !dt.fifoNames.empty() &&
+                        lines.size() < requests)
+                        lines.push_back(probeLine(dt, probe, id++));
+                ++probe;
+            }
+            std::mutex mu;
+            std::size_t answered = 0;
+            Stopwatch sw;
+            for (auto &line : lines)
+                svc.submit(std::move(line), [&](std::string) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    ++answered;
+                });
+            svc.drain();
+            requestSeconds = sw.seconds();
+            requestCount = answered;
+        }
+    }
+    const double reqPerS =
+        requestSeconds > 0 ? static_cast<double>(requestCount) /
+                                 requestSeconds
+                           : 0.0;
+
+    std::vector<double> steadySpeedups, firstSpeedups;
+    std::size_t warmIncr = 0, covered = 0, probesServed = 0,
+                probesDiverged = 0;
+    for (const auto &dt : timings) {
+        if (!dt.ok)
+            continue;
+        ++covered;
+        probesServed += dt.steadyServed;
+        probesDiverged += dt.steadyDiverged;
+        if (dt.warmIncremental) {
+            ++warmIncr;
+            if (dt.speedupFirst() > 0)
+                firstSpeedups.push_back(dt.speedupFirst());
+        }
+        if (dt.speedupSteady() > 0)
+            steadySpeedups.push_back(dt.speedupSteady());
+    }
+    const double speedupGeomean = geomean(steadySpeedups);
+    const double firstGeomean = geomean(firstSpeedups);
+    std::cout << "\n" << covered << " designs served (" << warmIncr
+              << " warm-incremental, " << probesServed
+              << " unseen probes incremental, " << probesDiverged
+              << " divergent); warm resimulate vs cold simulate: "
+              << strf("%.0fx", speedupGeomean)
+              << " geomean steady-state ("
+              << strf("%.1fx", firstGeomean)
+              << " including one-time rehydration)\n"
+              << requestCount << " dispatched requests in "
+              << fmtSeconds(requestSeconds) << " ("
+              << strf("%.1f", reqPerS) << " req/s)\n";
+
+    JsonWriter json;
+    json.key("bench").str("serve_throughput");
+    json.key("repeats").num(repeats);
+    json.key("designs").beginArray();
+    for (const auto &dt : timings) {
+        json.beginObject();
+        json.key("name").str(dt.name);
+        json.key("cold_ok").boolean(dt.ok);
+        json.key("warm_incremental").boolean(dt.warmIncremental);
+        json.key("cold_seconds").num(dt.coldSeconds);
+        json.key("warm_first_seconds").num(dt.warmFirstSeconds);
+        json.key("warm_steady_seconds").num(dt.warmSteadySeconds);
+        json.key("steady_probes_incremental").num(dt.steadyServed);
+        json.key("steady_probes_diverged").num(dt.steadyDiverged);
+        json.key("warm_speedup").num(dt.speedupSteady());
+        json.key("warm_first_speedup").num(dt.speedupFirst());
+        json.endObject();
+    }
+    json.endArray();
+    json.key("totals").beginObject();
+    json.key("designs_served").num(covered);
+    json.key("warm_incremental").num(warmIncr);
+    json.key("steady_probes_incremental").num(probesServed);
+    json.key("steady_probes_diverged").num(probesDiverged);
+    json.key("warm_speedup_geomean").num(speedupGeomean);
+    json.key("warm_first_speedup_geomean").num(firstGeomean);
+    json.key("dispatched_requests").num(requestCount);
+    json.key("dispatch_wall_seconds").num(requestSeconds);
+    json.key("requests_per_second").num(reqPerS);
+    json.endObject();
+
+    fs::remove_all(storeDir);
+    return json.writeFile(jsonPath) ? 0 : 1;
+}

@@ -217,6 +217,84 @@ BatchRunner::run(const std::vector<Scenario> &scenarios) const
     return rep;
 }
 
+// ---------------------------------------------------------------------------
+// TaskPool.
+// ---------------------------------------------------------------------------
+
+TaskPool::TaskPool(unsigned jobs)
+{
+    const unsigned n =
+        jobs != 0 ? jobs
+                  : std::max(1u, std::thread::hardware_concurrency());
+    threads_.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        threads_.emplace_back([this] { workerMain(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    taskCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+TaskPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        omnisim_assert(!stopping_, "TaskPool: submit after shutdown");
+        queue_.push_back(std::move(task));
+    }
+    taskCv_.notify_one();
+}
+
+void
+TaskPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+std::uint64_t
+TaskPool::completed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return completed_;
+}
+
+void
+TaskPool::workerMain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        taskCv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stopping_, and nothing left to drain
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        try {
+            task();
+        } catch (const std::exception &e) {
+            warn(strf("task pool: task leaked an exception: %s",
+                      e.what()));
+        } catch (...) {
+            warn("task pool: task leaked a non-std exception");
+        }
+        lock.lock();
+        --active_;
+        ++completed_;
+        if (queue_.empty() && active_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
 std::vector<Scenario>
 registryScenarios(const std::vector<EngineKind> &engines,
                   unsigned seedsPerDesign,

@@ -19,9 +19,13 @@
 #ifndef OMNISIM_BATCH_BATCH_HH
 #define OMNISIM_BATCH_BATCH_HH
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/result.hh"
@@ -170,6 +174,59 @@ class BatchRunner
 
   private:
     unsigned jobs_;
+};
+
+/**
+ * Persistent asynchronous worker pool, the dispatch substrate of the
+ * long-lived simulation service (src/serve/). Where BatchRunner fans a
+ * known work list out and blocks, a TaskPool accepts tasks one at a
+ * time as requests arrive, runs them on a fixed set of resident worker
+ * threads, and lets the owner drain in-flight work for graceful
+ * shutdown. Tasks are fire-and-forget closures; result delivery is the
+ * submitter's business (the serve layer captures a response sink).
+ *
+ * A task must not throw — every serve request handler does its own
+ * error isolation — so an escaping exception is treated as a task bug:
+ * it is caught, reported via warn(), and the worker keeps serving.
+ */
+class TaskPool
+{
+  public:
+    /** @param jobs worker threads; 0 selects hardware_concurrency. */
+    explicit TaskPool(unsigned jobs = 0);
+
+    /** Drains pending tasks, then joins the workers. */
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** @return resident worker count (>= 1). */
+    unsigned jobs() const { return static_cast<unsigned>(threads_.size()); }
+
+    /**
+     * Enqueue one task. Wakes an idle worker; never blocks beyond the
+     * queue lock. Submitting after stop() began is a caller bug.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished executing. */
+    void drain();
+
+    /** @return tasks executed to completion so far. */
+    std::uint64_t completed() const;
+
+  private:
+    void workerMain();
+
+    mutable std::mutex mu_;
+    std::condition_variable taskCv_; ///< Wakes workers for new tasks.
+    std::condition_variable idleCv_; ///< Wakes drain()/~TaskPool().
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;        ///< Tasks currently executing.
+    std::uint64_t completed_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
 };
 
 /**

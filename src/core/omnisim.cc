@@ -1230,6 +1230,24 @@ OmniSim::constraints() const
     return data_->constraints;
 }
 
+bool
+OmniSim::exportSnapshot(RunSnapshot &out) const
+{
+    if (!data_ || !data_->valid)
+        return false;
+    const RunData &rd = *data_;
+    out.nodes = rd.nodes;
+    out.edges = rd.edges;
+    out.seed = rd.seed;
+    out.tables = rd.tables;
+    out.depths = rd.depthsUsed;
+    out.constraints = rd.constraints;
+    out.tailNode = rd.tailNode;
+    out.tailSlack = rd.tailSlack;
+    out.result = rd.result;
+    return true;
+}
+
 SimResult
 simulateOmniSim(const CompiledDesign &cd, const OmniSimOptions &opts)
 {

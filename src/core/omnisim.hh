@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "design/frontend.hh"
+#include "graph/csr.hh"
 #include "graph/simgraph.hh"
 #include "runtime/fifo_table.hh"
 #include "runtime/result.hh"
@@ -80,6 +81,30 @@ struct QueryRecord
     std::uint64_t node = 0;
     /** True iff the target event had occurred strictly before the op. */
     bool outcome = false;
+};
+
+/**
+ * Self-contained serializable image of one finished successful run:
+ * everything CompiledRun rehydration needs — merged node payloads,
+ * structural edges, entry-time seeds, the per-FIFO commit tables, the
+ * depth vector the run executed under, the recorded constraints, the
+ * module tail anchors — plus the baseline SimResult, so a fresh process
+ * can serve resimulate() bit-identically without ever re-tracing
+ * (src/io/ persists this structure; §7.2 across process boundaries).
+ */
+struct RunSnapshot
+{
+    std::vector<NodeInfo> nodes;
+    std::vector<CsrGraph::EdgeSpec> edges;
+    std::vector<Cycles> seed;
+    std::vector<FifoTable> tables;
+    std::vector<std::uint32_t> depths;
+    std::vector<QueryRecord> constraints;
+    std::vector<std::uint64_t> tailNode;
+    std::vector<Cycles> tailSlack;
+
+    /** Baseline result of the recorded run (status is always Ok). */
+    SimResult result;
 };
 
 /** Outcome of an incremental re-simulation attempt (§7.2 / Table 6). */
@@ -143,6 +168,13 @@ class OmniSim
 
     /** @return the constraints recorded by the last run. */
     const std::vector<QueryRecord> &constraints() const;
+
+    /**
+     * Copy the frozen image of the last successful run into out (the
+     * input to io::encodeRun / io::StoredRun rehydration).
+     * @return false when there is no valid completed run to export.
+     */
+    bool exportSnapshot(RunSnapshot &out) const;
 
   private:
     struct RunData;

@@ -8,6 +8,7 @@
 #include "design/design.hh"
 #include "designs/common.hh"
 #include "dse/strategies.hh"
+#include "io/run_store.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
 
@@ -117,15 +118,30 @@ resolveSpace(const Design &d, const DseSpace &space)
 // ---------------------------------------------------------------------------
 
 /**
- * One pooled full run. The Design and CompiledDesign are heap-held so
- * their addresses stay stable for the engine's lifetime (OmniSim keeps
- * a reference, CompiledDesign a pointer).
+ * One pooled completed run: either a live engine that ran in this
+ * process, or a run rehydrated from the persistent store. The Design
+ * and CompiledDesign are heap-held so their addresses stay stable for
+ * the engine's lifetime (OmniSim keeps a reference, CompiledDesign a
+ * pointer); StoredRun is address-stable by construction. Both serve
+ * resimulate() with identical (bit-for-bit) outcomes, so a probe does
+ * not care which kind it hits.
  */
 struct EvalCache::PoolEntry
 {
     std::unique_ptr<Design> design;
     std::unique_ptr<CompiledDesign> cd;
     std::unique_ptr<OmniSim> engine;
+    std::unique_ptr<io::StoredRun> stored;
+
+    /** Depth vector the pooled run executed under (dedup on refresh). */
+    DepthVector baseDepths;
+
+    IncrementalOutcome
+    resimulate(const DepthVector &depths) const
+    {
+        return engine ? engine->resimulate(depths)
+                      : stored->resimulate(depths);
+    }
 };
 
 EvalCache::EvalCache(std::function<Design()> builder, OmniSimOptions opts,
@@ -138,8 +154,71 @@ EvalCache::EvalCache(std::function<Design()> builder, OmniSimOptions opts,
 
 EvalCache::~EvalCache() = default;
 
+void
+EvalCache::attachStore(io::RunStore *store, std::string designName,
+                       std::string engineName)
+{
+    omnisim_assert(store != nullptr, "attachStore: null store");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        omnisim_assert(store_ == nullptr,
+                       "attachStore: store already attached");
+        store_ = store;
+        storeDesign_ = std::move(designName);
+        storeEngine_ = std::move(engineName);
+    }
+    storeFingerprint_ = io::designFingerprint(builder_());
+    refreshFromStore();
+}
+
+std::size_t
+EvalCache::refreshFromStore()
+{
+    io::RunStore *store;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        store = store_;
+        if (!store || pool_.size() >= maxPool_)
+            return 0;
+    }
+
+    // Disk IO and rehydration happen outside the lock; adoption under
+    // the lock dedups against entries (and races) by base depth vector.
+    std::vector<std::unique_ptr<io::StoredRun>> runs = store->loadAll(
+        storeDesign_, storeEngine_, storeFingerprint_, maxPool_);
+
+    std::size_t adopted = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &run : runs) {
+        if (pool_.size() >= maxPool_)
+            break;
+        const DepthVector &base = run->baseDepths();
+        if (base.size() != fifoCount_)
+            continue; // stale: FIFO count changed under the same name
+        const bool dup = std::any_of(
+            pool_.begin(), pool_.end(),
+            [&](const auto &p) { return p->baseDepths == base; });
+        if (dup)
+            continue;
+        auto entry = std::make_unique<PoolEntry>();
+        entry->baseDepths = base;
+        entry->stored = std::move(run);
+        pool_.push_back(std::move(entry));
+        ++adopted;
+        ++storedWarmStarts_;
+    }
+    return adopted;
+}
+
+std::size_t
+EvalCache::storedWarmStarts() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return storedWarmStarts_;
+}
+
 Evaluation
-EvalCache::evaluate(const DepthVector &depths)
+EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
 {
     if (depths.size() != fifoCount_)
         omnisim_fatal("depth vector has %zu entries; design has %zu FIFOs",
@@ -153,11 +232,13 @@ EvalCache::evaluate(const DepthVector &depths)
         std::lock_guard<std::mutex> lock(mu_);
         if (const auto it = done_.find(depths); it != done_.end()) {
             ++cacheHits_;
-            return it->second;
+            Evaluation e = it->second;
+            e.fromMemo = true;
+            return e;
         }
     }
 
-    const Evaluation fresh = computeFresh(depths);
+    const Evaluation fresh = computeFresh(depths, allowIncremental);
 
     std::lock_guard<std::mutex> lock(mu_);
     // Two workers may race on the same unseen configuration; results
@@ -177,7 +258,7 @@ EvalCache::evaluate(const DepthVector &depths)
 }
 
 Evaluation
-EvalCache::computeFresh(const DepthVector &depths)
+EvalCache::computeFresh(const DepthVector &depths, bool allowIncremental)
 {
     Evaluation e;
     e.depths = depths;
@@ -185,24 +266,26 @@ EvalCache::computeFresh(const DepthVector &depths)
         e.cost += d;
 
     // Try the recorded constraints of every pooled run first (§7.2).
-    // resimulate() only reads run state, so a snapshot of raw engine
+    // resimulate() only reads run state, so a snapshot of raw entry
     // pointers can be probed without holding the cache lock: entries
     // are never removed and unique_ptr targets never move.
-    std::vector<OmniSim *> engines;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        engines.reserve(pool_.size());
-        for (const auto &p : pool_)
-            engines.push_back(p->engine.get());
-    }
-    for (OmniSim *eng : engines) {
-        const IncrementalOutcome inc = eng->resimulate(depths);
-        if (inc.reused) {
-            e.status = inc.result.status;
-            e.latency = inc.result.totalCycles;
-            e.method = EvalMethod::Incremental;
-            e.viaDelta = inc.viaDelta;
-            return e;
+    if (allowIncremental) {
+        std::vector<const PoolEntry *> entries;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            entries.reserve(pool_.size());
+            for (const auto &p : pool_)
+                entries.push_back(p.get());
+        }
+        for (const PoolEntry *entry : entries) {
+            const IncrementalOutcome inc = entry->resimulate(depths);
+            if (inc.reused) {
+                e.status = inc.result.status;
+                e.latency = inc.result.totalCycles;
+                e.method = EvalMethod::Incremental;
+                e.viaDelta = inc.viaDelta;
+                return e;
+            }
         }
     }
 
@@ -221,12 +304,21 @@ EvalCache::computeFresh(const DepthVector &depths)
         entry->cd =
             std::make_unique<CompiledDesign>(compile(*entry->design));
         entry->engine = std::make_unique<OmniSim>(*entry->cd, opts_);
+        entry->baseDepths = depths;
 
         const SimResult r = entry->engine->run();
         e.status = r.status;
         e.latency = r.ok() ? r.totalCycles : 0;
 
         if (r.ok()) {
+            // Publish outside the lock (file IO); failures only cost
+            // future processes their warm start.
+            if (store_) {
+                RunSnapshot snap;
+                if (entry->engine->exportSnapshot(snap))
+                    store_->publish(storeDesign_, storeEngine_,
+                                    storeFingerprint_, snap);
+            }
             std::lock_guard<std::mutex> lock(mu_);
             if (pool_.size() < maxPool_)
                 pool_.push_back(std::move(entry));
@@ -406,6 +498,10 @@ explore(const std::string &designLabel,
     rep.axes = space.axes;
 
     EvalCache cache(builder, opts.engine);
+    if (opts.store)
+        cache.attachStore(opts.store,
+                          opts.storeDesign.empty() ? designLabel
+                                                   : opts.storeDesign);
     const batch::BatchRunner pool({opts.jobs});
     rep.jobs = pool.jobs();
 
@@ -436,6 +532,7 @@ explore(const std::string &designLabel,
     rep.incrementalHits = cache.incrementalHits();
     rep.deltaHits = cache.deltaHits();
     rep.cacheHits = cache.cacheHits();
+    rep.storedWarmStarts = cache.storedWarmStarts();
     return rep;
 }
 

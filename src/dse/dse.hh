@@ -38,6 +38,11 @@
 #include "design/frontend.hh"
 #include "runtime/result.hh"
 
+namespace omnisim::io
+{
+class RunStore; // io/run_store.hh
+}
+
 namespace omnisim::dse
 {
 
@@ -73,6 +78,12 @@ struct Evaluation
     /** For Incremental evaluations: true when the CompiledRun delta
      *  worklist alone decided the attempt (no full relaxation pass). */
     bool viaDelta = false;
+
+    /** True when this evaluate() call was answered from the memo table
+     *  (method then describes how the configuration was *originally*
+     *  computed). Never set on entries inside the cache — only on the
+     *  copies a repeat call returns. */
+    bool fromMemo = false;
 
     /** Failure explanation when the engine threw (status == Crash). */
     std::string message;
@@ -170,11 +181,42 @@ class EvalCache
     EvalCache &operator=(const EvalCache &) = delete;
 
     /**
+     * Attach a persistent run store (io/run_store.hh). Warm start: the
+     * store's matching runs for (designName, engineName) are rehydrated
+     * into the reuse pool immediately — so the very first evaluate() of
+     * this process can be served at §7.2 incremental cost by a run some
+     * earlier process paid for. From then on every successful full run
+     * is published back to the store. The store must outlive the cache.
+     *
+     * Call before the first evaluate(); stale-design protection is by
+     * fingerprint (runs recorded against a structurally different
+     * design are skipped, never trusted).
+     */
+    void attachStore(io::RunStore *store, std::string designName,
+                     std::string engineName = "omnisim");
+
+    /**
+     * Re-scan the attached store for runs published since attachStore()
+     * (e.g. by a concurrent process) and adopt them into the reuse pool
+     * up to the pool cap. No-op without an attached store.
+     * @return runs newly adopted.
+     */
+    std::size_t refreshFromStore();
+
+    /** @return pool entries rehydrated from the attached store. */
+    std::size_t storedWarmStarts() const;
+
+    /**
      * Evaluate one configuration, memoized.
      * @param depths one depth (>= 1) per design FIFO.
+     * @param allowIncremental when false, skip the §7.2 reuse-pool
+     *        probe and pay for a fresh full engine run (unless the
+     *        configuration is already memoized) — the cold path the
+     *        serve layer's `simulate` op and benches use as a baseline.
      * @throws FatalError on a malformed depth vector.
      */
-    Evaluation evaluate(const DepthVector &depths);
+    Evaluation evaluate(const DepthVector &depths,
+                        bool allowIncremental = true);
 
     /** @return true when the configuration has already been evaluated. */
     bool contains(const DepthVector &depths) const;
@@ -202,12 +244,19 @@ class EvalCache
   private:
     struct PoolEntry;
 
-    Evaluation computeFresh(const DepthVector &depths);
+    Evaluation computeFresh(const DepthVector &depths,
+                            bool allowIncremental);
 
     std::function<Design()> builder_;
     OmniSimOptions opts_;
     std::size_t maxPool_;
     std::size_t fifoCount_;
+
+    // Persistent store attachment (null == in-process only).
+    io::RunStore *store_ = nullptr;
+    std::string storeDesign_;
+    std::string storeEngine_;
+    std::uint64_t storeFingerprint_ = 0;
 
     mutable std::mutex mu_;
     std::map<DepthVector, Evaluation> done_;
@@ -216,6 +265,7 @@ class EvalCache
     std::size_t deltaHits_ = 0;
     std::size_t fullRuns_ = 0;
     std::size_t cacheHits_ = 0;
+    std::size_t storedWarmStarts_ = 0;
 };
 
 /** Exploration configuration. */
@@ -238,6 +288,18 @@ struct DseOptions
 
     /** Engine options for fallback full runs. */
     OmniSimOptions engine;
+
+    /**
+     * Optional persistent run store (non-owning; must outlive the
+     * exploration). When set, the EvalCache warm-starts from runs
+     * earlier processes published for this design and publishes its own
+     * full runs back — repeated explorations of one design across
+     * processes converge to all-incremental serving.
+     */
+    io::RunStore *store = nullptr;
+
+    /** Store key; defaults to the explore() design label. */
+    std::string storeDesign;
 };
 
 /** Everything a search produced. */
@@ -277,6 +339,11 @@ struct DseReport
     std::size_t incrementalHits = 0;
     std::size_t deltaHits = 0;
     std::size_t cacheHits = 0;
+
+    /** Pool entries rehydrated from a persistent RunStore (0 when no
+     *  store was attached or the store had nothing usable). */
+    std::size_t storedWarmStarts = 0;
+
     unsigned jobs = 1;
     double wallSeconds = 0.0;
 

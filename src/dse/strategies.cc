@@ -317,7 +317,17 @@ class AnnealStrategy final : public DseStrategy
         constexpr double kCooling = 0.90;
         constexpr std::size_t kChainWidth = 8;
 
-        while (!ctx.exhausted()) {
+        // Stall bound: when the lattice is small relative to the budget
+        // the cooled chain revisits cached configurations almost
+        // exclusively, and without a cap it can crawl for minutes
+        // hunting the last unseen points (reconvergent --budget 512
+        // over a 625-point grid). A round whose whole wave lands in the
+        // cache contributes its proposals to the stall count; any new
+        // unique configuration resets it.
+        constexpr std::size_t kStallBound = 256;
+        std::size_t stalledProposals = 0;
+
+        while (!ctx.exhausted() && stalledProposals < kStallBound) {
             // Speculative batch: kChainWidth proposals perturbed from
             // the round-start state, with their acceptance draws taken
             // up front. All PRNG consumption is serial and
@@ -345,7 +355,12 @@ class AnnealStrategy final : public DseStrategy
                 draws.push_back(prng.uniform());
             }
 
+            const std::size_t remainingBefore = ctx.remaining();
             const auto results = ctx.evaluateMany(wave);
+            if (ctx.remaining() == remainingBefore)
+                stalledProposals += wave.size();
+            else
+                stalledProposals = 0;
             bool any = false;
             for (std::size_t p = 0; p < props.size(); ++p) {
                 if (!results[p].has_value())

@@ -103,7 +103,11 @@ class DseStrategy
  *         takes the best (latency, cost)-lexicographic improvement.
  * anneal  seeded simulated annealing over the candidate lattice with
  *         speculative proposal batches (support/prng.hh; no wall-clock
- *         randomness, deterministic for a fixed seed).
+ *         randomness, deterministic for a fixed seed). Terminates early
+ *         after 256 consecutive proposals without a new unique
+ *         configuration (the stall bound), so budgets near the lattice
+ *         size stop promptly instead of random-walking after the last
+ *         unseen points.
  */
 std::unique_ptr<DseStrategy> makeStrategy(const std::string &name);
 

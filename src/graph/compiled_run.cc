@@ -237,6 +237,12 @@ CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
         });
 }
 
+CompiledRun::CompiledRun(const RunSnapshot &snap)
+    : CompiledRun(snap.nodes, snap.edges, snap.seed, snap.tables,
+                  snap.depths, snap.constraints, snap.tailNode,
+                  snap.tailSlack)
+{}
+
 bool
 CompiledRun::relaxFull(const std::vector<std::uint32_t> &depths,
                        std::vector<Cycles> &time,

@@ -47,6 +47,7 @@ namespace omnisim
 {
 
 struct QueryRecord; // core/omnisim.hh
+struct RunSnapshot; // core/omnisim.hh
 
 /**
  * Immutable compiled snapshot of one finished run. All mutable state of
@@ -107,6 +108,19 @@ class CompiledRun
                 const std::vector<QueryRecord> &constraints,
                 std::vector<std::uint64_t> tailNode,
                 std::vector<Cycles> tailSlack);
+
+    /**
+     * Rehydration constructor: freeze a run deserialized in a fresh
+     * process (src/io/). Equivalent to the primary constructor over the
+     * snapshot's fields — the baseline solve, topological order, and
+     * constraint index are all recomputed, so a rehydrated run is
+     * bit-identical to the run frozen in the originating process. The
+     * snapshot must outlive the CompiledRun (its tables and constraints
+     * are referenced, not copied) and must already be validated
+     * (io::validateSnapshot): index invariants are asserted, not
+     * tolerated, here.
+     */
+    explicit CompiledRun(const RunSnapshot &snap);
 
     /** @return false when even the baseline WAR overlay has a timing
      *  cycle (only reachable in lazy write-stall mode). */

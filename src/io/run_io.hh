@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Versioned, endian-stable on-disk format for a completed OmniSim run,
+ * and the StoredRun rehydration wrapper that serves resimulate() from
+ * it in a fresh process (the LightningSimV2 lesson applied across
+ * process boundaries: the compiled graph should outlive the process
+ * that paid for the trace).
+ *
+ * File layout (all integers little-endian, see serial.hh):
+ *
+ *   magic            8 bytes   "OMSIMRUN"
+ *   format version   u32       kRunFormatVersion
+ *   payload checksum u64       FNV-1a over the payload bytes
+ *   payload size     u64
+ *   payload          bytes     meta (design, engine, fingerprint)
+ *                              followed by the RunSnapshot sections
+ *
+ * Decoding is strict: bad magic, an unknown version, a checksum
+ * mismatch, a truncated section, an impossible element count, or any
+ * violated semantic invariant (validateSnapshot) throws FatalError —
+ * a corrupt file is always a recoverable error, never UB. The design
+ * fingerprint (a structural hash that deliberately excludes FIFO
+ * depths — those are the re-simulation knob) lets loaders reject runs
+ * recorded against a since-changed design.
+ */
+
+#ifndef OMNISIM_IO_RUN_IO_HH
+#define OMNISIM_IO_RUN_IO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/omnisim.hh"
+#include "graph/compiled_run.hh"
+
+namespace omnisim
+{
+class Design;
+}
+
+namespace omnisim::io
+{
+
+/** Current on-disk format version; bumped on any layout change. */
+constexpr std::uint32_t kRunFormatVersion = 1;
+
+/** The 8-byte file magic. */
+extern const char kRunMagic[8];
+
+/** Identity block stored ahead of the snapshot payload. */
+struct RunFileMeta
+{
+    std::string design;       ///< Registry/design name.
+    std::string engine;       ///< Engine that produced the run.
+    std::uint64_t fingerprint = 0; ///< designFingerprint() at save time.
+};
+
+/**
+ * Structural hash of a design: name, modules (name + classifier
+ * options), FIFO topology (name, endpoints, access kinds), memories,
+ * AXI ports, and testbench inputs. FIFO depths are excluded — a stored
+ * run exists precisely to answer questions about other depth vectors —
+ * so the fingerprint is stable across the whole DSE lattice of one
+ * design and changes whenever the recorded trace could no longer be
+ * trusted.
+ */
+std::uint64_t designFingerprint(const Design &d);
+
+/** Stable hash of a depth vector (RunStore file naming). */
+std::uint64_t depthVectorHash(const std::vector<std::uint32_t> &depths);
+
+/** Encode a complete run file image (header + payload). */
+std::string encodeRun(const RunFileMeta &meta, const RunSnapshot &snap);
+
+/**
+ * Decode and fully validate a run file image.
+ * @throws FatalError on any malformation (see file comment).
+ */
+void decodeRun(std::string_view bytes, RunFileMeta &meta,
+               RunSnapshot &snap);
+
+/**
+ * Check every cross-index invariant of a decoded snapshot — node ids in
+ * tables/edges/constraints/tails within range, constraint kinds
+ * query-only with 1-based indices, table/pending arities consistent,
+ * depths positive, result status Ok — so that CompiledRun rehydration
+ * and constraint evaluation can index without bounds checks.
+ * @throws FatalError naming the first violation.
+ */
+void validateSnapshot(const RunSnapshot &snap);
+
+/**
+ * A run rehydrated from a snapshot: owns the snapshot storage and the
+ * CompiledRun frozen over it, and serves resimulate() with outcomes
+ * bit-identical to the originating process (tests/test_io.cc enforces
+ * this across the design registry).
+ *
+ * Not movable: the CompiledRun holds pointers to the snapshot's table
+ * and constraint vectors, so StoredRun instances live behind
+ * unique_ptr (see the open()/rehydrate() factories).
+ */
+class StoredRun
+{
+  public:
+    StoredRun(const StoredRun &) = delete;
+    StoredRun &operator=(const StoredRun &) = delete;
+
+    /**
+     * Rehydrate from an already-decoded snapshot.
+     * @throws FatalError when the snapshot fails validation or its
+     *         recorded baseline is timing-infeasible.
+     */
+    static std::unique_ptr<StoredRun> rehydrate(RunSnapshot snap,
+                                                RunFileMeta meta = {});
+
+    /**
+     * Read + decode + rehydrate a run file.
+     * @throws FatalError on IO errors or any malformation.
+     */
+    static std::unique_ptr<StoredRun> open(const std::string &path);
+
+    const RunFileMeta &meta() const { return meta_; }
+    const RunSnapshot &snapshot() const { return snap_; }
+
+    /** @return the depth vector the recorded run executed under. */
+    const std::vector<std::uint32_t> &baseDepths() const
+    {
+        return snap_.depths;
+    }
+
+    /** @return the recorded baseline result (status Ok). */
+    const SimResult &baseline() const { return snap_.result; }
+
+    /**
+     * Attempt incremental re-simulation under new depths, without the
+     * design, the DSL, or any re-tracing — pure CompiledRun delta
+     * relaxation over the rehydrated structure. Identical contract to
+     * OmniSim::resimulate(): reused outcomes carry the baseline result
+     * with re-finalized cycles; divergence reports the first flipped
+     * constraint with the same message text. Thread-safe.
+     */
+    IncrementalOutcome
+    resimulate(const std::vector<std::uint32_t> &depths) const;
+
+  private:
+    StoredRun(RunSnapshot snap, RunFileMeta meta);
+
+    RunFileMeta meta_;
+    RunSnapshot snap_;
+    std::unique_ptr<CompiledRun> compiled_; ///< References snap_.
+};
+
+} // namespace omnisim::io
+
+#endif // OMNISIM_IO_RUN_IO_HH

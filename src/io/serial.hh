@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Endian-stable binary serialization primitives for the persistent run
+ * store (src/io/). Every multi-byte integer is encoded little-endian
+ * byte-by-byte, so files written on any host decode identically on any
+ * other — no memcpy of host-order structs, no padding, no UB.
+ *
+ * ByteReader is the untrusted-input half: every read is bounds-checked
+ * and a malformed length prefix throws FatalError before any allocation
+ * larger than the remaining input can happen. Truncated, bit-flipped,
+ * or hostile files therefore fail with a recoverable exception, never
+ * with undefined behaviour — the property tests/test_io.cc fuzzes.
+ */
+
+#ifndef OMNISIM_IO_SERIAL_HH
+#define OMNISIM_IO_SERIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace omnisim::io
+{
+
+/** Append-only little-endian encoder. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    /** Length-prefixed (u64) byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    /** Raw bytes, no length prefix (magic headers). */
+    void
+    raw(const char *data, std::size_t n)
+    {
+        buf_.append(data, n);
+    }
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked little-endian decoder over an in-memory buffer. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view bytes) : p_(bytes), pos_(0) {}
+
+    std::size_t remaining() const { return p_.size() - pos_; }
+    bool atEnd() const { return pos_ == p_.size(); }
+    std::size_t position() const { return pos_; }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(p_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<std::uint8_t>(p_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(p_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    /** Length-prefixed byte string; the length must fit the input. */
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(p_.substr(pos_, static_cast<std::size_t>(n)));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /** Raw bytes, no length prefix. */
+    std::string_view
+    raw(std::size_t n)
+    {
+        need(n);
+        std::string_view v = p_.substr(pos_, n);
+        pos_ += n;
+        return v;
+    }
+
+    /**
+     * Read an element-count prefix for a vector whose encoded elements
+     * occupy at least minElemBytes each. Rejecting counts the remaining
+     * input cannot possibly hold stops a corrupted length from turning
+     * into a multi-gigabyte allocation before the decode loop even hits
+     * the end of the buffer.
+     */
+    std::size_t
+    count(std::size_t minElemBytes)
+    {
+        const std::uint64_t n = u64();
+        if (minElemBytes > 0 && n > remaining() / minElemBytes)
+            omnisim_fatal("run file corrupt: element count %llu exceeds "
+                          "the %zu remaining bytes",
+                          static_cast<unsigned long long>(n), remaining());
+        return static_cast<std::size_t>(n);
+    }
+
+  private:
+    void
+    need(std::uint64_t n)
+    {
+        if (n > remaining())
+            omnisim_fatal("run file truncated: need %llu bytes at offset "
+                          "%zu, have %zu",
+                          static_cast<unsigned long long>(n), pos_,
+                          remaining());
+    }
+
+    std::string_view p_;
+    std::size_t pos_;
+};
+
+/** FNV-1a 64-bit hash (file checksums and store keys). */
+inline std::uint64_t
+fnv1a(std::string_view bytes, std::uint64_t h = 1469598103934665603ull)
+{
+    for (const char c : bytes)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    return h;
+}
+
+/** Fold one integer into an FNV-1a hash (endian-stable). */
+inline std::uint64_t
+fnv1aU64(std::uint64_t v, std::uint64_t h)
+{
+    for (int i = 0; i < 8; ++i)
+        h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+    return h;
+}
+
+} // namespace omnisim::io
+
+#endif // OMNISIM_IO_SERIAL_HH

@@ -1,0 +1,573 @@
+#include "serve/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace omnisim::serve
+{
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors.
+// ---------------------------------------------------------------------------
+
+bool
+JsonValue::boolean() const
+{
+    if (kind_ != Kind::Bool)
+        omnisim_fatal("json: expected a boolean");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    if (kind_ != Kind::Number)
+        omnisim_fatal("json: expected a number");
+    return num_;
+}
+
+const std::string &
+JsonValue::str() const
+{
+    if (kind_ != Kind::String)
+        omnisim_fatal("json: expected a string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    if (kind_ != Kind::Array)
+        omnisim_fatal("json: expected an array");
+    return elems_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        omnisim_fatal("json: expected an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::uint64_t
+JsonValue::asU64(const char *what, std::uint64_t max) const
+{
+    if (kind_ != Kind::Number)
+        omnisim_fatal("%s must be a number", what);
+    if (!(num_ >= 0) || num_ != std::floor(num_) ||
+        num_ > static_cast<double>(max))
+        omnisim_fatal("%s must be an integer in [0, %llu]", what,
+                      static_cast<unsigned long long>(max));
+    return static_cast<std::uint64_t>(num_);
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> elems)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.elems_ = std::move(elems);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : p_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value(0);
+        skipWs();
+        if (pos_ != p_.size())
+            omnisim_fatal("json: trailing characters at offset %zu", pos_);
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    JsonValue
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            omnisim_fatal("json: nesting deeper than %d", kMaxDepth);
+        skipWs();
+        if (pos_ >= p_.size())
+            omnisim_fatal("json: unexpected end of input");
+        const char c = p_[pos_];
+        switch (c) {
+          case '{':
+            return object(depth);
+          case '[':
+            return array(depth);
+          case '"':
+            return JsonValue::makeString(string());
+          case 't':
+            literal("true");
+            return JsonValue::makeBool(true);
+          case 'f':
+            literal("false");
+            return JsonValue::makeBool(false);
+          case 'n':
+            literal("null");
+            return JsonValue::makeNull();
+          default:
+            return number();
+        }
+    }
+
+    JsonValue
+    object(int depth)
+    {
+        expect('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::makeObject(std::move(members));
+        }
+        for (;;) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            members.emplace_back(std::move(key), value(depth + 1));
+            skipWs();
+            const char c = next();
+            if (c == '}')
+                return JsonValue::makeObject(std::move(members));
+            if (c != ',')
+                omnisim_fatal("json: expected ',' or '}' at offset %zu",
+                              pos_ - 1);
+        }
+    }
+
+    JsonValue
+    array(int depth)
+    {
+        expect('[');
+        std::vector<JsonValue> elems;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::makeArray(std::move(elems));
+        }
+        for (;;) {
+            elems.push_back(value(depth + 1));
+            skipWs();
+            const char c = next();
+            if (c == ']')
+                return JsonValue::makeArray(std::move(elems));
+            if (c != ',')
+                omnisim_fatal("json: expected ',' or ']' at offset %zu",
+                              pos_ - 1);
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= p_.size())
+                omnisim_fatal("json: unterminated string");
+            const char c = p_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                omnisim_fatal("json: raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= p_.size())
+                omnisim_fatal("json: unterminated escape");
+            const char e = p_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': unicodeEscape(out); break;
+              default:
+                omnisim_fatal("json: bad escape '\\%c'", e);
+            }
+        }
+    }
+
+    /** \uXXXX (with surrogate pairs) encoded to UTF-8. */
+    void
+    unicodeEscape(std::string &out)
+    {
+        std::uint32_t cp = hex4();
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 1 >= p_.size() || p_[pos_] != '\\' ||
+                p_[pos_ + 1] != 'u')
+                omnisim_fatal("json: unpaired surrogate");
+            pos_ += 2;
+            const std::uint32_t lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+                omnisim_fatal("json: bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            omnisim_fatal("json: unpaired surrogate");
+        }
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::uint32_t
+    hex4()
+    {
+        if (pos_ + 4 > p_.size())
+            omnisim_fatal("json: truncated \\u escape");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = p_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                omnisim_fatal("json: bad hex digit in \\u escape");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        const std::size_t intStart = pos_;
+        if (!digit())
+            omnisim_fatal("json: bad value at offset %zu", start);
+        while (digit())
+            ;
+        if (p_[intStart] == '0' && pos_ - intStart > 1)
+            omnisim_fatal("json: leading zero at offset %zu", intStart);
+        if (peek() == '.') {
+            ++pos_;
+            if (!digit())
+                omnisim_fatal("json: bad fraction at offset %zu", pos_);
+            while (digit())
+                ;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digit())
+                omnisim_fatal("json: bad exponent at offset %zu", pos_);
+            while (digit())
+                ;
+        }
+        const std::string text(p_.substr(start, pos_ - start));
+        return JsonValue::makeNumber(std::strtod(text.c_str(), nullptr));
+    }
+
+    bool
+    digit()
+    {
+        if (pos_ < p_.size() && p_[pos_] >= '0' && p_[pos_] <= '9') {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < p_.size() &&
+               (p_[pos_] == ' ' || p_[pos_] == '\t' || p_[pos_] == '\n' ||
+                p_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < p_.size() ? p_[pos_] : '\0';
+    }
+
+    char
+    next()
+    {
+        if (pos_ >= p_.size())
+            omnisim_fatal("json: unexpected end of input");
+        return p_[pos_++];
+    }
+
+    void
+    expect(char c)
+    {
+        if (next() != c)
+            omnisim_fatal("json: expected '%c' at offset %zu", c, pos_ - 1);
+    }
+
+    void
+    literal(const char *word)
+    {
+        const std::string_view w(word);
+        if (p_.substr(pos_, w.size()) != w)
+            omnisim_fatal("json: bad literal at offset %zu", pos_);
+        pos_ += w.size();
+    }
+
+    std::string_view p_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+// ---------------------------------------------------------------------------
+// Emission.
+// ---------------------------------------------------------------------------
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string q = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"': q += "\\\""; break;
+          case '\\': q += "\\\\"; break;
+          case '\b': q += "\\b"; break;
+          case '\f': q += "\\f"; break;
+          case '\n': q += "\\n"; break;
+          case '\r': q += "\\r"; break;
+          case '\t': q += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                q += strf("\\u%04x", static_cast<unsigned>(
+                                         static_cast<unsigned char>(c)));
+            else
+                q += c;
+        }
+    }
+    return q + "\"";
+}
+
+std::string
+JsonValue::dump() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return bool_ ? "true" : "false";
+      case Kind::Number: {
+        if (std::isfinite(num_) && num_ == std::floor(num_) &&
+            std::fabs(num_) < 9.007199254740992e15)
+            return strf("%lld", static_cast<long long>(num_));
+        return std::isfinite(num_) ? strf("%.17g", num_) : "null";
+      }
+      case Kind::String:
+        return jsonQuote(str_);
+      case Kind::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += elems_[i].dump();
+        }
+        return out + "]";
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += jsonQuote(members_[i].first) + ":" +
+                   members_[i].second.dump();
+        }
+        return out + "}";
+      }
+    }
+    return "null";
+}
+
+JsonBuilder &
+JsonBuilder::key(std::string_view k)
+{
+    comma();
+    out_ += jsonQuote(k);
+    out_ += ':';
+    fresh_ = true;
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::value(std::string_view text)
+{
+    comma();
+    out_ += text;
+    return *this;
+}
+
+JsonBuilder &JsonBuilder::str(std::string_view v)
+{
+    return value(jsonQuote(v));
+}
+
+JsonBuilder &
+JsonBuilder::num(double v)
+{
+    return value(std::isfinite(v) ? strf("%.6g", v) : "0");
+}
+
+JsonBuilder &
+JsonBuilder::num(std::uint64_t v)
+{
+    return value(strf("%llu", static_cast<unsigned long long>(v)));
+}
+
+JsonBuilder &JsonBuilder::boolean(bool v)
+{
+    return value(v ? "true" : "false");
+}
+
+JsonBuilder &JsonBuilder::null() { return value("null"); }
+
+JsonBuilder &JsonBuilder::rawValue(std::string_view json)
+{
+    return value(json);
+}
+
+JsonBuilder &
+JsonBuilder::beginObject()
+{
+    comma();
+    out_ += '{';
+    fresh_ = true;
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::endObject()
+{
+    out_ += '}';
+    fresh_ = false;
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::beginArray()
+{
+    comma();
+    out_ += '[';
+    fresh_ = true;
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::endArray()
+{
+    out_ += ']';
+    fresh_ = false;
+    return *this;
+}
+
+std::string
+JsonBuilder::finish()
+{
+    out_ += '}';
+    return std::move(out_);
+}
+
+void
+JsonBuilder::comma()
+{
+    if (!fresh_)
+        out_ += ',';
+    fresh_ = false;
+}
+
+} // namespace omnisim::serve

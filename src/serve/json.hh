@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Minimal JSON support for the serve protocol (src/serve/): a
+ * recursive-descent parser into a JsonValue tree for incoming request
+ * lines, and a JsonBuilder emitter for responses. Self-contained by
+ * design — the serve layer must not pull in a dependency the container
+ * does not have — and hardened for untrusted input: depth-limited
+ * recursion, strict UTF-16 escape handling, and FatalError (never UB,
+ * never abort) on malformed text.
+ */
+
+#ifndef OMNISIM_SERVE_JSON_HH
+#define OMNISIM_SERVE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace omnisim::serve
+{
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /**
+     * Parse one JSON document (must consume the whole input).
+     * @throws FatalError on malformed text or nesting deeper than 64.
+     */
+    static JsonValue parse(std::string_view text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** @return the boolean payload (Bool only). */
+    bool boolean() const;
+
+    /** @return the numeric payload (Number only). */
+    double number() const;
+
+    /** @return the string payload (String only). */
+    const std::string &str() const;
+
+    /** @return array elements (Array only). */
+    const std::vector<JsonValue> &array() const;
+
+    /** @return object members in input order (Object only). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** @return the named member, or null when absent (Object only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * @return the numeric payload as an unsigned integer.
+     * @throws FatalError when not a non-negative whole number <= max.
+     */
+    std::uint64_t asU64(const char *what, std::uint64_t max) const;
+
+    /** Re-serialize (canonical escaping; numbers via %.17g). */
+    std::string dump() const;
+
+    // Construction (used by the parser; handy in tests).
+    JsonValue() = default;
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> elems);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> elems_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Escape + quote a string for JSON output. */
+std::string jsonQuote(std::string_view s);
+
+/**
+ * Streaming JSON object/array builder for responses — same shape as
+ * the bench JsonWriter but with full string escaping, since service
+ * output carries arbitrary error messages from the engine.
+ */
+class JsonBuilder
+{
+  public:
+    JsonBuilder() { out_ += '{'; }
+
+    JsonBuilder &key(std::string_view k);
+    JsonBuilder &str(std::string_view v);
+    JsonBuilder &num(double v);
+    JsonBuilder &num(std::uint64_t v);
+    /** Any unsigned integral count (size_t, unsigned, ...). */
+    template <typename Int,
+              typename = std::enable_if_t<std::is_integral_v<Int> &&
+                                          !std::is_same_v<Int, bool> &&
+                                          !std::is_same_v<Int,
+                                                          std::uint64_t>>>
+    JsonBuilder &
+    num(Int v)
+    {
+        return num(static_cast<std::uint64_t>(v));
+    }
+    JsonBuilder &boolean(bool v);
+    JsonBuilder &null();
+    /** Splice an already-serialized JSON fragment (request id echo). */
+    JsonBuilder &rawValue(std::string_view json);
+    JsonBuilder &beginObject();
+    JsonBuilder &endObject();
+    JsonBuilder &beginArray();
+    JsonBuilder &endArray();
+
+    /** Close the top-level object and return the document. */
+    std::string finish();
+
+  private:
+    void comma();
+    JsonBuilder &value(std::string_view text);
+
+    std::string out_;
+    bool fresh_ = true;
+};
+
+} // namespace omnisim::serve
+
+#endif // OMNISIM_SERVE_JSON_HH

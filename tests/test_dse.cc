@@ -246,6 +246,24 @@ TEST(DseStrategies, AnnealFindsTheGridOptimumLatency)
     EXPECT_EQ(anneal.minLatency.latency, grid.minLatency.latency);
 }
 
+TEST(DseStrategies, AnnealStallBoundTerminatesNearGridBudgets)
+{
+    // Regression for the ROADMAP open item: `reconvergent --budget 512`
+    // puts the budget near the default lattice's 625-point grid, and
+    // the cooled chain used to crawl for minutes hunting the last
+    // unseen configurations — every wave a full re-walk of the cache.
+    // The stall bound (256 consecutive proposals without a new unique
+    // configuration) must end the search promptly instead; without it
+    // this test effectively hangs under the CI timeout. The chain still
+    // has to do real work first: it must reach the grid optimum before
+    // stalling out.
+    const DseReport rep = runDse("reconvergent", "anneal", 512, 0, 42);
+    ASSERT_TRUE(rep.anyOk);
+    EXPECT_LE(rep.evaluations.size(), 512u);
+    const DseReport grid = runDse("reconvergent", "grid", 1024);
+    EXPECT_EQ(rep.minLatency.latency, grid.minLatency.latency);
+}
+
 TEST(DseStrategies, BinarySearchMatchesGridOnTheChain)
 {
     const DseReport grid = runDse("fifo_chain", "grid", 64);

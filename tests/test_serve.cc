@@ -1,0 +1,426 @@
+/** @file Simulation service tests: JSON protocol parsing, request
+ *  dispatch with per-request ids, error isolation, concurrent
+ *  submission through the TaskPool, warm-cache serving across service
+ *  instances via the RunStore, and graceful shutdown/drain. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "batch/batch.hh"
+#include "design/frontend.hh"
+#include "designs/common.hh"
+#include "helpers.hh"
+#include "serve/json.hh"
+#include "serve/service.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using serve::JsonValue;
+using serve::SimService;
+
+struct TempDir
+{
+    std::string path;
+
+    explicit TempDir(const std::string &tag)
+        : path((fs::path("serve_test_tmp") / tag).string())
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/** Handle a line and parse the response. */
+JsonValue
+ask(SimService &svc, const std::string &line)
+{
+    return JsonValue::parse(svc.handle(line));
+}
+
+std::uint64_t
+numField(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_NE(f, nullptr) << key;
+    return f ? f->asU64(key, ~0ull) : 0;
+}
+
+std::string
+strField(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_NE(f, nullptr) << key;
+    return f ? f->str() : "";
+}
+
+bool
+okField(const JsonValue &v)
+{
+    const JsonValue *f = v.find("ok");
+    return f && f->isBool() && f->boolean();
+}
+
+// ---------------------------------------------------------------------------
+// JSON layer.
+// ---------------------------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsObjectsAndArrays)
+{
+    const JsonValue v = JsonValue::parse(
+        R"({"a":1,"b":-2.5,"c":"x\ny","d":[true,false,null],"e":{"f":3}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.find("a")->number(), 1.0);
+    EXPECT_EQ(v.find("b")->number(), -2.5);
+    EXPECT_EQ(v.find("c")->str(), "x\ny");
+    ASSERT_TRUE(v.find("d")->isArray());
+    EXPECT_EQ(v.find("d")->array().size(), 3u);
+    EXPECT_TRUE(v.find("d")->array()[2].isNull());
+    EXPECT_EQ(v.find("e")->find("f")->number(), 3.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ServeJson, UnicodeEscapesDecodeToUtf8)
+{
+    EXPECT_EQ(JsonValue::parse(R"("\u0041\u00e9")").str(), "A\xc3\xa9");
+    EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").str(),
+              "\xf0\x9f\x98\x80"); // surrogate pair
+    EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), FatalError);
+}
+
+TEST(ServeJson, MalformedInputThrowsNeverCrashes)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\":}", "tru", "{\"a\" 1}", "\"unterminated",
+          "{\"a\":1}trailing", "nan", "01", "-", "{\"a\":1,}",
+          "\"bad \\q escape\"", "[\"\\u12zz\"]"}) {
+        EXPECT_THROW(JsonValue::parse(bad), FatalError) << bad;
+    }
+    // Depth bomb: rejected by the nesting cap, not a stack overflow.
+    EXPECT_THROW(JsonValue::parse(std::string(4096, '[')), FatalError);
+}
+
+TEST(ServeJson, DumpRoundTripsAndEscapes)
+{
+    const JsonValue v =
+        JsonValue::parse(R"({"s":"a\"b\\c\n","n":[1,2.5,-3]})");
+    const JsonValue again = JsonValue::parse(v.dump());
+    EXPECT_EQ(again.find("s")->str(), "a\"b\\c\n");
+    EXPECT_EQ(again.find("n")->array()[1].number(), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(SimServiceTest, SimulateMatchesDirectEngineRun)
+{
+    SimService svc({1, "", 4, {}});
+    const JsonValue r = ask(
+        svc, R"({"id":7,"op":"simulate","design":"fifo_chain"})");
+    ASSERT_TRUE(okField(r)) << r.dump();
+    EXPECT_EQ(numField(r, "id"), 7u);
+    EXPECT_EQ(strField(r, "op"), "simulate");
+    EXPECT_EQ(strField(r, "status"), "Ok");
+    EXPECT_EQ(strField(r, "method"), "full");
+
+    const test::Compiled c("fifo_chain");
+    const SimResult direct = simulateOmniSim(c.cd);
+    EXPECT_EQ(numField(r, "cycles"), direct.totalCycles);
+}
+
+TEST(SimServiceTest, ResimulateIsServedIncrementallyAfterSimulate)
+{
+    SimService svc({1, "", 4, {}});
+    ASSERT_TRUE(okField(ask(
+        svc, R"({"id":1,"op":"simulate","design":"fifo_chain"})")));
+    const JsonValue r = ask(svc,
+        R"({"id":2,"op":"resimulate","design":"fifo_chain",)"
+        R"("depths":{"a":9,"b":9}})");
+    ASSERT_TRUE(okField(r)) << r.dump();
+    EXPECT_EQ(strField(r, "method"), "incremental");
+
+    // Ground truth: a fresh engine run at those depths.
+    Design d = designs::findDesign("fifo_chain").build();
+    d.setFifoDepth(d.fifoByName("a"), 9);
+    d.setFifoDepth(d.fifoByName("b"), 9);
+    const SimResult fresh = simulateOmniSim(compile(d));
+    ASSERT_EQ(fresh.status, SimStatus::Ok);
+    EXPECT_EQ(numField(r, "cycles"), fresh.totalCycles);
+}
+
+TEST(SimServiceTest, DepthsAcceptArrayForm)
+{
+    SimService svc({1, "", 4, {}});
+    const JsonValue r = ask(svc,
+        R"({"id":1,"op":"simulate","design":"fifo_chain",)"
+        R"("depths":[3,5]})");
+    ASSERT_TRUE(okField(r)) << r.dump();
+    EXPECT_EQ(numField(r, "cost"), 8u);
+}
+
+TEST(SimServiceTest, ForeignEngineRunsViaScenarioPath)
+{
+    SimService svc({1, "", 4, {}});
+    const JsonValue r = ask(svc,
+        R"({"id":1,"op":"simulate","design":"fifo_chain",)"
+        R"("engine":"cosim"})");
+    ASSERT_TRUE(okField(r)) << r.dump();
+    EXPECT_EQ(strField(r, "engine"), "cosim");
+    EXPECT_EQ(strField(r, "status"), "Ok");
+}
+
+TEST(SimServiceTest, ErrorIsolationKeepsServing)
+{
+    SimService svc({1, "", 4, {}});
+
+    // Unknown design.
+    JsonValue r = ask(
+        svc, R"({"id":1,"op":"simulate","design":"no_such_design"})");
+    EXPECT_FALSE(okField(r));
+    EXPECT_EQ(numField(r, "id"), 1u);
+    EXPECT_NE(strField(r, "error").find("no_such_design"),
+              std::string::npos);
+
+    // Unknown FIFO in depths.
+    r = ask(svc, R"({"id":2,"op":"resimulate","design":"fifo_chain",)"
+                 R"("depths":{"zz":4}})");
+    EXPECT_FALSE(okField(r));
+
+    // Malformed JSON: id unknown, still a structured error.
+    r = JsonValue::parse(svc.handle("{nope"));
+    EXPECT_FALSE(okField(r));
+    EXPECT_TRUE(r.find("id")->isNull());
+
+    // Missing op / non-object / bad depth types.
+    EXPECT_FALSE(okField(ask(svc, R"({"id":3})")));
+    EXPECT_FALSE(okField(ask(svc, R"([1,2,3])")));
+    EXPECT_FALSE(okField(ask(
+        svc, R"({"id":4,"op":"resimulate","design":"fifo_chain",)"
+             R"("depths":{"a":-3}})")));
+    EXPECT_FALSE(okField(ask(
+        svc, R"({"id":5,"op":"simulate","design":"fifo_chain",)"
+             R"("engine":"verilator"})")));
+
+    // After all that abuse the service still answers correctly.
+    r = ask(svc, R"({"id":6,"op":"simulate","design":"fifo_chain"})");
+    EXPECT_TRUE(okField(r)) << r.dump();
+    EXPECT_FALSE(svc.shutdownRequested());
+}
+
+TEST(SimServiceTest, DseOpRunsAndReportsFrontier)
+{
+    SimService svc({1, "", 4, {}});
+    const JsonValue r = ask(svc,
+        R"({"id":1,"op":"dse","design":"reconvergent","strategy":"grid",)"
+        R"("budget":12,"jobs":1})");
+    ASSERT_TRUE(okField(r)) << r.dump();
+    EXPECT_EQ(strField(r, "strategy"), "grid");
+    EXPECT_GE(numField(r, "evaluations"), 1u);
+    ASSERT_TRUE(r.find("frontier")->isArray());
+    EXPECT_FALSE(r.find("frontier")->array().empty());
+    EXPECT_NE(r.find("min_latency"), nullptr);
+}
+
+TEST(SimServiceTest, BatchOpRunsScenarios)
+{
+    SimService svc({1, "", 4, {}});
+    const JsonValue r = ask(svc,
+        R"({"id":1,"op":"batch","designs":["fifo_chain","fir_filter"],)"
+        R"("engines":["omnisim","csim"],"seeds":1,"jobs":2})");
+    ASSERT_TRUE(okField(r)) << r.dump();
+    EXPECT_EQ(numField(r, "scenarios"), 4u);
+    EXPECT_EQ(numField(r, "failed_count"), 0u);
+    EXPECT_EQ(r.find("outcomes")->array().size(), 4u);
+}
+
+TEST(SimServiceTest, ListAndStatsOps)
+{
+    SimService svc({1, "", 4, {}});
+    const JsonValue list = ask(svc, R"({"id":1,"op":"list"})");
+    ASSERT_TRUE(okField(list));
+    EXPECT_GT(list.find("designs")->array().size(), 10u);
+
+    const JsonValue stats = ask(svc, R"({"id":2,"op":"stats"})");
+    ASSERT_TRUE(okField(stats));
+    EXPECT_TRUE(stats.find("store")->isNull());
+}
+
+TEST(SimServiceTest, ShutdownSetsFlagAndEchoesId)
+{
+    SimService svc({1, "", 4, {}});
+    EXPECT_FALSE(svc.shutdownRequested());
+    const JsonValue r =
+        ask(svc, R"({"id":"bye","op":"shutdown"})");
+    EXPECT_TRUE(okField(r));
+    EXPECT_EQ(r.find("id")->str(), "bye");
+    EXPECT_TRUE(svc.shutdownRequested());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency and transports.
+// ---------------------------------------------------------------------------
+
+TEST(SimServiceTest, ConcurrentSubmissionsAllAnswer)
+{
+    SimService svc({4, "", 4, {}});
+    constexpr int kRequests = 24;
+
+    std::mutex mu;
+    std::vector<JsonValue> responses;
+    for (int i = 0; i < kRequests; ++i) {
+        const std::uint32_t depth = 2 + (i % 6);
+        svc.submit(strf("{\"id\":%d,\"op\":\"resimulate\","
+                        "\"design\":\"fifo_chain\","
+                        "\"depths\":{\"a\":%u}}", i, depth),
+                   [&](std::string line) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       responses.push_back(JsonValue::parse(line));
+                   });
+    }
+    svc.drain();
+
+    ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+    std::vector<bool> seen(kRequests, false);
+    for (const JsonValue &r : responses) {
+        EXPECT_TRUE(okField(r)) << r.dump();
+        const auto id = static_cast<std::size_t>(numField(r, "id"));
+        ASSERT_LT(id, seen.size());
+        EXPECT_FALSE(seen[id]) << "duplicate response for id " << id;
+        seen[id] = true;
+    }
+    EXPECT_EQ(svc.requestsServed(), static_cast<std::uint64_t>(kRequests));
+
+    // Determinism across the concurrent path: equal depths answered
+    // with equal cycles.
+    std::map<std::uint64_t, std::uint64_t> byCost;
+    for (const JsonValue &r : responses) {
+        const std::uint64_t cost = numField(r, "cost");
+        const std::uint64_t cycles = numField(r, "cycles");
+        const auto [it, fresh] = byCost.emplace(cost, cycles);
+        EXPECT_EQ(it->second, cycles) << "cost " << cost;
+        (void)fresh;
+    }
+}
+
+TEST(SimServiceTest, WarmStartAcrossServiceInstances)
+{
+    TempDir dir("svc_warm");
+
+    // Service instance 1 pays for the trace and publishes it.
+    {
+        SimService svc({1, dir.path, 4, {}});
+        const JsonValue r = ask(
+            svc, R"({"id":1,"op":"simulate","design":"reconvergent"})");
+        ASSERT_TRUE(okField(r)) << r.dump();
+        EXPECT_EQ(strField(r, "method"), "full");
+    }
+
+    // Instance 2 — a fresh "process" — serves resimulate incrementally
+    // from the stored run without any full engine run.
+    {
+        SimService svc({1, dir.path, 4, {}});
+        const JsonValue r = ask(svc,
+            R"({"id":2,"op":"resimulate","design":"reconvergent"})");
+        ASSERT_TRUE(okField(r)) << r.dump();
+        EXPECT_EQ(strField(r, "method"), "incremental");
+    }
+}
+
+TEST(SimServiceTest, ServeLinesDrainsAndAnswersShutdownLast)
+{
+    SimService svc({2, "", 4, {}});
+    std::istringstream in(
+        "{\"id\":1,\"op\":\"simulate\",\"design\":\"fifo_chain\"}\n"
+        "\n" // blank lines are ignored
+        "{\"id\":2,\"op\":\"resimulate\",\"design\":\"fifo_chain\","
+        "\"depths\":{\"b\":6}}\n"
+        "{\"id\":3,\"op\":\"shutdown\"}\n"
+        "{\"id\":4,\"op\":\"simulate\",\"design\":\"fifo_chain\"}\n");
+    std::ostringstream out;
+    EXPECT_EQ(serve::serveLines(svc, in, out), 0);
+    EXPECT_TRUE(svc.shutdownRequested());
+
+    std::vector<JsonValue> responses;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line))
+        responses.push_back(JsonValue::parse(line));
+
+    // Three responses: the request after shutdown is never read.
+    ASSERT_EQ(responses.size(), 3u);
+    for (const JsonValue &r : responses)
+        EXPECT_TRUE(okField(r)) << r.dump();
+    // Shutdown answers last, after the drain.
+    EXPECT_EQ(numField(responses.back(), "id"), 3u);
+}
+
+TEST(SimServiceTest, UnterminatedFinalLineStillAnswered)
+{
+    SimService svc({1, "", 4, {}});
+    std::istringstream in(R"({"id":1,"op":"stats"})"); // no newline
+    std::ostringstream out;
+    EXPECT_EQ(serve::serveLines(svc, in, out), 0);
+    const JsonValue r = JsonValue::parse(out.str());
+    EXPECT_TRUE(okField(r)) << r.dump();
+    EXPECT_EQ(numField(r, "id"), 1u);
+}
+
+TEST(SimServiceTest, OversizedRequestLineIsRejectedNotBuffered)
+{
+    // One endless line must not OOM the resident service: it earns a
+    // structured error and the session keeps serving.
+    SimService svc({1, "", 4, {}});
+    std::string input((2u << 20), 'x');
+    input += "\n{\"id\":1,\"op\":\"stats\"}\n{\"id\":2,\"op\":"
+             "\"shutdown\"}\n";
+    std::istringstream in(input);
+    std::ostringstream out;
+    EXPECT_EQ(serve::serveLines(svc, in, out), 0);
+
+    std::vector<JsonValue> responses;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line))
+        responses.push_back(JsonValue::parse(line));
+    ASSERT_EQ(responses.size(), 3u);
+    EXPECT_FALSE(okField(responses[0]));
+    EXPECT_NE(strField(responses[0], "error").find("exceeds"),
+              std::string::npos);
+    EXPECT_TRUE(okField(responses[1]));
+    EXPECT_TRUE(okField(responses[2]));
+    EXPECT_EQ(numField(responses.back(), "id"), 2u);
+}
+
+TEST(TaskPoolTest, ExecutesDrainsAndIsolatesExceptions)
+{
+    batch::TaskPool pool(3);
+    EXPECT_EQ(pool.jobs(), 3u);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    // A throwing task must not take a worker down.
+    pool.submit([] { throw std::runtime_error("task bug"); });
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 100);
+    EXPECT_EQ(pool.completed(), 101u);
+
+    // drain() on an idle pool returns immediately.
+    pool.drain();
+}
+
+} // namespace
+} // namespace omnisim

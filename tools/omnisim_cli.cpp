@@ -17,6 +17,9 @@
  *                                [--linear] [--csv]
  *   omnisim_cli batch   [--jobs N] [--engines csim,cosim,lightning,omnisim]
  *                       [--seeds K] [--designs a,b,...]
+ *   omnisim_cli serve   [--jobs N] [--store DIR] [--socket PATH]
+ *
+ * serve/dse/batch print focused usage on --help or malformed flags.
  */
 
 #include <algorithm>
@@ -25,6 +28,7 @@
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,7 +43,9 @@
 #include "designs/common.hh"
 #include "dse/dse.hh"
 #include "dse/strategies.hh"
+#include "io/run_store.hh"
 #include "lightningsim/lightningsim.hh"
+#include "serve/service.hh"
 #include "support/stopwatch.hh"
 #include "support/table.hh"
 
@@ -60,16 +66,106 @@ usage()
                  "[--rtl-cost]\n"
                  "  omnisim_cli sweep <design> (--fifo NAME [--from A] "
                  "[--to B])... [--jobs N]\n"
-                 "  omnisim_cli dse <design> [--strategy grid|binary|"
-                 "greedy|anneal] [--budget N]\n"
-                 "                  [--jobs N] [--seed N] (--fifo NAME "
-                 "[--from A] [--to B])...\n"
-                 "                  [--linear] [--csv]\n"
-                 "  omnisim_cli batch [--jobs N] [--engines "
-                 "csim,cosim,lightning,omnisim] [--seeds K] "
-                 "[--designs a,b,...]\n"
+                 "  omnisim_cli dse <design> ...       (dse --help for "
+                 "details)\n"
+                 "  omnisim_cli batch ...              (batch --help for "
+                 "details)\n"
+                 "  omnisim_cli serve ...              (serve --help for "
+                 "details)\n"
                  "  omnisim_cli dot <design>\n");
     return 2;
+}
+
+/** Focused per-subcommand usage text (the --help / bad-args target). */
+const char *
+subcommandUsage(const std::string &cmd)
+{
+    if (cmd == "dse") {
+        return "usage: omnisim_cli dse <design> [options]\n"
+               "\n"
+               "Explore the joint FIFO depth space of a registered "
+               "design.\n"
+               "\n"
+               "options:\n"
+               "  --strategy grid|binary|greedy|anneal  search strategy "
+               "(default grid)\n"
+               "  --budget N     max unique configurations to evaluate "
+               "(default 512)\n"
+               "  --jobs N       worker threads (default: all cores)\n"
+               "  --seed N       PRNG seed for randomized strategies\n"
+               "  --fifo NAME [--from A] [--to B]\n"
+               "                 one explored axis; repeatable (default: "
+               "every FIFO, 1..16)\n"
+               "  --linear       dense linear candidate ranges instead "
+               "of geometric\n"
+               "  --csv          machine-readable output\n"
+               "  --store DIR    persistent run store: warm-start from "
+               "prior runs\n"
+               "                 and publish new full runs\n";
+    }
+    if (cmd == "batch") {
+        return "usage: omnisim_cli batch [options]\n"
+               "\n"
+               "Fan registry designs x engines x seeds across a worker "
+               "pool.\n"
+               "\n"
+               "options:\n"
+               "  --jobs N            worker threads (default: all "
+               "cores)\n"
+               "  --engines a,b,...   engines to run: csim, cosim, "
+               "lightning, omnisim\n"
+               "                      (default omnisim)\n"
+               "  --seeds K           workload seeds 0..K-1 per design "
+               "(default 1)\n"
+               "  --designs a,b,...   restrict to named designs "
+               "(default: whole registry)\n";
+    }
+    if (cmd == "serve") {
+        return "usage: omnisim_cli serve [options]\n"
+               "\n"
+               "Long-lived simulation service speaking JSON-lines "
+               "requests on stdin/stdout\n"
+               "or a Unix socket. Ops: simulate, resimulate, dse, "
+               "batch, list, stats,\n"
+               "shutdown. See README 'Simulation service' for the "
+               "protocol.\n"
+               "\n"
+               "options:\n"
+               "  --jobs N       request worker threads (default: all "
+               "cores)\n"
+               "  --store DIR    persistent run store directory; "
+               "rehydrates prior runs\n"
+               "                 for warm-cache serving and publishes "
+               "new ones\n"
+               "  --socket PATH  serve a Unix-domain socket instead of "
+               "stdin/stdout\n"
+               "  --lazy         lazy write stalls for omnisim runs "
+               "(ablation)\n";
+    }
+    return nullptr;
+}
+
+/**
+ * Per-subcommand bad-args exit: print the focused usage for serve, dse
+ * and batch (the subcommands with non-trivial flag sets) instead of the
+ * generic top-level blob.
+ */
+int
+subUsageError(const std::string &cmd)
+{
+    const char *text = subcommandUsage(cmd);
+    if (!text)
+        return usage();
+    std::fputs(text, stderr);
+    return 2;
+}
+
+/** @return true when any argument asks for help. */
+bool
+wantsHelp(const std::vector<std::string> &args)
+{
+    return std::find(args.begin(), args.end(), "--help") != args.end() ||
+           std::find(args.begin(), args.end(), "-h") != args.end();
 }
 
 /** Malformed command line (exit 2), as opposed to a FatalError from a
@@ -387,6 +483,7 @@ cmdDse(const std::string &name, const std::vector<std::string> &args)
     dse::DseOptions opts;
     bool linear = false;
     bool csv = false;
+    std::string storeDir;
     std::vector<dse::FifoRange> groups;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--strategy" && i + 1 < args.size()) {
@@ -400,20 +497,28 @@ cmdDse(const std::string &name, const std::vector<std::string> &args)
             opts.seed = parseUnsigned("--seed", args[++i], 0,
                                       std::numeric_limits<
                                           std::uint64_t>::max());
+        } else if (args[i] == "--store" && i + 1 < args.size()) {
+            storeDir = args[++i];
         } else if (args[i] == "--fifo") {
             if (!parseFifoGroup(args, i, groups))
-                return usage();
+                return subUsageError("dse");
         } else if (args[i] == "--linear") {
             linear = true;
         } else if (args[i] == "--csv") {
             csv = true;
         } else {
-            return usage();
+            return subUsageError("dse");
         }
     }
     for (auto &g : groups)
         g.geometric = !linear;
     opts.space.fifos = groups; // empty == every FIFO, geometric 1..16
+
+    std::unique_ptr<io::RunStore> store;
+    if (!storeDir.empty()) {
+        store = std::make_unique<io::RunStore>(storeDir);
+        opts.store = store.get();
+    }
 
     const dse::DseReport rep = dse::exploreRegistered(name, opts);
 
@@ -450,6 +555,9 @@ cmdDse(const std::string &name, const std::vector<std::string> &args)
                 rep.evaluations.size(), rep.fullRuns,
                 rep.incrementalHits, rep.hitRate() * 100.0,
                 rep.deltaHits, rep.cacheHits);
+    if (rep.storedWarmStarts > 0)
+        std::printf("warm-start: %zu stored runs rehydrated from the "
+                    "run store\n", rep.storedWarmStarts);
     std::printf("wall      : %.3f s (%.1f configs/s, %u jobs)\n\n",
                 rep.wallSeconds, rep.configsPerSecond(), rep.jobs);
 
@@ -512,14 +620,14 @@ cmdBatch(const std::vector<std::string> &args)
                 if (!batch::parseEngineKind(n, e)) {
                     std::fprintf(stderr, "unknown engine '%s'\n",
                                  n.c_str());
-                    return usage();
+                    return subUsageError("batch");
                 }
                 engines.push_back(e);
             }
         } else if (args[i] == "--designs" && i + 1 < args.size()) {
             only = splitList(args[++i]);
         } else {
-            return usage();
+            return subUsageError("batch");
         }
     }
     if (engines.empty())
@@ -556,6 +664,31 @@ cmdBatch(const std::vector<std::string> &args)
     return rep.failedCount() == 0 ? 0 : 1;
 }
 
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    serve::ServeOptions opts;
+    std::string socketPath;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--jobs" && i + 1 < args.size()) {
+            opts.jobs = parseU32("--jobs", args[++i], 0, 4096);
+        } else if (args[i] == "--store" && i + 1 < args.size()) {
+            opts.storeDir = args[++i];
+        } else if (args[i] == "--socket" && i + 1 < args.size()) {
+            socketPath = args[++i];
+        } else if (args[i] == "--lazy") {
+            opts.engine.eagerWriteStall = false;
+        } else {
+            return subUsageError("serve");
+        }
+    }
+
+    serve::SimService svc(opts);
+    if (!socketPath.empty())
+        return serve::serveUnixSocket(svc, socketPath);
+    return serve::serveLines(svc, std::cin, std::cout);
+}
+
 } // namespace
 
 int
@@ -566,6 +699,15 @@ main(int argc, char **argv)
         return usage();
     const std::string cmd = argv[1];
     std::vector<std::string> rest(argv + 2, argv + argc);
+
+    // serve/dse/batch answer --help with their focused usage on stdout
+    // (exit 0); their malformed invocations print the same text to
+    // stderr (exit 2) instead of the generic top-level blob.
+    if (const char *text = subcommandUsage(cmd); text && wantsHelp(rest)) {
+        std::fputs(text, stdout);
+        return 0;
+    }
+
     try {
         if (cmd == "list")
             return cmdList();
@@ -584,12 +726,16 @@ main(int argc, char **argv)
             return cmdSweep(rest[0],
                             {rest.begin() + 1, rest.end()});
         }
-        if (cmd == "dse" && !rest.empty()) {
+        if (cmd == "dse") {
+            if (rest.empty())
+                return subUsageError("dse");
             return cmdDse(rest[0],
                           {rest.begin() + 1, rest.end()});
         }
         if (cmd == "batch")
             return cmdBatch(rest);
+        if (cmd == "serve")
+            return cmdServe(rest);
     } catch (const UsageError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Smoke client for `omnisim_cli serve`.
+
+Starts the service as a subprocess, drives one protocol session over
+stdin/stdout — simulate, resimulate (warm), an intentionally bad
+request, stats, shutdown — and checks every response: ids echo back,
+ok/error flags are right, the resimulated cycle count matches the
+simulated one under identical depths, and shutdown answers last.
+
+Exit status 0 on success; nonzero with a diagnostic on any mismatch.
+Used by the `cli_serve_client_smoke` ctest entry and handy manually:
+
+    python3 tools/serve_client.py [--store DIR] path/to/omnisim_cli
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+
+DESIGN = "fifo_chain"
+
+REQUESTS = [
+    {"id": 1, "op": "simulate", "design": DESIGN, "depths": {"a": 4, "b": 4}},
+    {"id": 2, "op": "resimulate", "design": DESIGN,
+     "depths": {"a": 4, "b": 4}},
+    {"id": 3, "op": "resimulate", "design": DESIGN,
+     "depths": {"a": 16, "b": 16}},
+    {"id": 4, "op": "simulate", "design": "no_such_design"},
+    {"id": 5, "op": "stats"},
+    {"id": 6, "op": "shutdown"},
+]
+
+
+def fail(msg):
+    print(f"serve_client: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--store", default=None,
+                        help="run-store directory (wiped first)")
+    parser.add_argument("cli", help="path to omnisim_cli")
+    args = parser.parse_args()
+
+    cmd = [args.cli, "serve", "--jobs", "2"]
+    if args.store:
+        shutil.rmtree(args.store, ignore_errors=True)
+        cmd += ["--store", args.store]
+
+    # Interactive session: issue the cold simulate alone and wait for
+    # its response (so the warm probe genuinely finds a completed run),
+    # then stream the rest concurrently. Reading per line also verifies
+    # the service flushes each response immediately.
+    proc = subprocess.Popen(cmd, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    responses = []
+
+    def send(req):
+        proc.stdin.write(json.dumps(req) + "\n")
+        proc.stdin.flush()
+
+    def read_one():
+        line = proc.stdout.readline()
+        if not line.strip():
+            fail("service closed the stream early")
+        try:
+            responses.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"unparseable response line: {e}\n{line}")
+
+    send(REQUESTS[0])
+    read_one()
+    for req in REQUESTS[1:]:
+        send(req)
+    proc.stdin.close()
+    for _ in REQUESTS[1:]:
+        read_one()
+
+    proc.wait(timeout=120)
+    if proc.returncode != 0:
+        fail(f"serve exited {proc.returncode}: "
+             f"{proc.stderr.read().strip()}")
+    if proc.stdout.readline().strip():
+        fail("unexpected output after the shutdown response")
+
+    by_id = {r.get("id"): r for r in responses}
+    if set(by_id) != {r["id"] for r in REQUESTS}:
+        fail(f"response ids {sorted(by_id)} != request ids")
+
+    # 1: cold simulate succeeds with a cycle count.
+    sim = by_id[1]
+    if not sim.get("ok") or sim.get("status") != "Ok":
+        fail(f"simulate failed: {sim}")
+    if not isinstance(sim.get("cycles"), int) or sim["cycles"] <= 0:
+        fail(f"simulate returned no cycles: {sim}")
+
+    # 2: resimulate at the same depths is warm — either a memo re-hit
+    # of the simulate or an incremental serve — and bit-identical.
+    resim = by_id[2]
+    warm = resim.get("method") == "incremental" or resim.get("cached")
+    if not resim.get("ok") or not warm:
+        fail(f"resimulate not served warm: {resim}")
+    if resim.get("cycles") != sim["cycles"]:
+        fail(f"resimulate cycles {resim.get('cycles')} != simulate "
+             f"cycles {sim['cycles']}")
+
+    # 3: a genuinely new depth vector is served by §7.2 incremental
+    # re-simulation against the stored run, not a fresh trace.
+    deepened = by_id[3]
+    if not deepened.get("ok") or deepened.get("method") != "incremental":
+        fail(f"deepened resimulate not incremental: {deepened}")
+
+    # 4: the bad design is an isolated error, not a dead server.
+    bad = by_id[4]
+    if bad.get("ok") or "no_such_design" not in bad.get("error", ""):
+        fail(f"bad design not rejected cleanly: {bad}")
+
+    # 5: stats still served after the error.
+    if not by_id[5].get("ok"):
+        fail(f"stats failed: {by_id[5]}")
+
+    # 6: shutdown acknowledges and is the final line of the session.
+    shut = by_id[6]
+    if not shut.get("ok"):
+        fail(f"shutdown failed: {shut}")
+    if responses[-1]["id"] != 6:
+        fail("shutdown response was not last")
+
+    print(f"serve_client: OK ({len(responses)} responses, "
+          f"{sim['cycles']} cycles cold == warm)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
