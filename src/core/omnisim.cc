@@ -110,13 +110,33 @@ struct GlobalShared
     Cycles deadlockCycle = 0;
     std::string crashMessage;
 
+    /**
+     * Per-module lower bound on the cycle of any op the thread may
+     * still commit (TimingModel::retroFloor, published when the thread
+     * pauses; ~0 once it returned). The Perf thread uses these to
+     * resolve stuck queries *soundly*: when every other live thread's
+     * floor has passed a query's cycle, its target event can only lie
+     * in the future — answer false is then exact, not a guess.
+     */
+    std::vector<Cycles> floors;
+
+    /** Per-module: paused with an open elastic window (retroFloor <
+     *  earliest) — the thread's future ops may still land at cycles
+     *  before its current op. */
+    std::vector<std::uint8_t> retroOpen;
+
     std::atomic<std::uint64_t> nextNode{0};
 
     // Statistics.
     std::uint64_t queries = 0;
     std::uint64_t forcedFalse = 0;
+    std::uint64_t forcedBlind = 0;
+    bool deadlockRetroSuspect = false;
     std::uint64_t pauses = 0;
 };
+
+/** Floor value marking a finished thread (passes every gate). */
+constexpr Cycles kFloorDone = ~Cycles{0};
 
 /** Node created by a Func thread, merged into the graph at finalization. */
 struct NodeRec
@@ -609,6 +629,7 @@ class OmniContext : public Context
             fs.writerWaiting = true;
         {
             std::lock_guard<std::mutex> g(gs_.mu);
+            publishFloorLocked();
             --gs_.running;
             ++gs_.pauses;
             if (gs_.running == 0)
@@ -621,11 +642,23 @@ class OmniContext : public Context
             throw AbortSim{};
     }
 
+    /** Publish this thread's retroactive floor (must hold gs_.mu). The
+     *  Perf thread reads floors only at quiescence, when every thread
+     *  has just published at its pause point. */
+    void
+    publishFloorLocked()
+    {
+        const Cycles f = timing_.retroFloor();
+        gs_.floors[mod_] = f;
+        gs_.retroOpen[mod_] = f < timing_.earliest() ? 1 : 0;
+    }
+
     /** Enqueue a query, pause, and return its resolved answer. */
     bool
     waitQuery(const std::shared_ptr<PendingQuery> &q)
     {
         std::unique_lock<std::mutex> g(gs_.mu);
+        publishFloorLocked();
         gs_.pool.push_back(q);
         gs_.poolDirty = true;
         ++gs_.poolInsertions;
@@ -750,27 +783,63 @@ class PerfSim
                     continue;
                 }
                 if (!gs_.pool.empty()) {
-                    // §7.1: every thread has progressed to at least the
-                    // earliest query's cycle, so its target must lie in
-                    // the future — resolve it false.
-                    auto q = *std::min_element(
-                        gs_.pool.begin(), gs_.pool.end(),
-                        [](const std::shared_ptr<PendingQuery> &a,
-                           const std::shared_ptr<PendingQuery> &b) {
-                            if (a->at != b->at)
-                                return a->at < b->at;
-                            return a->mod < b->mod;
-                        });
-                    std::erase(gs_.pool, q);
-                    q->answer = false;
-                    q->resolved = true;
-                    ++gs_.running;
-                    ++gs_.forcedFalse;
+                    // §7.1 earliest-query-false, in two tiers. First the
+                    // provable cases: a query whose every other live
+                    // thread's floor has passed its cycle — no future
+                    // commit can precede the attempt, so "false" is
+                    // exact. Only when no query qualifies fall back to
+                    // the blind guess on the earliest (cycle, module)
+                    // pool entry, and record that the precondition was
+                    // unproven (stats.forcedBlind; the conformance
+                    // harness treats such runs as approximations of the
+                    // elastic timing fixpoint).
+                    const auto floorsPass =
+                        [&](const std::shared_ptr<PendingQuery> &q) {
+                            for (std::size_t m = 0; m < gs_.floors.size();
+                                 ++m) {
+                                if (static_cast<ModuleId>(m) == q->mod)
+                                    continue;
+                                if (gs_.floors[m] < q->at)
+                                    return false;
+                            }
+                            return true;
+                        };
+                    std::vector<std::shared_ptr<PendingQuery>> sound;
+                    for (const auto &q : gs_.pool)
+                        if (floorsPass(q))
+                            sound.push_back(q);
+                    const bool blind = sound.empty();
+                    if (blind) {
+                        sound.push_back(*std::min_element(
+                            gs_.pool.begin(), gs_.pool.end(),
+                            [](const std::shared_ptr<PendingQuery> &a,
+                               const std::shared_ptr<PendingQuery> &b) {
+                                if (a->at != b->at)
+                                    return a->at < b->at;
+                                return a->mod < b->mod;
+                            }));
+                        ++gs_.forcedBlind;
+                    }
+                    for (const auto &q : sound) {
+                        std::erase(gs_.pool, q);
+                        q->answer = false;
+                        q->resolved = true;
+                        ++gs_.running;
+                        ++gs_.forcedFalse;
+                    }
                     gs_.funcCv.notify_all();
                 } else {
                     // All threads blocked, nothing pending: deadlock.
+                    // Flag it when a paused thread still had an open
+                    // elastic window — real pipelined hardware could
+                    // have issued its next iteration's ops and possibly
+                    // made progress where the serialized engine cannot.
                     gs_.deadlock = true;
                     gs_.deadlockCycle = maxCommittedCycle();
+                    for (std::size_t m = 0; m < gs_.floors.size(); ++m)
+                        if (gs_.floors[m] != kFloorDone &&
+                            gs_.retroOpen[m])
+                            gs_.deadlockRetroSuspect = true;
                     gs_.abort.store(true);
                     gs_.funcCv.notify_all();
                     wakeAllFifos();
@@ -896,6 +965,8 @@ OmniSim::run()
     GlobalShared gs;
     gs.running = static_cast<std::int64_t>(nmods);
     gs.live = nmods;
+    gs.floors.assign(nmods, 1);
+    gs.retroOpen.assign(nmods, 0);
 
     std::vector<FifoShared> fifos(nfifos);
     std::vector<std::uint32_t> depths(nfifos);
@@ -958,6 +1029,8 @@ OmniSim::run()
                 gs.abort.store(true);
                 gs.funcCv.notify_all();
             }
+            gs.floors[m] = kFloorDone; // nothing further can commit
+            gs.retroOpen[m] = 0;
             --gs.live;
             --gs.running;
             gs.perfCv.notify_all();
@@ -1020,6 +1093,8 @@ OmniSim::run()
     r.stats.queries = gs.queries;
     r.stats.queriesSkipped = skipped;
     r.stats.forcedFalse = gs.forcedFalse;
+    r.stats.forcedBlind = gs.forcedBlind;
+    r.stats.deadlockRetroSuspect = gs.deadlockRetroSuspect ? 1 : 0;
     r.stats.threadPauses = gs.pauses;
 
     for (std::size_t i = 0; i < design.memories().size(); ++i) {

@@ -28,10 +28,13 @@ struct SimAbort
 /** Scheduling state of one module thread. */
 enum class TState : std::uint8_t
 {
-    Running,  ///< Executing HLS code.
-    TimeWait, ///< Waiting for the clock to reach a target cycle.
-    CondWait, ///< Waiting for another thread's FIFO commit.
-    Done,     ///< Body returned (or unwound).
+    Running,   ///< Executing HLS code.
+    TimeWait,  ///< Waiting for the clock to reach a target cycle.
+    CondWait,  ///< Waiting for another thread's FIFO commit.
+    FloorWait, ///< Evaluating a cycle-t condition whose target entry is
+               ///< absent: waiting for every peer's retroactive floor
+               ///< to pass t (see waitRetroLocked).
+    Done,      ///< Body returned (or unwound).
 };
 
 /**
@@ -109,15 +112,39 @@ class CosimShared
         TState st = TState::Running;
         Cycles target = 0;
         std::uint64_t seenEpoch = 0;
+
+        /** Lower bound on every cycle this thread may still commit an
+         *  op at (TimingModel::retroFloor, published under the lock).
+         *  Monotone; peers treat Done as an infinite floor. */
+        Cycles floor = 1;
+
+        /** Valid in FloorWait: the evaluation cycle being gated. */
+        Cycles at = 0;
+
+        /** Set by maybeAdvanceLocked when the earliest-attempt-false
+         *  rule (§7.1) picks this FloorWait thread to resolve on
+         *  present table state. */
+        bool forced = false;
+
+        /** Published alongside floor: the thread paused with an open
+         *  elastic window (retroFloor < earliest). */
+        bool retroOpen = false;
     };
     std::vector<ThreadInfo> threads;
     std::size_t live = 0;
+
+    /** Threads currently parked in FloorWait (floor publications only
+     *  need to wake waiters when there are any). */
+    std::size_t floorWaiters = 0;
 
     bool deadlock = false;
     bool crashed = false;
     bool timeout = false;
     Cycles deadlockCycle = 0;
+    bool deadlockRetroSuspect = false;
     std::string crashMessage;
+    std::uint64_t forcedFalse = 0;
+    std::uint64_t forcedBlind = 0;
 
     std::vector<Cycles> finalNow;
     std::uint64_t cyclesStepped = 0;
@@ -158,6 +185,7 @@ class CosimShared
                 }
                 break;
               case TState::CondWait:
+              case TState::FloorWait:
                 if (ti.seenEpoch != commitEpoch)
                     return; // it has not reacted to the last commit yet
                 break;
@@ -166,9 +194,40 @@ class CosimShared
             }
         }
         if (!have_target) {
+            // Nothing can run and no clock target exists. If a thread
+            // is gating a cycle-t condition on peer floors, apply the
+            // §7.1 earliest-query-false rule (the same rule — and the
+            // same (cycle, module) ordering — OmniSim's Perf thread
+            // uses): every thread has progressed past the earliest
+            // gated attempt's cycle, so its target event must lie in
+            // the future and the attempt resolves on present state.
+            std::size_t victim = threads.size();
+            for (std::size_t i = 0; i < threads.size(); ++i) {
+                const ThreadInfo &ti = threads[i];
+                if (ti.st != TState::FloorWait || ti.forced)
+                    continue;
+                if (victim == threads.size() ||
+                    ti.at < threads[victim].at ||
+                    (ti.at == threads[victim].at &&
+                     i < static_cast<std::size_t>(victim)))
+                    victim = i;
+            }
+            if (victim != threads.size()) {
+                threads[victim].forced = true;
+                ++forcedFalse;
+                ++forcedBlind;
+                cv.notify_all();
+                return;
+            }
             // All live threads starve on FIFO conditions: true deadlock.
+            // Flag it when a paused thread still had an open elastic
+            // window — pipelined hardware could have issued its next
+            // iteration's ops where the serialized engine cannot.
             deadlock = true;
             deadlockCycle = clock;
+            for (const auto &ti : threads)
+                if (ti.st != TState::Done && ti.retroOpen)
+                    deadlockRetroSuspect = true;
             cv.notify_all();
             return;
         }
@@ -262,12 +321,18 @@ class CosimContext : public Context
         const std::uint32_t r = t.reads() + 1;
         const Cycles at = timing_.earliest();
         waitCycleLocked(lk, at);
+        // A committed target entry carries a final cycle; an absent one
+        // may still appear retroactively (the writer can be blocked or
+        // pipelined) — gate on the peer floors before concluding a miss.
+        if (t.writes() < r)
+            waitRetroLocked(lk, at, [&] { return t.writes() >= r; });
         const bool ok = t.writes() >= r && t.writeCycleOf(r) < at;
         if (ok) {
             out = t.commitRead(at, 0);
             commitLocked();
         }
         timing_.commitOp(at, 1, 0);
+        publishFloorLocked();
         return ok;
     }
 
@@ -281,6 +346,9 @@ class CosimContext : public Context
         const std::uint32_t depth = sh_.design.fifos()[f].depth;
         const Cycles at = timing_.earliest();
         waitCycleLocked(lk, at);
+        if (w > depth && t.reads() < w - depth)
+            waitRetroLocked(lk, at,
+                            [&] { return t.reads() >= w - depth; });
         const bool ok =
             w <= depth ||
             (t.reads() >= w - depth && t.readCycleOf(w - depth) < at);
@@ -289,6 +357,7 @@ class CosimContext : public Context
             commitLocked();
         }
         timing_.commitOp(at, 1, 0);
+        publishFloorLocked();
         return ok;
     }
 
@@ -302,6 +371,8 @@ class CosimContext : public Context
         const Cycles at = timing_.earliest();
         waitCycleLocked(lk, at);
         combGuard(at);
+        if (t.writes() < next)
+            waitRetroLocked(lk, at, [&] { return t.writes() >= next; });
         return !(t.writes() >= next && t.writeCycleOf(next) < at);
     }
 
@@ -318,6 +389,9 @@ class CosimContext : public Context
         combGuard(at);
         if (next <= depth)
             return false;
+        if (t.reads() < next - depth)
+            waitRetroLocked(lk, at,
+                            [&] { return t.reads() >= next - depth; });
         return !(t.reads() >= next - depth &&
                  t.readCycleOf(next - depth) < at);
     }
@@ -445,6 +519,9 @@ class CosimContext : public Context
     bump()
     {
         ++sh_.events;
+        // Every op entry refreshes the published retroactive floor:
+        // peers gated on it in FloorWait must observe monotone progress.
+        publishFloorLocked();
     }
 
     void
@@ -476,11 +553,89 @@ class CosimContext : public Context
         }
     }
 
+    /**
+     * Publish this thread's retroactive floor (TimingModel::retroFloor)
+     * so peers evaluating cycle-dependent conditions know when "no op
+     * before cycle t" has become final. Wakes FloorWait peers when the
+     * floor rises past what they might be gated on.
+     */
+    void
+    publishFloorLocked()
+    {
+        CosimShared::ThreadInfo &ti = sh_.threads[mod_];
+        const Cycles f = timing_.retroFloor();
+        ti.retroOpen = f < timing_.earliest();
+        if (f > ti.floor) {
+            ti.floor = f;
+            if (sh_.floorWaiters > 0) {
+                ++sh_.commitEpoch;
+                sh_.cv.notify_all();
+            }
+        }
+    }
+
+    /** @return true when no other live thread can still commit an op
+     *  strictly before cycle t. */
+    bool
+    othersPassedLocked(Cycles t) const
+    {
+        for (std::size_t i = 0; i < sh_.threads.size(); ++i) {
+            if (i == static_cast<std::size_t>(mod_))
+                continue;
+            const CosimShared::ThreadInfo &ti = sh_.threads[i];
+            if (ti.st != TState::Done && ti.floor < t)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * A cycle-`at` FIFO condition whose target entry is still absent may
+     * only conclude "the event has not happened before at" once no peer
+     * can retroactively commit before `at`: a thread blocked on a FIFO
+     * (or inside an elastic pipeline) may still place ops at cycles
+     * earlier than the global clock. Waits until the entry appears
+     * (entryPresent), every peer floor passes `at`, or — when the whole
+     * design is otherwise stuck — the earliest-attempt-false rule picks
+     * this thread to resolve on present state (§7.1, mirrored from the
+     * OmniSim Perf thread). The caller re-reads the table after this
+     * returns; commit cycles are final, so the comparison is then exact.
+     */
+    template <typename Pred>
+    void
+    waitRetroLocked(std::unique_lock<std::mutex> &lk, Cycles at,
+                    Pred &&entryPresent)
+    {
+        CosimShared::ThreadInfo &ti = sh_.threads[mod_];
+        publishFloorLocked();
+        for (;;) {
+            guardLocked();
+            if (entryPresent() || othersPassedLocked(at) || ti.forced)
+                break;
+            ++sh_.pauses;
+            ti.st = TState::FloorWait;
+            ti.at = at;
+            ti.seenEpoch = sh_.commitEpoch;
+            ++sh_.floorWaiters;
+            sh_.maybeAdvanceLocked();
+            sh_.cv.wait(lk, [&] {
+                return sh_.abortFlag() || ti.forced ||
+                       sh_.commitEpoch != ti.seenEpoch;
+            });
+            --sh_.floorWaiters;
+            ti.st = TState::Running;
+        }
+        ti.st = TState::Running;
+        ti.forced = false;
+        guardLocked();
+    }
+
     /** Block until the global clock reaches cycle t. */
     void
     waitCycleLocked(std::unique_lock<std::mutex> &lk, Cycles t)
     {
         CosimShared::ThreadInfo &ti = sh_.threads[mod_];
+        publishFloorLocked();
         if (sh_.clock >= t) {
             guardLocked();
             return;
@@ -499,6 +654,7 @@ class CosimContext : public Context
     condWaitLocked(std::unique_lock<std::mutex> &lk)
     {
         CosimShared::ThreadInfo &ti = sh_.threads[mod_];
+        publishFloorLocked();
         ++sh_.pauses;
         ti.st = TState::CondWait;
         ti.seenEpoch = sh_.commitEpoch;
@@ -552,6 +708,9 @@ moduleThread(CosimShared &sh, ModuleId mod)
     sh.threads[mod].st = TState::Done;
     sh.finalNow[mod] = ctx.timing().now();
     --sh.live;
+    // A finished thread can no longer commit anything: floor-gated
+    // peers must re-check (Done counts as an infinite floor).
+    ++sh.commitEpoch;
     sh.maybeAdvanceLocked();
     sh.cv.notify_all();
 }
@@ -605,6 +764,9 @@ simulateCosim(const CompiledDesign &cd, const CosimOptions &opts)
     r.stats.events = sh.events;
     r.stats.cyclesStepped = sh.cyclesStepped;
     r.stats.threadPauses = sh.pauses;
+    r.stats.forcedFalse = sh.forcedFalse;
+    r.stats.forcedBlind = sh.forcedBlind;
+    r.stats.deadlockRetroSuspect = sh.deadlockRetroSuspect ? 1 : 0;
     // Fold the netlist checksum into the stats so the per-cycle RTL
     // evaluation cannot be optimized away.
     if (sh.netlist)

@@ -1,0 +1,124 @@
+#include "gen/generate.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/prng.hh"
+
+namespace omnisim::gen
+{
+
+namespace
+{
+
+/** Pick the two access modes of one edge per the config mix. */
+void
+pickModes(Prng &prng, const GenConfig &cfg, GenEdge &e)
+{
+    if (prng.chance(cfg.pNonBlocking)) {
+        e.writeMode = PortMode::NonBlocking;
+        e.readMode = PortMode::NonBlocking;
+    } else if (prng.chance(cfg.pMixedEnds)) {
+        if (prng.chance(0.5)) {
+            e.writeMode = PortMode::NonBlocking;
+            e.readMode = PortMode::Blocking;
+        } else {
+            e.writeMode = PortMode::Blocking;
+            e.readMode = PortMode::NonBlocking;
+        }
+    } else {
+        e.writeMode = PortMode::Blocking;
+        e.readMode = PortMode::Blocking;
+    }
+}
+
+} // namespace
+
+GenSpec
+generateSpec(std::uint64_t seed, const GenConfig &cfg)
+{
+    // Decorrelate nearby seeds: the raw counter seeds users pass (1, 2,
+    // 3, ...) should produce structurally unrelated designs.
+    Prng prng(seed * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL);
+
+    GenSpec spec;
+    spec.seed = seed;
+    const std::uint32_t nprocs = static_cast<std::uint32_t>(
+        2 + prng.below(std::max(1u, cfg.maxProcs - 1)));
+    spec.items = static_cast<std::uint32_t>(
+        4 + prng.below(std::max(1u, cfg.maxItems - 3)));
+
+    spec.procs.resize(nprocs);
+    for (GenProc &p : spec.procs) {
+        if (prng.chance(cfg.pPipeline))
+            p.ii = static_cast<std::uint32_t>(1 + prng.below(3));
+        p.paceBase = static_cast<std::uint32_t>(prng.below(3));
+        if (prng.chance(cfg.pBurst)) {
+            p.paceEvery = static_cast<std::uint32_t>(2 + prng.below(15));
+            p.paceBurst = static_cast<std::uint32_t>(2 + prng.below(40));
+            p.pacePhase =
+                static_cast<std::uint32_t>(prng.below(p.paceEvery));
+        }
+        p.stride = static_cast<std::uint32_t>(1 + prng.below(4));
+        p.offset = static_cast<std::uint32_t>(prng.below(8));
+        p.checksEmpty = prng.chance(0.4);
+        p.checksFull = prng.chance(0.4);
+    }
+
+    const auto addEdge = [&](std::uint32_t w, std::uint32_t r) {
+        GenEdge e;
+        e.writer = w;
+        e.reader = r;
+        e.depth = static_cast<std::uint32_t>(
+            1 + prng.below(std::max(1u, cfg.maxDepth)));
+        pickModes(prng, cfg, e);
+        spec.edges.push_back(e);
+    };
+
+    // Connecting spine: every process past the first gets one forward
+    // in-edge from a random earlier process (random fan-out trees —
+    // chains, stars, and everything between).
+    for (std::uint32_t p = 1; p < nprocs; ++p)
+        addEdge(static_cast<std::uint32_t>(prng.below(p)), p);
+
+    // Extra forward edges: reconvergent paths, shared consumers and
+    // parallel FIFO pairs between the same process pair.
+    const std::uint64_t extra = prng.below(cfg.maxExtraEdges + 1);
+    for (std::uint64_t k = 0; k < extra && nprocs >= 2; ++k) {
+        const auto r = static_cast<std::uint32_t>(
+            1 + prng.below(nprocs - 1));
+        const auto w = static_cast<std::uint32_t>(prng.below(r));
+        addEdge(w, r);
+    }
+
+    // Request/response back-edges (the fig4_ex3 shape): a later-rank
+    // process answers an earlier one, making the module graph cyclic.
+    // The interpreter reads them at the end of the requester's
+    // iteration, which keeps fully-blocking cycles deadlock-free.
+    for (std::uint32_t w = 1; w < nprocs; ++w) {
+        if (!prng.chance(cfg.pResponse))
+            continue;
+        const auto r = static_cast<std::uint32_t>(prng.below(w));
+        addEdge(w, r);
+    }
+
+    // Deadlock injection: one process over-reads a blocking forward
+    // in-edge past the conserved token count.
+    if (prng.chance(cfg.pDeadlockInjection)) {
+        std::vector<std::uint32_t> candidates;
+        for (const GenEdge &e : spec.edges)
+            if (e.writer < e.reader && e.readMode == PortMode::Blocking)
+                candidates.push_back(e.reader);
+        if (!candidates.empty()) {
+            spec.extraProc =
+                candidates[prng.below(candidates.size())];
+            spec.extraReads =
+                static_cast<std::uint32_t>(1 + prng.below(3));
+        }
+    }
+
+    validateSpec(spec);
+    return spec;
+}
+
+} // namespace omnisim::gen

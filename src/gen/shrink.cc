@@ -1,0 +1,170 @@
+#include "gen/shrink.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace omnisim::gen
+{
+
+namespace
+{
+
+/** Drop process p, its edges, and reindex everything above it. */
+GenSpec
+withoutProc(const GenSpec &spec, std::uint32_t p)
+{
+    GenSpec out = spec;
+    out.procs.erase(out.procs.begin() + p);
+    std::vector<GenEdge> kept;
+    for (const GenEdge &e : out.edges) {
+        if (e.writer == p || e.reader == p)
+            continue;
+        GenEdge ne = e;
+        if (ne.writer > p)
+            --ne.writer;
+        if (ne.reader > p)
+            --ne.reader;
+        kept.push_back(ne);
+    }
+    out.edges = std::move(kept);
+    if (out.extraReads > 0) {
+        if (out.extraProc == p) {
+            out.extraReads = 0;
+            out.extraProc = 0;
+        } else if (out.extraProc > p) {
+            --out.extraProc;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSpec(const GenSpec &spec, const FailPredicate &fails,
+           std::size_t maxAttempts)
+{
+    omnisim_assert(fails(spec),
+                   "shrinkSpec requires a failing spec on entry");
+
+    ShrinkResult res;
+    res.spec = spec;
+
+    // Try one candidate: accept when it is valid and still failing.
+    const auto attempt = [&](const GenSpec &cand) {
+        if (res.attempts >= maxAttempts)
+            return false;
+        if (cand == res.spec || !specIsValid(cand))
+            return false;
+        ++res.attempts;
+        if (!fails(cand))
+            return false;
+        res.spec = cand;
+        ++res.accepted;
+        return true;
+    };
+
+    bool progressed = true;
+    while (progressed && res.attempts < maxAttempts) {
+        progressed = false;
+
+        // 1. Whole processes, largest structural cut first.
+        for (std::uint32_t p = 0;
+             p < res.spec.procs.size() && res.spec.procs.size() > 1;) {
+            if (attempt(withoutProc(res.spec, p)))
+                progressed = true; // same index now names the next proc
+            else
+                ++p;
+        }
+
+        // 2. Individual edges.
+        for (std::size_t e = 0; e < res.spec.edges.size();) {
+            GenSpec cand = res.spec;
+            cand.edges.erase(cand.edges.begin() + e);
+            if (attempt(cand))
+                progressed = true;
+            else
+                ++e;
+        }
+
+        // 3. Item count: halve aggressively, then creep down.
+        while (res.spec.items > 1) {
+            GenSpec cand = res.spec;
+            cand.items = std::max(1u, cand.items / 2);
+            if (!attempt(cand))
+                break;
+            progressed = true;
+        }
+        if (res.spec.items > 1) {
+            GenSpec cand = res.spec;
+            --cand.items;
+            if (attempt(cand))
+                progressed = true;
+        }
+
+        // 4. FIFO depths toward 1.
+        for (std::size_t e = 0; e < res.spec.edges.size(); ++e) {
+            while (res.spec.edges[e].depth > 1) {
+                GenSpec cand = res.spec;
+                cand.edges[e].depth =
+                    std::max(1u, cand.edges[e].depth / 2);
+                if (!attempt(cand))
+                    break;
+                progressed = true;
+            }
+        }
+
+        // 5. Per-process simplifications: strip pacing, pipelining,
+        //    probes and addressing down to the defaults.
+        for (std::size_t p = 0; p < res.spec.procs.size(); ++p) {
+            const GenProc plain; // all defaults
+            GenSpec cand = res.spec;
+            cand.procs[p] = plain;
+            if (attempt(cand)) {
+                progressed = true;
+                continue;
+            }
+            // Field-by-field when the full reset loses the failure.
+            const auto tryField = [&](auto mutate) {
+                GenSpec c = res.spec;
+                mutate(c.procs[p]);
+                if (attempt(c))
+                    progressed = true;
+            };
+            tryField([](GenProc &pr) {
+                pr.paceBase = 0;
+                pr.paceEvery = 0;
+                pr.paceBurst = 0;
+                pr.pacePhase = 0;
+            });
+            tryField([](GenProc &pr) { pr.ii = 0; });
+            tryField([](GenProc &pr) {
+                pr.checksEmpty = false;
+                pr.checksFull = false;
+            });
+            tryField([](GenProc &pr) {
+                pr.stride = 1;
+                pr.offset = 0;
+            });
+        }
+
+        // 6. Deadlock injection removal / reduction.
+        if (res.spec.extraReads > 0) {
+            GenSpec cand = res.spec;
+            cand.extraReads = 0;
+            cand.extraProc = 0;
+            if (attempt(cand)) {
+                progressed = true;
+            } else if (res.spec.extraReads > 1) {
+                cand = res.spec;
+                cand.extraReads = 1;
+                if (attempt(cand))
+                    progressed = true;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace omnisim::gen

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Divergence shrinking: given a failing GenSpec and a predicate that
+ * re-checks the failure, greedily apply structure-reducing
+ * transformations (drop processes, drop edges, halve item counts,
+ * shrink depths, strip pacing/pipelining/probes, remove the deadlock
+ * injection) until no single transformation keeps the failure alive.
+ * The result is the minimal reproducer the CLI prints and regression
+ * tests embed.
+ */
+
+#ifndef OMNISIM_GEN_SHRINK_HH
+#define OMNISIM_GEN_SHRINK_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "gen/spec.hh"
+
+namespace omnisim::gen
+{
+
+/** @return true when the candidate spec still exhibits the failure. */
+using FailPredicate = std::function<bool(const GenSpec &)>;
+
+/** Shrink outcome. */
+struct ShrinkResult
+{
+    GenSpec spec;             ///< The minimized (still-failing) spec.
+    std::size_t attempts = 0; ///< Candidate evaluations performed.
+    std::size_t accepted = 0; ///< Transformations that kept the failure.
+};
+
+/**
+ * Greedy fixpoint shrink. `fails(spec)` must be true on entry (checked);
+ * every accepted candidate still satisfies it, so the returned spec is
+ * guaranteed to reproduce the divergence. Candidate evaluation stops
+ * after maxAttempts predicate calls.
+ */
+ShrinkResult shrinkSpec(const GenSpec &spec, const FailPredicate &fails,
+                        std::size_t maxAttempts = 800);
+
+} // namespace omnisim::gen
+
+#endif // OMNISIM_GEN_SHRINK_HH

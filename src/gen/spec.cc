@@ -1,0 +1,437 @@
+#include "gen/spec.hh"
+
+#include <limits>
+#include <memory>
+
+#include "design/context.hh"
+#include "support/logging.hh"
+
+namespace omnisim::gen
+{
+
+namespace
+{
+
+/** Deterministic testbench input word (independent of the seed so two
+ *  specs with equal structure are bit-identical designs). Mixes signs
+ *  and magnitudes without ever overflowing signed arithmetic. */
+Value
+inputWord(std::size_t i)
+{
+    const std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<Value>(h % 2011) - 1005;
+}
+
+/** Behavior-visible accumulator perturbation for a non-blocking miss. */
+constexpr std::uint64_t kMissMix = 0x9e3779b97f4a7c15ULL;
+
+/** Value written to an out-edge: a mix of accumulator state, iteration
+ *  and edge identity, in wrap-safe unsigned arithmetic. */
+Value
+outWord(std::uint64_t acc, std::uint64_t iter, std::uint64_t edge)
+{
+    const std::uint64_t m =
+        acc * 0x9e3779b1ULL + iter * 0x85ebca77ULL + edge * 0xc2b2ae3dULL;
+    // Keep magnitudes modest so downstream accumulation stays readable
+    // in divergence reports; sign still varies.
+    return static_cast<Value>(m % 100003) - 50001;
+}
+
+/** @return edge indices read (written) by process p, in edge order. */
+std::vector<std::uint32_t>
+edgesWhere(const GenSpec &spec, bool asReader, std::uint32_t p)
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t e = 0; e < spec.edges.size(); ++e) {
+        const GenEdge &ed = spec.edges[e];
+        if ((asReader ? ed.reader : ed.writer) == p)
+            out.push_back(e);
+    }
+    return out;
+}
+
+bool
+isForward(const GenEdge &e)
+{
+    return e.writer < e.reader;
+}
+
+} // namespace
+
+void
+validateSpec(const GenSpec &spec)
+{
+    if (spec.procs.empty())
+        omnisim_fatal("gen spec: no processes");
+    if (spec.procs.size() > kMaxGenProcs)
+        omnisim_fatal("gen spec: %zu processes exceeds cap %u",
+                      spec.procs.size(), kMaxGenProcs);
+    if (spec.edges.size() > kMaxGenEdges)
+        omnisim_fatal("gen spec: %zu edges exceeds cap %u",
+                      spec.edges.size(), kMaxGenEdges);
+    if (spec.items < 1 || spec.items > kMaxGenItems)
+        omnisim_fatal("gen spec: items %u outside [1, %u]", spec.items,
+                      kMaxGenItems);
+    const auto nprocs = static_cast<std::uint32_t>(spec.procs.size());
+    for (std::size_t e = 0; e < spec.edges.size(); ++e) {
+        const GenEdge &ed = spec.edges[e];
+        if (ed.writer >= nprocs || ed.reader >= nprocs)
+            omnisim_fatal("gen spec: edge %zu endpoint out of range", e);
+        if (ed.writer == ed.reader)
+            omnisim_fatal("gen spec: edge %zu is a self-loop", e);
+        if (ed.depth < 1 || ed.depth > kMaxGenDepth)
+            omnisim_fatal("gen spec: edge %zu depth %u outside [1, %u]",
+                          e, ed.depth, kMaxGenDepth);
+    }
+    for (std::size_t p = 0; p < spec.procs.size(); ++p) {
+        const GenProc &pr = spec.procs[p];
+        if (pr.ii > kMaxGenPace || pr.paceBase > kMaxGenPace ||
+            pr.paceEvery > kMaxGenPace || pr.paceBurst > kMaxGenPace ||
+            pr.pacePhase > kMaxGenPace)
+            omnisim_fatal("gen spec: proc %zu pace/ii beyond cap %u", p,
+                          kMaxGenPace);
+        if (pr.stride == 0)
+            omnisim_fatal("gen spec: proc %zu stride must be >= 1", p);
+    }
+    if (spec.extraReads > 0) {
+        if (spec.extraProc >= nprocs)
+            omnisim_fatal("gen spec: extraProc %u out of range",
+                          spec.extraProc);
+        if (spec.extraReads > kMaxGenItems)
+            omnisim_fatal("gen spec: extraReads %u beyond cap",
+                          spec.extraReads);
+        bool hasBlockingIn = false;
+        for (const GenEdge &ed : spec.edges)
+            if (ed.reader == spec.extraProc && isForward(ed) &&
+                ed.readMode == PortMode::Blocking)
+                hasBlockingIn = true;
+        if (!hasBlockingIn)
+            omnisim_fatal("gen spec: extraProc %u has no blocking "
+                          "forward in-edge to over-read", spec.extraProc);
+    }
+}
+
+bool
+specIsValid(const GenSpec &spec)
+{
+    try {
+        validateSpec(spec);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+Design
+materialize(const GenSpec &spec)
+{
+    validateSpec(spec);
+
+    auto sp = std::make_shared<const GenSpec>(spec);
+    Design d(strf("gen_%llu",
+                  static_cast<unsigned long long>(spec.seed)));
+
+    const std::size_t dataSize = spec.items;
+    const MemId data = d.addMemory("data", dataSize);
+    {
+        std::vector<Value> v(dataSize);
+        for (std::size_t i = 0; i < dataSize; ++i)
+            v[i] = inputWord(i);
+        d.setInput(data, v);
+    }
+
+    // FIFOs first (edge index == FifoId), then modules capturing ids.
+    std::vector<FifoId> fifo(spec.edges.size());
+    for (std::uint32_t e = 0; e < spec.edges.size(); ++e) {
+        const GenEdge &ed = spec.edges[e];
+        const auto mode = [](PortMode m) {
+            return m == PortMode::Blocking ? AccessKind::Blocking
+                                          : AccessKind::NonBlocking;
+        };
+        fifo[e] = d.declareFifo(strf("e%u", e), ed.depth,
+                                mode(ed.writeMode), mode(ed.readMode));
+    }
+
+    std::vector<ModuleId> mods(spec.procs.size());
+    for (std::uint32_t p = 0; p < spec.procs.size(); ++p) {
+        const std::vector<std::uint32_t> ins = edgesWhere(spec, true, p);
+        const std::vector<std::uint32_t> outs =
+            edgesWhere(spec, false, p);
+        bool anyNb = false;
+        bool isSource = true;
+        for (const std::uint32_t e : ins) {
+            if (spec.edges[e].readMode == PortMode::NonBlocking)
+                anyNb = true;
+            if (isForward(spec.edges[e]))
+                isSource = false;
+        }
+        for (const std::uint32_t e : outs)
+            if (spec.edges[e].writeMode == PortMode::NonBlocking)
+                anyNb = true;
+
+        const MemId outMem = d.addMemory(strf("out%u", p), 2);
+
+        auto body = [sp, p, ins, outs, isSource, data, outMem,
+                     fifo](Context &ctx) {
+            const GenSpec &s = *sp;
+            const GenProc &pr = s.procs[p];
+            std::uint64_t acc = 0;
+            std::uint64_t dropped = 0;
+
+            // Handle one in-edge according to its access mode.
+            const auto readEdge = [&](std::uint32_t e) {
+                const GenEdge &ed = s.edges[e];
+                const FifoId f = fifo[e];
+                if (ed.readMode == PortMode::Blocking) {
+                    acc += static_cast<std::uint64_t>(ctx.read(f));
+                    return;
+                }
+                if (pr.checksEmpty)
+                    acc += ctx.empty(f) ? 1 : 0;
+                Value v;
+                if (ctx.readNb(f, v))
+                    acc += static_cast<std::uint64_t>(v);
+                else
+                    acc ^= kMissMix + e;
+            };
+
+            {
+                // Optional pipeline scope around the item loop.
+                std::unique_ptr<PipelineScope> pipe;
+                if (pr.ii > 0)
+                    pipe = std::make_unique<PipelineScope>(ctx, pr.ii);
+                for (std::uint32_t i = 0; i < s.items; ++i) {
+                    if (pipe)
+                        pipe->iter();
+
+                    // 1. forward inputs.
+                    for (const std::uint32_t e : ins)
+                        if (isForward(s.edges[e]))
+                            readEdge(e);
+                    if (isSource) {
+                        const std::size_t idx =
+                            (static_cast<std::size_t>(i) * pr.stride +
+                             pr.offset) %
+                            s.items;
+                        acc += static_cast<std::uint64_t>(
+                            ctx.load(data, idx));
+                    }
+
+                    // 2. pacing.
+                    if (pr.paceBase)
+                        ctx.advance(pr.paceBase);
+                    if (pr.paceEvery &&
+                        i % pr.paceEvery == pr.pacePhase % pr.paceEvery)
+                        ctx.advance(pr.paceBurst);
+
+                    // 3. outputs.
+                    for (const std::uint32_t e : outs) {
+                        const GenEdge &ed = s.edges[e];
+                        const FifoId f = fifo[e];
+                        const Value v = outWord(acc, i, e);
+                        if (ed.writeMode == PortMode::Blocking) {
+                            ctx.write(f, v);
+                        } else {
+                            if (pr.checksFull)
+                                acc += ctx.full(f) ? 1 : 0;
+                            if (!ctx.writeNb(f, v))
+                                ++dropped;
+                        }
+                    }
+
+                    // 4. response inputs.
+                    for (const std::uint32_t e : ins)
+                        if (!isForward(s.edges[e]))
+                            readEdge(e);
+                }
+            }
+
+            // Deadlock injection: over-read the conserved token count.
+            if (s.extraReads > 0 && s.extraProc == p) {
+                for (const std::uint32_t e : ins) {
+                    const GenEdge &ed = s.edges[e];
+                    if (!isForward(ed) ||
+                        ed.readMode != PortMode::Blocking)
+                        continue;
+                    for (std::uint32_t k = 0; k < s.extraReads; ++k)
+                        acc += static_cast<std::uint64_t>(
+                            ctx.read(fifo[e]));
+                    break;
+                }
+            }
+
+            ctx.store(outMem, 0, static_cast<Value>(acc));
+            ctx.store(outMem, 1, static_cast<Value>(dropped));
+        };
+
+        ModuleOptions opts;
+        opts.hasInfiniteLoop = false;
+        opts.behaviorVariesOnNb = anyNb;
+        mods[p] = d.addModule(strf("p%u", p), std::move(body), opts);
+    }
+
+    for (std::uint32_t e = 0; e < spec.edges.size(); ++e)
+        d.connectFifo(fifo[e], mods[spec.edges[e].writer],
+                      mods[spec.edges[e].reader]);
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+std::string
+specToString(const GenSpec &spec)
+{
+    std::string out = strf(
+        "g1;seed=%llu;items=%u;extra=%u@%u",
+        static_cast<unsigned long long>(spec.seed), spec.items,
+        spec.extraReads, spec.extraProc);
+    for (const GenProc &p : spec.procs) {
+        const char *chk = p.checksEmpty ? (p.checksFull ? "ef" : "e")
+                                        : (p.checksFull ? "f" : "-");
+        out += strf(";P ii=%u pace=%u/%u/%u/%u src=%u+%u chk=%s", p.ii,
+                    p.paceBase, p.paceEvery, p.paceBurst, p.pacePhase,
+                    p.stride, p.offset, chk);
+    }
+    for (const GenEdge &e : spec.edges) {
+        out += strf(";E %u>%u d=%u w=%c r=%c", e.writer, e.reader,
+                    e.depth,
+                    e.writeMode == PortMode::Blocking ? 'b' : 'n',
+                    e.readMode == PortMode::Blocking ? 'b' : 'n');
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Strict unsigned field parser for the spec grammar: full u64 range,
+ *  overflow is an error (a wrapped value would silently replay a
+ *  different design than the spec text claims). */
+std::uint64_t
+specNum(const std::string &text, std::size_t &pos, const char *what)
+{
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+        omnisim_fatal("gen spec parse: expected number for %s at "
+                      "offset %zu", what, pos);
+    constexpr std::uint64_t maxV = ~std::uint64_t{0};
+    std::uint64_t v = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+        const auto digit = static_cast<std::uint64_t>(text[pos] - '0');
+        if (v > (maxV - digit) / 10)
+            omnisim_fatal("gen spec parse: %s overflows", what);
+        v = v * 10 + digit;
+        ++pos;
+    }
+    return v;
+}
+
+/** specNum for fields stored in 32 bits: out-of-width values are parse
+ *  errors, never silent truncations. */
+std::uint32_t
+specNum32(const std::string &text, std::size_t &pos, const char *what)
+{
+    const std::uint64_t v = specNum(text, pos, what);
+    if (v > std::numeric_limits<std::uint32_t>::max())
+        omnisim_fatal("gen spec parse: %s = %llu exceeds 32 bits", what,
+                      static_cast<unsigned long long>(v));
+    return static_cast<std::uint32_t>(v);
+}
+
+void
+specExpect(const std::string &text, std::size_t &pos, const char *lit)
+{
+    const std::size_t n = std::string_view(lit).size();
+    if (text.compare(pos, n, lit) != 0)
+        omnisim_fatal("gen spec parse: expected '%s' at offset %zu", lit,
+                      pos);
+    pos += n;
+}
+
+} // namespace
+
+GenSpec
+parseSpec(const std::string &text)
+{
+    GenSpec spec;
+    std::size_t pos = 0;
+    specExpect(text, pos, "g1;seed=");
+    spec.seed = specNum(text, pos, "seed");
+    specExpect(text, pos, ";items=");
+    spec.items = specNum32(text, pos, "items");
+    specExpect(text, pos, ";extra=");
+    spec.extraReads = specNum32(text, pos, "extraReads");
+    specExpect(text, pos, "@");
+    spec.extraProc = specNum32(text, pos, "extraProc");
+
+    while (pos < text.size()) {
+        specExpect(text, pos, ";");
+        if (text.compare(pos, 2, "P ") == 0) {
+            pos += 2;
+            GenProc p;
+            specExpect(text, pos, "ii=");
+            p.ii = specNum32(text, pos, "ii");
+            specExpect(text, pos, " pace=");
+            p.paceBase = specNum32(text, pos, "paceBase");
+            specExpect(text, pos, "/");
+            p.paceEvery = specNum32(text, pos, "paceEvery");
+            specExpect(text, pos, "/");
+            p.paceBurst = specNum32(text, pos, "paceBurst");
+            specExpect(text, pos, "/");
+            p.pacePhase = specNum32(text, pos, "pacePhase");
+            specExpect(text, pos, " src=");
+            p.stride = specNum32(text, pos, "stride");
+            specExpect(text, pos, "+");
+            p.offset = specNum32(text, pos, "offset");
+            specExpect(text, pos, " chk=");
+            if (pos < text.size() && text[pos] == '-') {
+                ++pos;
+            } else {
+                if (pos < text.size() && text[pos] == 'e') {
+                    p.checksEmpty = true;
+                    ++pos;
+                }
+                if (pos < text.size() && text[pos] == 'f') {
+                    p.checksFull = true;
+                    ++pos;
+                }
+                if (!p.checksEmpty && !p.checksFull)
+                    omnisim_fatal("gen spec parse: bad chk flags at "
+                                  "offset %zu", pos);
+            }
+            spec.procs.push_back(p);
+        } else if (text.compare(pos, 2, "E ") == 0) {
+            pos += 2;
+            GenEdge e;
+            e.writer = specNum32(text, pos, "writer");
+            specExpect(text, pos, ">");
+            e.reader = specNum32(text, pos, "reader");
+            specExpect(text, pos, " d=");
+            e.depth = specNum32(text, pos, "depth");
+            specExpect(text, pos, " w=");
+            if (pos >= text.size() ||
+                (text[pos] != 'b' && text[pos] != 'n'))
+                omnisim_fatal("gen spec parse: bad write mode at "
+                              "offset %zu", pos);
+            e.writeMode = text[pos++] == 'b' ? PortMode::Blocking
+                                             : PortMode::NonBlocking;
+            specExpect(text, pos, " r=");
+            if (pos >= text.size() ||
+                (text[pos] != 'b' && text[pos] != 'n'))
+                omnisim_fatal("gen spec parse: bad read mode at "
+                              "offset %zu", pos);
+            e.readMode = text[pos++] == 'b' ? PortMode::Blocking
+                                            : PortMode::NonBlocking;
+            spec.edges.push_back(e);
+        } else {
+            omnisim_fatal("gen spec parse: expected 'P ' or 'E ' record "
+                          "at offset %zu", pos);
+        }
+    }
+
+    validateSpec(spec);
+    return spec;
+}
+
+} // namespace omnisim::gen

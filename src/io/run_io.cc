@@ -104,6 +104,8 @@ encodeSnapshot(ByteWriter &w, const RunSnapshot &snap)
     w.u64(r.stats.queries);
     w.u64(r.stats.queriesSkipped);
     w.u64(r.stats.forcedFalse);
+    w.u64(r.stats.forcedBlind);
+    w.u64(r.stats.deadlockRetroSuspect);
     w.u64(r.stats.graphNodes);
     w.u64(r.stats.graphEdges);
     w.u64(r.stats.cyclesStepped);
@@ -224,6 +226,8 @@ decodeSnapshot(ByteReader &r, RunSnapshot &snap)
     res.stats.queries = r.u64();
     res.stats.queriesSkipped = r.u64();
     res.stats.forcedFalse = r.u64();
+    res.stats.forcedBlind = r.u64();
+    res.stats.deadlockRetroSuspect = r.u64();
     res.stats.graphNodes = r.u64();
     res.stats.graphEdges = r.u64();
     res.stats.cyclesStepped = r.u64();

@@ -43,8 +43,10 @@ class Design;
 namespace omnisim::io
 {
 
-/** Current on-disk format version; bumped on any layout change. */
-constexpr std::uint32_t kRunFormatVersion = 1;
+/** Current on-disk format version; bumped on any layout change.
+ *  v2: EngineStats gained the forcedBlind / deadlockRetroSuspect
+ *  approximation markers (see runtime/result.hh). */
+constexpr std::uint32_t kRunFormatVersion = 2;
 
 /** The 8-byte file magic. */
 extern const char kRunMagic[8];

@@ -39,6 +39,18 @@ struct EngineStats
     std::uint64_t queries = 0;       ///< Queries created (Table 1 queries).
     std::uint64_t queriesSkipped = 0;///< Removed by dead-check elimination.
     std::uint64_t forcedFalse = 0;   ///< Earliest-query-false resolutions.
+
+    /** Earliest-query-false resolutions whose §7.1 precondition could
+     *  NOT be proven from the thread floors — the engine guessed. A
+     *  nonzero count marks the run as a documented approximation of the
+     *  elastic timing fixpoint (see README, conformance oracle). */
+    std::uint64_t forcedBlind = 0;
+
+    /** Deadlock was declared while some paused thread still had an open
+     *  elastic window (its pipeline could retroactively issue earlier
+     *  ops in real hardware): the serialized engines may deadlock where
+     *  the elastic fixpoint completes. */
+    std::uint64_t deadlockRetroSuspect = 0;
     std::uint64_t graphNodes = 0;    ///< Simulation graph nodes.
     std::uint64_t graphEdges = 0;    ///< Simulation graph edges.
     std::uint64_t cyclesStepped = 0; ///< Clock steps (co-sim only).

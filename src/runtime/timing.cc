@@ -24,6 +24,28 @@ TimingModel::earliest() const
     return e;
 }
 
+Cycles
+TimingModel::retroFloor() const
+{
+    Cycles f = earliest();
+    for (const Pipe &p : pipes_) {
+        // Future iterations of this pipe are bounded below by its first
+        // committed slot plus II (slots within an iteration are
+        // time-ordered, so the first is the least). Before any slot is
+        // committed, iterations restart from the pipeline entry time.
+        Cycles bound;
+        if (!p.curIter.empty())
+            bound = p.curIter[0].t + p.ii;
+        else if (!p.prevIter.empty())
+            bound = p.prevIter[0].t + p.ii;
+        else
+            bound = p.entryNow;
+        if (bound < f)
+            f = bound;
+    }
+    return f;
+}
+
 std::vector<TimingModel::Constraint>
 TimingModel::commitOp(Cycles t, Cycles dur, std::uint64_t tag)
 {

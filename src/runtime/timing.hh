@@ -67,6 +67,19 @@ class TimingModel
     Cycles earliest() const;
 
     /**
+     * @return a lower bound on the start cycle of EVERY op this module
+     * may still commit — not just the next one. Outside pipelines op
+     * times are monotone, so the bound is earliest(); inside a
+     * pipelined loop the next iteration's leading ops may start
+     * retroactively earlier than the current iteration's tail (the
+     * elastic-pipeline rule bounds them only by the first slot of the
+     * reference iteration plus the initiation interval). Co-simulation
+     * uses this floor to know when "the target event has not happened
+     * before cycle t" is final (see cosim.cc).
+     */
+    Cycles retroFloor() const;
+
+    /**
      * Record an op at cycle t (must be >= earliest()) with the given
      * duration. Advances the local timeline to t + dur.
      *

@@ -3,9 +3,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace omnisim::serve
 {
+
+namespace
+{
+
+/** Largest integer a double represents exactly (2^53). */
+constexpr double kMaxExactDouble = 9007199254740992.0;
+
+} // namespace
 
 // ---------------------------------------------------------------------------
 // JsonValue accessors.
@@ -67,11 +76,43 @@ JsonValue::asU64(const char *what, std::uint64_t max) const
 {
     if (kind_ != Kind::Number)
         omnisim_fatal("%s must be a number", what);
+    if (intExact_) {
+        if (intNeg_ || intMag_ > max)
+            omnisim_fatal("%s must be an integer in [0, %llu]", what,
+                          static_cast<unsigned long long>(max));
+        return intMag_;
+    }
+    // Lossy forms (fraction, exponent, magnitude beyond 64 bits) are
+    // only acceptable while the double is still exact; above 2^53 the
+    // true value is unknowable and silently truncating it would corrupt
+    // ids/depths/cycle counts — make it the caller's protocol error.
     if (!(num_ >= 0) || num_ != std::floor(num_) ||
         num_ > static_cast<double>(max))
         omnisim_fatal("%s must be an integer in [0, %llu]", what,
                       static_cast<unsigned long long>(max));
+    if (num_ >= kMaxExactDouble)
+        omnisim_fatal("%s is not exactly representable (magnitude above "
+                      "2^53 reached the parser in lossy form)", what);
     return static_cast<std::uint64_t>(num_);
+}
+
+std::int64_t
+JsonValue::asI64(const char *what) const
+{
+    if (kind_ != Kind::Number)
+        omnisim_fatal("%s must be a number", what);
+    constexpr std::uint64_t kI64MaxMag = 0x7fffffffffffffffULL;
+    if (intExact_) {
+        if (intMag_ > kI64MaxMag + (intNeg_ ? 1 : 0))
+            omnisim_fatal("%s overflows int64", what);
+        if (intNeg_ && intMag_ == kI64MaxMag + 1)
+            return std::numeric_limits<std::int64_t>::min();
+        const auto mag = static_cast<std::int64_t>(intMag_);
+        return intNeg_ ? -mag : mag;
+    }
+    if (num_ != std::floor(num_) || std::fabs(num_) >= kMaxExactDouble)
+        omnisim_fatal("%s is not exactly representable as int64", what);
+    return static_cast<std::int64_t>(num_);
 }
 
 JsonValue
@@ -89,6 +130,39 @@ JsonValue::makeNumber(double n)
     JsonValue v;
     v.kind_ = Kind::Number;
     v.num_ = n;
+    // A double that happens to hold a small whole number is still an
+    // exact integer; larger magnitudes stay in the lossy-double lane.
+    if (std::isfinite(n) && n == std::floor(n) &&
+        std::fabs(n) < kMaxExactDouble) {
+        v.intExact_ = true;
+        v.intNeg_ = n < 0;
+        v.intMag_ = static_cast<std::uint64_t>(n < 0 ? -n : n);
+    }
+    return v;
+}
+
+JsonValue
+JsonValue::makeInt(std::int64_t n)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = static_cast<double>(n);
+    v.intExact_ = true;
+    v.intNeg_ = n < 0;
+    v.intMag_ = n < 0 ? ~static_cast<std::uint64_t>(n) + 1
+                      : static_cast<std::uint64_t>(n);
+    return v;
+}
+
+JsonValue
+JsonValue::makeUInt(std::uint64_t n)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = static_cast<double>(n);
+    v.intExact_ = true;
+    v.intNeg_ = false;
+    v.intMag_ = n;
     return v;
 }
 
@@ -317,7 +391,8 @@ class Parser
     number()
     {
         const std::size_t start = pos_;
-        if (peek() == '-')
+        const bool neg = peek() == '-';
+        if (neg)
             ++pos_;
         const std::size_t intStart = pos_;
         if (!digit())
@@ -326,7 +401,10 @@ class Parser
             ;
         if (p_[intStart] == '0' && pos_ - intStart > 1)
             omnisim_fatal("json: leading zero at offset %zu", intStart);
+        const std::size_t intEnd = pos_;
+        bool lossless = true; // pure integer lexeme, no '.' / exponent
         if (peek() == '.') {
+            lossless = false;
             ++pos_;
             if (!digit())
                 omnisim_fatal("json: bad fraction at offset %zu", pos_);
@@ -334,6 +412,7 @@ class Parser
                 ;
         }
         if (peek() == 'e' || peek() == 'E') {
+            lossless = false;
             ++pos_;
             if (peek() == '+' || peek() == '-')
                 ++pos_;
@@ -342,8 +421,41 @@ class Parser
             while (digit())
                 ;
         }
+
+        // Integer lexemes that fit 64 bits are decoded exactly, never
+        // through a double: protocol ids/depths/cycle counts above 2^53
+        // must survive a parse -> dump round trip bit-identically.
+        if (lossless) {
+            std::uint64_t mag = 0;
+            bool fits = true;
+            for (std::size_t i = intStart; i < intEnd && fits; ++i) {
+                const auto digitVal =
+                    static_cast<std::uint64_t>(p_[i] - '0');
+                if (mag > (std::numeric_limits<std::uint64_t>::max() -
+                           digitVal) / 10)
+                    fits = false;
+                else
+                    mag = mag * 10 + digitVal;
+            }
+            // Negative magnitudes must also fit int64 to stay exact.
+            if (fits && neg && mag > (1ULL << 63))
+                fits = false;
+            if (fits) {
+                if (neg && mag == (1ULL << 63))
+                    return JsonValue::makeInt(
+                        std::numeric_limits<std::int64_t>::min());
+                const auto sMag = static_cast<std::int64_t>(mag);
+                return neg ? JsonValue::makeInt(-sMag)
+                           : JsonValue::makeUInt(mag);
+            }
+        }
+
         const std::string text(p_.substr(start, pos_ - start));
-        return JsonValue::makeNumber(std::strtod(text.c_str(), nullptr));
+        const double v = std::strtod(text.c_str(), nullptr);
+        if (!std::isfinite(v))
+            omnisim_fatal("json: number out of range at offset %zu",
+                          start);
+        return JsonValue::makeNumber(v);
     }
 
     bool
@@ -444,9 +556,12 @@ JsonValue::dump() const
       case Kind::Bool:
         return bool_ ? "true" : "false";
       case Kind::Number: {
-        if (std::isfinite(num_) && num_ == std::floor(num_) &&
-            std::fabs(num_) < 9.007199254740992e15)
-            return strf("%lld", static_cast<long long>(num_));
+        if (intExact_) {
+            if (intNeg_ && intMag_ == (1ULL << 63))
+                return "-9223372036854775808";
+            return strf("%s%llu", intNeg_ ? "-" : "",
+                        static_cast<unsigned long long>(intMag_));
+        }
         return std::isfinite(num_) ? strf("%.17g", num_) : "null";
       }
       case Kind::String:
@@ -507,6 +622,12 @@ JsonBuilder &
 JsonBuilder::num(std::uint64_t v)
 {
     return value(strf("%llu", static_cast<unsigned long long>(v)));
+}
+
+JsonBuilder &
+JsonBuilder::num(std::int64_t v)
+{
+    return value(strf("%lld", static_cast<long long>(v)));
 }
 
 JsonBuilder &JsonBuilder::boolean(bool v)

@@ -55,8 +55,17 @@ class JsonValue
     /** @return the boolean payload (Bool only). */
     bool boolean() const;
 
-    /** @return the numeric payload (Number only). */
+    /** @return the numeric payload (Number only), as a double. */
     double number() const;
+
+    /**
+     * @return true when this number carries an exact 64-bit integer
+     * payload (an integer lexeme that fits u64, or a non-negative i64 /
+     * any magnitude representable as below). Integers above 2^53 keep
+     * full fidelity through this path — ids, depths and cycle counts
+     * must never be rounded through a double.
+     */
+    bool isExactInt() const { return kind_ == Kind::Number && intExact_; }
 
     /** @return the string payload (String only). */
     const std::string &str() const;
@@ -71,10 +80,23 @@ class JsonValue
     const JsonValue *find(const std::string &key) const;
 
     /**
-     * @return the numeric payload as an unsigned integer.
-     * @throws FatalError when not a non-negative whole number <= max.
+     * @return the numeric payload as an unsigned integer, exactly.
+     * Integer lexemes are decoded without ever passing through a
+     * double, so every value up to 2^64-1 round-trips bit-exactly.
+     * @throws FatalError when not a whole number in [0, max], or when
+     *         the number reached the parser in a lossy form (fraction,
+     *         exponent, or magnitude beyond 64 bits) and exceeds the
+     *         2^53 range a double can represent exactly — silent
+     *         truncation is never an option for protocol fields.
      */
     std::uint64_t asU64(const char *what, std::uint64_t max) const;
+
+    /**
+     * @return the numeric payload as a signed 64-bit integer, exactly.
+     * @throws FatalError when the number is not exactly representable
+     *         as an int64_t (same lossiness rules as asU64).
+     */
+    std::int64_t asI64(const char *what) const;
 
     /** Re-serialize (canonical escaping; numbers via %.17g). */
     std::string dump() const;
@@ -84,6 +106,8 @@ class JsonValue
     static JsonValue makeNull() { return JsonValue(); }
     static JsonValue makeBool(bool b);
     static JsonValue makeNumber(double n);
+    static JsonValue makeInt(std::int64_t n);
+    static JsonValue makeUInt(std::uint64_t n);
     static JsonValue makeString(std::string s);
     static JsonValue makeArray(std::vector<JsonValue> elems);
     static JsonValue
@@ -93,6 +117,12 @@ class JsonValue
     Kind kind_ = Kind::Null;
     bool bool_ = false;
     double num_ = 0.0;
+    /** Exact integer payload: magnitude + sign, valid when intExact_.
+     *  Covers all of u64 and all of i64 (the double num_ is then only
+     *  an approximation for number()). */
+    bool intExact_ = false;
+    bool intNeg_ = false;
+    std::uint64_t intMag_ = 0;
     std::string str_;
     std::vector<JsonValue> elems_;
     std::vector<std::pair<std::string, JsonValue>> members_;
@@ -115,16 +145,24 @@ class JsonBuilder
     JsonBuilder &str(std::string_view v);
     JsonBuilder &num(double v);
     JsonBuilder &num(std::uint64_t v);
-    /** Any unsigned integral count (size_t, unsigned, ...). */
+    /** Exact signed emission — negatives must never wrap through u64. */
+    JsonBuilder &num(std::int64_t v);
+    /** Any other integral count (size_t, unsigned, int, ...), routed to
+     *  the exact 64-bit emitter matching its signedness. */
     template <typename Int,
               typename = std::enable_if_t<std::is_integral_v<Int> &&
                                           !std::is_same_v<Int, bool> &&
                                           !std::is_same_v<Int,
-                                                          std::uint64_t>>>
+                                                          std::uint64_t> &&
+                                          !std::is_same_v<Int,
+                                                          std::int64_t>>>
     JsonBuilder &
     num(Int v)
     {
-        return num(static_cast<std::uint64_t>(v));
+        if constexpr (std::is_signed_v<Int>)
+            return num(static_cast<std::int64_t>(v));
+        else
+            return num(static_cast<std::uint64_t>(v));
     }
     JsonBuilder &boolean(bool v);
     JsonBuilder &null();

@@ -15,6 +15,8 @@
 #include "support/stopwatch.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -662,6 +664,14 @@ int
 serveUnixSocket(SimService &svc, const std::string &path)
 {
 #ifdef OMNISIM_HAVE_UNIX_SOCKETS
+    // A client vanishing mid-response must never kill the resident
+    // service: sends already pass MSG_NOSIGNAL, but a platform without
+    // it on some path (or a stray write to a dead descriptor) would
+    // raise SIGPIPE and take the whole process down. Ignore it for the
+    // lifetime of the service loop — the send()/recv() return codes
+    // carry all the information we act on.
+    ::signal(SIGPIPE, SIG_IGN);
+
     sockaddr_un addr{};
     if (path.size() >= sizeof(addr.sun_path)) {
         warn(strf("serve: socket path '%s' too long", path.c_str()));
@@ -685,7 +695,12 @@ serveUnixSocket(SimService &svc, const std::string &path)
 
     bool sawShutdown = false;
     while (!sawShutdown) {
-        const int cfd = ::accept(fd, nullptr, nullptr);
+        // EINTR is routine for a long-lived accept (any signal delivery
+        // interrupts it); only real errors end the serving loop.
+        int cfd;
+        do {
+            cfd = ::accept(fd, nullptr, nullptr);
+        } while (cfd < 0 && errno == EINTR);
         if (cfd < 0)
             break;
 
@@ -699,6 +714,8 @@ serveUnixSocket(SimService &svc, const std::string &path)
                 const ssize_t sent =
                     ::send(cfd, framed.data() + off, framed.size() - off,
                            MSG_NOSIGNAL);
+                if (sent < 0 && errno == EINTR)
+                    continue; // interrupted mid-response: keep sending
                 if (sent <= 0)
                     return; // peer went away; nothing useful to do
                 off += static_cast<std::size_t>(sent);
@@ -727,6 +744,8 @@ serveUnixSocket(SimService &svc, const std::string &path)
         bool connectionOpen = true;
         while (connectionOpen && !sawShutdown) {
             const ssize_t got = ::recv(cfd, chunk, sizeof(chunk), 0);
+            if (got < 0 && errno == EINTR)
+                continue;
             if (got <= 0) {
                 if (got == 0 && !buf.empty())
                     handleLine(buf); // unterminated final request

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "batch/batch.hh"
 #include "design/frontend.hh"
@@ -17,6 +20,13 @@
 #include "helpers.hh"
 #include "serve/json.hh"
 #include "serve/service.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define OMNISIM_TEST_UNIX_SOCKETS 1
+#endif
 
 namespace omnisim
 {
@@ -117,6 +127,96 @@ TEST(ServeJson, DumpRoundTripsAndEscapes)
     const JsonValue again = JsonValue::parse(v.dump());
     EXPECT_EQ(again.find("s")->str(), "a\"b\\c\n");
     EXPECT_EQ(again.find("n")->array()[1].number(), 2.5);
+}
+
+TEST(ServeJson, U64IntegersAboveTwoPow53RoundTripExactly)
+{
+    // Ids, depths and cycle counts are 64-bit; routing them through a
+    // double silently corrupts anything above 2^53.
+    for (const std::uint64_t v :
+         {std::uint64_t{9007199254740993ull},    // 2^53 + 1
+          std::uint64_t{1234567890123456789ull},
+          std::uint64_t{18446744073709551615ull}}) { // u64 max
+        const std::string text = strf("%llu",
+            static_cast<unsigned long long>(v));
+        const JsonValue parsed = JsonValue::parse(text);
+        EXPECT_TRUE(parsed.isExactInt()) << text;
+        EXPECT_EQ(parsed.asU64("v", ~0ull), v);
+        EXPECT_EQ(parsed.dump(), text); // parse -> dump is bit-exact
+    }
+}
+
+TEST(ServeJson, I64IntegersRoundTripExactly)
+{
+    EXPECT_EQ(JsonValue::parse("-9223372036854775808").asI64("v"),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(JsonValue::parse("-9007199254740993").asI64("v"),
+              -9007199254740993ll);
+    EXPECT_EQ(JsonValue::parse("-9223372036854775808").dump(),
+              "-9223372036854775808");
+    EXPECT_EQ(JsonValue::makeInt(-42).dump(), "-42");
+    EXPECT_EQ(JsonValue::makeUInt(18446744073709551615ull).dump(),
+              "18446744073709551615");
+    // u64 max does not fit i64.
+    EXPECT_THROW(JsonValue::parse("18446744073709551615").asI64("v"),
+                 FatalError);
+}
+
+TEST(ServeJson, OutOfRangeNumbersAreProtocolErrorsNotTruncations)
+{
+    // Beyond u64: parses as a lossy double, but integer extraction must
+    // refuse rather than truncate.
+    const JsonValue beyond = JsonValue::parse("18446744073709551616");
+    EXPECT_FALSE(beyond.isExactInt());
+    EXPECT_THROW(beyond.asU64("v", ~0ull), FatalError);
+    // Exponent form above 2^53: the true value is unknowable.
+    EXPECT_THROW(JsonValue::parse("9.1e18").asU64("v", ~0ull),
+                 FatalError);
+    // Small exponent forms are still fine (exactly representable).
+    EXPECT_EQ(JsonValue::parse("1e3").asU64("v", ~0ull), 1000u);
+    // Fractions, negatives, overflow vs caller maximum.
+    EXPECT_THROW(JsonValue::parse("12.5").asU64("v", ~0ull), FatalError);
+    EXPECT_THROW(JsonValue::parse("-1").asU64("v", ~0ull), FatalError);
+    EXPECT_THROW(JsonValue::parse("256").asU64("v", 255), FatalError);
+    // Overflowing doubles are rejected at parse (JSON has no inf).
+    EXPECT_THROW(JsonValue::parse("1e999"), FatalError);
+}
+
+TEST(ServeJson, BuilderEmitsExact64BitIntegers)
+{
+    serve::JsonBuilder b;
+    b.key("u").num(std::uint64_t{18446744073709551615ull});
+    b.key("i").num(std::int64_t{-9223372036854775807ll - 1});
+    b.key("w").num(Value{-5}); // Value routes through the signed lane
+    const JsonValue v = JsonValue::parse(b.finish());
+    EXPECT_EQ(v.find("u")->asU64("u", ~0ull), 18446744073709551615ull);
+    EXPECT_EQ(v.find("i")->asI64("i"),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(v.find("w")->asI64("w"), -5);
+}
+
+TEST(ServeJson, MalformedSurrogateEscapesAreParseErrors)
+{
+    // Lone or inverted surrogate halves must never decode to invalid
+    // UTF-8 — every malformed shape is a parse error.
+    for (const char *bad : {
+             R"("\ud800")",        // lone high half
+             R"("\udc00")",        // lone low half
+             R"("\udc00\ud800")",  // inverted pair
+             R"("\ud83d\ud83d")",  // high followed by high
+             R"("\ud800A")",       // high followed by a literal
+             R"("\ud800\n")",      // high followed by a non-\u escape
+             R"("\ud83d\u00e9")", // high followed by a BMP escape
+             R"("\ud83d\u")",      // truncated second escape
+             R"("\ud83d\udc0")",   // short second escape
+         }) {
+        EXPECT_THROW(JsonValue::parse(bad), FatalError) << bad;
+    }
+    // Boundary pairs that are valid must decode to well-formed UTF-8.
+    EXPECT_EQ(JsonValue::parse(R"("\ud800\udc00")").str(),
+              "\xf0\x90\x80\x80"); // U+10000
+    EXPECT_EQ(JsonValue::parse(R"("\udbff\udfff")").str(),
+              "\xf4\x8f\xbf\xbf"); // U+10FFFF
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +501,96 @@ TEST(SimServiceTest, OversizedRequestLineIsRejectedNotBuffered)
     EXPECT_TRUE(okField(responses[2]));
     EXPECT_EQ(numField(responses.back(), "id"), 2u);
 }
+
+#ifdef OMNISIM_TEST_UNIX_SOCKETS
+
+/** Connect to a Unix socket, retrying while the server binds. */
+int
+connectWithRetry(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    path.copy(addr.sun_path, path.size());
+    for (int attempt = 0; attempt < 400; ++attempt) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return -1;
+}
+
+void
+sendAll(int fd, const std::string &text)
+{
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::send(fd, text.data() + off, text.size() - off, 0);
+        ASSERT_GT(n, 0);
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+recvLine(int fd)
+{
+    std::string out;
+    char c = 0;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n')
+        out += c;
+    return out;
+}
+
+TEST(SimServiceTest, ClientDisconnectMidResponseDoesNotKillService)
+{
+    // Regression: a client that sends a request and vanishes before
+    // reading the response used to be able to take the resident service
+    // down (SIGPIPE on the dead socket, or an EINTR treated as a fatal
+    // accept/read error). The service must shrug and keep serving.
+    TempDir dir("svc_sock");
+    const std::string path = dir.path + "/sock";
+
+    SimService svc({2, "", 4, {}});
+    int rc = -1;
+    std::thread server(
+        [&] { rc = serve::serveUnixSocket(svc, path); });
+
+    // Client 1: fire a real request, then slam the connection shut
+    // without reading a byte of the response.
+    {
+        const int fd = connectWithRetry(path);
+        ASSERT_GE(fd, 0);
+        sendAll(fd,
+                "{\"id\":1,\"op\":\"simulate\","
+                "\"design\":\"fifo_chain\"}\n");
+        ::close(fd);
+    }
+
+    // Client 2: the service must still answer, then shut down cleanly.
+    {
+        const int fd = connectWithRetry(path);
+        ASSERT_GE(fd, 0);
+        sendAll(fd, "{\"id\":2,\"op\":\"stats\"}\n");
+        const JsonValue stats = JsonValue::parse(recvLine(fd));
+        EXPECT_TRUE(okField(stats)) << stats.dump();
+        EXPECT_EQ(numField(stats, "id"), 2u);
+        sendAll(fd, "{\"id\":3,\"op\":\"shutdown\"}\n");
+        const JsonValue bye = JsonValue::parse(recvLine(fd));
+        EXPECT_TRUE(okField(bye)) << bye.dump();
+        ::close(fd);
+    }
+
+    server.join();
+    EXPECT_EQ(rc, 0);
+    EXPECT_TRUE(svc.shutdownRequested());
+}
+
+#endif // OMNISIM_TEST_UNIX_SOCKETS
 
 TEST(TaskPoolTest, ExecutesDrainsAndIsolatesExceptions)
 {

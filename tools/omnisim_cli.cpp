@@ -43,6 +43,9 @@
 #include "designs/common.hh"
 #include "dse/dse.hh"
 #include "dse/strategies.hh"
+#include "gen/conformance.hh"
+#include "gen/generate.hh"
+#include "gen/shrink.hh"
 #include "io/run_store.hh"
 #include "lightningsim/lightningsim.hh"
 #include "serve/service.hh"
@@ -71,6 +74,8 @@ usage()
                  "  omnisim_cli batch ...              (batch --help for "
                  "details)\n"
                  "  omnisim_cli serve ...              (serve --help for "
+                 "details)\n"
+                 "  omnisim_cli fuzz ...               (fuzz --help for "
                  "details)\n"
                  "  omnisim_cli dot <design>\n");
     return 2;
@@ -119,6 +124,37 @@ subcommandUsage(const std::string &cmd)
                "(default 1)\n"
                "  --designs a,b,...   restrict to named designs "
                "(default: whole registry)\n";
+    }
+    if (cmd == "fuzz") {
+        return "usage: omnisim_cli fuzz [options]\n"
+               "\n"
+               "Randomized differential conformance: generate seeded "
+               "dataflow designs\n"
+               "and run each through every oracle pair (omnisim vs "
+               "cosim vs csim vs\n"
+               "lightningsim, resimulate vs reference across random "
+               "depth deltas,\n"
+               "run_io serialize->rehydrate round trips, serve-protocol "
+               "echo). Any\n"
+               "divergence is shrunk to a minimal reproducer spec.\n"
+               "\n"
+               "options:\n"
+               "  --seed S       first seed (default 1)\n"
+               "  --count N      seeds to sweep (default 1000)\n"
+               "  --jobs N       worker threads (default: all cores)\n"
+               "  --probes K     depth probes per design through the "
+               "resimulate/io\n"
+               "                 oracles (default 4)\n"
+               "  --budget SEC   stop starting new seeds after SEC "
+               "seconds\n"
+               "  --no-shrink    report divergent seeds without "
+               "minimizing them\n"
+               "  --max-shrink N shrink candidate budget per divergence "
+               "(default 800)\n"
+               "  --replay SPEC  re-run the oracle matrix on one "
+               "serialized spec\n"
+               "                 (the string a previous fuzz run "
+               "printed)\n";
     }
     if (cmd == "serve") {
         return "usage: omnisim_cli serve [options]\n"
@@ -664,6 +700,177 @@ cmdBatch(const std::vector<std::string> &args)
     return rep.failedCount() == 0 ? 0 : 1;
 }
 
+/** Print one conformance report (the --replay path and divergences). */
+void
+printConformance(const gen::GenSpec &spec,
+                 const gen::ConformanceReport &rep)
+{
+    std::printf("spec     : %s\n", gen::specToString(spec).c_str());
+    std::printf("type     : %c\n", rep.designType);
+    std::printf("baseline : %s\n", simStatusName(rep.baseline));
+    std::printf("probes   : %u\n", rep.probesRun);
+    if (rep.clean()) {
+        std::printf("result   : conformant (no divergence)\n");
+    } else {
+        for (const auto &dv : rep.divergences)
+            std::printf("DIVERGE  : [%s] %s\n", dv.oracle.c_str(),
+                        dv.detail.c_str());
+    }
+}
+
+int
+cmdFuzz(const std::vector<std::string> &args)
+{
+    std::uint64_t seed0 = 1;
+    std::uint64_t count = 1000;
+    unsigned jobs = 0;
+    std::uint32_t probes = 4;
+    double budget = 0.0;
+    bool doShrink = true;
+    std::size_t maxShrink = 800;
+    std::string replay;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--seed" && i + 1 < args.size()) {
+            seed0 = parseUnsigned("--seed", args[++i], 0,
+                                  std::numeric_limits<
+                                      std::uint64_t>::max() - (1u << 24));
+        } else if (args[i] == "--count" && i + 1 < args.size()) {
+            count = parseUnsigned("--count", args[++i], 1, 1u << 24);
+        } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+            jobs = parseU32("--jobs", args[++i], 0, 4096);
+        } else if (args[i] == "--probes" && i + 1 < args.size()) {
+            probes = parseU32("--probes", args[++i], 0, 64);
+        } else if (args[i] == "--budget" && i + 1 < args.size()) {
+            budget = static_cast<double>(
+                parseUnsigned("--budget", args[++i], 1, 86400));
+        } else if (args[i] == "--no-shrink") {
+            doShrink = false;
+        } else if (args[i] == "--max-shrink" && i + 1 < args.size()) {
+            maxShrink = static_cast<std::size_t>(
+                parseUnsigned("--max-shrink", args[++i], 1, 1u << 20));
+        } else if (args[i] == "--replay" && i + 1 < args.size()) {
+            replay = args[++i];
+        } else {
+            return subUsageError("fuzz");
+        }
+    }
+
+    gen::ConformanceOptions copts;
+    copts.resimProbes = probes;
+
+    if (!replay.empty()) {
+        const gen::GenSpec spec = gen::parseSpec(replay);
+        const gen::ConformanceReport rep =
+            gen::checkConformance(spec, copts);
+        printConformance(spec, rep);
+        return rep.clean() ? 0 : 1;
+    }
+
+    struct Slot
+    {
+        bool ran = false;
+        char type = '?';
+        SimStatus baseline = SimStatus::Ok;
+        std::string summary; ///< Empty when conformant.
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(count));
+
+    const gen::GenConfig cfg;
+    Stopwatch sw;
+    batch::BatchRunner runner({jobs});
+    runner.forEachIndex(slots.size(), [&](std::size_t i) {
+        if (budget > 0.0 && sw.seconds() > budget)
+            return; // budget exhausted: leave the seed unrun
+        Slot &s = slots[i];
+        try {
+            const gen::GenSpec spec = gen::generateSpec(seed0 + i, cfg);
+            const gen::ConformanceReport rep =
+                gen::checkConformance(spec, copts);
+            s.type = rep.designType;
+            s.baseline = rep.baseline;
+            s.summary = rep.summary();
+        } catch (const std::exception &e) {
+            s.type = '?';
+            s.summary = std::string("harness: ") + e.what();
+        }
+        s.ran = true;
+    });
+    const double wall = sw.seconds();
+
+    std::size_t ran = 0, typeA = 0, typeB = 0, typeC = 0, deadlocks = 0;
+    std::vector<std::size_t> divergent;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Slot &s = slots[i];
+        if (!s.ran)
+            continue;
+        ++ran;
+        typeA += s.type == 'A';
+        typeB += s.type == 'B';
+        typeC += s.type == 'C';
+        deadlocks += s.baseline == SimStatus::Deadlock;
+        if (!s.summary.empty())
+            divergent.push_back(i);
+    }
+
+    std::printf("fuzz: %zu/%llu seeds [%llu..%llu] in %.2f s "
+                "(%.1f designs/s, %u jobs)\n",
+                ran, static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(seed0),
+                static_cast<unsigned long long>(seed0 + count - 1), wall,
+                wall > 0 ? static_cast<double>(ran) / wall : 0.0,
+                runner.jobs());
+    std::printf("types: A=%zu B=%zu C=%zu; deadlock baselines=%zu\n",
+                typeA, typeB, typeC, deadlocks);
+
+    if (divergent.empty()) {
+        std::printf("all oracles agree: no divergence\n");
+        return 0;
+    }
+
+    std::printf("\n%zu divergent seed(s):\n", divergent.size());
+    constexpr std::size_t kMaxShrunk = 8;
+    for (std::size_t k = 0; k < divergent.size(); ++k) {
+        const std::size_t i = divergent[k];
+        const std::uint64_t seed = seed0 + i;
+        std::printf("\n--- seed %llu ---\n",
+                    static_cast<unsigned long long>(seed));
+        std::printf("divergence: %s\n", slots[i].summary.c_str());
+        gen::GenSpec spec = gen::generateSpec(seed, cfg);
+        gen::GenSpec repro = spec; // what the replay line will carry
+        if (doShrink && k < kMaxShrunk) {
+            const gen::FailPredicate fails =
+                [&](const gen::GenSpec &cand) {
+                    try {
+                        return !gen::checkConformance(cand, copts)
+                                    .clean();
+                    } catch (const std::exception &) {
+                        return true; // a harness crash is also a bug
+                    }
+                };
+            // Nothing in the shrink/report path may abort the loop: a
+            // divergence that IS a harness exception must still print
+            // its replay line and let the remaining seeds report.
+            try {
+                const gen::ShrinkResult sr =
+                    gen::shrinkSpec(spec, fails, maxShrink);
+                std::printf("shrunk (%zu/%zu candidates accepted):\n",
+                            sr.accepted, sr.attempts);
+                printConformance(sr.spec,
+                                 gen::checkConformance(sr.spec, copts));
+                repro = sr.spec;
+            } catch (const std::exception &e) {
+                std::printf("shrink/replay raised: %s\n", e.what());
+            }
+        } else {
+            std::printf("spec: %s\n", gen::specToString(spec).c_str());
+        }
+        std::printf("replay: omnisim_cli fuzz --replay '%s'\n",
+                    gen::specToString(repro).c_str());
+    }
+    return 1;
+}
+
 int
 cmdServe(const std::vector<std::string> &args)
 {
@@ -736,6 +943,8 @@ main(int argc, char **argv)
             return cmdBatch(rest);
         if (cmd == "serve")
             return cmdServe(rest);
+        if (cmd == "fuzz")
+            return cmdFuzz(rest);
     } catch (const UsageError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
