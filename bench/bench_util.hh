@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "core/omnisim.hh"
 #include "cosim/cosim.hh"
@@ -21,6 +22,7 @@
 #include "designs/common.hh"
 #include "lightningsim/lightningsim.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 #include "support/stopwatch.hh"
 
 namespace omnisim::bench
@@ -62,6 +64,51 @@ fmtSpeedup(double x)
 {
     return strf("%.2fx", x);
 }
+
+/**
+ * The design set a registry-wide harness covers: the full Type B/C +
+ * Type A suites when @p only is empty, otherwise the named subset
+ * (findDesign exits with a listing on an unknown name).
+ */
+inline std::vector<const designs::DesignEntry *>
+registrySuite(const std::vector<std::string> &only)
+{
+    std::vector<const designs::DesignEntry *> entries;
+    if (only.empty()) {
+        for (const auto *suite :
+             {&designs::typeBCDesigns(), &designs::typeADesigns()})
+            for (const auto &e : *suite)
+                entries.push_back(&e);
+    } else {
+        for (const std::string &name : only)
+            entries.push_back(&designs::findDesign(name));
+    }
+    return entries;
+}
+
+/**
+ * Per-design factor samples and the registry geomean every harness
+ * headlines. Only finite positive samples count — a skipped design
+ * (zero wall clock, non-Ok status) contributes nothing rather than
+ * zeroing the product.
+ */
+class GeomeanAccum
+{
+  public:
+    void
+    add(double x)
+    {
+        if (std::isfinite(x) && x > 0.0)
+            xs_.push_back(x);
+    }
+
+    std::size_t samples() const { return xs_.size(); }
+    double value() const { return geomean(xs_); }
+    const std::vector<double> &samplesVec() const { return xs_; }
+
+  private:
+    std::vector<double> xs_;
+};
 
 /** Compact functional summary of a run (the Table 3 cell contents). */
 inline std::string
@@ -226,6 +273,37 @@ class JsonWriter
 
     std::string out_;
     bool fresh_ = true;
+};
+
+/**
+ * The shared frame of every BENCH_*.json trajectory file: a JsonWriter
+ * pre-seeded with the "bench" identity key, the output path (after any
+ * --json override), and the write-plus-gate exit code main() returns —
+ * so a harness cannot forget the identity key, report success without
+ * the file landing, or pass CI with its acceptance gate failed.
+ */
+class BenchJson
+{
+  public:
+    BenchJson(const std::string &bench, std::string path)
+        : path_(std::move(path))
+    {
+        json_.key("bench").str(bench);
+    }
+
+    JsonWriter &json() { return json_; }
+    JsonWriter &key(const std::string &k) { return json_.key(k); }
+
+    /** Write the document; 0 only when it landed AND the gate held. */
+    int
+    exitCode(bool pass = true)
+    {
+        return json_.writeFile(path_) && pass ? 0 : 1;
+    }
+
+  private:
+    JsonWriter json_;
+    std::string path_;
 };
 
 /**

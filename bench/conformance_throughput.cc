@@ -114,8 +114,7 @@ main(int argc, char **argv)
                 "%s (%u jobs)\n", seeds, bench::fmtSeconds(wall).c_str(),
                 runner.jobs());
 
-    bench::JsonWriter json;
-    json.key("bench").str("conformance_throughput");
+    bench::BenchJson json("conformance_throughput", jsonPath);
     json.key("seeds").num(seeds);
     json.key("first_seed").num(first);
     json.key("jobs").num(runner.jobs());
@@ -128,7 +127,5 @@ main(int argc, char **argv)
     json.key("type_c").num(typeC);
     json.key("deadlock_baselines").num(deadlocks);
     json.key("depth_probes").num(probesRun);
-    if (!json.writeFile(jsonPath))
-        return 1;
-    return divergences == 0 ? 0 : 1;
+    return json.exitCode(divergences == 0);
 }

@@ -137,31 +137,22 @@ main(int argc, char **argv)
             only.push_back(arg);
     }
 
-    std::vector<const designs::DesignEntry *> entries;
-    if (only.empty()) {
-        for (const auto *suite :
-             {&designs::typeBCDesigns(), &designs::typeADesigns()})
-            for (const auto &e : *suite)
-                entries.push_back(&e);
-    } else {
-        for (const std::string &name : only)
-            entries.push_back(&designs::findDesign(name));
-    }
+    const std::vector<const designs::DesignEntry *> entries =
+        registrySuite(only);
 
     std::cout << "Grid DSE over every design's joint FIFO depth space "
                  "(geometric 1..8 per FIFO,\nbudget "
               << budget << " configs per design)\n\n";
 
-    JsonWriter json;
-    json.key("bench").str("dse_throughput");
+    BenchJson json("dse_throughput", jsonPath);
     json.key("budget").num(budget);
-    json.key("designs").beginArray();
+    json.json().key("designs").beginArray();
 
     TablePrinter t({"Design", "Fifos", "Evals", "Incr", "Full", "Hit%",
                     "Wall", "Cfg/s", "Resim-speedup"});
     std::size_t totalEvals = 0, totalIncr = 0, totalFull = 0;
     double totalWall = 0.0;
-    std::vector<double> speedups;
+    GeomeanAccum speedups;
     for (const auto *e : entries) {
         dse::DseOptions opts;
         opts.strategy = "grid";
@@ -173,8 +164,7 @@ main(int argc, char **argv)
 
         const dse::DseReport rep = dse::explore(e->name, e->build, opts);
         const ResimTiming rt = measureResim(*e);
-        if (rt.speedup() > 0)
-            speedups.push_back(rt.speedup());
+        speedups.add(rt.speedup());
         totalEvals += rep.evaluations.size();
         totalIncr += rep.incrementalHits;
         totalFull += rep.fullRuns;
@@ -188,7 +178,7 @@ main(int argc, char **argv)
                   strf("%.1f", rep.configsPerSecond()),
                   rt.speedup() > 0 ? strf("%.1fx", rt.speedup()) : "-"});
 
-        json.beginObject();
+        json.json().beginObject();
         json.key("name").str(e->name);
         json.key("fifos").num(opts.space.fifos.size());
         json.key("evaluations").num(rep.evaluations.size());
@@ -202,9 +192,9 @@ main(int argc, char **argv)
         json.key("resim_compiled_seconds").num(rt.compiledSeconds);
         json.key("resim_reference_seconds").num(rt.referenceSeconds);
         json.key("resim_speedup_vs_full_rebuild").num(rt.speedup());
-        json.endObject();
+        json.json().endObject();
     }
-    json.endArray();
+    json.json().endArray();
     t.print(std::cout);
 
     const std::size_t served = totalIncr + totalFull;
@@ -214,7 +204,7 @@ main(int argc, char **argv)
                : 0.0;
     const double cfgPerS =
         totalWall > 0.0 ? static_cast<double>(totalEvals) / totalWall : 0.0;
-    const double speedupGeomean = geomean(speedups);
+    const double speedupGeomean = speedups.value();
     std::cout << "\n"
               << totalEvals << " configurations across " << entries.size()
               << " designs in " << fmtSeconds(totalWall) << " ("
@@ -233,6 +223,6 @@ main(int argc, char **argv)
     json.key("wall_seconds").num(totalWall);
     json.key("configs_per_second").num(cfgPerS);
     json.key("resim_speedup_geomean").num(speedupGeomean);
-    json.endObject();
-    return json.writeFile(jsonPath) ? 0 : 1;
+    json.json().endObject();
+    return json.exitCode();
 }

@@ -151,16 +151,8 @@ main(int argc, char **argv)
     }
     repeats = std::max(1u, repeats);
 
-    std::vector<const designs::DesignEntry *> entries;
-    if (only.empty()) {
-        for (const auto *suite :
-             {&designs::typeBCDesigns(), &designs::typeADesigns()})
-            for (const auto &e : *suite)
-                entries.push_back(&e);
-    } else {
-        for (const std::string &name : only)
-            entries.push_back(&designs::findDesign(name));
-    }
+    const std::vector<const designs::DesignEntry *> entries =
+        registrySuite(only);
 
     fs::remove_all(storeDir); // cold means cold
 
@@ -282,7 +274,7 @@ main(int argc, char **argv)
                                  requestSeconds
                            : 0.0;
 
-    std::vector<double> steadySpeedups, firstSpeedups;
+    GeomeanAccum steadySpeedups, firstSpeedups;
     std::size_t warmIncr = 0, covered = 0, probesServed = 0,
                 probesDiverged = 0;
     for (const auto &dt : timings) {
@@ -293,14 +285,12 @@ main(int argc, char **argv)
         probesDiverged += dt.steadyDiverged;
         if (dt.warmIncremental) {
             ++warmIncr;
-            if (dt.speedupFirst() > 0)
-                firstSpeedups.push_back(dt.speedupFirst());
+            firstSpeedups.add(dt.speedupFirst());
         }
-        if (dt.speedupSteady() > 0)
-            steadySpeedups.push_back(dt.speedupSteady());
+        steadySpeedups.add(dt.speedupSteady());
     }
-    const double speedupGeomean = geomean(steadySpeedups);
-    const double firstGeomean = geomean(firstSpeedups);
+    const double speedupGeomean = steadySpeedups.value();
+    const double firstGeomean = firstSpeedups.value();
     std::cout << "\n" << covered << " designs served (" << warmIncr
               << " warm-incremental, " << probesServed
               << " unseen probes incremental, " << probesDiverged
@@ -313,12 +303,11 @@ main(int argc, char **argv)
               << fmtSeconds(requestSeconds) << " ("
               << strf("%.1f", reqPerS) << " req/s)\n";
 
-    JsonWriter json;
-    json.key("bench").str("serve_throughput");
+    BenchJson json("serve_throughput", jsonPath);
     json.key("repeats").num(repeats);
-    json.key("designs").beginArray();
+    json.json().key("designs").beginArray();
     for (const auto &dt : timings) {
-        json.beginObject();
+        json.json().beginObject();
         json.key("name").str(dt.name);
         json.key("cold_ok").boolean(dt.ok);
         json.key("warm_incremental").boolean(dt.warmIncremental);
@@ -329,9 +318,9 @@ main(int argc, char **argv)
         json.key("steady_probes_diverged").num(dt.steadyDiverged);
         json.key("warm_speedup").num(dt.speedupSteady());
         json.key("warm_first_speedup").num(dt.speedupFirst());
-        json.endObject();
+        json.json().endObject();
     }
-    json.endArray();
+    json.json().endArray();
     json.key("totals").beginObject();
     json.key("designs_served").num(covered);
     json.key("warm_incremental").num(warmIncr);
@@ -342,8 +331,8 @@ main(int argc, char **argv)
     json.key("dispatched_requests").num(requestCount);
     json.key("dispatch_wall_seconds").num(requestSeconds);
     json.key("requests_per_second").num(reqPerS);
-    json.endObject();
+    json.json().endObject();
 
     fs::remove_all(storeDir);
-    return json.writeFile(jsonPath) ? 0 : 1;
+    return json.exitCode();
 }

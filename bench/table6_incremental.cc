@@ -46,8 +46,7 @@ main()
         return 1;
     }
 
-    JsonWriter json;
-    json.key("bench").str("table6_incremental");
+    BenchJson json("table6_incremental", "BENCH_incremental.json");
     json.key("design").str(entry.name);
     json.key("initial_seconds").num(init_time);
     json.key("frontend_seconds").num(fe.seconds);
@@ -82,7 +81,7 @@ main()
         json.key("seconds").num(inc_time);
         json.key("speedup_vs_initial")
             .num(inc_time > 0.0 ? init_time / inc_time : 0.0);
-        json.endObject();
+        json.json().endObject();
     }
 
     // --- Row 3: constraint-violating change -> full MT re-run --------
@@ -119,12 +118,12 @@ main()
             .num(check_time + rerun_time > 0.0
                      ? init_time / (check_time + rerun_time)
                      : 0.0);
-        json.endObject();
+        json.json().endObject();
     }
 
     std::cout << "\n";
     t.print(std::cout);
     std::cout << "\nPaper reference: initial 2.10 s; incremental "
                  "77.86 us (2.7e4x); non-incremental 0.31 s (6.77x).\n";
-    return json.writeFile("BENCH_incremental.json") ? 0 : 1;
+    return json.exitCode();
 }

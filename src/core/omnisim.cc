@@ -1129,12 +1129,14 @@ OmniSim::run()
         return r;
     }
 
-    // Freeze the finished run: CSR structure + cached topological order
-    // + baseline longest-path times, computed once. resimulate() serves
-    // every later depth vector from this compiled form.
+    // Freeze the finished run through the graph compilation pipeline
+    // (src/opt/): optimization passes, then CSR structure + cached
+    // topological order + baseline longest-path times, computed once.
+    // resimulate() serves every later depth vector from this compiled
+    // form.
     rd.compiled = std::make_unique<CompiledRun>(
         rd.nodes, rd.edges, rd.seed, rd.tables, depths, rd.constraints,
-        rd.tailNode, rd.tailSlack);
+        rd.tailNode, rd.tailSlack, opts_.optLevel);
     r.stats.graphNodes = nnodes;
     r.stats.graphEdges = rd.compiled->numEdges();
 
@@ -1148,7 +1150,38 @@ OmniSim::run()
     r.totalCycles = rd.compiled->baselineTotalCycles();
 
     if (opts_.verifyFinalization && opts_.eagerWriteStall && !any_lazy) {
-        const std::vector<Cycles> &time = rd.compiled->baselineTimes();
+        // Recompute the times on the *original* graph (the compiled
+        // layout renames and collapses nodes, so its solution cannot be
+        // indexed by table node ids). This doubles as an independent
+        // cross-check of the pipeline's baselineTotalCycles().
+        SimGraph graph;
+        graph.reserve(rd.nodes.size(), rd.edges.size());
+        for (const NodeInfo &info : rd.nodes)
+            graph.addNode(info);
+        for (const auto &e : rd.edges)
+            graph.addEdge(e.src, e.dst, e.weight);
+        synthesizeWarEdges(rd.tables, depths,
+                           [&](std::uint64_t s, std::uint64_t d, Cycles w) {
+                               graph.addEdge(s, d, w);
+                           },
+                           [&](std::size_t f, std::uint32_t w) {
+                               return rd.nodes[rd.tables[f].writeNodeOf(w)]
+                                          .kind == EventKind::FifoWrite;
+                           });
+        const PathResult pr = longestPath(graph, rd.seed);
+        omnisim_assert(pr.acyclic,
+                       "verify: baseline overlay is cyclic in eager mode");
+        const std::vector<Cycles> &time = pr.time;
+        Cycles total = 0;
+        for (std::size_t v = 0; v < rd.nodes.size(); ++v)
+            total = std::max(total, time[v] + rd.nodes[v].duration);
+        for (std::size_t m = 0; m < rd.tailNode.size(); ++m)
+            total = std::max(total,
+                             time[rd.tailNode[m]] + rd.tailSlack[m]);
+        omnisim_assert(total == r.totalCycles,
+                       "verify: compiled total %llu != reference %llu",
+                       static_cast<unsigned long long>(r.totalCycles),
+                       static_cast<unsigned long long>(total));
         for (std::size_t f = 0; f < rd.tables.size(); ++f) {
             const FifoTable &t = rd.tables[f];
             for (std::uint32_t i = 1; i <= t.writes(); ++i) {
@@ -1303,6 +1336,14 @@ OmniSim::constraints() const
 {
     omnisim_assert(data_ != nullptr, "no run yet");
     return data_->constraints;
+}
+
+const opt::CompileStats &
+OmniSim::compileStats() const
+{
+    omnisim_assert(data_ && data_->valid && data_->compiled != nullptr,
+                   "no compiled run yet");
+    return data_->compiled->compileStats();
 }
 
 bool

@@ -38,6 +38,7 @@
 #include "design/frontend.hh"
 #include "graph/csr.hh"
 #include "graph/simgraph.hh"
+#include "opt/opt.hh"
 #include "runtime/fifo_table.hh"
 #include "runtime/result.hh"
 
@@ -68,6 +69,15 @@ struct OmniSimOptions
      * reproduce the live commit cycles exactly (eager mode only).
      */
     bool verifyFinalization = false;
+
+    /**
+     * Graph compilation level for the frozen run (src/opt/): -O0 keeps
+     * the identity layout; -O1 (default) runs the lattice-prune /
+     * chain-collapse / dedup pipeline. Bit-identical resimulate()
+     * outcomes at every level — this only trades freeze time for probe
+     * and rehydration speed.
+     */
+    opt::OptLevel optLevel = opt::OptLevel::O1;
 };
 
 /** A recorded query outcome — the §7.2 constraint. */
@@ -168,6 +178,13 @@ class OmniSim
 
     /** @return the constraints recorded by the last run. */
     const std::vector<QueryRecord> &constraints() const;
+
+    /**
+     * @return pass statistics of the compilation pipeline the last
+     * successful run's graph went through (empty pass list at -O0).
+     * Requires a prior successful run().
+     */
+    const opt::CompileStats &compileStats() const;
 
     /**
      * Copy the frozen image of the last successful run into out (the

@@ -3,7 +3,11 @@
 #include <set>
 #include <sstream>
 
+#include "core/omnisim.hh"
 #include "design/classify.hh"
+#include "design/frontend.hh"
+#include "opt/layout.hh"
+#include "opt/pass_manager.hh"
 #include "support/logging.hh"
 
 namespace omnisim
@@ -39,6 +43,87 @@ toDot(const Design &design)
             os << ", color=\"#c00000\"";
         }
         os << "];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+toDotRun(const Design &design, opt::OptLevel level)
+{
+    const CompiledDesign cd = compile(design);
+    OmniSim engine(cd);
+    const SimResult result = engine.run();
+    if (result.status != SimStatus::Ok)
+        omnisim_fatal("dot: baseline run of '%s' failed (%s); only "
+                      "completed runs have a frozen graph to render",
+                      design.name().c_str(),
+                      simStatusName(result.status));
+    RunSnapshot snap;
+    if (!engine.exportSnapshot(snap))
+        omnisim_fatal("dot: cannot export the run snapshot of '%s'",
+                      design.name().c_str());
+
+    const opt::PassManager pm(level);
+    const opt::RunLayout layout =
+        pm.compile({&snap.nodes, &snap.edges, &snap.seed, &snap.tables,
+                    &snap.depths, &snap.constraints, &snap.tailNode,
+                    &snap.tailSlack});
+
+    // Representative original ids per live layout node: the first
+    // original node mapped there plus how many more it absorbed via
+    // chain-collapse folding and dedup merging.
+    std::vector<std::uint64_t> firstOrig(layout.numNodes,
+                                         ~std::uint64_t{0});
+    std::vector<std::size_t> merged(layout.numNodes, 0);
+    for (std::size_t o = 0; o < layout.remap.size(); ++o) {
+        const std::uint32_t l = layout.remap[o];
+        if (l == opt::kDropped)
+            continue;
+        if (firstOrig[l] == ~std::uint64_t{0})
+            firstOrig[l] = o;
+        else
+            ++merged[l];
+    }
+    std::set<std::uint32_t> consNodes;
+    for (const auto &c : layout.cons)
+        consNodes.insert(c.node);
+
+    std::ostringstream os;
+    os << "digraph \"" << design.name() << " "
+       << opt::optLevelName(level) << "\" {\n"
+       << "  rankdir=LR;\n"
+       << "  label=\"" << design.name() << " run graph at "
+       << opt::optLevelName(level) << ": " << layout.numNodes
+       << " nodes, " << layout.edges.size() << " edges, "
+       << layout.cons.size() << " constraints ("
+       << layout.remap.size() << " traced nodes)\";\n"
+       << "  node [shape=box, fontsize=10];\n";
+    for (std::size_t l = 0; l < layout.numNodes; ++l) {
+        os << "  n" << l << " [label=\"";
+        if (firstOrig[l] != ~std::uint64_t{0}) {
+            os << "#" << firstOrig[l];
+            if (merged[l] > 0)
+                os << " (+" << merged[l] << ")";
+            os << "\\n"
+               << eventKindName(snap.nodes[firstOrig[l]].kind);
+        } else {
+            os << "n" << l; // unreachable given the remap invariant
+        }
+        if (layout.dur[l] > 0)
+            os << "\\ndur " << layout.dur[l];
+        os << "\"";
+        // Kept-constraint query nodes are the pinned anchors the
+        // incremental checker re-evaluates — the interesting survivors.
+        if (consNodes.count(static_cast<std::uint32_t>(l)))
+            os << ", style=filled, fillcolor=\"#d0e0ff\"";
+        os << "];\n";
+    }
+    for (const auto &e : layout.edges) {
+        os << "  n" << e.src << " -> n" << e.dst;
+        if (e.weight != 0)
+            os << " [label=\"" << e.weight << "\"]";
+        os << ";\n";
     }
     os << "}\n";
     return os.str();

@@ -2,7 +2,10 @@
  * @file
  * Graphviz export of dataflow designs: modules as nodes, FIFO channels
  * as edges annotated with depth and access kinds. Useful for inspecting
- * the module graph the taxonomy classifier reasons about.
+ * the module graph the taxonomy classifier reasons about. Also renders
+ * a design's frozen *run graph* at a chosen compilation level, so the
+ * collapsed/deduplicated -O1 layout can be visually diffed against the
+ * raw -O0 trace (`omnisim_cli dot <design> --optimized`).
  */
 
 #ifndef OMNISIM_DESIGN_DOT_HH
@@ -11,6 +14,7 @@
 #include <string>
 
 #include "design/design.hh"
+#include "opt/opt.hh"
 
 namespace omnisim
 {
@@ -21,6 +25,18 @@ namespace omnisim
  * dependency analysis.
  */
 std::string toDot(const Design &design);
+
+/**
+ * Render the frozen run graph of a design in Graphviz DOT syntax: the
+ * design is simulated once, the finished trace is compiled through the
+ * src/opt/ pass pipeline at @p level, and the resulting layout is
+ * emitted with every node annotated by the original trace node(s) it
+ * represents. Rendering the same design at OptLevel::O0 (the identity
+ * layout) and OptLevel::O1 and diffing the two shows exactly what
+ * lattice-prune/chain-collapse/dedup removed or merged.
+ * @throws FatalError when the baseline run does not complete Ok.
+ */
+std::string toDotRun(const Design &design, opt::OptLevel level);
 
 } // namespace omnisim
 

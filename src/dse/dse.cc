@@ -384,6 +384,26 @@ EvalCache::evaluations() const
     return out;
 }
 
+opt::CompileStats
+EvalCache::compileStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    opt::CompileStats agg;
+    bool first = true;
+    for (const auto &p : pool_) {
+        const opt::CompileStats &s = p->engine
+                                         ? p->engine->compileStats()
+                                         : p->stored->compileStats();
+        if (first) {
+            agg = s;
+            first = false;
+        } else {
+            agg.accumulate(s);
+        }
+    }
+    return agg;
+}
+
 // ---------------------------------------------------------------------------
 // Report distillation.
 // ---------------------------------------------------------------------------

@@ -241,6 +241,12 @@ class EvalCache
     /** @return a snapshot of every unique evaluation (unspecified order). */
     std::vector<Evaluation> evaluations() const;
 
+    /** @return compile-pipeline statistics accumulated over every
+     *  pooled completed run — live engines and store-rehydrated runs
+     *  alike (both freeze through the same pass pipeline). Empty when
+     *  the pool is empty. */
+    opt::CompileStats compileStats() const;
+
   private:
     struct PoolEntry;
 

@@ -194,6 +194,28 @@ checkConformance(const GenSpec &spec, const ConformanceOptions &opts)
         !diff.empty())
         div("omnisim-vs-cosim", std::move(diff));
 
+    // The compile-pipeline exactness oracle: the same design frozen
+    // with the optimization passes off must report the identical result
+    // — and, below, answer every depth probe identically.
+    std::unique_ptr<OmniSim> o0;
+    if (opts.withOptOracle) {
+        try {
+            OmniSimOptions o0Opts = omOpts;
+            o0Opts.optLevel = opt::OptLevel::O0;
+            o0 = std::make_unique<OmniSim>(cd, o0Opts);
+            const SimResult r0 = o0->run();
+            if (std::string diff =
+                    resultDiff("O1", om, "O0", r0, /*checkCycles=*/true);
+                !diff.empty())
+                div("opt-vs-O0", std::move(diff));
+            if (r0.status != SimStatus::Ok)
+                o0.reset(); // no probes without an Ok O0 baseline
+        } catch (const std::exception &e) {
+            div("opt-engine", e.what());
+            o0.reset();
+        }
+    }
+
     const bool typeA = cd.classification.type == DesignType::A;
 
     if (opts.withCsim && typeA && co.ok()) {
@@ -307,6 +329,18 @@ checkConformance(const GenSpec &spec, const ConformanceOptions &opts)
                 incrementalDiff("compiled", inc, "reference", ref);
             !diff.empty())
             div("resim-vs-reference", std::move(diff));
+
+        if (o0) {
+            try {
+                const IncrementalOutcome i0 = o0->resimulate(depths);
+                if (std::string diff =
+                        incrementalDiff("O1", inc, "O0", i0);
+                    !diff.empty())
+                    div("opt-vs-O0", std::move(diff));
+            } catch (const std::exception &e) {
+                div("opt-vs-O0", e.what());
+            }
+        }
 
         if (stored) {
             try {

@@ -18,6 +18,12 @@
  *                           (when reused) cycles/memories must be
  *                           bit-identical, plus fresh-engine ground
  *                           truth for a bounded number of reused probes.
+ *   opt vs -O0            — a second omnisim engine frozen with the
+ *                           optimization passes disabled; the baseline
+ *                           result and every depth probe must answer
+ *                           bit-identically (reuse decision, divergence
+ *                           reason, cycles, memories — the delta-path
+ *                           flag may differ, the answers may not).
  *   run_io round trip     — encodeRun -> decodeRun -> StoredRun
  *                           rehydration must echo the meta block and
  *                           serve the same depth probes bit-identically
@@ -56,6 +62,10 @@ struct ConformanceOptions
     bool withLightning = true;
     bool withIo = true;
     bool withServeEcho = true;
+
+    /** Freeze a second engine at -O0 and require bit-identical answers
+     *  from every probe (the compile-pipeline exactness oracle). */
+    bool withOptOracle = true;
 
     /** Cross-check omnisim finalization against live commit cycles. */
     bool verifyFinalization = true;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "core/omnisim.hh"
-#include "graph/longest_path.hh"
+#include "opt/pass_manager.hh"
 #include "support/logging.hh"
 
 namespace omnisim
@@ -23,17 +23,13 @@ reverseEdges(const std::vector<CsrGraph::EdgeSpec> &edges)
     return out;
 }
 
-/** Adapter exposing the structural CSR with WAR(depths) overlaid, in
- *  the shape longestPath() expects. */
+/** Adapter exposing the layout CSR with WAR(depths) overlaid, in the
+ *  shape longestPath() expects. Depths must be pre-clamped. */
 struct OverlayView
 {
     const CsrGraph &fwd;
-    const std::vector<FifoTable> &tables;
+    const opt::RunLayout &lay;
     const std::vector<std::uint32_t> &depths;
-    const std::vector<std::int32_t> &accFifo;
-    const std::vector<std::uint32_t> &accIdx;
-    const std::vector<std::uint8_t> &accWrite;
-    const std::vector<std::uint8_t> &accBlockingWrite;
 
     std::size_t numNodes() const { return fwd.numNodes(); }
 
@@ -42,24 +38,49 @@ struct OverlayView
     forEachOut(std::uint64_t u, F &&f) const
     {
         fwd.forEachOut(u, f);
-        const std::int32_t ff = accFifo[u];
-        if (ff >= 0 && !accWrite[u]) {
+        const std::int32_t ff = lay.accFifo[u];
+        if (ff >= 0 && !lay.accWrite[u]) {
             // u is the r-th read of FIFO ff: under depth s it releases
             // the (r + s)-th write (Table 2 row 2 / war.hh) — if that
-            // write may wait at all (blocking only).
-            const FifoTable &t = tables[static_cast<std::size_t>(ff)];
+            // write may wait at all (blocking only) and wasn't proven
+            // irrelevant by the lattice prune.
+            const opt::FifoLayout &fl =
+                lay.fifos[static_cast<std::size_t>(ff)];
             const std::uint64_t w =
-                static_cast<std::uint64_t>(accIdx[u]) +
+                static_cast<std::uint64_t>(lay.accIdx[u]) +
                 depths[static_cast<std::size_t>(ff)];
-            if (w <= t.writes()) {
-                const std::uint64_t dst =
-                    t.writeNodeOf(static_cast<std::uint32_t>(w));
-                if (accBlockingWrite[dst])
+            if (w <= fl.writeNode.size()) {
+                const std::uint32_t dst =
+                    fl.writeNode[static_cast<std::size_t>(w - 1)];
+                if (dst != opt::kNoNode && lay.accBlockingWrite[dst])
                     f(dst, Cycles{1});
             }
         }
     }
 };
+
+/** Original-graph baseline WAR edge count (the engine's graphEdges
+ *  stat keeps pre-pass semantics at every opt level). */
+std::size_t
+countBaseWarEdges(const std::vector<NodeInfo> &nodes,
+                  const std::vector<FifoTable> &tables,
+                  const std::vector<std::uint32_t> &depths)
+{
+    std::size_t count = 0;
+    for (std::size_t f = 0; f < tables.size(); ++f) {
+        const FifoTable &t = tables[f];
+        const std::uint64_t s = depths[f];
+        for (std::uint64_t w = s + 1; w <= t.writes(); ++w) {
+            if (w - s > t.reads())
+                continue;
+            const std::uint64_t v =
+                t.writeNodeOf(static_cast<std::uint32_t>(w));
+            if (nodes[v].kind == EventKind::FifoWrite)
+                ++count;
+        }
+    }
+    return count;
+}
 
 } // namespace
 
@@ -69,9 +90,7 @@ CompiledRun::forEachOutOverlay(std::uint64_t u,
                                const std::vector<std::uint32_t> &depths,
                                F &&f) const
 {
-    OverlayView{fwd_, *tables_, depths, accFifo_, accIdx_, accWrite_,
-                accBlockingWrite_}
-        .forEachOut(u, f);
+    OverlayView{fwd_, lay_, depths}.forEachOut(u, f);
 }
 
 CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
@@ -81,67 +100,78 @@ CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
                          std::vector<std::uint32_t> baseDepths,
                          const std::vector<QueryRecord> &constraints,
                          std::vector<std::uint64_t> tailNode,
-                         std::vector<Cycles> tailSlack)
-    : fwd_(nodes.size(), structural),
-      rev_(nodes.size(), reverseEdges(structural)),
-      seed_(seed),
-      baseDepths_(std::move(baseDepths)),
-      tailNode_(std::move(tailNode)),
-      tailSlack_(std::move(tailSlack)),
-      tables_(&tables),
-      constraints_(&constraints),
-      structuralEdges_(structural.size())
+                         std::vector<Cycles> tailSlack,
+                         opt::OptLevel level)
+    : fwd_(0, {}), rev_(0, {})
 {
-    const std::size_t n = nodes.size();
-    omnisim_assert(seed_.size() == n, "compiled run: seed/node mismatch");
-    omnisim_assert(baseDepths_.size() == tables.size(),
+    omnisim_assert(seed.size() == nodes.size(),
+                   "compiled run: seed/node mismatch");
+    omnisim_assert(baseDepths.size() == tables.size(),
                    "compiled run: depth/table mismatch");
 
-    dur_.resize(n);
-    for (std::size_t v = 0; v < n; ++v)
-        dur_[v] = nodes[v].duration;
+    opt::LayoutInput in;
+    in.nodes = &nodes;
+    in.edges = &structural;
+    in.seed = &seed;
+    in.tables = &tables;
+    in.depths = &baseDepths;
+    in.constraints = &constraints;
+    in.tailNode = &tailNode;
+    in.tailSlack = &tailSlack;
+    lay_ = opt::PassManager(level).compile(in);
 
-    // Per-node accessor map: which FIFO access a node commits, from the
-    // tables themselves (NodeInfo kinds cannot distinguish an NB read
-    // that committed from one that failed).
-    accFifo_.assign(n, -1);
-    accIdx_.assign(n, 0);
-    accWrite_.assign(n, 0);
-    accBlockingWrite_.assign(n, 0);
-    blockingWrites_.assign(tables.size(), 0);
-    for (std::size_t f = 0; f < tables.size(); ++f) {
-        const FifoTable &t = tables[f];
-        for (std::uint32_t i = 1; i <= t.writes(); ++i) {
-            const std::uint64_t v = t.writeNodeOf(i);
-            accFifo_[v] = static_cast<std::int32_t>(f);
-            accIdx_[v] = i;
-            accWrite_[v] = 1;
-            if (nodes[v].kind == EventKind::FifoWrite) {
-                accBlockingWrite_[v] = 1;
-                ++blockingWrites_[f];
-            }
-        }
-        for (std::uint32_t i = 1; i <= t.reads(); ++i) {
-            const std::uint64_t v = t.readNodeOf(i);
-            accFifo_[v] = static_cast<std::int32_t>(f);
-            accIdx_[v] = i;
-            accWrite_[v] = 0;
-        }
-    }
+    origNodes_ = nodes.size();
+    structuralEdges_ = structural.size();
+    baseWarEdges_ = countBaseWarEdges(nodes, tables, baseDepths);
+    baseDepths_ = clampDepths(baseDepths);
+    freeze();
+}
+
+CompiledRun::CompiledRun(const RunSnapshot &snap, opt::OptLevel level)
+    : CompiledRun(snap.nodes, snap.edges, snap.seed, snap.tables,
+                  snap.depths, snap.constraints, snap.tailNode,
+                  snap.tailSlack, level)
+{}
+
+CompiledRun::CompiledRun(const RunSnapshot &snap, opt::RunLayout layout)
+    : lay_(std::move(layout)), fwd_(0, {}), rev_(0, {})
+{
+    origNodes_ = snap.nodes.size();
+    structuralEdges_ = snap.edges.size();
+    baseWarEdges_ =
+        countBaseWarEdges(snap.nodes, snap.tables, snap.depths);
+    baseDepths_ = clampDepths(snap.depths);
+    freeze();
+}
+
+std::vector<std::uint32_t>
+CompiledRun::clampDepths(const std::vector<std::uint32_t> &depths) const
+{
+    omnisim_assert(depths.size() == lay_.fifos.size(),
+                   "depth vector size mismatch");
+    std::vector<std::uint32_t> clamped(depths.size());
+    for (std::size_t f = 0; f < depths.size(); ++f)
+        clamped[f] = std::min(depths[f], lay_.fifos[f].cap);
+    return clamped;
+}
+
+void
+CompiledRun::freeze()
+{
+    const std::size_t n = lay_.numNodes;
+    fwd_ = CsrGraph(n, lay_.edges);
+    rev_ = CsrGraph(n, reverseEdges(lay_.edges));
 
     indegStructural_.assign(n, 0);
-    fwdIndegrees(indegStructural_);
+    for (std::size_t u = 0; u < n; ++u)
+        fwd_.forEachOut(u,
+                        [&](std::uint64_t v, Cycles) {
+                            ++indegStructural_[v];
+                        });
 
     // Baseline solve, keeping the topological order.
     std::vector<std::uint32_t> order;
     baselineAcyclic_ = relaxFull(baseDepths_, baseTime_, &order);
-    for (std::size_t f = 0; f < tables.size(); ++f) {
-        const FifoTable &t = tables[f];
-        const std::uint32_t s = baseDepths_[f];
-        for (std::uint32_t w = s + 1; w <= t.writes(); ++w)
-            if (w - s <= t.reads() && accBlockingWrite_[t.writeNodeOf(w)])
-                ++baseWarEdges_;
-    }
     if (!baselineAcyclic_)
         return; // engine reports a deadlock; nothing else is needed
 
@@ -157,7 +187,7 @@ CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
     // bounded by the pop budget. Either way correctness is unaffected:
     // rank is a scheduling heuristic, never a dependence statement.
     {
-        const std::vector<std::uint32_t> ones(tables.size(), 1);
+        const std::vector<std::uint32_t> ones(lay_.fifos.size(), 1);
         std::vector<Cycles> scratch;
         std::vector<std::uint32_t> tight;
         if (relaxFull(ones, scratch, &tight))
@@ -170,19 +200,17 @@ CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
         order_[i] = order[i];
     }
 
+    baseTotal_ = lay_.floor;
     for (std::size_t v = 0; v < n; ++v)
-        baseTotal_ = std::max(baseTotal_, baseTime_[v] + dur_[v]);
-    for (std::size_t m = 0; m < tailNode_.size(); ++m)
-        baseTotal_ = std::max(baseTotal_,
-                              baseTime_[tailNode_[m]] + tailSlack_[m]);
+        baseTotal_ = std::max(baseTotal_, baseTime_[v] + lay_.dur[v]);
 
     byContrib_.resize(n);
     for (std::size_t v = 0; v < n; ++v)
         byContrib_[v] = v;
     std::sort(byContrib_.begin(), byContrib_.end(),
               [&](std::uint64_t a, std::uint64_t b) {
-                  const Cycles ca = baseTime_[a] + dur_[a];
-                  const Cycles cb = baseTime_[b] + dur_[b];
+                  const Cycles ca = baseTime_[a] + lay_.dur[a];
+                  const Cycles cb = baseTime_[b] + lay_.dur[b];
                   if (ca != cb)
                       return ca > cb;
                   return a < b;
@@ -192,24 +220,26 @@ CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
     // target node), per-FIFO write-kind lists, and the baseline-divergent
     // set (constraints whose recomputed outcome already differs from the
     // live one — possible under lazy write stalls).
-    const std::size_t nc = constraints.size();
-    writeConsByFifo_.assign(tables.size(), {});
+    const std::size_t nc = lay_.cons.size();
+    writeConsByFifo_.assign(lay_.fifos.size(), {});
     std::vector<std::uint32_t> counts(n + 1, 0);
     auto forEachRefNode = [&](std::size_t i, auto &&visit) {
-        const QueryRecord &qr = constraints[i];
-        visit(qr.node);
-        const FifoTable &t = tables[qr.fifo];
-        switch (qr.kind) {
+        const opt::LayoutCons &c = lay_.cons[i];
+        visit(c.node);
+        const opt::FifoLayout &fl = lay_.fifos[c.fifo];
+        switch (c.kind) {
           case EventKind::FifoNbRead:
           case EventKind::FifoCanRead:
-            if (t.writes() >= qr.index)
-                visit(t.writeNodeOf(qr.index));
+            if (c.index <= fl.writeNode.size() &&
+                fl.writeNode[c.index - 1] != opt::kNoNode)
+                visit(fl.writeNode[c.index - 1]);
             break;
           case EventKind::FifoNbWrite:
           case EventKind::FifoCanWrite: {
-            const std::uint32_t s = baseDepths_[qr.fifo];
-            if (qr.index > s && qr.index - s <= t.reads())
-                visit(t.readNodeOf(qr.index - s));
+            const std::uint32_t s = baseDepths_[c.fifo];
+            if (c.index > s && c.index - s <= fl.readNode.size() &&
+                fl.readNode[c.index - s - 1] != opt::kNoNode)
+                visit(fl.readNode[c.index - s - 1]);
             break;
           }
           default:
@@ -217,13 +247,13 @@ CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
         }
     };
     for (std::size_t i = 0; i < nc; ++i) {
-        const QueryRecord &qr = constraints[i];
-        if (qr.kind == EventKind::FifoNbWrite ||
-            qr.kind == EventKind::FifoCanWrite)
-            writeConsByFifo_[qr.fifo].push_back(
+        const opt::LayoutCons &c = lay_.cons[i];
+        if (c.kind == EventKind::FifoNbWrite ||
+            c.kind == EventKind::FifoCanWrite)
+            writeConsByFifo_[c.fifo].push_back(
                 static_cast<std::uint32_t>(i));
         forEachRefNode(i, [&](std::uint64_t v) { ++counts[v + 1]; });
-        if (evalConstraint(i, baseTime_, baseDepths_) != qr.outcome)
+        if (evalConstraint(i, baseTime_, baseDepths_) != c.outcome)
             baselineDivergent_.push_back(static_cast<std::uint32_t>(i));
     }
     for (std::size_t v = 1; v <= n; ++v)
@@ -237,35 +267,32 @@ CompiledRun::CompiledRun(const std::vector<NodeInfo> &nodes,
         });
 }
 
-CompiledRun::CompiledRun(const RunSnapshot &snap)
-    : CompiledRun(snap.nodes, snap.edges, snap.seed, snap.tables,
-                  snap.depths, snap.constraints, snap.tailNode,
-                  snap.tailSlack)
-{}
-
 bool
 CompiledRun::relaxFull(const std::vector<std::uint32_t> &depths,
                        std::vector<Cycles> &time,
                        std::vector<std::uint32_t> *order) const
 {
-    const std::size_t n = seed_.size();
-    const OverlayView view{fwd_, *tables_, depths,
-                           accFifo_, accIdx_, accWrite_,
-                           accBlockingWrite_};
+    const std::size_t n = lay_.numNodes;
+    const OverlayView view{fwd_, lay_, depths};
 
     // Kahn over the overlay. The structural indegrees are precomputed;
     // only the depth-dependent WAR contributions are added per call, so
     // the full pass never re-walks the edge list just to count.
-    time = seed_;
+    time = lay_.seed;
     std::vector<std::uint32_t> indeg = indegStructural_;
-    for (std::size_t f = 0; f < tables_->size(); ++f) {
-        const FifoTable &t = (*tables_)[f];
-        const std::uint32_t s = depths[f];
-        for (std::uint32_t w = s + 1; w <= t.writes(); ++w) {
-            if (w - s > t.reads())
+    for (std::size_t f = 0; f < lay_.fifos.size(); ++f) {
+        const opt::FifoLayout &fl = lay_.fifos[f];
+        const std::uint64_t s = depths[f];
+        for (std::uint64_t w = s + 1; w <= fl.writeNode.size(); ++w) {
+            // Must mirror OverlayView emission exactly: a pruned read
+            // *or* write endpoint means no edge, hence no indegree.
+            if (w - s > fl.readNode.size() ||
+                fl.readNode[static_cast<std::size_t>(w - s - 1)] ==
+                    opt::kNoNode)
                 continue;
-            const std::uint64_t v = t.writeNodeOf(w);
-            if (accBlockingWrite_[v])
+            const std::uint32_t v =
+                fl.writeNode[static_cast<std::size_t>(w - 1)];
+            if (v != opt::kNoNode && lay_.accBlockingWrite[v])
                 ++indeg[v];
         }
     }
@@ -295,30 +322,28 @@ CompiledRun::relaxFull(const std::vector<std::uint32_t> &depths,
     return processed == n;
 }
 
-void
-CompiledRun::fwdIndegrees(std::vector<std::uint32_t> &indeg) const
-{
-    for (std::size_t u = 0; u < seed_.size(); ++u)
-        fwd_.forEachOut(u, [&](std::uint64_t v, Cycles) { ++indeg[v]; });
-}
-
 Cycles
 CompiledRun::recompute(std::uint64_t v, const std::vector<Cycles> &cur,
                        const std::vector<std::uint32_t> &depths) const
 {
-    Cycles t = seed_[v];
+    Cycles t = lay_.seed[v];
     rev_.forEachOut(v, [&](std::uint64_t src, Cycles w) {
         t = std::max(t, cur[src] + w);
     });
-    if (accFifo_[v] >= 0 && accBlockingWrite_[v]) {
+    if (lay_.accFifo[v] >= 0 && lay_.accBlockingWrite[v]) {
         // v is the w-th *blocking* write of its FIFO: under depth s it
         // waits for the (w - s)-th read.
-        const auto f = static_cast<std::size_t>(accFifo_[v]);
-        const FifoTable &tab = (*tables_)[f];
-        const std::uint32_t w = accIdx_[v];
+        const auto f = static_cast<std::size_t>(lay_.accFifo[v]);
+        const opt::FifoLayout &fl = lay_.fifos[f];
+        const std::uint32_t w = lay_.accIdx[v];
         const std::uint32_t s = depths[f];
-        if (w > s && w - s <= tab.reads())
-            t = std::max(t, cur[tab.readNodeOf(w - s)] + 1);
+        if (w > s && w - s <= fl.readNode.size()) {
+            const std::uint32_t rn = fl.readNode[w - s - 1];
+            // A pruned read entry can only source WAR edges the
+            // lattice analysis proved can never bind.
+            if (rn != opt::kNoNode)
+                t = std::max(t, cur[rn] + 1);
+        }
     }
     return t;
 }
@@ -330,7 +355,7 @@ CompiledRun::relaxDelta(const std::vector<std::uint32_t> &depths,
                         std::vector<std::uint8_t> &changedFlag,
                         std::vector<std::uint64_t> &changedNodes) const
 {
-    const std::size_t n = seed_.size();
+    const std::size_t n = lay_.numNodes;
 
     // A FIFO shrinking well below its recorded depth newly constrains
     // nearly every write it carried; the resulting cone is routinely a
@@ -340,11 +365,12 @@ CompiledRun::relaxDelta(const std::vector<std::uint32_t> &depths,
     // full pass.
     std::size_t shrinkBound = 0;
     for (const std::size_t f : changedFifos) {
-        const FifoTable &t = (*tables_)[f];
-        if (depths[f] < baseDepths_[f] && t.writes() > depths[f])
+        const opt::FifoLayout &fl = lay_.fifos[f];
+        if (depths[f] < baseDepths_[f] &&
+            fl.writeNode.size() > depths[f])
             shrinkBound +=
-                std::min<std::size_t>(blockingWrites_[f],
-                                      t.writes() - depths[f]);
+                std::min<std::size_t>(fl.blockingWrites,
+                                      fl.writeNode.size() - depths[f]);
     }
     if (shrinkBound > n / 16)
         return false;
@@ -354,12 +380,14 @@ CompiledRun::relaxDelta(const std::vector<std::uint32_t> &depths,
     // pass is no slower — bail before paying for the scratch.
     std::vector<std::uint64_t> seeds;
     for (const std::size_t f : changedFifos) {
-        const FifoTable &t = (*tables_)[f];
+        const opt::FifoLayout &fl = lay_.fifos[f];
         const std::uint32_t lo = std::min(baseDepths_[f], depths[f]);
-        for (std::uint32_t w = lo + 1; w <= t.writes(); ++w) {
-            const std::uint64_t v = t.writeNodeOf(w);
-            if (!accBlockingWrite_[v])
-                continue; // NB writes never gain or lose a WAR in-edge
+        for (std::uint64_t w = static_cast<std::uint64_t>(lo) + 1;
+             w <= fl.writeNode.size(); ++w) {
+            const std::uint32_t v =
+                fl.writeNode[static_cast<std::size_t>(w - 1)];
+            if (v == opt::kNoNode || !lay_.accBlockingWrite[v])
+                continue; // NB or pruned writes never gain an edge
             seeds.push_back(v);
             if (seeds.size() > n / 2)
                 return false;
@@ -384,9 +412,9 @@ CompiledRun::relaxDelta(const std::vector<std::uint32_t> &depths,
     // Sweep the cached topological order from the first pending node,
     // recomputing pending nodes exactly and marking out-neighbours
     // pending on change. Because the cached rank is valid for every
-    // probe-able depth vector (see the constructor), one sweep reaches
-    // the unique longest-path fixed point; only a broken read chain or
-    // a genuine timing cycle leaves a pending node *behind* the sweep
+    // probe-able depth vector (see freeze()), one sweep reaches the
+    // unique longest-path fixed point; only a broken read chain or a
+    // genuine timing cycle leaves a pending node *behind* the sweep
     // position, handled by bounded re-sweeps — chaotic re-evaluation
     // still converges on any DAG — before handing the verdict to the
     // full Kahn pass (which is what proves a cycle).
@@ -430,21 +458,23 @@ bool
 CompiledRun::evalConstraint(std::size_t i, const std::vector<Cycles> &time,
                             const std::vector<std::uint32_t> &depths) const
 {
-    const QueryRecord &qr = (*constraints_)[i];
-    const FifoTable &t = (*tables_)[qr.fifo];
-    const Cycles at = time[qr.node];
-    switch (qr.kind) {
+    const opt::LayoutCons &c = lay_.cons[i];
+    const opt::FifoLayout &fl = lay_.fifos[c.fifo];
+    const Cycles at = time[c.node];
+    switch (c.kind) {
       case EventKind::FifoNbRead:
       case EventKind::FifoCanRead:
-        return t.writes() >= qr.index &&
-               time[t.writeNodeOf(qr.index)] < at;
+        // Kept read-kind queries always have their target write entry
+        // pinned (lattice-prune invariant, identity at -O0).
+        return fl.writeNode.size() >= c.index &&
+               time[fl.writeNode[c.index - 1]] < at;
       case EventKind::FifoNbWrite:
       case EventKind::FifoCanWrite: {
-        const std::uint32_t s = depths[qr.fifo];
-        if (qr.index <= s)
+        const std::uint32_t s = depths[c.fifo];
+        if (c.index <= s)
             return true;
-        return t.reads() >= qr.index - s &&
-               time[t.readNodeOf(qr.index - s)] < at;
+        return fl.readNode.size() >= c.index - s &&
+               time[fl.readNode[c.index - s - 1]] < at;
       }
       default:
         omnisim_panic("bad constraint kind");
@@ -456,21 +486,19 @@ CompiledRun::finishWithTimes(const std::vector<Cycles> &time,
                              const std::vector<std::uint32_t> &depths) const
 {
     Attempt a;
-    for (std::size_t i = 0; i < constraints_->size(); ++i) {
+    for (std::size_t i = 0; i < lay_.cons.size(); ++i) {
         const bool now = evalConstraint(i, time, depths);
-        if (now != (*constraints_)[i].outcome) {
+        if (now != lay_.cons[i].outcome) {
             a.status = Attempt::Status::Diverged;
-            a.constraintIndex = i;
+            a.constraintIndex = lay_.cons[i].origIndex;
             a.nowAnswer = now;
             return a;
         }
     }
     a.status = Attempt::Status::Reused;
-    Cycles total = 0;
+    Cycles total = lay_.floor;
     for (std::size_t v = 0; v < time.size(); ++v)
-        total = std::max(total, time[v] + dur_[v]);
-    for (std::size_t m = 0; m < tailNode_.size(); ++m)
-        total = std::max(total, time[tailNode_[m]] + tailSlack_[m]);
+        total = std::max(total, time[v] + lay_.dur[v]);
     a.totalCycles = total;
     return a;
 }
@@ -480,12 +508,15 @@ CompiledRun::resimulate(const std::vector<std::uint32_t> &depths) const
 {
     omnisim_assert(baselineAcyclic_,
                    "resimulate against an infeasible baseline");
-    omnisim_assert(depths.size() == baseDepths_.size(),
-                   "depth vector size mismatch");
+
+    // Clamp into the finite lattice first: depths beyond writes+1 are
+    // provably indistinguishable (see the header comment), and the -O1
+    // analyses rely on probes staying inside the lattice.
+    const std::vector<std::uint32_t> clamped = clampDepths(depths);
 
     std::vector<std::size_t> changedFifos;
-    for (std::size_t f = 0; f < depths.size(); ++f)
-        if (depths[f] != baseDepths_[f])
+    for (std::size_t f = 0; f < clamped.size(); ++f)
+        if (clamped[f] != baseDepths_[f])
             changedFifos.push_back(f);
 
     Attempt a;
@@ -494,10 +525,11 @@ CompiledRun::resimulate(const std::vector<std::uint32_t> &depths) const
         // diverge, and those constraints are precomputed.
         a.viaDelta = true;
         if (!baselineDivergent_.empty()) {
-            const std::size_t i = baselineDivergent_.front();
+            const opt::LayoutCons &c =
+                lay_.cons[baselineDivergent_.front()];
             a.status = Attempt::Status::Diverged;
-            a.constraintIndex = i;
-            a.nowAnswer = !(*constraints_)[i].outcome;
+            a.constraintIndex = c.origIndex;
+            a.nowAnswer = !c.outcome;
             return a;
         }
         a.status = Attempt::Status::Reused;
@@ -508,15 +540,16 @@ CompiledRun::resimulate(const std::vector<std::uint32_t> &depths) const
     std::vector<Cycles> cur;
     std::vector<std::uint8_t> changedFlag;
     std::vector<std::uint64_t> changedNodes;
-    if (!relaxDelta(depths, changedFifos, cur, changedFlag, changedNodes)) {
+    if (!relaxDelta(clamped, changedFifos, cur, changedFlag,
+                    changedNodes)) {
         // Delta too large or the worklist hit its budget (the only way
         // a timing cycle manifests): one exact full pass decides.
         std::vector<Cycles> time;
-        if (!relaxFull(depths, time, nullptr)) {
+        if (!relaxFull(clamped, time, nullptr)) {
             a.status = Attempt::Status::Infeasible;
             return a;
         }
-        return finishWithTimes(time, depths);
+        return finishWithTimes(time, clamped);
     }
 
     // Affected constraints only: those referencing a node whose time
@@ -535,30 +568,29 @@ CompiledRun::resimulate(const std::vector<std::uint32_t> &depths) const
     std::sort(inds.begin(), inds.end());
     inds.erase(std::unique(inds.begin(), inds.end()), inds.end());
     for (const std::uint32_t i : inds) {
-        const bool now = evalConstraint(i, cur, depths);
-        if (now != (*constraints_)[i].outcome) {
+        const bool now = evalConstraint(i, cur, clamped);
+        if (now != lay_.cons[i].outcome) {
             a.status = Attempt::Status::Diverged;
-            a.constraintIndex = i;
+            a.constraintIndex = lay_.cons[i].origIndex;
             a.nowAnswer = now;
             return a;
         }
     }
 
     a.status = Attempt::Status::Reused;
-    // Total latency: the best unchanged baseline contribution (first
-    // byContrib_ entry outside the changed set), improved by the changed
-    // nodes' new contributions and the module tails.
-    Cycles total = 0;
+    // Total latency: the collapsed-node floor, the best unchanged
+    // baseline contribution (first byContrib_ entry outside the changed
+    // set — tail slack is folded into dur), improved by the changed
+    // nodes' new contributions.
+    Cycles total = lay_.floor;
     for (const std::uint64_t v : byContrib_) {
         if (!changedFlag[v]) {
-            total = baseTime_[v] + dur_[v];
+            total = std::max(total, baseTime_[v] + lay_.dur[v]);
             break;
         }
     }
     for (const std::uint64_t v : changedNodes)
-        total = std::max(total, cur[v] + dur_[v]);
-    for (std::size_t m = 0; m < tailNode_.size(); ++m)
-        total = std::max(total, cur[tailNode_[m]] + tailSlack_[m]);
+        total = std::max(total, cur[v] + lay_.dur[v]);
     a.totalCycles = total;
     return a;
 }

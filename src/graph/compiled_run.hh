@@ -4,12 +4,18 @@
  * to the LightningSimV2/GSIM conclusion: pay for structure once, then
  * only touch what changed).
  *
- * After a successful OmniSim run the structural simulation graph is
- * frozen into an immutable CSR pair (forward for propagation, reverse
- * for in-place recomputation), together with a cached topological order,
- * the baseline longest-path node times, and per-node accessor maps that
- * make every depth-dependent write-after-read edge computable in O(1)
- * from the FIFO tables — WAR edges are never materialized at all.
+ * After a successful OmniSim run the finished trace goes through the
+ * graph compilation pipeline (src/opt/): at -O1 the pass manager prunes
+ * constraints and WAR endpoints that can never matter at any depth in
+ * the candidate lattice, collapses linear chains into weighted interval
+ * edges, and deduplicates structurally identical subgraphs; at -O0 it
+ * emits the identity image. Either way the result is a RunLayout — the
+ * frozen run as plain arrays in layout node ids — over which this class
+ * builds an immutable CSR pair (forward for propagation, reverse for
+ * in-place recomputation), a cached topological order, the baseline
+ * longest-path times, and per-node accessor maps that make every
+ * depth-dependent write-after-read edge computable in O(1) — WAR edges
+ * are never materialized at all.
  *
  * resimulate() then serves a new depth vector by *delta relaxation*:
  * diff the synthesized WAR edge set against the baseline for the changed
@@ -25,11 +31,17 @@
  * over the compiled CSR, with WAR edges overlaid functionally, so even
  * the fallback never rebuilds a graph.
  *
+ * Probed depths are clamped per FIFO to writes+1 first: no WAR edge
+ * exists beyond that and every recorded write-kind constraint index is
+ * <= writes+1, so deeper depths are provably indistinguishable — which
+ * is also what makes the -O1 lattice analysis finite.
+ *
  * Every path is bit-identical to the pre-compiled reference
  * implementation (OmniSim::resimulateReference): identical reuse
- * decisions, identical first-divergent constraint, identical re-finalized
- * cycle counts. tests/test_compiled_run.cc enforces this across the
- * design registry.
+ * decisions, identical first-divergent constraint (reported in recorded
+ * indices), identical re-finalized cycle counts — at -O0 and -O1 alike.
+ * tests/test_compiled_run.cc and the conformance fuzzer's opt-vs-O0
+ * oracle enforce this across the design registry.
  */
 
 #ifndef OMNISIM_GRAPH_COMPILED_RUN_HH
@@ -40,6 +52,7 @@
 
 #include "graph/csr.hh"
 #include "graph/simgraph.hh"
+#include "opt/layout.hh"
 #include "runtime/fifo_table.hh"
 #include "support/types.hh"
 
@@ -53,10 +66,9 @@ struct RunSnapshot; // core/omnisim.hh
  * Immutable compiled snapshot of one finished run. All mutable state of
  * resimulate() is per-call scratch, so a single CompiledRun may serve
  * any number of concurrent callers (the DSE EvalCache probes pooled
- * runs from every batch worker at once).
- *
- * The referenced FIFO tables and constraint list must outlive the
- * CompiledRun (both live in OmniSim::RunData alongside it).
+ * runs from every batch worker at once). Self-contained: the layout
+ * owns every array the solver touches, so the originating tables and
+ * constraint list are only read during construction.
  */
 class CompiledRun
 {
@@ -89,16 +101,19 @@ class CompiledRun
     };
 
     /**
-     * Freeze a finished run.
+     * Freeze a finished run through the compilation pipeline.
      *
      * @param nodes       per-node payloads (durations are copied out).
      * @param structural  depth-independent constraint edges.
      * @param seed        per-node minimum start times (size == nodes).
-     * @param tables      per-FIFO commit tables; must outlive this.
+     * @param tables      per-FIFO commit tables (read during
+     *                    construction only).
      * @param baseDepths  FIFO depths the run executed under.
-     * @param constraints recorded query outcomes; must outlive this.
+     * @param constraints recorded query outcomes (copied into the
+     *                    layout's kept list).
      * @param tailNode    per-module last-op node (module tail anchor).
      * @param tailSlack   per-module cycles between last op and return.
+     * @param level       optimization level (see opt/opt.hh).
      */
     CompiledRun(const std::vector<NodeInfo> &nodes,
                 const std::vector<CsrGraph::EdgeSpec> &structural,
@@ -107,58 +122,78 @@ class CompiledRun
                 std::vector<std::uint32_t> baseDepths,
                 const std::vector<QueryRecord> &constraints,
                 std::vector<std::uint64_t> tailNode,
-                std::vector<Cycles> tailSlack);
+                std::vector<Cycles> tailSlack,
+                opt::OptLevel level = opt::OptLevel::O1);
 
     /**
      * Rehydration constructor: freeze a run deserialized in a fresh
      * process (src/io/). Equivalent to the primary constructor over the
-     * snapshot's fields — the baseline solve, topological order, and
-     * constraint index are all recomputed, so a rehydrated run is
-     * bit-identical to the run frozen in the originating process. The
-     * snapshot must outlive the CompiledRun (its tables and constraints
-     * are referenced, not copied) and must already be validated
-     * (io::validateSnapshot): index invariants are asserted, not
-     * tolerated, here.
+     * snapshot's fields — the pass pipeline is deterministic and the
+     * baseline solve, topological order, and constraint index are all
+     * recomputed, so a rehydrated run is bit-identical to the run
+     * frozen in the originating process. The snapshot must already be
+     * validated (io::validateSnapshot): index invariants are asserted,
+     * not tolerated, here.
      */
-    explicit CompiledRun(const RunSnapshot &snap);
+    explicit CompiledRun(const RunSnapshot &snap,
+                         opt::OptLevel level = opt::OptLevel::O1);
+
+    /**
+     * Fast rehydration from a layout persisted in an OMSIMRUN v3 file:
+     * skips the pass pipeline (and its whole-graph analyses) and only
+     * re-solves the already-optimized layout. The layout must have been
+     * produced by PassManager over this same snapshot (the v3 decoder
+     * validates structural invariants; equivalence is the writer's
+     * contract).
+     */
+    CompiledRun(const RunSnapshot &snap, opt::RunLayout layout);
 
     /** @return false when even the baseline WAR overlay has a timing
      *  cycle (only reachable in lazy write-stall mode). */
     bool baselineAcyclic() const { return baselineAcyclic_; }
 
-    /** @return baseline per-node longest-path times. */
-    const std::vector<Cycles> &baselineTimes() const { return baseTime_; }
-
     /** @return baseline total latency (max node time + duration, max
-     *  module tail). */
+     *  module tail, collapsed-node floor). */
     Cycles baselineTotalCycles() const { return baseTotal_; }
 
-    /** @return node count (structural graph). */
-    std::size_t numNodes() const { return seed_.size(); }
+    /** @return node count of the original (pre-pass) structural graph. */
+    std::size_t numNodes() const { return origNodes_; }
 
-    /** @return structural plus baseline-synthesized WAR edge count (the
-     *  figure the engine reports as graphEdges). */
+    /** @return original structural plus baseline-synthesized WAR edge
+     *  count (the figure the engine reports as graphEdges). */
     std::size_t numEdges() const { return structuralEdges_ + baseWarEdges_; }
+
+    /** @return the compiled layout (optimized graph, remap table, pass
+     *  statistics). */
+    const opt::RunLayout &layout() const { return lay_; }
+
+    /** @return pass pipeline statistics for this run. */
+    const opt::CompileStats &compileStats() const { return lay_.stats; }
 
     /**
      * Attempt an incremental re-finalization under new depths.
      * Thread-safe and allocation-bounded; never touches shared state.
+     * Divergences are reported in original recorded-constraint indices
+     * regardless of optimization level.
      *
-     * @param depths one depth per FIFO (size == tables.size()).
+     * @param depths one depth per FIFO (size == fifo count).
      */
     Attempt resimulate(const std::vector<std::uint32_t> &depths) const;
 
   private:
-    struct ConstraintMeta;
+    /** Shared tail of every constructor: solve the layout. */
+    void freeze();
+
+    /** Clamp a probed depth vector into the per-FIFO lattice. */
+    std::vector<std::uint32_t>
+    clampDepths(const std::vector<std::uint32_t> &depths) const;
 
     /** Full Kahn relaxation over the CSR with WAR(depths) overlaid
-     *  functionally; the topological order output is optional. */
+     *  functionally; the topological order output is optional. Depths
+     *  must already be clamped. */
     bool relaxFull(const std::vector<std::uint32_t> &depths,
                    std::vector<Cycles> &time,
                    std::vector<std::uint32_t> *order) const;
-
-    /** Accumulate structural (depth-independent) indegrees. */
-    void fwdIndegrees(std::vector<std::uint32_t> &indeg) const;
 
     /** Delta worklist relaxation. @return false to request the full
      *  fallback (budget exceeded / possible cycle). */
@@ -172,7 +207,7 @@ class CompiledRun
     Cycles recompute(std::uint64_t v, const std::vector<Cycles> &cur,
                      const std::vector<std::uint32_t> &depths) const;
 
-    /** Evaluate recorded constraint i against a time view + depths. */
+    /** Evaluate kept constraint i against a time view + depths. */
     bool evalConstraint(std::size_t i, const std::vector<Cycles> &time,
                         const std::vector<std::uint32_t> &depths) const;
 
@@ -185,31 +220,15 @@ class CompiledRun
     Attempt finishWithTimes(const std::vector<Cycles> &time,
                             const std::vector<std::uint32_t> &depths) const;
 
-    // ---- Frozen structure -------------------------------------------
+    // ---- Frozen structure (layout node ids throughout) --------------
+    opt::RunLayout lay_;
     CsrGraph fwd_;                      ///< Structural out-edges.
     CsrGraph rev_;                      ///< Structural in-edges.
-    std::vector<Cycles> seed_;          ///< Entry-time seeds.
-    std::vector<Cycles> dur_;           ///< Node durations.
-    std::vector<std::uint32_t> baseDepths_;
-    std::vector<std::uint64_t> tailNode_;
-    std::vector<Cycles> tailSlack_;
-    const std::vector<FifoTable> *tables_;
-    const std::vector<QueryRecord> *constraints_;
-    std::size_t structuralEdges_ = 0;
-    std::size_t baseWarEdges_ = 0;
+    std::vector<std::uint32_t> baseDepths_; ///< Clamped baseline.
+    std::size_t origNodes_ = 0;
+    std::size_t structuralEdges_ = 0;   ///< Original-graph count.
+    std::size_t baseWarEdges_ = 0;      ///< Original-graph count.
     std::vector<std::uint32_t> indegStructural_;
-
-    // ---- Per-node FIFO accessor map (WAR edges in O(1)) -------------
-    std::vector<std::int32_t> accFifo_;  ///< FIFO id, -1 for non-access.
-    std::vector<std::uint32_t> accIdx_;  ///< 1-based access index.
-    std::vector<std::uint8_t> accWrite_; ///< 1 == write, 0 == read.
-    /** 1 when a write-access node was committed by a *blocking* write —
-     *  the only kind that may wait for space and thus carry a WAR
-     *  in-edge. Committed NB writes keep their attempt time; their
-     *  recorded constraints decide their fate under new depths. */
-    std::vector<std::uint8_t> accBlockingWrite_;
-    /** Blocking-write count per FIFO (delta-size prediction). */
-    std::vector<std::uint32_t> blockingWrites_;
 
     // ---- Baseline solution ------------------------------------------
     bool baselineAcyclic_ = false;
@@ -219,16 +238,16 @@ class CompiledRun
     std::vector<std::uint64_t> order_;     ///< Inverse of rank_.
     std::vector<std::uint64_t> byContrib_; ///< Nodes by desc time+dur.
 
-    // ---- Constraint index -------------------------------------------
-    /** CSR map node -> recorded constraints referencing it (as the query
-     *  node or as its baseline target event). */
+    // ---- Constraint index (indices into lay_.cons) ------------------
+    /** CSR map layout node -> kept constraints referencing it (as the
+     *  query node or as its baseline target event). */
     std::vector<std::uint32_t> consOffsets_;
     std::vector<std::uint32_t> consIds_;
-    /** Write-kind constraints per FIFO (their target read index moves
-     *  with the depth, so a depth change affects all of them). */
+    /** Write-kind kept constraints per FIFO (their target read index
+     *  moves with the depth, so a depth change affects all of them). */
     std::vector<std::vector<std::uint32_t>> writeConsByFifo_;
-    /** Constraints whose baseline re-evaluation already differs from
-     *  the recorded outcome (lazy-mode repairs), ascending. */
+    /** Kept constraints whose baseline re-evaluation already differs
+     *  from the recorded outcome (lazy-mode repairs), ascending. */
     std::vector<std::uint32_t> baselineDivergent_;
 };
 

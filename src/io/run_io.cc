@@ -1,10 +1,12 @@
 #include "io/run_io.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <deque>
 
 #include "design/design.hh"
 #include "io/serial.hh"
+#include "opt/pass_manager.hh"
 #include "support/logging.hh"
 
 namespace omnisim::io
@@ -234,6 +236,158 @@ decodeSnapshot(ByteReader &r, RunSnapshot &snap)
     res.stats.threadPauses = r.u64();
 }
 
+// ---------------------------------------------------------------------------
+// Compiled-layout section (v3). Only the layout's defining data is
+// persisted: the access maps, depth caps, blocking-write counts, the
+// derived LayoutCons fields, and the statistics counters are all
+// recomputed from the snapshot on decode, so the section cannot drift
+// from the arrays the solver actually indexes.
+// ---------------------------------------------------------------------------
+
+void
+encodeLayout(ByteWriter &w, const opt::RunLayout &lay)
+{
+    w.u8(static_cast<std::uint8_t>(lay.level));
+    w.u64(lay.numNodes);
+    w.u64(lay.remap.size());
+    for (const std::uint32_t m : lay.remap)
+        w.u32(m);
+    w.u64(lay.seed.size());
+    for (const Cycles c : lay.seed)
+        w.u64(c);
+    w.u64(lay.dur.size());
+    for (const Cycles c : lay.dur)
+        w.u64(c);
+    w.u64(lay.edges.size());
+    for (const auto &e : lay.edges) {
+        w.u64(e.src);
+        w.u64(e.dst);
+        w.u64(e.weight);
+    }
+    w.u64(lay.floor);
+    w.u64(lay.fifos.size());
+    for (const opt::FifoLayout &fl : lay.fifos) {
+        w.u64(fl.readNode.size());
+        for (const std::uint32_t v : fl.readNode)
+            w.u32(v);
+        w.u64(fl.writeNode.size());
+        for (const std::uint32_t v : fl.writeNode)
+            w.u32(v);
+    }
+    w.u64(lay.cons.size());
+    for (const opt::LayoutCons &c : lay.cons)
+        w.u32(c.origIndex);
+    w.u64(lay.stats.passes.size());
+    for (const opt::PassStats &p : lay.stats.passes) {
+        w.str(p.pass);
+        w.u64(p.nodesEliminated);
+        w.u64(p.edgesEliminated);
+        w.u64(p.constraintsEliminated);
+    }
+}
+
+/** Read the raw layout section; only the persisted fields are filled
+ *  (LayoutCons carries origIndex only). Callers must validateRunLayout
+ *  and then hydrateLayout before the layout is usable. */
+void
+decodeLayout(ByteReader &r, opt::RunLayout &lay)
+{
+    const std::uint8_t level = r.u8();
+    if (level > static_cast<std::uint8_t>(opt::OptLevel::O1))
+        omnisim_fatal("run file corrupt: optimization level %u out of "
+                      "range", level);
+    lay.level = static_cast<opt::OptLevel>(level);
+    lay.numNodes = static_cast<std::size_t>(r.u64());
+
+    const std::size_t remapCount = r.count(4);
+    lay.remap.resize(remapCount);
+    for (std::uint32_t &m : lay.remap)
+        m = r.u32();
+
+    const std::size_t seedCount = r.count(8);
+    lay.seed.resize(seedCount);
+    for (Cycles &c : lay.seed)
+        c = r.u64();
+    const std::size_t durCount = r.count(8);
+    lay.dur.resize(durCount);
+    for (Cycles &c : lay.dur)
+        c = r.u64();
+
+    const std::size_t edgeCount = r.count(24);
+    lay.edges.resize(edgeCount);
+    for (auto &e : lay.edges) {
+        e.src = r.u64();
+        e.dst = r.u64();
+        e.weight = r.u64();
+    }
+
+    lay.floor = r.u64();
+
+    const std::size_t fifoCount = r.count(8 + 8);
+    lay.fifos.resize(fifoCount);
+    for (opt::FifoLayout &fl : lay.fifos) {
+        const std::size_t reads = r.count(4);
+        fl.readNode.resize(reads);
+        for (std::uint32_t &v : fl.readNode)
+            v = r.u32();
+        const std::size_t writes = r.count(4);
+        fl.writeNode.resize(writes);
+        for (std::uint32_t &v : fl.writeNode)
+            v = r.u32();
+    }
+
+    const std::size_t consCount = r.count(4);
+    lay.cons.resize(consCount);
+    for (opt::LayoutCons &c : lay.cons)
+        c.origIndex = r.u32();
+
+    const std::size_t passCount = r.count(8 + 8 + 8 + 8);
+    lay.stats.passes.resize(passCount);
+    for (opt::PassStats &p : lay.stats.passes) {
+        p.pass = r.str();
+        p.nodesEliminated = r.u64();
+        p.edgesEliminated = r.u64();
+        p.constraintsEliminated = r.u64();
+    }
+}
+
+/** Fill in everything validateRunLayout confirmed derivable: the kept
+ *  constraints' evaluation fields, the per-node access maps and depth
+ *  caps, and the statistics counters. */
+void
+hydrateLayout(const RunSnapshot &snap, opt::RunLayout &lay)
+{
+    for (opt::LayoutCons &c : lay.cons) {
+        const QueryRecord &qr = snap.constraints[c.origIndex];
+        c.fifo = static_cast<std::uint32_t>(qr.fifo);
+        c.kind = qr.kind;
+        c.index = qr.index;
+        c.node = lay.remap[qr.node];
+        c.outcome = qr.outcome;
+    }
+
+    std::vector<std::vector<std::uint8_t>> writeBlocking(
+        snap.tables.size());
+    for (std::size_t f = 0; f < snap.tables.size(); ++f) {
+        const FifoTable &t = snap.tables[f];
+        writeBlocking[f].resize(t.writes());
+        for (std::size_t w = 0; w < t.writes(); ++w)
+            writeBlocking[f][w] =
+                snap.nodes[t.writeNodes()[w]].kind == EventKind::FifoWrite
+                    ? 1
+                    : 0;
+    }
+    lay.rebuildAccessMaps(writeBlocking);
+
+    lay.stats.level = lay.level;
+    lay.stats.origNodes = snap.nodes.size();
+    lay.stats.origEdges = snap.edges.size();
+    lay.stats.optNodes = lay.numNodes;
+    lay.stats.optEdges = lay.edges.size();
+    lay.stats.origConstraints = snap.constraints.size();
+    lay.stats.keptConstraints = lay.cons.size();
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -297,36 +451,85 @@ depthVectorHash(const std::vector<std::uint32_t> &depths)
 // File image.
 // ---------------------------------------------------------------------------
 
-std::string
-encodeRun(const RunFileMeta &meta, const RunSnapshot &snap)
+namespace
 {
-    ByteWriter payload;
-    payload.str(meta.design);
-    payload.str(meta.engine);
-    payload.u64(meta.fingerprint);
-    encodeSnapshot(payload, snap);
 
+std::string
+sealImage(std::uint32_t version, const ByteWriter &payload)
+{
     ByteWriter file;
     file.raw(kRunMagic, sizeof(kRunMagic));
-    file.u32(kRunFormatVersion);
+    file.u32(version);
     file.u64(fnv1a(payload.bytes()));
     file.u64(payload.size());
     file.raw(payload.bytes().data(), payload.size());
     return file.take();
 }
 
+} // namespace
+
+std::string
+encodeRun(const RunFileMeta &meta, const RunSnapshot &snap,
+          const opt::RunLayout *layout)
+{
+    opt::RunLayout recompiled;
+    if (!layout) {
+        // No layout supplied: run the pass pipeline here. It is
+        // deterministic, so the persisted layout matches what any
+        // default-options engine computed for this snapshot.
+        opt::LayoutInput in;
+        in.nodes = &snap.nodes;
+        in.edges = &snap.edges;
+        in.seed = &snap.seed;
+        in.tables = &snap.tables;
+        in.depths = &snap.depths;
+        in.constraints = &snap.constraints;
+        in.tailNode = &snap.tailNode;
+        in.tailSlack = &snap.tailSlack;
+        recompiled = opt::PassManager(opt::OptLevel::O1).compile(in);
+        layout = &recompiled;
+    }
+
+    ByteWriter payload;
+    payload.str(meta.design);
+    payload.str(meta.engine);
+    payload.u64(meta.fingerprint);
+    encodeSnapshot(payload, snap);
+    encodeLayout(payload, *layout);
+    return sealImage(kRunFormatVersion, payload);
+}
+
+std::string
+encodeRunV2(const RunFileMeta &meta, const RunSnapshot &snap)
+{
+    ByteWriter payload;
+    payload.str(meta.design);
+    payload.str(meta.engine);
+    payload.u64(meta.fingerprint);
+    encodeSnapshot(payload, snap);
+    return sealImage(2, payload);
+}
+
 void
 decodeRun(std::string_view bytes, RunFileMeta &meta, RunSnapshot &snap)
+{
+    std::optional<opt::RunLayout> layout;
+    decodeRun(bytes, meta, snap, layout);
+}
+
+void
+decodeRun(std::string_view bytes, RunFileMeta &meta, RunSnapshot &snap,
+          std::optional<opt::RunLayout> &layout)
 {
     ByteReader r(bytes);
     const std::string_view magic = r.raw(sizeof(kRunMagic));
     if (magic != std::string_view(kRunMagic, sizeof(kRunMagic)))
         omnisim_fatal("not an OmniSim run file (bad magic)");
     const std::uint32_t version = r.u32();
-    if (version != kRunFormatVersion)
+    if (version < kRunMinFormatVersion || version > kRunFormatVersion)
         omnisim_fatal("run file format version %u unsupported (this "
-                      "build reads version %u)", version,
-                      kRunFormatVersion);
+                      "build reads versions %u through %u)", version,
+                      kRunMinFormatVersion, kRunFormatVersion);
     const std::uint64_t checksum = r.u64();
     const std::uint64_t size = r.u64();
     if (size != r.remaining())
@@ -342,11 +545,20 @@ decodeRun(std::string_view bytes, RunFileMeta &meta, RunSnapshot &snap)
     meta.engine = pr.str();
     meta.fingerprint = pr.u64();
     snap = RunSnapshot{};
+    layout.reset();
     decodeSnapshot(pr, snap);
+    if (version >= 3) {
+        layout.emplace();
+        decodeLayout(pr, *layout);
+    }
     if (!pr.atEnd())
         omnisim_fatal("run file corrupt: %zu trailing bytes after the "
                       "snapshot", pr.remaining());
     validateSnapshot(snap);
+    if (layout) {
+        validateRunLayout(snap, *layout);
+        hydrateLayout(snap, *layout);
+    }
 }
 
 void
@@ -407,14 +619,124 @@ validateSnapshot(const RunSnapshot &snap)
                       simStatusName(snap.result.status));
 }
 
+void
+validateRunLayout(const RunSnapshot &snap, const opt::RunLayout &layout)
+{
+    const std::size_t n = layout.numNodes;
+    if (n > snap.nodes.size())
+        omnisim_fatal("run layout invalid: %zu layout nodes for %zu "
+                      "original nodes", n, snap.nodes.size());
+    if (layout.remap.size() != snap.nodes.size())
+        omnisim_fatal("run layout invalid: remap table has %zu entries "
+                      "for %zu original nodes", layout.remap.size(),
+                      snap.nodes.size());
+    for (const std::uint32_t m : layout.remap)
+        if (m != opt::kDropped && m >= n)
+            omnisim_fatal("run layout invalid: remap entry %u outside "
+                          "%zu layout nodes", m, n);
+    if (layout.seed.size() != n || layout.dur.size() != n)
+        omnisim_fatal("run layout invalid: %zu seeds / %zu durations "
+                      "for %zu layout nodes", layout.seed.size(),
+                      layout.dur.size(), n);
+    for (const auto &e : layout.edges)
+        if (e.src >= n || e.dst >= n)
+            omnisim_fatal("run layout invalid: edge %llu -> %llu outside "
+                          "%zu layout nodes",
+                          static_cast<unsigned long long>(e.src),
+                          static_cast<unsigned long long>(e.dst), n);
+    if (layout.fifos.size() != snap.tables.size())
+        omnisim_fatal("run layout invalid: %zu fifo maps for %zu tables",
+                      layout.fifos.size(), snap.tables.size());
+    for (std::size_t f = 0; f < layout.fifos.size(); ++f) {
+        const opt::FifoLayout &fl = layout.fifos[f];
+        const FifoTable &t = snap.tables[f];
+        if (fl.readNode.size() != t.reads() ||
+            fl.writeNode.size() != t.writes())
+            omnisim_fatal("run layout invalid: fifo '%s' access map "
+                          "arity mismatch (%zu/%zu reads, %zu/%zu "
+                          "writes)", t.label(), fl.readNode.size(),
+                          t.reads(), fl.writeNode.size(), t.writes());
+        for (const std::uint32_t v : fl.readNode)
+            if (v != opt::kNoNode && v >= n)
+                omnisim_fatal("run layout invalid: fifo '%s' read entry "
+                              "outside %zu layout nodes", t.label(), n);
+        for (const std::uint32_t v : fl.writeNode)
+            if (v != opt::kNoNode && v >= n)
+                omnisim_fatal("run layout invalid: fifo '%s' write entry "
+                              "outside %zu layout nodes", t.label(), n);
+    }
+
+    // Kept constraints: recorded order (strictly ascending original
+    // indices), live query nodes, and — the invariant evalConstraint's
+    // unchecked indexing relies on — pinned targets: a read-kind query
+    // of index w keeps the w-th write entry, and a write-kind query of
+    // index i keeps every read entry the sliding target r = i - depth
+    // can land on across the clamped lattice (r in [1, min(i-1,
+    // reads)]).
+    std::vector<std::uint32_t> maxWriteConsIdx(layout.fifos.size(), 0);
+    std::uint64_t prevOrig = 0;
+    bool first = true;
+    for (const opt::LayoutCons &c : layout.cons) {
+        if (c.origIndex >= snap.constraints.size())
+            omnisim_fatal("run layout invalid: kept constraint %u of "
+                          "%zu recorded", c.origIndex,
+                          snap.constraints.size());
+        if (!first && c.origIndex <= prevOrig)
+            omnisim_fatal("run layout invalid: kept constraints out of "
+                          "recorded order");
+        first = false;
+        prevOrig = c.origIndex;
+
+        const QueryRecord &qr = snap.constraints[c.origIndex];
+        if (layout.remap[qr.node] == opt::kDropped)
+            omnisim_fatal("run layout invalid: kept constraint %u lost "
+                          "its query node", c.origIndex);
+        const opt::FifoLayout &fl =
+            layout.fifos[static_cast<std::size_t>(qr.fifo)];
+        switch (qr.kind) {
+          case EventKind::FifoNbRead:
+          case EventKind::FifoCanRead:
+            if (qr.index <= fl.writeNode.size() &&
+                fl.writeNode[qr.index - 1] == opt::kNoNode)
+                omnisim_fatal("run layout invalid: kept read query %u "
+                              "lost its target write entry", c.origIndex);
+            break;
+          default: {
+            auto &mx = maxWriteConsIdx[static_cast<std::size_t>(qr.fifo)];
+            mx = std::max(mx, qr.index);
+            break;
+          }
+        }
+    }
+    for (std::size_t f = 0; f < layout.fifos.size(); ++f) {
+        const opt::FifoLayout &fl = layout.fifos[f];
+        if (maxWriteConsIdx[f] < 2)
+            continue;
+        const std::size_t lim = std::min<std::size_t>(
+            maxWriteConsIdx[f] - 1, fl.readNode.size());
+        for (std::size_t r = 0; r < lim; ++r)
+            if (fl.readNode[r] == opt::kNoNode)
+                omnisim_fatal("run layout invalid: write query target "
+                              "read entry %zu of fifo '%s' was dropped",
+                              r + 1, snap.tables[f].label());
+    }
+}
+
 // ---------------------------------------------------------------------------
 // StoredRun.
 // ---------------------------------------------------------------------------
 
-StoredRun::StoredRun(RunSnapshot snap, RunFileMeta meta)
+StoredRun::StoredRun(RunSnapshot snap, RunFileMeta meta,
+                     std::optional<opt::RunLayout> layout)
     : meta_(std::move(meta)), snap_(std::move(snap))
 {
-    compiled_ = std::make_unique<CompiledRun>(snap_);
+    // A persisted layout (v3 file) skips the pass pipeline entirely;
+    // otherwise recompile — deterministic, so both paths freeze the
+    // same structure.
+    compiled_ = layout
+                    ? std::make_unique<CompiledRun>(snap_,
+                                                    std::move(*layout))
+                    : std::make_unique<CompiledRun>(snap_);
     if (!compiled_->baselineAcyclic())
         omnisim_fatal("stored run for '%s' has a timing-infeasible "
                       "baseline — file is stale or corrupt",
@@ -426,7 +748,7 @@ StoredRun::rehydrate(RunSnapshot snap, RunFileMeta meta)
 {
     validateSnapshot(snap);
     return std::unique_ptr<StoredRun>(
-        new StoredRun(std::move(snap), std::move(meta)));
+        new StoredRun(std::move(snap), std::move(meta), std::nullopt));
 }
 
 std::unique_ptr<StoredRun>
@@ -447,9 +769,10 @@ StoredRun::open(const std::string &path)
 
     RunFileMeta meta;
     RunSnapshot snap;
-    decodeRun(bytes, meta, snap); // validates
-    return std::unique_ptr<StoredRun>(
-        new StoredRun(std::move(snap), std::move(meta)));
+    std::optional<opt::RunLayout> layout;
+    decodeRun(bytes, meta, snap, layout); // validates both
+    return std::unique_ptr<StoredRun>(new StoredRun(
+        std::move(snap), std::move(meta), std::move(layout)));
 }
 
 IncrementalOutcome

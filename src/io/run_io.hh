@@ -13,15 +13,27 @@
  *   payload checksum u64       FNV-1a over the payload bytes
  *   payload size     u64
  *   payload          bytes     meta (design, engine, fingerprint)
- *                              followed by the RunSnapshot sections
+ *                              followed by the RunSnapshot sections;
+ *                              v3 appends the compiled-layout section
+ *                              (opt level, node remap, optimized graph,
+ *                              kept-constraint indices, pass stats)
+ *
+ * Version 3 persists the graph-compilation pipeline's output next to
+ * the snapshot, so a loader rehydrates by re-solving the already
+ * optimized layout instead of re-running the passes (and their
+ * whole-graph analyses) — the dominant cost on large runs. Version 2
+ * files (no layout section) still decode; their runs are recompiled
+ * through the deterministic pass pipeline on load and behave
+ * identically.
  *
  * Decoding is strict: bad magic, an unknown version, a checksum
  * mismatch, a truncated section, an impossible element count, or any
- * violated semantic invariant (validateSnapshot) throws FatalError —
- * a corrupt file is always a recoverable error, never UB. The design
- * fingerprint (a structural hash that deliberately excludes FIFO
- * depths — those are the re-simulation knob) lets loaders reject runs
- * recorded against a since-changed design.
+ * violated semantic invariant (validateSnapshot / validateRunLayout)
+ * throws FatalError — a corrupt file is always a recoverable error,
+ * never UB. The design fingerprint (a structural hash that
+ * deliberately excludes FIFO depths — those are the re-simulation
+ * knob) lets loaders reject runs recorded against a since-changed
+ * design.
  */
 
 #ifndef OMNISIM_IO_RUN_IO_HH
@@ -29,6 +41,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -45,8 +58,13 @@ namespace omnisim::io
 
 /** Current on-disk format version; bumped on any layout change.
  *  v2: EngineStats gained the forcedBlind / deadlockRetroSuspect
- *  approximation markers (see runtime/result.hh). */
-constexpr std::uint32_t kRunFormatVersion = 2;
+ *  approximation markers (see runtime/result.hh).
+ *  v3: appended the compiled-layout section (see file comment). */
+constexpr std::uint32_t kRunFormatVersion = 3;
+
+/** Oldest version this build still decodes (v2 runs are recompiled
+ *  through the pass pipeline on load). */
+constexpr std::uint32_t kRunMinFormatVersion = 2;
 
 /** The 8-byte file magic. */
 extern const char kRunMagic[8];
@@ -73,8 +91,19 @@ std::uint64_t designFingerprint(const Design &d);
 /** Stable hash of a depth vector (RunStore file naming). */
 std::uint64_t depthVectorHash(const std::vector<std::uint32_t> &depths);
 
-/** Encode a complete run file image (header + payload). */
-std::string encodeRun(const RunFileMeta &meta, const RunSnapshot &snap);
+/**
+ * Encode a complete run file image (header + payload) at the current
+ * format version. When @p layout is null the compiled layout persisted
+ * in the v3 section is produced by running the deterministic pass
+ * pipeline (opt::OptLevel::O1) over @p snap; pass the engine's own
+ * layout to skip that recompile.
+ */
+std::string encodeRun(const RunFileMeta &meta, const RunSnapshot &snap,
+                      const opt::RunLayout *layout = nullptr);
+
+/** Encode a version-2 image (no layout section) — kept so the
+ *  backward-compatibility tests can manufacture genuine v2 files. */
+std::string encodeRunV2(const RunFileMeta &meta, const RunSnapshot &snap);
 
 /**
  * Decode and fully validate a run file image.
@@ -82,6 +111,14 @@ std::string encodeRun(const RunFileMeta &meta, const RunSnapshot &snap);
  */
 void decodeRun(std::string_view bytes, RunFileMeta &meta,
                RunSnapshot &snap);
+
+/**
+ * Decode overload that also surfaces the persisted compiled layout.
+ * @p layout is empty after decoding a v2 image (the caller recompiles)
+ * and engaged after a v3 image, already validated against @p snap.
+ */
+void decodeRun(std::string_view bytes, RunFileMeta &meta, RunSnapshot &snap,
+               std::optional<opt::RunLayout> &layout);
 
 /**
  * Check every cross-index invariant of a decoded snapshot — node ids in
@@ -94,14 +131,30 @@ void decodeRun(std::string_view bytes, RunFileMeta &meta,
 void validateSnapshot(const RunSnapshot &snap);
 
 /**
+ * Check every cross-index invariant of a decoded compiled layout
+ * against its (already validated) snapshot: dense node ids within
+ * range, remap entries kDropped or in-range, per-FIFO access tables
+ * sized exactly to the recorded access counts, kept-constraint indices
+ * strictly ascending with their evaluation targets pinned (a read-kind
+ * constraint's write entry and a write-kind constraint's read prefix
+ * must survive), so CompiledRun::evalConstraint can index without
+ * bounds checks.
+ * @throws FatalError naming the first violation.
+ */
+void validateRunLayout(const RunSnapshot &snap,
+                       const opt::RunLayout &layout);
+
+/**
  * A run rehydrated from a snapshot: owns the snapshot storage and the
  * CompiledRun frozen over it, and serves resimulate() with outcomes
  * bit-identical to the originating process (tests/test_io.cc enforces
  * this across the design registry).
  *
- * Not movable: the CompiledRun holds pointers to the snapshot's table
- * and constraint vectors, so StoredRun instances live behind
- * unique_ptr (see the open()/rehydrate() factories).
+ * Not copyable, and held behind unique_ptr via the open()/rehydrate()
+ * factories so the decode-throws-FatalError paths stay out of
+ * constructors callers could reach directly. (The CompiledRun itself
+ * is self-contained since the compile pipeline landed — it copies what
+ * it needs out of the snapshot at freeze time.)
  */
 class StoredRun
 {
@@ -110,7 +163,8 @@ class StoredRun
     StoredRun &operator=(const StoredRun &) = delete;
 
     /**
-     * Rehydrate from an already-decoded snapshot.
+     * Rehydrate from an already-decoded snapshot, recompiling through
+     * the deterministic pass pipeline.
      * @throws FatalError when the snapshot fails validation or its
      *         recorded baseline is timing-infeasible.
      */
@@ -118,7 +172,9 @@ class StoredRun
                                                 RunFileMeta meta = {});
 
     /**
-     * Read + decode + rehydrate a run file.
+     * Read + decode + rehydrate a run file. v3 files carry their
+     * compiled layout, so rehydration skips the optimization passes;
+     * v2 files are recompiled.
      * @throws FatalError on IO errors or any malformation.
      */
     static std::unique_ptr<StoredRun> open(const std::string &path);
@@ -135,6 +191,12 @@ class StoredRun
     /** @return the recorded baseline result (status Ok). */
     const SimResult &baseline() const { return snap_.result; }
 
+    /** @return compile-pipeline statistics of the rehydrated run. */
+    const opt::CompileStats &compileStats() const
+    {
+        return compiled_->compileStats();
+    }
+
     /**
      * Attempt incremental re-simulation under new depths, without the
      * design, the DSL, or any re-tracing — pure CompiledRun delta
@@ -147,11 +209,12 @@ class StoredRun
     resimulate(const std::vector<std::uint32_t> &depths) const;
 
   private:
-    StoredRun(RunSnapshot snap, RunFileMeta meta);
+    StoredRun(RunSnapshot snap, RunFileMeta meta,
+              std::optional<opt::RunLayout> layout);
 
     RunFileMeta meta_;
     RunSnapshot snap_;
-    std::unique_ptr<CompiledRun> compiled_; ///< References snap_.
+    std::unique_ptr<CompiledRun> compiled_;
 };
 
 } // namespace omnisim::io

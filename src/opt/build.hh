@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Mutable intermediate representation the optimization passes operate
+ * on (internal to src/opt/). Original node ids throughout; the final
+ * compaction to layout ids happens once, in PassManager::compile().
+ */
+
+#ifndef OMNISIM_OPT_BUILD_HH
+#define OMNISIM_OPT_BUILD_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "opt/pass_manager.hh"
+#include "support/types.hh"
+
+namespace omnisim::opt::detail
+{
+
+/** Mutable pass IR: adjacency lists (parallel-edge free, max weight),
+ *  per-node fold state, and the kept/pinned decision sets. */
+struct Build
+{
+    const LayoutInput *in = nullptr;
+    std::size_t n = 0;
+
+    /** Out/in adjacency. Kept parallel-edge free: inserting an edge
+     *  that already exists raises its weight to the max instead. */
+    std::vector<std::vector<std::pair<std::uint32_t, Cycles>>> out, rin;
+    std::vector<std::uint8_t> alive;
+    /** Dedup representative (self when not merged). Chains resolve at
+     *  materialization. */
+    std::vector<std::uint32_t> mergedInto;
+    std::vector<Cycles> seed;
+    /** Extended duration: node duration with module tail slack and the
+     *  completion of collapsed successors folded in. */
+    std::vector<Cycles> dur;
+    /** Constant contribution to the total from collapsed nodes. */
+    Cycles floor = 0;
+    std::size_t liveEdges = 0;
+    /** Parallel input edges merged while canonicalizing (attributed to
+     *  the first pass's edge eliminations). */
+    std::uint64_t canonEdgesRemoved = 0;
+
+    // ---- FIFO access map, original ids ------------------------------
+    std::vector<std::int32_t> accFifo;
+    std::vector<std::uint32_t> accIdx;
+    std::vector<std::uint8_t> accWrite;
+    std::vector<std::uint8_t> accBlocking;
+
+    // ---- Decision sets ----------------------------------------------
+    /** readKept[f][r-1] / writeKept[f][w-1]: the access entry stays
+     *  addressable in the layout (WAR-relevant or a kept-constraint
+     *  target). Default: everything kept (identity / -O0). */
+    std::vector<std::vector<std::uint8_t>> readKept, writeKept;
+    std::vector<std::uint8_t> consKept;
+    /** Nodes the passes must not remove. Computed by latticePrune (or
+     *  conservatively by pinEverything) before any structural pass. */
+    std::vector<std::uint8_t> pinned;
+
+    explicit Build(const LayoutInput &input);
+
+    /** Conservative pin set: tails, every kept access entry's node,
+     *  every kept constraint's node. */
+    void pinFromKeptSets();
+
+    /** Drop edge u -> v from both adjacency sides. */
+    void removeEdge(std::uint32_t u, std::uint32_t v);
+
+    /** Insert edge u -> v (max-merge when it already exists).
+     *  @return true when a new edge was created. */
+    bool addEdge(std::uint32_t u, std::uint32_t v, Cycles w);
+};
+
+// The three -O1 passes (src/opt/passes.cc).
+void latticePrune(Build &b, PassStats &st);
+void chainCollapse(Build &b, PassStats &st);
+void dedup(Build &b, PassStats &st);
+
+} // namespace omnisim::opt::detail
+
+#endif // OMNISIM_OPT_BUILD_HH

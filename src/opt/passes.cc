@@ -1,0 +1,520 @@
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/omnisim.hh"
+#include "opt/build.hh"
+#include "runtime/fifo_table.hh"
+#include "support/logging.hh"
+
+namespace omnisim::opt::detail
+{
+
+namespace
+{
+
+constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max();
+
+bool
+isReadKind(EventKind k)
+{
+    return k == EventKind::FifoNbRead || k == EventKind::FifoCanRead;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+/**
+ * Interval analysis over the whole candidate depth lattice.
+ *
+ * Per FIFO, probing any depth s >= writes+1 behaves exactly like
+ * s = writes+1: no WAR edge read(r) -> write(r+s) fits under r+s <=
+ * writes, and every recorded write-kind constraint index is <= writes+1
+ * (a failed attempt retries the same index), so the `index <= s` branch
+ * resolves identically. The lattice is therefore finite: s in
+ * [1, writes+1] per FIFO.
+ *
+ * LB[v] — longest path over structural edges only — is a valid lower
+ * bound at every lattice point (WAR edges only add constraints). UB[v]
+ * — longest path over the structural graph plus the *union* overlay,
+ * where blocking write w is gated behind every read r < w of its FIFO
+ * (in-value prefixMaxUB[r<w] + 1) — is a valid upper bound, because the
+ * union contains the overlay of every lattice point. Both solve in one
+ * Kahn pass over the union graph: a topological order of the union is
+ * also one of its structural subgraph. If the union is cyclic, the
+ * analysis keeps everything (sound; and note a cyclic union does not
+ * make any single lattice point infeasible, so no pruning decision may
+ * rely on it).
+ */
+void
+latticePrune(Build &b, PassStats &st)
+{
+    const std::size_t n = b.n;
+    const auto &tables = *b.in->tables;
+    const auto &cons = *b.in->constraints;
+    const std::size_t nf = tables.size();
+
+    std::vector<std::uint32_t> indeg(n, 0);
+    for (std::size_t u = 0; u < n; ++u)
+        for (const auto &[v, w] : b.out[u])
+            ++indeg[v];
+
+    // Gated blocking writes, ascending write index (gate g = number of
+    // union in-edges' source reads = min(w-1, reads); nondecreasing in
+    // w, so a per-FIFO release pointer suffices).
+    struct Gate
+    {
+        std::uint32_t g = 0;
+        std::uint32_t node = 0;
+    };
+    std::vector<std::vector<Gate>> gates(nf);
+    std::vector<std::size_t> nextGate(nf, 0);
+    std::vector<std::vector<Cycles>> prefixUB(nf);
+    std::vector<std::vector<std::uint8_t>> readDone(nf);
+    std::vector<std::uint32_t> prefixLen(nf, 0);
+    for (std::size_t f = 0; f < nf; ++f) {
+        const FifoTable &t = tables[f];
+        prefixUB[f].assign(t.reads() + 1, 0);
+        readDone[f].assign(t.reads() + 1, 0);
+        for (std::uint32_t w = 1; w <= t.writes(); ++w) {
+            const std::uint64_t v = t.writeNodeOf(w);
+            if (!b.accBlocking[v])
+                continue;
+            const std::uint32_t g = std::min(w - 1, t.reads());
+            if (g >= 1) {
+                gates[f].push_back(
+                    {g, static_cast<std::uint32_t>(v)});
+                ++indeg[v];
+            }
+        }
+    }
+
+    std::vector<Cycles> lb = b.seed;
+    std::vector<Cycles> ub = b.seed;
+    std::vector<std::uint32_t> ready;
+    for (std::size_t v = 0; v < n; ++v)
+        if (indeg[v] == 0)
+            ready.push_back(static_cast<std::uint32_t>(v));
+
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const std::uint32_t u = ready.back();
+        ready.pop_back();
+        ++processed;
+        if (b.accFifo[u] >= 0 && !b.accWrite[u]) {
+            // Read finished: advance its FIFO's done prefix, releasing
+            // gated writes as the prefix passes their gate.
+            const auto f = static_cast<std::size_t>(b.accFifo[u]);
+            const FifoTable &t = tables[f];
+            readDone[f][b.accIdx[u]] = 1;
+            std::uint32_t &pl = prefixLen[f];
+            while (pl < t.reads() && readDone[f][pl + 1]) {
+                ++pl;
+                prefixUB[f][pl] =
+                    std::max(prefixUB[f][pl - 1], ub[t.readNodeOf(pl)]);
+                while (nextGate[f] < gates[f].size() &&
+                       gates[f][nextGate[f]].g <= pl) {
+                    const Gate gt = gates[f][nextGate[f]++];
+                    ub[gt.node] = std::max(ub[gt.node],
+                                           prefixUB[f][gt.g] + 1);
+                    if (--indeg[gt.node] == 0)
+                        ready.push_back(gt.node);
+                }
+            }
+        }
+        for (const auto &[v, w] : b.out[u]) {
+            lb[v] = std::max(lb[v], lb[u] + w);
+            ub[v] = std::max(ub[v], ub[u] + w);
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        }
+    }
+    const bool boundsValid = processed == n;
+
+    if (boundsValid) {
+        // WAR relevance. Edge read(r) -> write(w) can only bind when
+        // the read may finish at or after the write's earliest start:
+        // UB[read] + 1 > LB[write]. A read none of whose candidate
+        // writes satisfies that (via the suffix-min of blocking-write
+        // LBs), or a blocking write none of whose earlier reads does
+        // (via the read-UB prefix max), can never move any node time.
+        for (std::size_t f = 0; f < nf; ++f) {
+            const FifoTable &t = tables[f];
+            std::vector<Cycles> sufMinLb(t.writes() + 2, kInfCycles);
+            for (std::uint32_t w = t.writes(); w >= 1; --w) {
+                const std::uint64_t v = t.writeNodeOf(w);
+                sufMinLb[w] = std::min(sufMinLb[w + 1],
+                                       b.accBlocking[v] ? lb[v]
+                                                        : kInfCycles);
+            }
+            for (std::uint32_t r = 1; r <= t.reads(); ++r) {
+                const Cycles ubr = ub[t.readNodeOf(r)];
+                const Cycles lim = sufMinLb[std::min<std::uint32_t>(
+                    r + 1, t.writes() + 1)];
+                b.readKept[f][r - 1] =
+                    (lim != kInfCycles && ubr >= lim) ? 1 : 0;
+            }
+            for (std::uint32_t w = 1; w <= t.writes(); ++w) {
+                const std::uint64_t v = t.writeNodeOf(w);
+                if (!b.accBlocking[v]) {
+                    b.writeKept[f][w - 1] = 0;
+                    continue;
+                }
+                const std::uint32_t g = std::min(w - 1, t.reads());
+                b.writeKept[f][w - 1] =
+                    (g >= 1 && prefixUB[f][g] >= lb[v]) ? 1 : 0;
+            }
+        }
+    } else {
+        // Union overlay cyclic: no bounds. Keep every access entry
+        // addressable (identity WAR behavior).
+        for (std::size_t f = 0; f < nf; ++f) {
+            std::fill(b.readKept[f].begin(), b.readKept[f].end(), 1);
+            std::fill(b.writeKept[f].begin(), b.writeKept[f].end(), 1);
+        }
+    }
+
+    // Constraint pruning: drop a recorded query iff its outcome is
+    // provably the recorded one at *every* lattice point — then it can
+    // never flip, so skipping it preserves the first-divergent ordering
+    // exactly. Kept constraints pin their query node and every node
+    // their evaluation may address at some depth.
+    std::vector<std::uint32_t> maxWriteConsIdx(nf, 0);
+    for (std::size_t i = 0; i < cons.size(); ++i) {
+        const QueryRecord &qr = cons[i];
+        const FifoTable &t = tables[qr.fifo];
+        const auto f = static_cast<std::size_t>(qr.fifo);
+        int constant = -1; // -1 unknown, 0 false, 1 true
+        if (isReadKind(qr.kind)) {
+            // Outcome: writes >= i && time[write_i] < time[node].
+            if (t.writes() < qr.index) {
+                constant = 0;
+            } else if (boundsValid) {
+                const std::uint64_t wv = t.writeNodeOf(qr.index);
+                if (ub[wv] < lb[qr.node])
+                    constant = 1;
+                else if (lb[wv] >= ub[qr.node])
+                    constant = 0;
+            }
+        } else {
+            // Outcome at depth s: i <= s, else reads >= i-s &&
+            // time[read_{i-s}] < time[node]. s = cap >= i makes the
+            // first branch true, so constant-false is unreachable;
+            // constant-true needs every s < i to resolve true too.
+            if (qr.index <= 1) {
+                constant = 1;
+            } else if (boundsValid && qr.index - 1 <= t.reads() &&
+                       prefixUB[f][qr.index - 1] < lb[qr.node]) {
+                constant = 1;
+            }
+        }
+        if (constant >= 0 && (constant == 1) == qr.outcome) {
+            b.consKept[i] = 0;
+            ++st.constraintsEliminated;
+            continue;
+        }
+        b.consKept[i] = 1;
+        if (isReadKind(qr.kind)) {
+            if (qr.index <= t.writes())
+                b.writeKept[f][qr.index - 1] = 1;
+        } else {
+            maxWriteConsIdx[f] =
+                std::max(maxWriteConsIdx[f], qr.index);
+        }
+    }
+    // A kept write-kind query of index i may address read_{i-s} for any
+    // probed s in [1, cap], so reads 1..i-1 stay addressable.
+    for (std::size_t f = 0; f < nf; ++f) {
+        if (maxWriteConsIdx[f] == 0)
+            continue;
+        const std::uint32_t hi = std::min(maxWriteConsIdx[f] - 1,
+                                          tables[f].reads());
+        for (std::uint32_t r = 1; r <= hi; ++r)
+            b.readKept[f][r - 1] = 1;
+    }
+
+    // Eliminated edges: canonicalized parallel edges plus every
+    // baseline WAR edge whose endpoints are no longer addressable.
+    st.edgesEliminated += b.canonEdgesRemoved;
+    for (std::size_t f = 0; f < nf; ++f) {
+        const FifoTable &t = tables[f];
+        const std::uint32_t s = (*b.in->depths)[f];
+        for (std::uint64_t w = static_cast<std::uint64_t>(s) + 1;
+             w <= t.writes(); ++w) {
+            if (w - s > t.reads())
+                continue;
+            const auto wi = static_cast<std::uint32_t>(w);
+            if (!b.accBlocking[t.writeNodeOf(wi)])
+                continue;
+            if (!b.writeKept[f][wi - 1] ||
+                !b.readKept[f][wi - s - 1])
+                ++st.edgesEliminated;
+        }
+    }
+}
+
+/**
+ * Fold away unpinned nodes with in/out degree <= 1. A pass-through node
+ * u -w1-> v -w2-> x becomes the interval edge u -(w1+w2)-> x; a source
+ * pushes its start into its successor's seed; a sink folds its
+ * completion into its predecessor's extended duration; an isolated node
+ * folds into the constant floor. time[v] = max(seed[v], time[u] + w1)
+ * and v's contribution time[v] + dur[v] are preserved exactly through
+ * seed/dur/floor folding, so survivors' times and the re-finalized
+ * total are bit-identical at every depth vector.
+ */
+void
+chainCollapse(Build &b, PassStats &st)
+{
+    const std::size_t nodesBefore =
+        static_cast<std::size_t>(std::count(b.alive.begin(),
+                                            b.alive.end(), 1));
+    const std::size_t edgesBefore = b.liveEdges;
+
+    std::vector<std::uint32_t> work;
+    for (std::size_t v = 0; v < b.n; ++v)
+        if (b.alive[v] && !b.pinned[v] && b.rin[v].size() <= 1 &&
+            b.out[v].size() <= 1)
+            work.push_back(static_cast<std::uint32_t>(v));
+
+    while (!work.empty()) {
+        const std::uint32_t v = work.back();
+        work.pop_back();
+        if (!b.alive[v] || b.pinned[v] || b.rin[v].size() > 1 ||
+            b.out[v].size() > 1)
+            continue;
+        const bool hasIn = !b.rin[v].empty();
+        const bool hasOut = !b.out[v].empty();
+        if ((hasIn && b.rin[v][0].first == v) ||
+            (hasOut && b.out[v][0].first == v))
+            continue; // self-loop: leave the (infeasible) cycle intact
+
+        b.floor = std::max(b.floor, b.seed[v] + b.dur[v]);
+        if (!hasIn && !hasOut) {
+            b.alive[v] = 0;
+        } else if (!hasIn) {
+            const auto [x, w] = b.out[v][0];
+            b.seed[x] = std::max(b.seed[x], b.seed[v] + w);
+            b.removeEdge(v, x);
+            b.alive[v] = 0;
+            work.push_back(x);
+        } else if (!hasOut) {
+            const auto [u, w] = b.rin[v][0];
+            b.dur[u] = std::max(b.dur[u], w + b.dur[v]);
+            b.removeEdge(u, v);
+            b.alive[v] = 0;
+            work.push_back(u);
+        } else {
+            const auto [u, w1] = b.rin[v][0];
+            const auto [x, w2] = b.out[v][0];
+            b.seed[x] = std::max(b.seed[x], b.seed[v] + w2);
+            b.dur[u] = std::max(b.dur[u], w1 + b.dur[v]);
+            b.removeEdge(u, v);
+            b.removeEdge(v, x);
+            b.addEdge(u, x, w1 + w2);
+            b.alive[v] = 0;
+            work.push_back(u);
+            work.push_back(x);
+        }
+    }
+
+    const std::size_t nodesAfter =
+        static_cast<std::size_t>(std::count(b.alive.begin(),
+                                            b.alive.end(), 1));
+    st.nodesEliminated += nodesBefore - nodesAfter;
+    st.edgesEliminated += edgesBefore - b.liveEdges;
+}
+
+/**
+ * Merge structurally identical unpinned siblings: equal seed and equal
+ * in-edge (source, weight) sets imply equal node times at every depth
+ * vector (unpinned nodes carry no WAR in-edges), so duplicates fold
+ * into a representative via the remap table; extended durations merge
+ * by max, out-edges union. Iterates to a fixed point so identical
+ * loop-iteration subgraphs collapse level by level. Merging preserves
+ * cycles in both directions (any path through a duplicate exists
+ * through the representative and vice versa).
+ */
+void
+dedup(Build &b, PassStats &st)
+{
+    const std::size_t nodesBefore =
+        static_cast<std::size_t>(std::count(b.alive.begin(),
+                                            b.alive.end(), 1));
+    const std::size_t edgesBefore = b.liveEdges;
+
+    std::vector<std::pair<std::uint32_t, Cycles>> canonA, canonB;
+    auto canonIn = [&](std::uint32_t v,
+                       std::vector<std::pair<std::uint32_t, Cycles>>
+                           &dst) {
+        dst = b.rin[v];
+        std::sort(dst.begin(), dst.end());
+    };
+
+    std::vector<std::uint8_t> dirty(b.n, 0);
+    std::vector<std::uint32_t> srcTouched, touchedTargets;
+    for (int round = 0; round < 16; ++round) {
+        struct Cand
+        {
+            std::uint64_t hash;
+            std::uint32_t node;
+        };
+        std::vector<Cand> cands;
+        for (std::size_t v = 0; v < b.n; ++v) {
+            if (!b.alive[v] || b.pinned[v])
+                continue;
+            bool self = false;
+            for (const auto &[src, w] : b.rin[v])
+                if (src == v)
+                    self = true;
+            if (self)
+                continue;
+            canonIn(static_cast<std::uint32_t>(v), canonA);
+            std::uint64_t h = fnv1a(1469598103934665603ull, b.seed[v]);
+            for (const auto &[src, w] : canonA) {
+                h = fnv1a(h, src);
+                h = fnv1a(h, w);
+            }
+            cands.push_back({h, static_cast<std::uint32_t>(v)});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const Cand &a, const Cand &c) {
+                      return a.hash != c.hash ? a.hash < c.hash
+                                              : a.node < c.node;
+                  });
+
+        std::fill(dirty.begin(), dirty.end(), 0);
+        std::size_t merged = 0;
+        for (std::size_t i = 0; i < cands.size();) {
+            std::size_t j = i;
+            while (j < cands.size() && cands[j].hash == cands[i].hash)
+                ++j;
+            // Within one hash run, group by full key. Reps are the
+            // smallest ids (the run is id-sorted), which also keeps the
+            // result independent of hash quality.
+            std::vector<std::uint32_t> reps;
+            for (std::size_t k = i; k < j; ++k) {
+                const std::uint32_t v = cands[k].node;
+                if (dirty[v] || !b.alive[v])
+                    continue;
+                canonIn(v, canonA);
+                std::uint32_t target = kNoNode;
+                for (const std::uint32_t r : reps) {
+                    if (b.seed[r] != b.seed[v])
+                        continue;
+                    canonIn(r, canonB);
+                    if (canonA == canonB) {
+                        target = r;
+                        break;
+                    }
+                }
+                if (target == kNoNode) {
+                    reps.push_back(v);
+                    continue;
+                }
+                // Merge v into target. In-edges are identical; drop
+                // v's copies — but only on the rin side for now, so a
+                // high-fanout shared source is compacted once per
+                // round instead of scanned per duplicate. Out-edges
+                // move over max-merged: exactly on the rin side, via
+                // one append + re-canonicalization per run on the out
+                // side. Nodes whose in-edge list changed get stale
+                // keys this round; they retry next round.
+                b.mergedInto[v] = target;
+                b.dur[target] = std::max(b.dur[target], b.dur[v]);
+                b.liveEdges -= b.rin[v].size();
+                for (const auto &[u, w] : b.rin[v])
+                    srcTouched.push_back(u);
+                b.rin[v].clear();
+                bool movedAny = false;
+                for (const auto &[x, w] : b.out[v]) {
+                    if (!b.alive[x])
+                        continue; // corpse edge, already uncounted
+                    auto &ix = b.rin[x];
+                    std::size_t vi = ix.size(), ti = ix.size();
+                    for (std::size_t p = 0; p < ix.size(); ++p) {
+                        if (ix[p].first == v)
+                            vi = p;
+                        else if (ix[p].first == target)
+                            ti = p;
+                    }
+                    if (ti != ix.size()) {
+                        // target already reaches x: max-merge; the
+                        // duplicate appended below is removed (and
+                        // counted) by the run-end canonicalization.
+                        ix[ti].second = std::max(ix[ti].second, w);
+                        ix[vi] = ix.back();
+                        ix.pop_back();
+                    } else {
+                        ix[vi].first = target;
+                    }
+                    b.out[target].push_back({x, w});
+                    dirty[x] = 1;
+                    movedAny = true;
+                }
+                b.out[v].clear();
+                if (movedAny)
+                    touchedTargets.push_back(target);
+                b.alive[v] = 0;
+                ++merged;
+            }
+            // Re-canonicalize reps that absorbed out-edges (duplicate
+            // (dst) entries from the appends; sorted, so max is last).
+            // Safe point: a rep is only ever a candidate within this
+            // run, so no later run sees the transient parallel edges.
+            for (const std::uint32_t t : touchedTargets) {
+                auto &lst = b.out[t];
+                std::sort(lst.begin(), lst.end());
+                std::size_t keep = 0;
+                for (std::size_t p = 0; p < lst.size(); ++p) {
+                    if (keep > 0 && lst[keep - 1].first == lst[p].first)
+                        lst[keep - 1].second = lst[p].second;
+                    else
+                        lst[keep++] = lst[p];
+                }
+                b.liveEdges -= lst.size() - keep;
+                lst.resize(keep);
+            }
+            touchedTargets.clear();
+            i = j;
+        }
+        if (merged != 0) {
+            // Purge corpse entries (out-edges into merged nodes, whose
+            // counts were already released) from every touched source,
+            // once per round.
+            std::sort(srcTouched.begin(), srcTouched.end());
+            srcTouched.erase(
+                std::unique(srcTouched.begin(), srcTouched.end()),
+                srcTouched.end());
+            for (const std::uint32_t u : srcTouched) {
+                auto &lst = b.out[u];
+                lst.erase(std::remove_if(lst.begin(), lst.end(),
+                                         [&](const auto &e) {
+                                             return !b.alive[e.first];
+                                         }),
+                          lst.end());
+            }
+            srcTouched.clear();
+        }
+        if (merged == 0)
+            break;
+    }
+
+    const std::size_t nodesAfter =
+        static_cast<std::size_t>(std::count(b.alive.begin(),
+                                            b.alive.end(), 1));
+    st.nodesEliminated += nodesBefore - nodesAfter;
+    st.edgesEliminated += edgesBefore - b.liveEdges;
+}
+
+} // namespace omnisim::opt::detail

@@ -538,6 +538,45 @@ SimService::doStats(const Request &req)
     {
         std::lock_guard<std::mutex> lock(cachesMu_);
         b.key("designs_cached").num(caches_.size());
+
+        // Compile-pipeline statistics aggregated over every pooled run
+        // of every cached design: what the optimization passes removed
+        // from the graphs this service is serving probes against.
+        opt::CompileStats agg;
+        bool any = false;
+        for (const auto &[name, dc] : caches_) {
+            if (!dc->cache)
+                continue;
+            const opt::CompileStats s = dc->cache->compileStats();
+            if (s.origNodes == 0)
+                continue; // empty pool
+            if (!any) {
+                agg = s;
+                any = true;
+            } else {
+                agg.accumulate(s);
+            }
+        }
+        b.key("opt").beginObject();
+        b.key("level").str(any ? opt::optLevelName(agg.level) : "none");
+        b.key("orig_nodes").num(agg.origNodes);
+        b.key("opt_nodes").num(agg.optNodes);
+        b.key("orig_edges").num(agg.origEdges);
+        b.key("opt_edges").num(agg.optEdges);
+        b.key("orig_constraints").num(agg.origConstraints);
+        b.key("kept_constraints").num(agg.keptConstraints);
+        b.key("elimination").num(agg.elimination());
+        b.key("passes").beginArray();
+        for (const opt::PassStats &p : agg.passes) {
+            b.beginObject();
+            b.key("pass").str(p.pass);
+            b.key("nodes_eliminated").num(p.nodesEliminated);
+            b.key("edges_eliminated").num(p.edgesEliminated);
+            b.key("constraints_eliminated").num(p.constraintsEliminated);
+            b.endObject();
+        }
+        b.endArray();
+        b.endObject();
     }
     if (store_)
         b.key("store").str(store_->dir());

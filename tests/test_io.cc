@@ -267,6 +267,162 @@ TEST(RunIo, VersionBumpRejected)
     }
 }
 
+TEST(RunIo, V2FilesStillDecodeAndRecompile)
+{
+    // A version-2 image (no compiled-layout section) must keep loading
+    // under the v3 reader: the layout is recompiled on rehydration and
+    // every probe answers bit-identically to the v3 fast path.
+    Compiled c("reconvergent");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+    RunSnapshot snap;
+    ASSERT_TRUE(engine.exportSnapshot(snap));
+    const io::RunFileMeta meta{"reconvergent", "omnisim", 7};
+    const std::string v2 = io::encodeRunV2(meta, snap);
+    const std::string v3 = io::encodeRun(meta, snap);
+    EXPECT_LT(v2.size(), v3.size());
+
+    io::RunFileMeta m2;
+    RunSnapshot s2;
+    std::optional<opt::RunLayout> lay2;
+    io::decodeRun(v2, m2, s2, lay2);
+    EXPECT_FALSE(lay2.has_value());
+    EXPECT_EQ(m2.design, "reconvergent");
+
+    io::RunFileMeta m3;
+    RunSnapshot s3;
+    std::optional<opt::RunLayout> lay3;
+    io::decodeRun(v3, m3, s3, lay3);
+    ASSERT_TRUE(lay3.has_value());
+    EXPECT_EQ(lay3->stats.origNodes, snap.nodes.size());
+    EXPECT_LE(lay3->numNodes, snap.nodes.size());
+
+    TempDir dir("v2compat");
+    const std::string p2 = (fs::path(dir.path) / "v2.omnirun").string();
+    const std::string p3 = (fs::path(dir.path) / "v3.omnirun").string();
+    std::ofstream(p2, std::ios::binary) << v2;
+    std::ofstream(p3, std::ios::binary) << v3;
+    const std::unique_ptr<io::StoredRun> r2 = io::StoredRun::open(p2);
+    const std::unique_ptr<io::StoredRun> r3 = io::StoredRun::open(p3);
+
+    Prng prng(nameSeed("v2compat"));
+    const std::vector<std::uint32_t> base = r2->baseDepths();
+    for (int probe = 0; probe < 32; ++probe) {
+        std::vector<std::uint32_t> depths = base;
+        for (auto &dep : depths)
+            if (prng.below(2) == 0)
+                dep = static_cast<std::uint32_t>(1 + prng.below(12));
+        expectIdentical(r2->resimulate(depths), r3->resimulate(depths),
+                        "v2-vs-v3 probe");
+    }
+}
+
+TEST(RunIo, TruncatedLayoutSectionRejected)
+{
+    // Cut bytes out of the v3 layout section while keeping the header
+    // (size + checksum) honest, so only the section parser itself can
+    // object — it must throw FatalError, never crash.
+    Compiled c("fifo_chain");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+    RunSnapshot snap;
+    ASSERT_TRUE(engine.exportSnapshot(snap));
+    const std::string v3 = io::encodeRun({"fifo_chain", "omnisim", 1},
+                                         snap);
+    const std::string v2 = io::encodeRunV2({"fifo_chain", "omnisim", 1},
+                                           snap);
+    const std::size_t hdr = 8 + 4 + 8 + 8;
+    const std::size_t layoutBytes =
+        (v3.size() - hdr) - (v2.size() - hdr);
+    ASSERT_GT(layoutBytes, 16u);
+
+    for (std::size_t cut = 1; cut < layoutBytes; cut += 1 + cut / 13) {
+        const std::string payload =
+            v3.substr(hdr, v3.size() - hdr - cut);
+        io::ByteWriter file;
+        file.raw(io::kRunMagic, sizeof(io::kRunMagic));
+        file.u32(io::kRunFormatVersion);
+        file.u64(io::fnv1a(payload));
+        file.u64(payload.size());
+        file.raw(payload.data(), payload.size());
+        io::RunFileMeta meta;
+        RunSnapshot out;
+        std::optional<opt::RunLayout> lay;
+        EXPECT_THROW(io::decodeRun(file.take(), meta, out, lay),
+                     FatalError)
+            << "cut " << cut << " bytes";
+    }
+}
+
+TEST(RunIo, LayoutInvariantViolationsRejected)
+{
+    // A checksum-intact layout section whose content breaks a solver
+    // invariant must be rejected by validateRunLayout — these are the
+    // invariants evalConstraint's unchecked indexing relies on.
+    // fig4_ex5 keeps most of its recorded constraints at -O1, so
+    // the constraint-shaped tampers below actually exercise the checks.
+    Compiled c("fig4_ex5");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+    RunSnapshot snap;
+    ASSERT_TRUE(engine.exportSnapshot(snap));
+    const std::string v3 = io::encodeRun({"fig4_ex5", "omnisim", 1},
+                                         snap);
+    io::RunFileMeta meta;
+    RunSnapshot out;
+    std::optional<opt::RunLayout> lay;
+    io::decodeRun(v3, meta, out, lay);
+    ASSERT_TRUE(lay.has_value());
+    EXPECT_NO_THROW(io::validateRunLayout(out, *lay));
+
+    {
+        opt::RunLayout bad = *lay;
+        bad.numNodes = out.nodes.size() + 1;
+        EXPECT_THROW(io::validateRunLayout(out, bad), FatalError);
+    }
+    {
+        opt::RunLayout bad = *lay;
+        ASSERT_FALSE(bad.remap.empty());
+        bad.remap.pop_back();
+        EXPECT_THROW(io::validateRunLayout(out, bad), FatalError);
+    }
+    {
+        opt::RunLayout bad = *lay;
+        bad.edges.push_back({bad.numNodes + 3, 0, 1});
+        EXPECT_THROW(io::validateRunLayout(out, bad), FatalError);
+    }
+    {
+        opt::RunLayout bad = *lay;
+        ASSERT_FALSE(bad.fifos.empty());
+        bad.fifos[0].readNode.push_back(0);
+        EXPECT_THROW(io::validateRunLayout(out, bad), FatalError);
+    }
+    {
+        opt::RunLayout bad = *lay;
+        ASSERT_FALSE(bad.cons.empty());
+        bad.cons.back().origIndex =
+            static_cast<std::uint32_t>(out.constraints.size());
+        EXPECT_THROW(io::validateRunLayout(out, bad), FatalError);
+    }
+    if (lay->cons.size() >= 2) {
+        opt::RunLayout bad = *lay;
+        std::swap(bad.cons.front().origIndex, bad.cons.back().origIndex);
+        EXPECT_THROW(io::validateRunLayout(out, bad), FatalError);
+    }
+    // Drop a kept read query's pinned target write entry.
+    for (const opt::LayoutCons &cons : lay->cons) {
+        const QueryRecord &qr = out.constraints[cons.origIndex];
+        if ((qr.kind == EventKind::FifoNbRead ||
+             qr.kind == EventKind::FifoCanRead) &&
+            qr.index <= lay->fifos[qr.fifo].writeNode.size()) {
+            opt::RunLayout bad = *lay;
+            bad.fifos[qr.fifo].writeNode[qr.index - 1] = opt::kNoNode;
+            EXPECT_THROW(io::validateRunLayout(out, bad), FatalError);
+            break;
+        }
+    }
+}
+
 TEST(RunIo, BadMagicRejected)
 {
     io::RunFileMeta meta;

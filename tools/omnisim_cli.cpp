@@ -7,6 +7,7 @@
  * Usage:
  *   omnisim_cli list
  *   omnisim_cli info    <design>
+ *   omnisim_cli dot     <design> [--optimized]
  *   omnisim_cli run     <design> [--engine csim|cosim|lightning|omnisim]
  *                                [--depth FIFO=N]... [--lazy] [--rtl-cost]
  *   omnisim_cli sweep   <design> (--fifo NAME [--from A] [--to B])...
@@ -18,8 +19,13 @@
  *   omnisim_cli batch   [--jobs N] [--engines csim,cosim,lightning,omnisim]
  *                       [--seeds K] [--designs a,b,...]
  *   omnisim_cli serve   [--jobs N] [--store DIR] [--socket PATH]
+ *   omnisim_cli fuzz    [--seed S] [--count N] [--jobs N] [--probes K]
+ *                       [--budget SEC] [--no-shrink] [--replay SPEC]
  *
- * serve/dse/batch print focused usage on --help or malformed flags.
+ * dot renders the module/FIFO graph; with --optimized it simulates the
+ * design once and renders the -O1 compiled run graph instead (diffable
+ * against the -O0 trace; see src/opt/).
+ * serve/dse/batch/fuzz print focused usage on --help or malformed flags.
  */
 
 #include <algorithm>
@@ -77,7 +83,7 @@ usage()
                  "details)\n"
                  "  omnisim_cli fuzz ...               (fuzz --help for "
                  "details)\n"
-                 "  omnisim_cli dot <design>\n");
+                 "  omnisim_cli dot <design> [--optimized]\n");
     return 2;
 }
 
@@ -907,9 +913,9 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     std::vector<std::string> rest(argv + 2, argv + argc);
 
-    // serve/dse/batch answer --help with their focused usage on stdout
-    // (exit 0); their malformed invocations print the same text to
-    // stderr (exit 2) instead of the generic top-level blob.
+    // serve/dse/batch/fuzz answer --help with their focused usage on
+    // stdout (exit 0); their malformed invocations print the same text
+    // to stderr (exit 2) instead of the generic top-level blob.
     if (const char *text = subcommandUsage(cmd); text && wantsHelp(rest)) {
         std::fputs(text, stdout);
         return 0;
@@ -921,8 +927,14 @@ main(int argc, char **argv)
         if (cmd == "info" && !rest.empty())
             return cmdInfo(rest[0]);
         if (cmd == "dot" && !rest.empty()) {
-            Design d = designs::findDesign(rest[0]).build();
-            std::fputs(toDot(d).c_str(), stdout);
+            const Design d = designs::findDesign(rest[0]).build();
+            const bool optimized =
+                std::find(rest.begin() + 1, rest.end(), "--optimized") !=
+                rest.end();
+            std::fputs(optimized
+                           ? toDotRun(d, opt::OptLevel::O1).c_str()
+                           : toDot(d).c_str(),
+                       stdout);
             return 0;
         }
         if (cmd == "run" && !rest.empty()) {
