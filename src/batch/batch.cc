@@ -8,6 +8,8 @@
 
 #include "core/omnisim.hh"
 #include "cosim/cosim.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "csim/csim.hh"
 #include "design/frontend.hh"
 #include "designs/common.hh"
@@ -132,6 +134,16 @@ dispatch(EngineKind engine, const CompiledDesign &cd)
 ScenarioOutcome
 runScenario(const Scenario &s)
 {
+    static obs::Counter &mScenarios =
+        obs::Registry::global().counter("batch.scenarios");
+    static obs::Counter &mFailed =
+        obs::Registry::global().counter("batch.scenario_failures");
+    static obs::Histogram &mScenarioUs =
+        obs::Registry::global().histogram("batch.scenario_us");
+    OMNISIM_SPAN("batch.scenario");
+    obs::ScopedLatencyUs timer(mScenarioUs);
+    mScenarios.add();
+
     ScenarioOutcome out;
     out.scenario = s;
     Stopwatch sw;
@@ -143,6 +155,7 @@ runScenario(const Scenario &s)
     } catch (const std::exception &e) {
         out.failed = true;
         out.error = e.what();
+        mFailed.add();
     }
     out.seconds = sw.seconds();
     return out;
@@ -202,6 +215,7 @@ BatchRunner::forEachIndex(std::size_t n,
 BatchReport
 BatchRunner::run(const std::vector<Scenario> &scenarios) const
 {
+    OMNISIM_SPAN("batch.run");
     BatchReport rep;
     rep.jobs = jobs_;
     rep.outcomes.resize(scenarios.size());

@@ -14,6 +14,8 @@
 #include "graph/csr.hh"
 #include "graph/longest_path.hh"
 #include "graph/war.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/axi.hh"
 #include "runtime/memory.hh"
 #include "runtime/timing.hh"
@@ -835,13 +837,20 @@ class PerfSim
                     // have issued its next iteration's ops and possibly
                     // made progress where the serialized engine cannot.
                     gs_.deadlock = true;
-                    gs_.deadlockCycle = maxCommittedCycle();
                     for (std::size_t m = 0; m < gs_.floors.size(); ++m)
                         if (gs_.floors[m] != kFloorDone &&
                             gs_.retroOpen[m])
                             gs_.deadlockRetroSuspect = true;
                     gs_.abort.store(true);
                     gs_.funcCv.notify_all();
+                    // Per-FIFO locks only with the global lock dropped
+                    // (same discipline as the resolution pass): paused
+                    // threads acquire fs.mu then gs_.mu, so taking them
+                    // here nested would invert the order. deadlockCycle
+                    // is safe to write unlocked — only the main thread
+                    // reads it, after joining this one.
+                    g.unlock();
+                    gs_.deadlockCycle = maxCommittedCycle();
                     wakeAllFifos();
                     return;
                 }
@@ -958,6 +967,19 @@ OmniSim::~OmniSim() = default;
 SimResult
 OmniSim::run()
 {
+    // Resolved once; the registry hands back process-lifetime references.
+    static obs::Counter &mRuns =
+        obs::Registry::global().counter("engine.omnisim.runs");
+    static obs::Counter &mEvents =
+        obs::Registry::global().counter("engine.omnisim.events");
+    static obs::Counter &mQueries =
+        obs::Registry::global().counter("engine.omnisim.queries");
+    static obs::Histogram &mRunUs =
+        obs::Registry::global().histogram("engine.omnisim.run_us");
+    OMNISIM_SPAN("omnisim.run");
+    obs::ScopedLatencyUs runTimer(mRunUs);
+    mRuns.add();
+
     const Design &design = cd_.d();
     const std::size_t nmods = design.modules().size();
     const std::size_t nfifos = design.fifos().size();
@@ -1044,20 +1066,25 @@ OmniSim::run()
     };
 
     // §6.2 step 1: invoke all threads — Func Sim and Perf Sim.
-    std::vector<std::thread> workers;
-    workers.reserve(nmods);
-    for (ModuleId m : cd_.threadPlan)
-        workers.emplace_back(funcMain, m);
-    std::thread perf{PerfSim(gs, fifos)};
-
-    for (auto &w : workers)
-        w.join();
     {
-        // Ensure the Perf thread observes live == 0 and exits.
-        std::lock_guard<std::mutex> g(gs.mu);
-        gs.perfCv.notify_all();
+        OMNISIM_SPAN("omnisim.execute");
+        std::vector<std::thread> workers;
+        workers.reserve(nmods);
+        for (ModuleId m : cd_.threadPlan)
+            workers.emplace_back(funcMain, m);
+        std::thread perf{PerfSim(gs, fifos)};
+
+        for (auto &w : workers)
+            w.join();
+        {
+            // Ensure the Perf thread observes live == 0 and exits.
+            std::lock_guard<std::mutex> g(gs.mu);
+            gs.perfCv.notify_all();
+        }
+        perf.join();
     }
-    perf.join();
+
+    OMNISIM_SPAN("omnisim.finalize");
 
     // ---- Finalization (§6.2): merge thread logs, rebuild timing -----
     data_ = std::make_unique<RunData>();
@@ -1087,6 +1114,9 @@ OmniSim::run()
     rd.tables.reserve(nfifos);
     for (auto &fs : fifos)
         rd.tables.push_back(std::move(fs.table));
+
+    mEvents.add(events);
+    mQueries.add(gs.queries);
 
     SimResult &r = rd.result;
     r.stats.events = events;
@@ -1134,9 +1164,12 @@ OmniSim::run()
     // topological order + baseline longest-path times, computed once.
     // resimulate() serves every later depth vector from this compiled
     // form.
-    rd.compiled = std::make_unique<CompiledRun>(
-        rd.nodes, rd.edges, rd.seed, rd.tables, depths, rd.constraints,
-        rd.tailNode, rd.tailSlack, opts_.optLevel);
+    {
+        OMNISIM_SPAN("omnisim.freeze");
+        rd.compiled = std::make_unique<CompiledRun>(
+            rd.nodes, rd.edges, rd.seed, rd.tables, depths, rd.constraints,
+            rd.tailNode, rd.tailSlack, opts_.optLevel);
+    }
     r.stats.graphNodes = nnodes;
     r.stats.graphEdges = rd.compiled->numEdges();
 
@@ -1210,6 +1243,25 @@ OmniSim::run()
 IncrementalOutcome
 OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
 {
+    static obs::Counter &mAttempts =
+        obs::Registry::global().counter("engine.resim.attempts");
+    static obs::Counter &mDelta =
+        obs::Registry::global().counter("engine.resim.delta");
+    static obs::Counter &mFullRelax =
+        obs::Registry::global().counter("engine.resim.full_relax");
+    static obs::Counter &mDiverged =
+        obs::Registry::global().counter("engine.resim.diverged");
+    static obs::Counter &mInfeasible =
+        obs::Registry::global().counter("engine.resim.infeasible");
+    static obs::Counter &mReused =
+        obs::Registry::global().counter("engine.resim.reused");
+    static obs::Histogram &mConeNodes =
+        obs::Registry::global().histogram("engine.resim.cone_nodes");
+    static obs::Histogram &mResimUs =
+        obs::Registry::global().histogram("engine.resim.us");
+    OMNISIM_SPAN("omnisim.resimulate");
+    obs::ScopedLatencyUs resimTimer(mResimUs);
+
     IncrementalOutcome out;
     if (!data_ || !data_->valid) {
         out.reason = "no prior successful run";
@@ -1221,14 +1273,22 @@ OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
     omnisim_assert(rd.compiled != nullptr, "valid run has no compiled form");
 
     const CompiledRun::Attempt a = rd.compiled->resimulate(depths);
+    mAttempts.add();
+    if (a.viaDelta)
+        mDelta.add();
+    else
+        mFullRelax.add(); // fell back to a full Kahn relaxation pass
+    mConeNodes.record(a.relaxedNodes);
     out.viaCompiled = true;
     out.viaDelta = a.viaDelta;
     switch (a.status) {
       case CompiledRun::Attempt::Status::Infeasible:
+        mInfeasible.add();
         out.reason = "new depths make the recorded timing infeasible "
                      "(potential deadlock) — full re-simulation required";
         return out;
       case CompiledRun::Attempt::Status::Diverged: {
+        mDiverged.add();
         const QueryRecord &qr = rd.constraints[a.constraintIndex];
         out.reason = strf(
             "constraint violated: %s #%u on fifo '%s' would now "
@@ -1238,6 +1298,7 @@ OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
         return out;
       }
       case CompiledRun::Attempt::Status::Reused:
+        mReused.add();
         out.reused = true;
         out.result = rd.result;
         out.result.totalCycles = a.totalCycles;

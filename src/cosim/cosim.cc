@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "design/context.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/axi.hh"
 #include "runtime/fifo_table.hh"
 #include "runtime/memory.hh"
@@ -720,6 +722,14 @@ moduleThread(CosimShared &sh, ModuleId mod)
 SimResult
 simulateCosim(const CompiledDesign &cd, const CosimOptions &opts)
 {
+    static obs::Counter &mRuns =
+        obs::Registry::global().counter("engine.cosim.runs");
+    static obs::Histogram &mRunUs =
+        obs::Registry::global().histogram("engine.cosim.run_us");
+    OMNISIM_SPAN("cosim.run");
+    obs::ScopedLatencyUs runTimer(mRunUs);
+    mRuns.add();
+
     const Design &design = cd.d();
     CosimShared sh(cd, opts);
 

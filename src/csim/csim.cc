@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "design/context.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/memory.hh"
 #include "support/logging.hh"
 
@@ -223,6 +225,14 @@ class CSimContext : public Context
 SimResult
 simulateCSim(const CompiledDesign &cd, const CSimOptions &opts)
 {
+    static obs::Counter &mRuns =
+        obs::Registry::global().counter("engine.csim.runs");
+    static obs::Histogram &mRunUs =
+        obs::Registry::global().histogram("engine.csim.run_us");
+    OMNISIM_SPAN("csim.run");
+    obs::ScopedLatencyUs runTimer(mRunUs);
+    mRuns.add();
+
     const Design &design = cd.d();
     MemoryPool pool = design.makeMemoryPool();
     CSimContext ctx(design, pool, opts);

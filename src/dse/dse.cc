@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "batch/batch.hh"
 #include "design/design.hh"
 #include "designs/common.hh"
 #include "dse/strategies.hh"
 #include "io/run_store.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
 
@@ -217,9 +219,33 @@ EvalCache::storedWarmStarts() const
     return storedWarmStarts_;
 }
 
+void
+EvalCache::setMetricsLabel(const std::string &label)
+{
+    labelHist_.store(
+        &obs::Registry::global().histogram("dse.eval_us." + label),
+        std::memory_order_release);
+}
+
 Evaluation
 EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
 {
+    static obs::Counter &mMemoHits =
+        obs::Registry::global().counter("dse.evalcache.memo_hits");
+    static obs::Counter &mIncremental =
+        obs::Registry::global().counter("dse.evalcache.incremental");
+    static obs::Counter &mDelta =
+        obs::Registry::global().counter("dse.evalcache.delta");
+    static obs::Counter &mFullRuns =
+        obs::Registry::global().counter("dse.evalcache.full_runs");
+    static obs::Histogram &mEvalUs =
+        obs::Registry::global().histogram("dse.eval_us");
+    OMNISIM_SPAN("dse.evaluate");
+    obs::ScopedLatencyUs evalTimer(mEvalUs);
+    std::optional<obs::ScopedLatencyUs> labelTimer;
+    if (obs::Histogram *lh = labelHist_.load(std::memory_order_acquire))
+        labelTimer.emplace(*lh);
+
     if (depths.size() != fifoCount_)
         omnisim_fatal("depth vector has %zu entries; design has %zu FIFOs",
                       depths.size(), fifoCount_);
@@ -232,6 +258,7 @@ EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
         std::lock_guard<std::mutex> lock(mu_);
         if (const auto it = done_.find(depths); it != done_.end()) {
             ++cacheHits_;
+            mMemoHits.add();
             Evaluation e = it->second;
             e.fromMemo = true;
             return e;
@@ -248,10 +275,14 @@ EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
     if (inserted) {
         if (fresh.method == EvalMethod::Incremental) {
             ++incrementalHits_;
-            if (fresh.viaDelta)
+            mIncremental.add();
+            if (fresh.viaDelta) {
                 ++deltaHits_;
+                mDelta.add();
+            }
         } else {
             ++fullRuns_;
+            mFullRuns.add();
         }
     }
     return it->second;
@@ -517,7 +548,13 @@ explore(const std::string &designLabel,
         rep.fifoNames.push_back(f.name);
     rep.axes = space.axes;
 
+    OMNISIM_SPAN("dse.explore");
+    static obs::Counter &mExplores =
+        obs::Registry::global().counter("dse.explores");
+    mExplores.add();
+
     EvalCache cache(builder, opts.engine);
+    cache.setMetricsLabel(strategy->name());
     if (opts.store)
         cache.attachStore(opts.store,
                           opts.storeDesign.empty() ? designLabel

@@ -26,6 +26,7 @@
 #ifndef OMNISIM_DSE_DSE_HH
 #define OMNISIM_DSE_DSE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -36,6 +37,7 @@
 
 #include "core/omnisim.hh"
 #include "design/frontend.hh"
+#include "obs/metrics.hh"
 #include "runtime/result.hh"
 
 namespace omnisim::io
@@ -241,6 +243,14 @@ class EvalCache
     /** @return a snapshot of every unique evaluation (unspecified order). */
     std::vector<Evaluation> evaluations() const;
 
+    /**
+     * Tag this cache's evaluations with a telemetry label: latencies
+     * land in the `dse.eval_us.<label>` histogram in addition to the
+     * global `dse.eval_us` one. explore() labels by strategy name so
+     * per-strategy evaluation cost can be compared on a live service.
+     */
+    void setMetricsLabel(const std::string &label);
+
     /** @return compile-pipeline statistics accumulated over every
      *  pooled completed run — live engines and store-rehydrated runs
      *  alike (both freeze through the same pass pipeline). Empty when
@@ -272,6 +282,10 @@ class EvalCache
     std::size_t fullRuns_ = 0;
     std::size_t cacheHits_ = 0;
     std::size_t storedWarmStarts_ = 0;
+
+    // Optional per-label latency histogram (see setMetricsLabel);
+    // registry-owned, stable for the process lifetime.
+    std::atomic<obs::Histogram *> labelHist_{nullptr};
 };
 
 /** Exploration configuration. */

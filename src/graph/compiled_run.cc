@@ -486,6 +486,7 @@ CompiledRun::finishWithTimes(const std::vector<Cycles> &time,
                              const std::vector<std::uint32_t> &depths) const
 {
     Attempt a;
+    a.relaxedNodes = time.size();
     for (std::size_t i = 0; i < lay_.cons.size(); ++i) {
         const bool now = evalConstraint(i, time, depths);
         if (now != lay_.cons[i].outcome) {
@@ -558,6 +559,7 @@ CompiledRun::resimulate(const std::vector<std::uint32_t> &depths) const
     // Checked in recorded order so the first reported divergence is
     // bit-identical to the full pass.
     a.viaDelta = true;
+    a.relaxedNodes = changedNodes.size();
     std::vector<std::uint32_t> inds(baselineDivergent_);
     for (const std::size_t f : changedFifos)
         inds.insert(inds.end(), writeConsByFifo_[f].begin(),

@@ -98,6 +98,11 @@ class CompiledRun
         /** True when the delta worklist served the attempt without a
          *  full relaxation pass (the compiled fast path). */
         bool viaDelta = false;
+
+        /** Nodes whose times were recomputed: the affected cone on the
+         *  delta path, every node on a full relaxation, 0 when the
+         *  depths were unchanged. Telemetry feeds on this. */
+        std::size_t relaxedNodes = 0;
     };
 
     /**

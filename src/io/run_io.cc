@@ -655,7 +655,9 @@ validateRunLayout(const RunSnapshot &snap, const opt::RunLayout &layout)
             omnisim_fatal("run layout invalid: fifo '%s' access map "
                           "arity mismatch (%zu/%zu reads, %zu/%zu "
                           "writes)", t.label(), fl.readNode.size(),
-                          t.reads(), fl.writeNode.size(), t.writes());
+                          static_cast<std::size_t>(t.reads()),
+                          fl.writeNode.size(),
+                          static_cast<std::size_t>(t.writes()));
         for (const std::uint32_t v : fl.readNode)
             if (v != opt::kNoNode && v >= n)
                 omnisim_fatal("run layout invalid: fifo '%s' read entry "

@@ -9,6 +9,8 @@
 #include <system_error>
 
 #include "io/serial.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace fs = std::filesystem;
@@ -78,10 +80,39 @@ RunStore::pathFor(const std::string &design, const std::string &engine,
         .string();
 }
 
+namespace {
+
+// Store instrumentation handles, resolved once per process.
+struct StoreMetrics
+{
+    obs::Counter &publishes =
+        obs::Registry::global().counter("store.publishes");
+    obs::Counter &publishFails =
+        obs::Registry::global().counter("store.publish_fails");
+    obs::Counter &loadHits =
+        obs::Registry::global().counter("store.load_hits");
+    obs::Counter &loadMisses =
+        obs::Registry::global().counter("store.load_misses");
+    obs::Histogram &publishUs =
+        obs::Registry::global().histogram("store.publish_us");
+
+    static StoreMetrics &get()
+    {
+        static StoreMetrics m;
+        return m;
+    }
+};
+
+} // namespace
+
 bool
 RunStore::publish(const std::string &design, const std::string &engine,
                   std::uint64_t fingerprint, const RunSnapshot &snap) const
 {
+    StoreMetrics &sm = StoreMetrics::get();
+    OMNISIM_SPAN("store.publish");
+    obs::ScopedLatencyUs timer(sm.publishUs);
+
     RunFileMeta meta;
     meta.design = design;
     meta.engine = engine;
@@ -94,6 +125,7 @@ RunStore::publish(const std::string &design, const std::string &engine,
     std::FILE *f = std::fopen(tmpPath.c_str(), "wb");
     if (!f) {
         warn(strf("run store: cannot write '%s'", tmpPath.c_str()));
+        sm.publishFails.add();
         return false;
     }
     const bool wrote =
@@ -103,6 +135,7 @@ RunStore::publish(const std::string &design, const std::string &engine,
         std::remove(tmpPath.c_str());
         warn(strf("run store: short write publishing '%s'",
                   finalPath.c_str()));
+        sm.publishFails.add();
         return false;
     }
 
@@ -112,8 +145,10 @@ RunStore::publish(const std::string &design, const std::string &engine,
         std::remove(tmpPath.c_str());
         warn(strf("run store: cannot publish '%s' (%s)",
                   finalPath.c_str(), ec.message().c_str()));
+        sm.publishFails.add();
         return false;
     }
+    sm.publishes.add();
     return true;
 }
 
@@ -122,21 +157,28 @@ RunStore::load(const std::string &design, const std::string &engine,
                std::uint64_t fingerprint,
                const std::vector<std::uint32_t> &depths) const
 {
+    StoreMetrics &sm = StoreMetrics::get();
     const std::string path = pathFor(design, engine, depths);
     std::error_code ec;
-    if (!fs::exists(path, ec) || ec)
+    if (!fs::exists(path, ec) || ec) {
+        sm.loadMisses.add();
         return nullptr;
+    }
     try {
         std::unique_ptr<StoredRun> run = StoredRun::open(path);
         if (run->meta().design != design ||
             run->meta().engine != engine ||
             run->meta().fingerprint != fingerprint ||
-            run->baseDepths() != depths)
+            run->baseDepths() != depths) {
+            sm.loadMisses.add();
             return nullptr; // stale design or a depth-hash collision
+        }
+        sm.loadHits.add();
         return run;
     } catch (const FatalError &e) {
         warn(strf("run store: ignoring unreadable '%s': %s",
                   path.c_str(), e.what()));
+        sm.loadMisses.add();
         return nullptr;
     }
 }
@@ -145,6 +187,8 @@ std::vector<std::unique_ptr<StoredRun>>
 RunStore::loadAll(const std::string &design, const std::string &engine,
                   std::uint64_t fingerprint, std::size_t maxCount) const
 {
+    StoreMetrics &sm = StoreMetrics::get();
+    OMNISIM_SPAN("store.load_all");
     std::vector<std::unique_ptr<StoredRun>> out;
     const std::string prefix = prefixFor(design, engine);
 
@@ -176,6 +220,7 @@ RunStore::loadAll(const std::string &design, const std::string &engine,
                       path.c_str(), e.what()));
         }
     }
+    sm.loadHits.add(out.size());
     return out;
 }
 

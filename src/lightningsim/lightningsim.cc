@@ -5,6 +5,8 @@
 
 #include "design/context.hh"
 #include "graph/longest_path.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "graph/war.hh"
 #include "runtime/axi.hh"
 #include "runtime/memory.hh"
@@ -353,6 +355,14 @@ LightningSim::trace() const
 SimResult
 simulateLightningSim(const CompiledDesign &cd)
 {
+    static obs::Counter &mRuns =
+        obs::Registry::global().counter("engine.lightningsim.runs");
+    static obs::Histogram &mRunUs =
+        obs::Registry::global().histogram("engine.lightningsim.run_us");
+    OMNISIM_SPAN("lightningsim.run");
+    obs::ScopedLatencyUs runTimer(mRunUs);
+    mRuns.add();
+
     LightningSim ls(cd);
     return ls.run();
 }

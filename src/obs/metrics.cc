@@ -1,0 +1,324 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+namespace omnisim {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> gTelemetryEnabled{true};
+
+} // namespace
+
+bool telemetryEnabled() {
+    return gTelemetryEnabled.load(std::memory_order_relaxed);
+}
+
+void setTelemetryEnabled(bool on) {
+    gTelemetryEnabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t threadShardIndex() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucketIndex(std::uint64_t v) {
+    if (v < 8)
+        return static_cast<std::size_t>(v);
+    // msb in [3,63]; 4 sub-buckets per power of two from the two bits below
+    // the msb. Max index: 8 + (63-3)*4 + 3 = 251.
+    const int msb = std::bit_width(v) - 1;
+    const std::uint64_t sub = (v >> (msb - 2)) & 3;
+    return 8 + static_cast<std::size_t>(msb - 3) * 4 +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucketLo(std::size_t idx) {
+    if (idx < 8)
+        return idx;
+    const std::size_t g = (idx - 8) / 4;
+    const std::uint64_t sub = (idx - 8) % 4;
+    const int msb = static_cast<int>(g) + 3;
+    return (std::uint64_t{1} << msb) + (sub << (msb - 2));
+}
+
+std::uint64_t Histogram::bucketHi(std::size_t idx) {
+    if (idx < 8)
+        return idx;
+    if (idx + 1 >= kBuckets)
+        return ~std::uint64_t{0};
+    return bucketLo(idx + 1) - 1;
+}
+
+void Histogram::record(std::uint64_t v) {
+    if (!telemetryEnabled())
+        return;
+    Shard &s = shards_[detail::threadShardIndex() % kShards];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    s.buckets[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+    Snapshot snap;
+    for (std::size_t i = 0; i < kShards; ++i) {
+        const Shard &s = shards_[i];
+        snap.count += s.count.load(std::memory_order_relaxed);
+        snap.sum += s.sum.load(std::memory_order_relaxed);
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    if (snap.count) {
+        snap.min = min_.load(std::memory_order_relaxed);
+        snap.max = max_.load(std::memory_order_relaxed);
+        if (snap.min == ~std::uint64_t{0})
+            snap.min = 0; // racy snapshot during first record; degrade sanely
+    }
+    return snap;
+}
+
+void Histogram::reset() {
+    for (std::size_t i = 0; i < kShards; ++i) {
+        Shard &s = shards_[i];
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The extremes are tracked exactly; don't pay bucket error there.
+    if (q == 0.0)
+        return static_cast<double>(min);
+    if (q == 1.0)
+        return static_cast<double>(max);
+    const double rank = q * static_cast<double>(count - 1);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t c = buckets[b];
+        if (c == 0)
+            continue;
+        if (rank < static_cast<double>(cum + c)) {
+            const double within = (rank - static_cast<double>(cum)) + 0.5;
+            const double frac = within / static_cast<double>(c);
+            const double lo = static_cast<double>(bucketLo(b));
+            const double hi = static_cast<double>(bucketHi(b)) + 1.0;
+            double v = lo + frac * (hi - lo);
+            v = std::min(v, static_cast<double>(max));
+            v = std::max(v, static_cast<double>(min));
+            return v;
+        }
+        cum += c;
+    }
+    return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry &Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+Counter &Registry::counter(const std::string &name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &Registry::gauge(const std::string &name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &Registry::histogram(const std::string &name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void Registry::resetAll() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &kv : counters_)
+        kv.second->reset();
+    for (auto &kv : gauges_)
+        kv.second->reset();
+    for (auto &kv : histograms_)
+        kv.second->reset();
+}
+
+namespace {
+
+void appendJsonString(std::string &out, const std::string &s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void appendDouble(std::string &out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    out += buf;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots become
+/// underscores; anything else unexpected does too.
+std::string promName(const std::string &name) {
+    std::string out = "omnisim_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string Registry::toJson() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &kv : counters_) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, kv.first);
+        out += ':';
+        out += std::to_string(kv.second->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &kv : gauges_) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, kv.first);
+        out += ':';
+        out += std::to_string(kv.second->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &kv : histograms_) {
+        const Histogram::Snapshot snap = kv.second->snapshot();
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, kv.first);
+        out += ":{\"count\":" + std::to_string(snap.count);
+        out += ",\"sum\":" + std::to_string(snap.sum);
+        out += ",\"min\":" + std::to_string(snap.min);
+        out += ",\"max\":" + std::to_string(snap.max);
+        out += ",\"mean\":";
+        appendDouble(out, snap.mean());
+        out += ",\"p50\":";
+        appendDouble(out, snap.quantile(0.50));
+        out += ",\"p90\":";
+        appendDouble(out, snap.quantile(0.90));
+        out += ",\"p99\":";
+        appendDouble(out, snap.quantile(0.99));
+        out += ",\"buckets\":[";
+        bool firstBucket = true;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            if (!snap.buckets[b])
+                continue;
+            if (!firstBucket)
+                out += ',';
+            firstBucket = false;
+            out += '[' + std::to_string(Histogram::bucketLo(b)) + ',' +
+                   std::to_string(snap.buckets[b]) + ']';
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string Registry::toPrometheus() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out;
+    for (const auto &kv : counters_) {
+        const std::string n = promName(kv.first);
+        out += "# TYPE " + n + " counter\n";
+        out += n + ' ' + std::to_string(kv.second->value()) + '\n';
+    }
+    for (const auto &kv : gauges_) {
+        const std::string n = promName(kv.first);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + ' ' + std::to_string(kv.second->value()) + '\n';
+    }
+    for (const auto &kv : histograms_) {
+        const Histogram::Snapshot snap = kv.second->snapshot();
+        const std::string n = promName(kv.first);
+        out += "# TYPE " + n + " summary\n";
+        for (double q : {0.50, 0.90, 0.99}) {
+            char qb[16];
+            std::snprintf(qb, sizeof(qb), "%.2f", q);
+            out += n + "{quantile=\"" + qb + "\"} ";
+            appendDouble(out, snap.quantile(q));
+            out += '\n';
+        }
+        out += n + "_sum " + std::to_string(snap.sum) + '\n';
+        out += n + "_count " + std::to_string(snap.count) + '\n';
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace omnisim

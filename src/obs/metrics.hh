@@ -1,0 +1,221 @@
+// Process-wide telemetry: named counters, gauges, and log-bucketed latency
+// histograms, cheap enough to stay enabled in production.
+//
+// Design constraints (see README "Observability"):
+//   - The hot path (Counter::add, Histogram::record) takes no locks: writers
+//     land on sharded cache-line-padded atomics picked by a thread-local
+//     shard index, so concurrent writers do not contend.
+//   - Instrument names are dotted lowercase ("serve.request_us.simulate");
+//     histograms carry a unit suffix (_us, _ns, _nodes).
+//   - Registry::counter/gauge/histogram take a mutex and return a reference
+//     that is stable for the life of the process. Hot call sites resolve the
+//     handle once (constructor / static) and keep the pointer; they must not
+//     re-resolve per event.
+//   - Recording respects the global telemetry switch (setTelemetryEnabled);
+//     reads (value/snapshot) always work.
+#ifndef OMNISIM_OBS_METRICS_HH
+#define OMNISIM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace omnisim {
+namespace obs {
+
+/// Global kill switch. Defaults to enabled; benches flip it to measure
+/// instrumentation overhead. Affects writes only.
+bool telemetryEnabled();
+void setTelemetryEnabled(bool on);
+
+namespace detail {
+/// Stable per-thread index used to spread writers across shards.
+std::size_t threadShardIndex();
+} // namespace detail
+
+/// Monotonic counter. Writers add into one of kShards cache-line-padded
+/// atomics; value() folds the shards.
+class Counter {
+public:
+    static constexpr std::size_t kShards = 16;
+
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void add(std::uint64_t n = 1) {
+        if (!telemetryEnabled())
+            return;
+        shards_[detail::threadShardIndex() % kShards].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const {
+        std::uint64_t total = 0;
+        for (const auto &s : shards_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void reset() {
+        for (auto &s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Shard shards_[kShards];
+};
+
+/// Signed instantaneous value (in-flight requests, resident pool size).
+/// Gauges track a live level, not a rate, so they ignore the telemetry
+/// switch: a paired add/sub that straddled a toggle would wedge the level.
+class Gauge {
+public:
+    Gauge() = default;
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+    void set(std::int64_t n) { v_.store(n, std::memory_order_relaxed); }
+    std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { set(0); }
+
+private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram over non-negative integer samples (HDR-lite).
+/// Values < 8 get exact unit buckets; above that, buckets are one power of
+/// two split into 4 sub-buckets, bounding relative error at 12.5%. 252
+/// buckets cover the full uint64 range. Writers are sharded like Counter;
+/// quantiles come from a cumulative walk over a snapshot.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 252;
+    static constexpr std::size_t kShards = 8;
+
+    Histogram() = default;
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    static std::size_t bucketIndex(std::uint64_t v);
+    /// Inclusive value range covered by bucket `idx`.
+    static std::uint64_t bucketLo(std::size_t idx);
+    static std::uint64_t bucketHi(std::size_t idx);
+
+    void record(std::uint64_t v);
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0; ///< 0 when empty
+        std::uint64_t max = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        double mean() const {
+            return count ? static_cast<double>(sum) / static_cast<double>(count)
+                         : 0.0;
+        }
+        /// q in [0,1]; linear interpolation inside the winning bucket,
+        /// clamped to the observed [min,max]. 0 when empty.
+        double quantile(double q) const;
+    };
+
+    Snapshot snapshot() const;
+    void reset();
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    };
+    std::unique_ptr<Shard[]> shards_{new Shard[kShards]};
+    // min/max use CAS loops; they are off the sharded fast path but still
+    // lock-free and typically uncontended after warm-up.
+    std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named-instrument registry. `global()` is the process-wide instance used
+/// by all instrumentation; tests may build private registries.
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    static Registry &global();
+
+    /// Find-or-create. Returned references stay valid for the registry's
+    /// lifetime (instruments are never removed).
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /// Structured JSON snapshot:
+    ///   {"counters":{...},"gauges":{...},
+    ///    "histograms":{name:{count,sum,min,max,mean,p50,p90,p99,
+    ///                        buckets:[[lo,count],...]}}}
+    std::string toJson() const;
+
+    /// Prometheus text exposition (name mangled to [a-z0-9_], prefixed
+    /// omnisim_; histograms rendered as summaries with quantile labels).
+    std::string toPrometheus() const;
+
+    /// Zero every instrument (benches isolating a measurement window).
+    /// Instruments stay registered; handles stay valid.
+    void resetAll();
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII latency timer: records elapsed microseconds into a histogram at
+/// scope exit (covers every return path).
+class ScopedLatencyUs {
+public:
+    explicit ScopedLatencyUs(Histogram &h)
+        : h_(h), start_(std::chrono::steady_clock::now()) {}
+    ~ScopedLatencyUs() {
+        h_.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count()));
+    }
+    ScopedLatencyUs(const ScopedLatencyUs &) = delete;
+    ScopedLatencyUs &operator=(const ScopedLatencyUs &) = delete;
+
+private:
+    Histogram &h_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII +1/-1 on a gauge (in-flight tracking).
+class ScopedGauge {
+public:
+    explicit ScopedGauge(Gauge &g) : g_(g) { g_.add(1); }
+    ~ScopedGauge() { g_.sub(1); }
+    ScopedGauge(const ScopedGauge &) = delete;
+    ScopedGauge &operator=(const ScopedGauge &) = delete;
+
+private:
+    Gauge &g_;
+};
+
+} // namespace obs
+} // namespace omnisim
+
+#endif // OMNISIM_OBS_METRICS_HH

@@ -1,0 +1,242 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#ifdef _WIN32
+#include <process.h>
+#define OMNISIM_GETPID _getpid
+#else
+#include <unistd.h>
+#define OMNISIM_GETPID getpid
+#endif
+
+namespace omnisim {
+namespace obs {
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 16384;
+constexpr std::size_t kNameCapacity = 48;
+
+struct TraceEvent {
+    char name[kNameCapacity]; // NUL-terminated copy; long names truncate
+    std::uint64_t startNs;
+    std::uint64_t endNs;
+};
+
+struct ThreadRing {
+    std::mutex mu;
+    std::vector<TraceEvent> events; // sized kRingCapacity up front
+    std::size_t head = 0;           // next write slot
+    std::size_t count = 0;          // valid entries (<= capacity)
+    std::uint64_t dropped = 0;      // overwritten this session
+    std::uint64_t session = 0;      // traceStart() generation when last used
+    std::uint32_t tid = 0;          // sequential thread id for the export
+};
+
+struct TraceState {
+    std::atomic<bool> enabled{false};
+    // Session generation: bumping it on traceStart() lazily invalidates all
+    // rings, so starting a trace never has to touch other threads' rings.
+    std::atomic<std::uint64_t> session{0};
+    std::atomic<std::uint64_t> epochNs{0};
+    std::mutex mu; // guards rings registry + nextTid
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+    std::uint32_t nextTid = 1;
+};
+
+TraceState &state() {
+    static TraceState *st = new TraceState; // leaked: outlive all threads
+    return *st;
+}
+
+std::uint64_t steadyNowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ThreadRing &localRing() {
+    thread_local std::shared_ptr<ThreadRing> ring = [] {
+        auto r = std::make_shared<ThreadRing>();
+        r->events.resize(kRingCapacity);
+        TraceState &st = state();
+        std::lock_guard<std::mutex> lk(st.mu);
+        r->tid = st.nextTid++;
+        st.rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+} // namespace
+
+bool traceEnabled() {
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void traceStart() {
+    TraceState &st = state();
+    st.enabled.store(false, std::memory_order_relaxed);
+    st.epochNs.store(steadyNowNs(), std::memory_order_relaxed);
+    st.session.fetch_add(1, std::memory_order_relaxed);
+    st.enabled.store(true, std::memory_order_relaxed);
+}
+
+void traceStop() {
+    state().enabled.store(false, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint64_t traceNowNs() { return steadyNowNs(); }
+
+void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs) {
+    TraceState &st = state();
+    const std::uint64_t session = st.session.load(std::memory_order_relaxed);
+    ThreadRing &r = localRing();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (r.session != session) {
+        r.head = 0;
+        r.count = 0;
+        r.dropped = 0;
+        r.session = session;
+    }
+    if (r.count == kRingCapacity)
+        ++r.dropped;
+    else
+        ++r.count;
+    TraceEvent &e = r.events[r.head];
+    std::strncpy(e.name, name, kNameCapacity - 1);
+    e.name[kNameCapacity - 1] = '\0';
+    e.startNs = startNs;
+    e.endNs = endNs < startNs ? startNs : endNs;
+    r.head = (r.head + 1) % kRingCapacity;
+}
+
+} // namespace detail
+
+namespace {
+
+struct ExportEvent {
+    std::string name;
+    std::uint64_t startNs;
+    std::uint64_t endNs;
+    std::uint32_t tid;
+};
+
+std::vector<ExportEvent> collectEvents(std::uint64_t &droppedOut) {
+    TraceState &st = state();
+    const std::uint64_t session = st.session.load(std::memory_order_relaxed);
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+    {
+        std::lock_guard<std::mutex> lk(st.mu);
+        rings = st.rings;
+    }
+    std::vector<ExportEvent> out;
+    droppedOut = 0;
+    for (const auto &rp : rings) {
+        ThreadRing &r = *rp;
+        std::lock_guard<std::mutex> lk(r.mu);
+        if (r.session != session || r.count == 0)
+            continue;
+        droppedOut += r.dropped;
+        // Oldest live entry sits at head-count (mod capacity).
+        const std::size_t start =
+            (r.head + kRingCapacity - r.count) % kRingCapacity;
+        for (std::size_t i = 0; i < r.count; ++i) {
+            const TraceEvent &e = r.events[(start + i) % kRingCapacity];
+            out.push_back({e.name, e.startNs, e.endNs, r.tid});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ExportEvent &a, const ExportEvent &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.tid < b.tid;
+              });
+    return out;
+}
+
+void appendEscaped(std::string &out, const std::string &s) {
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out += c;
+        }
+    }
+}
+
+void appendMicros(std::string &out, std::uint64_t ns) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    out += buf;
+}
+
+} // namespace
+
+std::size_t traceEventCount() {
+    std::uint64_t dropped = 0;
+    return collectEvents(dropped).size();
+}
+
+std::uint64_t traceDroppedCount() {
+    std::uint64_t dropped = 0;
+    collectEvents(dropped);
+    return dropped;
+}
+
+std::string traceJson() {
+    std::uint64_t dropped = 0;
+    const std::vector<ExportEvent> events = collectEvents(dropped);
+    const std::uint64_t epoch =
+        state().epochNs.load(std::memory_order_relaxed);
+    const int pid = OMNISIM_GETPID();
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"omnisimDropped\":" +
+                      std::to_string(dropped) + ",\"traceEvents\":[";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) +
+           ",\"tid\":0,\"args\":{\"name\":\"omnisim\"}}";
+    for (const ExportEvent &e : events) {
+        // Spans in flight across traceStart() can predate the epoch; clamp.
+        const std::uint64_t rel = e.startNs > epoch ? e.startNs - epoch : 0;
+        out += ",{\"name\":\"";
+        appendEscaped(out, e.name);
+        out += "\",\"cat\":\"omnisim\",\"ph\":\"X\",\"ts\":";
+        appendMicros(out, rel);
+        out += ",\"dur\":";
+        appendMicros(out, e.endNs - e.startNs);
+        out += ",\"pid\":" + std::to_string(pid) +
+               ",\"tid\":" + std::to_string(e.tid) + '}';
+    }
+    out += "]}";
+    return out;
+}
+
+bool traceWriteJson(const std::string &path) {
+    const std::string json = traceJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok && written != json.size())
+        std::fclose(f);
+    return ok;
+}
+
+} // namespace obs
+} // namespace omnisim

@@ -1,0 +1,76 @@
+// Scoped trace spans exported as Chrome trace_event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+//   obs::traceStart();
+//   { OMNISIM_SPAN("compile.chain_collapse"); ... }
+//   obs::traceStop();
+//   obs::traceWriteJson("t.json");
+//
+// Spans record begin time + duration + thread id into fixed-capacity
+// per-thread rings. Each ring has its own mutex — uncontended in steady
+// state because only the owning thread writes it; the exporter takes it
+// briefly to copy. Tracing is off by default and costs one relaxed atomic
+// load per span when disabled. When a ring fills, the oldest spans are
+// overwritten (newest are kept) and the drop is counted.
+#ifndef OMNISIM_OBS_TRACE_HH
+#define OMNISIM_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace omnisim {
+namespace obs {
+
+bool traceEnabled();
+/// Begin a fresh trace session: clears prior spans, rebases timestamps.
+void traceStart();
+void traceStop();
+
+/// Spans currently held across all rings (post-drop). Exporter/test aid.
+std::size_t traceEventCount();
+/// Spans overwritten because a ring filled, this session.
+std::uint64_t traceDroppedCount();
+
+/// Render the current session as Chrome trace_event JSON
+/// ({"traceEvents":[...]}, "ph":"X" complete events, ts/dur in µs).
+std::string traceJson();
+/// Write traceJson() to `path`. False on I/O failure.
+bool traceWriteJson(const std::string &path);
+
+namespace detail {
+std::uint64_t traceNowNs();
+void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs);
+} // namespace detail
+
+/// RAII span. Samples the enabled flag at construction; a span that starts
+/// while tracing is on but ends after traceStop() is discarded.
+class SpanScope {
+public:
+    explicit SpanScope(const char *name)
+        : name_(name), armed_(traceEnabled()),
+          startNs_(armed_ ? detail::traceNowNs() : 0) {}
+    ~SpanScope() {
+        if (armed_ && traceEnabled())
+            detail::recordSpan(name_, startNs_, detail::traceNowNs());
+    }
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+private:
+    const char *name_;
+    bool armed_;
+    std::uint64_t startNs_;
+};
+
+} // namespace obs
+} // namespace omnisim
+
+#define OMNISIM_SPAN_CONCAT2(a, b) a##b
+#define OMNISIM_SPAN_CONCAT(a, b) OMNISIM_SPAN_CONCAT2(a, b)
+/// Trace the enclosing scope. `name` may be a transient buffer; it is
+/// copied into the span record.
+#define OMNISIM_SPAN(name)                                                     \
+    ::omnisim::obs::SpanScope OMNISIM_SPAN_CONCAT(omnisimSpan_,                \
+                                                  __COUNTER__)(name)
+
+#endif // OMNISIM_OBS_TRACE_HH

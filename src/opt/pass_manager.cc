@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/omnisim.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "opt/build.hh"
 #include "runtime/fifo_table.hh"
 #include "support/logging.hh"
@@ -339,22 +341,47 @@ PassManager::passNames() const
 RunLayout
 PassManager::compile(const LayoutInput &in) const
 {
+    static obs::Counter &mCompiles =
+        obs::Registry::global().counter("compile.runs");
+    static obs::Histogram &mCompileUs =
+        obs::Registry::global().histogram("compile.us");
+    static obs::Histogram &mLatticePruneUs =
+        obs::Registry::global().histogram("compile.pass_us.lattice_prune");
+    static obs::Histogram &mChainCollapseUs =
+        obs::Registry::global().histogram("compile.pass_us.chain_collapse");
+    static obs::Histogram &mDedupUs =
+        obs::Registry::global().histogram("compile.pass_us.dedup");
+    OMNISIM_SPAN("compile.run");
+    obs::ScopedLatencyUs compileTimer(mCompileUs);
+    mCompiles.add();
+
     detail::Build b(in);
     std::vector<PassStats> passes;
     if (level_ != OptLevel::O0) {
-        passes.emplace_back();
-        passes.back().pass = "lattice-prune";
-        detail::latticePrune(b, passes.back());
-        b.pinFromKeptSets();
-
-        passes.emplace_back();
-        passes.back().pass = "chain-collapse";
-        detail::chainCollapse(b, passes.back());
-
-        passes.emplace_back();
-        passes.back().pass = "dedup";
-        detail::dedup(b, passes.back());
+        {
+            OMNISIM_SPAN("compile.lattice_prune");
+            obs::ScopedLatencyUs t(mLatticePruneUs);
+            passes.emplace_back();
+            passes.back().pass = "lattice-prune";
+            detail::latticePrune(b, passes.back());
+            b.pinFromKeptSets();
+        }
+        {
+            OMNISIM_SPAN("compile.chain_collapse");
+            obs::ScopedLatencyUs t(mChainCollapseUs);
+            passes.emplace_back();
+            passes.back().pass = "chain-collapse";
+            detail::chainCollapse(b, passes.back());
+        }
+        {
+            OMNISIM_SPAN("compile.dedup");
+            obs::ScopedLatencyUs t(mDedupUs);
+            passes.emplace_back();
+            passes.back().pass = "dedup";
+            detail::dedup(b, passes.back());
+        }
     }
+    OMNISIM_SPAN("compile.materialize");
     return detail::materialize(b, level_, std::move(passes));
 }
 

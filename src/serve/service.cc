@@ -10,6 +10,8 @@
 #include "designs/common.hh"
 #include "dse/dse.hh"
 #include "io/run_store.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/json.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
@@ -34,10 +36,14 @@ struct Request
     std::string op;
 };
 
-/** One finished response line. */
+/** One finished response line, tagged for per-op accounting. */
 struct SimService::Response
 {
+    Response() = default;
+    Response(std::string l) : line(std::move(l)) {}
     std::string line;
+    std::string op; ///< empty when the line never parsed far enough
+    bool ok = false;
 };
 
 /**
@@ -58,6 +64,68 @@ namespace
 {
 
 constexpr std::uint64_t kMaxDepth = 1u << 20;
+
+/**
+ * Per-op telemetry handles (requests/errors counters + execute-latency
+ * histogram), resolved once per op name. The op set is closed; anything
+ * unknown or unparseable is accounted under "other" so totals always
+ * reconcile with requestsServed().
+ */
+struct OpMetrics
+{
+    explicit OpMetrics(const std::string &op)
+        : requests(obs::Registry::global().counter("serve.requests." + op)),
+          errors(obs::Registry::global().counter("serve.errors." + op)),
+          latencyUs(
+              obs::Registry::global().histogram("serve.request_us." + op))
+    {}
+    obs::Counter &requests;
+    obs::Counter &errors;
+    obs::Histogram &latencyUs;
+};
+
+constexpr const char *kKnownOps[] = {
+    "simulate", "resimulate", "dse",     "batch",
+    "list",     "stats",      "metrics", "shutdown",
+};
+
+OpMetrics &
+opMetricsFor(const std::string &op)
+{
+    static OpMetrics simulate{"simulate"};
+    static OpMetrics resimulate{"resimulate"};
+    static OpMetrics dse{"dse"};
+    static OpMetrics batch{"batch"};
+    static OpMetrics list{"list"};
+    static OpMetrics stats{"stats"};
+    static OpMetrics metrics{"metrics"};
+    static OpMetrics shutdown{"shutdown"};
+    static OpMetrics other{"other"};
+    if (op == "simulate")
+        return simulate;
+    if (op == "resimulate")
+        return resimulate;
+    if (op == "dse")
+        return dse;
+    if (op == "batch")
+        return batch;
+    if (op == "list")
+        return list;
+    if (op == "stats")
+        return stats;
+    if (op == "metrics")
+        return metrics;
+    if (op == "shutdown")
+        return shutdown;
+    return other;
+}
+
+obs::Gauge &
+inflightGauge()
+{
+    static obs::Gauge &g = obs::Registry::global().gauge("serve.inflight");
+    return g;
+}
 
 /** Begin a response carrying the request id and op. */
 JsonBuilder
@@ -221,7 +289,18 @@ SimService::cacheFor(const std::string &design)
 std::string
 SimService::handle(const std::string &line)
 {
+    OMNISIM_SPAN("serve.request");
+    obs::ScopedGauge inflight(inflightGauge());
+    const auto t0 = std::chrono::steady_clock::now();
     Response r = dispatch(line);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    OpMetrics &om = opMetricsFor(r.op);
+    om.requests.add();
+    if (!r.ok)
+        om.errors.add();
+    om.latencyUs.record(static_cast<std::uint64_t>(us));
     served_.fetch_add(1, std::memory_order_relaxed);
     return std::move(r.line);
 }
@@ -229,10 +308,17 @@ SimService::handle(const std::string &line)
 void
 SimService::submit(std::string line, std::function<void(std::string)> sink)
 {
-    pool_->submit(
-        [this, line = std::move(line), sink = std::move(sink)]() mutable {
-            sink(handle(line));
-        });
+    static obs::Histogram &mQueueWait =
+        obs::Registry::global().histogram("serve.queue_wait_us");
+    const auto enqueued = std::chrono::steady_clock::now();
+    pool_->submit([this, line = std::move(line), sink = std::move(sink),
+                   enqueued]() mutable {
+        mQueueWait.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - enqueued)
+                .count()));
+        sink(handle(line));
+    });
 }
 
 void
@@ -272,27 +358,35 @@ SimService::dispatch(const std::string &line)
         req.op = opv->str();
         op = req.op;
 
+        Response r;
         if (req.op == "simulate")
-            return doSimulate(req);
-        if (req.op == "resimulate")
-            return doResimulate(req);
-        if (req.op == "dse")
-            return doDse(req);
-        if (req.op == "batch")
-            return doBatch(req);
-        if (req.op == "list")
-            return doList(req);
-        if (req.op == "stats")
-            return doStats(req);
-        if (req.op == "shutdown") {
+            r = doSimulate(req);
+        else if (req.op == "resimulate")
+            r = doResimulate(req);
+        else if (req.op == "dse")
+            r = doDse(req);
+        else if (req.op == "batch")
+            r = doBatch(req);
+        else if (req.op == "list")
+            r = doList(req);
+        else if (req.op == "stats")
+            r = doStats(req);
+        else if (req.op == "metrics")
+            r = doMetrics(req);
+        else if (req.op == "shutdown") {
             shutdown_.store(true, std::memory_order_release);
             JsonBuilder b = beginResponse(req, true);
             b.key("served").num(
                 served_.load(std::memory_order_relaxed) + 1);
-            return {b.finish()};
+            r = Response(b.finish());
+        } else {
+            omnisim_fatal("unknown op '%s' (have: simulate, resimulate, "
+                          "dse, batch, list, stats, metrics, shutdown)",
+                          req.op.c_str());
         }
-        omnisim_fatal("unknown op '%s' (have: simulate, resimulate, dse, "
-                      "batch, list, stats, shutdown)", req.op.c_str());
+        r.op = req.op;
+        r.ok = true;
+        return r;
     } catch (const std::exception &e) {
         JsonBuilder b;
         b.key("id").rawValue(idJson);
@@ -300,7 +394,9 @@ SimService::dispatch(const std::string &line)
             b.key("op").str(op);
         b.key("ok").boolean(false);
         b.key("error").str(e.what());
-        return {b.finish()};
+        Response r(b.finish());
+        r.op = op;
+        return r;
     }
 }
 
@@ -535,6 +631,37 @@ SimService::doStats(const Request &req)
     JsonBuilder b = beginResponse(req, true);
     b.key("jobs").num(jobs());
     b.key("served").num(served_.load(std::memory_order_relaxed));
+    b.key("uptime_seconds")
+        .num(std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - started_)
+                 .count());
+    // Includes this stats request itself. Per-op counts and quantiles
+    // come from the process-wide registry: a test process hosting
+    // several services sees their union, exactly like a scrape would.
+    b.key("inflight").num(inflightGauge().value());
+    b.key("requests").beginObject();
+    for (const char *opName : kKnownOps) {
+        const OpMetrics &om = opMetricsFor(opName);
+        const obs::Histogram::Snapshot snap = om.latencyUs.snapshot();
+        b.key(opName).beginObject();
+        b.key("count").num(om.requests.value());
+        b.key("errors").num(om.errors.value());
+        b.key("p50_us").num(snap.quantile(0.50));
+        b.key("p90_us").num(snap.quantile(0.90));
+        b.key("p99_us").num(snap.quantile(0.99));
+        b.endObject();
+    }
+    b.endObject();
+    {
+        const obs::Histogram::Snapshot qw =
+            obs::Registry::global().histogram("serve.queue_wait_us")
+                .snapshot();
+        b.key("queue_wait").beginObject();
+        b.key("count").num(qw.count);
+        b.key("p50_us").num(qw.quantile(0.50));
+        b.key("p99_us").num(qw.quantile(0.99));
+        b.endObject();
+    }
     {
         std::lock_guard<std::mutex> lock(cachesMu_);
         b.key("designs_cached").num(caches_.size());
@@ -582,6 +709,19 @@ SimService::doStats(const Request &req)
         b.key("store").str(store_->dir());
     else
         b.key("store").null();
+    return {b.finish()};
+}
+
+SimService::Response
+SimService::doMetrics(const Request &req)
+{
+    // Full registry snapshot. The metrics JSON is spliced in verbatim —
+    // Registry::toJson() emits canonical JSON, so the response stays a
+    // single well-formed object.
+    JsonBuilder b = beginResponse(req, true);
+    b.key("metrics").rawValue(obs::Registry::global().toJson());
+    if (optionalString(req, "format", "json") == "prometheus")
+        b.key("prometheus").str(obs::Registry::global().toPrometheus());
     return {b.finish()};
 }
 

@@ -22,6 +22,8 @@
  *   {"id":4,"op":"batch","designs":["fifo_chain"],"engines":["omnisim"],
  *    "seeds":2}
  *   {"id":5,"op":"list"}   {"id":6,"op":"stats"}   {"id":7,"op":"shutdown"}
+ *   {"id":8,"op":"metrics"}                // full telemetry snapshot
+ *   {"id":9,"op":"metrics","format":"prometheus"}
  *
  * Error isolation: a malformed line, unknown op, unknown design, or an
  * engine failure produces {"id":...,"ok":false,"error":"..."} for that
@@ -33,6 +35,7 @@
 #define OMNISIM_SERVE_SERVICE_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -140,6 +143,7 @@ class SimService
     Response doBatch(const struct Request &req);
     Response doList(const struct Request &req);
     Response doStats(const struct Request &req);
+    Response doMetrics(const struct Request &req);
 
     ServeOptions opts_;
     std::unique_ptr<io::RunStore> store_;
@@ -150,6 +154,8 @@ class SimService
 
     std::atomic<bool> shutdown_{false};
     std::atomic<std::uint64_t> served_{0};
+    const std::chrono::steady_clock::time_point started_ =
+        std::chrono::steady_clock::now();
 };
 
 /**

@@ -28,6 +28,35 @@ RunningStat::push(double x)
     m2_ += delta * (x - mean_);
 }
 
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const std::size_t n = n_ + other.n_;
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(n);
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    sum_ += other.sum_;
+    n_ = n;
+}
+
 double
 RunningStat::stddev() const
 {

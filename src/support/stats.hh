@@ -38,6 +38,18 @@ class RunningStat
     /** @return sum of all samples. */
     double sum() const { return sum_; }
 
+    /** Discard all samples; equivalent to a fresh RunningStat. */
+    void reset();
+
+    /**
+     * Fold another summary into this one (parallel Welford / Chan et al.
+     * pairwise combine), as if every sample pushed into @p other had been
+     * pushed here. Exact for count/min/max/sum; mean and m2 combine with
+     * the standard numerically-stable update, so per-thread shards can be
+     * merged into one global summary without locks.
+     */
+    void merge(const RunningStat &other);
+
   private:
     std::size_t n_ = 0;
     double mean_ = 0.0;

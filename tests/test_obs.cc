@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs/): sharded counters
+ * and histograms under concurrent writers, log-bucket geometry,
+ * quantile estimation, the registry's JSON/Prometheus exposition, and
+ * trace spans exported as Chrome trace_event JSON.
+ *
+ * The metrics registry and the trace rings are process-global, so
+ * these tests use uniquely-named instruments and delta-based
+ * assertions rather than assuming a pristine registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/json.hh"
+
+namespace omnisim
+{
+namespace
+{
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Registry;
+
+TEST(ObsCounter, ConcurrentWritersAreExact)
+{
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                c.add(1);
+        });
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, WeightedAddAndDisableSwitch)
+{
+    Counter c;
+    c.add(5);
+    c.add(); // default weight 1
+    EXPECT_EQ(c.value(), 6u);
+
+    obs::setTelemetryEnabled(false);
+    c.add(100);
+    obs::setTelemetryEnabled(true);
+    EXPECT_EQ(c.value(), 6u) << "disabled adds must be dropped";
+    c.add(1);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(ObsGauge, TracksLevelAndIgnoresDisableSwitch)
+{
+    Gauge g;
+    g.add(3);
+    g.sub(1);
+    EXPECT_EQ(g.value(), 2);
+
+    // Gauges track a live level: a pair that straddles a telemetry
+    // toggle must still net to zero, so the switch is ignored.
+    {
+        obs::ScopedGauge in(g);
+        EXPECT_EQ(g.value(), 3);
+        obs::setTelemetryEnabled(false);
+    }
+    obs::setTelemetryEnabled(true);
+    EXPECT_EQ(g.value(), 2);
+    g.set(-4);
+    EXPECT_EQ(g.value(), -4);
+}
+
+TEST(ObsHistogram, BucketGeometryInvariants)
+{
+    // Every value must land in a bucket whose [lo, hi] range contains
+    // it, buckets must tile the axis without gaps, and a log bucket is
+    // at most a quarter of its own base — so reporting its midpoint is
+    // never more than 12.5% off the true value.
+    std::uint64_t expectedLo = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        const std::uint64_t lo = Histogram::bucketLo(i);
+        const std::uint64_t hi = Histogram::bucketHi(i);
+        EXPECT_EQ(lo, expectedLo) << "gap or overlap before bucket " << i;
+        EXPECT_GE(hi, lo);
+        EXPECT_EQ(Histogram::bucketIndex(lo), i);
+        EXPECT_EQ(Histogram::bucketIndex(hi), i);
+        if (lo >= 8) {
+            const double width = static_cast<double>(hi - lo + 1);
+            EXPECT_LE(width / static_cast<double>(lo), 0.25 + 1e-9)
+                << "bucket " << i << " too wide for the 12.5% "
+                << "midpoint error bound";
+        }
+        if (hi == ~std::uint64_t{0})
+            break; // top bucket reached
+        expectedLo = hi + 1;
+    }
+    for (std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{7}, std::uint64_t{8},
+          std::uint64_t{1000}, std::uint64_t{123456789},
+          ~std::uint64_t{0}}) {
+        const std::size_t idx = Histogram::bucketIndex(v);
+        ASSERT_LT(idx, Histogram::kBuckets);
+        EXPECT_GE(v, Histogram::bucketLo(idx));
+        EXPECT_LE(v, Histogram::bucketHi(idx));
+    }
+}
+
+TEST(ObsHistogram, ConcurrentRecordersAreExactInCountAndSum)
+{
+    Histogram h;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 10000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&h, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                h.record(static_cast<std::uint64_t>(t) * kPerThread + i);
+        });
+    for (auto &t : ts)
+        t.join();
+
+    const Histogram::Snapshot s = h.snapshot();
+    const std::uint64_t n = kThreads * kPerThread;
+    EXPECT_EQ(s.count, n);
+    EXPECT_EQ(s.sum, n * (n - 1) / 2); // sum of 0..n-1, each once
+    EXPECT_EQ(s.min, 0u);
+    EXPECT_EQ(s.max, n - 1);
+}
+
+TEST(ObsHistogram, QuantilesOrderedAndWithinBucketError)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 10000; ++v)
+        h.record(v);
+    const Histogram::Snapshot s = h.snapshot();
+
+    const double p50 = s.quantile(0.50);
+    const double p90 = s.quantile(0.90);
+    const double p99 = s.quantile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    // Uniform 1..10000: true quantiles are 5000/9000/9900; the log
+    // buckets bound relative error at 12.5%.
+    EXPECT_NEAR(p50, 5000.0, 5000.0 * 0.125);
+    EXPECT_NEAR(p90, 9000.0, 9000.0 * 0.125);
+    EXPECT_NEAR(p99, 9900.0, 9900.0 * 0.125);
+    // Extremes clamp to the observed range.
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 10000.0);
+
+    h.reset();
+    const Histogram::Snapshot empty = h.snapshot();
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_EQ(empty.mean(), 0.0);
+}
+
+TEST(ObsHistogram, SingleValueSnapshot)
+{
+    Histogram h;
+    h.record(42);
+    const Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.min, 42u);
+    EXPECT_EQ(s.max, 42u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.99), 42.0);
+}
+
+TEST(ObsHistogram, DisableSwitchDropsRecords)
+{
+    Histogram h;
+    obs::setTelemetryEnabled(false);
+    h.record(10);
+    obs::setTelemetryEnabled(true);
+    EXPECT_EQ(h.snapshot().count, 0u);
+    h.record(10);
+    EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(ObsRegistry, FindOrCreateReturnsStableHandles)
+{
+    Registry &r = Registry::global();
+    Counter &a = r.counter("test.obs.registry.stable");
+    Counter &b = r.counter("test.obs.registry.stable");
+    EXPECT_EQ(&a, &b) << "same name must resolve to the same instrument";
+    Gauge &g1 = r.gauge("test.obs.registry.gauge");
+    Gauge &g2 = r.gauge("test.obs.registry.gauge");
+    EXPECT_EQ(&g1, &g2);
+    Histogram &h1 = r.histogram("test.obs.registry.hist_us");
+    Histogram &h2 = r.histogram("test.obs.registry.hist_us");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, ConcurrentFindOrCreateIsSafe)
+{
+    Registry &r = Registry::global();
+    constexpr int kThreads = 8;
+    std::vector<Counter *> seen(kThreads, nullptr);
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&r, &seen, t] {
+            Counter &c = r.counter("test.obs.registry.concurrent");
+            c.add(1);
+            seen[static_cast<std::size_t>(t)] = &c;
+        });
+    for (auto &t : ts)
+        t.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(t)]);
+    EXPECT_GE(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(ObsRegistry, JsonSnapshotParsesAndCarriesQuantiles)
+{
+    Registry &r = Registry::global();
+    r.counter("test.obs.json.counter").add(3);
+    r.gauge("test.obs.json.gauge").set(-2);
+    Histogram &h = r.histogram("test.obs.json.hist_us");
+    h.reset();
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+
+    const serve::JsonValue doc = serve::JsonValue::parse(r.toJson());
+    const serve::JsonValue *counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const serve::JsonValue *c = counters->find("test.obs.json.counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->number(), 3.0);
+
+    const serve::JsonValue *gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    const serve::JsonValue *g = gauges->find("test.obs.json.gauge");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->number(), -2.0);
+
+    const serve::JsonValue *hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const serve::JsonValue *hv = hists->find("test.obs.json.hist_us");
+    ASSERT_NE(hv, nullptr);
+    ASSERT_NE(hv->find("count"), nullptr);
+    EXPECT_EQ(hv->find("count")->number(), 100.0);
+    ASSERT_NE(hv->find("p50"), nullptr);
+    ASSERT_NE(hv->find("p99"), nullptr);
+    EXPECT_LE(hv->find("p50")->number(), hv->find("p99")->number());
+    EXPECT_GT(hv->find("p50")->number(), 0.0);
+}
+
+TEST(ObsRegistry, PrometheusExpositionShape)
+{
+    Registry &r = Registry::global();
+    r.counter("test.obs.prom.counter").add(1);
+    Histogram &h = r.histogram("test.obs.prom.hist_us");
+    h.reset();
+    h.record(7);
+
+    const std::string text = r.toPrometheus();
+    // Dots mangle to underscores under the omnisim_ prefix.
+    EXPECT_NE(text.find("omnisim_test_obs_prom_counter"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE omnisim_test_obs_prom_counter counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("omnisim_test_obs_prom_hist_us_count"),
+              std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+    EXPECT_EQ(text.find("test.obs.prom"), std::string::npos)
+        << "raw dotted names must not leak into the exposition";
+}
+
+TEST(ObsTrace, SpansFromManyThreadsExportValidChromeJson)
+{
+    obs::traceStart();
+    {
+        OMNISIM_SPAN("test.trace.main");
+        constexpr int kThreads = 4;
+        std::vector<std::thread> ts;
+        for (int t = 0; t < kThreads; ++t)
+            ts.emplace_back([] {
+                for (int i = 0; i < 50; ++i) {
+                    OMNISIM_SPAN("test.trace.worker");
+                }
+            });
+        for (auto &t : ts)
+            t.join();
+    }
+    obs::traceStop();
+
+    const std::string json = obs::traceJson();
+    const serve::JsonValue doc = serve::JsonValue::parse(json);
+    const serve::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::set<double> tids;
+    std::size_t workers = 0, mains = 0;
+    for (const serve::JsonValue &e : events->array()) {
+        const serve::JsonValue *ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->str() == "M")
+            continue; // metadata record
+        EXPECT_EQ(ph->str(), "X");
+        const serve::JsonValue *name = e.find("name");
+        const serve::JsonValue *ts = e.find("ts");
+        const serve::JsonValue *dur = e.find("dur");
+        ASSERT_NE(name, nullptr);
+        ASSERT_NE(ts, nullptr);
+        ASSERT_NE(dur, nullptr);
+        ASSERT_NE(e.find("pid"), nullptr);
+        ASSERT_NE(e.find("tid"), nullptr);
+        EXPECT_GE(ts->number(), 0.0);
+        EXPECT_GE(dur->number(), 0.0);
+        tids.insert(e.find("tid")->number());
+        if (name->str() == "test.trace.worker")
+            ++workers;
+        else if (name->str() == "test.trace.main")
+            ++mains;
+    }
+    EXPECT_EQ(mains, 1u);
+    EXPECT_EQ(workers, 4u * 50u);
+    EXPECT_GE(tids.size(), 2u) << "worker spans must carry their own tids";
+}
+
+TEST(ObsTrace, SessionsAreIsolatedAndDisabledSpansAreFree)
+{
+    obs::traceStart();
+    {
+        OMNISIM_SPAN("test.trace.first_session");
+    }
+    obs::traceStop();
+    ASSERT_GE(obs::traceEventCount(), 1u);
+
+    // Spans emitted while tracing is off must not record.
+    {
+        OMNISIM_SPAN("test.trace.while_disabled");
+    }
+    const std::string off = obs::traceJson();
+    EXPECT_EQ(off.find("test.trace.while_disabled"), std::string::npos);
+
+    // A new session discards the previous one.
+    obs::traceStart();
+    {
+        OMNISIM_SPAN("test.trace.second_session");
+    }
+    obs::traceStop();
+    const std::string second = obs::traceJson();
+    EXPECT_EQ(second.find("test.trace.first_session"), std::string::npos);
+    EXPECT_NE(second.find("test.trace.second_session"), std::string::npos);
+}
+
+TEST(ObsTrace, RingOverflowDropsOldestAndCounts)
+{
+    obs::traceStart();
+    constexpr int kSpans = 20000; // > ring capacity (16384)
+    for (int i = 0; i < kSpans; ++i) {
+        OMNISIM_SPAN("test.trace.flood");
+    }
+    obs::traceStop();
+    EXPECT_GT(obs::traceDroppedCount(), 0u);
+    const std::string json = obs::traceJson();
+    const serve::JsonValue doc = serve::JsonValue::parse(json);
+    const serve::JsonValue *dropped = doc.find("omnisimDropped");
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_GT(dropped->number(), 0.0);
+    // The newest spans are the ones kept.
+    EXPECT_LE(obs::traceEventCount(), 16384u + 64u);
+    obs::traceStart(); // leave a clean slate for other tests
+    obs::traceStop();
+}
+
+TEST(ObsScopedLatency, RecordsOnEveryReturnPath)
+{
+    Histogram h;
+    const auto body = [&h](bool alternate) {
+        obs::ScopedLatencyUs timer(h);
+        if (alternate)
+            return 1;
+        return 2;
+    };
+    body(true);
+    body(false);
+    EXPECT_EQ(h.snapshot().count, 2u);
+}
+
+} // namespace
+} // namespace omnisim

@@ -356,6 +356,109 @@ TEST(SimServiceTest, ListAndStatsOps)
     EXPECT_TRUE(stats.find("store")->isNull());
 }
 
+TEST(SimServiceTest, StatsReportsUptimeInflightAndPerOpRequests)
+{
+    SimService svc({1, "", 4, {}});
+    ask(svc, R"({"id":1,"op":"list"})");
+    const JsonValue stats = ask(svc, R"({"id":2,"op":"stats"})");
+    ASSERT_TRUE(okField(stats));
+
+    const JsonValue *uptime = stats.find("uptime_seconds");
+    ASSERT_NE(uptime, nullptr);
+    EXPECT_GE(uptime->number(), 0.0);
+
+    const JsonValue *inflight = stats.find("inflight");
+    ASSERT_NE(inflight, nullptr);
+    // handle() runs synchronously here, so the stats request itself is
+    // the only one in flight.
+    EXPECT_GE(inflight->number(), 1.0);
+
+    // Per-op request accounting. The obs registry is process-global,
+    // so counts are >= what this service served — like a Prometheus
+    // scrape — but every known op must be present with its quantiles.
+    const JsonValue *reqs = stats.find("requests");
+    ASSERT_NE(reqs, nullptr);
+    for (const char *op : {"simulate", "resimulate", "list", "stats"}) {
+        const JsonValue *entry = reqs->find(op);
+        ASSERT_NE(entry, nullptr) << "missing op " << op;
+        ASSERT_NE(entry->find("count"), nullptr);
+        ASSERT_NE(entry->find("errors"), nullptr);
+        ASSERT_NE(entry->find("p50_us"), nullptr);
+        ASSERT_NE(entry->find("p99_us"), nullptr);
+    }
+    EXPECT_GE(reqs->find("list")->find("count")->number(), 1.0);
+    ASSERT_NE(stats.find("queue_wait"), nullptr);
+}
+
+namespace
+{
+/** Counter value from a `metrics` response (0 when absent). */
+double
+metricsCounter(const JsonValue &r, const std::string &name)
+{
+    const JsonValue *m = r.find("metrics");
+    if (!m)
+        return 0.0;
+    const JsonValue *counters = m->find("counters");
+    const JsonValue *c = counters ? counters->find(name) : nullptr;
+    return c ? c->number() : 0.0;
+}
+} // namespace
+
+TEST(SimServiceTest, MetricsOpCountsPerOpAndReportsQuantiles)
+{
+    SimService svc({1, "", 4, {}});
+    const JsonValue before = ask(svc, R"({"id":1,"op":"metrics"})");
+    ASSERT_TRUE(okField(before));
+    const double sim0 = metricsCounter(before, "serve.requests.simulate");
+    const double resim0 =
+        metricsCounter(before, "serve.requests.resimulate");
+
+    constexpr int kSimulates = 3;
+    for (int i = 0; i < kSimulates; ++i)
+        ASSERT_TRUE(okField(ask(
+            svc, R"({"id":10,"op":"simulate","design":"fifo_chain"})")));
+    ASSERT_TRUE(okField(
+        ask(svc, R"({"id":11,"op":"resimulate","design":"fifo_chain"})")));
+
+    const JsonValue after = ask(svc, R"({"id":2,"op":"metrics"})");
+    ASSERT_TRUE(okField(after));
+    // Delta-based: the registry is process-global, so only the growth
+    // caused by the requests above is attributable to this test.
+    EXPECT_EQ(metricsCounter(after, "serve.requests.simulate") - sim0,
+              kSimulates);
+    EXPECT_EQ(metricsCounter(after, "serve.requests.resimulate") - resim0,
+              1.0);
+
+    const JsonValue *m = after.find("metrics");
+    ASSERT_NE(m, nullptr);
+    const JsonValue *hists = m->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *lat = hists->find("serve.request_us.simulate");
+    ASSERT_NE(lat, nullptr) << "per-op latency histogram missing";
+    ASSERT_NE(lat->find("p50"), nullptr);
+    ASSERT_NE(lat->find("p99"), nullptr);
+    const double p50 = lat->find("p50")->number();
+    const double p99 = lat->find("p99")->number();
+    EXPECT_GT(p50, 0.0) << "simulate latencies are ms-scale; p50 of 0 "
+                           "means the histogram never recorded";
+    EXPECT_LE(p50, p99);
+}
+
+TEST(SimServiceTest, MetricsOpPrometheusFormat)
+{
+    SimService svc({1, "", 4, {}});
+    ask(svc, R"({"id":1,"op":"list"})");
+    const JsonValue r =
+        ask(svc, R"({"id":2,"op":"metrics","format":"prometheus"})");
+    ASSERT_TRUE(okField(r));
+    const JsonValue *prom = r.find("prometheus");
+    ASSERT_NE(prom, nullptr);
+    EXPECT_NE(prom->str().find("omnisim_serve_requests_list"),
+              std::string::npos);
+    EXPECT_NE(prom->str().find("# TYPE"), std::string::npos);
+}
+
 TEST(SimServiceTest, ShutdownSetsFlagAndEchoesId)
 {
     SimService svc({1, "", 4, {}});

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
+#include <vector>
 
 #include "support/logging.hh"
 #include "support/prng.hh"
@@ -113,6 +115,75 @@ TEST(RunningStat, EmptyIsZero)
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
     EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, ResetMatchesFreshInstance)
+{
+    RunningStat s;
+    for (double x : {3.0, -1.0, 8.5})
+        s.push(x);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    // A reset summary must keep accumulating correctly.
+    s.push(2.0);
+    s.push(6.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+}
+
+TEST(RunningStat, MergeEqualsSingleThreadedPushes)
+{
+    // Parallel-Welford combine: pushing a sample stream into shards and
+    // merging must agree with pushing the whole stream into one summary.
+    std::vector<double> xs;
+    Prng rng(2026);
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(static_cast<double>(rng.next() % 10007) / 7.0 - 512.0);
+
+    RunningStat whole;
+    for (double x : xs)
+        whole.push(x);
+
+    for (std::size_t shards : {2u, 3u, 7u}) {
+        std::vector<RunningStat> parts(shards);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            parts[i % shards].push(xs[i]);
+        RunningStat merged;
+        for (const auto &p : parts)
+            merged.merge(p);
+        EXPECT_EQ(merged.count(), whole.count());
+        EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+        EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+        EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * std::abs(whole.sum()));
+        EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+        EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-9);
+    }
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat filled;
+    filled.push(1.0);
+    filled.push(3.0);
+
+    RunningStat ontoEmpty; // empty.merge(filled) copies
+    ontoEmpty.merge(filled);
+    EXPECT_EQ(ontoEmpty.count(), 2u);
+    EXPECT_DOUBLE_EQ(ontoEmpty.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(ontoEmpty.min(), 1.0);
+    EXPECT_DOUBLE_EQ(ontoEmpty.max(), 3.0);
+
+    RunningStat empty; // filled.merge(empty) is a no-op
+    filled.merge(empty);
+    EXPECT_EQ(filled.count(), 2u);
+    EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(filled.stddev(), ontoEmpty.stddev());
 }
 
 TEST(Geomean, MatchesHandComputation)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Schema check for omnisim's Chrome trace_event export.
+
+Runs `omnisim_cli simulate <design> --trace-out FILE.json`, then
+validates the file against what Perfetto / chrome://tracing require to
+load it: a `traceEvents` array whose complete events ("ph":"X") carry
+name/ts/dur/pid/tid with sane values. On top of the generic schema it
+asserts the spans omnisim promises: at least one `compile.*` pass span
+and the `omnisim.run` / `omnisim.execute` engine-phase spans.
+
+Exit status 0 on success; nonzero with a diagnostic on any mismatch.
+Used by the `cli_trace_schema_smoke` ctest entry and handy manually:
+
+    python3 tools/check_trace.py [--design NAME] path/to/omnisim_cli
+"""
+
+import argparse
+import json
+import numbers
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_SPANS = ["compile.run", "omnisim.run", "omnisim.execute"]
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    if not isinstance(ev, dict):
+        fail(f"traceEvents[{i}] is not an object")
+    ph = ev.get("ph")
+    if ph == "M":
+        return None  # metadata (process_name etc.) is free-form
+    if ph != "X":
+        fail(f"traceEvents[{i}] has ph={ph!r}, expected complete "
+             "events ('X') or metadata ('M')")
+    for key in ("name", "ts", "dur", "pid", "tid"):
+        if key not in ev:
+            fail(f"traceEvents[{i}] is missing {key!r}")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        fail(f"traceEvents[{i}] has a non-string or empty name")
+    for key in ("ts", "dur"):
+        if not isinstance(ev[key], numbers.Real) or ev[key] < 0:
+            fail(f"traceEvents[{i}].{key} = {ev[key]!r} is not a "
+                 "non-negative number")
+    return ev["name"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--design", default="fifo_chain")
+    ap.add_argument("cli", help="path to omnisim_cli")
+    args = ap.parse_args()
+
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="omnisim_trace_")
+    os.close(fd)
+    try:
+        cmd = [args.cli, "simulate", args.design, "--trace-out", path]
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, timeout=300)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                 f"{proc.stdout.decode(errors='replace')}")
+
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"trace file is not valid JSON: {e}")
+
+        if not isinstance(doc, dict):
+            fail("top level is not an object")
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            fail("traceEvents is missing or not an array")
+        if not events:
+            fail("traceEvents is empty")
+
+        names = set()
+        spans = 0
+        for i, ev in enumerate(events):
+            name = check_event(i, ev)
+            if name is not None:
+                names.add(name)
+                spans += 1
+        if spans == 0:
+            fail("no complete ('X') span events in the trace")
+
+        for want in REQUIRED_SPANS:
+            if want not in names:
+                fail(f"expected span {want!r} not present "
+                     f"(got: {sorted(names)})")
+        if not any(n.startswith("compile.") and n != "compile.run"
+                   for n in names):
+            fail(f"no per-pass compile.* span present "
+                 f"(got: {sorted(names)})")
+
+        print(f"check_trace: OK: {spans} spans, "
+              f"{len(names)} distinct names, design {args.design}")
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    main()

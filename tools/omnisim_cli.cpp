@@ -54,6 +54,7 @@
 #include "gen/shrink.hh"
 #include "io/run_store.hh"
 #include "lightningsim/lightningsim.hh"
+#include "obs/trace.hh"
 #include "serve/service.hh"
 #include "support/stopwatch.hh"
 #include "support/table.hh"
@@ -83,7 +84,14 @@ usage()
                  "details)\n"
                  "  omnisim_cli fuzz ...               (fuzz --help for "
                  "details)\n"
-                 "  omnisim_cli dot <design> [--optimized]\n");
+                 "  omnisim_cli dot <design> [--optimized]\n"
+                 "\n"
+                 "  `simulate` is an alias for `run`. Any command also "
+                 "accepts\n"
+                 "  --trace-out FILE.json to record Perfetto-loadable "
+                 "trace spans\n"
+                 "  (Chrome trace_event format) for the whole "
+                 "invocation.\n");
     return 2;
 }
 
@@ -910,8 +918,28 @@ main(int argc, char **argv)
     setLogQuiet(true);
     if (argc < 2)
         return usage();
-    const std::string cmd = argv[1];
+    std::string cmd = argv[1];
+    if (cmd == "simulate")
+        cmd = "run"; // alias: the serve protocol's op name
     std::vector<std::string> rest(argv + 2, argv + argc);
+
+    // Global --trace-out FILE: record spans for the whole invocation
+    // (any subcommand) and export Chrome trace_event JSON on exit.
+    std::string traceOut;
+    for (std::size_t i = 0; i < rest.size();) {
+        if (rest[i] == "--trace-out") {
+            if (i + 1 >= rest.size()) {
+                std::fprintf(stderr,
+                             "error: --trace-out needs a file path\n");
+                return 2;
+            }
+            traceOut = rest[i + 1];
+            rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+                       rest.begin() + static_cast<std::ptrdiff_t>(i + 2));
+        } else {
+            ++i;
+        }
+    }
 
     // serve/dse/batch/fuzz answer --help with their focused usage on
     // stdout (exit 0); their malformed invocations print the same text
@@ -921,6 +949,9 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!traceOut.empty())
+        obs::traceStart();
+    const int code = [&]() -> int {
     try {
         if (cmd == "list")
             return cmdList();
@@ -968,4 +999,15 @@ main(int argc, char **argv)
         return 1;
     }
     return usage();
+    }();
+
+    if (!traceOut.empty()) {
+        obs::traceStop();
+        if (!obs::traceWriteJson(traceOut)) {
+            std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                         traceOut.c_str());
+            return code == 0 ? 1 : code;
+        }
+    }
+    return code;
 }
