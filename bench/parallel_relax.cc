@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Partitioned parallel relaxation: speedup and bit-identity of the
+ * rank-leveled multi-threaded resimulate() paths on large generated
+ * designs.
+ *
+ * For each seed the large-regime generator (gen::largeGenConfig)
+ * produces a design with hundreds-to-thousands of processes; one
+ * OmniSim run freezes it, the snapshot is rehydrated into a StoredRun,
+ * and a fixed set of randomized depth probes — half small deltas (the
+ * worklist fast path), half broad perturbations (the full leveled
+ * relaxation) — is replayed through StoredRun::resimulate() at one
+ * lane and at --jobs lanes on the SAME object. Every parallel answer
+ * is compared field-by-field against the serial one first; only then
+ * are both paths timed over --reps repetitions.
+ *
+ * Acceptance gate (the harness's exit status):
+ *   - bit-identity of every probe at every lane count, always;
+ *   - geomean parallel speedup >= 2.0, only when the host actually has
+ *     >= 8 hardware threads and --jobs >= 8 — a single-core CI box
+ *     cannot speed anything up, but it must still prove identity.
+ *
+ * Results land in BENCH_parallel.json so CI can track the trajectory.
+ *
+ * Usage: parallel_relax [--seed S] [--count N] [--probes K] [--reps R]
+ *                       [--jobs J] [--min-procs P] [--max-procs P]
+ *                       [--json PATH]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "gen/generate.hh"
+#include "gen/spec.hh"
+#include "io/run_io.hh"
+#include "support/prng.hh"
+#include "support/table.hh"
+
+using namespace omnisim;
+using namespace omnisim::bench;
+
+namespace
+{
+
+/** First field-level difference between two outcomes, or "". */
+std::string
+outcomeDiff(const IncrementalOutcome &a, const IncrementalOutcome &b)
+{
+    if (a.reused != b.reused)
+        return strf("reused %d vs %d", a.reused, b.reused);
+    if (a.reason != b.reason)
+        return strf("reason '%s' vs '%s'", a.reason.c_str(),
+                    b.reason.c_str());
+    if (a.viaDelta != b.viaDelta)
+        return strf("viaDelta %d vs %d", a.viaDelta, b.viaDelta);
+    if (!a.reused)
+        return "";
+    if (a.result.status != b.result.status)
+        return strf("status %s vs %s", simStatusName(a.result.status),
+                    simStatusName(b.result.status));
+    if (a.result.totalCycles != b.result.totalCycles)
+        return strf("cycles %llu vs %llu",
+                    static_cast<unsigned long long>(a.result.totalCycles),
+                    static_cast<unsigned long long>(b.result.totalCycles));
+    if (a.result.memories != b.result.memories)
+        return "memories differ";
+    return "";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+
+    std::uint64_t seed0 = 7;
+    std::uint32_t count = 2;
+    std::uint32_t probes = 12;
+    std::uint32_t reps = 3;
+    unsigned jobs = 8;
+    std::uint32_t minProcs = 0; // 0 = keep the large-regime default
+    std::uint32_t maxProcs = 0;
+    std::string jsonPath = "BENCH_parallel.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc)
+            seed0 = parseArgU32("--seed", argv[++i], 1u << 30);
+        else if (arg == "--count" && i + 1 < argc)
+            count = parseArgU32("--count", argv[++i], 1u << 16);
+        else if (arg == "--probes" && i + 1 < argc)
+            probes = parseArgU32("--probes", argv[++i], 1u << 12);
+        else if (arg == "--reps" && i + 1 < argc)
+            reps = parseArgU32("--reps", argv[++i], 1u << 12);
+        else if (arg == "--jobs" && i + 1 < argc)
+            jobs = parseArgU32("--jobs", argv[++i], 4096);
+        else if (arg == "--min-procs" && i + 1 < argc)
+            minProcs = parseArgU32("--min-procs", argv[++i],
+                                   gen::kMaxGenProcs);
+        else if (arg == "--max-procs" && i + 1 < argc)
+            maxProcs = parseArgU32("--max-procs", argv[++i],
+                                   gen::kMaxGenProcs);
+        else if (arg == "--json" && i + 1 < argc)
+            jsonPath = argv[++i];
+        else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (jobs < 2)
+        jobs = 2;
+    if (probes == 0 || reps == 0 || count == 0) {
+        std::fprintf(stderr, "--count/--probes/--reps must be >= 1\n");
+        return 2;
+    }
+
+    gen::GenConfig cfg = gen::largeGenConfig();
+    if (minProcs)
+        cfg.minProcs = minProcs;
+    if (maxProcs)
+        cfg.maxProcs = std::max(maxProcs, cfg.minProcs);
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool gateSpeedup = hw >= 8 && jobs >= 8;
+
+    std::cout << "Partitioned parallel relaxation: jobs=" << jobs
+              << " vs serial on " << count
+              << " large generated design(s) (" << hw
+              << " hardware threads; speedup gate "
+              << (gateSpeedup ? "enforced" : "identity-only") << ")\n\n";
+
+    BenchJson json("parallel_relax", jsonPath);
+    json.key("jobs").num(jobs);
+    json.key("hardware_concurrency").num(hw);
+    json.key("speedup_gate_enforced").boolean(gateSpeedup);
+    json.json().key("designs").beginArray();
+
+    TablePrinter t({"Seed", "Procs", "Nodes", "Levels", "MaxWidth",
+                    "Probes", "Serial", "Parallel", "Speedup",
+                    "Identical"});
+    GeomeanAccum speedups;
+    bool allIdentical = true;
+    std::size_t measured = 0;
+    for (std::uint32_t k = 0; k < count; ++k) {
+        const std::uint64_t seed = seed0 + k;
+        const gen::GenSpec spec = gen::generateSpec(seed, cfg);
+        const Design d = gen::materialize(spec);
+        const CompiledDesign cd = compile(d);
+
+        OmniSim engine(cd);
+        if (engine.run().status != SimStatus::Ok) {
+            t.addRow({strf("%llu", static_cast<unsigned long long>(seed)),
+                      strf("%zu", spec.procs.size()), "-", "-", "-", "-",
+                      "-", "-", "-", "skipped (non-Ok baseline)"});
+            continue;
+        }
+        RunSnapshot snap;
+        if (!engine.exportSnapshot(snap))
+            continue;
+        io::RunFileMeta meta;
+        meta.design = d.name();
+        meta.engine = "omnisim";
+        meta.fingerprint = io::designFingerprint(d);
+        const std::unique_ptr<io::StoredRun> run =
+            io::StoredRun::rehydrate(std::move(snap), std::move(meta));
+        const opt::PartitionPlan &plan = run->compiled().layout().part;
+
+        const std::vector<std::uint32_t> &base = run->baseDepths();
+        const std::size_t nfifos = base.size();
+        if (nfifos == 0)
+            continue;
+
+        // Probe set: the first half touches a handful of FIFOs (the
+        // delta worklist path), the second half perturbs a quarter of
+        // them (trips the changed-cone budget into the full leveled
+        // relaxation) — both parallel paths get timed.
+        Prng prng(seed ^ 0x9a7a11e1u);
+        std::vector<std::vector<std::uint32_t>> set;
+        for (std::uint32_t p = 0; p < probes; ++p) {
+            std::vector<std::uint32_t> depths = base;
+            const std::size_t touches =
+                p < probes / 2
+                    ? 1 + prng.below(std::min<std::size_t>(4, nfifos))
+                    : 1 + prng.below(std::max<std::size_t>(1, nfifos / 4));
+            for (std::size_t i = 0; i < touches; ++i)
+                depths[prng.below(nfifos)] =
+                    static_cast<std::uint32_t>(1 + prng.below(12));
+            set.push_back(std::move(depths));
+        }
+
+        // Bit-identity before any timing: every probe, serial vs two
+        // parallel lane counts, on the same StoredRun object.
+        bool identical = true;
+        for (const auto &depths : set) {
+            const IncrementalOutcome serial = run->resimulate(depths, 1);
+            for (const unsigned j : {2u, jobs}) {
+                const std::string diff =
+                    outcomeDiff(serial, run->resimulate(depths, j));
+                if (!diff.empty()) {
+                    identical = false;
+                    allIdentical = false;
+                    std::fprintf(stderr,
+                                 "IDENTITY FAILURE seed %llu jobs %u: "
+                                 "%s\n",
+                                 static_cast<unsigned long long>(seed), j,
+                                 diff.c_str());
+                }
+            }
+        }
+
+        Stopwatch swSerial;
+        for (std::uint32_t r = 0; r < reps; ++r)
+            for (const auto &depths : set)
+                (void)run->resimulate(depths, 1);
+        const double serialSec = swSerial.seconds();
+        Stopwatch swParallel;
+        for (std::uint32_t r = 0; r < reps; ++r)
+            for (const auto &depths : set)
+                (void)run->resimulate(depths, jobs);
+        const double parallelSec = swParallel.seconds();
+        const double speedup =
+            parallelSec > 0 ? serialSec / parallelSec : 0.0;
+        speedups.add(speedup);
+        ++measured;
+
+        t.addRow({strf("%llu", static_cast<unsigned long long>(seed)),
+                  strf("%zu", spec.procs.size()),
+                  strf("%zu", run->compiled().numNodes()),
+                  strf("%u", plan.levels()),
+                  strf("%u", plan.maxLevelWidth),
+                  strf("%zu", set.size()), fmtSeconds(serialSec),
+                  fmtSeconds(parallelSec), fmtSpeedup(speedup),
+                  identical ? "yes" : "NO"});
+
+        json.json().beginObject();
+        json.key("seed").num(seed);
+        json.key("procs").num(spec.procs.size());
+        json.key("nodes").num(run->compiled().numNodes());
+        json.key("plan_valid").boolean(plan.valid);
+        json.key("levels").num(plan.levels());
+        json.key("cones").num(plan.cones());
+        json.key("max_level_width").num(plan.maxLevelWidth);
+        json.key("frontier_edges").num(plan.frontierEdges);
+        json.key("probes").num(set.size());
+        json.key("reps").num(reps);
+        json.key("serial_seconds").num(serialSec);
+        json.key("parallel_seconds").num(parallelSec);
+        json.key("speedup").num(speedup);
+        json.key("identical").boolean(identical);
+        json.json().endObject();
+    }
+    json.json().endArray();
+    t.print(std::cout);
+
+    const double geomean = speedups.value();
+    std::cout << "\nparallel resimulate() vs serial: "
+              << fmtSpeedup(geomean) << " geomean speedup across "
+              << measured << " design(s); bit-identity "
+              << (allIdentical ? "held on every probe" : "VIOLATED")
+              << "\n";
+
+    const bool pass =
+        allIdentical && measured > 0 && (!gateSpeedup || geomean >= 2.0);
+    if (gateSpeedup && geomean < 2.0)
+        std::cout << "ACCEPTANCE FAILURE: speedup gate (>= 2.0x) not "
+                     "met\n";
+
+    json.key("totals").beginObject();
+    json.key("designs_measured").num(measured);
+    json.key("speedup_geomean").num(geomean);
+    json.key("all_identical").boolean(allIdentical);
+    json.key("pass").boolean(pass);
+    json.json().endObject();
+    return json.exitCode(pass);
+}

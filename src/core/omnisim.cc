@@ -1168,7 +1168,7 @@ OmniSim::run()
         OMNISIM_SPAN("omnisim.freeze");
         rd.compiled = std::make_unique<CompiledRun>(
             rd.nodes, rd.edges, rd.seed, rd.tables, depths, rd.constraints,
-            rd.tailNode, rd.tailSlack, opts_.optLevel);
+            rd.tailNode, rd.tailSlack, opts_.optLevel, opts_.jobs);
     }
     r.stats.graphNodes = nnodes;
     r.stats.graphEdges = rd.compiled->numEdges();
@@ -1272,7 +1272,8 @@ OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
                    "depth vector size mismatch");
     omnisim_assert(rd.compiled != nullptr, "valid run has no compiled form");
 
-    const CompiledRun::Attempt a = rd.compiled->resimulate(depths);
+    const CompiledRun::Attempt a =
+        rd.compiled->resimulate(depths, opts_.jobs);
     mAttempts.add();
     if (a.viaDelta)
         mDelta.add();

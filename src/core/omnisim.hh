@@ -78,6 +78,16 @@ struct OmniSimOptions
      * and rehydration speed.
      */
     opt::OptLevel optLevel = opt::OptLevel::O1;
+
+    /**
+     * Relaxation lanes for the frozen run's solver (1 = serial,
+     * 0 = one per hardware thread): the baseline freeze solve and every
+     * resimulate() probe fan wide partition levels out across the
+     * RelaxPool worker team. Only consulted when the -O1 partition pass
+     * certified the design (and it clears the size threshold) — results
+     * are bit-identical at any value.
+     */
+    unsigned jobs = 1;
 };
 
 /** A recorded query outcome — the §7.2 constraint. */

@@ -138,11 +138,13 @@ struct EvalCache::PoolEntry
     /** Depth vector the pooled run executed under (dedup on refresh). */
     DepthVector baseDepths;
 
+    /** @param jobs relaxation lanes for rehydrated entries; a live
+     *  engine already carries its own OmniSimOptions::jobs budget. */
     IncrementalOutcome
-    resimulate(const DepthVector &depths) const
+    resimulate(const DepthVector &depths, unsigned jobs) const
     {
         return engine ? engine->resimulate(depths)
-                      : stored->resimulate(depths);
+                      : stored->resimulate(depths, jobs);
     }
 };
 
@@ -309,7 +311,8 @@ EvalCache::computeFresh(const DepthVector &depths, bool allowIncremental)
                 entries.push_back(p.get());
         }
         for (const PoolEntry *entry : entries) {
-            const IncrementalOutcome inc = entry->resimulate(depths);
+            const IncrementalOutcome inc =
+                entry->resimulate(depths, opts_.jobs);
             if (inc.reused) {
                 e.status = inc.result.status;
                 e.latency = inc.result.totalCycles;

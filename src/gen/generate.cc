@@ -43,8 +43,11 @@ generateSpec(std::uint64_t seed, const GenConfig &cfg)
 
     GenSpec spec;
     spec.seed = seed;
-    const std::uint32_t nprocs = static_cast<std::uint32_t>(
-        2 + prng.below(std::max(1u, cfg.maxProcs - 1)));
+    const std::uint32_t lo = std::max(2u, cfg.minProcs);
+    const std::uint32_t span =
+        cfg.maxProcs > lo ? cfg.maxProcs - lo + 1 : 1u;
+    const std::uint32_t nprocs =
+        static_cast<std::uint32_t>(lo + prng.below(span));
     spec.items = static_cast<std::uint32_t>(
         4 + prng.below(std::max(1u, cfg.maxItems - 3)));
 
@@ -119,6 +122,30 @@ generateSpec(std::uint64_t seed, const GenConfig &cfg)
 
     validateSpec(spec);
     return spec;
+}
+
+GenConfig
+largeGenConfig()
+{
+    GenConfig cfg;
+    cfg.minProcs = 512;
+    cfg.maxProcs = 2048;
+    // One engine thread per process: keep per-process work light so a
+    // large seed still simulates in seconds.
+    cfg.maxItems = 24;
+    cfg.maxDepth = 8;
+    cfg.maxExtraEdges = 1024;
+    // No mixed-end edges or deadlock injection: over thousands of
+    // edges even a tiny per-edge deadlock probability makes a Deadlock
+    // baseline near-certain, and a deadlocked baseline never reaches
+    // the depth-probe oracles this regime exists to stress. Fully
+    // non-blocking edges never block, so they stay in the mix.
+    cfg.pNonBlocking = 0.15;
+    cfg.pMixedEnds = 0.0;
+    cfg.pResponse = 0.08;
+    cfg.pBurst = 0.35;
+    cfg.pDeadlockInjection = 0.0;
+    return cfg;
 }
 
 } // namespace omnisim::gen

@@ -22,7 +22,8 @@ namespace omnisim::gen
 /** Shape and probability knobs for the generator. */
 struct GenConfig
 {
-    /** Process count range [2, maxProcs]. */
+    /** Process count range [minProcs, maxProcs]. */
+    std::uint32_t minProcs = 2;
     std::uint32_t maxProcs = 7;
 
     /** Items (tokens per blocking edge) range [4, maxItems]. */
@@ -59,6 +60,17 @@ struct GenConfig
 
 /** Expand a seed into a validated spec. Deterministic. */
 GenSpec generateSpec(std::uint64_t seed, const GenConfig &cfg = {});
+
+/**
+ * The large regime (`omnisim_cli fuzz --large`, bench/parallel_relax):
+ * hundreds-to-thousands of processes so the compiled graph clears
+ * CompiledRun::kParallelMinNodes and the partition pass produces wide
+ * levels worth fanning out. Probabilities are tamer than the default
+ * mix — fewer non-blocking ends and near-zero deadlock injection — so
+ * most seeds yield a successful baseline run to relax against; the
+ * default config remains the semantic-coverage workhorse.
+ */
+GenConfig largeGenConfig();
 
 } // namespace omnisim::gen
 

@@ -124,9 +124,14 @@ struct GenSpec
     bool operator==(const GenSpec &) const = default;
 };
 
-/** Spec size ceilings enforced by validateSpec(). */
-constexpr std::uint32_t kMaxGenProcs = 64;
-constexpr std::uint32_t kMaxGenEdges = 256;
+/** Spec size ceilings enforced by validateSpec(). Sized for the
+ *  large-regime generator (gen::largeGenConfig), whose designs need
+ *  thousands of processes to exercise the partitioned parallel
+ *  relaxation paths; one engine thread is spawned per process, so
+ *  materializing near the ceiling is a deliberate stress, not a
+ *  default. */
+constexpr std::uint32_t kMaxGenProcs = 4096;
+constexpr std::uint32_t kMaxGenEdges = 12288;
 constexpr std::uint32_t kMaxGenItems = 1u << 16;
 constexpr std::uint32_t kMaxGenDepth = 1u << 20;
 constexpr std::uint32_t kMaxGenPace = 1u << 12;

@@ -36,6 +36,21 @@
  * <= writes+1, so deeper depths are provably indistinguishable — which
  * is also what makes the -O1 lattice analysis finite.
  *
+ * When the -O1 partition pass produced a valid PartitionPlan (see
+ * opt/layout.hh) and the probe *admits* — every clamped depth clears
+ * its FIFO's plan-recorded minimum admissible depth — both the full
+ * pass and the delta sweep run *level-synchronously*: all in-edges of a
+ * level then originate in earlier levels, so each level's nodes are
+ * recomputed independently — across the RelaxPool worker team when a
+ * resimulate(depths, jobs) caller asked for lanes and the design is
+ * large enough — and every order-sensitive decision (commit order,
+ * changed-cone budget) happens on the caller thread at a level barrier.
+ * Results are therefore bit-identical at any thread count, and
+ * identical to the serial engine. Designs without a valid plan (cyclic
+ * baseline overlay) and probes too shallow to admit keep the serial
+ * paths below; admission is a pure function of (plan, depths), so a
+ * live engine and a rehydrated StoredRun always pick the same path.
+ *
  * Every path is bit-identical to the pre-compiled reference
  * implementation (OmniSim::resimulateReference): identical reuse
  * decisions, identical first-divergent constraint (reported in recorded
@@ -51,6 +66,7 @@
 #include <vector>
 
 #include "graph/csr.hh"
+#include "graph/relax_pool.hh"
 #include "graph/simgraph.hh"
 #include "opt/layout.hh"
 #include "runtime/fifo_table.hh"
@@ -73,6 +89,15 @@ struct RunSnapshot; // core/omnisim.hh
 class CompiledRun
 {
   public:
+    /** Serial fallback: designs below this node count never try to
+     *  lease the worker team (a small registry design pays nothing for
+     *  the parallel machinery). */
+    static constexpr std::size_t kParallelMinNodes = 2048;
+
+    /** Levels narrower than this relax inline on the caller even while
+     *  a lease is held — fan-out cost would exceed the work. */
+    static constexpr std::uint32_t kMinParallelLevelWidth = 128;
+
     /** Outcome of one compiled re-simulation attempt. */
     struct Attempt
     {
@@ -119,6 +144,8 @@ class CompiledRun
      * @param tailNode    per-module last-op node (module tail anchor).
      * @param tailSlack   per-module cycles between last op and return.
      * @param level       optimization level (see opt/opt.hh).
+     * @param jobs        relaxation lanes for the baseline solve
+     *                    (1 = serial, 0 = one per hardware thread).
      */
     CompiledRun(const std::vector<NodeInfo> &nodes,
                 const std::vector<CsrGraph::EdgeSpec> &structural,
@@ -128,7 +155,8 @@ class CompiledRun
                 const std::vector<QueryRecord> &constraints,
                 std::vector<std::uint64_t> tailNode,
                 std::vector<Cycles> tailSlack,
-                opt::OptLevel level = opt::OptLevel::O1);
+                opt::OptLevel level = opt::OptLevel::O1,
+                unsigned jobs = 1);
 
     /**
      * Rehydration constructor: freeze a run deserialized in a fresh
@@ -141,7 +169,8 @@ class CompiledRun
      * not tolerated, here.
      */
     explicit CompiledRun(const RunSnapshot &snap,
-                         opt::OptLevel level = opt::OptLevel::O1);
+                         opt::OptLevel level = opt::OptLevel::O1,
+                         unsigned jobs = 1);
 
     /**
      * Fast rehydration from a layout persisted in an OMSIMRUN v3 file:
@@ -151,7 +180,8 @@ class CompiledRun
      * validates structural invariants; equivalence is the writer's
      * contract).
      */
-    CompiledRun(const RunSnapshot &snap, opt::RunLayout layout);
+    CompiledRun(const RunSnapshot &snap, opt::RunLayout layout,
+                unsigned jobs = 1);
 
     /** @return false when even the baseline WAR overlay has a timing
      *  cycle (only reachable in lazy write-stall mode). */
@@ -182,12 +212,39 @@ class CompiledRun
      * regardless of optimization level.
      *
      * @param depths one depth per FIFO (size == fifo count).
+     * @param jobs   relaxation lanes (1 = serial, 0 = one per hardware
+     *               thread). Only consulted when the layout carries a
+     *               valid partition plan that admits the clamped probe
+     *               and the design clears kParallelMinNodes; results
+     *               are bit-identical at any value. Lanes beyond
+     *               RelaxPool's ceiling, or when the team is already
+     *               leased by a concurrent caller, degrade gracefully
+     *               toward serial.
      */
-    Attempt resimulate(const std::vector<std::uint32_t> &depths) const;
+    Attempt resimulate(const std::vector<std::uint32_t> &depths,
+                       unsigned jobs = 1) const;
 
   private:
     /** Shared tail of every constructor: solve the layout. */
-    void freeze();
+    void freeze(unsigned jobs);
+
+    /** True when the layout carries a well-formed partition plan at
+     *  all (freeze() additionally requires the baseline to admit
+     *  before activating it). */
+    bool planUsable() const
+    {
+        return lay_.part.valid && lay_.part.order.size() == lay_.numNodes;
+    }
+
+    /** True when a *clamped* probe may take the leveled relaxation
+     *  paths: freeze() adopted the plan order as the cached rank and
+     *  every probed depth clears its FIFO's minimum admissible depth.
+     *  A pure function of the frozen structure and the probe, so path
+     *  selection is identical in every replica of this run. */
+    bool planAdmits(const std::vector<std::uint32_t> &clamped) const
+    {
+        return planActive_ && lay_.part.admits(clamped);
+    }
 
     /** Clamp a probed depth vector into the per-FIFO lattice. */
     std::vector<std::uint32_t>
@@ -200,13 +257,25 @@ class CompiledRun
                    std::vector<Cycles> &time,
                    std::vector<std::uint32_t> *order) const;
 
+    /** Level-barrier full relaxation over the partition plan — the
+     *  parallelizable equivalent of relaxFull for admitted probes
+     *  (acyclic by the admission contract, so no return value). Wide
+     *  levels fan out over the lease's lanes; an inactive lease runs
+     *  serially. */
+    void relaxLeveled(const std::vector<std::uint32_t> &depths,
+                      std::vector<Cycles> &time,
+                      const RelaxPool::Lease &lease) const;
+
     /** Delta worklist relaxation. @return false to request the full
-     *  fallback (budget exceeded / possible cycle). */
+     *  fallback (budget exceeded / possible cycle). Admitted probes
+     *  take a level-synchronous single sweep (parallel recompute,
+     *  serial in-order commit); others take the serial rank sweep. */
     bool relaxDelta(const std::vector<std::uint32_t> &depths,
                     const std::vector<std::size_t> &changedFifos,
                     std::vector<Cycles> &cur,
                     std::vector<std::uint8_t> &changedFlag,
-                    std::vector<std::uint64_t> &changedNodes) const;
+                    std::vector<std::uint64_t> &changedNodes,
+                    const RelaxPool::Lease &lease) const;
 
     /** Recompute one node's time from its in-edges under a time view. */
     Cycles recompute(std::uint64_t v, const std::vector<Cycles> &cur,
@@ -237,6 +306,9 @@ class CompiledRun
 
     // ---- Baseline solution ------------------------------------------
     bool baselineAcyclic_ = false;
+    /** freeze() adopted the partition plan's level order as the cached
+     *  rank (requires planUsable() and a baseline that admits). */
+    bool planActive_ = false;
     std::vector<Cycles> baseTime_;
     Cycles baseTotal_ = 0;
     std::vector<std::uint32_t> rank_;      ///< Cached topo position.

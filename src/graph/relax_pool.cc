@@ -1,0 +1,152 @@
+#include "graph/relax_pool.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace omnisim
+{
+
+RelaxPool &
+RelaxPool::global()
+{
+    static RelaxPool pool;
+    return pool;
+}
+
+RelaxPool::~RelaxPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+RelaxPool::ensureHelpersLocked(unsigned want)
+{
+    want = std::min(want, kMaxHelpers);
+    while (threads_.size() < want) {
+        const unsigned idx = static_cast<unsigned>(threads_.size());
+        threads_.emplace_back([this, idx] { workerMain(idx); });
+    }
+}
+
+RelaxPool::Lease
+RelaxPool::tryAcquire(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    if (jobs < 2)
+        return {};
+    bool expected = false;
+    if (!busy_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acquire))
+        return {};
+    unsigned helpers = std::min(jobs - 1, kMaxHelpers);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ensureHelpersLocked(helpers);
+        helpers = std::min<unsigned>(
+            helpers, static_cast<unsigned>(threads_.size()));
+    }
+    return Lease(this, 1 + helpers);
+}
+
+void
+RelaxPool::Lease::release()
+{
+    if (pool_ != nullptr)
+        pool_->busy_.store(false, std::memory_order_release);
+    pool_ = nullptr;
+    lanes_ = 1;
+}
+
+void
+RelaxPool::Lease::parallelFor(std::size_t n, std::size_t grain,
+                              const RangeFn &fn) const
+{
+    if (n == 0)
+        return;
+    if (!active()) {
+        fn(0, n);
+        return;
+    }
+    pool_->run(fn, n, grain, lanes_);
+}
+
+void
+RelaxPool::run(const RangeFn &fn, std::size_t n, std::size_t grain,
+               unsigned lanes)
+{
+    grain = std::max<std::size_t>(grain, 1);
+    const unsigned helpers = std::min(
+        lanes - 1, static_cast<unsigned>(threads_.size()));
+    if (helpers == 0 || n <= grain) {
+        fn(0, n);
+        return;
+    }
+    cursor_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        taskFn_ = &fn;
+        taskN_ = n;
+        taskGrain_ = grain;
+        helpersWanted_ = helpers;
+        pendingHelpers_ = helpers;
+        ++epoch_;
+    }
+    cv_.notify_all();
+    runChunks(fn, n, grain, /*helper=*/false);
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        doneCv_.wait(lk, [this] { return pendingHelpers_ == 0; });
+        taskFn_ = nullptr;
+        helpersWanted_ = 0;
+    }
+}
+
+void
+RelaxPool::runChunks(const RangeFn &fn, std::size_t n, std::size_t grain,
+                     bool helper)
+{
+    static obs::Counter &mSteals =
+        obs::Registry::global().counter("relax.pool.steals");
+    for (;;) {
+        const std::size_t b =
+            cursor_.fetch_add(grain, std::memory_order_relaxed);
+        if (b >= n)
+            break;
+        fn(b, std::min(n, b + grain));
+        if (helper)
+            mSteals.add();
+    }
+}
+
+void
+RelaxPool::workerMain(unsigned idx)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_)
+            return;
+        seen = epoch_;
+        if (idx >= helpersWanted_)
+            continue;
+        const RangeFn *fn = taskFn_;
+        const std::size_t n = taskN_;
+        const std::size_t grain = taskGrain_;
+        lk.unlock();
+        runChunks(*fn, n, grain, /*helper=*/true);
+        lk.lock();
+        if (--pendingHelpers_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+} // namespace omnisim

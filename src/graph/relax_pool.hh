@@ -1,0 +1,142 @@
+/**
+ * @file
+ * RelaxPool: the reusable worker team behind partitioned parallel
+ * relaxation.
+ *
+ * One process-wide team of helper threads serves every CompiledRun. A
+ * caller try-acquires the team for the duration of one relaxation
+ * (simulate freeze or a resimulate probe); while held, Lease::parallelFor
+ * fans a level's cones out across the lanes with the caller
+ * participating. The acquire is non-blocking on purpose: when the team
+ * is already leased (EvalCache workers, the serve pool, and batch lanes
+ * all probe concurrently) the caller simply gets an inactive lease and
+ * relaxes serially — parallelism across runs already owns the cores, so
+ * stacking nested parallelism on top would only oversubscribe.
+ *
+ * Determinism note: parallelFor only partitions index ranges; the
+ * engine keeps every order-sensitive decision (commit order, budget
+ * checks) on the caller thread, so results are bit-identical at any
+ * lane count.
+ */
+
+#ifndef OMNISIM_GRAPH_RELAX_POOL_HH
+#define OMNISIM_GRAPH_RELAX_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omnisim
+{
+
+class RelaxPool
+{
+public:
+    /** Range task: process layout indices [begin, end). */
+    using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+    /** Helper-thread ceiling (lanes = helpers + the caller). */
+    static constexpr unsigned kMaxHelpers = 15;
+
+    /**
+     * RAII hold on the team. Inactive leases (default-constructed, or
+     * when tryAcquire lost the race / jobs < 2) run parallelFor inline
+     * on the caller — callers never branch on activity themselves.
+     */
+    class Lease
+    {
+    public:
+        Lease() = default;
+        Lease(Lease &&other) noexcept
+            : pool_(other.pool_), lanes_(other.lanes_)
+        {
+            other.pool_ = nullptr;
+            other.lanes_ = 1;
+        }
+        Lease &operator=(Lease &&other) noexcept
+        {
+            if (this != &other) {
+                release();
+                pool_ = other.pool_;
+                lanes_ = other.lanes_;
+                other.pool_ = nullptr;
+                other.lanes_ = 1;
+            }
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease() { release(); }
+
+        bool active() const { return pool_ != nullptr && lanes_ > 1; }
+        unsigned lanes() const { return lanes_; }
+
+        /** Run fn over [0, n) in chunks of at most `grain` indices.
+         *  Blocks until every chunk completed; chunks are claimed
+         *  dynamically by the caller + helper lanes. Inactive lease:
+         *  one inline fn(0, n) call. */
+        void parallelFor(std::size_t n, std::size_t grain,
+                         const RangeFn &fn) const;
+
+    private:
+        friend class RelaxPool;
+        Lease(RelaxPool *pool, unsigned lanes)
+            : pool_(pool), lanes_(lanes)
+        {
+        }
+        void release();
+
+        RelaxPool *pool_ = nullptr;
+        unsigned lanes_ = 1;
+    };
+
+    /** The process-wide team. */
+    static RelaxPool &global();
+
+    /**
+     * Try to lease the team with `jobs` total lanes (0 = one per
+     * hardware thread). Returns an inactive lease when jobs < 2 or the
+     * team is already held. Helper threads are created lazily, up to
+     * kMaxHelpers, and may exceed the hardware count when explicitly
+     * requested (thread-count bit-identity tests rely on that).
+     */
+    Lease tryAcquire(unsigned jobs);
+
+    ~RelaxPool();
+
+private:
+    RelaxPool() = default;
+
+    void run(const RangeFn &fn, std::size_t n, std::size_t grain,
+             unsigned lanes);
+    void runChunks(const RangeFn &fn, std::size_t n, std::size_t grain,
+                   bool helper);
+    void ensureHelpersLocked(unsigned want);
+    void workerMain(unsigned idx);
+
+    std::atomic<bool> busy_{false};
+
+    std::mutex mu_;
+    std::condition_variable cv_;     ///< Dispatch: epoch changed / stop.
+    std::condition_variable doneCv_; ///< Completion barrier.
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+
+    // Current task, published under mu_ before the epoch bump.
+    const RangeFn *taskFn_ = nullptr;
+    std::size_t taskN_ = 0;
+    std::size_t taskGrain_ = 1;
+    unsigned helpersWanted_ = 0;
+    unsigned pendingHelpers_ = 0;
+    std::uint64_t epoch_ = 0;
+
+    std::atomic<std::size_t> cursor_{0}; ///< Next unclaimed index.
+};
+
+} // namespace omnisim
+
+#endif // OMNISIM_GRAPH_RELAX_POOL_HH

@@ -16,15 +16,23 @@
  *                              followed by the RunSnapshot sections;
  *                              v3 appends the compiled-layout section
  *                              (opt level, node remap, optimized graph,
- *                              kept-constraint indices, pass stats)
+ *                              kept-constraint indices, pass stats);
+ *                              v4 appends the partition-plan section
+ *                              (level order, level/cone offsets,
+ *                              frontier count, per-FIFO admission
+ *                              depth thresholds) to the layout
  *
  * Version 3 persists the graph-compilation pipeline's output next to
  * the snapshot, so a loader rehydrates by re-solving the already
  * optimized layout instead of re-running the passes (and their
- * whole-graph analyses) — the dominant cost on large runs. Version 2
+ * whole-graph analyses) — the dominant cost on large runs. Version 4
+ * additionally persists the partition pass's rank-level plan, so a
+ * rehydrated run is parallel-ready without re-levelizing. Version 2
  * files (no layout section) still decode; their runs are recompiled
  * through the deterministic pass pipeline on load and behave
- * identically.
+ * identically. Version 3 files re-derive the partition plan on load —
+ * the builder is deterministic, so the result matches what a v4 writer
+ * would have stored.
  *
  * Decoding is strict: bad magic, an unknown version, a checksum
  * mismatch, a truncated section, an impossible element count, or any
@@ -59,8 +67,9 @@ namespace omnisim::io
 /** Current on-disk format version; bumped on any layout change.
  *  v2: EngineStats gained the forcedBlind / deadlockRetroSuspect
  *  approximation markers (see runtime/result.hh).
- *  v3: appended the compiled-layout section (see file comment). */
-constexpr std::uint32_t kRunFormatVersion = 3;
+ *  v3: appended the compiled-layout section (see file comment).
+ *  v4: appended the partition-plan section to the layout. */
+constexpr std::uint32_t kRunFormatVersion = 4;
 
 /** Oldest version this build still decodes (v2 runs are recompiled
  *  through the pass pipeline on load). */
@@ -104,6 +113,13 @@ std::string encodeRun(const RunFileMeta &meta, const RunSnapshot &snap,
 /** Encode a version-2 image (no layout section) — kept so the
  *  backward-compatibility tests can manufacture genuine v2 files. */
 std::string encodeRunV2(const RunFileMeta &meta, const RunSnapshot &snap);
+
+/** Encode a version-3 image (layout section, no partition plan) — kept
+ *  so the backward-compatibility tests can manufacture genuine v3
+ *  files; the decoder re-derives the plan for them. Null @p layout
+ *  recompiles, as encodeRun does. */
+std::string encodeRunV3(const RunFileMeta &meta, const RunSnapshot &snap,
+                        const opt::RunLayout *layout = nullptr);
 
 /**
  * Decode and fully validate a run file image.
@@ -197,6 +213,10 @@ class StoredRun
         return compiled_->compileStats();
     }
 
+    /** @return the CompiledRun serving resimulate() — read-only
+     *  introspection (layout, partition plan) for benches and tests. */
+    const CompiledRun &compiled() const { return *compiled_; }
+
     /**
      * Attempt incremental re-simulation under new depths, without the
      * design, the DSL, or any re-tracing — pure CompiledRun delta
@@ -204,9 +224,13 @@ class StoredRun
      * OmniSim::resimulate(): reused outcomes carry the baseline result
      * with re-finalized cycles; divergence reports the first flipped
      * constraint with the same message text. Thread-safe.
+     *
+     * @param jobs relaxation lanes (see OmniSimOptions::jobs) — results
+     *             are bit-identical at any value.
      */
     IncrementalOutcome
-    resimulate(const std::vector<std::uint32_t> &depths) const;
+    resimulate(const std::vector<std::uint32_t> &depths,
+               unsigned jobs = 1) const;
 
   private:
     StoredRun(RunSnapshot snap, RunFileMeta meta,

@@ -1,0 +1,236 @@
+#include "opt/partition.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace omnisim::opt
+{
+
+namespace
+{
+
+/** Append the WAR overlay at the clamped baseline depths (read i-s ->
+ *  write i per FIFO, blocking live writes only) to the structural
+ *  out-lists, mirroring the engine's OverlayView edge predicate. */
+void
+appendWarOverlay(const RunLayout &lay,
+                 const std::vector<std::uint32_t> &clamped,
+                 std::vector<std::pair<std::uint32_t, std::uint32_t>> &es)
+{
+    for (std::size_t f = 0; f < lay.fifos.size(); ++f) {
+        const FifoLayout &fl = lay.fifos[f];
+        const std::size_t s = clamped[f];
+        const std::size_t nr = fl.readNode.size();
+        for (std::size_t i = s; i < fl.writeNode.size(); ++i) {
+            if (i - s >= nr)
+                break;
+            const std::uint32_t rn = fl.readNode[i - s];
+            if (rn == kNoNode)
+                continue;
+            const std::uint32_t wn = fl.writeNode[i];
+            if (wn == kNoNode || !lay.accBlockingWrite[wn])
+                continue;
+            es.push_back({rn, wn});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+minSafeDepths(const RunLayout &lay, const std::vector<std::uint32_t> &level)
+{
+    std::vector<std::uint32_t> ms(lay.fifos.size(), 1);
+    std::vector<std::uint64_t> prefix;
+    for (std::size_t f = 0; f < lay.fifos.size(); ++f) {
+        const FifoLayout &fl = lay.fifos[f];
+        const std::size_t nr = fl.readNode.size();
+        // prefix[r] = 1 + max level among live reads at positions <= r
+        // (0 when none yet) — nondecreasing, so the first position that
+        // reaches a write's level is a lower_bound.
+        prefix.assign(nr, 0);
+        std::uint64_t run = 0;
+        for (std::size_t r = 0; r < nr; ++r) {
+            if (fl.readNode[r] != kNoNode)
+                run = std::max(
+                    run,
+                    static_cast<std::uint64_t>(level[fl.readNode[r]]) + 1);
+            prefix[r] = run;
+        }
+        std::uint32_t need = 1;
+        for (std::size_t i = 0; i < fl.writeNode.size(); ++i) {
+            const std::uint32_t wn = fl.writeNode[i];
+            if (wn == kNoNode || !lay.accBlockingWrite[wn])
+                continue;
+            // First read position whose prefix max reaches this write's
+            // level; a WAR source at or past it would not climb levels,
+            // so the depth must keep the source strictly before it.
+            const std::uint64_t L = level[wn];
+            const auto it =
+                std::lower_bound(prefix.begin(), prefix.end(), L + 1);
+            if (it == prefix.end())
+                continue; // every read sits strictly below this write
+            const auto r0 =
+                static_cast<std::size_t>(it - prefix.begin());
+            if (i >= r0) // need i - s < r0, i.e. s >= i - r0 + 1
+                need = std::max(
+                    need, static_cast<std::uint32_t>(i - r0 + 1));
+        }
+        ms[f] = need;
+    }
+    return ms;
+}
+
+PartitionPlan
+buildPartitionPlan(const RunLayout &lay,
+                   const std::vector<std::uint32_t> &baseDepths,
+                   std::uint32_t coneGrain)
+{
+    static obs::Counter &mValid =
+        obs::Registry::global().counter("relax.partition.valid");
+    static obs::Counter &mFallback =
+        obs::Registry::global().counter("relax.partition.serial_fallback");
+    static obs::Counter &mCones =
+        obs::Registry::global().counter("relax.partition.cones");
+    static obs::Counter &mFrontier =
+        obs::Registry::global().counter("relax.partition.frontier_edges");
+    static obs::Histogram &mLevelWidth =
+        obs::Registry::global().histogram("relax.level_width");
+
+    PartitionPlan plan;
+    if (coneGrain == 0)
+        coneGrain = 1;
+    if (baseDepths.size() != lay.fifos.size()) {
+        mFallback.add();
+        return plan; // malformed input: decline rather than misorder
+    }
+    std::vector<std::uint32_t> clamped(baseDepths.size());
+    for (std::size_t f = 0; f < baseDepths.size(); ++f)
+        clamped[f] = std::min(baseDepths[f], lay.fifos[f].cap);
+
+    const std::size_t n = lay.numNodes;
+    if (n == 0) {
+        plan.valid = true;
+        plan.levelOffsets = {0};
+        plan.coneOffsets = {0};
+        plan.minSafeDepth.assign(lay.fifos.size(), 1);
+        mValid.add();
+        return plan;
+    }
+
+    // Combined edge list: structural + the WAR overlay at the clamped
+    // baseline depths. Using the baseline (not depth 1) keeps the
+    // levelization acyclic exactly when the baseline run was feasible;
+    // which other depth vectors the resulting levels can order is
+    // derived afterwards as per-FIFO minimum admissible depths.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> es;
+    es.reserve(lay.edges.size() + 16);
+    for (const auto &e : lay.edges)
+        es.push_back({static_cast<std::uint32_t>(e.src),
+                      static_cast<std::uint32_t>(e.dst)});
+    appendWarOverlay(lay, clamped, es);
+
+    // CSR out-lists + in-degrees.
+    std::vector<std::uint32_t> outOff(n + 1, 0), indeg(n, 0);
+    for (const auto &[u, v] : es) {
+        ++outOff[u + 1];
+        ++indeg[v];
+    }
+    for (std::size_t v = 0; v < n; ++v)
+        outOff[v + 1] += outOff[v];
+    std::vector<std::uint32_t> outDst(es.size());
+    {
+        std::vector<std::uint32_t> cur(outOff.begin(), outOff.end() - 1);
+        for (const auto &[u, v] : es)
+            outDst[cur[u]++] = v;
+    }
+
+    // Kahn longest-path levelization: level[v] = 1 + max over in-edges.
+    std::vector<std::uint32_t> level(n, 0);
+    std::vector<std::uint32_t> ready;
+    ready.reserve(n);
+    for (std::size_t v = 0; v < n; ++v)
+        if (indeg[v] == 0)
+            ready.push_back(static_cast<std::uint32_t>(v));
+    std::size_t processed = 0;
+    std::uint32_t numLevels = 0;
+    while (!ready.empty()) {
+        const std::uint32_t u = ready.back();
+        ready.pop_back();
+        ++processed;
+        numLevels = std::max(numLevels, level[u] + 1);
+        for (std::uint32_t i = outOff[u]; i < outOff[u + 1]; ++i) {
+            const std::uint32_t v = outDst[i];
+            level[v] = std::max(level[v], level[u] + 1);
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        }
+    }
+    if (processed != n) {
+        // Baseline overlay is cyclic: the baseline itself decides how
+        // to report that; the plan just declines to parallelize.
+        mFallback.add();
+        return plan;
+    }
+
+    // Depth admission thresholds: the smallest clamped depth per FIFO
+    // at which every live blocking write still sits strictly above the
+    // reads that could source its WAR edge. Probes below a threshold
+    // simply take the serial paths (PartitionPlan::admits).
+    plan.minSafeDepth = minSafeDepths(lay, level);
+
+    // Bucket nodes by level; ascending id within a level (determinism:
+    // the commit order at each barrier is the plan order).
+    plan.levelOffsets.assign(numLevels + 1, 0);
+    for (std::size_t v = 0; v < n; ++v)
+        ++plan.levelOffsets[level[v] + 1];
+    for (std::uint32_t l = 0; l < numLevels; ++l)
+        plan.levelOffsets[l + 1] += plan.levelOffsets[l];
+    plan.order.resize(n);
+    {
+        std::vector<std::uint32_t> cur(plan.levelOffsets.begin(),
+                                       plan.levelOffsets.end() - 1);
+        for (std::size_t v = 0; v < n; ++v)
+            plan.order[cur[level[v]]++] = static_cast<std::uint32_t>(v);
+    }
+
+    // Split each level into balanced cones of at most coneGrain nodes.
+    std::vector<std::uint32_t> coneOf(n, 0);
+    plan.coneOffsets.push_back(0);
+    for (std::uint32_t l = 0; l < numLevels; ++l) {
+        const std::uint32_t b = plan.levelOffsets[l];
+        const std::uint32_t e = plan.levelOffsets[l + 1];
+        const std::uint32_t width = e - b;
+        plan.maxLevelWidth = std::max(plan.maxLevelWidth, width);
+        mLevelWidth.record(width);
+        const std::uint32_t nCones = (width + coneGrain - 1) / coneGrain;
+        const std::uint32_t base = nCones ? width / nCones : 0;
+        const std::uint32_t rem = nCones ? width % nCones : 0;
+        std::uint32_t pos = b;
+        for (std::uint32_t c = 0; c < nCones; ++c) {
+            const std::uint32_t sz = base + (c < rem ? 1 : 0);
+            const std::uint32_t cone =
+                static_cast<std::uint32_t>(plan.coneOffsets.size()) - 1;
+            for (std::uint32_t i = pos; i < pos + sz; ++i)
+                coneOf[plan.order[i]] = cone;
+            pos += sz;
+            plan.coneOffsets.push_back(pos);
+        }
+    }
+
+    for (const auto &e : lay.edges)
+        if (coneOf[e.src] != coneOf[e.dst])
+            ++plan.frontierEdges;
+
+    plan.valid = true;
+    mValid.add();
+    mCones.add(plan.cones());
+    mFrontier.add(plan.frontierEdges);
+    return plan;
+}
+
+} // namespace omnisim::opt

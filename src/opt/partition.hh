@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The -O1 "partition" pass: levelize a materialized RunLayout and split
+ * wide levels into balanced cones for the parallel relaxation engine.
+ * See PartitionPlan in opt/layout.hh for the validity contract.
+ */
+
+#ifndef OMNISIM_OPT_PARTITION_HH
+#define OMNISIM_OPT_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/layout.hh"
+
+namespace omnisim::opt
+{
+
+/** Default cone grain: wide levels split into chunks of at most this
+ *  many nodes, so a level of width W exposes ceil(W / grain) units of
+ *  claimable work. */
+constexpr std::uint32_t kConeGrain = 128;
+
+/**
+ * Build a rank-level partition plan for `lay`.
+ *
+ * Levelizes the structural edges plus the WAR overlay at the *baseline*
+ * depths (@p baseDepths, clamped per FIFO to its lattice cap first — the
+ * same clamp resimulate() applies) by longest-path rank, then derives
+ * the per-FIFO minimum admissible depths the levels support (see
+ * PartitionPlan::minSafeDepth / minSafeDepths()). The plan is `valid`
+ * whenever the baseline overlay is acyclic; which probes may use its
+ * level order is a per-call PartitionPlan::admits() decision. A cyclic
+ * overlay — a timing-infeasible baseline — yields `valid == false`
+ * (levels empty) and the engine keeps the serial path.
+ */
+PartitionPlan
+buildPartitionPlan(const RunLayout &lay,
+                   const std::vector<std::uint32_t> &baseDepths,
+                   std::uint32_t coneGrain = kConeGrain);
+
+/**
+ * Per-FIFO minimum admissible depths implied by a level assignment
+ * (@p level, one entry per layout node). For FIFO f with live blocking
+ * write at position i (0-based) on level L, a depth s is safe when the
+ * WAR source position i-s is negative or every live read at positions
+ * <= i-s sits strictly below L; the prefix-max over read levels makes
+ * safety monotone in s, and the returned entry is the smallest safe
+ * depth (>= 1) over all of f's live blocking writes. Exposed separately
+ * so the run-file decoder can recompute and cross-check a persisted
+ * plan's thresholds against its persisted levels.
+ */
+std::vector<std::uint32_t>
+minSafeDepths(const RunLayout &lay, const std::vector<std::uint32_t> &level);
+
+} // namespace omnisim::opt
+
+#endif // OMNISIM_OPT_PARTITION_HH

@@ -6,6 +6,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "opt/build.hh"
+#include "opt/partition.hh"
 #include "runtime/fifo_table.hh"
 #include "support/logging.hh"
 
@@ -335,7 +336,7 @@ PassManager::passNames() const
 {
     if (level_ == OptLevel::O0)
         return {};
-    return {"lattice-prune", "chain-collapse", "dedup"};
+    return {"lattice-prune", "chain-collapse", "dedup", "partition"};
 }
 
 RunLayout
@@ -381,8 +382,22 @@ PassManager::compile(const LayoutInput &in) const
             detail::dedup(b, passes.back());
         }
     }
-    OMNISIM_SPAN("compile.materialize");
-    return detail::materialize(b, level_, std::move(passes));
+    RunLayout lay;
+    {
+        OMNISIM_SPAN("compile.materialize");
+        lay = detail::materialize(b, level_, std::move(passes));
+    }
+    if (level_ != OptLevel::O0) {
+        static obs::Histogram &mPartitionUs =
+            obs::Registry::global().histogram("compile.pass_us.partition");
+        OMNISIM_SPAN("compile.partition");
+        obs::ScopedLatencyUs t(mPartitionUs);
+        lay.part = buildPartitionPlan(lay, *in.depths);
+        PassStats ps;
+        ps.pass = "partition";
+        lay.stats.passes.push_back(ps);
+    }
+    return lay;
 }
 
 } // namespace omnisim::opt

@@ -317,6 +317,130 @@ TEST(RunIo, V2FilesStillDecodeAndRecompile)
     }
 }
 
+TEST(RunIo, V3FilesRederiveThePartitionPlan)
+{
+    // A version-3 image carries the layout but no partition plan; the
+    // decoder re-derives one from the persisted layout and the
+    // snapshot's baseline depths. The builder is deterministic, so the
+    // result must match the plan a v4 image persists field-by-field —
+    // and probes through both files must answer identically.
+    Compiled c("reconvergent");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+    RunSnapshot snap;
+    ASSERT_TRUE(engine.exportSnapshot(snap));
+    const io::RunFileMeta meta{"reconvergent", "omnisim", 7};
+    const std::string v3 = io::encodeRunV3(meta, snap);
+    const std::string v4 = io::encodeRun(meta, snap);
+    EXPECT_LT(v3.size(), v4.size());
+
+    io::RunFileMeta m3, m4;
+    RunSnapshot s3, s4;
+    std::optional<opt::RunLayout> lay3, lay4;
+    io::decodeRun(v3, m3, s3, lay3);
+    io::decodeRun(v4, m4, s4, lay4);
+    ASSERT_TRUE(lay3.has_value());
+    ASSERT_TRUE(lay4.has_value());
+    const opt::PartitionPlan &p3 = lay3->part;
+    const opt::PartitionPlan &p4 = lay4->part;
+    ASSERT_TRUE(p4.valid);
+    EXPECT_EQ(p3.valid, p4.valid);
+    EXPECT_EQ(p3.order, p4.order);
+    EXPECT_EQ(p3.levelOffsets, p4.levelOffsets);
+    EXPECT_EQ(p3.coneOffsets, p4.coneOffsets);
+    EXPECT_EQ(p3.frontierEdges, p4.frontierEdges);
+    EXPECT_EQ(p3.maxLevelWidth, p4.maxLevelWidth);
+    EXPECT_EQ(p3.minSafeDepth, p4.minSafeDepth);
+
+    TempDir dir("v3compat");
+    const std::string p3path = (fs::path(dir.path) / "v3.omnirun").string();
+    const std::string p4path = (fs::path(dir.path) / "v4.omnirun").string();
+    std::ofstream(p3path, std::ios::binary) << v3;
+    std::ofstream(p4path, std::ios::binary) << v4;
+    const std::unique_ptr<io::StoredRun> r3 = io::StoredRun::open(p3path);
+    const std::unique_ptr<io::StoredRun> r4 = io::StoredRun::open(p4path);
+    Prng prng(nameSeed("v3compat"));
+    const std::vector<std::uint32_t> base = r3->baseDepths();
+    for (int probe = 0; probe < 24; ++probe) {
+        std::vector<std::uint32_t> depths = base;
+        for (auto &dep : depths)
+            if (prng.below(2) == 0)
+                dep = static_cast<std::uint32_t>(1 + prng.below(12));
+        expectIdentical(r3->resimulate(depths, 2),
+                        r4->resimulate(depths, 2), "v3-vs-v4 probe");
+    }
+}
+
+TEST(RunIo, TamperedPartitionPlanRejected)
+{
+    // A checksum-intact v4 plan section whose content breaks a plan
+    // invariant must be rejected at decode — the parallel engine's
+    // unchecked indexing (and its level-barrier ordering argument)
+    // trusts every one of these fields. Tampers are injected by
+    // re-encoding through encodeRun's layout parameter, so the whole
+    // real decode path runs.
+    Compiled c("reconvergent");
+    OmniSim engine(c.cd, checkedOmniSim());
+    ASSERT_EQ(engine.run().status, SimStatus::Ok);
+    RunSnapshot snap;
+    ASSERT_TRUE(engine.exportSnapshot(snap));
+    const io::RunFileMeta meta{"reconvergent", "omnisim", 7};
+    io::RunFileMeta m;
+    RunSnapshot s;
+    std::optional<opt::RunLayout> lay;
+    io::decodeRun(io::encodeRun(meta, snap), m, s, lay);
+    ASSERT_TRUE(lay.has_value());
+    ASSERT_TRUE(lay->part.valid);
+    ASSERT_FALSE(lay->part.minSafeDepth.empty());
+
+    const auto expectRejected = [&](const opt::RunLayout &bad,
+                                    const char *what) {
+        const std::string image = io::encodeRun(meta, snap, &bad);
+        io::RunFileMeta m2;
+        RunSnapshot s2;
+        std::optional<opt::RunLayout> lay2;
+        EXPECT_THROW(io::decodeRun(image, m2, s2, lay2), FatalError)
+            << what;
+    };
+
+    {
+        opt::RunLayout bad = *lay;
+        bad.part.valid = false; // serial plan must carry no level data
+        expectRejected(bad, "invalid plan with arrays");
+    }
+    {
+        opt::RunLayout bad = *lay;
+        bad.part.maxLevelWidth += 1;
+        expectRejected(bad, "overstated level width");
+    }
+    {
+        opt::RunLayout bad = *lay;
+        bad.part.frontierEdges += 1;
+        expectRejected(bad, "wrong frontier count");
+    }
+    {
+        opt::RunLayout bad = *lay;
+        bad.part.minSafeDepth[0] += 1; // levels imply a different value
+        expectRejected(bad, "overstated depth threshold");
+    }
+    {
+        opt::RunLayout bad = *lay;
+        bad.part.minSafeDepth.pop_back();
+        expectRejected(bad, "missing depth threshold");
+    }
+    {
+        opt::RunLayout bad = *lay;
+        ASSERT_GE(bad.part.order.size(), 2u);
+        bad.part.order[1] = bad.part.order[0]; // not a permutation
+        expectRejected(bad, "duplicate order entry");
+    }
+    {
+        opt::RunLayout bad = *lay;
+        bad.part.order.pop_back(); // orders fewer nodes than the layout
+        expectRejected(bad, "short order");
+    }
+}
+
 TEST(RunIo, TruncatedLayoutSectionRejected)
 {
     // Cut bytes out of the v3 layout section while keeping the header

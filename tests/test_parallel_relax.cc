@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Partitioned parallel relaxation: RelaxPool semantics, partition-plan
+ * structural invariants on a generated large design, and bit-identity
+ * of resimulate() across lane counts — the guarantees the level-barrier
+ * engine (src/graph/compiled_run.cc) and the -O1 partition pass
+ * (src/opt/partition.cc) advertise. The parallel-vs-serial fuzz oracle
+ * covers the same identity over random designs; these tests pin it with
+ * exact expectations, including probes the plan must *refuse* to admit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "gen/generate.hh"
+#include "graph/relax_pool.hh"
+#include "helpers.hh"
+#include "io/run_io.hh"
+#include "opt/partition.hh"
+#include "support/prng.hh"
+
+using namespace omnisim;
+
+namespace
+{
+
+/** First field-level difference between two outcomes, or "". */
+std::string
+outcomeDiff(const IncrementalOutcome &a, const IncrementalOutcome &b)
+{
+    if (a.reused != b.reused)
+        return "reused differs";
+    if (a.reason != b.reason)
+        return "reason differs: '" + a.reason + "' vs '" + b.reason + "'";
+    if (!a.reused)
+        return "";
+    if (a.result.status != b.result.status)
+        return "status differs";
+    if (a.result.totalCycles != b.result.totalCycles)
+        return "totalCycles differs";
+    if (a.result.memories != b.result.memories)
+        return "memories differ";
+    return "";
+}
+
+/** Large-regime generator config shrunk to test-suite runtimes while
+ *  still clearing kParallelMinNodes after the -O1 passes. */
+gen::GenConfig
+testLargeConfig()
+{
+    gen::GenConfig cfg = gen::largeGenConfig();
+    cfg.minProcs = 96;
+    cfg.maxProcs = 128;
+    return cfg;
+}
+
+/** A generated design big enough to clear kParallelMinNodes after the
+ *  -O1 passes, rehydrated into a StoredRun next to its live engine. */
+struct LargeRun
+{
+    Design design;
+    CompiledDesign cd;
+    std::unique_ptr<OmniSim> engine;
+    std::unique_ptr<io::StoredRun> stored;
+
+    explicit LargeRun(std::uint64_t seed)
+        : design(gen::materialize(gen::generateSpec(seed,
+                                                    testLargeConfig()))),
+          cd(compile(design))
+    {
+        engine = std::make_unique<OmniSim>(cd);
+        EXPECT_EQ(engine->run().status, SimStatus::Ok);
+        RunSnapshot snap;
+        EXPECT_TRUE(engine->exportSnapshot(snap));
+        stored = io::StoredRun::rehydrate(std::move(snap));
+    }
+};
+
+TEST(RelaxPool, LeaseIsExclusiveAndReusable)
+{
+    RelaxPool &pool = RelaxPool::global();
+    {
+        const RelaxPool::Lease first = pool.tryAcquire(4);
+        ASSERT_TRUE(first.active());
+        EXPECT_EQ(first.lanes(), 4u);
+        // The team is held: a concurrent caller degrades to serial.
+        const RelaxPool::Lease second = pool.tryAcquire(4);
+        EXPECT_FALSE(second.active());
+    }
+    // Released on destruction: the team can be leased again.
+    const RelaxPool::Lease again = pool.tryAcquire(2);
+    EXPECT_TRUE(again.active());
+}
+
+TEST(RelaxPool, InactiveLeaseRunsInline)
+{
+    const RelaxPool::Lease lease; // default-constructed: inactive
+    EXPECT_FALSE(lease.active());
+    EXPECT_EQ(lease.lanes(), 1u);
+    std::vector<int> calls;
+    lease.parallelFor(37, 4, [&](std::size_t b, std::size_t e) {
+        calls.push_back(1);
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 37u);
+    });
+    EXPECT_EQ(calls.size(), 1u); // one fn(0, n) call, caller thread
+}
+
+TEST(RelaxPool, ParallelForCoversEveryIndexOnce)
+{
+    // Lanes may exceed the hardware count (the bit-identity tests below
+    // rely on jobs=8 meaning 8 even on a single-core host).
+    const RelaxPool::Lease lease = RelaxPool::global().tryAcquire(8);
+    ASSERT_TRUE(lease.active());
+    constexpr std::size_t kN = 10'000;
+    std::vector<std::atomic<std::uint32_t>> hits(kN);
+    lease.parallelFor(kN, 64, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(RelaxPool, JobsBelowTwoStaySerial)
+{
+    EXPECT_FALSE(RelaxPool::global().tryAcquire(1).active());
+}
+
+TEST(ParallelRelax, PartitionPlanInvariants)
+{
+    const LargeRun run(11);
+    const opt::RunLayout &lay = run.stored->compiled().layout();
+    const opt::PartitionPlan &p = lay.part;
+    ASSERT_TRUE(p.valid);
+    ASSERT_GE(lay.numNodes, CompiledRun::kParallelMinNodes);
+
+    // The order is a permutation of the layout nodes.
+    const std::size_t n = lay.numNodes;
+    ASSERT_EQ(p.order.size(), n);
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const std::uint32_t v : p.order) {
+        ASSERT_LT(v, n);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = 1;
+    }
+
+    // Offsets span the order; every level boundary is a cone boundary.
+    ASSERT_GE(p.levels(), 2u);
+    ASSERT_EQ(p.levelOffsets.front(), 0u);
+    ASSERT_EQ(p.levelOffsets.back(), n);
+    ASSERT_EQ(p.coneOffsets.front(), 0u);
+    ASSERT_EQ(p.coneOffsets.back(), n);
+    std::size_t c = 0;
+    std::uint32_t maxWidth = 0;
+    for (std::size_t l = 0; l + 1 < p.levelOffsets.size(); ++l) {
+        ASSERT_LE(p.levelOffsets[l], p.levelOffsets[l + 1]);
+        maxWidth = std::max(maxWidth,
+                            p.levelOffsets[l + 1] - p.levelOffsets[l]);
+        while (c < p.coneOffsets.size() &&
+               p.coneOffsets[c] < p.levelOffsets[l])
+            ++c;
+        ASSERT_EQ(p.coneOffsets[c], p.levelOffsets[l]);
+    }
+    EXPECT_EQ(maxWidth, p.maxLevelWidth);
+
+    // Structural edges climb strictly level-up.
+    std::vector<std::uint32_t> levelOf(n, 0);
+    for (std::size_t l = 0; l + 1 < p.levelOffsets.size(); ++l)
+        for (std::uint32_t i = p.levelOffsets[l];
+             i < p.levelOffsets[l + 1]; ++i)
+            levelOf[p.order[i]] = static_cast<std::uint32_t>(l);
+    for (const auto &e : lay.edges)
+        ASSERT_LT(levelOf[e.src], levelOf[e.dst]);
+
+    // The admission thresholds are exactly what the levels imply, and
+    // the baseline itself admits (else the plan would never be used).
+    ASSERT_EQ(p.minSafeDepth.size(), lay.fifos.size());
+    EXPECT_EQ(p.minSafeDepth, opt::minSafeDepths(lay, levelOf));
+    std::vector<std::uint32_t> clampedBase = run.stored->baseDepths();
+    for (std::size_t f = 0; f < clampedBase.size(); ++f)
+        clampedBase[f] = std::min(clampedBase[f], lay.fifos[f].cap);
+    EXPECT_TRUE(p.admits(clampedBase));
+    for (const std::uint32_t d : p.minSafeDepth)
+        EXPECT_GE(d, 1u);
+
+    // The frontier count is derived data; keep the builder honest.
+    std::vector<std::uint32_t> coneOf(n, 0);
+    for (std::size_t k = 0; k + 1 < p.coneOffsets.size(); ++k)
+        for (std::uint32_t i = p.coneOffsets[k]; i < p.coneOffsets[k + 1];
+             ++i)
+            coneOf[p.order[i]] = static_cast<std::uint32_t>(k);
+    std::uint64_t frontier = 0;
+    for (const auto &e : lay.edges)
+        if (coneOf[e.src] != coneOf[e.dst])
+            ++frontier;
+    EXPECT_EQ(frontier, p.frontierEdges);
+}
+
+TEST(ParallelRelax, BitIdenticalAcrossLaneCounts)
+{
+    const LargeRun run(7);
+    const std::vector<std::uint32_t> &base = run.stored->baseDepths();
+    const std::size_t nfifos = base.size();
+    ASSERT_GT(nfifos, 0u);
+
+    // Randomized probes: small deltas (worklist path), broad
+    // perturbations (full leveled pass), and all-ones (shallow probes
+    // the plan typically refuses to admit — the serial fallback must
+    // produce the same bits). The reference engine is ground truth.
+    Prng prng(0x9a7a11e1u);
+    std::vector<std::vector<std::uint32_t>> probes;
+    for (int k = 0; k < 6; ++k) {
+        std::vector<std::uint32_t> d = base;
+        const std::size_t touches =
+            k < 3 ? 1 + prng.below(4)
+                  : 1 + prng.below(std::max<std::size_t>(1, nfifos / 4));
+        for (std::size_t i = 0; i < touches; ++i)
+            d[prng.below(nfifos)] =
+                static_cast<std::uint32_t>(1 + prng.below(12));
+        probes.push_back(std::move(d));
+    }
+    probes.emplace_back(nfifos, 1);
+    probes.push_back(base);
+
+    for (std::size_t k = 0; k < probes.size(); ++k) {
+        SCOPED_TRACE("probe " + std::to_string(k));
+        const IncrementalOutcome ref =
+            run.engine->resimulateReference(probes[k]);
+        const IncrementalOutcome serial =
+            run.stored->resimulate(probes[k], 1);
+        EXPECT_EQ(outcomeDiff(ref, serial), "");
+        for (const unsigned jobs : {2u, 8u}) {
+            const IncrementalOutcome par =
+                run.stored->resimulate(probes[k], jobs);
+            EXPECT_EQ(outcomeDiff(serial, par), "")
+                << "jobs=" << jobs;
+        }
+    }
+}
+
+TEST(ParallelRelax, RegistryDesignsIdenticalAtAnyLaneCount)
+{
+    // Small designs take the serial path regardless of jobs — the knob
+    // must still be accepted and bit-identical everywhere.
+    for (const char *name : {"fifo_chain", "fig4_ex5", "reconvergent"}) {
+        SCOPED_TRACE(name);
+        const test::Compiled c(name);
+        OmniSim engine(c.cd);
+        ASSERT_EQ(engine.run().status, SimStatus::Ok);
+        RunSnapshot snap;
+        ASSERT_TRUE(engine.exportSnapshot(snap));
+        const auto stored = io::StoredRun::rehydrate(std::move(snap));
+
+        std::vector<std::uint32_t> base;
+        for (const auto &f : c.design.fifos())
+            base.push_back(f.depth);
+        Prng prng(0xbeef);
+        for (int probe = 0; probe < 12; ++probe) {
+            std::vector<std::uint32_t> d = base;
+            for (auto &depth : d)
+                if (prng.below(2))
+                    depth = 1 + prng.below(8);
+            const IncrementalOutcome serial = stored->resimulate(d, 1);
+            for (const unsigned jobs : {2u, 8u})
+                EXPECT_EQ(outcomeDiff(serial,
+                                      stored->resimulate(d, jobs)),
+                          "");
+        }
+    }
+}
+
+} // namespace

@@ -91,7 +91,12 @@ usage()
                  "  --trace-out FILE.json to record Perfetto-loadable "
                  "trace spans\n"
                  "  (Chrome trace_event format) for the whole "
-                 "invocation.\n");
+                 "invocation, and\n"
+                 "  --jobs N to size both the worker pools and the "
+                 "engine's\n"
+                 "  relaxation lanes (0 = all cores; answers are "
+                 "bit-identical\n"
+                 "  at any value).\n");
     return 2;
 }
 
@@ -110,7 +115,9 @@ subcommandUsage(const std::string &cmd)
                "(default grid)\n"
                "  --budget N     max unique configurations to evaluate "
                "(default 512)\n"
-               "  --jobs N       worker threads (default: all cores)\n"
+               "  --jobs N       worker threads and engine relaxation "
+               "lanes\n"
+               "                 (default: all cores / serial)\n"
                "  --seed N       PRNG seed for randomized strategies\n"
                "  --fifo NAME [--from A] [--to B]\n"
                "                 one explored axis; repeatable (default: "
@@ -155,10 +162,17 @@ subcommandUsage(const std::string &cmd)
                "options:\n"
                "  --seed S       first seed (default 1)\n"
                "  --count N      seeds to sweep (default 1000)\n"
-               "  --jobs N       worker threads (default: all cores)\n"
+               "  --jobs N       worker threads and engine relaxation "
+               "lanes\n"
+               "                 (default: all cores / serial)\n"
                "  --probes K     depth probes per design through the "
                "resimulate/io\n"
                "                 oracles (default 4)\n"
+               "  --large        large-regime generator (hundreds to "
+               "thousands of\n"
+               "                 processes; exercises the partitioned "
+               "parallel\n"
+               "                 relaxation paths)\n"
                "  --budget SEC   stop starting new seeds after SEC "
                "seconds\n"
                "  --no-shrink    report divergent seeds without "
@@ -181,8 +195,9 @@ subcommandUsage(const std::string &cmd)
                "protocol.\n"
                "\n"
                "options:\n"
-               "  --jobs N       request worker threads (default: all "
-               "cores)\n"
+               "  --jobs N       request worker threads and engine "
+               "relaxation\n"
+               "                 lanes (default: all cores / serial)\n"
                "  --store DIR    persistent run store directory; "
                "rehydrates prior runs\n"
                "                 for warm-cache serving and publishes "
@@ -223,6 +238,26 @@ wantsHelp(const std::vector<std::string> &args)
 struct UsageError : std::runtime_error
 {
     using std::runtime_error::runtime_error;
+};
+
+/**
+ * The global --jobs N flag, pre-scanned out of any command line (like
+ * --trace-out): one knob sizing both the subcommand worker pools —
+ * where 0 keeps their historical all-cores default — and the engine's
+ * relaxation lanes (OmniSimOptions::jobs), which stay serial unless
+ * the flag is given. Resimulation answers are bit-identical at any
+ * value, so this only ever trades wall-clock.
+ */
+struct JobsFlag
+{
+    bool set = false;
+    unsigned value = 0;
+
+    /** Worker-pool width (0 = hardware concurrency). */
+    unsigned pool() const { return set ? value : 0; }
+
+    /** Engine relaxation lanes (unset = serial). */
+    unsigned lanes() const { return set ? value : 1; }
 };
 
 /**
@@ -344,7 +379,8 @@ printResult(const SimResult &r, double seconds)
 }
 
 int
-cmdRun(const std::string &name, const std::vector<std::string> &args)
+cmdRun(const std::string &name, const std::vector<std::string> &args,
+       const JobsFlag &jobs)
 {
     std::string engine = "omnisim";
     bool lazy = false;
@@ -388,6 +424,7 @@ cmdRun(const std::string &name, const std::vector<std::string> &args)
     } else if (engine == "omnisim") {
         OmniSimOptions opts;
         opts.eagerWriteStall = !lazy;
+        opts.jobs = jobs.lanes();
         r = simulateOmniSim(cd, opts);
     } else {
         return usage();
@@ -444,7 +481,8 @@ axisDepths(const dse::DseReport &rep, const dse::Evaluation &e)
 }
 
 int
-cmdSweep(const std::string &name, const std::vector<std::string> &args)
+cmdSweep(const std::string &name, const std::vector<std::string> &args,
+         const JobsFlag &jobs)
 {
     // Each "--fifo NAME [--from A] [--to B]" group adds one swept axis;
     // the cross product of all groups runs through the DSE grid
@@ -452,13 +490,10 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
     // incremental re-simulation first and fans the divergent full
     // re-runs across the batch worker pool.
     std::vector<dse::FifoRange> groups;
-    unsigned jobs = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--fifo") {
             if (!parseFifoGroup(args, i, groups))
                 return usage();
-        } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-            jobs = parseU32("--jobs", args[++i], 0, 4096);
         } else {
             return usage();
         }
@@ -468,7 +503,8 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
 
     dse::DseOptions opts;
     opts.strategy = "grid";
-    opts.jobs = jobs;
+    opts.jobs = jobs.pool();
+    opts.engine.jobs = jobs.lanes();
     opts.budget = 1;
     for (auto &g : groups) {
         g.geometric = false; // sweeps are exhaustive: every depth
@@ -528,9 +564,12 @@ cmdSweep(const std::string &name, const std::vector<std::string> &args)
 }
 
 int
-cmdDse(const std::string &name, const std::vector<std::string> &args)
+cmdDse(const std::string &name, const std::vector<std::string> &args,
+       const JobsFlag &jobs)
 {
     dse::DseOptions opts;
+    opts.jobs = jobs.pool();
+    opts.engine.jobs = jobs.lanes();
     bool linear = false;
     bool csv = false;
     std::string storeDir;
@@ -541,8 +580,6 @@ cmdDse(const std::string &name, const std::vector<std::string> &args)
         } else if (args[i] == "--budget" && i + 1 < args.size()) {
             opts.budget = static_cast<std::size_t>(
                 parseUnsigned("--budget", args[++i], 1, 1u << 24));
-        } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-            opts.jobs = parseU32("--jobs", args[++i], 0, 4096);
         } else if (args[i] == "--seed" && i + 1 < args.size()) {
             opts.seed = parseUnsigned("--seed", args[++i], 0,
                                       std::numeric_limits<
@@ -653,16 +690,14 @@ splitList(const std::string &spec)
 }
 
 int
-cmdBatch(const std::vector<std::string> &args)
+cmdBatch(const std::vector<std::string> &args, const JobsFlag &jobsFlag)
 {
-    unsigned jobs = 0;
+    const unsigned jobs = jobsFlag.pool();
     unsigned seeds = 1;
     std::vector<batch::EngineKind> engines;
     std::vector<std::string> only;
     for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == "--jobs" && i + 1 < args.size()) {
-            jobs = parseU32("--jobs", args[++i], 0, 4096);
-        } else if (args[i] == "--seeds" && i + 1 < args.size()) {
+        if (args[i] == "--seeds" && i + 1 < args.size()) {
             seeds = parseU32("--seeds", args[++i], 1, 1u << 20);
         } else if (args[i] == "--engines" && i + 1 < args.size()) {
             for (const std::string &n : splitList(args[++i])) {
@@ -733,14 +768,15 @@ printConformance(const gen::GenSpec &spec,
 }
 
 int
-cmdFuzz(const std::vector<std::string> &args)
+cmdFuzz(const std::vector<std::string> &args, const JobsFlag &jobsFlag)
 {
     std::uint64_t seed0 = 1;
     std::uint64_t count = 1000;
-    unsigned jobs = 0;
+    const unsigned jobs = jobsFlag.pool();
     std::uint32_t probes = 4;
     double budget = 0.0;
     bool doShrink = true;
+    bool large = false;
     std::size_t maxShrink = 800;
     std::string replay;
 
@@ -751,8 +787,8 @@ cmdFuzz(const std::vector<std::string> &args)
                                       std::uint64_t>::max() - (1u << 24));
         } else if (args[i] == "--count" && i + 1 < args.size()) {
             count = parseUnsigned("--count", args[++i], 1, 1u << 24);
-        } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-            jobs = parseU32("--jobs", args[++i], 0, 4096);
+        } else if (args[i] == "--large") {
+            large = true;
         } else if (args[i] == "--probes" && i + 1 < args.size()) {
             probes = parseU32("--probes", args[++i], 0, 64);
         } else if (args[i] == "--budget" && i + 1 < args.size()) {
@@ -772,6 +808,7 @@ cmdFuzz(const std::vector<std::string> &args)
 
     gen::ConformanceOptions copts;
     copts.resimProbes = probes;
+    copts.jobs = jobsFlag.lanes();
 
     if (!replay.empty()) {
         const gen::GenSpec spec = gen::parseSpec(replay);
@@ -790,7 +827,8 @@ cmdFuzz(const std::vector<std::string> &args)
     };
     std::vector<Slot> slots(static_cast<std::size_t>(count));
 
-    const gen::GenConfig cfg;
+    const gen::GenConfig cfg =
+        large ? gen::largeGenConfig() : gen::GenConfig{};
     Stopwatch sw;
     batch::BatchRunner runner({jobs});
     runner.forEachIndex(slots.size(), [&](std::size_t i) {
@@ -886,14 +924,14 @@ cmdFuzz(const std::vector<std::string> &args)
 }
 
 int
-cmdServe(const std::vector<std::string> &args)
+cmdServe(const std::vector<std::string> &args, const JobsFlag &jobs)
 {
     serve::ServeOptions opts;
+    opts.jobs = jobs.pool();
+    opts.engine.jobs = jobs.lanes();
     std::string socketPath;
     for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == "--jobs" && i + 1 < args.size()) {
-            opts.jobs = parseU32("--jobs", args[++i], 0, 4096);
-        } else if (args[i] == "--store" && i + 1 < args.size()) {
+        if (args[i] == "--store" && i + 1 < args.size()) {
             opts.storeDir = args[++i];
         } else if (args[i] == "--socket" && i + 1 < args.size()) {
             socketPath = args[++i];
@@ -941,6 +979,29 @@ main(int argc, char **argv)
         }
     }
 
+    // Global --jobs N: one knob for every subcommand's worker pool and
+    // the engine's relaxation lanes (see JobsFlag).
+    JobsFlag jobsFlag;
+    for (std::size_t i = 0; i < rest.size();) {
+        if (rest[i] == "--jobs") {
+            if (i + 1 >= rest.size()) {
+                std::fprintf(stderr, "error: --jobs needs a count\n");
+                return 2;
+            }
+            try {
+                jobsFlag.value = parseU32("--jobs", rest[i + 1], 0, 4096);
+            } catch (const UsageError &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
+            jobsFlag.set = true;
+            rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+                       rest.begin() + static_cast<std::ptrdiff_t>(i + 2));
+        } else {
+            ++i;
+        }
+    }
+
     // serve/dse/batch/fuzz answer --help with their focused usage on
     // stdout (exit 0); their malformed invocations print the same text
     // to stderr (exit 2) instead of the generic top-level blob.
@@ -970,24 +1031,24 @@ main(int argc, char **argv)
         }
         if (cmd == "run" && !rest.empty()) {
             return cmdRun(rest[0],
-                          {rest.begin() + 1, rest.end()});
+                          {rest.begin() + 1, rest.end()}, jobsFlag);
         }
         if (cmd == "sweep" && !rest.empty()) {
             return cmdSweep(rest[0],
-                            {rest.begin() + 1, rest.end()});
+                            {rest.begin() + 1, rest.end()}, jobsFlag);
         }
         if (cmd == "dse") {
             if (rest.empty())
                 return subUsageError("dse");
             return cmdDse(rest[0],
-                          {rest.begin() + 1, rest.end()});
+                          {rest.begin() + 1, rest.end()}, jobsFlag);
         }
         if (cmd == "batch")
-            return cmdBatch(rest);
+            return cmdBatch(rest, jobsFlag);
         if (cmd == "serve")
-            return cmdServe(rest);
+            return cmdServe(rest, jobsFlag);
         if (cmd == "fuzz")
-            return cmdFuzz(rest);
+            return cmdFuzz(rest, jobsFlag);
     } catch (const UsageError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
