@@ -34,23 +34,34 @@
  * must stay within --overhead-tolerance percent, default 5, of
  * disabled).
  *
+ * A second overhead gate covers structured logging (src/obs/log.hh) in
+ * its production configuration — enabled at level warn, so debug+
+ * events pay formatting and flight-ring recording, trace events cost
+ * two relaxed loads, and nothing sinks — with the same interleaved-
+ * trial discipline: enabled throughput must stay within
+ * --overhead-tolerance percent of logger-disabled.
+ *
  * Results land in BENCH_serve.json (per-design cold/warm seconds and
  * speedup, geomean speedup, requests/s, per-op quantiles, overhead
- * ratio) for the CI trajectory; the acceptance bar is warm >= 5x cold
- * on the registry geomean plus the telemetry overhead gate.
+ * ratios) for the CI trajectory; the acceptance bar is warm >= 5x cold
+ * on the registry geomean plus the telemetry and logging overhead
+ * gates.
  *
  * Usage: serve_throughput [--repeats N] [--requests N] [--jobs N]
  *                         [--json PATH] [--store DIR]
  *                         [--overhead-tolerance PCT] [design ...]
  */
 
+#include <algorithm>
 #include <filesystem>
+#include <functional>
 #include <iostream>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "serve/json.hh"
 #include "serve/service.hh"
@@ -111,6 +122,58 @@ resimulateLine(const std::string &design, int id)
 {
     return strf("{\"id\":%d,\"op\":\"resimulate\",\"design\":%s}", id,
                 serve::jsonQuote(design).c_str());
+}
+
+/**
+ * Run `trialsPerArm` off/on trial pairs (alternating which arm goes
+ * first, since trial cost drifts with the monotone probe depths) and
+ * gate on the MEDIAN of the per-pair on/off ratios. Overhead gates run
+ * on shared CI hosts whose scheduler steals double-digit percentages
+ * of throughput in bursts lasting longer than one trial; the two arms
+ * of a pair run milliseconds apart, so a burst slows both and cancels
+ * out of that pair's ratio, and the median then discards the pairs a
+ * burst straddled. Comparing each arm's independent median — let alone
+ * mean or best-of — leaves that common-mode noise in the statistic.
+ * The per-arm medians are returned for display only.
+ */
+struct OverheadResult
+{
+    double offRps = 0; ///< Median off-arm req/s (display).
+    double onRps = 0;  ///< Median on-arm req/s (display).
+    double ratio = 1;  ///< Median per-pair on/off ratio (the gate).
+};
+
+OverheadResult
+medianOverhead(const std::function<double(bool)> &trial,
+               unsigned trialsPerArm)
+{
+    std::vector<double> off, on, ratios;
+    for (unsigned pair = 0; pair < trialsPerArm; ++pair) {
+        double offRps, onRps;
+        if (pair % 2 == 0) {
+            offRps = trial(false);
+            onRps = trial(true);
+        } else {
+            onRps = trial(true);
+            offRps = trial(false);
+        }
+        off.push_back(offRps);
+        on.push_back(onRps);
+        if (offRps > 0)
+            ratios.push_back(onRps / offRps);
+    }
+    const auto median = [](std::vector<double> &v) {
+        std::sort(v.begin(), v.end());
+        const std::size_t n = v.size();
+        return n == 0 ? 0.0
+                      : (n % 2 ? v[n / 2]
+                               : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+    };
+    OverheadResult r;
+    r.offRps = median(off);
+    r.onRps = median(on);
+    r.ratio = ratios.empty() ? 1.0 : median(ratios);
+    return r;
 }
 
 /**
@@ -321,9 +384,9 @@ main(int argc, char **argv)
     // service with the registry disabled vs enabled. Every trial gets
     // a fresh, disjoint probe range — memoized repeats would be cheap
     // re-hits and mask any difference — so both arms do identical
-    // §7.2 relaxation work. Best-of-three per arm keeps scheduler
-    // noise out of the ratio; the gate lands in the exit status.
-    double disabledRps = 0, enabledRps = 0;
+    // §7.2 relaxation work. Each arm reports the median of many short
+    // trials (see medianOverhead); the gate lands in the exit status.
+    double disabledRps = 0, enabledRps = 0, overheadRatio = 1.0;
     unsigned overheadRequests = 0;
     bool overheadOk = true;
     {
@@ -366,18 +429,70 @@ main(int argc, char **argv)
                            : 0.0;
             };
             (void)trial(true); // warm-up: one-time rehydrate + freeze
-            for (int pair = 0; pair < 3; ++pair) {
-                disabledRps = std::max(disabledRps, trial(false));
-                enabledRps = std::max(enabledRps, trial(true));
-            }
+            const OverheadResult med = medianOverhead(trial, 9);
+            disabledRps = med.offRps;
+            enabledRps = med.onRps;
+            overheadRatio = med.ratio;
             overheadOk =
-                disabledRps <= 0 ||
-                enabledRps >= disabledRps *
-                                  (1.0 - overheadTolerance / 100.0);
+                overheadRatio >= 1.0 - overheadTolerance / 100.0;
         }
     }
-    const double overheadRatio =
-        disabledRps > 0 ? enabledRps / disabledRps : 1.0;
+
+    // Structured-logging overhead: same interleaved-trial shape, but
+    // toggling the obs logger (production configuration: enabled at
+    // level warn — successful requests sink nothing, debug+ events
+    // still pay the format + flight-ring recording, and trace events
+    // cost two relaxed loads). The gate enforces the README claim that
+    // logging is cheap enough to leave on in production.
+    double logOffRps = 0, logOnRps = 0, loggingRatio = 1.0;
+    unsigned loggingRequests = 0;
+    bool loggingOk = true;
+    {
+        std::vector<const DesignTiming *> okd;
+        for (const auto &dt : timings)
+            if (dt.ok && !dt.fifoNames.empty())
+                okd.push_back(&dt);
+        if (!okd.empty()) {
+            loggingRequests = std::max(requests, 96u);
+            serve::SimService svc({jobs, storeDir, 4, {}});
+            obs::setLogLevel(obs::LogLevel::Warn);
+            unsigned probeBase = 200000; // disjoint from every phase above
+            const auto trial = [&](bool logOn) {
+                std::vector<std::string> lines;
+                int id = 1;
+                unsigned probe = probeBase;
+                while (lines.size() < loggingRequests) {
+                    for (const auto *dt : okd)
+                        if (lines.size() < loggingRequests)
+                            lines.push_back(probeLine(*dt, probe, id++));
+                    ++probe;
+                }
+                probeBase = probe + 1;
+                obs::setLogEnabled(logOn);
+                std::mutex mu;
+                std::size_t answered = 0;
+                Stopwatch sw;
+                for (auto &line : lines)
+                    svc.submit(std::move(line), [&](std::string) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        ++answered;
+                    });
+                svc.drain();
+                const double seconds = sw.seconds();
+                obs::setLogEnabled(false);
+                return seconds > 0
+                           ? static_cast<double>(answered) / seconds
+                           : 0.0;
+            };
+            (void)trial(false); // warm-up: one-time rehydrate + freeze
+            const OverheadResult med = medianOverhead(trial, 9);
+            logOffRps = med.offRps;
+            logOnRps = med.onRps;
+            loggingRatio = med.ratio;
+            loggingOk =
+                loggingRatio >= 1.0 - overheadTolerance / 100.0;
+        }
+    }
 
     GeomeanAccum steadySpeedups, firstSpeedups;
     std::size_t warmIncr = 0, covered = 0, probesServed = 0,
@@ -426,6 +541,13 @@ main(int argc, char **argv)
                   << strf("%.3f", overheadRatio) << ", gate >= "
                   << strf("%.2f", 1.0 - overheadTolerance / 100.0)
                   << (overheadOk ? ", ok)\n" : ", FAILED)\n");
+    if (loggingRequests > 0)
+        std::cout << "logging overhead (level=warn): "
+                  << strf("%.1f", logOffRps) << " req/s off vs "
+                  << strf("%.1f", logOnRps) << " req/s on (ratio "
+                  << strf("%.3f", loggingRatio) << ", gate >= "
+                  << strf("%.2f", 1.0 - overheadTolerance / 100.0)
+                  << (loggingOk ? ", ok)\n" : ", FAILED)\n");
 
     BenchJson json("serve_throughput", jsonPath);
     json.key("repeats").num(repeats);
@@ -479,7 +601,15 @@ main(int argc, char **argv)
     json.key("tolerance_pct").num(overheadTolerance);
     json.key("ok").boolean(overheadOk);
     json.json().endObject();
+    json.key("logging_overhead").beginObject();
+    json.key("requests_per_trial").num(loggingRequests);
+    json.key("disabled_rps").num(logOffRps);
+    json.key("enabled_rps").num(logOnRps);
+    json.key("ratio").num(loggingRatio);
+    json.key("tolerance_pct").num(overheadTolerance);
+    json.key("ok").boolean(loggingOk);
+    json.json().endObject();
 
     fs::remove_all(storeDir);
-    return json.exitCode(overheadOk);
+    return json.exitCode(overheadOk && loggingOk);
 }

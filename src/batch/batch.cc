@@ -8,6 +8,8 @@
 
 #include "core/omnisim.hh"
 #include "cosim/cosim.hh"
+#include "obs/context.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "csim/csim.hh"
@@ -140,6 +142,10 @@ runScenario(const Scenario &s)
         obs::Registry::global().counter("batch.scenario_failures");
     static obs::Histogram &mScenarioUs =
         obs::Registry::global().histogram("batch.scenario_us");
+    // Each scenario is an entry point: it gets its own correlation id
+    // (nested under any surrounding request id on this thread) so its
+    // events and spans stitch to one scenario, not one batch.
+    obs::CorrelationScope cscope(obs::newCorrelationId());
     OMNISIM_SPAN("batch.scenario");
     obs::ScopedLatencyUs timer(mScenarioUs);
     mScenarios.add();
@@ -147,6 +153,7 @@ runScenario(const Scenario &s)
     ScenarioOutcome out;
     out.scenario = s;
     Stopwatch sw;
+    OMNISIM_LOG_DEBUG("batch.scenario", "%s", s.label().c_str());
     try {
         Design d = designs::findDesign(s.design).build();
         configureDepths(d, s);
@@ -156,6 +163,8 @@ runScenario(const Scenario &s)
         out.failed = true;
         out.error = e.what();
         mFailed.add();
+        OMNISIM_LOG_WARN("batch.scenario_failed", "%s: %s",
+                         s.label().c_str(), e.what());
     }
     out.seconds = sw.seconds();
     return out;
@@ -181,7 +190,11 @@ BatchRunner::forEachIndex(std::size_t n,
     std::atomic<bool> failed{false};
     std::exception_ptr firstError;
     std::mutex errorMu;
+    // Spawned threads start with no correlation context; adopt the
+    // caller's so per-index work stays stitched to the parent request.
+    const obs::CorrelationId parentCid = obs::currentCorrelationId();
     auto worker = [&]() {
+        obs::CorrelationScope cscope(parentCid);
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= n || failed.load(std::memory_order_relaxed))
@@ -259,10 +272,17 @@ TaskPool::~TaskPool()
 void
 TaskPool::submit(std::function<void()> task)
 {
+    // Capture the submitter's correlation id so the worker runs the
+    // task under the same context it was enqueued from.
+    std::function<void()> wrapped =
+        [cid = obs::currentCorrelationId(), task = std::move(task)] {
+            obs::CorrelationScope cscope(cid);
+            task();
+        };
     {
         std::lock_guard<std::mutex> lock(mu_);
         omnisim_assert(!stopping_, "TaskPool: submit after shutdown");
-        queue_.push_back(std::move(task));
+        queue_.push_back(std::move(wrapped));
     }
     taskCv_.notify_one();
 }

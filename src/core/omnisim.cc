@@ -14,6 +14,7 @@
 #include "graph/csr.hh"
 #include "graph/longest_path.hh"
 #include "graph/war.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "runtime/axi.hh"
@@ -983,6 +984,8 @@ OmniSim::run()
     const Design &design = cd_.d();
     const std::size_t nmods = design.modules().size();
     const std::size_t nfifos = design.fifos().size();
+    OMNISIM_LOG_DEBUG("engine.run", "design=%s modules=%zu fifos=%zu",
+                      design.name().c_str(), nmods, nfifos);
 
     GlobalShared gs;
     gs.running = static_cast<std::int64_t>(nmods);
@@ -1259,7 +1262,9 @@ OmniSim::resimulate(const std::vector<std::uint32_t> &depths)
         obs::Registry::global().histogram("engine.resim.cone_nodes");
     static obs::Histogram &mResimUs =
         obs::Registry::global().histogram("engine.resim.us");
-    OMNISIM_SPAN("omnisim.resimulate");
+    // Hot span: fires per incremental request; the flight mirror keeps
+    // serve.request / dse.evaluate as the crash-stack context instead.
+    OMNISIM_SPAN_HOT("omnisim.resimulate");
     obs::ScopedLatencyUs resimTimer(mResimUs);
 
     IncrementalOutcome out;

@@ -242,6 +242,12 @@ EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
         obs::Registry::global().counter("dse.evalcache.full_runs");
     static obs::Histogram &mEvalUs =
         obs::Registry::global().histogram("dse.eval_us");
+    // Standalone evaluations (library embedders, tests) are entry
+    // points and allocate their own correlation id; evaluations inside
+    // a serve request or batch scenario keep the surrounding id.
+    const obs::CorrelationId parentCid = obs::currentCorrelationId();
+    obs::CorrelationScope cscope(
+        parentCid ? parentCid : obs::newCorrelationId());
     OMNISIM_SPAN("dse.evaluate");
     obs::ScopedLatencyUs evalTimer(mEvalUs);
     std::optional<obs::ScopedLatencyUs> labelTimer;
@@ -263,11 +269,15 @@ EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
             mMemoHits.add();
             Evaluation e = it->second;
             e.fromMemo = true;
+            OMNISIM_LOG_TRACE("dse.evaluate", "memo hit");
             return e;
         }
     }
 
     const Evaluation fresh = computeFresh(depths, allowIncremental);
+    OMNISIM_LOG_TRACE("dse.evaluate", "method=%s via_delta=%d status=%s",
+                      evalMethodName(fresh.method), fresh.viaDelta ? 1 : 0,
+                      simStatusName(fresh.status));
 
     std::lock_guard<std::mutex> lock(mu_);
     // Two workers may race on the same unseen configuration; results
@@ -555,6 +565,8 @@ explore(const std::string &designLabel,
     static obs::Counter &mExplores =
         obs::Registry::global().counter("dse.explores");
     mExplores.add();
+    OMNISIM_LOG_INFO("dse.explore", "design=%s strategy=%s budget=%zu",
+                     designLabel.c_str(), strategy->name(), opts.budget);
 
     EvalCache cache(builder, opts.engine);
     cache.setMetricsLabel(strategy->name());

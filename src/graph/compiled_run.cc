@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/omnisim.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "opt/partition.hh"
@@ -374,7 +375,7 @@ CompiledRun::relaxLeveled(const std::vector<std::uint32_t> &depths,
             ++coneEnd;
         if (lease.active() && le - lb >= kMinParallelLevelWidth &&
             coneEnd - cone > 1) {
-            OMNISIM_SPAN("relax.level");
+            OMNISIM_SPAN_HOT("relax.level");
             const std::size_t cb = cone;
             lease.parallelFor(
                 coneEnd - cone, 1,
@@ -686,8 +687,20 @@ CompiledRun::resimulate(const std::vector<std::uint32_t> &depths,
     static obs::Counter &mSerialRuns =
         obs::Registry::global().counter("relax.runs.serial");
     RelaxPool::Lease lease;
-    if (planAdmits(clamped) && lay_.numNodes >= kParallelMinNodes)
+    const bool admitted = planAdmits(clamped);
+    if (admitted && lay_.numNodes >= kParallelMinNodes) {
         lease = RelaxPool::global().tryAcquire(jobs);
+        OMNISIM_LOG_TRACE("relax.admit",
+                          "nodes=%llu lanes=%u parallel=%d",
+                          static_cast<unsigned long long>(lay_.numNodes),
+                          lease.lanes(), lease.active() ? 1 : 0);
+    } else {
+        OMNISIM_LOG_TRACE("relax.reject",
+                          "nodes=%llu admitted=%d reason=%s",
+                          static_cast<unsigned long long>(lay_.numNodes),
+                          admitted ? 1 : 0,
+                          admitted ? "below_min_nodes" : "plan_rejects");
+    }
     (lease.active() ? mParallelRuns : mSerialRuns).add();
 
     std::vector<Cycles> cur;

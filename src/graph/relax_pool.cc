@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 
 namespace omnisim
@@ -44,8 +45,11 @@ RelaxPool::tryAcquire(unsigned jobs)
         return {};
     bool expected = false;
     if (!busy_.compare_exchange_strong(expected, true,
-                                       std::memory_order_acquire))
+                                       std::memory_order_acquire)) {
+        OMNISIM_LOG_TRACE("relax.pool.contended",
+                          "lease busy; falling back to serial");
         return {};
+    }
     unsigned helpers = std::min(jobs - 1, kMaxHelpers);
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -53,14 +57,18 @@ RelaxPool::tryAcquire(unsigned jobs)
         helpers = std::min<unsigned>(
             helpers, static_cast<unsigned>(threads_.size()));
     }
+    leaseCid_.store(obs::currentCorrelationId(), std::memory_order_relaxed);
+    OMNISIM_LOG_TRACE("relax.pool.lease", "lanes=%u", 1 + helpers);
     return Lease(this, 1 + helpers);
 }
 
 void
 RelaxPool::Lease::release()
 {
-    if (pool_ != nullptr)
+    if (pool_ != nullptr) {
+        pool_->leaseCid_.store(0, std::memory_order_relaxed);
         pool_->busy_.store(false, std::memory_order_release);
+    }
     pool_ = nullptr;
     lanes_ = 1;
 }
@@ -115,15 +123,26 @@ RelaxPool::runChunks(const RangeFn &fn, std::size_t n, std::size_t grain,
 {
     static obs::Counter &mSteals =
         obs::Registry::global().counter("relax.pool.steals");
+    // Chunk claims are the engine's innermost work-distribution loop;
+    // one aggregate event per lane keeps them observable without
+    // paying a format + ring record per claim.
+    std::size_t chunks = 0;
+    std::size_t first = n;
     for (;;) {
         const std::size_t b =
             cursor_.fetch_add(grain, std::memory_order_relaxed);
         if (b >= n)
             break;
+        if (chunks++ == 0)
+            first = b;
         fn(b, std::min(n, b + grain));
         if (helper)
             mSteals.add();
     }
+    if (chunks > 0)
+        OMNISIM_LOG_TRACE("relax.pool.chunks",
+                          "claimed=%zu first=%zu grain=%zu helper=%d",
+                          chunks, first, grain, helper ? 1 : 0);
 }
 
 void
@@ -142,7 +161,12 @@ RelaxPool::workerMain(unsigned idx)
         const std::size_t n = taskN_;
         const std::size_t grain = taskGrain_;
         lk.unlock();
-        runChunks(*fn, n, grain, /*helper=*/true);
+        {
+            // Adopt the leaseholder's correlation id for this epoch.
+            obs::CorrelationScope cscope(
+                leaseCid_.load(std::memory_order_relaxed));
+            runChunks(*fn, n, grain, /*helper=*/true);
+        }
         lk.lock();
         if (--pendingHelpers_ == 0)
             doneCv_.notify_all();

@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/context.hh"
+
 namespace omnisim
 {
 
@@ -135,6 +137,11 @@ private:
     std::uint64_t epoch_ = 0;
 
     std::atomic<std::size_t> cursor_{0}; ///< Next unclaimed index.
+
+    /// Correlation id of the current leaseholder. Helper lanes adopt it
+    /// for the duration of each dispatched epoch so the events and
+    /// spans they emit stitch to the leasing request.
+    std::atomic<obs::CorrelationId> leaseCid_{0};
 };
 
 } // namespace omnisim

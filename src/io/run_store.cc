@@ -9,6 +9,7 @@
 #include <system_error>
 
 #include "io/serial.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
@@ -149,6 +150,8 @@ RunStore::publish(const std::string &design, const std::string &engine,
         return false;
     }
     sm.publishes.add();
+    OMNISIM_LOG_DEBUG("store.publish", "design=%s engine=%s path=%s",
+                      design.c_str(), engine.c_str(), finalPath.c_str());
     return true;
 }
 
@@ -221,6 +224,8 @@ RunStore::loadAll(const std::string &design, const std::string &engine,
         }
     }
     sm.loadHits.add(out.size());
+    OMNISIM_LOG_DEBUG("store.load_all", "design=%s engine=%s loaded=%zu",
+                      design.c_str(), engine.c_str(), out.size());
     return out;
 }
 

@@ -1,0 +1,30 @@
+#include "obs/context.hh"
+
+#include <atomic>
+
+namespace omnisim {
+namespace obs {
+
+namespace {
+std::atomic<CorrelationId> nextId{1};
+thread_local CorrelationId currentId = 0;
+} // namespace
+
+CorrelationId newCorrelationId() {
+    return nextId.fetch_add(1, std::memory_order_relaxed);
+}
+
+CorrelationId currentCorrelationId() { return currentId; }
+
+namespace detail {
+
+CorrelationId swapCorrelationId(CorrelationId id) {
+    const CorrelationId prev = currentId;
+    currentId = id;
+    return prev;
+}
+
+} // namespace detail
+
+} // namespace obs
+} // namespace omnisim

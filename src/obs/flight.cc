@@ -1,0 +1,412 @@
+#include "obs/flight.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#define OMNISIM_FLIGHT_HAVE_SIGNALS 1
+#else
+#include <cstdlib>
+#define OMNISIM_FLIGHT_HAVE_SIGNALS 0
+#endif
+
+#include "obs/metrics.hh"
+
+namespace omnisim {
+namespace obs {
+
+namespace {
+
+/// Tiny spinlock: each thread's ring is touched by its owner on every
+/// event and by a dumper a handful of times per process lifetime, so
+/// contention is effectively zero and a mutex would be overkill.
+struct SpinLock {
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+
+    void lock() {
+        while (flag.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+
+    bool tryLockBounded(int spins) {
+        for (int i = 0; i < spins; ++i) {
+            if (!flag.test_and_set(std::memory_order_acquire))
+                return true;
+        }
+        return false;
+    }
+
+    void unlock() { flag.clear(std::memory_order_release); }
+};
+
+struct EventRec {
+    std::uint64_t seq = 0;
+    std::uint64_t tsNs = 0;
+    CorrelationId cid = 0;
+    LogLevel level = LogLevel::Trace;
+    char event[48] = {};
+    char msg[160] = {};
+};
+
+struct SpanRec {
+    char name[48] = {};
+    std::uint64_t startNs = 0;
+};
+
+struct FlightThread {
+    SpinLock lock;
+    std::uint32_t tid = 0;
+
+    EventRec ring[kFlightRingEvents];
+    std::size_t head = 0;  ///< next slot to write
+    std::size_t count = 0; ///< live records, <= kFlightRingEvents
+    std::uint64_t seq = 0; ///< per-thread monotone event counter
+    std::uint64_t dropped = 0;
+
+    SpanRec spans[kFlightSpanDepth];
+    std::size_t spanDepth = 0; ///< may exceed kFlightSpanDepth (counted)
+};
+
+struct FlightRegistry {
+    std::mutex mu;
+    std::vector<std::shared_ptr<FlightThread>> threads;
+    std::uint32_t nextTid = 1;
+};
+
+FlightRegistry &registry() {
+    static FlightRegistry *reg = new FlightRegistry; // outlives all threads
+    return *reg;
+}
+
+FlightThread &localThread() {
+    thread_local std::shared_ptr<FlightThread> self = [] {
+        auto t = std::make_shared<FlightThread>();
+        FlightRegistry &reg = registry();
+        std::lock_guard<std::mutex> lk(reg.mu);
+        t->tid = reg.nextTid++;
+        reg.threads.push_back(t);
+        return t;
+    }();
+    return *self;
+}
+
+std::string crashDir = "."; // guarded by crashDirMu
+std::mutex crashDirMu;
+
+/// Once a crash dump has been written, signal handlers stay quiet: the
+/// SIGABRT raised by panicImpl's abort() must not overwrite the dump
+/// panicImpl just produced. Direct writeCrashDump calls still proceed.
+std::atomic<bool> dumpWritten{false};
+/// Re-entrancy guard for a signal landing mid-dump.
+std::atomic<bool> dumping{false};
+
+void appendEscaped(std::string &out, const char *s) {
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c == '\t') {
+            out += "\\t";
+        } else if (c == '\r') {
+            out += "\\r";
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out += c;
+        }
+    }
+}
+
+void copyTruncated(char *dst, std::size_t cap, const char *src) {
+    std::size_t i = 0;
+    for (; src[i] && i + 1 < cap; ++i)
+        dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+struct DumpEvent {
+    EventRec rec;
+    std::uint32_t tid = 0;
+};
+
+#if OMNISIM_FLIGHT_HAVE_SIGNALS
+const int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+void fatalSignalHandler(int sig) {
+    // Best-effort, knowingly not async-signal-safe: the process is
+    // terminating either way, and the dump is the difference between a
+    // bug report with a narrative and one without.
+    if (!dumpWritten.load(std::memory_order_acquire) &&
+        !dumping.load(std::memory_order_acquire)) {
+        char reason[64];
+        std::snprintf(reason, sizeof(reason), "signal %d", sig);
+        writeCrashDump(reason, currentCorrelationId());
+    }
+    std::signal(sig, SIG_DFL);
+    raise(sig);
+}
+#endif
+
+} // namespace
+
+namespace detail {
+
+void flightRecord(LogLevel level, CorrelationId cid, std::uint64_t tsNs,
+                  const char *event, const char *msg) {
+    FlightThread &t = localThread();
+    t.lock.lock();
+    EventRec &r = t.ring[t.head];
+    r.seq = t.seq++;
+    r.tsNs = tsNs;
+    r.cid = cid;
+    r.level = level;
+    copyTruncated(r.event, sizeof(r.event), event);
+    copyTruncated(r.msg, sizeof(r.msg), msg);
+    t.head = (t.head + 1) % kFlightRingEvents;
+    if (t.count < kFlightRingEvents)
+        ++t.count;
+    else
+        ++t.dropped;
+    t.lock.unlock();
+}
+
+void flightSpanEnter(const char *name, std::uint64_t startNs) {
+    FlightThread &t = localThread();
+    t.lock.lock();
+    if (t.spanDepth < kFlightSpanDepth) {
+        SpanRec &s = t.spans[t.spanDepth];
+        copyTruncated(s.name, sizeof(s.name), name);
+        s.startNs = startNs;
+    }
+    ++t.spanDepth;
+    t.lock.unlock();
+}
+
+void flightSpanExit() {
+    FlightThread &t = localThread();
+    t.lock.lock();
+    if (t.spanDepth > 0)
+        --t.spanDepth;
+    t.lock.unlock();
+}
+
+std::uint32_t flightThreadId() { return localThread().tid; }
+
+} // namespace detail
+
+std::size_t flightEventCount() {
+    FlightRegistry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    std::size_t n = 0;
+    for (auto &t : reg.threads) {
+        t->lock.lock();
+        n += t->count;
+        t->lock.unlock();
+    }
+    return n;
+}
+
+std::uint64_t flightDroppedCount() {
+    FlightRegistry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    std::uint64_t n = 0;
+    for (auto &t : reg.threads) {
+        t->lock.lock();
+        n += t->dropped;
+        t->lock.unlock();
+    }
+    return n;
+}
+
+void flightReset() {
+    FlightRegistry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    for (auto &t : reg.threads) {
+        t->lock.lock();
+        t->head = 0;
+        t->count = 0;
+        t->seq = 0;
+        t->dropped = 0;
+        t->lock.unlock();
+    }
+}
+
+std::string flightDumpJson(const std::string &reason, CorrelationId cid) {
+    // Snapshot every thread's ring and span stack first, holding each
+    // spinlock only long enough to copy POD records. A thread that died
+    // holding its lock (we are on a crash path) is skipped after a
+    // bounded spin rather than deadlocking the dump.
+    std::vector<DumpEvent> events;
+    struct SpanStack {
+        std::uint32_t tid;
+        std::vector<SpanRec> stack;
+        std::size_t depth;
+    };
+    std::vector<SpanStack> spanStacks;
+    std::uint64_t dropped = 0;
+    std::size_t skippedThreads = 0;
+
+    {
+        FlightRegistry &reg = registry();
+        std::lock_guard<std::mutex> lk(reg.mu);
+        events.reserve(reg.threads.size() * kFlightRingEvents);
+        for (auto &t : reg.threads) {
+            if (!t->lock.tryLockBounded(1 << 20)) {
+                ++skippedThreads;
+                continue;
+            }
+            const std::size_t start =
+                (t->head + kFlightRingEvents - t->count) % kFlightRingEvents;
+            for (std::size_t i = 0; i < t->count; ++i) {
+                DumpEvent ev;
+                ev.rec = t->ring[(start + i) % kFlightRingEvents];
+                ev.tid = t->tid;
+                events.push_back(ev);
+            }
+            dropped += t->dropped;
+            if (t->spanDepth > 0) {
+                SpanStack ss;
+                ss.tid = t->tid;
+                ss.depth = t->spanDepth;
+                const std::size_t named =
+                    std::min(t->spanDepth, kFlightSpanDepth);
+                ss.stack.assign(t->spans, t->spans + named);
+                spanStacks.push_back(std::move(ss));
+            }
+            t->lock.unlock();
+        }
+    }
+
+    // Global timeline, stable per thread: ties broken by (tid, seq) so
+    // each thread's tail stays in emission order.
+    std::sort(events.begin(), events.end(),
+              [](const DumpEvent &a, const DumpEvent &b) {
+                  if (a.rec.tsNs != b.rec.tsNs)
+                      return a.rec.tsNs < b.rec.tsNs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.rec.seq < b.rec.seq;
+              });
+
+    std::string out;
+    out.reserve(4096 + events.size() * 192);
+    out += "{\"schema\":\"";
+    out += kFlightSchema;
+    out += "\",\"pid\":";
+#if OMNISIM_FLIGHT_HAVE_SIGNALS
+    out += std::to_string(static_cast<long>(::getpid()));
+#else
+    out += "0";
+#endif
+    out += ",\"reason\":\"";
+    appendEscaped(out, reason.c_str());
+    out += "\",\"correlation_id\":";
+    out += std::to_string(cid);
+    out += ",\"dropped\":";
+    out += std::to_string(dropped);
+    out += ",\"skipped_threads\":";
+    out += std::to_string(skippedThreads);
+    out += ",\"events\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const DumpEvent &ev = events[i];
+        if (i)
+            out += ',';
+        out += "{\"seq\":";
+        out += std::to_string(ev.rec.seq);
+        out += ",\"ts_ns\":";
+        out += std::to_string(ev.rec.tsNs);
+        out += ",\"tid\":";
+        out += std::to_string(ev.tid);
+        out += ",\"lvl\":\"";
+        out += logLevelName(ev.rec.level);
+        out += "\",\"cid\":";
+        out += std::to_string(ev.rec.cid);
+        out += ",\"event\":\"";
+        appendEscaped(out, ev.rec.event);
+        out += "\",\"msg\":\"";
+        appendEscaped(out, ev.rec.msg);
+        out += "\"}";
+    }
+    out += "],\"spans\":[";
+    for (std::size_t i = 0; i < spanStacks.size(); ++i) {
+        const SpanStack &ss = spanStacks[i];
+        if (i)
+            out += ',';
+        out += "{\"tid\":";
+        out += std::to_string(ss.tid);
+        out += ",\"depth\":";
+        out += std::to_string(ss.depth);
+        out += ",\"stack\":[";
+        for (std::size_t j = 0; j < ss.stack.size(); ++j) {
+            if (j)
+                out += ',';
+            out += "{\"name\":\"";
+            appendEscaped(out, ss.stack[j].name);
+            out += "\",\"start_ns\":";
+            out += std::to_string(ss.stack[j].startNs);
+            out += '}';
+        }
+        out += "]}";
+    }
+    out += "],\"metrics\":";
+    out += Registry::global().toJson();
+    out += '}';
+    return out;
+}
+
+void setCrashDumpDir(const std::string &dir) {
+    std::lock_guard<std::mutex> lk(crashDirMu);
+    crashDir = dir.empty() ? "." : dir;
+}
+
+std::string writeCrashDump(const std::string &reason, CorrelationId cid) {
+    if (dumping.exchange(true, std::memory_order_acq_rel))
+        return std::string();
+
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(crashDirMu);
+        path = crashDir;
+    }
+#if OMNISIM_FLIGHT_HAVE_SIGNALS
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    path += "/omnisim-crash-" + std::to_string(pid) + ".json";
+
+    const std::string doc = flightDumpJson(reason, cid);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        dumping.store(false, std::memory_order_release);
+        return std::string();
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    dumpWritten.store(true, std::memory_order_release);
+    dumping.store(false, std::memory_order_release);
+    return path;
+}
+
+void installCrashHandlers() {
+#if OMNISIM_FLIGHT_HAVE_SIGNALS
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = fatalSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    for (const int sig : kFatalSignals)
+        sigaction(sig, &sa, nullptr);
+#endif
+}
+
+} // namespace obs
+} // namespace omnisim

@@ -1,0 +1,96 @@
+// Flight recorder: a fixed-size per-thread ring of the last N structured
+// log events — all levels, recorded before the sink filter — plus the
+// stack of currently-open trace spans per thread, drained into a
+// schema-stable crash dump when an omnisim_assert fires, a fatal signal
+// arrives, or a caller asks for a post-mortem snapshot.
+//
+// The dump (`omnisim-crash-<pid>.json`) carries everything a bug report
+// needs to replay the narrative: the event tail per thread (oldest
+// first, with per-thread overwrite accounting), the active span stacks,
+// a full metrics-registry snapshot, the offending correlation id, and
+// the reason string. Schema (version kFlightSchema):
+//
+//   {"schema":"omnisim-flight-1","pid":N,"reason":"...",
+//    "correlation_id":N,"dropped":N,
+//    "events":[{"seq":N,"ts_ns":N,"tid":N,"lvl":"warn","cid":N,
+//               "event":"...","msg":"..."}, ...],
+//    "spans":[{"tid":N,"stack":[{"name":"...","start_ns":N},...]},...],
+//    "metrics":{...obs::Registry::global().toJson()...}}
+//
+// Recording is allocation-free: events copy into fixed char arrays
+// under a per-thread spinlock (uncontended except while a dump walks
+// the rings). The recorder is always armed once logging is enabled —
+// its cost is bounded by the ring write, so there is no switch to
+// forget before the crash you wanted to diagnose.
+#ifndef OMNISIM_OBS_FLIGHT_HH
+#define OMNISIM_OBS_FLIGHT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/context.hh"
+#include "obs/log.hh"
+
+namespace omnisim {
+namespace obs {
+
+/// Schema identifier embedded in every dump.
+inline constexpr const char *kFlightSchema = "omnisim-flight-1";
+
+/// Events retained per thread.
+inline constexpr std::size_t kFlightRingEvents = 128;
+
+/// Deepest span nesting tracked per thread (deeper spans are counted
+/// but not named in the dump).
+inline constexpr std::size_t kFlightSpanDepth = 16;
+
+namespace detail {
+/// Record one event into the calling thread's ring (called by the
+/// logger for every enabled event at kFlightMinLevel or above,
+/// regardless of the sink filter). msg is copied.
+void flightRecord(LogLevel level, CorrelationId cid, std::uint64_t tsNs,
+                  const char *event, const char *msg);
+
+/// Maintain the calling thread's open-span stack (called by SpanScope).
+void flightSpanEnter(const char *name, std::uint64_t startNs);
+void flightSpanExit();
+
+/// Sequential id of the calling thread, shared with the log stream's
+/// "tid" field. Assigned on first use, starting at 1.
+std::uint32_t flightThreadId();
+} // namespace detail
+
+/// Events currently held across all rings (post-overwrite). Test aid.
+std::size_t flightEventCount();
+
+/// Events overwritten because a ring filled, across all threads.
+std::uint64_t flightDroppedCount();
+
+/// Clear every ring and the drop accounting (test isolation; the
+/// per-thread ids and span stacks survive).
+void flightReset();
+
+/// Render the full dump document for `reason` and the offending
+/// correlation id (pass currentCorrelationId() from failure sites).
+std::string flightDumpJson(const std::string &reason, CorrelationId cid);
+
+/// Directory crash dumps land in (default "."). The CLI points this at
+/// --crash-dir; serve deployments point it at a writable spool.
+void setCrashDumpDir(const std::string &dir);
+
+/// Write flightDumpJson() to `<crashDumpDir>/omnisim-crash-<pid>.json`.
+/// Re-entrant calls (a signal arriving during a dump) are dropped.
+/// @return the path written, or empty on failure.
+std::string writeCrashDump(const std::string &reason, CorrelationId cid);
+
+/// Install fatal-signal handlers (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT)
+/// that write a crash dump, restore the default handler, and re-raise.
+/// Best effort: dump serialization is not strictly async-signal-safe,
+/// which is an accepted trade on a path that is about to terminate.
+/// No-op on platforms without sigaction.
+void installCrashHandlers();
+
+} // namespace obs
+} // namespace omnisim
+
+#endif // OMNISIM_OBS_FLIGHT_HH

@@ -1,0 +1,239 @@
+#include "obs/log.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "obs/context.hh"
+#include "obs/flight.hh"
+#include "support/logging.hh"
+
+namespace omnisim {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> enabledFlag{false};
+std::atomic<std::uint8_t> levelFlag{
+    static_cast<std::uint8_t>(LogLevel::Warn)};
+
+/// Sink state. The mutex serializes sink swaps and file writes; the
+/// formatting work happens outside it on thread-local buffers.
+struct SinkState {
+    std::mutex mu;
+    std::function<void(const std::string &)> custom; // empty => legacy/file
+    std::FILE *file = nullptr;
+};
+
+SinkState &sinkState() {
+    static SinkState *st = new SinkState; // leaked: outlive all threads
+    return *st;
+}
+
+thread_local LogCapture *activeCapture = nullptr;
+
+std::uint64_t nowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void appendJsonEscaped(std::string &out, const char *s) {
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c == '\t') {
+            out += "\\t";
+        } else if (c == '\r') {
+            out += "\\r";
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out += c;
+        }
+        // Remaining control characters are dropped: the stream must
+        // stay one parseable JSON object per line.
+    }
+}
+
+} // namespace
+
+const char *logLevelName(LogLevel level) {
+    switch (level) {
+    case LogLevel::Trace:
+        return "trace";
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Off:
+        break;
+    }
+    return "off";
+}
+
+bool parseLogLevel(const std::string &name, LogLevel &out) {
+    for (const LogLevel l :
+         {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+          LogLevel::Error, LogLevel::Off}) {
+        if (name == logLevelName(l)) {
+            out = l;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool logEnabled() { return enabledFlag.load(std::memory_order_relaxed); }
+
+void setLogEnabled(bool on) {
+    enabledFlag.store(on, std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+    return static_cast<LogLevel>(levelFlag.load(std::memory_order_relaxed));
+}
+
+void setLogLevel(LogLevel level) {
+    levelFlag.store(static_cast<std::uint8_t>(level),
+                    std::memory_order_relaxed);
+}
+
+void setLogSink(std::function<void(const std::string &)> sink) {
+    SinkState &st = sinkState();
+    std::lock_guard<std::mutex> lk(st.mu);
+    if (st.file) {
+        std::fclose(st.file);
+        st.file = nullptr;
+    }
+    st.custom = std::move(sink);
+}
+
+bool setLogFileSink(const std::string &path) {
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f)
+        return false;
+    SinkState &st = sinkState();
+    std::lock_guard<std::mutex> lk(st.mu);
+    if (st.file)
+        std::fclose(st.file);
+    st.file = f;
+    st.custom = nullptr;
+    return true;
+}
+
+void resetLogSink() { setLogSink(nullptr); }
+
+void captureLine(LogLevel level, const std::string &line) {
+    for (LogCapture *c = activeCapture; c; c = c->prev_) {
+        if (level < c->min_)
+            continue;
+        if (c->lines_.size() >= LogCapture::kMaxLines)
+            ++c->truncated_;
+        else
+            c->lines_.push_back(line);
+    }
+}
+
+LogCapture::LogCapture(LogLevel min) : min_(min), prev_(activeCapture) {
+    activeCapture = this;
+}
+
+LogCapture::~LogCapture() { activeCapture = prev_; }
+
+namespace detail {
+
+void logEvent(LogLevel level, const char *event, const char *fmt, ...) {
+    if (level >= LogLevel::Off)
+        level = LogLevel::Error;
+
+    // Decide every destination before any formatting. Trace-level events
+    // skip the flight ring (kFlightMinLevel): they sit in per-chunk /
+    // per-probe engine loops where paying vsnprintf + a ring write per
+    // event — only to be overwritten moments later — costs several
+    // percent of serve throughput. A trace event filtered from the sink
+    // therefore returns here, after two relaxed loads.
+    const bool wantRing = level >= kFlightMinLevel;
+    const bool wantSink = level >= logLevel();
+    const bool wantCapture = activeCapture != nullptr &&
+                             level >= LogLevel::Warn;
+    if (!wantRing && !wantSink && !wantCapture)
+        return;
+
+    // Fixed-size, reused buffers: the filtered path (ring record only)
+    // allocates nothing after the thread's first event.
+    thread_local char msg[512];
+    va_list ap;
+    va_start(ap, fmt);
+    const int n = std::vsnprintf(msg, sizeof(msg), fmt, ap);
+    va_end(ap);
+    if (n < 0)
+        std::snprintf(msg, sizeof(msg), "<format error: %s>", fmt);
+
+    const std::uint64_t tsNs = nowNs();
+    const CorrelationId cid = currentCorrelationId();
+    if (wantRing)
+        flightRecord(level, cid, tsNs, event, msg);
+
+    if (!wantSink && !wantCapture)
+        return;
+
+    thread_local std::string line;
+    line.clear();
+    line += "{\"ts_ns\":";
+    line += std::to_string(tsNs);
+    line += ",\"lvl\":\"";
+    line += logLevelName(level);
+    line += "\",\"tid\":";
+    line += std::to_string(flightThreadId());
+    line += ",\"cid\":";
+    line += std::to_string(cid);
+    line += ",\"event\":\"";
+    appendJsonEscaped(line, event);
+    line += "\",\"msg\":\"";
+    appendJsonEscaped(line, msg);
+    line += "\"}";
+
+    if (wantCapture)
+        captureLine(level, line);
+    if (!wantSink)
+        return;
+
+    SinkState &st = sinkState();
+    std::unique_lock<std::mutex> lk(st.mu);
+    if (st.custom) {
+        // Copy the sink so a concurrent setLogSink cannot invalidate it
+        // mid-call; invoke outside the lock to keep sinks reentrancy-
+        // and deadlock-safe.
+        auto sink = st.custom;
+        lk.unlock();
+        sink(line);
+        return;
+    }
+    if (st.file) {
+        std::fwrite(line.data(), 1, line.size(), st.file);
+        std::fputc('\n', st.file);
+        std::fflush(st.file);
+        return;
+    }
+    lk.unlock();
+    // Legacy stderr sink: the human-readable lines warn()/inform()
+    // always produced, still silenced by setLogQuiet().
+    if (!logQuiet())
+        std::fprintf(stderr, "%s: %s\n", logLevelName(level), msg);
+}
+
+} // namespace detail
+
+} // namespace obs
+} // namespace omnisim

@@ -1,0 +1,139 @@
+// Leveled structured logging: one JSON object per event, stamped with a
+// monotonic per-thread timestamp, the thread id, the current correlation
+// id (obs/context.hh), a dotted event name, and a printf-formatted
+// message.
+//
+//   {"ts_ns":123456,"lvl":"warn","tid":2,"cid":7,
+//    "event":"store.publish","msg":"cannot write '...'"}
+//
+// Design constraints (see README "Diagnostics"):
+//   - OMNISIM_LOG costs one relaxed atomic load when logging is
+//     disabled; format arguments are not evaluated.
+//   - When enabled, every event at debug or above — regardless of the
+//     sink level filter — is recorded into the flight recorder's fixed
+//     per-thread ring (obs/flight.hh) so crash dumps always carry the
+//     pre-sink-filter tail. Trace events are exempt (kFlightMinLevel):
+//     they live in per-probe / per-chunk engine loops, and a trace
+//     event the sink filters out costs two relaxed loads — no
+//     formatting, no ring write. Recording formats into fixed
+//     thread-local buffers: the filtered path performs no heap
+//     allocation.
+//   - Events at or above the sink level are serialized to the active
+//     sink: a --log-out file, a custom callback (tests), or the legacy
+//     human-readable stderr lines ("warn: ...") that warn()/inform()
+//     always produced — still gated by setLogQuiet().
+//   - A LogCapture scope additionally collects the serialized JSON of
+//     warn+ events on the calling thread; the serve layer uses one per
+//     request to echo the warning tail in error responses.
+#ifndef OMNISIM_OBS_LOG_HH
+#define OMNISIM_OBS_LOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace omnisim {
+namespace obs {
+
+enum class LogLevel : std::uint8_t {
+    Trace = 0,
+    Debug = 1,
+    Info = 2,
+    Warn = 3,
+    Error = 4,
+    Off = 5, ///< Sink threshold only; events cannot carry this level.
+};
+
+/// Lowest level the flight recorder ring keeps. Trace events never
+/// reach the ring: they are hot-loop diagnostics, visible only when the
+/// sink level (or a capture) asks for them.
+inline constexpr LogLevel kFlightMinLevel = LogLevel::Debug;
+
+/// Stable lowercase name ("trace", ..., "off").
+const char *logLevelName(LogLevel level);
+
+/// Parse a CLI level name. @return false on unknown names (out untouched).
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/// Master switch. Disabled (the default for library embedders until the
+/// CLI or a test arms it) makes OMNISIM_LOG a single relaxed load —
+/// events are neither formatted, ring-recorded, nor sunk.
+bool logEnabled();
+void setLogEnabled(bool on);
+
+/// Sink threshold: events below it skip the sink (and captures) but
+/// still reach the flight ring. Default Warn.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Install a custom sink receiving each serialized event (one JSON
+/// object, no trailing newline), called with the emitting thread's
+/// context. Pass nullptr to restore the legacy stderr sink. The sink
+/// must be callable concurrently or do its own locking.
+void setLogSink(std::function<void(const std::string &)> sink);
+
+/// Open `path` for appending and sink JSON lines to it (the CLI's
+/// --log-out). Writes are mutex-serialized and flushed per event.
+/// @return false when the file cannot be opened (sink unchanged).
+bool setLogFileSink(const std::string &path);
+
+/// Close any file sink and restore the legacy stderr sink.
+void resetLogSink();
+
+namespace detail {
+/// Format and dispatch one event: flight ring always, sink + captures
+/// when level >= logLevel(). Never throws.
+void logEvent(LogLevel level, const char *event, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+} // namespace detail
+
+/// Collect warn+ events emitted on the calling thread while in scope
+/// (innermost capture wins; scopes nest). Lines are the serialized JSON
+/// objects, oldest first, capped at kMaxLines to bound error responses.
+class LogCapture {
+public:
+    static constexpr std::size_t kMaxLines = 32;
+
+    explicit LogCapture(LogLevel min = LogLevel::Warn);
+    ~LogCapture();
+    LogCapture(const LogCapture &) = delete;
+    LogCapture &operator=(const LogCapture &) = delete;
+
+    const std::vector<std::string> &lines() const { return lines_; }
+    /// Events not kept because the cap was reached.
+    std::uint64_t truncated() const { return truncated_; }
+
+private:
+    friend void captureLine(LogLevel level, const std::string &line);
+    LogLevel min_;
+    std::vector<std::string> lines_;
+    std::uint64_t truncated_ = 0;
+    LogCapture *prev_;
+};
+
+} // namespace obs
+} // namespace omnisim
+
+/// Emit one structured event. `event` is a dotted lowercase name
+/// ("serve.request", "relax.admit"); the remaining arguments are a
+/// printf message. One relaxed load when logging is disabled; format
+/// arguments are only evaluated when enabled.
+#define OMNISIM_LOG(level, event, ...)                                         \
+    do {                                                                       \
+        if (::omnisim::obs::logEnabled())                                      \
+            ::omnisim::obs::detail::logEvent((level), (event), __VA_ARGS__);   \
+    } while (0)
+
+#define OMNISIM_LOG_TRACE(event, ...)                                          \
+    OMNISIM_LOG(::omnisim::obs::LogLevel::Trace, event, __VA_ARGS__)
+#define OMNISIM_LOG_DEBUG(event, ...)                                          \
+    OMNISIM_LOG(::omnisim::obs::LogLevel::Debug, event, __VA_ARGS__)
+#define OMNISIM_LOG_INFO(event, ...)                                           \
+    OMNISIM_LOG(::omnisim::obs::LogLevel::Info, event, __VA_ARGS__)
+#define OMNISIM_LOG_WARN(event, ...)                                           \
+    OMNISIM_LOG(::omnisim::obs::LogLevel::Warn, event, __VA_ARGS__)
+#define OMNISIM_LOG_ERROR(event, ...)                                          \
+    OMNISIM_LOG(::omnisim::obs::LogLevel::Error, event, __VA_ARGS__)
+
+#endif // OMNISIM_OBS_LOG_HH

@@ -29,6 +29,7 @@ struct TraceEvent {
     char name[kNameCapacity]; // NUL-terminated copy; long names truncate
     std::uint64_t startNs;
     std::uint64_t endNs;
+    CorrelationId cid;
 };
 
 struct ThreadRing {
@@ -99,7 +100,8 @@ namespace detail {
 
 std::uint64_t traceNowNs() { return steadyNowNs(); }
 
-void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs) {
+void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs,
+                CorrelationId cid) {
     TraceState &st = state();
     const std::uint64_t session = st.session.load(std::memory_order_relaxed);
     ThreadRing &r = localRing();
@@ -119,6 +121,7 @@ void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs) {
     e.name[kNameCapacity - 1] = '\0';
     e.startNs = startNs;
     e.endNs = endNs < startNs ? startNs : endNs;
+    e.cid = cid;
     r.head = (r.head + 1) % kRingCapacity;
 }
 
@@ -131,6 +134,7 @@ struct ExportEvent {
     std::uint64_t startNs;
     std::uint64_t endNs;
     std::uint32_t tid;
+    CorrelationId cid;
 };
 
 std::vector<ExportEvent> collectEvents(std::uint64_t &droppedOut) {
@@ -154,7 +158,7 @@ std::vector<ExportEvent> collectEvents(std::uint64_t &droppedOut) {
             (r.head + kRingCapacity - r.count) % kRingCapacity;
         for (std::size_t i = 0; i < r.count; ++i) {
             const TraceEvent &e = r.events[(start + i) % kRingCapacity];
-            out.push_back({e.name, e.startNs, e.endNs, r.tid});
+            out.push_back({e.name, e.startNs, e.endNs, r.tid, e.cid});
         }
     }
     std::sort(out.begin(), out.end(),
@@ -220,7 +224,8 @@ std::string traceJson() {
         out += ",\"dur\":";
         appendMicros(out, e.endNs - e.startNs);
         out += ",\"pid\":" + std::to_string(pid) +
-               ",\"tid\":" + std::to_string(e.tid) + '}';
+               ",\"tid\":" + std::to_string(e.tid) +
+               ",\"args\":{\"cid\":" + std::to_string(e.cid) + "}}";
     }
     out += "]}";
     return out;

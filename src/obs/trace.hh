@@ -18,6 +18,10 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/context.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
+
 namespace omnisim {
 namespace obs {
 
@@ -39,19 +43,34 @@ bool traceWriteJson(const std::string &path);
 
 namespace detail {
 std::uint64_t traceNowNs();
-void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs);
+void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs,
+                CorrelationId cid);
 } // namespace detail
 
 /// RAII span. Samples the enabled flag at construction; a span that starts
-/// while tracing is on but ends after traceStop() is discarded.
+/// while tracing is on but ends after traceStop() is discarded. Each span
+/// is stamped with the thread's correlation id at entry, and — whenever
+/// structured logging is armed — mirrored onto the flight recorder's
+/// open-span stack so crash dumps can report what each thread was doing.
+/// Pass `flight = false` (OMNISIM_SPAN_HOT) for spans inside per-level /
+/// per-chunk engine loops: they stay visible to the trace exporter but
+/// skip the flight mirror, whose two clock reads + ring ops per span are
+/// too expensive to pay thousands of times per request.
 class SpanScope {
 public:
-    explicit SpanScope(const char *name)
+    explicit SpanScope(const char *name, bool flight = true)
         : name_(name), armed_(traceEnabled()),
-          startNs_(armed_ ? detail::traceNowNs() : 0) {}
+          flightArmed_(flight && logEnabled()),
+          startNs_(armed_ || flightArmed_ ? detail::traceNowNs() : 0),
+          cid_(armed_ ? currentCorrelationId() : 0) {
+        if (flightArmed_)
+            detail::flightSpanEnter(name_, startNs_);
+    }
     ~SpanScope() {
+        if (flightArmed_)
+            detail::flightSpanExit();
         if (armed_ && traceEnabled())
-            detail::recordSpan(name_, startNs_, detail::traceNowNs());
+            detail::recordSpan(name_, startNs_, detail::traceNowNs(), cid_);
     }
     SpanScope(const SpanScope &) = delete;
     SpanScope &operator=(const SpanScope &) = delete;
@@ -59,7 +78,9 @@ public:
 private:
     const char *name_;
     bool armed_;
+    bool flightArmed_;
     std::uint64_t startNs_;
+    CorrelationId cid_;
 };
 
 } // namespace obs
@@ -72,5 +93,10 @@ private:
 #define OMNISIM_SPAN(name)                                                     \
     ::omnisim::obs::SpanScope OMNISIM_SPAN_CONCAT(omnisimSpan_,                \
                                                   __COUNTER__)(name)
+/// Hot-loop span: exported to traces, never mirrored to the flight
+/// recorder (see SpanScope).
+#define OMNISIM_SPAN_HOT(name)                                                 \
+    ::omnisim::obs::SpanScope OMNISIM_SPAN_CONCAT(omnisimSpan_,                \
+                                                  __COUNTER__)(name, false)
 
 #endif // OMNISIM_OBS_TRACE_HH

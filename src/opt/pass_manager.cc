@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/omnisim.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "opt/build.hh"
@@ -387,6 +388,13 @@ PassManager::compile(const LayoutInput &in) const
         OMNISIM_SPAN("compile.materialize");
         lay = detail::materialize(b, level_, std::move(passes));
     }
+    OMNISIM_LOG_DEBUG(
+        "compile.done", "level=%s nodes=%llu->%llu constraints=%llu->%llu",
+        optLevelName(level_),
+        static_cast<unsigned long long>(lay.stats.origNodes),
+        static_cast<unsigned long long>(lay.stats.optNodes),
+        static_cast<unsigned long long>(lay.stats.origConstraints),
+        static_cast<unsigned long long>(lay.stats.keptConstraints));
     if (level_ != OptLevel::O0) {
         static obs::Histogram &mPartitionUs =
             obs::Registry::global().histogram("compile.pass_us.partition");

@@ -10,6 +10,8 @@
 #include "designs/common.hh"
 #include "dse/dse.hh"
 #include "io/run_store.hh"
+#include "obs/context.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "serve/json.hh"
@@ -127,7 +129,7 @@ inflightGauge()
     return g;
 }
 
-/** Begin a response carrying the request id and op. */
+/** Begin a response carrying the request id, op, and correlation id. */
 JsonBuilder
 beginResponse(const Request &req, bool ok)
 {
@@ -135,6 +137,7 @@ beginResponse(const Request &req, bool ok)
     b.key("id").rawValue(req.idJson);
     b.key("op").str(req.op);
     b.key("ok").boolean(ok);
+    b.key("cid").num(obs::currentCorrelationId());
     return b;
 }
 
@@ -289,6 +292,11 @@ SimService::cacheFor(const std::string &design)
 std::string
 SimService::handle(const std::string &line)
 {
+    // Every request gets a fresh correlation id, installed before the
+    // span opens so the span, every event the handlers emit, and the
+    // response's "cid" member all stitch to the same id.
+    const obs::CorrelationId cid = obs::newCorrelationId();
+    obs::CorrelationScope cscope(cid);
     OMNISIM_SPAN("serve.request");
     obs::ScopedGauge inflight(inflightGauge());
     const auto t0 = std::chrono::steady_clock::now();
@@ -344,6 +352,10 @@ SimService::dispatch(const std::string &line)
 {
     std::string idJson = "null";
     std::string op;
+    // Collect this request's warn+ events so error responses can echo
+    // the diagnostic tail the operator would otherwise have to fish out
+    // of the server log by cid.
+    obs::LogCapture capture;
     try {
         Request req;
         req.doc = JsonValue::parse(line);
@@ -386,14 +398,32 @@ SimService::dispatch(const std::string &line)
         }
         r.op = req.op;
         r.ok = true;
+        // One completion event per request (not entry + exit): the
+        // request path is hot enough that every ring record shows up
+        // in the serve-throughput logging gate.
+        OMNISIM_LOG_DEBUG("serve.request_ok", "op=%s id=%s", op.c_str(),
+                          req.idJson.c_str());
         return r;
     } catch (const std::exception &e) {
+        // Logged inside the capture scope so the failure event itself is
+        // part of the response's "log" tail.
+        OMNISIM_LOG_ERROR("serve.request_failed", "op=%s error=%s",
+                          op.empty() ? "?" : op.c_str(), e.what());
         JsonBuilder b;
         b.key("id").rawValue(idJson);
         if (!op.empty())
             b.key("op").str(op);
         b.key("ok").boolean(false);
+        b.key("cid").num(obs::currentCorrelationId());
         b.key("error").str(e.what());
+        if (!capture.lines().empty()) {
+            b.key("log").beginArray();
+            for (const std::string &l : capture.lines())
+                b.rawValue(l);
+            b.endArray();
+            if (capture.truncated() > 0)
+                b.key("log_truncated").num(capture.truncated());
+        }
         Response r(b.finish());
         r.op = op;
         return r;

@@ -6,6 +6,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/context.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
+
 namespace omnisim
 {
 
@@ -36,6 +40,15 @@ strf(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    OMNISIM_LOG_ERROR("panic", "%s (%s:%d)", msg.c_str(), file, line);
+    if (obs::logEnabled()) {
+        const std::string path = obs::writeCrashDump(
+            strf("panic: %s (%s:%d)", msg.c_str(), file, line),
+            obs::currentCorrelationId());
+        if (!path.empty())
+            std::fprintf(stderr, "panic: flight recorder dumped to %s\n",
+                         path.c_str());
+    }
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -43,12 +56,19 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const std::string &msg)
 {
+    // User-level errors are recoverable (embedders and serve catch
+    // FatalError), so they log but never write a crash dump.
+    OMNISIM_LOG_ERROR("fatal", "%s", msg.c_str());
     throw FatalError(msg);
 }
 
 void
 warn(const std::string &msg)
 {
+    if (obs::logEnabled()) {
+        OMNISIM_LOG_WARN("warn", "%s", msg.c_str());
+        return;
+    }
     if (!quietFlag.load(std::memory_order_relaxed))
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -56,6 +76,10 @@ warn(const std::string &msg)
 void
 inform(const std::string &msg)
 {
+    if (obs::logEnabled()) {
+        OMNISIM_LOG_INFO("inform", "%s", msg.c_str());
+        return;
+    }
     if (!quietFlag.load(std::memory_order_relaxed))
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }

@@ -1,0 +1,476 @@
+/** @file Structured logging + flight recorder tests: event schema and
+ *  sink routing, level filtering with an allocation-free filtered path,
+ *  per-thread ordering under concurrent writers, correlation scope
+ *  propagation, flight-ring overwrite accounting, and crash-dump
+ *  schema/determinism. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <new>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/context.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
+#include "serve/json.hh"
+#include "support/logging.hh"
+
+// Thread-local allocation accounting for the zero-allocation fast-path
+// test: every global operator new on this thread bumps the counter.
+namespace
+{
+thread_local std::uint64_t tlsAllocs = 0;
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++tlsAllocs;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+// GCC sees free() paired with a replaced operator new and warns even
+// though this replacement is malloc-backed by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace omnisim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using obs::LogLevel;
+using serve::JsonValue;
+
+/** Arm the logger around one test and restore the quiet default. */
+struct LogFixture
+{
+    LogFixture()
+    {
+        setLogQuiet(true);
+        obs::setLogEnabled(true);
+        obs::setLogLevel(LogLevel::Warn);
+        obs::flightReset();
+    }
+
+    ~LogFixture()
+    {
+        obs::resetLogSink();
+        obs::setLogLevel(LogLevel::Warn);
+        obs::setLogEnabled(false);
+    }
+};
+
+/** Custom sink collecting serialized events (thread-safe). */
+struct CollectingSink
+{
+    std::mutex mu;
+    std::vector<std::string> lines;
+
+    void install()
+    {
+        obs::setLogSink([this](const std::string &line) {
+            std::lock_guard<std::mutex> lock(mu);
+            lines.push_back(line);
+        });
+    }
+
+    std::vector<std::string> snapshot()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return lines;
+    }
+};
+
+std::uint64_t
+numField(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_NE(f, nullptr) << key;
+    return f ? f->asU64(key, ~0ull) : 0;
+}
+
+std::string
+strField(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    EXPECT_NE(f, nullptr) << key;
+    return f ? f->str() : "";
+}
+
+// ---------------------------------------------------------------------------
+// Correlation context.
+// ---------------------------------------------------------------------------
+
+TEST(ObsContextTest, IdsAreUniqueAndNonZero)
+{
+    const obs::CorrelationId a = obs::newCorrelationId();
+    const obs::CorrelationId b = obs::newCorrelationId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(ObsContextTest, ScopeNestsAndRestores)
+{
+    const obs::CorrelationId outerPrev = obs::currentCorrelationId();
+    const obs::CorrelationId outer = obs::newCorrelationId();
+    {
+        obs::CorrelationScope s1(outer);
+        EXPECT_EQ(obs::currentCorrelationId(), outer);
+        const obs::CorrelationId inner = obs::newCorrelationId();
+        {
+            obs::CorrelationScope s2(inner);
+            EXPECT_EQ(obs::currentCorrelationId(), inner);
+        }
+        EXPECT_EQ(obs::currentCorrelationId(), outer);
+    }
+    EXPECT_EQ(obs::currentCorrelationId(), outerPrev);
+}
+
+TEST(ObsContextTest, FreshThreadsStartWithNoContext)
+{
+    obs::CorrelationScope scope(obs::newCorrelationId());
+    obs::CorrelationId seen = ~0ull;
+    std::thread t([&] { seen = obs::currentCorrelationId(); });
+    t.join();
+    EXPECT_EQ(seen, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured events.
+// ---------------------------------------------------------------------------
+
+TEST(ObsLogTest, EventSchemaAndCorrelationStamp)
+{
+    LogFixture fx;
+    CollectingSink sink;
+    sink.install();
+
+    const obs::CorrelationId cid = obs::newCorrelationId();
+    {
+        obs::CorrelationScope scope(cid);
+        OMNISIM_LOG_WARN("test.event", "value=%d text=%s", 42, "hello");
+    }
+
+    const auto lines = sink.snapshot();
+    ASSERT_EQ(lines.size(), 1u);
+    const JsonValue v = JsonValue::parse(lines[0]);
+    EXPECT_GT(numField(v, "ts_ns"), 0u);
+    EXPECT_EQ(strField(v, "lvl"), "warn");
+    EXPECT_GT(numField(v, "tid"), 0u);
+    EXPECT_EQ(numField(v, "cid"), cid);
+    EXPECT_EQ(strField(v, "event"), "test.event");
+    EXPECT_EQ(strField(v, "msg"), "value=42 text=hello");
+}
+
+TEST(ObsLogTest, LevelFilteringGatesSink)
+{
+    LogFixture fx;
+    CollectingSink sink;
+    sink.install();
+
+    obs::setLogLevel(LogLevel::Warn);
+    OMNISIM_LOG_DEBUG("test.filtered", "below threshold");
+    OMNISIM_LOG_INFO("test.filtered", "still below");
+    OMNISIM_LOG_WARN("test.kept", "at threshold");
+    OMNISIM_LOG_ERROR("test.kept", "above threshold");
+    obs::setLogLevel(LogLevel::Trace);
+    OMNISIM_LOG_TRACE("test.kept", "now everything flows");
+
+    const auto lines = sink.snapshot();
+    ASSERT_EQ(lines.size(), 3u);
+    for (const std::string &l : lines)
+        EXPECT_EQ(strField(JsonValue::parse(l), "event"), "test.kept");
+}
+
+TEST(ObsLogTest, DisabledLoggerEmitsNothing)
+{
+    LogFixture fx;
+    CollectingSink sink;
+    sink.install();
+    obs::setLogEnabled(false);
+    OMNISIM_LOG_ERROR("test.dark", "should not appear");
+    obs::setLogEnabled(true);
+    EXPECT_TRUE(sink.snapshot().empty());
+    EXPECT_EQ(obs::flightEventCount(), 0u);
+}
+
+TEST(ObsLogTest, FilteredFastPathDoesNotAllocate)
+{
+    LogFixture fx;
+    obs::setLogLevel(LogLevel::Warn);
+
+    // Warm up: first event on a thread registers its flight ring and
+    // sizes the thread-local buffers.
+    OMNISIM_LOG_DEBUG("test.warmup", "warmup %d", 0);
+
+    const std::uint64_t before = tlsAllocs;
+    for (int i = 0; i < 1000; ++i)
+        OMNISIM_LOG_DEBUG("test.fastpath", "filtered event %d", i);
+    const std::uint64_t after = tlsAllocs;
+    EXPECT_EQ(after, before)
+        << "filtered events must not heap-allocate on the hot path";
+}
+
+TEST(ObsLogTest, ConcurrentWritersKeepPerThreadOrdering)
+{
+    LogFixture fx;
+    obs::setLogLevel(LogLevel::Trace);
+    CollectingSink sink;
+    sink.install();
+
+    constexpr int kThreads = 4;
+    constexpr int kEvents = 200;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t] {
+            obs::CorrelationScope scope(obs::newCorrelationId());
+            for (int i = 0; i < kEvents; ++i)
+                OMNISIM_LOG_INFO("test.concurrent", "t=%d i=%d", t, i);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    const auto lines = sink.snapshot();
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads) * kEvents);
+
+    // Per emitting thread: timestamps monotone nondecreasing in sink
+    // arrival order, exactly one correlation id, every event parseable.
+    std::map<std::uint64_t, std::uint64_t> lastTs;
+    std::map<std::uint64_t, std::set<std::uint64_t>> cidsPerTid;
+    for (const std::string &l : lines) {
+        const JsonValue v = JsonValue::parse(l);
+        const std::uint64_t tid = numField(v, "tid");
+        const std::uint64_t ts = numField(v, "ts_ns");
+        if (const auto it = lastTs.find(tid); it != lastTs.end()) {
+            EXPECT_GE(ts, it->second) << "tid " << tid;
+        }
+        lastTs[tid] = ts;
+        cidsPerTid[tid].insert(numField(v, "cid"));
+    }
+    EXPECT_EQ(lastTs.size(), static_cast<std::size_t>(kThreads));
+    for (const auto &[tid, cids] : cidsPerTid)
+        EXPECT_EQ(cids.size(), 1u) << "tid " << tid;
+}
+
+TEST(ObsLogTest, CaptureCollectsWarnPlusEvenBelowSinkLevel)
+{
+    LogFixture fx;
+    CollectingSink sink;
+    sink.install();
+    obs::setLogLevel(LogLevel::Error); // sink stricter than capture
+
+    obs::LogCapture capture;
+    OMNISIM_LOG_DEBUG("test.capture", "debug: not captured");
+    OMNISIM_LOG_WARN("test.capture", "warn: captured");
+    OMNISIM_LOG_ERROR("test.capture", "error: captured");
+
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.truncated(), 0u);
+    EXPECT_EQ(strField(JsonValue::parse(capture.lines()[0]), "lvl"),
+              "warn");
+    EXPECT_EQ(strField(JsonValue::parse(capture.lines()[1]), "lvl"),
+              "error");
+    // The sink saw only the error (threshold Error).
+    EXPECT_EQ(sink.snapshot().size(), 1u);
+}
+
+TEST(ObsLogTest, CaptureCapsAndCountsTruncation)
+{
+    LogFixture fx;
+    obs::LogCapture capture;
+    const int total = static_cast<int>(obs::LogCapture::kMaxLines) + 7;
+    for (int i = 0; i < total; ++i)
+        OMNISIM_LOG_WARN("test.cap", "line %d", i);
+    EXPECT_EQ(capture.lines().size(), obs::LogCapture::kMaxLines);
+    EXPECT_EQ(capture.truncated(), 7u);
+}
+
+TEST(ObsLogTest, FileSinkWritesJsonLines)
+{
+    LogFixture fx;
+    const std::string path = "log_test_tmp_events.jsonl";
+    fs::remove(path);
+    ASSERT_TRUE(obs::setLogFileSink(path));
+    OMNISIM_LOG_WARN("test.file", "first");
+    OMNISIM_LOG_ERROR("test.file", "second");
+    obs::resetLogSink(); // closes the file
+
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(strField(JsonValue::parse(lines[0]), "msg"), "first");
+    EXPECT_EQ(strField(JsonValue::parse(lines[1]), "msg"), "second");
+    fs::remove(path);
+}
+
+TEST(ObsLogTest, WarnRoutesThroughLoggerWhenEnabled)
+{
+    LogFixture fx;
+    CollectingSink sink;
+    sink.install();
+    warn("routed warning");
+    inform("routed info"); // below Warn threshold: ring only
+    const auto lines = sink.snapshot();
+    ASSERT_EQ(lines.size(), 1u);
+    const JsonValue v = JsonValue::parse(lines[0]);
+    EXPECT_EQ(strField(v, "event"), "warn");
+    EXPECT_EQ(strField(v, "msg"), "routed warning");
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlightTest, RingOverwriteAccounting)
+{
+    LogFixture fx;
+    const std::size_t extra = 10;
+    const std::uint64_t droppedBefore = obs::flightDroppedCount();
+    // All below the sink threshold: ring-only traffic.
+    for (std::size_t i = 0; i < obs::kFlightRingEvents + extra; ++i)
+        OMNISIM_LOG_DEBUG("test.ring", "event %zu", i);
+    EXPECT_EQ(obs::flightEventCount(), obs::kFlightRingEvents);
+    EXPECT_EQ(obs::flightDroppedCount() - droppedBefore, extra);
+
+    obs::flightReset();
+    EXPECT_EQ(obs::flightEventCount(), 0u);
+    EXPECT_EQ(obs::flightDroppedCount(), 0u);
+}
+
+TEST(ObsFlightTest, TraceEventsSkipTheRing)
+{
+    LogFixture fx;
+    // Sink wants everything, but the ring keeps only kFlightMinLevel
+    // (debug) and above: trace is hot-loop traffic.
+    obs::setLogLevel(LogLevel::Trace);
+    CollectingSink sink;
+    sink.install();
+    OMNISIM_LOG_TRACE("test.hot", "ring-exempt");
+    OMNISIM_LOG_DEBUG("test.kept", "ring-recorded");
+    EXPECT_EQ(sink.snapshot().size(), 2u);
+    EXPECT_EQ(obs::flightEventCount(), 1u);
+    const JsonValue v =
+        JsonValue::parse(obs::flightDumpJson("trace exemption", 0));
+    const auto &events = v.find("events")->array();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(strField(events.front(), "event"), "test.kept");
+}
+
+TEST(ObsFlightTest, RingKeepsNewestEvents)
+{
+    LogFixture fx;
+    for (std::size_t i = 0; i < obs::kFlightRingEvents + 5; ++i)
+        OMNISIM_LOG_DEBUG("test.tail", "event %zu", i);
+    const std::string dump = obs::flightDumpJson("tail check", 0);
+    const JsonValue v = JsonValue::parse(dump);
+    const auto &events = v.find("events")->array();
+    ASSERT_EQ(events.size(), obs::kFlightRingEvents);
+    // Oldest surviving record is the one right after the overwritten
+    // prefix; the last is the newest.
+    EXPECT_EQ(strField(events.front(), "msg"), "event 5");
+    EXPECT_EQ(strField(events.back(), "msg"),
+              strf("event %zu", obs::kFlightRingEvents + 4));
+}
+
+TEST(ObsFlightTest, DumpSchemaAndDeterminism)
+{
+    LogFixture fx;
+    const obs::CorrelationId cid = obs::newCorrelationId();
+    {
+        obs::CorrelationScope scope(cid);
+        OMNISIM_LOG_WARN("test.dump", "before the crash");
+        OMNISIM_LOG_ERROR("test.dump", "the crash");
+    }
+
+    const std::string a = obs::flightDumpJson("unit test", cid);
+    const std::string b = obs::flightDumpJson("unit test", cid);
+
+    const JsonValue v = JsonValue::parse(a);
+    EXPECT_EQ(strField(v, "schema"), obs::kFlightSchema);
+    EXPECT_GT(numField(v, "pid"), 0u);
+    EXPECT_EQ(strField(v, "reason"), "unit test");
+    EXPECT_EQ(numField(v, "correlation_id"), cid);
+    EXPECT_EQ(numField(v, "dropped"), 0u);
+    EXPECT_EQ(numField(v, "skipped_threads"), 0u);
+    ASSERT_NE(v.find("events"), nullptr);
+    ASSERT_NE(v.find("spans"), nullptr);
+    ASSERT_NE(v.find("metrics"), nullptr);
+    const auto &events = v.find("events")->array();
+    ASSERT_EQ(events.size(), 2u);
+    for (const JsonValue &e : events) {
+        EXPECT_EQ(numField(e, "cid"), cid);
+        EXPECT_GT(numField(e, "ts_ns"), 0u);
+        EXPECT_GT(numField(e, "tid"), 0u);
+    }
+    EXPECT_EQ(strField(events[0], "lvl"), "warn");
+    EXPECT_EQ(strField(events[1], "lvl"), "error");
+
+    // Dumping is read-only: the event tail must be byte-identical
+    // across consecutive dumps (the metrics snapshot may move).
+    const JsonValue vb = JsonValue::parse(b);
+    EXPECT_EQ(v.find("events")->dump(), vb.find("events")->dump());
+    EXPECT_EQ(v.find("spans")->dump(), vb.find("spans")->dump());
+}
+
+TEST(ObsFlightTest, WriteCrashDumpProducesSchemaStableFile)
+{
+    LogFixture fx;
+    const std::string dir = "log_test_tmp_crash";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    obs::setCrashDumpDir(dir);
+
+    OMNISIM_LOG_WARN("test.crashfile", "context before dump");
+    const std::string path = obs::writeCrashDump("test dump", 123);
+    obs::setCrashDumpDir(".");
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(fs::path(path).parent_path().string(), dir);
+    EXPECT_EQ(fs::path(path).filename().string().rfind("omnisim-crash-", 0),
+              0u);
+
+    std::ifstream in(path);
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    const JsonValue v = JsonValue::parse(doc);
+    EXPECT_EQ(strField(v, "schema"), obs::kFlightSchema);
+    EXPECT_EQ(numField(v, "correlation_id"), 123u);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace omnisim

@@ -18,6 +18,7 @@
 #include "design/frontend.hh"
 #include "designs/common.hh"
 #include "helpers.hh"
+#include "obs/log.hh"
 #include "serve/json.hh"
 #include "serve/service.hh"
 
@@ -316,6 +317,50 @@ TEST(SimServiceTest, ErrorIsolationKeepsServing)
     r = ask(svc, R"({"id":6,"op":"simulate","design":"fifo_chain"})");
     EXPECT_TRUE(okField(r)) << r.dump();
     EXPECT_FALSE(svc.shutdownRequested());
+}
+
+TEST(SimServiceTest, ErrorResponseCarriesCidAndLogTail)
+{
+    // Arm the structured logger (quiet: no sink needed — the per-request
+    // LogCapture collects warn+ events independently of the sink level).
+    setLogQuiet(true);
+    obs::setLogEnabled(true);
+    SimService svc({1, "", 4, {}});
+
+    // A failing request (FatalError inside the engine layer) must come
+    // back as a structured error carrying the request correlation id and
+    // the warn+ log tail recorded while serving it.
+    const JsonValue bad = ask(
+        svc, R"({"id":1,"op":"simulate","design":"no_such_design"})");
+    EXPECT_FALSE(okField(bad));
+    const std::uint64_t badCid = numField(bad, "cid");
+    EXPECT_GT(badCid, 0u);
+    const JsonValue *logField = bad.find("log");
+    ASSERT_NE(logField, nullptr) << bad.dump();
+    ASSERT_FALSE(logField->array().empty());
+    bool sawFailureEvent = false;
+    for (const JsonValue &e : logField->array()) {
+        // Each entry is a full structured event stamped with the same
+        // cid the response carries.
+        EXPECT_EQ(numField(e, "cid"), badCid);
+        EXPECT_NE(e.find("ts_ns"), nullptr);
+        EXPECT_NE(e.find("lvl"), nullptr);
+        EXPECT_NE(e.find("msg"), nullptr);
+        if (strField(e, "event") == "serve.request_failed")
+            sawFailureEvent = true;
+    }
+    EXPECT_TRUE(sawFailureEvent) << bad.dump();
+    EXPECT_EQ(bad.find("log_truncated"), nullptr); // nothing dropped
+
+    // The service keeps serving; success responses carry a fresh cid
+    // and no log echo.
+    const JsonValue ok = ask(
+        svc, R"({"id":2,"op":"simulate","design":"fifo_chain"})");
+    EXPECT_TRUE(okField(ok)) << ok.dump();
+    EXPECT_GT(numField(ok, "cid"), badCid);
+    EXPECT_EQ(ok.find("log"), nullptr);
+
+    obs::setLogEnabled(false);
 }
 
 TEST(SimServiceTest, DseOpRunsAndReportsFrontier)

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Gate the bench trajectory: compare fresh BENCH_*.json files against a
+committed baseline and fail on a geomean regression.
+
+The committed baseline (bench/baseline.json) names, per bench file, a
+set of dotted metric paths with their reference values. Every metric is
+machine-independent and higher-is-better: hit rates, same-run speedup
+ratios, elimination fractions, overhead ratios — never absolute seconds
+or req/s, which track the host instead of the code. Each metric
+contributes current/baseline to one geomean; the gate fails when that
+geomean drops below 1 - tolerance (default 15%).
+
+Per-metric ratios are winsorized into [0.25, 4.0] before the geomean so
+a single noisy smoke-size measurement (warm-vs-cold speedups swing with
+scheduler luck) cannot swamp the aggregate in either direction.
+
+Usage:
+  bench_compare.py [--baseline bench/baseline.json] [--bench-dir build]
+                   [--tolerance PCT]
+  bench_compare.py --update          # rewrite the baseline from fresh files
+
+Exit status: 0 ok, 1 regression, 2 baseline/bench files unusable.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+SCHEMA = "omnisim-bench-baseline-1"
+CLAMP_LO, CLAMP_HI = 0.25, 4.0
+
+
+def fail(msg, code=2):
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def lookup(doc, dotted):
+    """Resolve 'totals.warm_speedup_geomean' against a parsed JSON doc."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def load_bench(bench_dir, name):
+    path = os.path.join(bench_dir, name)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: unreadable bench file: {e}")
+
+
+def compare(baseline, bench_dir, tolerance_pct):
+    log_ratios = []
+    compared = 0
+    ok = True
+    for fname, metrics in sorted(baseline["metrics"].items()):
+        doc = load_bench(bench_dir, fname)
+        if doc is None:
+            print(f"  {fname}: MISSING (skipped; run the bench smokes first)")
+            continue
+        for dotted, base in sorted(metrics.items()):
+            cur = lookup(doc, dotted)
+            if cur is None:
+                fail(f"{fname}: metric '{dotted}' missing from fresh run "
+                     f"(schema drift? refresh with --update)")
+            if base <= 0:
+                fail(f"baseline value for {fname}:{dotted} is {base}; "
+                     f"metrics must be positive")
+            ratio = cur / base
+            clamped = min(max(ratio, CLAMP_LO), CLAMP_HI)
+            log_ratios.append(math.log(clamped))
+            compared += 1
+            flag = "" if ratio >= 1.0 - tolerance_pct / 100.0 else "  <-- low"
+            print(f"  {fname}: {dotted}: {cur:g} vs baseline {base:g} "
+                  f"(ratio {ratio:.3f}){flag}")
+    if compared == 0:
+        fail("no metrics compared; no BENCH_*.json files found")
+    geomean = math.exp(sum(log_ratios) / len(log_ratios))
+    floor = 1.0 - tolerance_pct / 100.0
+    verdict = "ok" if geomean >= floor else "REGRESSION"
+    print(f"bench_compare: geomean ratio {geomean:.3f} over {compared} "
+          f"metrics (gate >= {floor:.2f}, {verdict})")
+    if geomean < floor:
+        ok = False
+    return ok
+
+
+def update(baseline, bench_dir, baseline_path):
+    """Re-read every baselined metric from fresh files and rewrite."""
+    fresh = {}
+    for fname, metrics in sorted(baseline["metrics"].items()):
+        doc = load_bench(bench_dir, fname)
+        if doc is None:
+            fail(f"--update: {fname} not found in {bench_dir}")
+        fresh[fname] = {}
+        for dotted in sorted(metrics):
+            cur = lookup(doc, dotted)
+            if cur is None:
+                fail(f"--update: {fname}: metric '{dotted}' missing")
+            fresh[fname][dotted] = round(float(cur), 6)
+    baseline["metrics"] = fresh
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_compare: baseline refreshed at {baseline_path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="bench/baseline.json",
+                    help="committed baseline file (default %(default)s)")
+    ap.add_argument("--bench-dir", default="build",
+                    help="directory holding fresh BENCH_*.json "
+                         "(default %(default)s)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="max geomean regression percent "
+                         "(default: the baseline's tolerance_pct)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's values from fresh files")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.baseline}: unreadable baseline: {e}")
+    if baseline.get("schema") != SCHEMA:
+        fail(f"{args.baseline}: expected schema '{SCHEMA}', "
+             f"got {baseline.get('schema')!r}")
+    if not isinstance(baseline.get("metrics"), dict):
+        fail(f"{args.baseline}: 'metrics' must be an object")
+
+    if args.update:
+        update(baseline, args.bench_dir, args.baseline)
+        return
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else float(baseline.get("tolerance_pct", 15)))
+    if not compare(baseline, args.bench_dir, tolerance):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,28 +1,52 @@
 #!/usr/bin/env python3
-"""Schema check for omnisim's Chrome trace_event export.
+"""Schema checks for omnisim's diagnostic outputs.
 
-Runs `omnisim_cli simulate <design> --trace-out FILE.json`, then
-validates the file against what Perfetto / chrome://tracing require to
-load it: a `traceEvents` array whose complete events ("ph":"X") carry
-name/ts/dur/pid/tid with sane values. On top of the generic schema it
-asserts the spans omnisim promises: at least one `compile.*` pass span
-and the `omnisim.run` / `omnisim.execute` engine-phase spans.
+Three modes, selected with --mode (default: trace):
+
+trace  Runs `omnisim_cli simulate <design> --trace-out FILE.json`, then
+       validates the file against what Perfetto / chrome://tracing
+       require to load it: a `traceEvents` array whose complete events
+       ("ph":"X") carry name/ts/dur/pid/tid with sane values plus the
+       correlation id under args.cid. On top of the generic schema it
+       asserts the spans omnisim promises: at least one `compile.*`
+       pass span and the `omnisim.run` / `omnisim.execute`
+       engine-phase spans.
+
+log    Runs `omnisim_cli run <design> --log-out FILE --log-level
+       debug`, then validates the structured log stream: one JSON
+       object per line carrying ts_ns/lvl/tid/cid/event/msg, known
+       level names, timestamps monotone nondecreasing per thread, a
+       correlated `cli.invoke` entry, and the promised `engine.run`
+       event.
+
+crash  Runs `omnisim_cli run <design> --crash-dir DIR --inject-panic`
+       (a hidden flag that trips omnisim_assert after setup), expects
+       the process to die, and validates the flight-recorder dump
+       `omnisim-crash-<pid>.json`: schema tag, reason, correlation id,
+       a globally time-sorted event tail with per-event schema, span
+       stacks, and the metrics snapshot.
 
 Exit status 0 on success; nonzero with a diagnostic on any mismatch.
-Used by the `cli_trace_schema_smoke` ctest entry and handy manually:
+Used by the `cli_trace_schema_smoke`, `cli_log_schema_smoke` and
+`cli_crash_dump_smoke` ctest entries and handy manually:
 
-    python3 tools/check_trace.py [--design NAME] path/to/omnisim_cli
+    python3 tools/check_trace.py [--mode M] [--design NAME] path/to/omnisim_cli
 """
 
 import argparse
+import glob
 import json
 import numbers
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
 
 REQUIRED_SPANS = ["compile.run", "omnisim.run", "omnisim.execute"]
+LOG_LEVELS = {"trace", "debug", "info", "warn", "error"}
+EVENT_KEYS = ("ts_ns", "lvl", "tid", "cid", "event", "msg")
+CRASH_SCHEMA = "omnisim-flight-1"
 
 
 def fail(msg):
@@ -30,7 +54,45 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_event(i, ev):
+def run_cli(cmd, expect_death=False):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, timeout=300)
+    text = proc.stdout.decode(errors="replace")
+    if expect_death:
+        if proc.returncode == 0:
+            fail(f"{' '.join(cmd)} exited 0, expected a crash:\n{text}")
+    elif proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{text}")
+    return text
+
+
+def check_log_record(where, ev):
+    """Validate one structured event object (log line or dump entry)."""
+    if not isinstance(ev, dict):
+        fail(f"{where} is not an object")
+    for key in EVENT_KEYS:
+        if key not in ev:
+            fail(f"{where} is missing {key!r}")
+    for key in ("ts_ns", "tid", "cid"):
+        v = ev[key]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where}.{key} = {v!r} is not a non-negative integer")
+    if ev["tid"] < 1:
+        fail(f"{where}.tid = {ev['tid']!r} (thread ids start at 1)")
+    if ev["lvl"] not in LOG_LEVELS:
+        fail(f"{where}.lvl = {ev['lvl']!r} is not a known level")
+    for key in ("event", "msg"):
+        if not isinstance(ev[key], str):
+            fail(f"{where}.{key} is not a string")
+    if not ev["event"]:
+        fail(f"{where}.event is empty")
+
+
+# ---------------------------------------------------------------------------
+# trace mode
+# ---------------------------------------------------------------------------
+
+def check_trace_event(i, ev):
     if not isinstance(ev, dict):
         fail(f"traceEvents[{i}] is not an object")
     ph = ev.get("ph")
@@ -48,25 +110,21 @@ def check_event(i, ev):
         if not isinstance(ev[key], numbers.Real) or ev[key] < 0:
             fail(f"traceEvents[{i}].{key} = {ev[key]!r} is not a "
                  "non-negative number")
-    return ev["name"]
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"traceEvents[{i}] is missing the args object")
+    cid = args.get("cid")
+    if not isinstance(cid, int) or isinstance(cid, bool) or cid < 0:
+        fail(f"traceEvents[{i}].args.cid = {cid!r} is not a "
+             "non-negative integer")
+    return ev["name"], cid
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--design", default="fifo_chain")
-    ap.add_argument("cli", help="path to omnisim_cli")
-    args = ap.parse_args()
-
+def mode_trace(args):
     fd, path = tempfile.mkstemp(suffix=".json", prefix="omnisim_trace_")
     os.close(fd)
     try:
-        cmd = [args.cli, "simulate", args.design, "--trace-out", path]
-        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
-                              stderr=subprocess.STDOUT, timeout=300)
-        if proc.returncode != 0:
-            fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
-                 f"{proc.stdout.decode(errors='replace')}")
-
+        run_cli([args.cli, "simulate", args.design, "--trace-out", path])
         try:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
@@ -83,13 +141,19 @@ def main():
 
         names = set()
         spans = 0
+        correlated = 0
         for i, ev in enumerate(events):
-            name = check_event(i, ev)
-            if name is not None:
+            got = check_trace_event(i, ev)
+            if got is not None:
+                name, cid = got
                 names.add(name)
                 spans += 1
+                correlated += cid > 0
         if spans == 0:
             fail("no complete ('X') span events in the trace")
+        if correlated == 0:
+            fail("no span carries a nonzero args.cid — the CLI "
+                 "invocation correlation id is not propagating")
 
         for want in REQUIRED_SPANS:
             if want not in names:
@@ -100,13 +164,137 @@ def main():
             fail(f"no per-pass compile.* span present "
                  f"(got: {sorted(names)})")
 
-        print(f"check_trace: OK: {spans} spans, "
+        print(f"check_trace: OK: {spans} spans ({correlated} correlated), "
               f"{len(names)} distinct names, design {args.design}")
     finally:
         try:
             os.unlink(path)
         except OSError:
             pass
+
+
+# ---------------------------------------------------------------------------
+# log mode
+# ---------------------------------------------------------------------------
+
+def mode_log(args):
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="omnisim_log_")
+    os.close(fd)
+    try:
+        run_cli([args.cli, "run", args.design,
+                 "--log-out", path, "--log-level", "debug"])
+        with open(path, encoding="utf-8") as f:
+            lines = [l for l in f.read().splitlines() if l]
+        if not lines:
+            fail("log file is empty")
+
+        last_ts = {}
+        events = set()
+        cids = set()
+        for i, line in enumerate(lines):
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"log line {i} is not valid JSON: {e}: {line!r}")
+            check_log_record(f"log line {i}", ev)
+            tid, ts = ev["tid"], ev["ts_ns"]
+            if tid in last_ts and ts < last_ts[tid]:
+                fail(f"log line {i}: ts_ns {ts} < {last_ts[tid]} for "
+                     f"tid {tid} — per-thread timestamps must be "
+                     "monotone nondecreasing")
+            last_ts[tid] = ts
+            events.add(ev["event"])
+            cids.add(ev["cid"])
+
+        for want in ("cli.invoke", "engine.run"):
+            if want not in events:
+                fail(f"expected event {want!r} not present "
+                     f"(got: {sorted(events)})")
+        if not any(c > 0 for c in cids):
+            fail("no event carries a nonzero cid")
+
+        print(f"check_trace: OK: {len(lines)} log events, "
+              f"{len(events)} distinct names, {len(last_ts)} threads, "
+              f"design {args.design}")
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# crash mode
+# ---------------------------------------------------------------------------
+
+def mode_crash(args):
+    tmpdir = tempfile.mkdtemp(prefix="omnisim_crash_")
+    try:
+        run_cli([args.cli, "run", args.design,
+                 "--crash-dir", tmpdir, "--inject-panic"],
+                expect_death=True)
+        dumps = glob.glob(os.path.join(tmpdir, "omnisim-crash-*.json"))
+        if len(dumps) != 1:
+            fail(f"expected exactly one omnisim-crash-*.json in {tmpdir}, "
+                 f"found {len(dumps)}")
+        try:
+            with open(dumps[0], encoding="utf-8") as f:
+                doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"crash dump is not valid JSON: {e}")
+
+        if doc.get("schema") != CRASH_SCHEMA:
+            fail(f"schema = {doc.get('schema')!r}, expected "
+                 f"{CRASH_SCHEMA!r}")
+        for key in ("pid", "reason", "correlation_id", "dropped",
+                    "skipped_threads", "events", "spans", "metrics"):
+            if key not in doc:
+                fail(f"crash dump is missing {key!r}")
+        if "injected panic" not in doc["reason"]:
+            fail(f"reason = {doc['reason']!r} does not mention the "
+                 "injected panic")
+        if not isinstance(doc["correlation_id"], int) or \
+                doc["correlation_id"] < 1:
+            fail(f"correlation_id = {doc['correlation_id']!r} — the CLI "
+                 "invocation id must be stamped on the dump")
+
+        events = doc["events"]
+        if not isinstance(events, list) or not events:
+            fail("events is missing, not an array, or empty")
+        prev_ts = 0
+        names = set()
+        for i, ev in enumerate(events):
+            check_log_record(f"events[{i}]", ev)
+            if "seq" not in ev:
+                fail(f"events[{i}] is missing 'seq'")
+            if ev["ts_ns"] < prev_ts:
+                fail(f"events[{i}]: dump events are not globally "
+                     "time-sorted")
+            prev_ts = ev["ts_ns"]
+            names.add(ev["event"])
+        if "cli.invoke" not in names:
+            fail(f"the event tail does not include cli.invoke "
+                 f"(got: {sorted(names)})")
+        if not isinstance(doc["spans"], list):
+            fail("spans is not an array")
+        if not isinstance(doc["metrics"], dict):
+            fail("metrics is not an object")
+
+        print(f"check_trace: OK: crash dump with {len(events)} events, "
+              f"{len(doc['spans'])} span stacks, cid "
+              f"{doc['correlation_id']}, design {args.design}")
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--mode", choices=["trace", "log", "crash"],
+                    default="trace")
+    ap.add_argument("--design", default="fifo_chain")
+    ap.add_argument("cli", help="path to omnisim_cli")
+    args = ap.parse_args()
+    {"trace": mode_trace, "log": mode_log, "crash": mode_crash}[args.mode](args)
 
 
 if __name__ == "__main__":

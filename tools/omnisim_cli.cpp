@@ -54,6 +54,9 @@
 #include "gen/shrink.hh"
 #include "io/run_store.hh"
 #include "lightningsim/lightningsim.hh"
+#include "obs/context.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
 #include "obs/trace.hh"
 #include "serve/service.hh"
 #include "support/stopwatch.hh"
@@ -96,7 +99,12 @@ usage()
                  "engine's\n"
                  "  relaxation lanes (0 = all cores; answers are "
                  "bit-identical\n"
-                 "  at any value).\n");
+                 "  at any value). Structured diagnostics: --log-out "
+                 "FILE.jsonl\n"
+                 "  (one JSON event per line), --log-level "
+                 "trace|debug|info|warn|error\n"
+                 "  (default warn), --crash-dir DIR for flight-recorder "
+                 "crash dumps.\n");
     return 2;
 }
 
@@ -205,7 +213,11 @@ subcommandUsage(const std::string &cmd)
                "  --socket PATH  serve a Unix-domain socket instead of "
                "stdin/stdout\n"
                "  --lazy         lazy write stalls for omnisim runs "
-               "(ablation)\n";
+               "(ablation)\n"
+               "  --log-out FILE / --log-level L  (global) structured "
+               "JSON event\n"
+               "                 log; error responses echo each "
+               "request's warn+ tail\n";
     }
     return nullptr;
 }
@@ -834,6 +846,9 @@ cmdFuzz(const std::vector<std::string> &args, const JobsFlag &jobsFlag)
     runner.forEachIndex(slots.size(), [&](std::size_t i) {
         if (budget > 0.0 && sw.seconds() > budget)
             return; // budget exhausted: leave the seed unrun
+        // Each fuzz seed is an entry point with its own correlation id,
+        // so a divergence stitches to exactly one seed's events.
+        obs::CorrelationScope seedScope(obs::newCorrelationId());
         Slot &s = slots[i];
         try {
             const gen::GenSpec spec = gen::generateSpec(seed0 + i, cfg);
@@ -846,6 +861,10 @@ cmdFuzz(const std::vector<std::string> &args, const JobsFlag &jobsFlag)
             s.type = '?';
             s.summary = std::string("harness: ") + e.what();
         }
+        if (!s.summary.empty())
+            OMNISIM_LOG_WARN("fuzz.divergence", "seed=%llu %s",
+                             static_cast<unsigned long long>(seed0 + i),
+                             s.summary.c_str());
         s.ran = true;
     });
     const double wall = sw.seconds();
@@ -979,6 +998,46 @@ main(int argc, char **argv)
         }
     }
 
+    // Global structured-diagnostics flags, pre-scanned like --trace-out:
+    //   --log-out FILE    JSON-lines event sink (default: legacy stderr)
+    //   --log-level L     sink threshold (trace|debug|info|warn|error)
+    //   --crash-dir DIR   where flight-recorder crash dumps land
+    //   --inject-panic    hidden: fire an omnisim_assert after setup,
+    //                     exercising the crash-dump path end to end
+    //                     (used by the ctest crash-schema smoke)
+    std::string logOut;
+    std::string crashDir;
+    obs::LogLevel logLevel = obs::LogLevel::Warn;
+    bool injectPanic = false;
+    for (std::size_t i = 0; i < rest.size();) {
+        if (rest[i] == "--log-out" || rest[i] == "--log-level" ||
+            rest[i] == "--crash-dir") {
+            if (i + 1 >= rest.size()) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             rest[i].c_str());
+                return 2;
+            }
+            if (rest[i] == "--log-out") {
+                logOut = rest[i + 1];
+            } else if (rest[i] == "--crash-dir") {
+                crashDir = rest[i + 1];
+            } else if (!obs::parseLogLevel(rest[i + 1], logLevel)) {
+                std::fprintf(stderr,
+                             "error: --log-level expects trace|debug|"
+                             "info|warn|error, got '%s'\n",
+                             rest[i + 1].c_str());
+                return 2;
+            }
+            rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+                       rest.begin() + static_cast<std::ptrdiff_t>(i + 2));
+        } else if (rest[i] == "--inject-panic") {
+            injectPanic = true;
+            rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+
     // Global --jobs N: one knob for every subcommand's worker pool and
     // the engine's relaxation lanes (see JobsFlag).
     JobsFlag jobsFlag;
@@ -1010,8 +1069,32 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Arm the structured logger for the whole invocation. The legacy
+    // stderr sink (active unless --log-out redirects) reproduces the
+    // "warn: ..." lines the CLI always printed, still silenced by the
+    // setLogQuiet(true) above, so default output is unchanged.
+    obs::setLogEnabled(true);
+    obs::setLogLevel(logLevel);
+    if (!logOut.empty() && !obs::setLogFileSink(logOut)) {
+        std::fprintf(stderr, "error: cannot open log file '%s'\n",
+                     logOut.c_str());
+        return 2;
+    }
+    if (!crashDir.empty())
+        obs::setCrashDumpDir(crashDir);
+    obs::installCrashHandlers();
+
+    // The invocation is an entry point: one correlation id covers the
+    // whole subcommand (nested entry points — batch scenarios, DSE
+    // evaluations, fuzz seeds — stack their own ids on top).
+    const obs::CorrelationId cid = obs::newCorrelationId();
+    obs::CorrelationScope cscope(cid);
+    OMNISIM_LOG_INFO("cli.invoke", "cmd=%s", cmd.c_str());
+
     if (!traceOut.empty())
         obs::traceStart();
+    if (injectPanic)
+        omnisim_assert(false, "injected panic (--inject-panic)");
     const int code = [&]() -> int {
     try {
         if (cmd == "list")
@@ -1050,12 +1133,18 @@ main(int argc, char **argv)
         if (cmd == "fuzz")
             return cmdFuzz(rest, jobsFlag);
     } catch (const UsageError &e) {
+        OMNISIM_LOG_ERROR("cli.usage_error", "cmd=%s: %s", cmd.c_str(),
+                          e.what());
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     } catch (const FatalError &e) {
+        OMNISIM_LOG_ERROR("cli.fatal", "cmd=%s: %s", cmd.c_str(),
+                          e.what());
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     } catch (const std::exception &e) {
+        OMNISIM_LOG_ERROR("cli.error", "cmd=%s: %s", cmd.c_str(),
+                          e.what());
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
