@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "core/omnisim.hh"
@@ -188,8 +187,8 @@ BatchRunner::forEachIndex(std::size_t n,
     // thread once every worker has drained.
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr firstError;
-    std::mutex errorMu;
+    sync::Mutex errorMu;
+    std::exception_ptr firstError; // written under errorMu; read post-join
     // Spawned threads start with no correlation context; adopt the
     // caller's so per-index work stays stitched to the parent request.
     const obs::CorrelationId parentCid = obs::currentCorrelationId();
@@ -202,7 +201,7 @@ BatchRunner::forEachIndex(std::size_t n,
             try {
                 fn(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMu);
+                sync::LockGuard lock(errorMu);
                 if (!firstError)
                     firstError = std::current_exception();
                 failed.store(true, std::memory_order_relaxed);
@@ -261,7 +260,7 @@ TaskPool::TaskPool(unsigned jobs)
 TaskPool::~TaskPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::LockGuard lock(mu_);
         stopping_ = true;
     }
     taskCv_.notify_all();
@@ -280,7 +279,7 @@ TaskPool::submit(std::function<void()> task)
             task();
         };
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::LockGuard lock(mu_);
         omnisim_assert(!stopping_, "TaskPool: submit after shutdown");
         queue_.push_back(std::move(wrapped));
     }
@@ -290,23 +289,25 @@ TaskPool::submit(std::function<void()> task)
 void
 TaskPool::drain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    idleCv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+    sync::UniqueLock lock(mu_);
+    while (!queue_.empty() || active_ != 0)
+        idleCv_.wait(lock);
 }
 
 std::uint64_t
 TaskPool::completed() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return completed_;
 }
 
 void
 TaskPool::workerMain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::UniqueLock lock(mu_);
     for (;;) {
-        taskCv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        while (!stopping_ && queue_.empty())
+            taskCv_.wait(lock);
         if (queue_.empty())
             return; // stopping_, and nothing left to drain
         std::function<void()> task = std::move(queue_.front());

@@ -19,16 +19,15 @@
 #ifndef OMNISIM_BATCH_BATCH_HH
 #define OMNISIM_BATCH_BATCH_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/result.hh"
+#include "support/sync.hh"
 
 namespace omnisim::batch
 {
@@ -208,24 +207,27 @@ class TaskPool
      * Enqueue one task. Wakes an idle worker; never blocks beyond the
      * queue lock. Submitting after stop() began is a caller bug.
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) OMNISIM_EXCLUDES(mu_);
 
     /** Block until every submitted task has finished executing. */
-    void drain();
+    void drain() OMNISIM_EXCLUDES(mu_);
 
     /** @return tasks executed to completion so far. */
-    std::uint64_t completed() const;
+    std::uint64_t completed() const OMNISIM_EXCLUDES(mu_);
 
   private:
-    void workerMain();
+    void workerMain() OMNISIM_EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
-    std::condition_variable taskCv_; ///< Wakes workers for new tasks.
-    std::condition_variable idleCv_; ///< Wakes drain()/~TaskPool().
-    std::deque<std::function<void()>> queue_;
-    std::size_t active_ = 0;        ///< Tasks currently executing.
-    std::uint64_t completed_ = 0;
-    bool stopping_ = false;
+    mutable sync::Mutex mu_;
+    sync::CondVar taskCv_; ///< Wakes workers for new tasks.
+    sync::CondVar idleCv_; ///< Wakes drain()/~TaskPool().
+    std::deque<std::function<void()>> queue_ OMNISIM_GUARDED_BY(mu_);
+    /// Tasks currently executing.
+    std::size_t active_ OMNISIM_GUARDED_BY(mu_) = 0;
+    std::uint64_t completed_ OMNISIM_GUARDED_BY(mu_) = 0;
+    bool stopping_ OMNISIM_GUARDED_BY(mu_) = false;
+    /// Filled once in the constructor, joined in the destructor; never
+    /// mutated while workers run, so not guarded by mu_.
     std::vector<std::thread> threads_;
 };
 

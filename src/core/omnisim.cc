@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -21,6 +19,7 @@
 #include "runtime/memory.hh"
 #include "runtime/timing.hh"
 #include "support/logging.hh"
+#include "support/sync.hh"
 
 namespace omnisim
 {
@@ -32,15 +31,104 @@ namespace
 struct AbortSim
 {};
 
+/** One outstanding cycle-dependent query (pool entry, Fig. 7 (E)). */
+struct PendingQuery
+{
+    ModuleId mod = invalidId;
+    FifoId fifo = invalidId;
+    EventKind kind = EventKind::FifoNbWrite;
+    std::uint32_t index = 0; ///< The w/r of Table 2.
+    Cycles at = 0;           ///< Hardware cycle of the attempt.
+    std::uint64_t node = 0;  ///< Graph node of the attempt.
+    Value writeValue = 0;    ///< Payload committed if an NB write succeeds.
+
+    // Resolution results, written by the Perf Sim thread. Not
+    // GUARDED_BY-annotated: the entry is only reachable through
+    // GlobalShared::pool, so every access already sits inside a
+    // gs.mu region.
+    bool resolved = false;
+    bool answer = false; ///< Target event happened strictly before `at`.
+    Value readValue = 0;
+};
+
+/** Global orchestration state (task tracker + query pool). */
+struct GlobalShared
+{
+    sync::Mutex mu;
+    sync::CondVar perfCv; ///< Wakes the Perf Sim thread.
+    sync::CondVar funcCv; ///< Wakes query-paused Func threads.
+
+    /// Task tracker (F): runnable Func threads.
+    std::int64_t running OMNISIM_GUARDED_BY(mu) = 0;
+    /// Func threads that have not returned.
+    std::size_t live OMNISIM_GUARDED_BY(mu) = 0;
+
+    /** Query pool (E). shared_ptr: an aborting Func thread may unwind
+     *  while the Perf thread still inspects its query. */
+    std::vector<std::shared_ptr<PendingQuery>> pool OMNISIM_GUARDED_BY(mu);
+    bool poolDirty OMNISIM_GUARDED_BY(mu) = false;
+
+    /** Counts query insertions. Together with the sum of the per-FIFO
+     *  commit mirrors this versions the engine state: the Perf thread
+     *  may apply the earliest-query-false rule only when neither has
+     *  changed since its resolution pass — a query or commit that raced
+     *  in behind the snapshot could make a pool entry resolvable, and
+     *  forcing it false would be unsound. */
+    std::uint64_t poolInsertions OMNISIM_GUARDED_BY(mu) = 0;
+
+    std::atomic<bool> abort{false};
+    bool crashed OMNISIM_GUARDED_BY(mu) = false;
+    bool timedOut OMNISIM_GUARDED_BY(mu) = false;
+    bool deadlock OMNISIM_GUARDED_BY(mu) = false;
+    /// Written by the Perf thread with every lock *dropped* (taking the
+    /// per-FIFO locks to compute it under mu would invert the declared
+    /// fs.mu -> gs.mu order); only the main thread reads it, after
+    /// joining the writer — so deliberately not GUARDED_BY.
+    Cycles deadlockCycle = 0;
+    std::string crashMessage OMNISIM_GUARDED_BY(mu);
+
+    /**
+     * Per-module lower bound on the cycle of any op the thread may
+     * still commit (TimingModel::retroFloor, published when the thread
+     * pauses; ~0 once it returned). The Perf thread uses these to
+     * resolve stuck queries *soundly*: when every other live thread's
+     * floor has passed a query's cycle, its target event can only lie
+     * in the future — answer false is then exact, not a guess.
+     */
+    std::vector<Cycles> floors OMNISIM_GUARDED_BY(mu);
+
+    /** Per-module: paused with an open elastic window (retroFloor <
+     *  earliest) — the thread's future ops may still land at cycles
+     *  before its current op. */
+    std::vector<std::uint8_t> retroOpen OMNISIM_GUARDED_BY(mu);
+
+    std::atomic<std::uint64_t> nextNode{0};
+
+    // Statistics.
+    std::uint64_t queries OMNISIM_GUARDED_BY(mu) = 0;
+    std::uint64_t forcedFalse OMNISIM_GUARDED_BY(mu) = 0;
+    std::uint64_t forcedBlind OMNISIM_GUARDED_BY(mu) = 0;
+    bool deadlockRetroSuspect OMNISIM_GUARDED_BY(mu) = false;
+    std::uint64_t pauses OMNISIM_GUARDED_BY(mu) = 0;
+};
+
 /** Shared per-FIFO state: commit table + the blocking fast path. */
 struct FifoShared
 {
-    std::mutex mu;
-    std::condition_variable cv;
-    FifoTable table;
-    std::uint32_t depth = 2;
-    bool readerWaiting = false;
-    bool writerWaiting = false;
+    /** Back-pointer to the run's orchestration state, set once before
+     *  the Func threads launch. Exists to make the process-wide lock
+     *  order declarable on `mu` below (a paused thread holds its FIFO
+     *  lock while it takes the global one, never the reverse); the
+     *  analysis only ever names it, nothing dereferences it at run
+     *  time. */
+    GlobalShared *gs = nullptr;
+
+    sync::Mutex mu OMNISIM_ACQUIRED_BEFORE(gs->mu);
+    sync::CondVar cv;
+    FifoTable table OMNISIM_GUARDED_BY(mu);
+    std::uint32_t depth OMNISIM_GUARDED_BY(mu) = 2;
+    bool readerWaiting OMNISIM_GUARDED_BY(mu) = false;
+    bool writerWaiting OMNISIM_GUARDED_BY(mu) = false;
 
     /** Commit counters mirrored outside the lock so that a peer can
      *  spin briefly (lock-free) before paying for a tracked pause. */
@@ -65,78 +153,6 @@ spinFor(Cond &&cond)
     }
     return false;
 }
-
-/** One outstanding cycle-dependent query (pool entry, Fig. 7 (E)). */
-struct PendingQuery
-{
-    ModuleId mod = invalidId;
-    FifoId fifo = invalidId;
-    EventKind kind = EventKind::FifoNbWrite;
-    std::uint32_t index = 0; ///< The w/r of Table 2.
-    Cycles at = 0;           ///< Hardware cycle of the attempt.
-    std::uint64_t node = 0;  ///< Graph node of the attempt.
-    Value writeValue = 0;    ///< Payload committed if an NB write succeeds.
-
-    // Resolution results, written by the Perf Sim thread.
-    bool resolved = false;
-    bool answer = false; ///< Target event happened strictly before `at`.
-    Value readValue = 0;
-};
-
-/** Global orchestration state (task tracker + query pool). */
-struct GlobalShared
-{
-    std::mutex mu;
-    std::condition_variable perfCv; ///< Wakes the Perf Sim thread.
-    std::condition_variable funcCv; ///< Wakes query-paused Func threads.
-
-    std::int64_t running = 0; ///< Task tracker (F): runnable Func threads.
-    std::size_t live = 0;     ///< Func threads that have not returned.
-
-    /** Query pool (E). shared_ptr: an aborting Func thread may unwind
-     *  while the Perf thread still inspects its query. */
-    std::vector<std::shared_ptr<PendingQuery>> pool;
-    bool poolDirty = false;
-
-    /** Counts query insertions (guarded by mu). Together with the sum
-     *  of the per-FIFO commit mirrors this versions the engine state:
-     *  the Perf thread may apply the earliest-query-false rule only
-     *  when neither has changed since its resolution pass — a query or
-     *  commit that raced in behind the snapshot could make a pool entry
-     *  resolvable, and forcing it false would be unsound. */
-    std::uint64_t poolInsertions = 0;
-
-    std::atomic<bool> abort{false};
-    bool crashed = false;
-    bool timedOut = false;
-    bool deadlock = false;
-    Cycles deadlockCycle = 0;
-    std::string crashMessage;
-
-    /**
-     * Per-module lower bound on the cycle of any op the thread may
-     * still commit (TimingModel::retroFloor, published when the thread
-     * pauses; ~0 once it returned). The Perf thread uses these to
-     * resolve stuck queries *soundly*: when every other live thread's
-     * floor has passed a query's cycle, its target event can only lie
-     * in the future — answer false is then exact, not a guess.
-     */
-    std::vector<Cycles> floors;
-
-    /** Per-module: paused with an open elastic window (retroFloor <
-     *  earliest) — the thread's future ops may still land at cycles
-     *  before its current op. */
-    std::vector<std::uint8_t> retroOpen;
-
-    std::atomic<std::uint64_t> nextNode{0};
-
-    // Statistics.
-    std::uint64_t queries = 0;
-    std::uint64_t forcedFalse = 0;
-    std::uint64_t forcedBlind = 0;
-    bool deadlockRetroSuspect = false;
-    std::uint64_t pauses = 0;
-};
 
 /** Floor value marking a finished thread (passes every gate). */
 constexpr Cycles kFloorDone = ~Cycles{0};
@@ -214,7 +230,7 @@ class OmniContext : public Context
     {
         bump();
         FifoShared &fs = fifos_[f];
-        std::unique_lock<std::mutex> flk(fs.mu);
+        sync::UniqueLock flk(fs.mu);
         const std::uint32_t r = fs.table.reads() + 1;
         if (fs.table.writes() < r) {
             flk.unlock();
@@ -223,8 +239,12 @@ class OmniContext : public Context
             });
             flk.lock();
             if (fs.table.writes() < r) {
-                pauseOnFifo(flk, fs, true,
-                            [&] { return fs.table.writes() >= r; });
+                pausePrepare(fs, /*reader=*/true);
+                while (!gs_.abort.load(std::memory_order_relaxed) &&
+                       fs.table.writes() < r)
+                    fs.cv.wait(flk);
+                if (gs_.abort.load(std::memory_order_relaxed))
+                    throw AbortSim{};
             }
         }
         const Cycles at =
@@ -244,7 +264,7 @@ class OmniContext : public Context
     {
         bump();
         FifoShared &fs = fifos_[f];
-        std::unique_lock<std::mutex> flk(fs.mu);
+        sync::UniqueLock flk(fs.mu);
         const std::uint32_t w = fs.table.writes() + 1;
         Cycles at;
         if (w <= fs.depth || lazyWrites_) {
@@ -254,16 +274,20 @@ class OmniContext : public Context
             at = timing_.earliest();
         } else {
             if (fs.table.reads() < w - fs.depth) {
+                const std::uint32_t needed = w - fs.depth;
                 flk.unlock();
                 spinFor([&] {
                     return fs.readsSeen.load(std::memory_order_acquire) >=
-                           w - fs.depth;
+                           needed;
                 });
                 flk.lock();
-                if (fs.table.reads() < w - fs.depth) {
-                    pauseOnFifo(flk, fs, false, [&] {
-                        return fs.table.reads() >= w - fs.depth;
-                    });
+                if (fs.table.reads() < needed) {
+                    pausePrepare(fs, /*reader=*/false);
+                    while (!gs_.abort.load(std::memory_order_relaxed) &&
+                           fs.table.reads() < needed)
+                        fs.cv.wait(flk);
+                    if (gs_.abort.load(std::memory_order_relaxed))
+                        throw AbortSim{};
                 }
             }
             at = std::max(timing_.earliest(),
@@ -284,7 +308,7 @@ class OmniContext : public Context
     {
         bump();
         FifoShared &fs = fifos_[f];
-        std::unique_lock<std::mutex> flk(fs.mu);
+        sync::UniqueLock flk(fs.mu);
         const std::uint32_t r = fs.table.reads() + 1;
         const Cycles at = timing_.earliest();
         const std::uint64_t node = newNode(EventKind::FifoNbRead, f, r, 1);
@@ -333,7 +357,7 @@ class OmniContext : public Context
     {
         bump();
         FifoShared &fs = fifos_[f];
-        std::unique_lock<std::mutex> flk(fs.mu);
+        sync::UniqueLock flk(fs.mu);
         const std::uint32_t w = fs.table.writes() + 1;
         const Cycles at = timing_.earliest();
         const std::uint64_t node = newNode(EventKind::FifoNbWrite, f, w, 1);
@@ -379,7 +403,7 @@ class OmniContext : public Context
     {
         bump();
         FifoShared &fs = fifos_[f];
-        std::unique_lock<std::mutex> flk(fs.mu);
+        sync::UniqueLock flk(fs.mu);
         const std::uint32_t next = fs.table.reads() + 1;
         const Cycles at = timing_.earliest();
         const std::uint64_t node =
@@ -412,7 +436,7 @@ class OmniContext : public Context
     {
         bump();
         FifoShared &fs = fifos_[f];
-        std::unique_lock<std::mutex> flk(fs.mu);
+        sync::UniqueLock flk(fs.mu);
         const std::uint32_t next = fs.table.writes() + 1;
         const Cycles at = timing_.earliest();
         const std::uint64_t node =
@@ -596,12 +620,12 @@ class OmniContext : public Context
     }
 
     void
-    bump()
+    bump() OMNISIM_EXCLUDES(gs_.mu)
     {
         if (gs_.abort.load(std::memory_order_relaxed))
             throw AbortSim{};
         if (++td_.events > opts_.opLimit) {
-            std::lock_guard<std::mutex> g(gs_.mu);
+            sync::LockGuard g(gs_.mu);
             if (!gs_.timedOut && !gs_.crashed) {
                 gs_.timedOut = true;
                 gs_.crashMessage = strf(
@@ -616,40 +640,36 @@ class OmniContext : public Context
     }
 
     /**
-     * Pause this thread on a FIFO condition. The caller holds fs.mu and
-     * has already seen the predicate false. The waker clears the waiting
-     * flag and re-increments the task tracker before notifying, so the
-     * tracker can never transiently read zero while a wake is in flight.
+     * Bookkeeping before a tracked pause on a FIFO condition. The
+     * caller holds fs.mu, has already seen the predicate false, and —
+     * immediately after this returns — waits on fs.cv in its own
+     * explicit loop (keeping the guarded predicate reads inside the
+     * annotated locking scope), rethrowing AbortSim on abort. The waker
+     * clears the waiting flag and re-increments the task tracker before
+     * notifying, so the tracker can never transiently read zero while a
+     * wake is in flight.
      */
-    template <typename Pred>
     void
-    pauseOnFifo(std::unique_lock<std::mutex> &flk, FifoShared &fs,
-                bool reader, Pred pred)
+    pausePrepare(FifoShared &fs, bool reader)
+        OMNISIM_REQUIRES(fs.mu) OMNISIM_EXCLUDES(gs_.mu)
     {
         if (reader)
             fs.readerWaiting = true;
         else
             fs.writerWaiting = true;
-        {
-            std::lock_guard<std::mutex> g(gs_.mu);
-            publishFloorLocked();
-            --gs_.running;
-            ++gs_.pauses;
-            if (gs_.running == 0)
-                gs_.perfCv.notify_all();
-        }
-        fs.cv.wait(flk, [&] {
-            return gs_.abort.load(std::memory_order_relaxed) || pred();
-        });
-        if (gs_.abort.load(std::memory_order_relaxed))
-            throw AbortSim{};
+        sync::LockGuard g(gs_.mu);
+        publishFloorLocked();
+        --gs_.running;
+        ++gs_.pauses;
+        if (gs_.running == 0)
+            gs_.perfCv.notify_all();
     }
 
     /** Publish this thread's retroactive floor (must hold gs_.mu). The
      *  Perf thread reads floors only at quiescence, when every thread
      *  has just published at its pause point. */
     void
-    publishFloorLocked()
+    publishFloorLocked() OMNISIM_REQUIRES(gs_.mu)
     {
         const Cycles f = timing_.retroFloor();
         gs_.floors[mod_] = f;
@@ -659,8 +679,9 @@ class OmniContext : public Context
     /** Enqueue a query, pause, and return its resolved answer. */
     bool
     waitQuery(const std::shared_ptr<PendingQuery> &q)
+        OMNISIM_EXCLUDES(gs_.mu)
     {
-        std::unique_lock<std::mutex> g(gs_.mu);
+        sync::UniqueLock g(gs_.mu);
         publishFloorLocked();
         gs_.pool.push_back(q);
         gs_.poolDirty = true;
@@ -669,10 +690,8 @@ class OmniContext : public Context
         --gs_.running;
         ++gs_.pauses;
         gs_.perfCv.notify_all();
-        gs_.funcCv.wait(g, [&] {
-            return gs_.abort.load(std::memory_order_relaxed) ||
-                   q->resolved;
-        });
+        while (!gs_.abort.load(std::memory_order_relaxed) && !q->resolved)
+            gs_.funcCv.wait(g);
         if (!q->resolved)
             throw AbortSim{};
         return q->answer;
@@ -680,11 +699,12 @@ class OmniContext : public Context
 
     void
     wakeReader(FifoShared &fs)
+        OMNISIM_REQUIRES(fs.mu) OMNISIM_EXCLUDES(gs_.mu)
     {
         if (fs.readerWaiting) {
             fs.readerWaiting = false;
             {
-                std::lock_guard<std::mutex> g(gs_.mu);
+                sync::LockGuard g(gs_.mu);
                 ++gs_.running;
             }
             fs.cv.notify_all();
@@ -693,11 +713,12 @@ class OmniContext : public Context
 
     void
     wakeWriter(FifoShared &fs)
+        OMNISIM_REQUIRES(fs.mu) OMNISIM_EXCLUDES(gs_.mu)
     {
         if (fs.writerWaiting) {
             fs.writerWaiting = false;
             {
-                std::lock_guard<std::mutex> g(gs_.mu);
+                sync::LockGuard g(gs_.mu);
                 ++gs_.running;
             }
             fs.cv.notify_all();
@@ -741,14 +762,13 @@ class PerfSim
     {}
 
     void
-    operator()()
+    operator()() OMNISIM_EXCLUDES(gs_.mu)
     {
-        std::unique_lock<std::mutex> g(gs_.mu);
+        sync::UniqueLock g(gs_.mu);
         for (;;) {
-            gs_.perfCv.wait(g, [&] {
-                return gs_.abort.load() || gs_.live == 0 ||
-                       gs_.poolDirty || (gs_.running == 0 && gs_.live > 0);
-            });
+            while (!(gs_.abort.load() || gs_.live == 0 || gs_.poolDirty ||
+                     (gs_.running == 0 && gs_.live > 0)))
+                gs_.perfCv.wait(g);
             if (gs_.abort.load() || gs_.live == 0)
                 return;
             gs_.poolDirty = false;
@@ -796,21 +816,21 @@ class PerfSim
                     // unproven (stats.forcedBlind; the conformance
                     // harness treats such runs as approximations of the
                     // elastic timing fixpoint).
-                    const auto floorsPass =
-                        [&](const std::shared_ptr<PendingQuery> &q) {
-                            for (std::size_t m = 0; m < gs_.floors.size();
-                                 ++m) {
-                                if (static_cast<ModuleId>(m) == q->mod)
-                                    continue;
-                                if (gs_.floors[m] < q->at)
-                                    return false;
-                            }
-                            return true;
-                        };
                     std::vector<std::shared_ptr<PendingQuery>> sound;
-                    for (const auto &q : gs_.pool)
-                        if (floorsPass(q))
+                    for (const auto &q : gs_.pool) {
+                        bool floorsPass = true;
+                        for (std::size_t m = 0; m < gs_.floors.size();
+                             ++m) {
+                            if (static_cast<ModuleId>(m) == q->mod)
+                                continue;
+                            if (gs_.floors[m] < q->at) {
+                                floorsPass = false;
+                                break;
+                            }
+                        }
+                        if (floorsPass)
                             sound.push_back(q);
+                    }
                     const bool blind = sound.empty();
                     if (blind) {
                         sound.push_back(*std::min_element(
@@ -861,10 +881,10 @@ class PerfSim
 
   private:
     bool
-    tryResolve(PendingQuery &q)
+    tryResolve(PendingQuery &q) OMNISIM_EXCLUDES(gs_.mu)
     {
         FifoShared &fs = fifos_[q.fifo];
-        std::lock_guard<std::mutex> flk(fs.mu);
+        sync::LockGuard flk(fs.mu);
         switch (q.kind) {
           case EventKind::FifoNbRead:
           case EventKind::FifoCanRead:
@@ -902,14 +922,17 @@ class PerfSim
         }
     }
 
-    /** Wake a blocking-paused peer after a query-driven commit. */
+    /** Wake a blocking-paused peer after a query-driven commit. `flag`
+     *  aliases fs.readerWaiting or fs.writerWaiting, which is why the
+     *  caller must hold fs.mu. */
     void
     wakeWaiter(FifoShared &fs, bool &flag)
+        OMNISIM_REQUIRES(fs.mu) OMNISIM_EXCLUDES(gs_.mu)
     {
         if (flag) {
             flag = false;
             {
-                std::lock_guard<std::mutex> g(gs_.mu);
+                sync::LockGuard g(gs_.mu);
                 ++gs_.running;
             }
             fs.cv.notify_all();
@@ -934,7 +957,7 @@ class PerfSim
     {
         Cycles mx = 0;
         for (auto &fs : fifos_) {
-            std::lock_guard<std::mutex> flk(fs.mu);
+            sync::LockGuard flk(fs.mu);
             const FifoTable &t = fs.table;
             if (t.writes() > 0)
                 mx = std::max(mx, t.writeCycleOf(t.writes()));
@@ -948,7 +971,7 @@ class PerfSim
     wakeAllFifos()
     {
         for (auto &fs : fifos_) {
-            std::lock_guard<std::mutex> flk(fs.mu);
+            sync::LockGuard flk(fs.mu);
             fs.cv.notify_all();
         }
     }
@@ -987,15 +1010,23 @@ OmniSim::run()
     OMNISIM_LOG_DEBUG("engine.run", "design=%s modules=%zu fifos=%zu",
                       design.name().c_str(), nmods, nfifos);
 
+    // Pre-spawn initialization. No thread exists yet, but the fields
+    // are lock-annotated, so initialization takes the (uncontended)
+    // locks rather than poking holes in the analysis.
     GlobalShared gs;
-    gs.running = static_cast<std::int64_t>(nmods);
-    gs.live = nmods;
-    gs.floors.assign(nmods, 1);
-    gs.retroOpen.assign(nmods, 0);
+    {
+        sync::LockGuard g(gs.mu);
+        gs.running = static_cast<std::int64_t>(nmods);
+        gs.live = nmods;
+        gs.floors.assign(nmods, 1);
+        gs.retroOpen.assign(nmods, 0);
+    }
 
     std::vector<FifoShared> fifos(nfifos);
     std::vector<std::uint32_t> depths(nfifos);
     for (std::size_t f = 0; f < nfifos; ++f) {
+        fifos[f].gs = &gs; // lock-order witness only (see FifoShared)
+        sync::LockGuard flk(fifos[f].mu);
         fifos[f].depth = design.fifos()[f].depth;
         depths[f] = design.fifos()[f].depth;
         fifos[f].table.setLabel(design.fifos()[f].name);
@@ -1047,7 +1078,7 @@ OmniSim::run()
         tdata[m].tailNode = ctx.timing().lastOpTag();
         tdata[m].tailSlack = ctx.timing().now() - ctx.timing().lastOpTime();
         {
-            std::lock_guard<std::mutex> g(gs.mu);
+            sync::LockGuard g(gs.mu);
             if (crashed_here && !gs.crashed) {
                 gs.crashed = true;
                 gs.crashMessage = crash_msg;
@@ -1062,7 +1093,7 @@ OmniSim::run()
         }
         if (crashed_here) {
             for (auto &fs : fifos) {
-                std::lock_guard<std::mutex> flk(fs.mu);
+                sync::LockGuard flk(fs.mu);
                 fs.cv.notify_all();
             }
         }
@@ -1081,10 +1112,29 @@ OmniSim::run()
             w.join();
         {
             // Ensure the Perf thread observes live == 0 and exits.
-            std::lock_guard<std::mutex> g(gs.mu);
+            sync::LockGuard g(gs.mu);
             gs.perfCv.notify_all();
         }
         perf.join();
+    }
+
+    // Every worker and the Perf thread are joined: one final lock pass
+    // snapshots the orchestration outcome, and finalization below runs
+    // single-threaded on the locals.
+    std::uint64_t queries, forcedFalse, forcedBlind, pauses;
+    bool crashed, timedOut, deadlock, retroSuspect;
+    std::string crashMessage;
+    {
+        sync::LockGuard g(gs.mu);
+        queries = gs.queries;
+        forcedFalse = gs.forcedFalse;
+        forcedBlind = gs.forcedBlind;
+        pauses = gs.pauses;
+        crashed = gs.crashed;
+        timedOut = gs.timedOut;
+        deadlock = gs.deadlock;
+        retroSuspect = gs.deadlockRetroSuspect;
+        crashMessage = gs.crashMessage;
     }
 
     OMNISIM_SPAN("omnisim.finalize");
@@ -1115,20 +1165,22 @@ OmniSim::run()
         skipped += td.skipped;
     }
     rd.tables.reserve(nfifos);
-    for (auto &fs : fifos)
+    for (auto &fs : fifos) {
+        sync::LockGuard flk(fs.mu);
         rd.tables.push_back(std::move(fs.table));
+    }
 
     mEvents.add(events);
-    mQueries.add(gs.queries);
+    mQueries.add(queries);
 
     SimResult &r = rd.result;
     r.stats.events = events;
-    r.stats.queries = gs.queries;
+    r.stats.queries = queries;
     r.stats.queriesSkipped = skipped;
-    r.stats.forcedFalse = gs.forcedFalse;
-    r.stats.forcedBlind = gs.forcedBlind;
-    r.stats.deadlockRetroSuspect = gs.deadlockRetroSuspect ? 1 : 0;
-    r.stats.threadPauses = gs.pauses;
+    r.stats.forcedFalse = forcedFalse;
+    r.stats.forcedBlind = forcedBlind;
+    r.stats.deadlockRetroSuspect = retroSuspect ? 1 : 0;
+    r.stats.threadPauses = pauses;
 
     for (std::size_t i = 0; i < design.memories().size(); ++i) {
         r.memories[design.memories()[i].name] =
@@ -1144,17 +1196,17 @@ OmniSim::run()
         }
     }
 
-    if (gs.crashed) {
+    if (crashed) {
         r.status = SimStatus::Crash;
-        r.message = gs.crashMessage;
+        r.message = crashMessage;
         return r;
     }
-    if (gs.timedOut) {
+    if (timedOut) {
         r.status = SimStatus::Timeout;
-        r.message = gs.crashMessage;
+        r.message = crashMessage;
         return r;
     }
-    if (gs.deadlock) {
+    if (deadlock) {
         r.status = SimStatus::Deadlock;
         r.deadlockCycle = gs.deadlockCycle;
         r.message = strf("unresolvable deadlock detected at cycle %llu",

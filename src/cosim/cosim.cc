@@ -1,10 +1,8 @@
 #include "cosim/cosim.hh"
 
 #include <algorithm>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +14,7 @@
 #include "runtime/memory.hh"
 #include "runtime/timing.hh"
 #include "support/logging.hh"
+#include "support/sync.hh"
 
 namespace omnisim
 {
@@ -95,19 +94,20 @@ class CosimShared
         }
     }
 
-    std::unique_ptr<SyntheticNetlist> netlist;
+    std::unique_ptr<SyntheticNetlist> netlist OMNISIM_GUARDED_BY(mu)
+        OMNISIM_PT_GUARDED_BY(mu);
 
     const Design &design;
     const CosimOptions &opts;
 
-    std::mutex mu;
-    std::condition_variable cv;
+    sync::Mutex mu;
+    sync::CondVar cv;
 
-    MemoryPool pool;
-    std::vector<FifoTable> tables;
+    MemoryPool pool OMNISIM_GUARDED_BY(mu);
+    std::vector<FifoTable> tables OMNISIM_GUARDED_BY(mu);
 
-    Cycles clock = 1;
-    std::uint64_t commitEpoch = 0;
+    Cycles clock OMNISIM_GUARDED_BY(mu) = 1;
+    std::uint64_t commitEpoch OMNISIM_GUARDED_BY(mu) = 0;
 
     struct ThreadInfo
     {
@@ -132,29 +132,29 @@ class CosimShared
          *  elastic window (retroFloor < earliest). */
         bool retroOpen = false;
     };
-    std::vector<ThreadInfo> threads;
-    std::size_t live = 0;
+    std::vector<ThreadInfo> threads OMNISIM_GUARDED_BY(mu);
+    std::size_t live OMNISIM_GUARDED_BY(mu) = 0;
 
     /** Threads currently parked in FloorWait (floor publications only
      *  need to wake waiters when there are any). */
-    std::size_t floorWaiters = 0;
+    std::size_t floorWaiters OMNISIM_GUARDED_BY(mu) = 0;
 
-    bool deadlock = false;
-    bool crashed = false;
-    bool timeout = false;
-    Cycles deadlockCycle = 0;
-    bool deadlockRetroSuspect = false;
-    std::string crashMessage;
-    std::uint64_t forcedFalse = 0;
-    std::uint64_t forcedBlind = 0;
+    bool deadlock OMNISIM_GUARDED_BY(mu) = false;
+    bool crashed OMNISIM_GUARDED_BY(mu) = false;
+    bool timeout OMNISIM_GUARDED_BY(mu) = false;
+    Cycles deadlockCycle OMNISIM_GUARDED_BY(mu) = 0;
+    bool deadlockRetroSuspect OMNISIM_GUARDED_BY(mu) = false;
+    std::string crashMessage OMNISIM_GUARDED_BY(mu);
+    std::uint64_t forcedFalse OMNISIM_GUARDED_BY(mu) = 0;
+    std::uint64_t forcedBlind OMNISIM_GUARDED_BY(mu) = 0;
 
-    std::vector<Cycles> finalNow;
-    std::uint64_t cyclesStepped = 0;
-    std::uint64_t events = 0;
-    std::uint64_t pauses = 0;
+    std::vector<Cycles> finalNow OMNISIM_GUARDED_BY(mu);
+    std::uint64_t cyclesStepped OMNISIM_GUARDED_BY(mu) = 0;
+    std::uint64_t events OMNISIM_GUARDED_BY(mu) = 0;
+    std::uint64_t pauses OMNISIM_GUARDED_BY(mu) = 0;
 
     bool
-    abortFlag() const
+    abortFlag() const OMNISIM_REQUIRES(mu)
     {
         return deadlock || crashed || timeout;
     }
@@ -166,7 +166,7 @@ class CosimShared
      * threads remain — declare a design deadlock.
      */
     void
-    maybeAdvanceLocked()
+    maybeAdvanceLocked() OMNISIM_REQUIRES(mu)
     {
         if (live == 0 || abortFlag())
             return;
@@ -264,7 +264,7 @@ class CosimContext : public Context
     Value
     read(FifoId f) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         FifoTable &t = sh_.tables[f];
         const std::uint32_t r = t.reads() + 1;
@@ -286,7 +286,7 @@ class CosimContext : public Context
     void
     write(FifoId f, Value v) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         FifoTable &t = sh_.tables[f];
         const std::uint32_t w = t.writes() + 1;
@@ -317,7 +317,7 @@ class CosimContext : public Context
     bool
     readNb(FifoId f, Value &out) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         FifoTable &t = sh_.tables[f];
         const std::uint32_t r = t.reads() + 1;
@@ -341,7 +341,7 @@ class CosimContext : public Context
     bool
     writeNb(FifoId f, Value v) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         FifoTable &t = sh_.tables[f];
         const std::uint32_t w = t.writes() + 1;
@@ -366,7 +366,7 @@ class CosimContext : public Context
     bool
     empty(FifoId f) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         FifoTable &t = sh_.tables[f];
         const std::uint32_t next = t.reads() + 1;
@@ -381,7 +381,7 @@ class CosimContext : public Context
     bool
     full(FifoId f) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         FifoTable &t = sh_.tables[f];
         const std::uint32_t next = t.writes() + 1;
@@ -408,7 +408,7 @@ class CosimContext : public Context
     Value
     load(MemId m, std::uint64_t idx) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         return sh_.pool.load(m, idx);
     }
@@ -416,7 +416,7 @@ class CosimContext : public Context
     void
     store(MemId m, std::uint64_t idx, Value v) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         sh_.pool.store(m, idx, v);
     }
@@ -424,7 +424,7 @@ class CosimContext : public Context
     void
     axiReadReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         const Cycles at = timing_.earliest();
         waitCycleLocked(lk, at);
@@ -435,7 +435,7 @@ class CosimContext : public Context
     Value
     axiRead(AxiId a) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         std::uint64_t addr = 0;
         const AxiPortState::Dep dep = axiState(a).popReadBeat(addr);
@@ -451,7 +451,7 @@ class CosimContext : public Context
     void
     axiWriteReq(AxiId a, std::uint64_t addr, std::uint32_t len) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         const Cycles at = timing_.earliest();
         waitCycleLocked(lk, at);
@@ -462,7 +462,7 @@ class CosimContext : public Context
     void
     axiWrite(AxiId a, Value v) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         std::uint64_t addr = 0;
         const AxiPortState::Dep dep = axiState(a).popWriteBeat(addr);
@@ -477,7 +477,7 @@ class CosimContext : public Context
     void
     axiWriteResp(AxiId a) override
     {
-        std::unique_lock<std::mutex> lk(sh_.mu);
+        sync::UniqueLock lk(sh_.mu);
         bump();
         const AxiPortState::Dep dep =
             axiState(a).popWriteResp(lastWriteBeat_, 0);
@@ -518,7 +518,7 @@ class CosimContext : public Context
     }
 
     void
-    bump()
+    bump() OMNISIM_REQUIRES(sh_.mu)
     {
         ++sh_.events;
         // Every op entry refreshes the published retroactive floor:
@@ -527,7 +527,7 @@ class CosimContext : public Context
     }
 
     void
-    guardLocked() const
+    guardLocked() const OMNISIM_REQUIRES(sh_.mu)
     {
         if (sh_.abortFlag())
             throw SimAbort{};
@@ -535,7 +535,7 @@ class CosimContext : public Context
 
     /** Detect status-check spins that never advance the local clock. */
     void
-    combGuard(Cycles at)
+    combGuard(Cycles at) OMNISIM_REQUIRES(sh_.mu)
     {
         if (at == lastZeroCycle_) {
             if (++zeroOps_ > sh_.opts.combLimit) {
@@ -562,7 +562,7 @@ class CosimContext : public Context
      * floor rises past what they might be gated on.
      */
     void
-    publishFloorLocked()
+    publishFloorLocked() OMNISIM_REQUIRES(sh_.mu)
     {
         CosimShared::ThreadInfo &ti = sh_.threads[mod_];
         const Cycles f = timing_.retroFloor();
@@ -579,7 +579,7 @@ class CosimContext : public Context
     /** @return true when no other live thread can still commit an op
      *  strictly before cycle t. */
     bool
-    othersPassedLocked(Cycles t) const
+    othersPassedLocked(Cycles t) const OMNISIM_REQUIRES(sh_.mu)
     {
         for (std::size_t i = 0; i < sh_.threads.size(); ++i) {
             if (i == static_cast<std::size_t>(mod_))
@@ -605,8 +605,8 @@ class CosimContext : public Context
      */
     template <typename Pred>
     void
-    waitRetroLocked(std::unique_lock<std::mutex> &lk, Cycles at,
-                    Pred &&entryPresent)
+    waitRetroLocked(sync::UniqueLock &lk, Cycles at, Pred &&entryPresent)
+        OMNISIM_REQUIRES(sh_.mu)
     {
         CosimShared::ThreadInfo &ti = sh_.threads[mod_];
         publishFloorLocked();
@@ -620,10 +620,9 @@ class CosimContext : public Context
             ti.seenEpoch = sh_.commitEpoch;
             ++sh_.floorWaiters;
             sh_.maybeAdvanceLocked();
-            sh_.cv.wait(lk, [&] {
-                return sh_.abortFlag() || ti.forced ||
-                       sh_.commitEpoch != ti.seenEpoch;
-            });
+            while (!(sh_.abortFlag() || ti.forced ||
+                     sh_.commitEpoch != ti.seenEpoch))
+                sh_.cv.wait(lk);
             --sh_.floorWaiters;
             ti.st = TState::Running;
         }
@@ -634,7 +633,8 @@ class CosimContext : public Context
 
     /** Block until the global clock reaches cycle t. */
     void
-    waitCycleLocked(std::unique_lock<std::mutex> &lk, Cycles t)
+    waitCycleLocked(sync::UniqueLock &lk, Cycles t)
+        OMNISIM_REQUIRES(sh_.mu)
     {
         CosimShared::ThreadInfo &ti = sh_.threads[mod_];
         publishFloorLocked();
@@ -646,14 +646,15 @@ class CosimContext : public Context
         ti.st = TState::TimeWait;
         ti.target = t;
         sh_.maybeAdvanceLocked();
-        sh_.cv.wait(lk, [&] { return sh_.abortFlag() || sh_.clock >= t; });
+        while (!(sh_.abortFlag() || sh_.clock >= t))
+            sh_.cv.wait(lk);
         ti.st = TState::Running;
         guardLocked();
     }
 
     /** Block until another thread commits a FIFO access. */
     void
-    condWaitLocked(std::unique_lock<std::mutex> &lk)
+    condWaitLocked(sync::UniqueLock &lk) OMNISIM_REQUIRES(sh_.mu)
     {
         CosimShared::ThreadInfo &ti = sh_.threads[mod_];
         publishFloorLocked();
@@ -661,16 +662,15 @@ class CosimContext : public Context
         ti.st = TState::CondWait;
         ti.seenEpoch = sh_.commitEpoch;
         sh_.maybeAdvanceLocked();
-        sh_.cv.wait(lk, [&] {
-            return sh_.abortFlag() || sh_.commitEpoch != ti.seenEpoch;
-        });
+        while (!(sh_.abortFlag() || sh_.commitEpoch != ti.seenEpoch))
+            sh_.cv.wait(lk);
         ti.st = TState::Running;
         guardLocked();
     }
 
     /** Publish a FIFO commit to waiting threads. */
     void
-    commitLocked()
+    commitLocked() OMNISIM_REQUIRES(sh_.mu)
     {
         ++sh_.commitEpoch;
         zeroOps_ = 0;
@@ -702,7 +702,7 @@ moduleThread(CosimShared &sh, ModuleId mod)
         crash_msg = strf("@E Simulation failed: SIGSEGV (%s in task '%s')",
                          c.what(), sh.design.modules()[mod].name.c_str());
     }
-    std::lock_guard<std::mutex> lk(sh.mu);
+    sync::LockGuard lk(sh.mu);
     if (crashed_here && !sh.crashed) {
         sh.crashed = true;
         sh.crashMessage = crash_msg;
@@ -740,6 +740,10 @@ simulateCosim(const CompiledDesign &cd, const CosimOptions &opts)
     for (auto &w : workers)
         w.join();
 
+    // Every module thread is joined; result assembly below is
+    // single-threaded but the fields are lock-annotated, so it holds
+    // the (uncontended) lock for the remainder of the function.
+    sync::LockGuard lk(sh.mu);
     SimResult r;
     if (sh.crashed) {
         r.status = SimStatus::Crash;

@@ -29,7 +29,7 @@ toDot(const Design &design)
     for (std::size_t m = 0; m < design.modules().size(); ++m) {
         const auto &mod = design.modules()[m];
         os << "  m" << m << " [shape=box, label=\"" << mod.name << "\"";
-        if (cyclic_members.count(static_cast<ModuleId>(m)))
+        if (cyclic_members.contains(static_cast<ModuleId>(m)))
             os << ", style=filled, fillcolor=\"#ffd0d0\"";
         os << "];\n";
     }
@@ -115,7 +115,7 @@ toDotRun(const Design &design, opt::OptLevel level)
         os << "\"";
         // Kept-constraint query nodes are the pinned anchors the
         // incremental checker re-evaluates — the interesting survivors.
-        if (consNodes.count(static_cast<std::uint32_t>(l)))
+        if (consNodes.contains(static_cast<std::uint32_t>(l)))
             os << ", style=filled, fillcolor=\"#d0e0ff\"";
         os << "];\n";
     }

@@ -164,7 +164,7 @@ EvalCache::attachStore(io::RunStore *store, std::string designName,
 {
     omnisim_assert(store != nullptr, "attachStore: null store");
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::LockGuard lock(mu_);
         omnisim_assert(store_ == nullptr,
                        "attachStore: store already attached");
         store_ = store;
@@ -180,7 +180,7 @@ EvalCache::refreshFromStore()
 {
     io::RunStore *store;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::LockGuard lock(mu_);
         store = store_;
         if (!store || pool_.size() >= maxPool_)
             return 0;
@@ -192,7 +192,7 @@ EvalCache::refreshFromStore()
         storeDesign_, storeEngine_, storeFingerprint_, maxPool_);
 
     std::size_t adopted = 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     for (auto &run : runs) {
         if (pool_.size() >= maxPool_)
             break;
@@ -217,7 +217,7 @@ EvalCache::refreshFromStore()
 std::size_t
 EvalCache::storedWarmStarts() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return storedWarmStarts_;
 }
 
@@ -263,7 +263,7 @@ EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
     }
 
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::LockGuard lock(mu_);
         if (const auto it = done_.find(depths); it != done_.end()) {
             ++cacheHits_;
             mMemoHits.add();
@@ -279,7 +279,7 @@ EvalCache::evaluate(const DepthVector &depths, bool allowIncremental)
                       evalMethodName(fresh.method), fresh.viaDelta ? 1 : 0,
                       simStatusName(fresh.status));
 
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     // Two workers may race on the same unseen configuration; results
     // are deterministic, so whichever insertion wins is authoritative
     // and the stats count the configuration exactly once.
@@ -315,7 +315,7 @@ EvalCache::computeFresh(const DepthVector &depths, bool allowIncremental)
     if (allowIncremental) {
         std::vector<const PoolEntry *> entries;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            sync::LockGuard lock(mu_);
             entries.reserve(pool_.size());
             for (const auto &p : pool_)
                 entries.push_back(p.get());
@@ -363,7 +363,7 @@ EvalCache::computeFresh(const DepthVector &depths, bool allowIncremental)
                     store_->publish(storeDesign_, storeEngine_,
                                     storeFingerprint_, snap);
             }
-            std::lock_guard<std::mutex> lock(mu_);
+            sync::LockGuard lock(mu_);
             if (pool_.size() < maxPool_)
                 pool_.push_back(std::move(entry));
         }
@@ -378,49 +378,49 @@ EvalCache::computeFresh(const DepthVector &depths, bool allowIncremental)
 bool
 EvalCache::contains(const DepthVector &depths) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return done_.count(depths) != 0;
+    sync::LockGuard lock(mu_);
+    return done_.contains(depths);
 }
 
 std::size_t
 EvalCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return done_.size();
 }
 
 std::size_t
 EvalCache::incrementalHits() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return incrementalHits_;
 }
 
 std::size_t
 EvalCache::deltaHits() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return deltaHits_;
 }
 
 std::size_t
 EvalCache::fullRuns() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return fullRuns_;
 }
 
 std::size_t
 EvalCache::cacheHits() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return cacheHits_;
 }
 
 std::vector<Evaluation>
 EvalCache::evaluations() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     std::vector<Evaluation> out;
     out.reserve(done_.size());
     for (const auto &[depths, e] : done_)
@@ -431,7 +431,7 @@ EvalCache::evaluations() const
 opt::CompileStats
 EvalCache::compileStats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     opt::CompileStats agg;
     bool first = true;
     for (const auto &p : pool_) {

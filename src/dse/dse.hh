@@ -31,7 +31,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "design/frontend.hh"
 #include "obs/metrics.hh"
 #include "runtime/result.hh"
+#include "support/sync.hh"
 
 namespace omnisim::io
 {
@@ -195,7 +195,8 @@ class EvalCache
      * design are skipped, never trusted).
      */
     void attachStore(io::RunStore *store, std::string designName,
-                     std::string engineName = "omnisim");
+                     std::string engineName = "omnisim")
+        OMNISIM_EXCLUDES(mu_);
 
     /**
      * Re-scan the attached store for runs published since attachStore()
@@ -203,10 +204,10 @@ class EvalCache
      * up to the pool cap. No-op without an attached store.
      * @return runs newly adopted.
      */
-    std::size_t refreshFromStore();
+    std::size_t refreshFromStore() OMNISIM_EXCLUDES(mu_);
 
     /** @return pool entries rehydrated from the attached store. */
-    std::size_t storedWarmStarts() const;
+    std::size_t storedWarmStarts() const OMNISIM_EXCLUDES(mu_);
 
     /**
      * Evaluate one configuration, memoized.
@@ -218,30 +219,31 @@ class EvalCache
      * @throws FatalError on a malformed depth vector.
      */
     Evaluation evaluate(const DepthVector &depths,
-                        bool allowIncremental = true);
+                        bool allowIncremental = true)
+        OMNISIM_EXCLUDES(mu_);
 
     /** @return true when the configuration has already been evaluated. */
-    bool contains(const DepthVector &depths) const;
+    bool contains(const DepthVector &depths) const OMNISIM_EXCLUDES(mu_);
 
     /** @return unique configurations evaluated so far. */
-    std::size_t size() const;
+    std::size_t size() const OMNISIM_EXCLUDES(mu_);
 
     /** @return evaluations served by resimulate() reuse. */
-    std::size_t incrementalHits() const;
+    std::size_t incrementalHits() const OMNISIM_EXCLUDES(mu_);
 
     /** @return incremental hits decided entirely by the CompiledRun
      *  delta worklist (no full relaxation pass) — the affected-cone
      *  fast path that makes pooled runs cheap to probe. */
-    std::size_t deltaHits() const;
+    std::size_t deltaHits() const OMNISIM_EXCLUDES(mu_);
 
     /** @return evaluations that needed a fresh full run. */
-    std::size_t fullRuns() const;
+    std::size_t fullRuns() const OMNISIM_EXCLUDES(mu_);
 
     /** @return repeat evaluate() calls answered from the memo table. */
-    std::size_t cacheHits() const;
+    std::size_t cacheHits() const OMNISIM_EXCLUDES(mu_);
 
     /** @return a snapshot of every unique evaluation (unspecified order). */
-    std::vector<Evaluation> evaluations() const;
+    std::vector<Evaluation> evaluations() const OMNISIM_EXCLUDES(mu_);
 
     /**
      * Tag this cache's evaluations with a telemetry label: latencies
@@ -255,33 +257,38 @@ class EvalCache
      *  pooled completed run — live engines and store-rehydrated runs
      *  alike (both freeze through the same pass pipeline). Empty when
      *  the pool is empty. */
-    opt::CompileStats compileStats() const;
+    opt::CompileStats compileStats() const OMNISIM_EXCLUDES(mu_);
 
   private:
     struct PoolEntry;
 
     Evaluation computeFresh(const DepthVector &depths,
-                            bool allowIncremental);
+                            bool allowIncremental) OMNISIM_EXCLUDES(mu_);
 
     std::function<Design()> builder_;
     OmniSimOptions opts_;
     std::size_t maxPool_;
     std::size_t fifoCount_;
 
-    // Persistent store attachment (null == in-process only).
+    // Persistent store attachment (null == in-process only). Written
+    // once by attachStore() before the cache sees concurrent traffic
+    // (the documented contract: "call before the first evaluate()"),
+    // then read lock-free on the evaluation paths — so deliberately
+    // not GUARDED_BY even though attachStore also holds mu_ for its
+    // already-attached assertion.
     io::RunStore *store_ = nullptr;
     std::string storeDesign_;
     std::string storeEngine_;
     std::uint64_t storeFingerprint_ = 0;
 
-    mutable std::mutex mu_;
-    std::map<DepthVector, Evaluation> done_;
-    std::vector<std::unique_ptr<PoolEntry>> pool_;
-    std::size_t incrementalHits_ = 0;
-    std::size_t deltaHits_ = 0;
-    std::size_t fullRuns_ = 0;
-    std::size_t cacheHits_ = 0;
-    std::size_t storedWarmStarts_ = 0;
+    mutable sync::Mutex mu_;
+    std::map<DepthVector, Evaluation> done_ OMNISIM_GUARDED_BY(mu_);
+    std::vector<std::unique_ptr<PoolEntry>> pool_ OMNISIM_GUARDED_BY(mu_);
+    std::size_t incrementalHits_ OMNISIM_GUARDED_BY(mu_) = 0;
+    std::size_t deltaHits_ OMNISIM_GUARDED_BY(mu_) = 0;
+    std::size_t fullRuns_ OMNISIM_GUARDED_BY(mu_) = 0;
+    std::size_t cacheHits_ OMNISIM_GUARDED_BY(mu_) = 0;
+    std::size_t storedWarmStarts_ OMNISIM_GUARDED_BY(mu_) = 0;
 
     // Optional per-label latency histogram (see setMetricsLabel);
     // registry-owned, stable for the process lifetime.

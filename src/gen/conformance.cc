@@ -7,6 +7,7 @@
 #include "design/frontend.hh"
 #include "io/run_io.hh"
 #include "lightningsim/lightningsim.hh"
+#include "opt/verify.hh"
 #include "serve/json.hh"
 #include "support/logging.hh"
 #include "support/prng.hh"
@@ -161,6 +162,11 @@ checkConformance(const GenSpec &spec, const ConformanceOptions &opts)
     const auto div = [&](const char *oracle, std::string detail) {
         rep.divergences.push_back({oracle, std::move(detail)});
     };
+
+    // Sticky by design: once any lane of a fuzz sweep asks for the IR
+    // verifier, every subsequent compile in the process keeps it.
+    if (opts.withVerify)
+        opt::setVerifyEnabled(true);
 
     Design d = materialize(spec);
     const CompiledDesign cd = compile(d);

@@ -86,6 +86,11 @@ struct ConformanceOptions
 
     /** Cross-check omnisim finalization against live commit cycles. */
     bool verifyFinalization = true;
+
+    /** Force the IR verifier on for every compile this run performs:
+     *  pass bugs then surface as engine divergences whose detail
+     *  carries the bracketed [invariant-id]. */
+    bool withVerify = false;
 };
 
 /** One observed disagreement between an oracle pair. */

@@ -18,7 +18,7 @@ RelaxPool::global()
 RelaxPool::~RelaxPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        sync::LockGuard lk(mu_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -52,7 +52,7 @@ RelaxPool::tryAcquire(unsigned jobs)
     }
     unsigned helpers = std::min(jobs - 1, kMaxHelpers);
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        sync::LockGuard lk(mu_);
         ensureHelpersLocked(helpers);
         helpers = std::min<unsigned>(
             helpers, static_cast<unsigned>(threads_.size()));
@@ -99,7 +99,7 @@ RelaxPool::run(const RangeFn &fn, std::size_t n, std::size_t grain,
     }
     cursor_.store(0, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        sync::LockGuard lk(mu_);
         taskFn_ = &fn;
         taskN_ = n;
         taskGrain_ = grain;
@@ -110,8 +110,9 @@ RelaxPool::run(const RangeFn &fn, std::size_t n, std::size_t grain,
     cv_.notify_all();
     runChunks(fn, n, grain, /*helper=*/false);
     {
-        std::unique_lock<std::mutex> lk(mu_);
-        doneCv_.wait(lk, [this] { return pendingHelpers_ == 0; });
+        sync::UniqueLock lk(mu_);
+        while (pendingHelpers_ != 0)
+            doneCv_.wait(lk);
         taskFn_ = nullptr;
         helpersWanted_ = 0;
     }
@@ -149,9 +150,10 @@ void
 RelaxPool::workerMain(unsigned idx)
 {
     std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lk(mu_);
+    sync::UniqueLock lk(mu_);
     for (;;) {
-        cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        while (!stop_ && epoch_ == seen)
+            cv_.wait(lk);
         if (stop_)
             return;
         seen = epoch_;

@@ -23,14 +23,13 @@
 #define OMNISIM_GRAPH_RELAX_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/context.hh"
+#include "support/sync.hh"
 
 namespace omnisim
 {
@@ -114,27 +113,33 @@ private:
     RelaxPool() = default;
 
     void run(const RangeFn &fn, std::size_t n, std::size_t grain,
-             unsigned lanes);
+             unsigned lanes) OMNISIM_EXCLUDES(mu_);
     void runChunks(const RangeFn &fn, std::size_t n, std::size_t grain,
-                   bool helper);
-    void ensureHelpersLocked(unsigned want);
-    void workerMain(unsigned idx);
+                   bool helper) OMNISIM_EXCLUDES(mu_);
+    void ensureHelpersLocked(unsigned want) OMNISIM_REQUIRES(mu_);
+    void workerMain(unsigned idx) OMNISIM_EXCLUDES(mu_);
 
     std::atomic<bool> busy_{false};
 
-    std::mutex mu_;
-    std::condition_variable cv_;     ///< Dispatch: epoch changed / stop.
-    std::condition_variable doneCv_; ///< Completion barrier.
+    sync::Mutex mu_;
+    sync::CondVar cv_;     ///< Dispatch: epoch changed / stop.
+    sync::CondVar doneCv_; ///< Completion barrier.
+
+    /// Grown only inside ensureHelpersLocked (under mu_), but *read*
+    /// lock-free by the leaseholder in run() and by the join loop in the
+    /// destructor: growth is serialized against both by the busy_ lease
+    /// flag, which mu_ does not model — so deliberately not GUARDED_BY.
     std::vector<std::thread> threads_;
-    bool stop_ = false;
+
+    bool stop_ OMNISIM_GUARDED_BY(mu_) = false;
 
     // Current task, published under mu_ before the epoch bump.
-    const RangeFn *taskFn_ = nullptr;
-    std::size_t taskN_ = 0;
-    std::size_t taskGrain_ = 1;
-    unsigned helpersWanted_ = 0;
-    unsigned pendingHelpers_ = 0;
-    std::uint64_t epoch_ = 0;
+    const RangeFn *taskFn_ OMNISIM_GUARDED_BY(mu_) = nullptr;
+    std::size_t taskN_ OMNISIM_GUARDED_BY(mu_) = 0;
+    std::size_t taskGrain_ OMNISIM_GUARDED_BY(mu_) = 1;
+    unsigned helpersWanted_ OMNISIM_GUARDED_BY(mu_) = 0;
+    unsigned pendingHelpers_ OMNISIM_GUARDED_BY(mu_) = 0;
+    std::uint64_t epoch_ OMNISIM_GUARDED_BY(mu_) = 0;
 
     std::atomic<std::size_t> cursor_{0}; ///< Next unclaimed index.
 

@@ -8,6 +8,7 @@
 #include "io/serial.hh"
 #include "opt/partition.hh"
 #include "opt/pass_manager.hh"
+#include "opt/verify.hh"
 #include "support/logging.hh"
 
 namespace omnisim::io
@@ -723,6 +724,15 @@ decodeRun(std::string_view bytes, RunFileMeta &meta, RunSnapshot &snap,
             // deterministic over the hydrated layout, so the rehydrated
             // run matches what a v4 writer would have persisted.
             layout->part = opt::buildPartitionPlan(*layout, snap.depths);
+        if (opt::verifyEnabled()) {
+            // The IR verifier re-checks every persisted-layout
+            // invariant from scratch (the input-dependent conservation
+            // checks are skipped — the compile input is gone).
+            opt::VerifyContext ctx;
+            ctx.pass = "rehydrate";
+            opt::verifyLayout(*layout, ctx);
+            opt::verifyPartitionPlan(*layout, snap.depths, ctx);
+        }
     }
 }
 

@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -18,6 +17,7 @@
 #endif
 
 #include "obs/metrics.hh"
+#include "support/sync.hh"
 
 namespace omnisim {
 namespace obs {
@@ -27,15 +27,15 @@ namespace {
 /// Tiny spinlock: each thread's ring is touched by its owner on every
 /// event and by a dumper a handful of times per process lifetime, so
 /// contention is effectively zero and a mutex would be overkill.
-struct SpinLock {
+struct OMNISIM_CAPABILITY("spinlock") SpinLock {
     std::atomic_flag flag = ATOMIC_FLAG_INIT;
 
-    void lock() {
+    void lock() OMNISIM_ACQUIRE() {
         while (flag.test_and_set(std::memory_order_acquire)) {
         }
     }
 
-    bool tryLockBounded(int spins) {
+    bool tryLockBounded(int spins) OMNISIM_TRY_ACQUIRE(true) {
         for (int i = 0; i < spins; ++i) {
             if (!flag.test_and_set(std::memory_order_acquire))
                 return true;
@@ -43,7 +43,7 @@ struct SpinLock {
         return false;
     }
 
-    void unlock() { flag.clear(std::memory_order_release); }
+    void unlock() OMNISIM_RELEASE() { flag.clear(std::memory_order_release); }
 };
 
 struct EventRec {
@@ -62,22 +62,27 @@ struct SpanRec {
 
 struct FlightThread {
     SpinLock lock;
-    std::uint32_t tid = 0;
+    std::uint32_t tid = 0; ///< assigned once before publication
 
-    EventRec ring[kFlightRingEvents];
-    std::size_t head = 0;  ///< next slot to write
-    std::size_t count = 0; ///< live records, <= kFlightRingEvents
-    std::uint64_t seq = 0; ///< per-thread monotone event counter
-    std::uint64_t dropped = 0;
+    EventRec ring[kFlightRingEvents] OMNISIM_GUARDED_BY(lock);
+    /// Next slot to write.
+    std::size_t head OMNISIM_GUARDED_BY(lock) = 0;
+    /// Live records, <= kFlightRingEvents.
+    std::size_t count OMNISIM_GUARDED_BY(lock) = 0;
+    /// Per-thread monotone event counter.
+    std::uint64_t seq OMNISIM_GUARDED_BY(lock) = 0;
+    std::uint64_t dropped OMNISIM_GUARDED_BY(lock) = 0;
 
-    SpanRec spans[kFlightSpanDepth];
-    std::size_t spanDepth = 0; ///< may exceed kFlightSpanDepth (counted)
+    SpanRec spans[kFlightSpanDepth] OMNISIM_GUARDED_BY(lock);
+    /// May exceed kFlightSpanDepth (counted past the stored prefix).
+    std::size_t spanDepth OMNISIM_GUARDED_BY(lock) = 0;
 };
 
 struct FlightRegistry {
-    std::mutex mu;
-    std::vector<std::shared_ptr<FlightThread>> threads;
-    std::uint32_t nextTid = 1;
+    sync::Mutex mu;
+    std::vector<std::shared_ptr<FlightThread>> threads
+        OMNISIM_GUARDED_BY(mu);
+    std::uint32_t nextTid OMNISIM_GUARDED_BY(mu) = 1;
 };
 
 FlightRegistry &registry() {
@@ -89,7 +94,7 @@ FlightThread &localThread() {
     thread_local std::shared_ptr<FlightThread> self = [] {
         auto t = std::make_shared<FlightThread>();
         FlightRegistry &reg = registry();
-        std::lock_guard<std::mutex> lk(reg.mu);
+        sync::LockGuard lk(reg.mu);
         t->tid = reg.nextTid++;
         reg.threads.push_back(t);
         return t;
@@ -97,8 +102,8 @@ FlightThread &localThread() {
     return *self;
 }
 
-std::string crashDir = "."; // guarded by crashDirMu
-std::mutex crashDirMu;
+sync::Mutex crashDirMu;
+std::string crashDir OMNISIM_GUARDED_BY(crashDirMu) = ".";
 
 /// Once a crash dump has been written, signal handlers stay quiet: the
 /// SIGABRT raised by panicImpl's abort() must not overwrite the dump
@@ -204,7 +209,7 @@ std::uint32_t flightThreadId() { return localThread().tid; }
 
 std::size_t flightEventCount() {
     FlightRegistry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    sync::LockGuard lk(reg.mu);
     std::size_t n = 0;
     for (auto &t : reg.threads) {
         t->lock.lock();
@@ -216,7 +221,7 @@ std::size_t flightEventCount() {
 
 std::uint64_t flightDroppedCount() {
     FlightRegistry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    sync::LockGuard lk(reg.mu);
     std::uint64_t n = 0;
     for (auto &t : reg.threads) {
         t->lock.lock();
@@ -228,7 +233,7 @@ std::uint64_t flightDroppedCount() {
 
 void flightReset() {
     FlightRegistry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    sync::LockGuard lk(reg.mu);
     for (auto &t : reg.threads) {
         t->lock.lock();
         t->head = 0;
@@ -256,7 +261,7 @@ std::string flightDumpJson(const std::string &reason, CorrelationId cid) {
 
     {
         FlightRegistry &reg = registry();
-        std::lock_guard<std::mutex> lk(reg.mu);
+        sync::LockGuard lk(reg.mu);
         events.reserve(reg.threads.size() * kFlightRingEvents);
         for (auto &t : reg.threads) {
             if (!t->lock.tryLockBounded(1 << 20)) {
@@ -363,7 +368,7 @@ std::string flightDumpJson(const std::string &reason, CorrelationId cid) {
 }
 
 void setCrashDumpDir(const std::string &dir) {
-    std::lock_guard<std::mutex> lk(crashDirMu);
+    sync::LockGuard lk(crashDirMu);
     crashDir = dir.empty() ? "." : dir;
 }
 
@@ -373,7 +378,7 @@ std::string writeCrashDump(const std::string &reason, CorrelationId cid) {
 
     std::string path;
     {
-        std::lock_guard<std::mutex> lk(crashDirMu);
+        sync::LockGuard lk(crashDirMu);
         path = crashDir;
     }
 #if OMNISIM_FLIGHT_HAVE_SIGNALS

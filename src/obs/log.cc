@@ -5,11 +5,11 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
 #include "obs/context.hh"
 #include "obs/flight.hh"
 #include "support/logging.hh"
+#include "support/sync.hh"
 
 namespace omnisim {
 namespace obs {
@@ -23,9 +23,10 @@ std::atomic<std::uint8_t> levelFlag{
 /// Sink state. The mutex serializes sink swaps and file writes; the
 /// formatting work happens outside it on thread-local buffers.
 struct SinkState {
-    std::mutex mu;
-    std::function<void(const std::string &)> custom; // empty => legacy/file
-    std::FILE *file = nullptr;
+    sync::Mutex mu;
+    std::function<void(const std::string &)> custom
+        OMNISIM_GUARDED_BY(mu); // empty => legacy/file
+    std::FILE *file OMNISIM_GUARDED_BY(mu) = nullptr;
 };
 
 SinkState &sinkState() {
@@ -111,7 +112,7 @@ void setLogLevel(LogLevel level) {
 
 void setLogSink(std::function<void(const std::string &)> sink) {
     SinkState &st = sinkState();
-    std::lock_guard<std::mutex> lk(st.mu);
+    sync::LockGuard lk(st.mu);
     if (st.file) {
         std::fclose(st.file);
         st.file = nullptr;
@@ -124,7 +125,7 @@ bool setLogFileSink(const std::string &path) {
     if (!f)
         return false;
     SinkState &st = sinkState();
-    std::lock_guard<std::mutex> lk(st.mu);
+    sync::LockGuard lk(st.mu);
     if (st.file)
         std::fclose(st.file);
     st.file = f;
@@ -210,7 +211,7 @@ void logEvent(LogLevel level, const char *event, const char *fmt, ...) {
         return;
 
     SinkState &st = sinkState();
-    std::unique_lock<std::mutex> lk(st.mu);
+    sync::UniqueLock lk(st.mu);
     if (st.custom) {
         // Copy the sink so a concurrent setLogSink cannot invalidate it
         // mid-call; invoke outside the lock to keep sinks reentrancy-

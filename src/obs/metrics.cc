@@ -153,7 +153,7 @@ Registry &Registry::global() {
 }
 
 Counter &Registry::counter(const std::string &name) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::LockGuard lk(mu_);
     auto &slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -161,7 +161,7 @@ Counter &Registry::counter(const std::string &name) {
 }
 
 Gauge &Registry::gauge(const std::string &name) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::LockGuard lk(mu_);
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -169,7 +169,7 @@ Gauge &Registry::gauge(const std::string &name) {
 }
 
 Histogram &Registry::histogram(const std::string &name) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::LockGuard lk(mu_);
     auto &slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>();
@@ -177,7 +177,7 @@ Histogram &Registry::histogram(const std::string &name) {
 }
 
 void Registry::resetAll() {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::LockGuard lk(mu_);
     for (auto &kv : counters_)
         kv.second->reset();
     for (auto &kv : gauges_)
@@ -232,7 +232,7 @@ std::string promName(const std::string &name) {
 } // namespace
 
 std::string Registry::toJson() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::LockGuard lk(mu_);
     std::string out = "{\"counters\":{";
     bool first = true;
     for (const auto &kv : counters_) {
@@ -291,7 +291,7 @@ std::string Registry::toJson() const {
 }
 
 std::string Registry::toPrometheus() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::LockGuard lk(mu_);
     std::string out;
     for (const auto &kv : counters_) {
         const std::string n = promName(kv.first);

@@ -22,8 +22,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "support/sync.hh"
 
 namespace omnisim {
 namespace obs {
@@ -158,29 +159,32 @@ public:
 
     /// Find-or-create. Returned references stay valid for the registry's
     /// lifetime (instruments are never removed).
-    Counter &counter(const std::string &name);
-    Gauge &gauge(const std::string &name);
-    Histogram &histogram(const std::string &name);
+    Counter &counter(const std::string &name) OMNISIM_EXCLUDES(mu_);
+    Gauge &gauge(const std::string &name) OMNISIM_EXCLUDES(mu_);
+    Histogram &histogram(const std::string &name) OMNISIM_EXCLUDES(mu_);
 
     /// Structured JSON snapshot:
     ///   {"counters":{...},"gauges":{...},
     ///    "histograms":{name:{count,sum,min,max,mean,p50,p90,p99,
     ///                        buckets:[[lo,count],...]}}}
-    std::string toJson() const;
+    std::string toJson() const OMNISIM_EXCLUDES(mu_);
 
     /// Prometheus text exposition (name mangled to [a-z0-9_], prefixed
     /// omnisim_; histograms rendered as summaries with quantile labels).
-    std::string toPrometheus() const;
+    std::string toPrometheus() const OMNISIM_EXCLUDES(mu_);
 
     /// Zero every instrument (benches isolating a measurement window).
     /// Instruments stay registered; handles stay valid.
-    void resetAll();
+    void resetAll() OMNISIM_EXCLUDES(mu_);
 
 private:
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable sync::Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        OMNISIM_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        OMNISIM_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        OMNISIM_GUARDED_BY(mu_);
 };
 
 /// RAII latency timer: records elapsed microseconds into a histogram at

@@ -6,8 +6,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "support/sync.hh"
 
 #ifdef _WIN32
 #include <process.h>
@@ -33,13 +34,16 @@ struct TraceEvent {
 };
 
 struct ThreadRing {
-    std::mutex mu;
-    std::vector<TraceEvent> events; // sized kRingCapacity up front
-    std::size_t head = 0;           // next write slot
-    std::size_t count = 0;          // valid entries (<= capacity)
-    std::uint64_t dropped = 0;      // overwritten this session
-    std::uint64_t session = 0;      // traceStart() generation when last used
-    std::uint32_t tid = 0;          // sequential thread id for the export
+    sync::Mutex mu;
+    /// Sized kRingCapacity once at construction (before the ring is
+    /// published); after that only entries mutate, under mu.
+    std::vector<TraceEvent> events;
+    std::size_t head OMNISIM_GUARDED_BY(mu) = 0;  // next write slot
+    std::size_t count OMNISIM_GUARDED_BY(mu) = 0; // valid entries
+    std::uint64_t dropped OMNISIM_GUARDED_BY(mu) = 0; // overwritten
+    /// traceStart() generation when last used.
+    std::uint64_t session OMNISIM_GUARDED_BY(mu) = 0;
+    std::uint32_t tid = 0; // assigned once before publication
 };
 
 struct TraceState {
@@ -48,9 +52,9 @@ struct TraceState {
     // rings, so starting a trace never has to touch other threads' rings.
     std::atomic<std::uint64_t> session{0};
     std::atomic<std::uint64_t> epochNs{0};
-    std::mutex mu; // guards rings registry + nextTid
-    std::vector<std::shared_ptr<ThreadRing>> rings;
-    std::uint32_t nextTid = 1;
+    sync::Mutex mu; // guards rings registry + nextTid
+    std::vector<std::shared_ptr<ThreadRing>> rings OMNISIM_GUARDED_BY(mu);
+    std::uint32_t nextTid OMNISIM_GUARDED_BY(mu) = 1;
 };
 
 TraceState &state() {
@@ -70,7 +74,7 @@ ThreadRing &localRing() {
         auto r = std::make_shared<ThreadRing>();
         r->events.resize(kRingCapacity);
         TraceState &st = state();
-        std::lock_guard<std::mutex> lk(st.mu);
+        sync::LockGuard lk(st.mu);
         r->tid = st.nextTid++;
         st.rings.push_back(r);
         return r;
@@ -105,7 +109,7 @@ void recordSpan(const char *name, std::uint64_t startNs, std::uint64_t endNs,
     TraceState &st = state();
     const std::uint64_t session = st.session.load(std::memory_order_relaxed);
     ThreadRing &r = localRing();
-    std::lock_guard<std::mutex> lk(r.mu);
+    sync::LockGuard lk(r.mu);
     if (r.session != session) {
         r.head = 0;
         r.count = 0;
@@ -142,14 +146,14 @@ std::vector<ExportEvent> collectEvents(std::uint64_t &droppedOut) {
     const std::uint64_t session = st.session.load(std::memory_order_relaxed);
     std::vector<std::shared_ptr<ThreadRing>> rings;
     {
-        std::lock_guard<std::mutex> lk(st.mu);
+        sync::LockGuard lk(st.mu);
         rings = st.rings;
     }
     std::vector<ExportEvent> out;
     droppedOut = 0;
     for (const auto &rp : rings) {
         ThreadRing &r = *rp;
-        std::lock_guard<std::mutex> lk(r.mu);
+        sync::LockGuard lk(r.mu);
         if (r.session != session || r.count == 0)
             continue;
         droppedOut += r.dropped;

@@ -8,6 +8,7 @@
 #include "obs/trace.hh"
 #include "opt/build.hh"
 #include "opt/partition.hh"
+#include "opt/verify.hh"
 #include "runtime/fifo_table.hh"
 #include "support/logging.hh"
 
@@ -358,6 +359,23 @@ PassManager::compile(const LayoutInput &in) const
     mCompiles.add();
 
     detail::Build b(in);
+    // Between-pass verification: materialize a throwaway copy of the
+    // pass IR after each pass and run the full invariant checker on it,
+    // so a pass bug is caught at the pass that introduced it instead of
+    // surfacing as a downstream divergence. Always-on in Debug, behind
+    // --verify in Release (see opt/verify.hh).
+    const auto verifyStage = [&](const char *stage, bool afterDedup) {
+        if (!verifyEnabled())
+            return;
+        OMNISIM_SPAN("compile.verify");
+        detail::Build copy(b);
+        const RunLayout mid = detail::materialize(copy, level_, {});
+        VerifyContext ctx;
+        ctx.input = &in;
+        ctx.pass = stage;
+        ctx.afterDedup = afterDedup;
+        verifyLayout(mid, ctx);
+    };
     std::vector<PassStats> passes;
     if (level_ != OptLevel::O0) {
         {
@@ -368,6 +386,7 @@ PassManager::compile(const LayoutInput &in) const
             detail::latticePrune(b, passes.back());
             b.pinFromKeptSets();
         }
+        verifyStage("lattice-prune", false);
         {
             OMNISIM_SPAN("compile.chain_collapse");
             obs::ScopedLatencyUs t(mChainCollapseUs);
@@ -375,6 +394,7 @@ PassManager::compile(const LayoutInput &in) const
             passes.back().pass = "chain-collapse";
             detail::chainCollapse(b, passes.back());
         }
+        verifyStage("chain-collapse", false);
         {
             OMNISIM_SPAN("compile.dedup");
             obs::ScopedLatencyUs t(mDedupUs);
@@ -382,11 +402,19 @@ PassManager::compile(const LayoutInput &in) const
             passes.back().pass = "dedup";
             detail::dedup(b, passes.back());
         }
+        verifyStage("dedup", true);
     }
     RunLayout lay;
     {
         OMNISIM_SPAN("compile.materialize");
         lay = detail::materialize(b, level_, std::move(passes));
+    }
+    if (verifyEnabled()) {
+        VerifyContext ctx;
+        ctx.input = &in;
+        ctx.pass = "materialize";
+        ctx.afterDedup = level_ != OptLevel::O0;
+        verifyLayout(lay, ctx);
     }
     OMNISIM_LOG_DEBUG(
         "compile.done", "level=%s nodes=%llu->%llu constraints=%llu->%llu",
@@ -404,6 +432,13 @@ PassManager::compile(const LayoutInput &in) const
         PassStats ps;
         ps.pass = "partition";
         lay.stats.passes.push_back(ps);
+        if (verifyEnabled()) {
+            VerifyContext ctx;
+            ctx.input = &in;
+            ctx.pass = "partition";
+            ctx.afterDedup = true;
+            verifyPartitionPlan(lay, *in.depths, ctx);
+        }
     }
     return lay;
 }

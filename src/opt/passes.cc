@@ -363,7 +363,10 @@ dedup(Build &b, PassStats &st)
 
     std::vector<std::uint8_t> dirty(b.n, 0);
     std::vector<std::uint32_t> srcTouched, touchedTargets;
-    for (int round = 0; round < 16; ++round) {
+    // Runs to a true fixed point (each non-final round removes at least
+    // one node, so at most n rounds): the [dedup-fixpoint] verifier
+    // invariant asserts no mergeable pair survives.
+    for (;;) {
         struct Cand
         {
             std::uint64_t hash;

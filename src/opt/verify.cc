@@ -1,0 +1,576 @@
+#include "opt/verify.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "core/omnisim.hh"
+#include "graph/simgraph.hh"
+#include "obs/log.hh"
+#include "opt/partition.hh"
+#include "runtime/fifo_table.hh"
+#include "support/logging.hh"
+
+namespace omnisim::opt
+{
+
+namespace
+{
+
+std::atomic<bool> verifyFlag{
+#ifdef NDEBUG
+    false // Release: opt-in via --verify.
+#else
+    true // Debug: always-on.
+#endif
+};
+
+/** Log the structured diagnostic (picked up by the flight recorder
+ *  ring) and throw. The bracketed id is the stable handle tests and
+ *  humans grep for. */
+[[noreturn]] void
+failVerify(const VerifyContext &ctx, const char *id,
+           const std::string &detail)
+{
+    OMNISIM_LOG_ERROR("verify.fail", "pass=%s invariant=%s %s", ctx.pass,
+                      id, detail.c_str());
+    omnisim_fatal("IR verifier: [%s] at '%s': %s", id, ctx.pass,
+                  detail.c_str());
+}
+
+/**
+ * Longest-path relaxation over an explicit edge list (Kahn order, so it
+ * doubles as the acyclicity oracle). time[v] = max(seed[v],
+ * max over in-edges u->v of time[u] + w); parallel edges are harmless
+ * (max over all).
+ * @return false when the graph has a cycle (times undefined).
+ */
+bool
+longestPath(std::size_t n, const std::vector<Cycles> &seed,
+            const std::vector<CsrGraph::EdgeSpec> &edges,
+            std::vector<Cycles> &time)
+{
+    std::vector<std::uint32_t> indeg(n, 0);
+    std::vector<std::vector<std::pair<std::uint32_t, Cycles>>> out(n);
+    for (const auto &e : edges) {
+        out[static_cast<std::size_t>(e.src)].push_back(
+            {static_cast<std::uint32_t>(e.dst), e.weight});
+        ++indeg[static_cast<std::size_t>(e.dst)];
+    }
+    time = seed;
+    std::vector<std::uint32_t> ready;
+    ready.reserve(n);
+    for (std::size_t v = 0; v < n; ++v)
+        if (indeg[v] == 0)
+            ready.push_back(static_cast<std::uint32_t>(v));
+    std::size_t done = 0;
+    while (done < ready.size()) {
+        const std::uint32_t u = ready[done++];
+        for (const auto &[v, w] : out[u]) {
+            time[v] = std::max(time[v], time[u] + w);
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        }
+    }
+    return done == n;
+}
+
+void
+checkShape(const RunLayout &lay, const VerifyContext &ctx)
+{
+    const std::size_t n = lay.numNodes;
+    if (lay.seed.size() != n || lay.dur.size() != n)
+        failVerify(ctx, "shape",
+                   strf("%zu seeds / %zu durations for %zu nodes",
+                        lay.seed.size(), lay.dur.size(), n));
+    if (lay.accFifo.size() != n || lay.accIdx.size() != n ||
+        lay.accWrite.size() != n || lay.accBlockingWrite.size() != n)
+        failVerify(ctx, "shape",
+                   strf("accessor arrays sized %zu/%zu/%zu/%zu for %zu "
+                        "nodes",
+                        lay.accFifo.size(), lay.accIdx.size(),
+                        lay.accWrite.size(), lay.accBlockingWrite.size(),
+                        n));
+}
+
+void
+checkCsrSorted(const RunLayout &lay, const VerifyContext &ctx)
+{
+    const std::size_t n = lay.numNodes;
+    for (std::size_t i = 0; i < lay.edges.size(); ++i) {
+        const auto &e = lay.edges[i];
+        if (e.src >= n || e.dst >= n)
+            failVerify(ctx, "csr-sorted",
+                       strf("edge %llu -> %llu outside %zu nodes",
+                            static_cast<unsigned long long>(e.src),
+                            static_cast<unsigned long long>(e.dst), n));
+        if (i > 0) {
+            const auto &p = lay.edges[i - 1];
+            if (p.src > e.src || (p.src == e.src && p.dst >= e.dst))
+                failVerify(
+                    ctx, "csr-sorted",
+                    strf("edge %zu (%llu -> %llu) not strictly after "
+                         "edge %zu (%llu -> %llu)",
+                         i, static_cast<unsigned long long>(e.src),
+                         static_cast<unsigned long long>(e.dst), i - 1,
+                         static_cast<unsigned long long>(p.src),
+                         static_cast<unsigned long long>(p.dst)));
+        }
+    }
+}
+
+void
+checkRemap(const RunLayout &lay, const VerifyContext &ctx)
+{
+    const std::size_t n = lay.numNodes;
+    // Materialization assigns dense ids to live nodes in ascending
+    // original id and remaps merged nodes to representatives with
+    // *smaller* original ids. So walking the remap table in original-id
+    // order, the first occurrences of layout ids must be exactly
+    // 0, 1, 2, ... — which also proves surjectivity (every layout node
+    // has a preimage) and catches collisions (a lost preimage).
+    std::vector<std::uint8_t> seen(n, 0);
+    std::uint32_t next = 0;
+    for (std::size_t v = 0; v < lay.remap.size(); ++v) {
+        const std::uint32_t d = lay.remap[v];
+        if (d == kDropped)
+            continue;
+        if (d >= n)
+            failVerify(ctx, "remap-bijective",
+                       strf("remap[%zu] = %u outside %zu layout nodes",
+                            v, d, n));
+        if (!seen[d]) {
+            if (d != next)
+                failVerify(ctx, "remap-bijective",
+                           strf("first preimage of layout node %u "
+                                "appears before layout node %u has one "
+                                "(original node %zu)",
+                                d, next, v));
+            seen[d] = 1;
+            ++next;
+        }
+    }
+    if (next != n)
+        failVerify(ctx, "remap-bijective",
+                   strf("%u of %zu layout nodes have a preimage", next,
+                        n));
+}
+
+void
+checkFifos(const RunLayout &lay, const VerifyContext &ctx)
+{
+    const std::size_t n = lay.numNodes;
+    for (std::size_t f = 0; f < lay.fifos.size(); ++f) {
+        const FifoLayout &fl = lay.fifos[f];
+        if (fl.cap != fl.writeNode.size() + 1)
+            failVerify(ctx, "fifo-cap",
+                       strf("fifo %zu cap %u != writes %zu + 1", f,
+                            fl.cap, fl.writeNode.size()));
+        for (const std::uint32_t v : fl.readNode)
+            if (v != kNoNode && v >= n)
+                failVerify(ctx, "fifo-cap",
+                           strf("fifo %zu read entry %u outside %zu "
+                                "layout nodes", f, v, n));
+        for (const std::uint32_t v : fl.writeNode)
+            if (v != kNoNode && v >= n)
+                failVerify(ctx, "fifo-cap",
+                           strf("fifo %zu write entry %u outside %zu "
+                                "layout nodes", f, v, n));
+    }
+}
+
+void
+checkAccessMaps(const RunLayout &lay, const VerifyContext &ctx)
+{
+    // fifos[] and the O(1) accessor arrays are two views of one map;
+    // walk the forward direction and mark what we covered, then demand
+    // the reverse direction points at nothing else.
+    const std::size_t n = lay.numNodes;
+    std::vector<std::uint8_t> covered(n, 0);
+    for (std::size_t f = 0; f < lay.fifos.size(); ++f) {
+        const FifoLayout &fl = lay.fifos[f];
+        std::uint32_t blocking = 0;
+        for (std::size_t w = 0; w < fl.writeNode.size(); ++w) {
+            const std::uint32_t v = fl.writeNode[w];
+            if (v == kNoNode)
+                continue;
+            if (lay.accFifo[v] != static_cast<std::int32_t>(f) ||
+                lay.accIdx[v] != w + 1 || !lay.accWrite[v])
+                failVerify(ctx, "acc-map-consistent",
+                           strf("write entry %zu of fifo %zu (node %u) "
+                                "disagrees with the accessor arrays",
+                                w + 1, f, v));
+            covered[v] = 1;
+            blocking += lay.accBlockingWrite[v] ? 1 : 0;
+        }
+        for (std::size_t r = 0; r < fl.readNode.size(); ++r) {
+            const std::uint32_t v = fl.readNode[r];
+            if (v == kNoNode)
+                continue;
+            if (lay.accFifo[v] != static_cast<std::int32_t>(f) ||
+                lay.accIdx[v] != r + 1 || lay.accWrite[v])
+                failVerify(ctx, "acc-map-consistent",
+                           strf("read entry %zu of fifo %zu (node %u) "
+                                "disagrees with the accessor arrays",
+                                r + 1, f, v));
+            if (lay.accBlockingWrite[v])
+                failVerify(ctx, "acc-map-consistent",
+                           strf("read node %u flagged as blocking "
+                                "write", v));
+            covered[v] = 1;
+        }
+        if (blocking != fl.blockingWrites)
+            failVerify(ctx, "acc-map-consistent",
+                       strf("fifo %zu records %u blocking writes, "
+                            "entries say %u", f, fl.blockingWrites,
+                            blocking));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+        if (lay.accFifo[v] >= 0 && !covered[v])
+            failVerify(ctx, "acc-map-consistent",
+                       strf("node %zu claims fifo %d access %u but no "
+                            "access entry references it", v,
+                            lay.accFifo[v], lay.accIdx[v]));
+        if (lay.accFifo[v] < 0 &&
+            (lay.accIdx[v] != 0 || lay.accWrite[v] ||
+             lay.accBlockingWrite[v]))
+            failVerify(ctx, "acc-map-consistent",
+                       strf("non-access node %zu carries accessor "
+                            "state", v));
+    }
+}
+
+void
+checkCons(const RunLayout &lay, const VerifyContext &ctx)
+{
+    const std::size_t n = lay.numNodes;
+    std::vector<std::uint32_t> maxWriteConsIdx(lay.fifos.size(), 0);
+    bool first = true;
+    std::uint32_t prevOrig = 0;
+    for (const LayoutCons &c : lay.cons) {
+        if (!first && c.origIndex <= prevOrig)
+            failVerify(ctx, "cons-addressable",
+                       strf("kept constraint %u out of recorded order "
+                            "(follows %u)", c.origIndex, prevOrig));
+        first = false;
+        prevOrig = c.origIndex;
+        if (ctx.input != nullptr &&
+            c.origIndex >= ctx.input->constraints->size())
+            failVerify(ctx, "cons-addressable",
+                       strf("kept constraint %u of %zu recorded",
+                            c.origIndex,
+                            ctx.input->constraints->size()));
+        if (c.node >= n)
+            failVerify(ctx, "cons-addressable",
+                       strf("constraint %u query node %u outside %zu "
+                            "layout nodes", c.origIndex, c.node, n));
+        if (c.fifo >= lay.fifos.size())
+            failVerify(ctx, "cons-addressable",
+                       strf("constraint %u names fifo %u of %zu",
+                            c.origIndex, c.fifo, lay.fifos.size()));
+        if (!isQueryKind(c.kind))
+            failVerify(ctx, "cons-addressable",
+                       strf("constraint %u kind '%s' is not a query",
+                            c.origIndex, eventKindName(c.kind)));
+        if (c.index < 1)
+            failVerify(ctx, "cons-addressable",
+                       strf("constraint %u access index 0 (1-based)",
+                            c.origIndex));
+        const FifoLayout &fl = lay.fifos[c.fifo];
+        switch (c.kind) {
+          case EventKind::FifoNbRead:
+          case EventKind::FifoCanRead:
+            // A read-kind query of index w evaluates the w-th write.
+            if (c.index <= fl.writeNode.size() &&
+                fl.writeNode[c.index - 1] == kNoNode)
+                failVerify(ctx, "cons-addressable",
+                           strf("read query %u lost its target write "
+                                "entry %u of fifo %u", c.origIndex,
+                                c.index, c.fifo));
+            break;
+          default:
+            // Write-kind queries slide over the read prefix with the
+            // depth; collect the per-FIFO maximum and check below.
+            maxWriteConsIdx[c.fifo] =
+                std::max(maxWriteConsIdx[c.fifo], c.index);
+            break;
+        }
+    }
+    for (std::size_t f = 0; f < lay.fifos.size(); ++f) {
+        if (maxWriteConsIdx[f] < 2)
+            continue;
+        const FifoLayout &fl = lay.fifos[f];
+        const std::size_t lim = std::min<std::size_t>(
+            maxWriteConsIdx[f] - 1, fl.readNode.size());
+        for (std::size_t r = 0; r < lim; ++r)
+            if (fl.readNode[r] == kNoNode)
+                failVerify(ctx, "cons-addressable",
+                           strf("write query target read entry %zu of "
+                                "fifo %zu was dropped", r + 1, f));
+    }
+}
+
+/** [chain-weight]: at the structural-only point of the lattice (== the
+ *  all-caps clamped depth vector, where no WAR edge exists) the passes
+ *  must preserve every live-image original node's time exactly, and the
+ *  re-finalized total with the floor folded in. */
+void
+checkChainWeight(const RunLayout &lay, const std::vector<Cycles> &timeL,
+                 const VerifyContext &ctx)
+{
+    const LayoutInput &in = *ctx.input;
+    const std::size_t n0 = in.nodes->size();
+
+    std::vector<Cycles> durO(n0);
+    for (std::size_t v = 0; v < n0; ++v)
+        durO[v] = (*in.nodes)[v].duration;
+    // Fold module tail slack exactly as the pass IR constructor does:
+    // the re-finalized total is max(time + dur, time[tail] + slack).
+    for (std::size_t m = 0; m < in.tailNode->size(); ++m) {
+        const std::uint64_t t = (*in.tailNode)[m];
+        durO[t] = std::max(durO[t], (*in.tailSlack)[m]);
+    }
+
+    std::vector<Cycles> timeO;
+    if (!longestPath(n0, *in.seed, *in.edges, timeO))
+        failVerify(ctx, "chain-weight",
+                   "original structural graph is cyclic");
+
+    for (std::size_t v = 0; v < n0; ++v) {
+        const std::uint32_t d = lay.remap[v];
+        if (d == kDropped)
+            continue;
+        if (timeL[d] != timeO[v])
+            failVerify(
+                ctx, "chain-weight",
+                strf("node time not conserved: original %zu is %llu, "
+                     "layout image %u is %llu", v,
+                     static_cast<unsigned long long>(timeO[v]), d,
+                     static_cast<unsigned long long>(timeL[d])));
+    }
+
+    Cycles totO = 0;
+    for (std::size_t v = 0; v < n0; ++v)
+        totO = std::max(totO, timeO[v] + durO[v]);
+    Cycles totL = lay.floor;
+    for (std::size_t d = 0; d < lay.numNodes; ++d)
+        totL = std::max(totL, timeL[d] + lay.dur[d]);
+    if (totO != totL)
+        failVerify(ctx, "chain-weight",
+                   strf("total not conserved: original %llu, layout "
+                        "%llu (floor %llu)",
+                        static_cast<unsigned long long>(totO),
+                        static_cast<unsigned long long>(totL),
+                        static_cast<unsigned long long>(lay.floor)));
+}
+
+/** [dedup-fixpoint]: after dedup no two live unpinned layout nodes may
+ *  share (seed, canonical in-edge list) — they would have merged. The
+ *  pinned set in layout terms (access entries, kept-constraint nodes,
+ *  module tail images) mirrors the pass IR's pin computation. */
+void
+checkDedupFixpoint(const RunLayout &lay, const VerifyContext &ctx)
+{
+    const std::size_t n = lay.numNodes;
+    std::vector<std::uint8_t> pinned(n, 0);
+    for (std::size_t v = 0; v < n; ++v)
+        if (lay.accFifo[v] >= 0)
+            pinned[v] = 1;
+    for (const LayoutCons &c : lay.cons)
+        pinned[c.node] = 1;
+    for (const std::uint64_t t : *ctx.input->tailNode) {
+        const std::uint32_t d = lay.remap[t];
+        if (d != kDropped)
+            pinned[d] = 1;
+    }
+
+    // Edges are sorted by (src, dst), so per-node in-lists built in one
+    // sweep are already canonical (ascending src, parallel-edge free).
+    std::vector<std::vector<std::pair<std::uint32_t, Cycles>>> rin(n);
+    for (const auto &e : lay.edges)
+        rin[static_cast<std::size_t>(e.dst)].push_back(
+            {static_cast<std::uint32_t>(e.src), e.weight});
+
+    std::vector<std::uint32_t> cands;
+    for (std::size_t v = 0; v < n; ++v)
+        if (!pinned[v])
+            cands.push_back(static_cast<std::uint32_t>(v));
+    std::sort(cands.begin(), cands.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (lay.seed[a] != lay.seed[b])
+                      return lay.seed[a] < lay.seed[b];
+                  return rin[a] < rin[b];
+              });
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+        const std::uint32_t a = cands[i - 1], b = cands[i];
+        if (lay.seed[a] == lay.seed[b] && rin[a] == rin[b])
+            failVerify(ctx, "dedup-fixpoint",
+                       strf("nodes %u and %u share seed and in-edges "
+                            "but were not merged", a, b));
+    }
+}
+
+} // namespace
+
+void
+setVerifyEnabled(bool on)
+{
+    verifyFlag.store(on, std::memory_order_relaxed);
+}
+
+bool
+verifyEnabled()
+{
+    return verifyFlag.load(std::memory_order_relaxed);
+}
+
+void
+verifyLayout(const RunLayout &lay, const VerifyContext &ctx)
+{
+    checkShape(lay, ctx);
+    checkCsrSorted(lay, ctx);
+
+    std::vector<Cycles> timeL;
+    if (!longestPath(lay.numNodes, lay.seed, lay.edges, timeL))
+        failVerify(ctx, "dag", "structural layout graph has a cycle");
+
+    checkRemap(lay, ctx);
+    checkFifos(lay, ctx);
+    checkAccessMaps(lay, ctx);
+    checkCons(lay, ctx);
+    if (ctx.input != nullptr) {
+        checkChainWeight(lay, timeL, ctx);
+        if (ctx.afterDedup)
+            checkDedupFixpoint(lay, ctx);
+    }
+}
+
+void
+verifyPartitionPlan(const RunLayout &lay,
+                    const std::vector<std::uint32_t> &baseDepths,
+                    const VerifyContext &ctx)
+{
+    const PartitionPlan &p = lay.part;
+    if (!p.valid) {
+        if (!p.order.empty() || !p.levelOffsets.empty() ||
+            !p.coneOffsets.empty() || !p.minSafeDepth.empty())
+            failVerify(ctx, "plan-shape",
+                       "serial (invalid) plan carries level data");
+        return;
+    }
+    const std::size_t n = lay.numNodes;
+    if (p.order.size() != n)
+        failVerify(ctx, "plan-shape",
+                   strf("order covers %zu of %zu nodes", p.order.size(),
+                        n));
+    const auto checkOffsets = [&](const std::vector<std::uint32_t> &off,
+                                  const char *what) {
+        if (off.empty() || off.front() != 0 || off.back() != n)
+            failVerify(ctx, "plan-shape",
+                       strf("%s offsets do not span the order", what));
+        for (std::size_t i = 1; i < off.size(); ++i)
+            if (off[i] < off[i - 1])
+                failVerify(ctx, "plan-shape",
+                           strf("%s offsets decrease at %zu", what, i));
+    };
+    checkOffsets(p.levelOffsets, "level");
+    checkOffsets(p.coneOffsets, "cone");
+    for (std::size_t l = 0, c = 0; l < p.levelOffsets.size(); ++l) {
+        while (c < p.coneOffsets.size() &&
+               p.coneOffsets[c] < p.levelOffsets[l])
+            ++c;
+        if (c >= p.coneOffsets.size() ||
+            p.coneOffsets[c] != p.levelOffsets[l])
+            failVerify(ctx, "plan-shape",
+                       strf("cone offsets do not refine level boundary "
+                            "%zu", l));
+    }
+
+    std::vector<std::uint32_t> levelOf(n, 0);
+    std::vector<std::uint8_t> seen(n, 0);
+    std::uint32_t maxWidth = 0;
+    for (std::size_t l = 0; l + 1 < p.levelOffsets.size(); ++l) {
+        maxWidth = std::max(maxWidth,
+                            p.levelOffsets[l + 1] - p.levelOffsets[l]);
+        for (std::uint32_t i = p.levelOffsets[l];
+             i < p.levelOffsets[l + 1]; ++i) {
+            const std::uint32_t v = p.order[i];
+            if (v >= n || seen[v])
+                failVerify(ctx, "plan-shape",
+                           strf("order is not a permutation (position "
+                                "%u, node %u)", i, v));
+            seen[v] = 1;
+            levelOf[v] = static_cast<std::uint32_t>(l);
+        }
+    }
+    if (maxWidth != p.maxLevelWidth)
+        failVerify(ctx, "plan-shape",
+                   strf("level width %u recorded as %u", maxWidth,
+                        p.maxLevelWidth));
+
+    // [level-monotone]: every ordering edge — structural plus the WAR
+    // overlay at the clamped baseline depths — must climb strictly.
+    for (const auto &e : lay.edges)
+        if (levelOf[e.src] >= levelOf[e.dst])
+            failVerify(ctx, "level-monotone",
+                       strf("structural edge %llu -> %llu does not "
+                            "climb (levels %u >= %u)",
+                            static_cast<unsigned long long>(e.src),
+                            static_cast<unsigned long long>(e.dst),
+                            levelOf[e.src], levelOf[e.dst]));
+    if (baseDepths.size() != lay.fifos.size())
+        failVerify(ctx, "plan-shape",
+                   strf("%zu baseline depths for %zu fifos",
+                        baseDepths.size(), lay.fifos.size()));
+    for (std::size_t f = 0; f < lay.fifos.size(); ++f) {
+        const FifoLayout &fl = lay.fifos[f];
+        const std::size_t s = std::min(baseDepths[f], fl.cap);
+        const std::size_t nr = fl.readNode.size();
+        for (std::size_t i = s; i < fl.writeNode.size(); ++i) {
+            if (i - s >= nr)
+                break;
+            const std::uint32_t rn = fl.readNode[i - s];
+            if (rn == kNoNode)
+                continue;
+            const std::uint32_t wn = fl.writeNode[i];
+            if (wn == kNoNode || !lay.accBlockingWrite[wn])
+                continue;
+            if (levelOf[rn] >= levelOf[wn])
+                failVerify(ctx, "level-monotone",
+                           strf("WAR edge read %zu -> write %zu of "
+                                "fifo %zu does not climb (levels %u >= "
+                                "%u)", i - s + 1, i + 1, f, levelOf[rn],
+                                levelOf[wn]));
+        }
+    }
+
+    if (p.minSafeDepth.size() != lay.fifos.size())
+        failVerify(ctx, "threshold-admissible",
+                   strf("%zu depth thresholds for %zu fifos",
+                        p.minSafeDepth.size(), lay.fifos.size()));
+    const std::vector<std::uint32_t> want = minSafeDepths(lay, levelOf);
+    for (std::size_t f = 0; f < want.size(); ++f)
+        if (want[f] != p.minSafeDepth[f])
+            failVerify(ctx, "threshold-admissible",
+                       strf("fifo %zu threshold %u, levels imply %u", f,
+                            p.minSafeDepth[f], want[f]));
+
+    std::vector<std::uint32_t> coneOf(n, 0);
+    for (std::size_t c = 0; c + 1 < p.coneOffsets.size(); ++c)
+        for (std::uint32_t i = p.coneOffsets[c];
+             i < p.coneOffsets[c + 1]; ++i)
+            coneOf[p.order[i]] = static_cast<std::uint32_t>(c);
+    std::uint64_t frontier = 0;
+    for (const auto &e : lay.edges)
+        if (coneOf[e.src] != coneOf[e.dst])
+            ++frontier;
+    if (frontier != p.frontierEdges)
+        failVerify(ctx, "plan-frontier",
+                   strf("%llu cross-cone edges recorded as %llu",
+                        static_cast<unsigned long long>(frontier),
+                        static_cast<unsigned long long>(
+                            p.frontierEdges)));
+}
+
+} // namespace omnisim::opt

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The IR verifier: an LLVM-style invariant checker over RunLayout and
+ * PartitionPlan, run between every PassManager pass and on OMSIMRUN
+ * rehydration.
+ *
+ * Every check carries a stable invariant id (the bracketed token in the
+ * failure message and the `invariant` field of the "verify.fail" log
+ * event). The catalog — see README "Static analysis" for prose:
+ *
+ *   [shape]                per-node array sizes match numNodes.
+ *   [csr-sorted]           edges strictly sorted by (src, dst) — which
+ *                          also forbids duplicates — with both
+ *                          endpoints in range.
+ *   [dag]                  the structural layout graph is acyclic.
+ *   [remap-bijective]      remap entries are kDropped or in range,
+ *                          every layout id has a preimage, and the
+ *                          smallest preimage is strictly increasing in
+ *                          layout id (materialization assigns dense ids
+ *                          in ascending original id).
+ *   [fifo-cap]             per-FIFO access maps: entries are kNoNode or
+ *                          live layout nodes, and cap == writes + 1.
+ *   [acc-map-consistent]   the O(1) accessor arrays (accFifo/accIdx/
+ *                          accWrite/accBlockingWrite) and fifos[] are
+ *                          two views of the same map, including the
+ *                          blockingWrites counts.
+ *   [cons-addressable]     kept constraints are in strictly ascending
+ *                          recorded order, reference live nodes, and
+ *                          their evaluation targets stay addressable
+ *                          (read-kind: the target write entry; write-
+ *                          kind: the sliding read-prefix rule).
+ *   [chain-weight]         conservation through chain-collapse/dedup:
+ *                          at the structural-only point of the lattice
+ *                          (== the all-caps clamped depth vector) every
+ *                          live-image original node's time and the
+ *                          re-finalized total are preserved exactly.
+ *                          Needs VerifyContext::input.
+ *   [dedup-fixpoint]       no two live unpinned layout nodes with equal
+ *                          seed and identical canonical in-edge lists
+ *                          remain (dedup ran to a fixed point). Needs
+ *                          VerifyContext::input and afterDedup.
+ *   [plan-shape]           partition plan arrays span/refine/permute
+ *                          correctly and maxLevelWidth is honest.
+ *   [level-monotone]       levels strictly climb along every structural
+ *                          edge and every WAR-overlay edge at the
+ *                          clamped baseline depths.
+ *   [threshold-admissible] persisted per-FIFO minimum admissible depths
+ *                          equal what the levels imply (minSafeDepths).
+ *   [plan-frontier]        the cross-cone structural edge count is
+ *                          honest.
+ *
+ * A violation logs a structured "verify.fail" event (pass name,
+ * invariant id, offending ids — picked up by the flight recorder ring)
+ * and throws FatalError whose message embeds "[invariant-id]".
+ *
+ * Verification is always-on in Debug builds (!NDEBUG) and opt-in behind
+ * the global --verify CLI flag (setVerifyEnabled) in Release.
+ */
+
+#ifndef OMNISIM_OPT_VERIFY_HH
+#define OMNISIM_OPT_VERIFY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/layout.hh"
+#include "opt/pass_manager.hh"
+
+namespace omnisim::opt
+{
+
+/** What the verifier may assume about the layout being checked. */
+struct VerifyContext
+{
+    /** The compile input, when verifying inside the pass pipeline;
+     *  nullptr on rehydration (input-dependent checks are skipped). */
+    const LayoutInput *input = nullptr;
+
+    /** Stage name for diagnostics: a pass name, "materialize", or
+     *  "rehydrate". */
+    const char *pass = "?";
+
+    /** True once the dedup pass has run (gates [dedup-fixpoint]). */
+    bool afterDedup = false;
+};
+
+/** Toggle verification globally. Default: on in Debug (!NDEBUG),
+ *  off in Release until --verify flips it. Thread-safe. */
+void setVerifyEnabled(bool on);
+bool verifyEnabled();
+
+/**
+ * Check every RunLayout invariant. @throws FatalError with the
+ * invariant id bracketed in the message on the first violation.
+ * Unconditional — callers gate on verifyEnabled().
+ */
+void verifyLayout(const RunLayout &lay, const VerifyContext &ctx);
+
+/**
+ * Check every PartitionPlan invariant against its layout and the
+ * baseline depth vector it was built for. @throws FatalError likewise.
+ */
+void verifyPartitionPlan(const RunLayout &lay,
+                         const std::vector<std::uint32_t> &baseDepths,
+                         const VerifyContext &ctx);
+
+} // namespace omnisim::opt
+
+#endif // OMNISIM_OPT_VERIFY_HH

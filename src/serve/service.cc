@@ -260,7 +260,7 @@ SimService::cacheFor(const std::string &design)
 {
     DesignCache *entry;
     {
-        std::lock_guard<std::mutex> lock(cachesMu_);
+        sync::LockGuard lock(cachesMu_);
         auto it = caches_.find(design);
         if (it == caches_.end()) {
             // findDesign throws FatalError on unknown names — surfaced
@@ -693,7 +693,7 @@ SimService::doStats(const Request &req)
         b.endObject();
     }
     {
-        std::lock_guard<std::mutex> lock(cachesMu_);
+        sync::LockGuard lock(cachesMu_);
         b.key("designs_cached").num(caches_.size());
 
         // Compile-pipeline statistics aggregated over every pooled run
@@ -837,9 +837,9 @@ readBoundedLine(std::istream &in, std::string &line)
 int
 serveLines(SimService &svc, std::istream &in, std::ostream &out)
 {
-    std::mutex outMu;
+    sync::Mutex outMu;
     const auto emit = [&](const std::string &response) {
-        std::lock_guard<std::mutex> lock(outMu);
+        sync::LockGuard lock(outMu);
         out << response << '\n';
         out.flush();
     };
@@ -913,9 +913,9 @@ serveUnixSocket(SimService &svc, const std::string &path)
         if (cfd < 0)
             break;
 
-        std::mutex outMu;
+        sync::Mutex outMu;
         const auto emit = [&](const std::string &response) {
-            std::lock_guard<std::mutex> lock(outMu);
+            sync::LockGuard lock(outMu);
             std::string framed = response;
             framed += '\n';
             std::size_t off = 0;

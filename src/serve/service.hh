@@ -41,10 +41,10 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/omnisim.hh"
+#include "support/sync.hh"
 
 namespace omnisim::batch
 {
@@ -134,7 +134,8 @@ class SimService
      * store rehydration runs outside it (per-design once), so a first
      * request for one design never stalls requests for others.
      */
-    DesignCache &cacheFor(const std::string &design);
+    DesignCache &cacheFor(const std::string &design)
+        OMNISIM_EXCLUDES(cachesMu_);
 
     Response dispatch(const std::string &line);
     Response doSimulate(const struct Request &req);
@@ -149,8 +150,9 @@ class SimService
     std::unique_ptr<io::RunStore> store_;
     std::unique_ptr<batch::TaskPool> pool_;
 
-    mutable std::mutex cachesMu_;
-    std::map<std::string, std::unique_ptr<DesignCache>> caches_;
+    mutable sync::Mutex cachesMu_;
+    std::map<std::string, std::unique_ptr<DesignCache>> caches_
+        OMNISIM_GUARDED_BY(cachesMu_);
 
     std::atomic<bool> shutdown_{false};
     std::atomic<std::uint64_t> served_{0};

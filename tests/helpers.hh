@@ -8,6 +8,9 @@
 #ifndef OMNISIM_TESTS_HELPERS_HH
 #define OMNISIM_TESTS_HELPERS_HH
 
+#include <filesystem>
+#include <string>
+
 #include "core/omnisim.hh"
 #include "cosim/cosim.hh"
 #include "csim/csim.hh"
@@ -18,6 +21,34 @@
 
 namespace omnisim::test
 {
+
+/** Root for test scratch files: inside the build tree when CMake
+ *  provided OMNISIM_TEST_SCRATCH_DIR, the system temp dir otherwise —
+ *  never the source checkout or whatever directory ctest happened to be
+ *  invoked from. */
+inline std::filesystem::path
+scratchRoot()
+{
+#ifdef OMNISIM_TEST_SCRATCH_DIR
+    const std::filesystem::path root{OMNISIM_TEST_SCRATCH_DIR};
+#else
+    const std::filesystem::path root =
+        std::filesystem::temp_directory_path() / "omnisim_test_scratch";
+#endif
+    std::filesystem::create_directories(root);
+    return root;
+}
+
+/** A named scratch directory under scratchRoot(), created empty (any
+ *  leftover from a previous run is wiped first). */
+inline std::filesystem::path
+scratchDir(const std::string &tag)
+{
+    const std::filesystem::path dir = scratchRoot() / tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
 
 /** Co-sim options for correctness tests: no synthetic RTL cost. */
 inline CosimOptions

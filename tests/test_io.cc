@@ -35,17 +35,14 @@ nameSeed(const std::string &name)
     return io::fnv1a(name);
 }
 
-/** Fresh temp directory under the test binary's cwd. */
+/** Fresh temp directory under the build-tree scratch root. */
 struct TempDir
 {
     std::string path;
 
     explicit TempDir(const std::string &tag)
-        : path((fs::path("io_test_tmp") / tag).string())
-    {
-        fs::remove_all(path);
-        fs::create_directories(path);
-    }
+        : path(test::scratchDir("io_" + tag).string())
+    {}
 
     ~TempDir() { fs::remove_all(path); }
 };

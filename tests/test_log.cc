@@ -11,18 +11,19 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <new>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "helpers.hh"
 #include "obs/context.hh"
 #include "obs/flight.hh"
 #include "obs/log.hh"
 #include "serve/json.hh"
 #include "support/logging.hh"
+#include "support/sync.hh"
 
 // Thread-local allocation accounting for the zero-allocation fast-path
 // test: every global operator new on this thread bumps the counter.
@@ -91,20 +92,20 @@ struct LogFixture
 /** Custom sink collecting serialized events (thread-safe). */
 struct CollectingSink
 {
-    std::mutex mu;
+    sync::Mutex mu;
     std::vector<std::string> lines;
 
     void install()
     {
         obs::setLogSink([this](const std::string &line) {
-            std::lock_guard<std::mutex> lock(mu);
+            sync::LockGuard lock(mu);
             lines.push_back(line);
         });
     }
 
     std::vector<std::string> snapshot()
     {
-        std::lock_guard<std::mutex> lock(mu);
+        sync::LockGuard lock(mu);
         return lines;
     }
 };
@@ -319,7 +320,8 @@ TEST(ObsLogTest, CaptureCapsAndCountsTruncation)
 TEST(ObsLogTest, FileSinkWritesJsonLines)
 {
     LogFixture fx;
-    const std::string path = "log_test_tmp_events.jsonl";
+    const std::string path =
+        (omnisim::test::scratchRoot() / "log_events.jsonl").string();
     fs::remove(path);
     ASSERT_TRUE(obs::setLogFileSink(path));
     OMNISIM_LOG_WARN("test.file", "first");
@@ -450,9 +452,8 @@ TEST(ObsFlightTest, DumpSchemaAndDeterminism)
 TEST(ObsFlightTest, WriteCrashDumpProducesSchemaStableFile)
 {
     LogFixture fx;
-    const std::string dir = "log_test_tmp_crash";
-    fs::remove_all(dir);
-    fs::create_directories(dir);
+    const std::string dir =
+        omnisim::test::scratchDir("log_crash").string();
     obs::setCrashDumpDir(dir);
 
     OMNISIM_LOG_WARN("test.crashfile", "context before dump");

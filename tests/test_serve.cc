@@ -10,7 +10,6 @@
 #include <filesystem>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -21,6 +20,7 @@
 #include "obs/log.hh"
 #include "serve/json.hh"
 #include "serve/service.hh"
+#include "support/sync.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/socket.h>
@@ -43,11 +43,8 @@ struct TempDir
     std::string path;
 
     explicit TempDir(const std::string &tag)
-        : path((fs::path("serve_test_tmp") / tag).string())
-    {
-        fs::remove_all(path);
-        fs::create_directories(path);
-    }
+        : path(test::scratchDir("serve_" + tag).string())
+    {}
 
     ~TempDir() { fs::remove_all(path); }
 };
@@ -524,7 +521,7 @@ TEST(SimServiceTest, ConcurrentSubmissionsAllAnswer)
     SimService svc({4, "", 4, {}});
     constexpr int kRequests = 24;
 
-    std::mutex mu;
+    sync::Mutex mu;
     std::vector<JsonValue> responses;
     for (int i = 0; i < kRequests; ++i) {
         const std::uint32_t depth = 2 + (i % 6);
@@ -532,7 +529,7 @@ TEST(SimServiceTest, ConcurrentSubmissionsAllAnswer)
                         "\"design\":\"fifo_chain\","
                         "\"depths\":{\"a\":%u}}", i, depth),
                    [&](std::string line) {
-                       std::lock_guard<std::mutex> lock(mu);
+                       sync::LockGuard lock(mu);
                        responses.push_back(JsonValue::parse(line));
                    });
     }

@@ -58,6 +58,7 @@
 #include "obs/flight.hh"
 #include "obs/log.hh"
 #include "obs/trace.hh"
+#include "opt/verify.hh"
 #include "serve/service.hh"
 #include "support/stopwatch.hh"
 #include "support/table.hh"
@@ -104,7 +105,10 @@ usage()
                  "  (one JSON event per line), --log-level "
                  "trace|debug|info|warn|error\n"
                  "  (default warn), --crash-dir DIR for flight-recorder "
-                 "crash dumps.\n");
+                 "crash dumps.\n"
+                 "  --verify runs the IR verifier between every compile "
+                 "pass and on\n"
+                 "  run-file rehydration (always on in Debug builds).\n");
     return 2;
 }
 
@@ -190,7 +194,11 @@ subcommandUsage(const std::string &cmd)
                "  --replay SPEC  re-run the oracle matrix on one "
                "serialized spec\n"
                "                 (the string a previous fuzz run "
-               "printed)\n";
+               "printed)\n"
+               "  --verify       run the IR verifier between every "
+               "compile pass\n"
+               "                 and on every rehydration as an extra "
+               "oracle\n";
     }
     if (cmd == "serve") {
         return "usage: omnisim_cli serve [options]\n"
@@ -821,6 +829,7 @@ cmdFuzz(const std::vector<std::string> &args, const JobsFlag &jobsFlag)
     gen::ConformanceOptions copts;
     copts.resimProbes = probes;
     copts.jobs = jobsFlag.lanes();
+    copts.withVerify = opt::verifyEnabled();
 
     if (!replay.empty()) {
         const gen::GenSpec spec = gen::parseSpec(replay);
@@ -1032,6 +1041,9 @@ main(int argc, char **argv)
                        rest.begin() + static_cast<std::ptrdiff_t>(i + 2));
         } else if (rest[i] == "--inject-panic") {
             injectPanic = true;
+            rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i));
+        } else if (rest[i] == "--verify") {
+            opt::setVerifyEnabled(true);
             rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i));
         } else {
             ++i;
